@@ -1,0 +1,303 @@
+(* Benchmark and experiment-regeneration harness.
+
+   With no arguments, regenerates every table and figure of the paper's
+   evaluation (at the scaled default sizes documented in EXPERIMENTS.md)
+   and then runs the Bechamel microbenchmarks. Individual experiments:
+
+     dune exec bench/main.exe -- table1|table2|table3|table4|table5
+     dune exec bench/main.exe -- figure1|figure2|races|micro|ablate
+
+   Scaled sizes are chosen so the whole run completes in minutes on one
+   core; the paper's full sizes are available through bin/campaign_cli.exe
+   with explicit -n. *)
+
+let section title =
+  Printf.printf "\n%s\n%s\n%!" title (String.make (String.length title) '#')
+
+let timed name f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  Printf.printf "[%s completed in %.1fs]\n%!" name (Unix.gettimeofday () -. t0);
+  r
+
+(* ------------------------------------------------------------------ *)
+(* Experiments                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let table1 () =
+  section "Table 1 — configurations and the reliability threshold (sec 7.1)";
+  timed "table1" (fun () ->
+      let t = Classify.run ~per_mode:8 () in
+      print_endline (Classify.to_table t);
+      let a, n = Classify.agreement_with_paper t in
+      Printf.printf "classification agreement with the paper: %d/%d\n" a n)
+
+let table2 () =
+  section "Table 2 — OpenCL benchmarks studied using EMI testing (sec 7.2)";
+  print_endline (Suite.table2 ())
+
+let table3 () =
+  section "Table 3 — EMI testing over Parboil/Rodinia (sec 7.2)";
+  timed "table3" (fun () ->
+      print_endline (Bench_emi.to_table (Bench_emi.run ~variants:10 ())))
+
+let table4 () =
+  section "Table 4 — intensive CLsmith differential testing (sec 7.3)";
+  timed "table4" (fun () ->
+      print_endline (Campaign.to_table (Campaign.run ~per_mode:40 ())))
+
+let table5 () =
+  section "Table 5 — CLsmith+EMI metamorphic testing (sec 7.4)";
+  timed "table5" (fun () ->
+      print_endline
+        (Emi_campaign.to_table (Emi_campaign.run ~bases:16 ~variants:10 ())))
+
+let figure n exhibits =
+  section (Printf.sprintf "Figure %d — bug exhibits (sec 6)" n);
+  print_endline (Exhibit.summary_table exhibits)
+
+let races () =
+  section "Data races in spmv and myocyte (sec 2.4)";
+  List.iter
+    (fun (b : Suite.benchmark) ->
+      let config = { Interp.default_config with Interp.detect_races = true } in
+      let r = Interp.run ~config (b.Suite.testcase ()) in
+      Printf.printf "%-11s %s\n" b.Suite.name
+        (match r.Interp.races with
+        | [] -> "race-free"
+        | race :: _ -> "RACY: " ^ Race.race_to_string race))
+    Suite.all
+
+(* ------------------------------------------------------------------ *)
+(* Ablations (DESIGN.md section 5)                                     *)
+(* ------------------------------------------------------------------ *)
+
+let ablate () =
+  section "Ablation 1 — EMI free-variable substitutions on vs off (sec 5)";
+  let t3 = Bench_emi.run ~variants:8 () in
+  let count p =
+    List.fold_left
+      (fun acc (_, row) ->
+        acc + List.length (List.filter (fun (_, c) -> p c) row))
+      0 t3.Bench_emi.results
+  in
+  let w_subst = count (function Bench_emi.Wrong "e" -> true | _ -> false) in
+  let w_nosubst = count (function Bench_emi.Wrong "d" -> true | _ -> false) in
+  let w_both = count (function Bench_emi.Wrong "?" -> true | _ -> false) in
+  Printf.printf
+    "wrong-code cells needing substitutions ON: %d; OFF: %d; either: %d\n"
+    w_subst w_nosubst w_both;
+  Printf.printf
+    "(the paper found 15 / 6 / 7 — substitutions are worth having, but both \
+     settings find unique defects)\n";
+
+  section "Ablation 2 — the lift pruning strategy (sec 5, 7.4)";
+  let gcfg = Gen_config.scaled Gen_config.All in
+  let induced ~params_filter =
+    let combos = List.filter params_filter Prune.paper_combinations in
+    let hits = ref 0 and bases = ref 0 in
+    let seed = ref 70_000 in
+    while !bases < 10 do
+      incr seed;
+      let base, info = Generate.generate ~emi:true ~cfg:gcfg ~seed:!seed () in
+      if not info.Generate.counter_sharing then begin
+        incr bases;
+        let c = Config.find 1 in
+        let outs =
+          List.filter_map
+            (fun (i, params) ->
+              match
+                Driver.run c ~opt:true
+                  (Variant.derive ~base ~params ~seed:(9000 + i))
+              with
+              | Outcome.Success s -> Some s
+              | _ -> None)
+            (List.mapi (fun i p -> (i, p)) combos)
+        in
+        if List.length (List.sort_uniq String.compare outs) > 1 then incr hits
+      end
+    done;
+    !hits
+  in
+  let with_lift = induced ~params_filter:(fun p -> p.Prune.plift > 0.0) in
+  let without_lift = induced ~params_filter:(fun p -> p.Prune.plift = 0.0) in
+  Printf.printf
+    "bases (of 10) where variants disagree on config 1+: lift-only combos %d \
+     vs no-lift combos %d\n"
+    with_lift without_lift;
+  Printf.printf
+    "(the paper found lift \"slightly less effective overall\" than leaf and \
+     compound)\n";
+
+  section "Ablation 3 — randomised grid and group dimensions (sec 4.1)";
+  let n = 300 and nx1 = ref 0 in
+  for seed = 1 to n do
+    let tc, _ =
+      Generate.generate ~cfg:(Gen_config.scaled Gen_config.Basic) ~seed ()
+    in
+    let x, _, _ = tc.Ast.global_size in
+    if x = 1 then incr nx1
+  done;
+  Printf.printf "launches with Nx = 1: %d of %d\n" !nx1 n;
+  let fig1b = List.nth Exhibit.figure1 1 in
+  let altered =
+    { fig1b.Exhibit.testcase with Ast.global_size = (2, 1, 1); local_size = (2, 1, 1) }
+  in
+  Printf.printf
+    "Fig 1(b) on config 10- with Nx=1: %s\nFig 1(b) on config 10- with Nx=2: %s\n"
+    (Outcome.to_string
+       (Driver.run ~noise:false (Config.find 10) ~opt:false fig1b.Exhibit.testcase))
+    (Outcome.to_string (Driver.run ~noise:false (Config.find 10) ~opt:false altered));
+  Printf.printf
+    "(without dimension randomisation the Fig 1(b) bug is never seen — \
+     \"this shows the value of randomizing group dimensions\")\n";
+
+  section "Ablation 4 — the dead-code liveness filter for EMI bases (sec 7.4)";
+  let discrimination base =
+    let c = Config.find 1 in
+    let outs =
+      List.filter_map
+        (fun v ->
+          match Driver.run c ~opt:true v with
+          | Outcome.Success s -> Some s
+          | _ -> None)
+        (Variant.variants ~base ~count:8)
+    in
+    List.length (List.sort_uniq String.compare outs)
+  in
+  let kept = ref [] and discarded = ref [] in
+  let seed = ref 80_000 in
+  while List.length !kept < 8 || List.length !discarded < 8 do
+    incr seed;
+    let base, info = Generate.generate ~emi:true ~cfg:gcfg ~seed:!seed () in
+    if not info.Generate.counter_sharing then begin
+      let c1 = Config.find 1 in
+      let live =
+        not
+          (Outcome.equal
+             (Driver.run c1 ~opt:true base)
+             (Driver.run c1 ~opt:true (Variant.invert_dead base)))
+      in
+      if live && List.length !kept < 8 then kept := base :: !kept
+      else if (not live) && List.length !discarded < 8 then
+        discarded := base :: !discarded
+    end
+  done;
+  let avg bs =
+    float (List.fold_left (fun a b -> a + discrimination b) 0 bs)
+    /. float (List.length bs)
+  in
+  Printf.printf
+    "mean distinct-variant-results: kept bases %.2f vs liveness-filtered-out \
+     bases %.2f (8 each)\n"
+    (avg !kept) (avg !discarded)
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel microbenchmarks                                            *)
+(* ------------------------------------------------------------------ *)
+
+let micro () =
+  section "Microbenchmarks (Bechamel)";
+  let open Bechamel in
+  let open Toolkit in
+  let gen_test mode =
+    let counter = ref 0 in
+    Test.make
+      ~name:("generate/" ^ Gen_config.mode_name mode)
+      (Staged.stage (fun () ->
+           incr counter;
+           ignore (Generate.generate ~cfg:(Gen_config.scaled mode) ~seed:!counter ())))
+  in
+  let tc, _ = Generate.generate ~cfg:(Gen_config.scaled Gen_config.All) ~seed:5 () in
+  let interp_test =
+    Test.make ~name:"interp/reference-ALL"
+      (Staged.stage (fun () -> ignore (Driver.reference_outcome tc)))
+  in
+  let compile_test =
+    Test.make ~name:"vendor/compile+run-ALL"
+      (Staged.stage (fun () -> ignore (Driver.run (Config.find 12) ~opt:true tc)))
+  in
+  let base, _ =
+    Generate.generate ~emi:true ~cfg:(Gen_config.scaled Gen_config.All) ~seed:6 ()
+  in
+  let variant_counter = ref 0 in
+  let emi_test =
+    Test.make ~name:"emi/derive-variant"
+      (Staged.stage (fun () ->
+           incr variant_counter;
+           ignore
+             (Variant.derive ~base
+                ~params:(List.hd Prune.paper_combinations)
+                ~seed:!variant_counter)))
+  in
+  let pp_test =
+    Test.make ~name:"pp/print+digest"
+      (Staged.stage (fun () -> ignore (Digest_util.full tc.Ast.prog)))
+  in
+  let mutate_test =
+    Test.make ~name:"mutate/one-site"
+      (Staged.stage (fun () -> ignore (Mutate.apply ~seed:42L tc.Ast.prog)))
+  in
+  let tests =
+    Test.make_grouped ~name:"clsmith-repro"
+      [
+        gen_test Gen_config.Basic; gen_test Gen_config.Vector;
+        gen_test Gen_config.All; interp_test; compile_test; emi_test;
+        pp_test; mutate_test;
+      ]
+  in
+  let results =
+    let ols =
+      Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+    in
+    let instances = Instance.[ monotonic_clock ] in
+    let cfg =
+      Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.8) ~kde:(Some 1000) ()
+    in
+    let raw = Benchmark.all cfg instances tests in
+    Analyze.all ols Instance.monotonic_clock raw
+  in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name result ->
+      match Analyze.OLS.estimates result with
+      | Some [ est ] -> rows := (name, est) :: !rows
+      | _ -> ())
+    results;
+  List.iter
+    (fun (name, est) -> Printf.printf "%-40s %12.1f ns/run\n" name est)
+    (List.sort compare !rows)
+
+(* ------------------------------------------------------------------ *)
+
+let all_experiments () =
+  table1 ();
+  figure 1 Exhibit.figure1;
+  figure 2 Exhibit.figure2;
+  table2 ();
+  races ();
+  table3 ();
+  table4 ();
+  table5 ();
+  micro ()
+
+let () =
+  match Array.to_list Sys.argv with
+  | [ _ ] -> all_experiments ()
+  | _ :: args ->
+      List.iter
+        (function
+          | "table1" -> table1 ()
+          | "table2" -> table2 ()
+          | "table3" -> table3 ()
+          | "table4" -> table4 ()
+          | "table5" -> table5 ()
+          | "figure1" -> figure 1 Exhibit.figure1
+          | "figure2" -> figure 2 Exhibit.figure2
+          | "races" -> races ()
+          | "micro" -> micro ()
+          | "ablate" -> ablate ()
+          | "all" -> all_experiments ()
+          | other -> Printf.eprintf "unknown experiment %s\n" other)
+        args
+  | [] -> ()

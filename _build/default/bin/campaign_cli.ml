@@ -1,0 +1,122 @@
+(* campaign: run any of the paper's experiments from the command line.
+
+   Subcommands mirror the per-experiment index of DESIGN.md:
+     table1 | table2 | table3 | table4 | table5 | figure1 | figure2 | races
+   with -n to scale the sample sizes. *)
+
+open Cmdliner
+
+let n_arg default doc = Arg.(value & opt int default & info [ "n" ] ~doc)
+
+let table1_cmd =
+  let run n =
+    let t = Classify.run ~per_mode:n () in
+    print_endline (Classify.to_table t);
+    let a, total = Classify.agreement_with_paper t in
+    Printf.printf "classification agreement with the paper's Table 1: %d/%d\n" a total
+  in
+  Cmd.v (Cmd.info "table1" ~doc:"Initial testing and reliability threshold")
+    Term.(const run $ n_arg 10 "initial kernels per mode (paper: 100)")
+
+let table2_cmd =
+  let run () = print_endline (Suite.table2 ()) in
+  Cmd.v (Cmd.info "table2" ~doc:"Benchmark suite summary") Term.(const run $ const ())
+
+let table3_cmd =
+  let run n =
+    print_endline (Bench_emi.to_table (Bench_emi.run ~variants:n ()))
+  in
+  Cmd.v (Cmd.info "table3" ~doc:"EMI testing over the Parboil/Rodinia ports")
+    Term.(const run $ n_arg 12 "EMI variants per benchmark (paper: 125)")
+
+let table4_cmd =
+  let run n =
+    print_endline (Campaign.to_table (Campaign.run ~per_mode:n ()))
+  in
+  Cmd.v (Cmd.info "table4" ~doc:"Intensive CLsmith differential testing")
+    Term.(const run $ n_arg 60 "kernels per mode (paper: 10000)")
+
+let table5_cmd =
+  let run n v =
+    print_endline (Emi_campaign.to_table (Emi_campaign.run ~bases:n ~variants:v ()))
+  in
+  Cmd.v (Cmd.info "table5" ~doc:"CLsmith+EMI metamorphic testing")
+    Term.(
+      const run
+      $ n_arg 15 "base programs (paper: 180)"
+      $ Arg.(value & opt int 10 & info [ "variants" ] ~doc:"variants per base (paper: 40)"))
+
+let figure_cmd name exhibits doc =
+  let run verbose =
+    if verbose then
+      List.iter (fun e -> print_endline (Exhibit.demonstrate e)) exhibits
+    else print_endline (Exhibit.summary_table exhibits)
+  in
+  Cmd.v (Cmd.info name ~doc)
+    Term.(const run $ Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"print kernels"))
+
+let races_cmd =
+  let run () =
+    List.iter
+      (fun (b : Suite.benchmark) ->
+        let r =
+          Interp.run
+            ~config:{ Interp.default_config with Interp.detect_races = true }
+            (b.Suite.testcase ())
+        in
+        Printf.printf "%-11s %s\n" b.Suite.name
+          (match r.Interp.races with
+          | [] -> "race-free"
+          | race :: _ -> Race.race_to_string race))
+      Suite.all
+  in
+  Cmd.v
+    (Cmd.info "races"
+       ~doc:"Race-detect the benchmark suite (rediscovers the spmv/myocyte races)")
+    Term.(const run $ const ())
+
+let reduce_cmd =
+  let run seed config_id opt =
+    let cfg = Gen_config.scaled Gen_config.All in
+    let tc, info = Generate.generate ~cfg ~seed () in
+    if info.Generate.counter_sharing then print_endline "kernel discarded (counter sharing)"
+    else begin
+      let c = Config.find config_id in
+      let reference tc = Driver.reference_outcome tc in
+      let interesting tc =
+        match (reference tc, Driver.run c ~opt tc) with
+        | Outcome.Success a, Outcome.Success b -> not (String.equal a b)
+        | _ -> false
+      in
+      if not (interesting tc) then
+        Printf.printf
+          "config %d%s compiles seed %d correctly; try another seed\n" config_id
+          (if opt then "+" else "-") seed
+      else begin
+        let reduced, stats = Reduce.reduce ~interesting tc in
+        Printf.printf
+          "reduced from %d to %d statements (%d attempts, %d steps)\n\n"
+          stats.Reduce.initial_stmts stats.Reduce.final_stmts
+          stats.Reduce.attempts stats.Reduce.accepted;
+        print_string (Pp.program_to_string reduced.Ast.prog)
+      end
+    end
+  in
+  Cmd.v (Cmd.info "reduce" ~doc:"Reduce a wrong-code kernel for a configuration")
+    Term.(
+      const run
+      $ Arg.(value & opt int 1 & info [ "seed" ] ~doc:"generator seed")
+      $ Arg.(value & opt int 19 & info [ "config" ] ~doc:"configuration id")
+      $ Arg.(value & flag & info [ "opt" ] ~doc:"optimisations on"))
+
+let () =
+  exit
+    (Cmd.eval
+       (Cmd.group
+          (Cmd.info "campaign" ~doc:"Reproduce the paper's experiments")
+          [
+            table1_cmd; table2_cmd; table3_cmd; table4_cmd; table5_cmd;
+            figure_cmd "figure1" Exhibit.figure1 "Figure 1 bug exhibits";
+            figure_cmd "figure2" Exhibit.figure2 "Figure 2 bug exhibits";
+            races_cmd; reduce_cmd;
+          ]))

@@ -1,0 +1,100 @@
+(* clsmith: generate, print and run random OpenCL kernels.
+
+   Usage:
+     clsmith_cli gen  --mode ALL --seed 42 [--emi] [--run] [--full-scale]
+     clsmith_cli diff --mode ALL --seed 42        differential-test one kernel
+     clsmith_cli emi  --seed 42 --variants 10     EMI-variant check on the
+                                                  reference device *)
+
+open Cmdliner
+
+let mode_arg =
+  let mode_conv : Gen_config.mode Arg.conv =
+    Arg.conv
+      ( (fun s ->
+          match Gen_config.mode_of_string s with
+          | Some m -> Ok m
+          | None -> Error (`Msg ("unknown mode " ^ s))),
+        fun fmt m -> Format.pp_print_string fmt (Gen_config.mode_name m) )
+  in
+  Arg.(value & opt mode_conv Gen_config.All & info [ "mode"; "m" ] ~doc:"Generator mode")
+
+let seed_arg = Arg.(value & opt int 1 & info [ "seed"; "s" ] ~doc:"Generator seed")
+let emi_arg = Arg.(value & flag & info [ "emi" ] ~doc:"Inject EMI blocks")
+let run_arg = Arg.(value & flag & info [ "run" ] ~doc:"Run on the reference device")
+
+let full_arg =
+  Arg.(value & flag & info [ "full-scale" ] ~doc:"Use the paper's NDRange ranges")
+
+let gen_cmd =
+  let run mode seed emi run_it full =
+    let cfg = if full then Gen_config.paper_scale mode else Gen_config.scaled mode in
+    let tc, info = Generate.generate ~emi ~cfg ~seed () in
+    print_string (Pp.testcase_to_string tc);
+    if info.Generate.counter_sharing then
+      print_endline
+        "/* NOTE: atomic sections share a counter; the campaign driver would \
+         discard this kernel (cf. paper section 7.3) */";
+    if run_it then
+      Printf.printf "\n/* reference: %s */\n"
+        (Outcome.to_string (Driver.reference_outcome tc))
+  in
+  Cmd.v (Cmd.info "gen" ~doc:"Generate one kernel")
+    Term.(const run $ mode_arg $ seed_arg $ emi_arg $ run_arg $ full_arg)
+
+let diff_cmd =
+  let run mode seed =
+    let cfg = Gen_config.scaled mode in
+    let tc, info = Generate.generate ~cfg ~seed () in
+    if info.Generate.counter_sharing then
+      print_endline "kernel discarded: atomic-section counter sharing"
+    else begin
+      let prep = Driver.prepare tc in
+      let results =
+        List.concat_map
+          (fun id ->
+            let c = Config.find id in
+            [ (Printf.sprintf "%d-" id, Driver.run_prepared c ~opt:false prep);
+              (Printf.sprintf "%d+" id, Driver.run_prepared c ~opt:true prep) ])
+          Config.above_threshold_ids
+      in
+      let majority = Majority.majority_output (List.map snd results) in
+      List.iter
+        (fun (name, o) ->
+          Printf.printf "%-4s %-5s %s\n" name
+            (Majority.bucket_name (Majority.bucket_of ~majority o))
+            (Outcome.to_string o))
+        results
+    end
+  in
+  Cmd.v (Cmd.info "diff" ~doc:"Differential-test one kernel across configurations")
+    Term.(const run $ mode_arg $ seed_arg)
+
+let emi_cmd =
+  let run seed variants =
+    let cfg = Gen_config.scaled Gen_config.All in
+    let base, info = Generate.generate ~emi:true ~cfg ~seed () in
+    if info.Generate.counter_sharing then
+      print_endline "base discarded: atomic-section counter sharing"
+    else begin
+      let ob = Driver.reference_outcome base in
+      Printf.printf "base: %s\n" (Outcome.to_string ob);
+      List.iteri
+        (fun i v ->
+          let ov = Driver.reference_outcome v in
+          Printf.printf "variant %2d: %s\n" i
+            (if Outcome.equal ob ov then "identical (as EMI demands)"
+             else "MISMATCH: " ^ Outcome.to_string ov))
+        (Variant.variants ~base ~count:variants)
+    end
+  in
+  let variants = Arg.(value & opt int 10 & info [ "variants"; "n" ] ~doc:"Variant count") in
+  Cmd.v (Cmd.info "emi" ~doc:"Check EMI variants against the base on the reference device")
+    Term.(const run $ seed_arg $ variants)
+
+let () =
+  exit
+    (Cmd.eval
+       (Cmd.group
+          (Cmd.info "clsmith_cli" ~doc:"CLsmith kernel generator (reproduction)")
+          [ gen_cmd; diff_cmd; emi_cmd ]))

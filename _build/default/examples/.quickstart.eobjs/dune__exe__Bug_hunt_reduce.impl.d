@@ -1,0 +1,1 @@
+examples/bug_hunt_reduce.ml: Ast Config Driver Gen_config Generate Outcome Pp Printf Reduce String

@@ -1,0 +1,1 @@
+examples/differential_testing.ml: Config Driver Gen_config Generate List Majority Printf

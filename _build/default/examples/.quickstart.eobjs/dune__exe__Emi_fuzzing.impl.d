@@ -1,0 +1,1 @@
+examples/emi_fuzzing.ml: Config Driver Gen_config Generate Inject List Outcome Printf String Suite Variant

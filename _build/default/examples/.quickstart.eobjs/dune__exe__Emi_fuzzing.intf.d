@@ -1,0 +1,1 @@
+examples/emi_fuzzing.mli:

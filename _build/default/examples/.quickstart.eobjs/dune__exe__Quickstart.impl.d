@@ -1,0 +1,1 @@
+examples/quickstart.ml: Ast Build Config Driver Gen_config Generate List Outcome Pp Printf Stdlib String Ty Typecheck Validate

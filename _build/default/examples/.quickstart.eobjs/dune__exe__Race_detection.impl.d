@@ -1,0 +1,1 @@
+examples/race_detection.ml: Interp List Printf Race Suite

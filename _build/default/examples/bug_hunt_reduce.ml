@@ -1,0 +1,44 @@
+(* A complete bug-hunting session, as section 6 of the paper describes the
+   authors' workflow: fuzz until a configuration disagrees with the
+   reference, then reduce the kernel to a small reproducer, then inspect
+   what the vendor's compiler did to it.
+
+   dune exec examples/bug_hunt_reduce.exe *)
+
+let target = 19 (* Oclgrind and its comma-operator bug, cf. Fig. 2(f) *)
+
+let () =
+  let c = Config.find target in
+  let cfg = Gen_config.scaled Gen_config.Basic in
+  let wrong tc =
+    match (Driver.reference_outcome tc, Driver.run c ~opt:false tc) with
+    | Outcome.Success a, Outcome.Success b -> not (String.equal a b)
+    | _ -> false
+  in
+  (* 1. fuzz *)
+  let rec hunt seed =
+    if seed > 3000 then None
+    else
+      let tc, info = Generate.generate ~cfg ~seed () in
+      if (not info.Generate.counter_sharing) && wrong tc then Some (seed, tc)
+      else hunt (seed + 1)
+  in
+  match hunt 1 with
+  | None -> print_endline "no miscompilation found in 3000 seeds (unexpected)"
+  | Some (seed, tc) ->
+      Printf.printf "seed %d is miscompiled by configuration %d (%s)\n" seed
+        target c.Config.device;
+      Printf.printf "  original kernel: %d statements\n"
+        (Ast.stmt_count tc.Ast.prog);
+      (* 2. reduce *)
+      let reduced, stats = Reduce.reduce ~interesting:wrong tc in
+      Printf.printf
+        "  reduced to %d statements in %d attempts (%d accepted steps)\n\n"
+        stats.Reduce.final_stmts stats.Reduce.attempts stats.Reduce.accepted;
+      print_endline "--- reduced reproducer ---";
+      print_string (Pp.program_to_string reduced.Ast.prog);
+      (* 3. inspect both sides *)
+      Printf.printf "\nreference: %s\nconfig %d:  %s\n"
+        (Outcome.to_string (Driver.reference_outcome reduced))
+        target
+        (Outcome.to_string (Driver.run c ~opt:false reduced))

@@ -1,0 +1,46 @@
+(* Random differential testing (paper section 4): generate kernels,
+   run them across configurations at both optimisation levels, majority-vote
+   the results and report wrong-code findings.
+
+   dune exec examples/differential_testing.exe *)
+
+let kernels_per_mode = 15
+
+let () =
+  let modes = [ Gen_config.Basic; Gen_config.Barrier; Gen_config.All ] in
+  List.iter
+    (fun mode ->
+      Printf.printf "=== mode %s ===\n%!" (Gen_config.mode_name mode);
+      let cfg = Gen_config.scaled mode in
+      let found = ref 0 in
+      for seed = 1 to kernels_per_mode do
+        let tc, info = Generate.generate ~cfg ~seed () in
+        if not info.Generate.counter_sharing then begin
+          let prep = Driver.prepare tc in
+          let results =
+            List.concat_map
+              (fun id ->
+                let c = Config.find id in
+                List.map
+                  (fun opt ->
+                    ( Printf.sprintf "%d%s" id (if opt then "+" else "-"),
+                      Driver.run_prepared c ~opt prep ))
+                  [ false; true ])
+              Config.above_threshold_ids
+          in
+          let majority = Majority.majority_output (List.map snd results) in
+          List.iter
+            (fun (name, o) ->
+              if Majority.is_wrong_code ~majority o then begin
+                incr found;
+                Printf.printf
+                  "  seed %d: configuration %s disagrees with the majority \
+                   (wrong code)\n"
+                  seed name
+              end)
+            results
+        end
+      done;
+      Printf.printf "  %d wrong-code observations over %d kernels\n"
+        !found kernels_per_mode)
+    modes

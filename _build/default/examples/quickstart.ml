@@ -1,0 +1,57 @@
+(* Quickstart: build a kernel with the AST combinators, type-check it, run
+   it on the reference device, and compile-and-run it on a buggy vendor
+   configuration.
+
+   dune exec examples/quickstart.exe *)
+
+let () =
+  (* a tiny OpenCL kernel: out[tid] = (a + b) * tid_factor, per thread *)
+  let open Build in
+  let prog =
+    kernel1 "quickstart"
+      [
+        decle "a" Ty.int (ci 40);
+        decle "b" Ty.int (ci 2);
+        assign (idx (v "out") tid_linear) (cast Ty.ulong (v "a" + v "b"));
+      ]
+  in
+  print_endline "--- kernel source (as a vendor compiler would receive it) ---";
+  print_string (Pp.program_to_string prog);
+
+  (* host side: 2 work-groups of 4 threads *)
+  let tc = Build.testcase ~gsize:(8, 1, 1) ~lsize:(4, 1, 1) prog in
+
+  (* static checks: types, and the determinism discipline of the paper *)
+  (match Typecheck.check_testcase tc with
+  | Ok () -> print_endline "typecheck: ok"
+  | Error m -> failwith m);
+  (match Validate.check prog with
+  | Ok () -> print_endline "validate: deterministic by construction"
+  | Error vs -> failwith (Validate.errors_to_string vs));
+
+  (* run on the reference device *)
+  print_endline ("reference: " ^ Outcome.to_string (Driver.reference_outcome tc));
+
+  (* and on a simulated vendor configuration, both optimisation levels *)
+  let c = Config.find 19 (* Oclgrind *) in
+  let off, on = Driver.run_both c tc in
+  Printf.printf "config %d (%s) -cl-opt-disable: %s\n" c.Config.id
+    c.Config.device (Outcome.to_string off);
+  Printf.printf "config %d (%s) default opts:    %s\n" c.Config.id
+    c.Config.device (Outcome.to_string on);
+
+  (* generate a random CLsmith kernel and print its first lines *)
+  let tc', _info =
+    Generate.generate ~cfg:(Gen_config.scaled Gen_config.Basic) ~seed:7 ()
+  in
+  let src = Pp.program_to_string tc'.Ast.prog in
+  let first_lines =
+    String.concat "\n"
+      (List.filteri (fun i _ -> Stdlib.(i < 12)) (String.split_on_char '\n' src))
+  in
+  print_endline "--- a random CLsmith kernel (first lines) ---";
+  print_endline first_lines;
+  print_endline "...";
+  print_endline
+    ("random kernel on the reference device: "
+    ^ Outcome.to_string (Driver.reference_outcome tc'))

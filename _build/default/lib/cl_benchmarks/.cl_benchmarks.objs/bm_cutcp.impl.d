@@ -1,0 +1,1 @@
+lib/cl_benchmarks/bm_cutcp.ml: Array Ast Build Int64 Op Ty

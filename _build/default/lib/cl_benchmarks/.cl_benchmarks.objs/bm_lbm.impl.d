@@ -1,0 +1,1 @@
+lib/cl_benchmarks/bm_lbm.ml: Array Ast Build Int64 Stdlib Ty

@@ -1,0 +1,1 @@
+lib/cl_benchmarks/bm_myocyte.ml: Array Ast Build Int64 Ty

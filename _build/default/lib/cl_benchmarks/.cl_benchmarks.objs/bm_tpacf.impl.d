@@ -1,0 +1,1 @@
+lib/cl_benchmarks/bm_tpacf.ml: Array Ast Build Int64 Op Stdlib Ty

@@ -1,0 +1,1 @@
+lib/cl_benchmarks/suite.ml: Ast Bm_bfs Bm_cutcp Bm_heartwall Bm_hotspot Bm_lbm Bm_myocyte Bm_pathfinder Bm_sad Bm_spmv Bm_tpacf List Pp String Table_fmt

@@ -1,0 +1,1 @@
+lib/cl_benchmarks/suite.mli: Ast

@@ -1,0 +1,72 @@
+(* Parboil bfs: breadth-first search over a CSR graph.
+
+   One work-group of [nodes] threads; level-synchronous expansion with a
+   global-fence barrier per level and atomic compare-and-exchange to claim
+   unvisited nodes (race-free, unlike spmv). *)
+
+
+let nodes = 16
+let inf = 999
+
+(* ring + chord edges: node i -> (i+1) mod n and (3i+1) mod n *)
+let row_offsets = Array.init (nodes + 1) (fun i -> Int64.of_int (2 * i))
+
+let edges =
+  Array.init (2 * nodes) (fun e ->
+      let i = e / 2 in
+      Int64.of_int (if e mod 2 = 0 then (i + 1) mod nodes else ((3 * i) + 1) mod nodes))
+
+let initial_levels =
+  Array.init nodes (fun i -> Int64.of_int (if i = 0 then 0 else inf))
+
+let program =
+  let open Build in
+  let me = decle "me" Ty.int (cast Ty.int tid_linear) in
+  let body =
+    [
+      me;
+      for_up "k" ~from:0 ~below:nodes
+        [
+          if_ (idx (v "levels") (v "me") == v "k")
+            [
+              for_
+                ~init:(decle "e" Ty.int (idx (v "row") (v "me")))
+                ~cond:(v "e" < idx (v "row") (v "me" + ci 1))
+                ~update:(assign_op Op.Add (v "e") (ci 1))
+                [
+                  expr
+                    (Ast.Atomic
+                       ( Op.A_cmpxchg,
+                         addr (idx (v "levels") (idx (v "edges") (v "e"))),
+                         [ ci inf; v "k" + ci 1 ] ));
+                ];
+            ];
+          barrier_g;
+        ];
+    ]
+  in
+  {
+    Ast.aggregates = [];
+    constant_arrays = [];
+    funcs = [];
+    kernel =
+      func "bfs" Ty.Void
+        [
+          ("levels", Ty.Ptr (Ty.Global, Ty.int));
+          ("row", Ty.Ptr (Ty.Global, Ty.int));
+          ("edges", Ty.Ptr (Ty.Global, Ty.int));
+        ]
+        body;
+    dead_size = 0;
+  }
+
+let testcase () =
+  Build.testcase
+    ~gsize:(nodes, 1, 1) ~lsize:(nodes, 1, 1)
+    ~buffers:
+      [
+        ("levels", Ast.Buf_data initial_levels);
+        ("row", Ast.Buf_data row_offsets);
+        ("edges", Ast.Buf_data edges);
+      ]
+    ~observe:[ "levels" ] program

@@ -1,0 +1,62 @@
+(* Parboil cutcp: cutoff Coulombic potential over a 2-D lattice.
+
+   Each thread owns a lattice point and sums fixed-point charge
+   contributions of the atoms within the cutoff radius. Embarrassingly
+   parallel. *)
+
+
+let side = 8
+let atoms = [| (1, 2, 30); (6, 1, -20); (3, 5, 50); (7, 7, 10); (0, 6, -40); (4, 4, 25) |]
+let cutoff2 = 18
+
+let atom_data =
+  Array.concat
+    (Array.to_list
+       (Array.map (fun (x, y, q) -> [| Int64.of_int x; Int64.of_int y; Int64.of_int q |]) atoms))
+
+let program =
+  let open Build in
+  let body =
+    [
+      decle "me" Ty.int (cast Ty.int tid_linear);
+      decle "px" Ty.int (v "me" % ci side);
+      decle "py" Ty.int (v "me" / ci side);
+      decle "acc" Ty.int (ci 0);
+      for_up "a" ~from:0 ~below:(Array.length atoms)
+        [
+          decle "dx" Ty.int (v "px" - idx (v "atoms") (v "a" * ci 3));
+          decle "dy" Ty.int (v "py" - idx (v "atoms") ((v "a" * ci 3) + ci 1));
+          decle "d2" Ty.int ((v "dx" * v "dx") + (v "dy" * v "dy"));
+          if_ (v "d2" < ci cutoff2)
+            [
+              assign_op Op.Add (v "acc")
+                ((idx (v "atoms") ((v "a" * ci 3) + ci 2) << ci 6)
+                / (ci 1 + v "d2"));
+            ];
+        ];
+      assign (idx (v "pot") (v "me")) (v "acc");
+    ]
+  in
+  {
+    Ast.aggregates = [];
+    constant_arrays = [];
+    funcs = [];
+    kernel =
+      func "cutcp" Ty.Void
+        [
+          ("pot", Ty.Ptr (Ty.Global, Ty.int));
+          ("atoms", Ty.Ptr (Ty.Global, Ty.int));
+        ]
+        body;
+    dead_size = 0;
+  }
+
+let testcase () =
+  Build.testcase
+    ~gsize:(side * side, 1, 1) ~lsize:(side, 1, 1)
+    ~buffers:
+      [
+        ("pot", Ast.Buf_zero (side * side));
+        ("atoms", Ast.Buf_data atom_data);
+      ]
+    ~observe:[ "pot" ] program

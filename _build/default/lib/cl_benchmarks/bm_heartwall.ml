@@ -1,0 +1,63 @@
+(* Rodinia heartwall: medical imaging — tracking by template matching.
+
+   Each thread owns a candidate window position and computes an integer
+   cross-correlation of the template against the image window. Pure
+   data-parallel. *)
+
+
+let img_side = 16
+let tpl_side = 4
+let positions_side = img_side - tpl_side (* 12x12 candidate positions *)
+
+let image =
+  Array.init (img_side * img_side) (fun i -> Int64.of_int ((i * 29 mod 97) mod 32))
+
+let template =
+  Array.init (tpl_side * tpl_side) (fun i -> Int64.of_int ((i * 3 + 1) mod 8))
+
+let program =
+  let open Build in
+  let body =
+    [
+      decle "me" Ty.int (cast Ty.int tid_linear);
+      decle "wx" Ty.int (v "me" % ci positions_side);
+      decle "wy" Ty.int (v "me" / ci positions_side);
+      decle "corr" Ty.int (ci 0);
+      for_up "r" ~from:0 ~below:tpl_side
+        [
+          for_up "c" ~from:0 ~below:tpl_side
+            [
+              assign_op Op.Add (v "corr")
+                (idx (v "img")
+                   (((v "wy" + v "r") * ci img_side) + v "wx" + v "c")
+                * idx (v "tpl") ((v "r" * ci tpl_side) + v "c"));
+            ];
+        ];
+      assign (idx (v "corrs") (v "me")) (v "corr");
+    ]
+  in
+  {
+    Ast.aggregates = [];
+    constant_arrays = [];
+    funcs = [];
+    kernel =
+      func "heartwall" Ty.Void
+        [
+          ("corrs", Ty.Ptr (Ty.Global, Ty.int));
+          ("img", Ty.Ptr (Ty.Global, Ty.int));
+          ("tpl", Ty.Ptr (Ty.Global, Ty.int));
+        ]
+        body;
+    dead_size = 0;
+  }
+
+let testcase () =
+  let n = positions_side * positions_side in
+  Build.testcase ~gsize:(n, 1, 1) ~lsize:(12, 1, 1)
+    ~buffers:
+      [
+        ("corrs", Ast.Buf_zero n);
+        ("img", Ast.Buf_data image);
+        ("tpl", Ast.Buf_data template);
+      ]
+    ~observe:[ "corrs" ] program

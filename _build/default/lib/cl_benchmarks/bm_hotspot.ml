@@ -1,0 +1,63 @@
+(* Rodinia hotspot: thermal simulation — iterative 5-point stencil with a
+   power term, double-buffered between tempA and tempB with a global-fence
+   barrier per iteration (single work-group, so the barrier orders all
+   threads). *)
+
+
+let side = 8
+let iterations = 4
+
+let temp0 =
+  Array.init (side * side) (fun i -> Int64.of_int (320 + (i * 17 mod 40)))
+
+let power =
+  Array.init (side * side) (fun i -> Int64.of_int (if i mod 9 = 0 then 24 else 2))
+
+let program =
+  let open Build in
+  let clamped e = Ast.Builtin (Op.Min, [ Ast.Builtin (Op.Max, [ e; ci 0 ]); ci Stdlib.((side * side) - 1) ]) in
+  let stencil src =
+    let at e = idx (v src) (clamped e) in
+    ((ci 4 * at (v "me"))
+     + at (v "me" - ci 1) + at (v "me" + ci 1)
+     + at (v "me" - ci side) + at (v "me" + ci side)
+     + idx (v "power") (v "me") + ci 4)
+    / ci 8
+  in
+  let body =
+    [
+      decle "me" Ty.int (cast Ty.int tid_linear);
+      for_up "it" ~from:0 ~below:iterations
+        [
+          if_else (v "it" % ci 2 == ci 0)
+            [ assign (idx (v "tempB") (v "me")) (stencil "tempA") ]
+            [ assign (idx (v "tempA") (v "me")) (stencil "tempB") ];
+          barrier_g;
+        ];
+    ]
+  in
+  {
+    Ast.aggregates = [];
+    constant_arrays = [];
+    funcs = [];
+    kernel =
+      func "hotspot" Ty.Void
+        [
+          ("tempA", Ty.Ptr (Ty.Global, Ty.int));
+          ("tempB", Ty.Ptr (Ty.Global, Ty.int));
+          ("power", Ty.Ptr (Ty.Global, Ty.int));
+        ]
+        body;
+    dead_size = 0;
+  }
+
+let testcase () =
+  Build.testcase
+    ~gsize:(side * side, 1, 1) ~lsize:(side * side, 1, 1)
+    ~buffers:
+      [
+        ("tempA", Ast.Buf_data temp0);
+        ("tempB", Ast.Buf_zero (side * side));
+        ("power", Ast.Buf_data power);
+      ]
+    ~observe:[ "tempA" ] program

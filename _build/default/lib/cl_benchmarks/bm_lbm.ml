@@ -1,0 +1,49 @@
+(* Parboil lbm: lattice-based fluid dynamics.
+
+   A relaxation step of a 2-D lattice (torus): each thread reads its four
+   neighbours from the source lattice and writes a weighted average into the
+   destination lattice. Double-buffered, hence race-free. *)
+
+
+let side = 8
+
+let initial =
+  Array.init (side * side) (fun i -> Int64.of_int (((i * 37) mod 19) + 1))
+
+let program =
+  let open Build in
+  let src i = idx (v "src") i in
+  let wrapi e = (e + ci Stdlib.(side * side)) % ci Stdlib.(side * side) in
+  let body =
+    [
+      decle "me" Ty.int (cast Ty.int tid_linear);
+      decle "left" Ty.int (src (wrapi (v "me" - ci 1)));
+      decle "right" Ty.int (src (wrapi (v "me" + ci 1)));
+      decle "up" Ty.int (src (wrapi (v "me" - ci side)));
+      decle "down" Ty.int (src (wrapi (v "me" + ci side)));
+      assign
+        (idx (v "dst") (v "me"))
+        (((ci 2 * src (v "me")) + v "left" + v "right" + v "up" + v "down")
+        / ci 6);
+    ]
+  in
+  {
+    Ast.aggregates = [];
+    constant_arrays = [];
+    funcs = [];
+    kernel =
+      func "lbm" Ty.Void
+        [
+          ("dst", Ty.Ptr (Ty.Global, Ty.int));
+          ("src", Ty.Ptr (Ty.Global, Ty.int));
+        ]
+        body;
+    dead_size = 0;
+  }
+
+let testcase () =
+  Build.testcase
+    ~gsize:(side * side, 1, 1) ~lsize:(side, 1, 1)
+    ~buffers:
+      [ ("dst", Ast.Buf_zero (side * side)); ("src", Ast.Buf_data initial) ]
+    ~observe:[ "dst" ] program

@@ -1,0 +1,53 @@
+(* Rodinia myocyte: cardiac myocyte ODE simulation (fixed-point Euler
+   steps). The port deliberately reproduces the data race the paper found
+   in the real Rodinia myocyte: threads stage intermediate rates in a
+   shared scratch buffer indexed modulo a small width, with no barrier
+   between the conflicting writes and the reads (section 2.4; confirmed by
+   the Rodinia developers). *)
+
+
+let cells = 16
+let scratch_width = 4
+let steps = 3
+
+let state0 = Array.init cells (fun i -> Int64.of_int (100 + (i * 7 mod 23)))
+
+let program =
+  let open Build in
+  let body =
+    [
+      decle "me" Ty.int (cast Ty.int tid_linear);
+      for_up "s" ~from:0 ~below:steps
+        [
+          (* racy staging: several threads share scratch[me mod width] *)
+          assign
+            (idx (v "scratch") (v "me" % ci scratch_width))
+            (idx (v "state") (v "me") * ci 3 / ci 2);
+          assign
+            (idx (v "state") (v "me"))
+            (idx (v "state") (v "me")
+            + ((idx (v "scratch") (v "me" % ci scratch_width)
+               - idx (v "state") (v "me"))
+              / ci 4));
+        ];
+    ]
+  in
+  {
+    Ast.aggregates = [];
+    constant_arrays = [];
+    funcs = [];
+    kernel =
+      func "myocyte" Ty.Void
+        [
+          ("state", Ty.Ptr (Ty.Global, Ty.int));
+          ("scratch", Ty.Ptr (Ty.Global, Ty.int));
+        ]
+        body;
+    dead_size = 0;
+  }
+
+let testcase () =
+  Build.testcase ~gsize:(cells, 1, 1) ~lsize:(cells, 1, 1)
+    ~buffers:
+      [ ("state", Ast.Buf_data state0); ("scratch", Ast.Buf_zero scratch_width) ]
+    ~observe:[ "state" ] program

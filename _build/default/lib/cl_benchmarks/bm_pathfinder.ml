@@ -1,0 +1,58 @@
+(* Rodinia pathfinder: dynamic programming over a grid — each thread owns a
+   column, the running row of minimal path costs lives in local memory, and
+   every DP step is separated by barriers. The classic correct barrier
+   kernel. *)
+
+
+let cols = 16
+let rows = 8
+
+let grid =
+  Array.init (rows * cols) (fun i -> Int64.of_int ((i * 31 mod 17) + 1))
+
+let program =
+  let open Build in
+  let cur i = idx (v "cur") i in
+  let clamp e = Ast.Builtin (Op.Min, [ Ast.Builtin (Op.Max, [ e; ci 0 ]); ci Stdlib.(cols - 1) ]) in
+  let body =
+    [
+      decle "me" Ty.int (cast Ty.int lid_linear);
+      decl ~space:Ty.Local "cur" (Ty.Arr (Ty.int, cols));
+      assign (cur (v "me")) (idx (v "data") (v "me"));
+      barrier;
+      for_up "r" ~from:1 ~below:rows
+        [
+          decle "best" Ty.int
+            (Ast.Builtin
+               ( Op.Min,
+                 [
+                   Ast.Builtin (Op.Min, [ cur (clamp (v "me" - ci 1)); cur (v "me") ]);
+                   cur (clamp (v "me" + ci 1));
+                 ] ));
+          decle "next" Ty.int
+            (v "best" + idx (v "data") ((v "r" * ci cols) + v "me"));
+          barrier;
+          assign (cur (v "me")) (v "next");
+          barrier;
+        ];
+      assign (idx (v "result") (v "me")) (cur (v "me"));
+    ]
+  in
+  {
+    Ast.aggregates = [];
+    constant_arrays = [];
+    funcs = [];
+    kernel =
+      func "pathfinder" Ty.Void
+        [
+          ("result", Ty.Ptr (Ty.Global, Ty.int));
+          ("data", Ty.Ptr (Ty.Global, Ty.int));
+        ]
+        body;
+    dead_size = 0;
+  }
+
+let testcase () =
+  Build.testcase ~gsize:(cols, 1, 1) ~lsize:(cols, 1, 1)
+    ~buffers:[ ("result", Ast.Buf_zero cols); ("data", Ast.Buf_data grid) ]
+    ~observe:[ "result" ] program

@@ -1,0 +1,61 @@
+(* Parboil sad: sum-of-absolute-differences block matching from video
+   encoding. Each thread owns one 4x4 macroblock of the current frame and
+   computes its SAD against a reference block. *)
+
+
+let frame_side = 16
+let block = 4
+let blocks_per_side = frame_side / block
+
+let frame =
+  Array.init (frame_side * frame_side) (fun i -> Int64.of_int ((i * 13 mod 251) mod 64))
+
+let reference = Array.init (block * block) (fun i -> Int64.of_int ((i * 7) mod 64))
+
+let program =
+  let open Build in
+  let body =
+    [
+      decle "me" Ty.int (cast Ty.int tid_linear);
+      decle "bx" Ty.int (v "me" % ci blocks_per_side * ci block);
+      decle "by" Ty.int (v "me" / ci blocks_per_side * ci block);
+      decle "acc" Ty.int (ci 0);
+      for_up "r" ~from:0 ~below:block
+        [
+          for_up "c" ~from:0 ~below:block
+            [
+              decle "d" Ty.int
+                (idx (v "frame")
+                   (((v "by" + v "r") * ci frame_side) + v "bx" + v "c")
+                - idx (v "refblk") ((v "r" * ci block) + v "c"));
+              assign_op Op.Add (v "acc") (cond (v "d" < ci 0) (neg (v "d")) (v "d"));
+            ];
+        ];
+      assign (idx (v "sad") (v "me")) (v "acc");
+    ]
+  in
+  {
+    Ast.aggregates = [];
+    constant_arrays = [];
+    funcs = [];
+    kernel =
+      func "sad" Ty.Void
+        [
+          ("sad", Ty.Ptr (Ty.Global, Ty.int));
+          ("frame", Ty.Ptr (Ty.Global, Ty.int));
+          ("refblk", Ty.Ptr (Ty.Global, Ty.int));
+        ]
+        body;
+    dead_size = 0;
+  }
+
+let testcase () =
+  let n = blocks_per_side * blocks_per_side in
+  Build.testcase ~gsize:(n, 1, 1) ~lsize:(n, 1, 1)
+    ~buffers:
+      [
+        ("sad", Ast.Buf_zero n);
+        ("frame", Ast.Buf_data frame);
+        ("refblk", Ast.Buf_data reference);
+      ]
+    ~observe:[ "sad" ] program

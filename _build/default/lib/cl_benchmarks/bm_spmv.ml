@@ -1,0 +1,63 @@
+(* Parboil spmv: sparse matrix-vector product in coordinate format.
+
+   One thread per non-zero performs y[row[i]] += val[i] * x[col[i]] with a
+   plain, non-atomic read-modify-write — several non-zeros share a row, so
+   this kernel contains exactly the kind of data race the paper discovered
+   in the real Parboil spmv ("result differences were arising due to
+   previously unidentified data races", section 2.4; the bug was reported
+   to and confirmed by the Parboil developers). The race detector flags it;
+   differential results across schedules may legitimately differ. *)
+
+
+let rows = 8
+let nnz = 24
+
+(* entries (row, col, val): rows deliberately repeated *)
+let entry i = (i * 5 mod rows, i * 7 mod rows, (i mod 9) - 4)
+
+let row_data = Array.init nnz (fun i -> let r, _, _ = entry i in Int64.of_int r)
+let col_data = Array.init nnz (fun i -> let _, c, _ = entry i in Int64.of_int c)
+let val_data = Array.init nnz (fun i -> let _, _, x = entry i in Int64.of_int x)
+let x_data = Array.init rows (fun i -> Int64.of_int (i + 1))
+
+let program =
+  let open Build in
+  let body =
+    [
+      decle "me" Ty.int (cast Ty.int tid_linear);
+      decle "r" Ty.int (idx (v "rowidx") (v "me"));
+      (* racy read-modify-write on the shared output vector *)
+      assign
+        (idx (v "y") (v "r"))
+        (idx (v "y") (v "r")
+        + (idx (v "vals") (v "me") * idx (v "x") (idx (v "colidx") (v "me"))));
+    ]
+  in
+  {
+    Ast.aggregates = [];
+    constant_arrays = [];
+    funcs = [];
+    kernel =
+      func "spmv" Ty.Void
+        [
+          ("y", Ty.Ptr (Ty.Global, Ty.int));
+          ("rowidx", Ty.Ptr (Ty.Global, Ty.int));
+          ("colidx", Ty.Ptr (Ty.Global, Ty.int));
+          ("vals", Ty.Ptr (Ty.Global, Ty.int));
+          ("x", Ty.Ptr (Ty.Global, Ty.int));
+        ]
+        body;
+    dead_size = 0;
+  }
+
+let testcase () =
+  Build.testcase ~gsize:(nnz, 1, 1) ~lsize:(8, 1, 1)
+    ~buffers:
+      [
+        ("y", Ast.Buf_zero rows);
+        ("rowidx", Ast.Buf_data row_data);
+        ("colidx", Ast.Buf_data col_data);
+        ("vals", Ast.Buf_data val_data);
+        ("x", Ast.Buf_data x_data);
+      ]
+    ~observe:[ "y" ] program

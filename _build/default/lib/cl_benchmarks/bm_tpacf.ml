@@ -1,0 +1,57 @@
+(* Parboil tpacf: two-point angular correlation function.
+
+   Each thread owns one point and histograms its squared distance to every
+   later point, using atomic increments on the shared histogram — the
+   race-free way to build a histogram (contrast spmv). *)
+
+
+let points = 16
+let bins = 8
+let max_d2 = 2 * 15 * 15
+
+let px = Array.init points (fun i -> Int64.of_int (i * 11 mod 16))
+let py = Array.init points (fun i -> Int64.of_int (i * 5 mod 16))
+
+let program =
+  let open Build in
+  let body =
+    [
+      decle "me" Ty.int (cast Ty.int tid_linear);
+      for_
+        ~init:(decle "j" Ty.int (v "me" + ci 1))
+        ~cond:(v "j" < ci points)
+        ~update:(assign_op Op.Add (v "j") (ci 1))
+        [
+          decle "dx" Ty.int (idx (v "xs") (v "me") - idx (v "xs") (v "j"));
+          decle "dy" Ty.int (idx (v "ys") (v "me") - idx (v "ys") (v "j"));
+          decle "d2" Ty.int ((v "dx" * v "dx") + (v "dy" * v "dy"));
+          decle "bin" Ty.int
+            (Ast.Builtin (Op.Min, [ v "d2" * ci bins / ci Stdlib.(max_d2 + 1); ci Stdlib.(bins - 1) ]));
+      expr (Ast.Atomic (Op.A_inc, addr (idx (v "hist") (v "bin")), []));
+        ];
+    ]
+  in
+  {
+    Ast.aggregates = [];
+    constant_arrays = [];
+    funcs = [];
+    kernel =
+      func "tpacf" Ty.Void
+        [
+          ("hist", Ty.Ptr (Ty.Global, Ty.int));
+          ("xs", Ty.Ptr (Ty.Global, Ty.int));
+          ("ys", Ty.Ptr (Ty.Global, Ty.int));
+        ]
+        body;
+    dead_size = 0;
+  }
+
+let testcase () =
+  Build.testcase ~gsize:(points, 1, 1) ~lsize:(points, 1, 1)
+    ~buffers:
+      [
+        ("hist", Ast.Buf_zero bins);
+        ("xs", Ast.Buf_data px);
+        ("ys", Ast.Buf_data py);
+      ]
+    ~observe:[ "hist" ] program

@@ -1,0 +1,64 @@
+type origin = Parboil | Rodinia
+
+type benchmark = {
+  name : string;
+  origin : origin;
+  description : string;
+  kernels : int;
+  uses_fp : bool;
+  racy : bool;
+  testcase : unit -> Ast.testcase;
+}
+
+let all =
+  [
+    { name = "bfs"; origin = Parboil; description = "Graph breadth-first search";
+      kernels = 1; uses_fp = false; racy = false; testcase = Bm_bfs.testcase };
+    { name = "cutcp"; origin = Parboil; description = "Molecular modeling simulation";
+      kernels = 1; uses_fp = true; racy = false; testcase = Bm_cutcp.testcase };
+    { name = "lbm"; origin = Parboil; description = "Fluid dynamics simulation";
+      kernels = 1; uses_fp = true; racy = false; testcase = Bm_lbm.testcase };
+    { name = "sad"; origin = Parboil; description = "Video processing";
+      kernels = 3; uses_fp = false; racy = false; testcase = Bm_sad.testcase };
+    { name = "spmv"; origin = Parboil; description = "Linear algebra";
+      kernels = 1; uses_fp = true; racy = true; testcase = Bm_spmv.testcase };
+    { name = "tpacf"; origin = Parboil; description = "Nbody method";
+      kernels = 1; uses_fp = true; racy = false; testcase = Bm_tpacf.testcase };
+    { name = "heartwall"; origin = Rodinia; description = "Medical imaging";
+      kernels = 1; uses_fp = true; racy = false; testcase = Bm_heartwall.testcase };
+    { name = "hotspot"; origin = Rodinia; description = "Thermal physics simulation";
+      kernels = 1; uses_fp = true; racy = false; testcase = Bm_hotspot.testcase };
+    { name = "myocyte"; origin = Rodinia; description = "Medical simulation";
+      kernels = 1; uses_fp = true; racy = true; testcase = Bm_myocyte.testcase };
+    { name = "pathfinder"; origin = Rodinia; description = "Dynamic programming";
+      kernels = 1; uses_fp = false; racy = false; testcase = Bm_pathfinder.testcase };
+  ]
+
+let emi_eligible = List.filter (fun b -> not b.racy) all
+
+let find name = List.find (fun b -> String.equal b.name name) all
+
+let origin_name = function Parboil -> "Parboil" | Rodinia -> "Rodinia"
+
+let table2 () =
+  let rows =
+    List.map
+      (fun b ->
+        let tc = b.testcase () in
+        [
+          origin_name b.origin;
+          b.name;
+          b.description;
+          string_of_int b.kernels;
+          string_of_int (Pp.source_line_count tc.Ast.prog);
+          (if b.uses_fp then "yes" else "x");
+          (if b.racy then "RACY (excluded from EMI)" else "");
+        ])
+      all
+  in
+  Table_fmt.render_titled
+    ~title:"Table 2: OpenCL benchmarks studied using EMI testing"
+    ~header:
+      [ "Suite"; "Benchmark"; "Description"; "Kernels"; "LoC (port)";
+        "Orig. FP?"; "Note" ]
+    rows

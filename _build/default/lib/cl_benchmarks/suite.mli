@@ -1,0 +1,46 @@
+(** The mini Parboil/Rodinia benchmark suite (paper Table 2, section 7.2).
+
+    Integer/fixed-point MiniCL ports of the ten benchmarks the paper used
+    for EMI testing over real-world kernels. Each port keeps its original's
+    control- and data-flow character (graph traversal, stencils, cutoff
+    summation, histogramming, dynamic programming) at reduced input scale.
+    The paper deliberately preferred non-floating-point benchmarks; these
+    ports are all integer, and [uses_fp] records whether the {e original}
+    used floating point (the Table 2 column).
+
+    Two ports — Parboil [spmv] and Rodinia [myocyte] — deliberately contain
+    the data races the paper discovered in the originals ("we wasted
+    significant effort trying to reduce kernels from two standard
+    benchmarks ... until we found that result differences were arising due
+    to previously unidentified data races", section 2.4). The remaining
+    eight are race-free, as the suite's tests verify with the race
+    detector. *)
+
+type origin = Parboil | Rodinia
+
+type benchmark = {
+  name : string;
+  origin : origin;
+  description : string;
+  kernels : int;  (** kernel count of the original (Table 2) *)
+  uses_fp : bool;  (** whether the original uses floating point (Table 2) *)
+  racy : bool;  (** contains the deliberately reproduced data race *)
+  testcase : unit -> Ast.testcase;
+}
+
+val all : benchmark list
+(** In Table 2 order: bfs, cutcp, lbm, sad, spmv, tpacf, heartwall,
+    hotspot, myocyte, pathfinder. *)
+
+val emi_eligible : benchmark list
+(** The eight race-free benchmarks used for Table 3 (spmv and myocyte are
+    excluded, as in the paper). *)
+
+val find : string -> benchmark
+(** @raise Not_found for unknown names. *)
+
+val origin_name : origin -> string
+
+val table2 : unit -> string
+(** Rendered Table 2: suite, name, description, kernel count, lines of
+    kernel code (of our ports, measured), FP usage of the original. *)

@@ -1,0 +1,1 @@
+lib/clsmith/gen_config.ml: String

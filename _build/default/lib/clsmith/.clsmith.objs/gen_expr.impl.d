@@ -1,0 +1,1 @@
+lib/clsmith/gen_expr.ml: Ast Gen_config Gen_state Gen_types Int64 List Op Option Rng Ty

@@ -1,0 +1,1 @@
+lib/clsmith/gen_state.ml: Ast Gen_config Printf Rng Ty

@@ -1,0 +1,1 @@
+lib/clsmith/gen_stmt.ml: Ast Gen_config Gen_expr Gen_state Gen_types List Op Rng Ty

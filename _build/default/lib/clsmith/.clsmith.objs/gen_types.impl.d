@@ -1,0 +1,1 @@
+lib/clsmith/gen_types.ml: Ast Gen_config Gen_state Int64 List Printf Rng Scalar Ty

@@ -1,0 +1,1 @@
+lib/clsmith/generate.ml: Array Ast Fun Gen_config Gen_expr Gen_state Gen_stmt Gen_types Int64 List Op Printf Rng Ty

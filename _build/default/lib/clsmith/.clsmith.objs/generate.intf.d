@@ -1,0 +1,1 @@
+lib/clsmith/generate.mli: Ast Gen_config Ty

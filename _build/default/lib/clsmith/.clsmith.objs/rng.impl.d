@@ -1,0 +1,1 @@
+lib/clsmith/rng.ml: Array Fun Int64 List

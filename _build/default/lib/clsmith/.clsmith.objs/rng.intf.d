@@ -1,0 +1,1 @@
+lib/clsmith/rng.mli:

@@ -1,0 +1,106 @@
+type mode = Basic | Vector | Barrier | Atomic_section | Atomic_reduction | All
+
+let all_modes = [ Basic; Vector; Barrier; Atomic_section; Atomic_reduction; All ]
+
+let mode_name = function
+  | Basic -> "BASIC"
+  | Vector -> "VECTOR"
+  | Barrier -> "BARRIER"
+  | Atomic_section -> "ATOMIC SECTION"
+  | Atomic_reduction -> "ATOMIC REDUCTION"
+  | All -> "ALL"
+
+let mode_of_string s =
+  match String.uppercase_ascii s with
+  | "BASIC" -> Some Basic
+  | "VECTOR" | "VECTORS" -> Some Vector
+  | "BARRIER" -> Some Barrier
+  | "ATOMIC_SECTION" | "ATOMIC SECTION" -> Some Atomic_section
+  | "ATOMIC_REDUCTION" | "ATOMIC REDUCTION" -> Some Atomic_reduction
+  | "ALL" -> Some All
+  | _ -> None
+
+let mode_uses_vectors = function
+  | Vector | All -> true
+  | Basic | Barrier | Atomic_section | Atomic_reduction -> false
+
+let mode_uses_barriers = function
+  | Barrier | Atomic_reduction | All -> true
+  | Basic | Vector | Atomic_section -> false
+
+let mode_uses_atomic_sections = function
+  | Atomic_section | All -> true
+  | Basic | Vector | Barrier | Atomic_reduction -> false
+
+let mode_uses_reductions = function
+  | Atomic_reduction | All -> true
+  | Basic | Vector | Barrier | Atomic_section -> false
+
+type t = {
+  mode : mode;
+  min_threads : int;
+  max_threads : int;
+  max_group_linear : int;
+  max_structs : int;
+  max_fields : int;
+  union_prob : float;
+  volatile_field_prob : float;
+  max_funcs : int;
+  max_func_params : int;
+  max_block_stmts : int;
+  max_depth : int;
+  max_expr_depth : int;
+  stmt_budget : int;
+  permutation_count : int;
+  sync_point_prob : float;
+  max_atomic_counters : int;
+  atomic_section_prob : float;
+  reduction_prob : float;
+  callee_barrier_prob : float;
+  comma_prob : float;
+  emi_blocks : int * int;
+  dead_size : int;
+}
+
+let scaled mode =
+  {
+    mode;
+    min_threads = 4;
+    max_threads = 40;
+    max_group_linear = 16;
+    max_structs = 4;
+    max_fields = 5;
+    union_prob = 0.25;
+    volatile_field_prob = 0.08;
+    max_funcs = 4;
+    max_func_params = 3;
+    max_block_stmts = 5;
+    max_depth = 3;
+    max_expr_depth = 4;
+    stmt_budget = 80;
+    permutation_count = 10;
+    sync_point_prob = 0.10;
+    max_atomic_counters = 8;
+    atomic_section_prob = 0.10;
+    reduction_prob = 0.10;
+    callee_barrier_prob = 0.02;
+    comma_prob = 0.0025;
+    emi_blocks = (1, 5);
+    dead_size = 8;
+  }
+
+let paper_scale mode =
+  {
+    (scaled mode) with
+    min_threads = 100;
+    max_threads = 10_000;
+    max_group_linear = 256;
+    max_structs = 8;
+    max_fields = 8;
+    max_funcs = 10;
+    max_block_stmts = 8;
+    max_depth = 5;
+    max_expr_depth = 6;
+    stmt_budget = 400;
+    max_atomic_counters = 99;
+  }

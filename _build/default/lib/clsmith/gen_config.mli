@@ -1,0 +1,65 @@
+(** Generation modes and parameter tables.
+
+    The six modes of section 4 of the paper:
+    - [Basic]: embarrassingly parallel kernels, Csmith-style scalar/struct
+      computation, no inter-thread communication;
+    - [Vector]: adds OpenCL vector types, literals, swizzles and built-ins;
+    - [Barrier]: adds the permutation-table shared-array communication
+      pattern with barrier synchronisation;
+    - [Atomic_section]: adds atomic sections guarded by
+      [atomic_inc(c) == rnd];
+    - [Atomic_reduction]: adds commutative/associative atomic reductions;
+    - [All]: everything at once.
+
+    Numeric parameters come in two presets: {!scaled} (defaults tuned so a
+    whole campaign runs in minutes on one core — thread counts in [4, 64),
+    work-groups up to 16) and {!paper_scale} (the paper's ranges: total
+    threads in [100, 10000), work-group size up to 256; section 4.1). *)
+
+type mode = Basic | Vector | Barrier | Atomic_section | Atomic_reduction | All
+
+val all_modes : mode list
+val mode_name : mode -> string
+val mode_of_string : string -> mode option
+
+val mode_uses_vectors : mode -> bool
+val mode_uses_barriers : mode -> bool
+(** [Barrier], [Atomic_reduction] and [All] — the modes the paper notes
+    "make liberal use of barriers". *)
+
+val mode_uses_atomic_sections : mode -> bool
+val mode_uses_reductions : mode -> bool
+
+type t = {
+  mode : mode;
+  (* NDRange randomisation *)
+  min_threads : int;
+  max_threads : int;  (** exclusive; paper: 10000 *)
+  max_group_linear : int;  (** paper: 256 *)
+  (* program shape *)
+  max_structs : int;
+  max_fields : int;
+  union_prob : float;
+  volatile_field_prob : float;
+  max_funcs : int;
+  max_func_params : int;
+  max_block_stmts : int;
+  max_depth : int;  (** statement nesting *)
+  max_expr_depth : int;
+  stmt_budget : int;  (** global cap on generated statements *)
+  (* communication *)
+  permutation_count : int;  (** the paper's d = 10 *)
+  sync_point_prob : float;  (** BARRIER-mode re-permutation points *)
+  max_atomic_counters : int;  (** paper: 99 *)
+  atomic_section_prob : float;
+  reduction_prob : float;
+  callee_barrier_prob : float;
+      (** bare barriers inside helper functions (barrier modes) *)
+  comma_prob : float;  (** comma expressions (cf. the Oclgrind bug) *)
+  (* EMI *)
+  emi_blocks : int * int;  (** [lo, hi]: blocks per kernel when enabled *)
+  dead_size : int;  (** length of the dead array (paper's d) *)
+}
+
+val scaled : mode -> t
+val paper_scale : mode -> t

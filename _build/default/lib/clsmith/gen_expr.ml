@@ -1,0 +1,222 @@
+(* Type-directed random expression generation.
+
+   Scalar expressions may have any integer scalar type (C's implicit
+   conversions make them interchangeable); vector expressions are generated
+   at an exact (element, length) type because OpenCL C has no implicit
+   vector conversions (paper section 4.1: "we had to provide support for
+   type-sensitive vector expression generation"). Operations with undefined
+   behaviours are wrapped in their safe variants, mirroring CLsmith's
+   safe-math macros. *)
+
+open Gen_state
+
+let ub_binops = [ Op.Add; Op.Sub; Op.Mul; Op.Div; Op.Mod; Op.Shl; Op.Shr ]
+let pure_binops = [ Op.BitAnd; Op.BitOr; Op.BitXor ]
+let cmp_binops = [ Op.Eq; Op.Ne; Op.Lt; Op.Gt; Op.Le; Op.Ge ]
+
+let scalar_builtins =
+  [ Op.Safe_clamp; Op.Rotate; Op.Min; Op.Max; Op.Abs; Op.Add_sat; Op.Sub_sat;
+    Op.Hadd; Op.Mul_hi ]
+
+(* Readable scalar access paths from the scope. *)
+let scalar_reads st (scope : scope) : (Ast.expr * Ty.scalar) list =
+  let tyenv = tyenv st in
+  List.concat_map
+    (fun v ->
+      match v.vty with
+      | Ty.Ptr (_, (Ty.Named _ as pointee)) ->
+          (* the globals-struct pointer: field access paths are rebased on a
+             dereference of the pointer *)
+          Gen_types.scalar_paths tyenv ~depth:2 (Ast.Deref (Ast.Var v.vname))
+            pointee
+      | t -> Gen_types.scalar_paths tyenv ~depth:2 (Ast.Var v.vname) t)
+    scope
+
+let vector_reads st (scope : scope) : (Ast.expr * (Ty.scalar * Ty.vlen)) list =
+  let tyenv = tyenv st in
+  List.concat_map
+    (fun v ->
+      match v.vty with
+      | Ty.Ptr (_, (Ty.Named _ as pointee)) ->
+          Gen_types.vector_paths tyenv ~depth:2 (Ast.Deref (Ast.Var v.vname))
+            pointee
+      | t -> Gen_types.vector_paths tyenv ~depth:2 (Ast.Var v.vname) t)
+    scope
+
+let rec gen_scalar st (scope : scope) depth : Ast.expr =
+  if depth <= 0 then gen_scalar_leaf st scope
+  else
+    let choice =
+      Rng.weighted st.rng
+        ([
+           (`Leaf, 4); (`Safe, 5); (`Pure, 3); (`Cmp, 2); (`Unop, 2);
+           (`Builtin, 2); (`Cond, 1); (`Cast, 1); (`Logic, 1);
+         ]
+        @ (if st.funcs <> [] then [ (`Call, 2) ] else [])
+        @
+        if Rng.bool_p st.rng st.cfg.Gen_config.comma_prob then [ (`Comma, 100) ]
+        else [])
+    in
+    match choice with
+    | `Leaf -> gen_scalar_leaf st scope
+    | `Safe ->
+        Ast.Safe_binop
+          ( Rng.choose st.rng ub_binops,
+            gen_scalar st scope (depth - 1),
+            gen_scalar st scope (depth - 1) )
+    | `Pure ->
+        Ast.Binop
+          ( Rng.choose st.rng pure_binops,
+            gen_scalar st scope (depth - 1),
+            gen_scalar st scope (depth - 1) )
+    | `Cmp ->
+        Ast.Binop
+          ( Rng.choose st.rng cmp_binops,
+            gen_scalar st scope (depth - 1),
+            gen_scalar st scope (depth - 1) )
+    | `Logic ->
+        Ast.Binop
+          ( Rng.choose st.rng [ Op.LogAnd; Op.LogOr ],
+            gen_scalar st scope (depth - 1),
+            gen_scalar st scope (depth - 1) )
+    | `Unop -> (
+        match Rng.choose st.rng [ `Neg; `Not; `LNot ] with
+        | `Neg -> Ast.Safe_neg (gen_scalar st scope (depth - 1))
+        | `Not -> Ast.Unop (Op.BitNot, gen_scalar st scope (depth - 1))
+        | `LNot -> Ast.Unop (Op.LogNot, gen_scalar st scope (depth - 1)))
+    | `Builtin -> gen_scalar_builtin st scope depth
+    | `Cond ->
+        Ast.Cond
+          ( gen_scalar st scope (depth - 1),
+            gen_scalar st scope (depth - 1),
+            gen_scalar st scope (depth - 1) )
+    | `Cast ->
+        Ast.Cast (Gen_types.random_scalar st, gen_scalar st scope (depth - 1))
+    | `Comma ->
+        Ast.Binop
+          ( Op.Comma,
+            gen_scalar st scope (depth - 1),
+            gen_scalar st scope (depth - 1) )
+    | `Call -> gen_call st scope depth
+
+and gen_scalar_leaf st scope : Ast.expr =
+  let reads = scalar_reads st scope in
+  if reads <> [] && Rng.bool_p st.rng 0.65 then fst (Rng.choose st.rng reads)
+  else Gen_types.random_const st (Gen_types.random_scalar_ty st)
+
+and gen_scalar_builtin st scope depth : Ast.expr =
+  let b = Rng.choose st.rng scalar_builtins in
+  (* builtins require all operands at one exact type: pin with casts *)
+  let s = Gen_types.random_scalar_ty st in
+  let arg () = Ast.Cast (Ty.Scalar s, gen_scalar st scope (depth - 1)) in
+  let args = List.init (Op.builtin_arity b) (fun _ -> arg ()) in
+  Ast.Builtin (b, args)
+
+and gen_call st scope depth : Ast.expr =
+  let f = Rng.choose st.rng st.funcs in
+  let args =
+    List.map
+      (fun (pname, pty) ->
+        match pty with
+        | Ty.Ptr (_, Ty.Named "G") ->
+            (* by convention the globals pointer is in scope as gp *)
+            if List.exists (fun v -> v.vname = "gp") scope then Ast.Var "gp"
+            else Ast.Addr_of (Ast.Var "g")
+        | Ty.Scalar _ -> gen_scalar st scope (max 0 (depth - 2))
+        | _ -> failwith ("gen_call: unsupported parameter type for " ^ pname))
+      f.Ast.params
+  in
+  Ast.Call (f.Ast.fname, args)
+
+(* --- vectors --- *)
+
+let rec gen_vector st (scope : scope) depth ((elem, len) as vt) : Ast.expr =
+  let exact_reads =
+    List.filter (fun (_, t) -> t = vt) (vector_reads st scope)
+  in
+  if depth <= 0 then gen_vector_leaf st scope vt exact_reads
+  else
+    let choice =
+      Rng.weighted st.rng
+        [
+          (`Leaf, 4); (`Safe, 5); (`Cmp, 2); (`Builtin, 3); (`Convert, 2);
+          (`Mixed, 2); (`Logic, 1);
+        ]
+    in
+    match choice with
+    | `Leaf -> gen_vector_leaf st scope vt exact_reads
+    | `Safe ->
+        Ast.Safe_binop
+          ( Rng.choose st.rng ub_binops,
+            gen_vector st scope (depth - 1) vt,
+            gen_vector st scope (depth - 1) vt )
+    | `Cmp ->
+        (* vector comparisons yield the signed type of the same shape; cast
+           back to the requested element type *)
+        let cmp =
+          Ast.Binop
+            ( Rng.choose st.rng cmp_binops,
+              gen_vector st scope (depth - 1) vt,
+              gen_vector st scope (depth - 1) vt )
+        in
+        Ast.Cast (Ty.Vector (elem, len), cmp)
+    | `Logic ->
+        let e =
+          Ast.Binop
+            ( Rng.choose st.rng [ Op.LogAnd; Op.LogOr ],
+              gen_vector st scope (depth - 1) vt,
+              gen_vector st scope (depth - 1) vt )
+        in
+        Ast.Cast (Ty.Vector (elem, len), e)
+    | `Builtin ->
+        let b =
+          Rng.choose st.rng
+            [ Op.Safe_clamp; Op.Rotate; Op.Min; Op.Max; Op.Add_sat; Op.Sub_sat;
+              Op.Hadd; Op.Mul_hi ]
+        in
+        let args =
+          List.init (Op.builtin_arity b) (fun _ ->
+              gen_vector st scope (depth - 1) vt)
+        in
+        Ast.Builtin (b, args)
+    | `Convert ->
+        let other = Gen_types.random_scalar_ty st in
+        Ast.Cast (Ty.Vector (elem, len), gen_vector st scope (depth - 1) (other, len))
+    | `Mixed ->
+        (* vector op scalar: the scalar widens *)
+        Ast.Safe_binop
+          ( Rng.choose st.rng [ Op.Add; Op.Sub; Op.Mul ],
+            gen_vector st scope (depth - 1) vt,
+            Ast.Cast (Ty.Scalar elem, gen_scalar st scope (depth - 1)) )
+
+and gen_vector_leaf st scope (elem, len) exact_reads : Ast.expr =
+  let choice =
+    Rng.weighted st.rng
+      ([ (`Lit, 3); (`Splat, 2) ] @ if exact_reads <> [] then [ (`Var, 5) ] else [])
+  in
+  match choice with
+  | `Var -> fst (Rng.choose st.rng exact_reads)
+  | `Splat ->
+      Ast.Cast (Ty.Vector (elem, len), Gen_types.random_const st elem)
+  | `Lit ->
+      let n = Ty.vlen_to_int len in
+      (* sometimes build from a smaller vector plus scalars, exercising the
+         nested-literal front-end grey area of section 6 *)
+      let components =
+        if n >= 4 && Rng.bool_p st.rng 0.3 then
+          let half = Ty.vlen_of_int (n / 2) |> Option.get in
+          [ gen_vector_leaf st scope (elem, half) []; gen_vector_leaf st scope (elem, half) [] ]
+        else
+          List.init n (fun _ -> Ast.I_expr (Gen_types.random_const st elem))
+          |> List.map (function Ast.I_expr e -> e | _ -> assert false)
+      in
+      Ast.Vec_lit (elem, len, components)
+
+(* An in-bounds array index expression: (uint)(e) % n. *)
+let bounded_index st scope n : Ast.expr =
+  if Rng.bool_p st.rng 0.5 then Ast.const_of_int (Rng.int st.rng n)
+  else
+    Ast.Binop
+      ( Op.Mod,
+        Ast.Cast (Ty.uint, gen_scalar st scope 1),
+        Ast.Const { Ast.value = Int64.of_int n; cty = { Ty.width = Ty.W32; sign = Ty.Unsigned } } )

@@ -1,0 +1,52 @@
+(* Shared mutable state threaded through the generator modules.
+
+   Scopes hold only *untainted* variables (values uniform across the
+   threads of a group), so any expression built from them is safe to use in
+   a control-flow condition — this is how the generator upholds the
+   validator's uniformity discipline (paper section 4.2). Thread-dependent
+   data (A_offset, the crc accumulator, shared-read accumulators) is
+   manipulated exclusively by skeleton-emitted code in [Generate]. *)
+
+type var_info = {
+  vname : string;
+  vty : Ty.t;
+  assignable : bool; (* loop induction variables are read-only *)
+}
+
+type scope = var_info list
+
+type t = {
+  rng : Rng.t;
+  cfg : Gen_config.t;
+  mutable aggregates : Ty.aggregate list; (* in definition order *)
+  mutable funcs : Ast.func list; (* generated so far; all callable *)
+  mutable fresh : int;
+  mutable budget : int; (* remaining statement allowance *)
+  mutable loop_depth : int;
+  w_linear : int;
+  n_linear : int;
+  num_groups : int;
+}
+
+let create ~rng ~cfg ~w_linear ~n_linear ~num_groups =
+  {
+    rng;
+    cfg;
+    aggregates = [];
+    funcs = [];
+    fresh = 0;
+    budget = cfg.Gen_config.stmt_budget;
+    loop_depth = 0;
+    w_linear;
+    n_linear;
+    num_groups;
+  }
+
+let fresh_name st prefix =
+  st.fresh <- st.fresh + 1;
+  Printf.sprintf "%s_%d" prefix st.fresh
+
+let spend st = st.budget <- st.budget - 1
+let exhausted st = st.budget <= 0
+
+let tyenv st = Ty.tyenv_of_list st.aggregates

@@ -1,0 +1,196 @@
+(* Random statement generation.
+
+   All conditions are built from scope variables only (uniform across the
+   group), so generated control flow is divergence-free by construction.
+   Bare barriers may be emitted inside helper functions in barrier-using
+   modes — always under uniform control flow — which is the program shape
+   behind the Fig. 2(c)/(d) Intel bugs. *)
+
+open Gen_state
+
+type ctx = {
+  allow_barrier : bool; (* bare barrier statements allowed here *)
+}
+
+(* Assignable lvalue candidates: scalar- or vector-valued paths rooted at
+   assignable scope variables (including through the globals pointer). *)
+let lvalue_candidates st (scope : scope) =
+  let tyenv = tyenv st in
+  let scalars =
+    List.concat_map
+      (fun v ->
+        if not v.assignable then []
+        else
+          match v.vty with
+          | Ty.Ptr (_, (Ty.Named _ as pointee)) ->
+              Gen_types.scalar_paths tyenv ~depth:2
+                (Ast.Deref (Ast.Var v.vname))
+                pointee
+          | t -> Gen_types.scalar_paths tyenv ~depth:2 (Ast.Var v.vname) t)
+      scope
+  in
+  let vectors =
+    List.concat_map
+      (fun v ->
+        if not v.assignable then []
+        else
+          match v.vty with
+          | Ty.Vector (s, l) -> [ (Ast.Var v.vname, (s, l)) ]
+          | _ -> [])
+      scope
+  in
+  (scalars, vectors)
+
+let rec gen_block st ctx (scope : scope) ~depth : Ast.block =
+  let n = Rng.int_range st.rng 1 (st.cfg.Gen_config.max_block_stmts + 1) in
+  let rec go scope k acc =
+    if k = 0 || exhausted st then List.rev acc
+    else
+      let s, scope' = gen_stmt st ctx scope ~depth in
+      go scope' (k - 1) (s :: acc)
+  in
+  go scope n []
+
+and gen_stmt st ctx (scope : scope) ~depth : Ast.stmt * scope =
+  spend st;
+  let vectors = Gen_config.mode_uses_vectors st.cfg.Gen_config.mode in
+  let base =
+    [ (`Decl, 3); (`Assign, 6); (`Expr_stmt, 1) ]
+    @ (if depth > 0 then [ (`If, 3); (`For, 2); (`Block, 1) ] else [])
+    @ (if st.loop_depth > 0 then [ (`Break, 1); (`Continue, 1) ] else [])
+    @
+    if ctx.allow_barrier && Rng.bool_p st.rng st.cfg.Gen_config.callee_barrier_prob
+    then [ (`Barrier, 100) ]
+    else []
+  in
+  match Rng.weighted st.rng base with
+  | `Decl -> gen_decl st scope ~vectors
+  | `Assign -> (gen_assign st scope ~vectors, scope)
+  | `Expr_stmt ->
+      let e =
+        if st.funcs <> [] && Rng.bool_p st.rng 0.6 then
+          Gen_expr.gen_call st scope st.cfg.Gen_config.max_expr_depth
+        else Gen_expr.gen_scalar st scope 2
+      in
+      (Ast.Expr e, scope)
+  | `If ->
+      let c = Gen_expr.gen_scalar st scope (st.cfg.Gen_config.max_expr_depth - 1) in
+      let b1 = gen_block st ctx scope ~depth:(depth - 1) in
+      let b2 =
+        if Rng.bool_p st.rng 0.4 then gen_block st ctx scope ~depth:(depth - 1)
+        else []
+      in
+      (Ast.If (c, b1, b2), scope)
+  | `For ->
+      let iv = fresh_name st "i" in
+      (* nested loops get small bounds to keep trip-count products bounded *)
+      let bound =
+        if st.loop_depth = 0 then Rng.int_range st.rng 1 11
+        else Rng.int_range st.rng 1 4
+      in
+      let step = Rng.choose st.rng [ 1; 1; 2 ] in
+      st.loop_depth <- st.loop_depth + 1;
+      let body =
+        gen_block st ctx
+          ({ vname = iv; vty = Ty.int; assignable = false } :: scope)
+          ~depth:(depth - 1)
+      in
+      st.loop_depth <- st.loop_depth - 1;
+      ( Ast.For
+          {
+            f_init =
+              Some
+                (Ast.Decl
+                   {
+                     Ast.dname = iv;
+                     dty = Ty.int;
+                     dspace = Ty.Private;
+                     dvolatile = false;
+                     dinit = Some (Ast.I_expr (Ast.const_of_int 0));
+                   });
+            f_cond = Some (Ast.Binop (Op.Lt, Ast.Var iv, Ast.const_of_int bound));
+            f_update =
+              Some (Ast.Assign (Ast.Var iv, Ast.A_op Op.Add, Ast.const_of_int step));
+            f_body = body;
+          },
+        scope )
+  | `Block -> (Ast.Block (gen_block st ctx scope ~depth:(depth - 1)), scope)
+  | `Break -> (Ast.Break, scope)
+  | `Continue -> (Ast.Continue, scope)
+  | `Barrier -> (Ast.Barrier Op.F_local, scope)
+
+and gen_decl st (scope : scope) ~vectors : Ast.stmt * scope =
+  let name = fresh_name st "l" in
+  let kind =
+    Rng.weighted st.rng
+      ([ (`Scalar, 6); (`Array, 2); (`Struct, 1) ]
+      @ if vectors then [ (`Vector, 3) ] else [])
+  in
+  let dty, dinit =
+    match kind with
+    | `Scalar ->
+        let s = Gen_types.random_scalar st in
+        (s, Ast.I_expr (Gen_expr.gen_scalar st scope st.cfg.Gen_config.max_expr_depth))
+    | `Vector -> (
+        match Gen_types.random_vector st with
+        | Ty.Vector (e, l) as t ->
+            ( t,
+              Ast.I_expr
+                (Gen_expr.gen_vector st scope
+                   (st.cfg.Gen_config.max_expr_depth - 1)
+                   (e, l)) )
+        | _ -> assert false)
+    | `Array ->
+        let s = Gen_types.random_scalar st in
+        let n = Rng.int_range st.rng 2 6 in
+        ( Ty.Arr (s, n),
+          Ast.I_list
+            (List.init n (fun _ ->
+                 Ast.I_expr (Gen_expr.gen_scalar st scope 1))) )
+    | `Struct -> (
+        let structs =
+          List.filter (fun (a : Ty.aggregate) -> not a.is_union) st.aggregates
+        in
+        match structs with
+        | [] ->
+            let s = Gen_types.random_scalar st in
+            (s, Ast.I_expr (Gen_expr.gen_scalar st scope 1))
+        | _ ->
+            let a = Rng.choose st.rng structs in
+            let t = Ty.Named a.aname in
+            (t, Gen_types.random_init st (tyenv st) t))
+  in
+  ( Ast.Decl { Ast.dname = name; dty; dspace = Ty.Private; dvolatile = false; dinit = Some dinit },
+    { vname = name; vty = dty; assignable = true } :: scope )
+
+and gen_assign st (scope : scope) ~vectors : Ast.stmt =
+  let scalars, vecs = lvalue_candidates st scope in
+  let use_vector = vectors && vecs <> [] && Rng.bool_p st.rng 0.3 in
+  if use_vector then
+    let lhs, vt = Rng.choose st.rng vecs in
+    if Rng.bool_p st.rng 0.2 then
+      Ast.Assign
+        ( lhs,
+          Ast.A_op (Rng.choose st.rng [ Op.BitAnd; Op.BitOr; Op.BitXor ]),
+          Gen_expr.gen_vector st scope (st.cfg.Gen_config.max_expr_depth - 1) vt )
+    else
+      Ast.Assign
+        ( lhs,
+          Ast.A_simple,
+          Gen_expr.gen_vector st scope (st.cfg.Gen_config.max_expr_depth - 1) vt )
+  else
+    match scalars with
+    | [] ->
+        Ast.Expr (Gen_expr.gen_scalar st scope 1)
+    | _ ->
+        let lhs, _ = Rng.choose st.rng scalars in
+        if Rng.bool_p st.rng 0.25 then
+          Ast.Assign
+            ( lhs,
+              Ast.A_op (Rng.choose st.rng [ Op.BitAnd; Op.BitOr; Op.BitXor ]),
+              Gen_expr.gen_scalar st scope (st.cfg.Gen_config.max_expr_depth - 1) )
+        else
+          Ast.Assign
+            ( lhs,
+              Ast.A_simple,
+              Gen_expr.gen_scalar st scope st.cfg.Gen_config.max_expr_depth )

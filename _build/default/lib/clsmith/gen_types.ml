@@ -1,0 +1,231 @@
+(* Random aggregate (struct/union) generation, random initialisers, and the
+   field-path enumeration shared by the initialiser builder and the result
+   (crc) fold of [Generate].
+
+   CLsmith's hallmark is the "globals struct": because OpenCL 1.x has no
+   program-scope variables, every would-be-global of the underlying Csmith
+   program becomes a field of one struct instance passed by reference to
+   every function (paper section 4.1) — which is why CLsmith programs are
+   "biased towards identifying struct-related miscompilations". *)
+
+open Gen_state
+
+let scalar_choices =
+  [ Ty.char; Ty.uchar; Ty.short; Ty.ushort; Ty.int; Ty.uint; Ty.long; Ty.ulong ]
+
+let random_scalar st = Rng.choose st.rng scalar_choices
+
+let random_scalar_ty st =
+  match random_scalar st with Ty.Scalar s -> s | _ -> assert false
+
+let random_vector st =
+  let elem = random_scalar_ty st in
+  let len = Rng.choose st.rng [ Ty.V2; Ty.V4; Ty.V8; Ty.V16 ] in
+  Ty.Vector (elem, len)
+
+(* Union fields must stay pointer-free (they are byte-serialised); we keep
+   them to scalars and previously generated pointer-free structs. *)
+let rec aggregate_is_pointer_free st (a : Ty.aggregate) =
+  List.for_all
+    (fun (f : Ty.field) ->
+      match f.Ty.fty with
+      | Ty.Scalar _ | Ty.Vector _ -> true
+      | Ty.Arr (Ty.Scalar _, _) -> true
+      | Ty.Named n -> (
+          match List.find_opt (fun (x : Ty.aggregate) -> x.aname = n) st.aggregates with
+          | Some inner -> aggregate_is_pointer_free st inner
+          | None -> false)
+      | Ty.Arr _ | Ty.Ptr _ | Ty.Void -> false)
+    a.fields
+
+let gen_field st ~allow_nested ~vectors i : Ty.field =
+  let fname = Printf.sprintf "f%d" i in
+  let fvolatile = Rng.bool_p st.rng st.cfg.Gen_config.volatile_field_prob in
+  let nested_candidates =
+    if allow_nested then
+      List.filter (fun (a : Ty.aggregate) -> not a.is_union) st.aggregates
+    else []
+  in
+  let fty =
+    Rng.weighted st.rng
+      ([ (`Scalar, 10); (`Array, 3) ]
+      @ (if vectors then [ (`Vector, 3) ] else [])
+      @ if nested_candidates <> [] then [ (`Nested, 2) ] else [])
+    |> function
+    | `Scalar -> random_scalar st
+    | `Array -> Ty.Arr (random_scalar st, Rng.int_range st.rng 2 6)
+    | `Vector -> random_vector st
+    | `Nested -> Ty.Named (Rng.choose st.rng nested_candidates).aname
+  in
+  { Ty.fname; fty; fvolatile }
+
+let gen_aggregate st ~vectors : Ty.aggregate =
+  let is_union =
+    Rng.bool_p st.rng st.cfg.Gen_config.union_prob
+    && st.aggregates <> [] (* unions want a struct member candidate *)
+  in
+  let aname = fresh_name st (if is_union then "U" else "S") in
+  if is_union then begin
+    (* 2-3 fields: scalars plus at most one pointer-free struct *)
+    let n = Rng.int_range st.rng 2 4 in
+    let struct_candidates =
+      List.filter
+        (fun (a : Ty.aggregate) ->
+          (not a.is_union) && aggregate_is_pointer_free st a)
+        st.aggregates
+    in
+    let fields =
+      List.init n (fun i ->
+          let fname = Printf.sprintf "f%d" i in
+          if i > 0 && struct_candidates <> [] && Rng.bool_p st.rng 0.5 then
+            {
+              Ty.fname;
+              fty = Ty.Named (Rng.choose st.rng struct_candidates).aname;
+              fvolatile = false;
+            }
+          else { Ty.fname; fty = random_scalar st; fvolatile = false })
+    in
+    { Ty.aname; fields; is_union = true }
+  end
+  else
+    let n = Rng.int_range st.rng 2 (st.cfg.Gen_config.max_fields + 1) in
+    let fields =
+      List.init n (fun i -> gen_field st ~allow_nested:(i > 0) ~vectors i)
+    in
+    { Ty.aname; fields; is_union = false }
+
+let gen_aggregates st ~vectors =
+  let n = Rng.int_range st.rng 1 (st.cfg.Gen_config.max_structs + 1) in
+  for _ = 1 to n do
+    let a = gen_aggregate st ~vectors in
+    st.aggregates <- st.aggregates @ [ a ]
+  done
+
+(* The globals struct G: scalar fields, arrays, and some of the generated
+   aggregates. *)
+let gen_globals_struct st ~vectors : Ty.aggregate =
+  let n = Rng.int_range st.rng 3 (st.cfg.Gen_config.max_fields + 3) in
+  let nested = st.aggregates in
+  let fields =
+    List.init n (fun i ->
+        let fname = Printf.sprintf "g%d" i in
+        let fvolatile = Rng.bool_p st.rng st.cfg.Gen_config.volatile_field_prob in
+        let fty =
+          Rng.weighted st.rng
+            ([ (`Scalar, 8); (`Array, 3) ]
+            @ (if vectors then [ (`Vector, 3) ] else [])
+            @ if nested <> [] then [ (`Nested, 3) ] else [])
+          |> function
+          | `Scalar -> random_scalar st
+          | `Array -> Ty.Arr (random_scalar st, Rng.int_range st.rng 2 6)
+          | `Vector -> random_vector st
+          | `Nested -> Ty.Named (Rng.choose st.rng nested).aname
+        in
+        { Ty.fname; fty; fvolatile })
+  in
+  let g = { Ty.aname = "G"; fields; is_union = false } in
+  st.aggregates <- st.aggregates @ [ g ];
+  g
+
+(* Random constant of a scalar type: Csmith-style bias towards boundary
+   values. *)
+let random_const st (s : Ty.scalar) : Ast.expr =
+  let v =
+    Rng.weighted st.rng
+      [
+        (`Small, 6); (`Zero, 3); (`One, 3); (`MinusOne, 2); (`Min, 1);
+        (`Max, 1); (`Random, 4);
+      ]
+    |> function
+    | `Zero -> 0L
+    | `One -> 1L
+    | `MinusOne -> if s.Ty.sign = Ty.Signed then -1L else Ty.max_value s
+    | `Min -> Ty.min_value s
+    | `Max -> Ty.max_value s
+    | `Small -> Int64.of_int (Rng.int st.rng 256)
+    | `Random -> Rng.int64 st.rng
+  in
+  Ast.Const { Ast.value = Scalar.to_int64 (Scalar.make s v); cty = s }
+
+(* Brace initialiser with random constants for any (pointer-free) type;
+   pointers initialise to null via 0 — the generator never dereferences
+   pointer fields it did not set. *)
+let rec random_init st (tyenv : Ty.tyenv) (t : Ty.t) : Ast.init =
+  match t with
+  | Ty.Scalar s -> Ast.I_expr (random_const st s)
+  | Ty.Vector (s, l) ->
+      Ast.I_list
+        (List.init (Ty.vlen_to_int l) (fun _ -> Ast.I_expr (random_const st s)))
+  | Ty.Arr (e, n) -> Ast.I_list (List.init n (fun _ -> random_init st tyenv e))
+  | Ty.Named nm ->
+      let agg = Ty.find_aggregate tyenv nm in
+      if agg.is_union then
+        Ast.I_list [ random_init st tyenv (List.hd agg.fields).Ty.fty ]
+      else
+        Ast.I_list
+          (List.map (fun (f : Ty.field) -> random_init st tyenv f.fty) agg.fields)
+  | Ty.Ptr _ | Ty.Void -> Ast.I_expr (Ast.const_of_int 0)
+
+(* All scalar-valued access paths rooted at expression [base] of type [t],
+   to a bounded depth. Used for read candidates and for the crc fold. *)
+let rec scalar_paths tyenv ~depth (base : Ast.expr) (t : Ty.t) :
+    (Ast.expr * Ty.scalar) list =
+  if depth < 0 then []
+  else
+    match t with
+    | Ty.Scalar s -> [ (base, s) ]
+    | Ty.Vector (s, l) ->
+        List.init (Ty.vlen_to_int l) (fun i -> (Ast.Swizzle (base, [ i ]), s))
+    | Ty.Arr (e, n) ->
+        List.concat
+          (List.init (min n 3) (fun i ->
+               scalar_paths tyenv ~depth:(depth - 1)
+                 (Ast.Index (base, Ast.const_of_int i))
+                 e))
+    | Ty.Named nm -> (
+        match Ty.find_aggregate_opt tyenv nm with
+        | None -> []
+        | Some agg ->
+            if agg.is_union then
+              (* read through each scalar member (type punning is fine) *)
+              List.concat_map
+                (fun (f : Ty.field) ->
+                  match f.fty with
+                  | Ty.Scalar s -> [ (Ast.Field (base, f.fname), s) ]
+                  | _ -> [])
+                agg.fields
+            else
+              List.concat_map
+                (fun (f : Ty.field) ->
+                  scalar_paths tyenv ~depth:(depth - 1)
+                    (Ast.Field (base, f.fname))
+                    f.fty)
+                agg.fields)
+    | Ty.Ptr _ | Ty.Void -> []
+
+(* Vector-valued access paths (for VECTOR mode read candidates). *)
+let rec vector_paths tyenv ~depth (base : Ast.expr) (t : Ty.t) :
+    (Ast.expr * (Ty.scalar * Ty.vlen)) list =
+  if depth < 0 then []
+  else
+    match t with
+    | Ty.Vector (s, l) -> [ (base, (s, l)) ]
+    | Ty.Arr (e, n) ->
+        List.concat
+          (List.init (min n 2) (fun i ->
+               vector_paths tyenv ~depth:(depth - 1)
+                 (Ast.Index (base, Ast.const_of_int i))
+                 e))
+    | Ty.Named nm -> (
+        match Ty.find_aggregate_opt tyenv nm with
+        | None -> []
+        | Some agg ->
+            if agg.is_union then []
+            else
+              List.concat_map
+                (fun (f : Ty.field) ->
+                  vector_paths tyenv ~depth:(depth - 1)
+                    (Ast.Field (base, f.fname))
+                    f.fty)
+                agg.fields)
+    | Ty.Scalar _ | Ty.Ptr _ | Ty.Void -> []

@@ -1,0 +1,661 @@
+open Gen_state
+
+type info = {
+  seed : int;
+  mode : Gen_config.mode;
+  counter_sharing : bool;
+  w_linear : int;
+  n_linear : int;
+  emi_block_ids : int list;
+}
+
+(* ------------------------------------------------------------------ *)
+(* NDRange randomisation (paper section 4.1)                           *)
+(* ------------------------------------------------------------------ *)
+
+let divisors n =
+  let rec go d acc =
+    if d > n then List.rev acc
+    else go (d + 1) (if n mod d = 0 then d :: acc else acc)
+  in
+  go 1 []
+
+let pick_ndrange rng (cfg : Gen_config.t) =
+  let n_linear = Rng.int_range rng cfg.min_threads cfg.max_threads in
+  let nx = Rng.choose rng (divisors n_linear) in
+  let ny = Rng.choose rng (divisors (n_linear / nx)) in
+  let nz = n_linear / nx / ny in
+  let cap = cfg.max_group_linear in
+  let wx = Rng.choose rng (List.filter (fun d -> d <= cap) (divisors nx)) in
+  let wy =
+    Rng.choose rng (List.filter (fun d -> wx * d <= cap) (divisors ny))
+  in
+  let wz =
+    Rng.choose rng (List.filter (fun d -> wx * wy * d <= cap) (divisors nz))
+  in
+  ((nx, ny, nz), (wx, wy, wz))
+
+(* ------------------------------------------------------------------ *)
+(* Checksum fold                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let crc = Ast.Var "crc"
+
+let fold_into_crc e =
+  (* crc = crc * 33 + (ulong)e — all unsigned, wrap-around is defined *)
+  Ast.Assign
+    ( crc,
+      Ast.A_simple,
+      Ast.Binop
+        ( Op.Add,
+          Ast.Binop (Op.Mul, crc, Ast.const_of_int 33),
+          Ast.Cast (Ty.ulong, e) ) )
+
+let rec fold_value st (base : Ast.expr) (t : Ty.t) : Ast.block =
+  match t with
+  | Ty.Scalar _ -> [ fold_into_crc base ]
+  | Ty.Vector (_, l) ->
+      List.init (Ty.vlen_to_int l) (fun i ->
+          fold_into_crc (Ast.Swizzle (base, [ i ])))
+  | Ty.Arr (e, n) ->
+      let iv = fresh_name st "i" in
+      [ Ast.For
+          {
+            f_init =
+              Some
+                (Ast.Decl
+                   {
+                     Ast.dname = iv;
+                     dty = Ty.int;
+                     dspace = Ty.Private;
+                     dvolatile = false;
+                     dinit = Some (Ast.I_expr (Ast.const_of_int 0));
+                   });
+            f_cond = Some (Ast.Binop (Op.Lt, Ast.Var iv, Ast.const_of_int n));
+            f_update =
+              Some (Ast.Assign (Ast.Var iv, Ast.A_op Op.Add, Ast.const_of_int 1));
+            f_body = fold_value st (Ast.Index (base, Ast.Var iv)) e;
+          } ]
+  | Ty.Named nm -> (
+      let agg = Ty.find_aggregate (tyenv st) nm in
+      if agg.is_union then
+        match
+          List.find_opt
+            (fun (f : Ty.field) ->
+              match f.Ty.fty with Ty.Scalar _ -> true | _ -> false)
+            agg.fields
+        with
+        | Some f -> [ fold_into_crc (Ast.Field (base, f.fname)) ]
+        | None -> []
+      else
+        List.concat_map
+          (fun (f : Ty.field) -> fold_value st (Ast.Field (base, f.fname)) f.fty)
+          agg.fields)
+  | Ty.Ptr _ | Ty.Void -> []
+
+(* ------------------------------------------------------------------ *)
+(* Helpers                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let lid_linear = Ast.Thread_id Op.Local_linear_id
+let grp_linear = Ast.Thread_id Op.Group_linear_id
+
+let master_guard body = Ast.If (Ast.Binop (Op.Eq, lid_linear, Ast.const_of_int 0), body, [])
+
+let counted_for st ~below body_of_var =
+  let iv = fresh_name st "i" in
+  Ast.For
+    {
+      f_init =
+        Some
+          (Ast.Decl
+             {
+               Ast.dname = iv;
+               dty = Ty.int;
+               dspace = Ty.Private;
+               dvolatile = false;
+               dinit = Some (Ast.I_expr (Ast.const_of_int 0));
+             });
+      f_cond = Some (Ast.Binop (Op.Lt, Ast.Var iv, Ast.const_of_int below));
+      f_update = Some (Ast.Assign (Ast.Var iv, Ast.A_op Op.Add, Ast.const_of_int 1));
+      f_body = body_of_var (Ast.Var iv);
+    }
+
+(* expression generation with function calls disabled (atomic sections and
+   other contexts where calls are not permitted) *)
+let gen_scalar_nocall st scope depth =
+  let saved = st.funcs in
+  st.funcs <- [];
+  let e = Gen_expr.gen_scalar st scope depth in
+  st.funcs <- saved;
+  e
+
+(* ------------------------------------------------------------------ *)
+(* Mode machinery                                                      *)
+(* ------------------------------------------------------------------ *)
+
+type comm_state = {
+  mutable counters_used : int list; (* atomic-section counter indices *)
+  mutable num_sections : int;
+  m_counters : int; (* length of the ctrs/specials arrays *)
+  a_is_global : bool;
+  mutable used_reduction : bool;
+  mutable used_sections : bool;
+  mutable used_a : bool;
+}
+
+(* the ATOMIC SECTION construct (paper section 4.2) *)
+let atomic_section st cs (scope : scope) : Ast.stmt =
+  let ci = Rng.int st.rng cs.m_counters in
+  cs.counters_used <- ci :: cs.counters_used;
+  cs.num_sections <- cs.num_sections + 1;
+  cs.used_sections <- true;
+  let rnd = Rng.int st.rng (st.w_linear + (st.w_linear / 2) + 1) in
+  let nlocals = Rng.int_range st.rng 1 4 in
+  (* section-local declarations over a call-free restricted scope *)
+  let restricted =
+    List.filter (fun v -> match v.vty with Ty.Ptr _ -> false | _ -> true) scope
+  in
+  let decls, locals =
+    List.fold_left
+      (fun (ds, ls) _ ->
+        let name = fresh_name st "sl" in
+        let init = gen_scalar_nocall st restricted 2 in
+        ( ds
+          @ [ Ast.Decl
+                {
+                  Ast.dname = name;
+                  dty = Ty.uint;
+                  dspace = Ty.Private;
+                  dvolatile = false;
+                  dinit = Some (Ast.I_expr init);
+                } ],
+          name :: ls ))
+      ([], []) (List.init nlocals Fun.id)
+  in
+  (* hash = sum of the section-local variables (paper: "summing the values
+     of all variables declared immediately inside the atomic section") *)
+  let hash =
+    match List.rev locals with
+    | [] -> Ast.const_of_int 0
+    | x :: rest ->
+        List.fold_left
+          (fun acc v -> Ast.Binop (Op.Add, acc, Ast.Cast (Ty.uint, Ast.Var v)))
+          (Ast.Cast (Ty.uint, Ast.Var x))
+          rest
+  in
+  let ctr_ptr = Ast.Addr_of (Ast.Index (Ast.Var "ctrs", Ast.const_of_int ci)) in
+  let spc_ptr =
+    Ast.Addr_of (Ast.Index (Ast.Var "specials", Ast.const_of_int ci))
+  in
+  Ast.If
+    ( Ast.Binop (Op.Eq, Ast.Atomic (Op.A_inc, ctr_ptr, []), Ast.const_of_int rnd),
+      decls @ [ Ast.Expr (Ast.Atomic (Op.A_add, spc_ptr, [ hash ])) ],
+      [] )
+
+(* the ATOMIC REDUCTION construct *)
+let atomic_reduction st cs (scope : scope) : Ast.block =
+  cs.used_reduction <- true;
+  let op = Rng.choose st.rng Op.all_reduction_atomics in
+  let e = Ast.Cast (Ty.uint, gen_scalar_nocall st scope 2) in
+  [
+    Ast.Expr (Ast.Atomic (op, Ast.Addr_of (Ast.Var "red_r"), [ e ]));
+    Ast.Barrier Op.F_local;
+    master_guard [ Ast.Assign (Ast.Var "total", Ast.A_op Op.Add, Ast.Var "red_r") ];
+    Ast.Barrier Op.F_local;
+  ]
+
+(* A[A_offset] element access for BARRIER mode *)
+let a_elem (st : t) cs =
+  if cs.a_is_global then
+    Ast.Index
+      ( Ast.Var "Abuf",
+        Ast.Binop
+          ( Op.Add,
+            Ast.Binop (Op.Mul, grp_linear, Ast.const_of_int st.w_linear),
+            Ast.Var "A_offset" ) )
+  else Ast.Index (Ast.Var "A", Ast.Var "A_offset")
+
+let barrier_fence cs = if cs.a_is_global then Op.F_global else Op.F_local
+
+(* barrier + ownership re-distribution (paper section 4.2, BARRIER mode) *)
+let sync_point st cs : Ast.block =
+  cs.used_a <- true;
+  let rnd = Rng.int st.rng st.cfg.Gen_config.permutation_count in
+  [
+    Ast.Barrier (barrier_fence cs);
+    Ast.Assign
+      ( Ast.Var "A_offset",
+        Ast.A_simple,
+        Ast.Index (Ast.Index (Ast.Var "permutations", Ast.const_of_int rnd), lid_linear)
+      );
+  ]
+
+let a_access st cs scope : Ast.stmt =
+  cs.used_a <- true;
+  if Rng.bool_p st.rng 0.5 then
+    Ast.Assign (Ast.Var "sh_acc", Ast.A_op Op.BitXor, a_elem st cs)
+  else
+    Ast.Assign
+      (a_elem st cs, Ast.A_simple, Ast.Cast (Ty.uint, gen_scalar_nocall st scope 2))
+
+(* ------------------------------------------------------------------ *)
+(* Functions                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let gen_functions st =
+  let nf = Rng.int_range st.rng 1 (st.cfg.Gen_config.max_funcs + 1) in
+  let allow_barrier = Gen_config.mode_uses_barriers st.cfg.Gen_config.mode in
+  for _ = 1 to nf do
+    let fname = fresh_name st "func" in
+    let nparams = Rng.int st.rng (st.cfg.Gen_config.max_func_params + 1) in
+    let params =
+      ("gp", Ty.Ptr (Ty.Private, Ty.Named "G"))
+      :: List.init nparams (fun i ->
+             (Printf.sprintf "p_%s_%d" fname i, Gen_types.random_scalar st))
+    in
+    let scope =
+      List.map (fun (n, t) -> { vname = n; vty = t; assignable = true }) params
+    in
+    let ctx = { Gen_stmt.allow_barrier } in
+    let body =
+      Gen_stmt.gen_block st ctx scope ~depth:st.cfg.Gen_config.max_depth
+    in
+    let ret = Gen_types.random_scalar st in
+    let body = body @ [ Ast.Return (Some (Gen_expr.gen_scalar st scope 2)) ] in
+    st.funcs <-
+      st.funcs @ [ { Ast.fname; ret; params; body } ]
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Kernel generation                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let generate ?(emi = false) ~(cfg : Gen_config.t) ~seed () :
+    Ast.testcase * info =
+  let rng = Rng.make seed in
+  let (nx, ny, nz), (wx, wy, wz) = pick_ndrange rng cfg in
+  let n_linear = nx * ny * nz and w_linear = wx * wy * wz in
+  let num_groups = n_linear / w_linear in
+  let st = create ~rng ~cfg ~w_linear ~n_linear ~num_groups in
+  let mode = cfg.Gen_config.mode in
+  let vectors = Gen_config.mode_uses_vectors mode in
+  Gen_types.gen_aggregates st ~vectors;
+  let g_agg = Gen_types.gen_globals_struct st ~vectors in
+  gen_functions st;
+  let use_barrier_a = Gen_config.mode_uses_barriers mode && mode <> Gen_config.Atomic_reduction in
+  let use_sections = Gen_config.mode_uses_atomic_sections mode in
+  let use_reductions = Gen_config.mode_uses_reductions mode in
+  let cs =
+    {
+      counters_used = [];
+      num_sections = 0;
+      m_counters = Rng.int_range st.rng 1 (cfg.Gen_config.max_atomic_counters + 1);
+      a_is_global = use_barrier_a && Rng.bool_p st.rng 0.5;
+      used_reduction = false;
+      used_sections = false;
+      used_a = false;
+    }
+  in
+  (* --- prologue: globals struct --- *)
+  let g_init = Gen_types.random_init st (tyenv st) (Ty.Named "G") in
+  let prologue =
+    [
+      Ast.Decl
+        {
+          Ast.dname = "g";
+          dty = Ty.Named "G";
+          dspace = Ty.Private;
+          dvolatile = false;
+          dinit = Some g_init;
+        };
+      Ast.Decl
+        {
+          Ast.dname = "gp";
+          dty = Ty.Ptr (Ty.Private, Ty.Named "G");
+          dspace = Ty.Private;
+          dvolatile = false;
+          dinit = Some (Ast.I_expr (Ast.Addr_of (Ast.Var "g")));
+        };
+    ]
+  in
+  (* --- shared-state declarations and master initialisation --- *)
+  let shared_decls = ref [] in
+  let master_init = ref [] in
+  if use_barrier_a then begin
+    if not cs.a_is_global then
+      shared_decls :=
+        !shared_decls
+        @ [ Ast.Decl
+              {
+                Ast.dname = "A";
+                dty = Ty.Arr (Ty.uint, w_linear);
+                dspace = Ty.Local;
+                dvolatile = false;
+                dinit = None;
+              } ];
+    (* A is initialised with the uniform value 1 (paper section 4.2) *)
+    let a_slot i =
+      if cs.a_is_global then
+        Ast.Index
+          ( Ast.Var "Abuf",
+            Ast.Binop
+              (Op.Add, Ast.Binop (Op.Mul, grp_linear, Ast.const_of_int w_linear), i)
+          )
+      else Ast.Index (Ast.Var "A", i)
+    in
+    master_init :=
+      !master_init
+      @ [ counted_for st ~below:w_linear (fun iv ->
+              [ Ast.Assign (a_slot iv, Ast.A_simple, Ast.const_of_int 1) ]) ];
+    shared_decls :=
+      !shared_decls
+      @ [ Ast.Decl
+            {
+              Ast.dname = "A_offset";
+              dty = Ty.uint;
+              dspace = Ty.Private;
+              dvolatile = false;
+              dinit =
+                Some
+                  (Ast.I_expr
+                     (Ast.Index
+                        ( Ast.Index
+                            ( Ast.Var "permutations",
+                              Ast.const_of_int
+                                (Rng.int st.rng cfg.Gen_config.permutation_count) ),
+                          lid_linear )));
+            };
+          Ast.Decl
+            {
+              Ast.dname = "sh_acc";
+              dty = Ty.uint;
+              dspace = Ty.Private;
+              dvolatile = false;
+              dinit = Some (Ast.I_expr (Ast.const_of_int 0));
+            } ]
+  end;
+  if use_sections then begin
+    shared_decls :=
+      !shared_decls
+      @ [ Ast.Decl
+            {
+              Ast.dname = "ctrs";
+              dty = Ty.Arr (Ty.uint, cs.m_counters);
+              dspace = Ty.Local;
+              dvolatile = true;
+              dinit = None;
+            };
+          Ast.Decl
+            {
+              Ast.dname = "specials";
+              dty = Ty.Arr (Ty.uint, cs.m_counters);
+              dspace = Ty.Local;
+              dvolatile = true;
+              dinit = None;
+            } ];
+    master_init :=
+      !master_init
+      @ [ counted_for st ~below:cs.m_counters (fun iv ->
+              [ Ast.Assign (Ast.Index (Ast.Var "ctrs", iv), Ast.A_simple, Ast.const_of_int 0);
+                Ast.Assign (Ast.Index (Ast.Var "specials", iv), Ast.A_simple, Ast.const_of_int 0);
+              ]) ]
+  end;
+  if use_reductions then begin
+    shared_decls :=
+      !shared_decls
+      @ [ Ast.Decl
+            {
+              Ast.dname = "red_r";
+              dty = Ty.uint;
+              dspace = Ty.Local;
+              dvolatile = true;
+              dinit = None;
+            };
+          Ast.Decl
+            {
+              Ast.dname = "total";
+              dty = Ty.uint;
+              dspace = Ty.Private;
+              dvolatile = false;
+              dinit = Some (Ast.I_expr (Ast.const_of_int 0));
+            } ];
+    master_init :=
+      !master_init
+      @ [ Ast.Assign (Ast.Var "red_r", Ast.A_simple, Ast.const_of_int 0) ]
+  end;
+  let has_shared = use_barrier_a || use_sections || use_reductions in
+  let setup =
+    !shared_decls
+    @
+    if has_shared then
+      [ master_guard !master_init;
+        Ast.Barrier (if cs.a_is_global then Op.F_both else Op.F_local) ]
+    else []
+  in
+  (* --- main body: generated statements interleaved with communication --- *)
+  let kernel_scope =
+    [
+      { vname = "g"; vty = Ty.Named "G"; assignable = true };
+      { vname = "gp"; vty = Ty.Ptr (Ty.Private, Ty.Named "G"); assignable = true };
+    ]
+  in
+  let ctx = { Gen_stmt.allow_barrier = false } in
+  (* helper-function generation shares the statement budget; the kernel
+     body always gets a minimum allowance of its own *)
+  st.budget <- max st.budget 35;
+  let top_target = Rng.int_range st.rng 6 16 in
+  let rec build k scope acc snapshots =
+    if k = 0 || exhausted st then (List.rev acc, List.rev snapshots)
+    else begin
+      let snapshots = (List.length acc, scope) :: snapshots in
+      let choice =
+        Rng.weighted st.rng
+          ([ (`Plain, 60) ]
+          @ (if use_barrier_a then
+               [ (`Sync, int_of_float (cfg.Gen_config.sync_point_prob *. 60.)) ]
+             else [])
+          @ (if use_barrier_a then [ (`A_access, 8) ] else [])
+          @ (if use_sections then
+               [ (`Section, int_of_float (cfg.Gen_config.atomic_section_prob *. 60.)) ]
+             else [])
+          @
+          if use_reductions then
+            [ (`Reduction, int_of_float (cfg.Gen_config.reduction_prob *. 60.)) ]
+          else [])
+      in
+      match choice with
+      | `Plain ->
+          let s, scope' = Gen_stmt.gen_stmt st ctx scope ~depth:cfg.Gen_config.max_depth in
+          build (k - 1) scope' (s :: acc) snapshots
+      | `Sync -> build (k - 1) scope (List.rev (sync_point st cs) @ acc) snapshots
+      | `A_access -> build (k - 1) scope (a_access st cs scope :: acc) snapshots
+      | `Section -> build (k - 1) scope (atomic_section st cs scope :: acc) snapshots
+      | `Reduction ->
+          build (k - 1) scope (List.rev (atomic_reduction st cs scope) @ acc) snapshots
+    end
+  in
+  let main_body, snapshots = build top_target kernel_scope [] [] in
+  (* --- EMI blocks --- *)
+  let dead_size = if emi then cfg.Gen_config.dead_size else 0 in
+  let emi_ids = ref [] in
+  let main_body =
+    if not emi then main_body
+    else begin
+      let lo_n, hi_n = cfg.Gen_config.emi_blocks in
+      let count = Rng.int_range st.rng lo_n (hi_n + 1) in
+      let points = Rng.sample st.rng snapshots count in
+      let with_idx = List.mapi (fun i (pos, scope) -> (i, pos, scope)) points in
+      (* splice from the highest position down so indices stay valid *)
+      let sorted =
+        List.sort (fun (_, p1, _) (_, p2, _) -> compare p2 p1) with_idx
+      in
+      List.fold_left
+        (fun body (id, pos, scope) ->
+          emi_ids := id :: !emi_ids;
+          let lo = Rng.int st.rng (dead_size - 1) in
+          let hi = Rng.int_range st.rng (lo + 1) dead_size in
+          let ectx = { Gen_stmt.allow_barrier = Gen_config.mode_uses_barriers mode } in
+          st.budget <- st.budget + 12; (* EMI bodies get their own allowance *)
+          let ebody = Gen_stmt.gen_block st ectx scope ~depth:2 in
+          let block = Ast.Emi { Ast.emi_id = id; emi_lo = lo; emi_hi = hi; emi_body = ebody } in
+          let rec insert i = function
+            | rest when i = 0 -> block :: rest
+            | [] -> [ block ]
+            | s :: rest -> s :: insert (i - 1) rest
+          in
+          insert pos body)
+        main_body sorted
+    end
+  in
+  (* --- epilogue: checksum --- *)
+  let epilogue =
+    (if has_shared then
+       [ Ast.Barrier (if cs.a_is_global then Op.F_both else Op.F_local) ]
+     else [])
+    @ [ Ast.Decl
+          {
+            Ast.dname = "crc";
+            dty = Ty.ulong;
+            dspace = Ty.Private;
+            dvolatile = false;
+            dinit =
+              Some
+                (Ast.I_expr
+                   (Ast.Const
+                      { Ast.value = 0xcbf29ce484222325L;
+                        cty = { Ty.width = Ty.W64; sign = Ty.Unsigned } }));
+          } ]
+    @ List.concat_map
+        (fun (f : Ty.field) -> fold_value st (Ast.Field (Ast.Var "g", f.fname)) f.fty)
+        g_agg.Ty.fields
+    @ (if use_barrier_a then [ fold_into_crc (Ast.Var "sh_acc") ] else [])
+    @ (if use_reductions then [ fold_into_crc (Ast.Var "total") ] else [])
+    @ (let master_folds =
+         (if use_sections then
+            [ counted_for st ~below:cs.m_counters (fun iv ->
+                  [ fold_into_crc (Ast.Index (Ast.Var "specials", iv)) ]) ]
+          else [])
+         @
+         if use_barrier_a then
+           [ counted_for st ~below:w_linear (fun iv ->
+                 [ fold_into_crc
+                     (if cs.a_is_global then
+                        Ast.Index
+                          ( Ast.Var "Abuf",
+                            Ast.Binop
+                              ( Op.Add,
+                                Ast.Binop (Op.Mul, grp_linear, Ast.const_of_int w_linear),
+                                iv ) )
+                      else Ast.Index (Ast.Var "A", iv)) ]) ]
+         else []
+       in
+       if master_folds = [] then [] else [ master_guard master_folds ])
+    @
+    (* result store: two forms; the second mixes size_t thread ids into an
+       integer via a compound bitwise assignment — legal OpenCL C that the
+       Intel Xeon configuration's front end rejects (paper section 6) *)
+    if Rng.bool_p st.rng 0.15 then
+      [ Ast.Decl
+          {
+            Ast.dname = "tid";
+            dty = Ty.uint;
+            dspace = Ty.Private;
+            dvolatile = false;
+            dinit = Some (Ast.I_expr (Ast.const_of_int 0));
+          };
+        Ast.Assign
+          ( Ast.Var "tid",
+            Ast.A_op Op.BitOr,
+            Ast.Binop
+              ( Op.Add,
+                Ast.Binop
+                  ( Op.Mul,
+                    Ast.Binop
+                      ( Op.Add,
+                        Ast.Binop
+                          ( Op.Mul,
+                            Ast.Thread_id (Op.Global_id Op.Z),
+                            Ast.const_of_int ny ),
+                        Ast.Thread_id (Op.Global_id Op.Y) ),
+                    Ast.const_of_int nx ),
+                Ast.Thread_id (Op.Global_id Op.X) ) );
+        Ast.Assign
+          (Ast.Index (Ast.Var "out", Ast.Var "tid"), Ast.A_simple, crc);
+      ]
+    else
+      [ Ast.Assign
+          ( Ast.Index (Ast.Var "out", Ast.Thread_id Op.Global_linear_id),
+            Ast.A_simple,
+            crc ) ]
+  in
+  let kernel_body = prologue @ setup @ main_body @ epilogue in
+  let params =
+    [ ("out", Ty.Ptr (Ty.Global, Ty.ulong)) ]
+    @ (if cs.a_is_global then [ ("Abuf", Ty.Ptr (Ty.Global, Ty.uint)) ] else [])
+    @ if emi then [ ("dead", Ty.Ptr (Ty.Global, Ty.int)) ] else []
+  in
+  let constant_arrays =
+    if use_barrier_a then
+      [ {
+          Ast.ca_name = "permutations";
+          ca_elem = { Ty.width = Ty.W32; sign = Ty.Unsigned };
+          ca_data =
+            Array.init cfg.Gen_config.permutation_count (fun _ ->
+                Array.map Int64.of_int (Rng.permutation st.rng w_linear));
+        } ]
+    else []
+  in
+  let prog =
+    {
+      Ast.aggregates = st.aggregates;
+      constant_arrays;
+      funcs = st.funcs;
+      kernel = { Ast.fname = "entry"; ret = Ty.Void; params; body = kernel_body };
+      dead_size;
+    }
+  in
+  let buffers =
+    [ ("out", Ast.Buf_out) ]
+    @ (if cs.a_is_global then [ ("Abuf", Ast.Buf_zero (num_groups * w_linear)) ] else [])
+    @ if emi then [ ("dead", Ast.Buf_dead false) ] else []
+  in
+  let tc =
+    {
+      Ast.prog;
+      global_size = (nx, ny, nz);
+      local_size = (wx, wy, wz);
+      buffers;
+      observe = [ "out" ];
+    }
+  in
+  let counter_sharing =
+    let sorted = List.sort compare cs.counters_used in
+    let rec dup = function
+      | a :: (b :: _ as rest) -> a = b || dup rest
+      | _ -> false
+    in
+    dup sorted
+  in
+  ( tc,
+    { seed; mode; counter_sharing; w_linear; n_linear; emi_block_ids = !emi_ids } )
+
+let generate_emi_body ~(cfg : Gen_config.t) ~seed ~scope_tys : Ast.block =
+  let rng = Rng.make seed in
+  let st = create ~rng ~cfg ~w_linear:1 ~n_linear:1 ~num_groups:1 in
+  st.budget <- 20;
+  let scope =
+    List.map (fun (n, t) -> { vname = n; vty = t; assignable = true }) scope_tys
+  in
+  let body = Gen_stmt.gen_block st { Gen_stmt.allow_barrier = false } scope ~depth:2 in
+  (* dead-by-construction blocks may contain guarded infinite loops — the
+     shape behind the Intel GPU compile hang the paper had to work around
+     ("we removed while(1) loops from EMI blocks for this configuration",
+     section 7.2) *)
+  if Rng.bool_p st.rng 0.25 then
+    body
+    @ [ Ast.If
+          ( Gen_expr.gen_scalar st scope 1,
+            [ Ast.While (Ast.const_of_int 1, []) ],
+            [] ) ]
+  else body

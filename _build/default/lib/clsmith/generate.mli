@@ -1,0 +1,46 @@
+(** CLsmith: generation of random, deterministic, communicating OpenCL
+    kernels (paper section 4).
+
+    [generate ~cfg ~seed ()] deterministically produces a complete test case
+    — kernel program plus host-side launch configuration (randomised grid
+    and group dimensions, buffers) — in the mode selected by [cfg]. The
+    program:
+
+    - computes a per-thread result folded from the globals struct, the
+      communication state and the mode-specific accumulators into a
+      [crc]-style checksum written to [out[t_linear]];
+    - is well-typed ({!Typecheck.check_program}), satisfies the determinism
+      discipline ({!Validate.check}), and yields the same output under
+      every schedule policy — properties the test suite checks for a large
+      sample of seeds;
+    - when [emi] is set, additionally contains 1–5 dead-by-construction EMI
+      blocks guarded by the [dead] array (paper section 5).
+
+    {b The atomic-section counter-sharing caveat}: like the CLsmith version
+    used for the paper's evaluation, two atomic sections may randomly pick
+    the same counter with different trigger values, in which case which
+    section "wins" an increment value is schedule-dependent — this is the
+    "bug in the implementation of atomic sections" that forced the authors
+    to discard 1563 ATOMIC SECTION and 1622 ALL kernels (section 7.3). The
+    generator reports such kernels via [info.counter_sharing] and the
+    campaign driver discards them exactly as the paper did. *)
+
+type info = {
+  seed : int;
+  mode : Gen_config.mode;
+  counter_sharing : bool;
+      (** two atomic sections share a counter: output may be
+          schedule-dependent; campaigns discard these *)
+  w_linear : int;
+  n_linear : int;
+  emi_block_ids : int list;  (** ids of the injected EMI blocks *)
+}
+
+val generate :
+  ?emi:bool -> cfg:Gen_config.t -> seed:int -> unit -> Ast.testcase * info
+
+val generate_emi_body :
+  cfg:Gen_config.t -> seed:int -> scope_tys:(string * Ty.t) list -> Ast.block
+(** A standalone EMI block body referring to the given free variables —
+    used by {!Inject} to produce blocks for insertion into real-world
+    kernels (paper section 5, "Injecting into real-world kernels"). *)

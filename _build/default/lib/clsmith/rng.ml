@@ -1,0 +1,69 @@
+type t = { mutable state : int64 }
+
+let golden = 0x9E3779B97F4A7C15L
+
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let next t =
+  t.state <- Int64.add t.state golden;
+  mix t.state
+
+let make seed = { state = mix (Int64.of_int seed) }
+
+let split t = { state = mix (Int64.logxor (next t) 0x5851F42D4C957F2DL) }
+
+let int64 t = next t
+
+let int t n =
+  if n <= 0 then invalid_arg "Rng.int: bound must be positive";
+  Int64.to_int (Int64.unsigned_rem (next t) (Int64.of_int n))
+
+let int_range t lo hi =
+  if hi <= lo then invalid_arg "Rng.int_range: empty range";
+  lo + int t (hi - lo)
+
+let bool_p t p =
+  let u = Int64.to_float (Int64.shift_right_logical (next t) 11) /. 9007199254740992.0 in
+  u < p
+
+let choose t xs =
+  match xs with
+  | [] -> invalid_arg "Rng.choose: empty list"
+  | _ -> List.nth xs (int t (List.length xs))
+
+let weighted t pairs =
+  let total = List.fold_left (fun acc (_, w) -> acc + max w 0) 0 pairs in
+  if total <= 0 then invalid_arg "Rng.weighted: no positive weight";
+  let k = int t total in
+  let rec pick acc = function
+    | [] -> invalid_arg "Rng.weighted: internal"
+    | (x, w) :: rest ->
+        let acc = acc + max w 0 in
+        if k < acc then x else pick acc rest
+  in
+  pick 0 pairs
+
+let permutation t n =
+  let a = Array.init n Fun.id in
+  for i = n - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done;
+  a
+
+let sample t xs k =
+  let a = Array.of_list xs in
+  let n = Array.length a in
+  let k = min k n in
+  for i = 0 to k - 1 do
+    let j = i + int t (n - i) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done;
+  Array.to_list (Array.sub a 0 k)

@@ -1,0 +1,31 @@
+(** Deterministic, splittable pseudo-random source for program generation.
+
+    A splitmix64 stream. Determinism matters: a (mode, seed) pair must
+    regenerate the identical kernel on every run, so campaign results are
+    reproducible and failing tests can be re-derived from their seed alone
+    (the paper's online material identifies tests by generator seed). *)
+
+type t
+
+val make : int -> t
+
+val split : t -> t
+(** An independent stream; advancing one does not affect the other. *)
+
+val int : t -> int -> int
+(** [int t n] is uniform in [0, n). [n] must be positive. *)
+
+val int_range : t -> int -> int -> int
+(** [int_range t lo hi] is uniform in [lo, hi). *)
+
+val int64 : t -> int64
+val bool_p : t -> float -> bool
+val choose : t -> 'a list -> 'a
+val weighted : t -> ('a * int) list -> 'a
+(** Weights are relative positive integers. *)
+
+val permutation : t -> int -> int array
+(** A uniformly random permutation of [0..n-1]. *)
+
+val sample : t -> 'a list -> int -> 'a list
+(** [sample t xs k]: [k] elements drawn without replacement. *)

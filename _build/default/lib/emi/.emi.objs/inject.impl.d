@@ -1,0 +1,1 @@
+lib/emi/inject.ml: Ast Gen_config Gen_types Generate List Printf Rng Ty

@@ -1,0 +1,1 @@
+lib/emi/inject.mli: Ast Gen_config

@@ -1,0 +1,1 @@
+lib/emi/prune.ml: Ast Ast_map List Option Rng

@@ -1,0 +1,1 @@
+lib/emi/prune.mli: Ast Rng

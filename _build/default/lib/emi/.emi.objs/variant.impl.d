@@ -1,0 +1,1 @@
+lib/emi/variant.ml: Array Ast List Prune Rng

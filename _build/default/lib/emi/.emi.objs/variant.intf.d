@@ -1,0 +1,1 @@
+lib/emi/variant.mli: Ast Prune

@@ -1,0 +1,103 @@
+type t = {
+  testcase : Ast.testcase;
+  injection_points : int;
+  substitutions : bool;
+}
+
+(* Variables usable as EMI free variables: value-typed declarations of the
+   kernel's top-level block, visible at statement index [pos]. *)
+let scope_at (body : Ast.block) pos =
+  List.filteri (fun i _ -> i < pos) body
+  |> List.filter_map (function
+       | Ast.Decl { Ast.dname; dty; _ } -> (
+           match dty with
+           | Ty.Scalar _ | Ty.Vector _ | Ty.Arr _ | Ty.Named _ ->
+               Some (dname, dty)
+           | Ty.Ptr _ | Ty.Void -> None)
+       | _ -> None)
+
+let fresh_free_vars rng cfg k =
+  ignore cfg;
+  List.init k (fun i ->
+      let name = Printf.sprintf "emi_fv_%d" i in
+      let ty = Rng.choose rng Gen_types.scalar_choices in
+      (name, ty))
+
+let inject ?points ~subst ~(cfg : Gen_config.t) ~seed (tc : Ast.testcase) : t =
+  if tc.Ast.prog.Ast.dead_size > 0 then
+    invalid_arg "Inject.inject: program already uses EMI";
+  let rng = Rng.make seed in
+  let n_points =
+    match points with Some p -> p | None -> Rng.int_range rng 1 3
+  in
+  let body = tc.Ast.prog.Ast.kernel.Ast.body in
+  let len = List.length body in
+  let positions =
+    List.sort (fun a b -> compare b a)
+      (List.init n_points (fun _ -> Rng.int rng (len + 1)))
+  in
+  let dead_size = cfg.Gen_config.dead_size in
+  let make_block id pos =
+    let lo = Rng.int rng (dead_size - 1) in
+    let hi = Rng.int_range rng (lo + 1) dead_size in
+    let seed' = seed + (id * 7919) in
+    if subst then
+      let candidates = scope_at body pos in
+      let chosen = Rng.sample rng candidates 4 in
+      let ebody =
+        Generate.generate_emi_body ~cfg ~seed:seed' ~scope_tys:chosen
+      in
+      Ast.Emi { Ast.emi_id = id; emi_lo = lo; emi_hi = hi; emi_body = ebody }
+    else
+      let fresh = fresh_free_vars rng cfg (Rng.int_range rng 1 4) in
+      let decls =
+        List.map
+          (fun (n, ty) ->
+            Ast.Decl
+              {
+                Ast.dname = n;
+                dty = ty;
+                dspace = Ty.Private;
+                dvolatile = false;
+                dinit = Some (Ast.I_expr (Ast.const_of_int (Rng.int rng 100)));
+              })
+          fresh
+      in
+      let ebody =
+        Generate.generate_emi_body ~cfg ~seed:seed' ~scope_tys:fresh
+      in
+      Ast.Emi
+        { Ast.emi_id = id; emi_lo = lo; emi_hi = hi; emi_body = decls @ ebody }
+  in
+  let body' =
+    List.fold_left
+      (fun acc (id, pos) ->
+        let blk = make_block id pos in
+        let rec insert i = function
+          | rest when i = 0 -> blk :: rest
+          | [] -> [ blk ]
+          | s :: rest -> s :: insert (i - 1) rest
+        in
+        insert pos acc)
+      body
+      (List.mapi (fun id pos -> (id, pos)) positions)
+  in
+  let prog = tc.Ast.prog in
+  let kernel =
+    {
+      prog.Ast.kernel with
+      Ast.body = body';
+      params = prog.Ast.kernel.Ast.params @ [ ("dead", Ty.Ptr (Ty.Global, Ty.int)) ];
+    }
+  in
+  let prog = { prog with Ast.kernel; dead_size } in
+  {
+    testcase =
+      {
+        tc with
+        Ast.prog;
+        buffers = tc.Ast.buffers @ [ ("dead", Ast.Buf_dead false) ];
+      };
+    injection_points = n_points;
+    substitutions = subst;
+  }

@@ -1,0 +1,33 @@
+(** Injection of dead-by-construction EMI blocks into {e existing} kernels
+    (paper section 5, "Injecting into real-world kernels").
+
+    The transformation (i) equips the kernel with the extra [global int
+    *dead] parameter, (ii) chooses one or two injection points, and
+    (iii) inserts a randomly generated EMI block at each. Free variables
+    of the block body are handled per the [substitutions] switch:
+
+    - [subst = true]: free variables are aliased to randomly chosen
+      variables of the original kernel that are in scope at the injection
+      point (the paper does this with [#define]; we substitute names
+      directly) — computations inside and outside the block then operate
+      on common data, "giving the compiler the opportunity to optimize
+      (possibly erroneously) across the block boundary";
+    - [subst = false]: fresh variables are declared at the start of the
+      block. *)
+
+type t = {
+  testcase : Ast.testcase;
+  injection_points : int;
+  substitutions : bool;
+}
+
+val inject :
+  ?points:int ->
+  subst:bool ->
+  cfg:Gen_config.t ->
+  seed:int ->
+  Ast.testcase ->
+  t
+(** [points] defaults to a random choice of 1 or 2. The input testcase must
+    not already use EMI. The result's program has [dead_size = cfg.dead_size]
+    and a [dead] buffer appended. *)

@@ -1,0 +1,84 @@
+open Ast
+
+type params = { pleaf : float; pcompound : float; plift : float }
+
+let make_params ~pleaf ~pcompound ~plift =
+  if pcompound +. plift > 1.0 +. 1e-9 then
+    invalid_arg "Prune.make_params: pcompound + plift must be <= 1";
+  { pleaf; pcompound; plift }
+
+let adjusted_lift p =
+  if p.pcompound >= 1.0 then 1.0 else p.plift /. (1.0 -. p.pcompound)
+
+(* remove break/continue statements not nested inside an inner loop *)
+let rec strip_outer_jumps (b : block) : block =
+  List.filter_map
+    (fun s ->
+      match s with
+      | Break | Continue -> None
+      | If (c, b1, b2) -> Some (If (c, strip_outer_jumps b1, strip_outer_jumps b2))
+      | Block b -> Some (Block (strip_outer_jumps b))
+      | Emi e -> Some (Emi { e with emi_body = strip_outer_jumps e.emi_body })
+      (* loops bound break/continue, so their bodies are left alone *)
+      | For _ | While _ | Decl _ | Assign _ | Expr _ | Return _ | Barrier _ ->
+          Some s)
+    b
+
+let rec prune_block rng p (b : block) : block =
+  List.concat_map
+    (fun s ->
+      match s with
+      (* declarations are load-bearing: never deleted, never lifted away *)
+      | Decl _ -> [ s ]
+      | Assign _ | Expr _ | Break | Continue | Return _ | Barrier _ ->
+          if Rng.bool_p rng p.pleaf then [] else [ s ]
+      | If (c, b1, b2) ->
+          let b1 = prune_block rng p b1 and b2 = prune_block rng p b2 in
+          if Rng.bool_p rng p.pcompound then []
+          else if Rng.bool_p rng (adjusted_lift p) then b1 @ b2
+          else [ If (c, b1, b2) ]
+      | For f ->
+          let body = prune_block rng p f.f_body in
+          if Rng.bool_p rng p.pcompound then []
+          else if Rng.bool_p rng (adjusted_lift p) then
+            Option.to_list f.f_init @ strip_outer_jumps body
+          else [ For { f with f_body = body } ]
+      | While (c, body) ->
+          let body = prune_block rng p body in
+          if Rng.bool_p rng p.pcompound then []
+          else if Rng.bool_p rng (adjusted_lift p) then strip_outer_jumps body
+          else [ While (c, body) ]
+      | Block body ->
+          let body = prune_block rng p body in
+          if Rng.bool_p rng p.pcompound then []
+          else if Rng.bool_p rng (adjusted_lift p) then body
+          else [ Block body ]
+      | Emi e -> [ Emi { e with emi_body = prune_block rng p e.emi_body } ])
+    b
+
+let prune_program rng p (prog : program) : program =
+  let mapper =
+    {
+      Ast_map.default with
+      Ast_map.map_stmt =
+        (function
+        | Emi e -> Emi { e with emi_body = prune_block rng p e.emi_body }
+        | s -> s);
+    }
+  in
+  Ast_map.program mapper prog
+
+let paper_combinations =
+  let vals = [ 0.0; 0.3; 0.6; 1.0 ] in
+  List.concat_map
+    (fun pleaf ->
+      List.concat_map
+        (fun pcompound ->
+          List.filter_map
+            (fun plift ->
+              if pcompound +. plift <= 1.0 +. 1e-9 then
+                Some { pleaf; pcompound; plift }
+              else None)
+            vals)
+        vals)
+    vals

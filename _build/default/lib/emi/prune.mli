@@ -1,0 +1,40 @@
+(** The EMI pruning strategies (paper section 5).
+
+    An EMI block's body is viewed as an AST in which non-compound
+    statements are leaves and compound statements ([if]/[for]/[while]/
+    blocks) are branch nodes. At each node:
+
+    - {b leaf} deletes a leaf with probability [pleaf];
+    - {b compound} deletes a branch node with probability [pcompound];
+    - {b lift} (this paper's novel strategy) promotes the children of a
+      branch node into its parent: a conditional with branches [S] and [T]
+      becomes the sequence [S; T], and a loop with initialiser [S] and body
+      [T] becomes [S; T'] where outermost [break]/[continue] statements
+      are removed from [T'] to keep the result syntactically valid.
+
+    Because compound and lift both consume branch nodes and compound is
+    applied first, lift is applied with the adjusted probability
+    [p'lift = plift / (1 - pcompound)], which requires
+    [pcompound + plift <= 1].
+
+    Declarations are never deleted (deleting one would leave dangling
+    references and turn semantic variants into build failures). *)
+
+type params = { pleaf : float; pcompound : float; plift : float }
+
+val make_params : pleaf:float -> pcompound:float -> plift:float -> params
+(** @raise Invalid_argument when [pcompound +. plift > 1.]. *)
+
+val adjusted_lift : params -> float
+(** [plift / (1 - pcompound)] (1.0 when [pcompound = 1]). *)
+
+val prune_block : Rng.t -> params -> Ast.block -> Ast.block
+(** Apply the three prunings to one EMI block body. *)
+
+val prune_program : Rng.t -> params -> Ast.program -> Ast.program
+(** Prune the body of every EMI block of the program; everything outside
+    EMI blocks is untouched. *)
+
+val paper_combinations : params list
+(** The 40 parameter combinations of section 7.4: [pleaf], [pcompound],
+    [plift] ranging over {0, 0.3, 0.6, 1} subject to the constraint. *)

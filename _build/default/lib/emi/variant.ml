@@ -1,0 +1,25 @@
+let derive ~(base : Ast.testcase) ~params ~seed =
+  let rng = Rng.make seed in
+  { base with Ast.prog = Prune.prune_program rng params base.Ast.prog }
+
+let paper_variants ~base =
+  List.mapi
+    (fun i params -> derive ~base ~params ~seed:(1000 + i))
+    Prune.paper_combinations
+
+let variants ~base ~count =
+  let combos = Array.of_list Prune.paper_combinations in
+  List.init count (fun i ->
+      derive ~base ~params:combos.(i mod Array.length combos) ~seed:(1000 + i))
+
+let invert_dead (tc : Ast.testcase) =
+  {
+    tc with
+    Ast.buffers =
+      List.map
+        (fun (n, spec) ->
+          match spec with
+          | Ast.Buf_dead inv -> (n, Ast.Buf_dead (not inv))
+          | _ -> (n, spec))
+        tc.Ast.buffers;
+  }

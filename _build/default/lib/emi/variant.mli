@@ -1,0 +1,24 @@
+(** Derivation of EMI variants from a base program (paper section 7.4).
+
+    Because every EMI block is dead by construction (the host initialises
+    [dead] with [dead[j] = j]), all variants of a base must produce the
+    base's output — any disagreement between two variants under one
+    compiler indicates a miscompilation. *)
+
+val derive : base:Ast.testcase -> params:Prune.params -> seed:int -> Ast.testcase
+(** Prune the base's EMI blocks with the given parameters; the [seed]
+    determines which nodes fall under the probabilistic prunings. *)
+
+val paper_variants : base:Ast.testcase -> Ast.testcase list
+(** The 40 variants of section 7.4 (one per {!Prune.paper_combinations}
+    entry). *)
+
+val variants : base:Ast.testcase -> count:int -> Ast.testcase list
+(** [count] variants cycling through the paper's parameter combinations
+    with fresh seeds — used when campaigns are scaled down. *)
+
+val invert_dead : Ast.testcase -> Ast.testcase
+(** Flip the [dead] buffer initialisation so every EMI block becomes live —
+    the liveness filter of section 7.4: a candidate base whose output is
+    unchanged by inversion has all its EMI blocks in already-dead code and
+    is discarded. *)

@@ -1,0 +1,452 @@
+type expectation =
+  | Exp_result of string
+  | Exp_build_failure
+  | Exp_crash
+  | Exp_timeout
+
+type t = {
+  label : string;
+  caption : string;
+  testcase : Ast.testcase;
+  reference_result : string;
+  shows : (int * bool) list * expectation;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Figure 1 — configurations below the reliability threshold           *)
+(* ------------------------------------------------------------------ *)
+
+let fig1a =
+  let open Build in
+  let s = struct_ "S" [ sfield "a" Ty.char; sfield "b" Ty.short ] in
+  let prog =
+    kernel1 ~aggregates:[ s ] "k"
+      [
+        decl ~init:(il [ ie (ci 1); ie (ci 1) ]) "s" (Ty.Named "S");
+        assign (idx (v "out") tid_linear)
+          (cast Ty.ulong (field (v "s") "a" + field (v "s") "b"));
+      ]
+  in
+  {
+    label = "1(a)";
+    caption = "Configs. 5+, 6+, 16+ yield result 1 (expected: 2)";
+    testcase = testcase prog;
+    reference_result = "out: 2";
+    shows = ([ (5, true); (6, true); (16, true) ], Exp_result "out: 1");
+  }
+
+let fig1b =
+  let open Build in
+  let s =
+    struct_ "S"
+      [
+        sfield "a" Ty.short; sfield "b" Ty.int; sfield ~volatile:true "c" Ty.char;
+        sfield "d" Ty.int; sfield "e" Ty.int; sfield "f" (Ty.Arr (Ty.short, 10));
+      ]
+  in
+  let zeros10 k = il (List.init 10 (fun i -> ie (ci (if i = 7 then k else 0)))) in
+  let prog =
+    kernel1 ~aggregates:[ s ] "k"
+      [
+        decl "s" (Ty.Named "S");
+        decle "p" (Ty.Ptr (Ty.Private, Ty.Named "S")) (addr (v "s"));
+        decl
+          ~init:(il [ ie (ci 0); ie (ci 0); ie (ci 0); ie (ci 0); ie (ci 0); zeros10 1 ])
+          "t" (Ty.Named "S");
+        assign (v "s") (v "t");
+        assign (idx (v "out") tid_linear) (cast Ty.ulong (idx (arrow (v "p") "f") (ci 7)));
+      ]
+  in
+  {
+    label = "1(b)";
+    caption = "Configs. 10-, 11- yield result 0 (expected: 1); only if Nx = 1";
+    testcase = testcase ~gsize:(1, 1, 1) ~lsize:(1, 1, 1) prog;
+    reference_result = "out: 1";
+    shows = ([ (10, false); (11, false) ], Exp_result "out: 0");
+  }
+
+let fig1c =
+  let open Build in
+  let s = struct_ "S" [ sfield "x" (Ty.Vector (Ty.int_scalar, Ty.V4)) ] in
+  let prog =
+    kernel1 ~aggregates:[ s ] "k"
+      [
+        decl
+          ~init:
+            (il
+               [ ie
+                   (Ast.Vec_lit
+                      ( Ty.int_scalar, Ty.V4,
+                        [ vec2 Ty.int_scalar (ci 1) (ci 1); ci 1; ci 1 ] ));
+               ])
+          "s" (Ty.Named "S");
+        assign (idx (v "out") tid_linear) (cast Ty.ulong (x_of (field (v "s") "x")));
+      ]
+  in
+  {
+    label = "1(c)";
+    caption = "Configs. 20±, 21± yield internal errors when vectors appear in structs";
+    testcase = testcase prog;
+    reference_result = "out: 1";
+    shows = ([ (20, false); (20, true); (21, false); (21, true) ], Exp_build_failure);
+  }
+
+let fig1d =
+  let open Build in
+  let s = struct_ "S" [ sfield "x" Ty.int; sfield "y" Ty.int ] in
+  let f =
+    func "f" Ty.Void
+      [ ("p", Ty.Ptr (Ty.Private, Ty.Named "S")) ]
+      [ assign (arrow (v "p") "x") (ci 2) ]
+  in
+  let prog =
+    kernel1 ~aggregates:[ s ] ~funcs:[ f ] "k"
+      [
+        decl ~init:(il [ ie (ci 1); ie (ci 1) ]) "s" (Ty.Named "S");
+        barrier;
+        expr (call "f" [ addr (v "s") ]);
+        assign (idx (v "out") tid_linear)
+          (cast Ty.ulong (field (v "s") "x" + field (v "s") "y"));
+      ]
+  in
+  {
+    label = "1(d)";
+    caption = "Configs. 17± yield result 2 (expected result: 3)";
+    testcase = testcase prog;
+    reference_result = "out: 3";
+    shows = ([ (17, false); (17, true) ], Exp_result "out: 2");
+  }
+
+let fig1e =
+  let open Build in
+  let prog =
+    {
+      Ast.aggregates = [];
+      constant_arrays = [];
+      funcs = [];
+      kernel =
+        func "k" Ty.Void
+          [ ("p", Ty.Ptr (Ty.Global, Ty.int)) ]
+          [
+            for_up "i" ~from:0 ~below:197
+              [ if_ (deref (v "p")) [ while_ (ci 1) [] ] ];
+          ];
+      dead_size = 0;
+    }
+  in
+  {
+    label = "1(e)";
+    caption = "Configs. 8±, 7± enter an infinite loop during compilation";
+    testcase = Build.testcase ~buffers:[ ("p", Ast.Buf_zero 1) ] ~observe:[ "p" ] prog;
+    reference_result = "p: 0";
+    shows = ([ (7, false); (7, true); (8, false); (8, true) ], Exp_timeout);
+  }
+
+let fig1f =
+  let open Build in
+  let s =
+    struct_ "S"
+      [
+        sfield "a" Ty.int;
+        sfield "b" (Ty.Ptr (Ty.Private, Ty.int));
+        sfield "c" (Ty.Arr (Ty.Arr (Ty.Arr (Ty.ulong, 3), 9), 9));
+      ]
+  in
+  let prog =
+    kernel1 ~aggregates:[ s ] "k"
+      [
+        decl "s" (Ty.Named "S");
+        decle "p" (Ty.Ptr (Ty.Private, Ty.Named "S")) (addr (v "s"));
+        decl
+          ~init:(il [ ie (ci 0); ie (addr (arrow (v "p") "a")); il [ il [ il [ ie (ci 0) ] ] ] ])
+          "t" (Ty.Named "S");
+        assign (v "s") (v "t");
+        barrier;
+        assign (idx (v "out") tid_linear)
+          (idx (idx (idx (arrow (v "p") "c") (ci 0)) (ci 0)) (ci 1));
+      ]
+  in
+  {
+    label = "1(f)";
+    caption = "Config. 18+ takes more than 20s to compile this kernel";
+    testcase = testcase prog;
+    reference_result = "out: 0";
+    shows = ([ (18, true) ], Exp_timeout);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Figure 2 — configurations above the reliability threshold           *)
+(* ------------------------------------------------------------------ *)
+
+let fig2a =
+  let open Build in
+  let s = struct_ "S" [ sfield "c" Ty.short; sfield "d" Ty.long ] in
+  let u = union_ "U" [ sfield "a" Ty.uint; sfield "b" (Ty.Named "S") ] in
+  let t =
+    struct_ "T"
+      [ sfield "u" (Ty.Arr (Ty.Named "U", 1)); sfield "x" Ty.ulong; sfield "y" Ty.ulong ]
+  in
+  let prog =
+    kernel1 ~aggregates:[ s; u; t ]
+      ~extra_params:[ ("in", Ty.Ptr (Ty.Global, Ty.int)) ]
+      "k"
+      [
+        decl "c" (Ty.Named "T");
+        decl
+          ~init:
+            (il
+               [
+                 il [ il [ ie (ci 1) ] ];
+                 ie (cast Ty.ulong (idx (v "in") (gid Op.X)));
+                 ie (cast Ty.ulong (idx (v "in") (gid Op.Y)));
+               ])
+          "t" (Ty.Named "T");
+        assign (v "c") (v "t");
+        decle "total" Ty.ulong (cul 0L);
+        for_up "i" ~from:0 ~below:1
+          [
+            assign_op Op.Add (v "total")
+              (cast Ty.ulong (field (idx (field (v "c") "u") (v "i")) "a"));
+          ];
+        assign (idx (v "out") tid_linear) (v "total");
+      ]
+  in
+  {
+    label = "2(a)";
+    caption =
+      "Configs. 1-, 2-, 3-, 4- yield 0xffff0001 due to incorrect union \
+       initialization (expected: 1)";
+    testcase =
+      testcase ~buffers:[ ("in", Ast.Buf_data [| 5L; 7L |]) ] prog;
+    reference_result = "out: 1";
+    shows =
+      ( [ (1, false); (2, false); (3, false); (4, false) ],
+        Exp_result "out: 4294901761" );
+  }
+
+let fig2b =
+  let open Build in
+  let u32 = { Ty.width = Ty.W32; sign = Ty.Unsigned } in
+  let prog =
+    kernel1 "k"
+      [
+        assign (idx (v "out") tid_linear)
+          (cast Ty.ulong
+             (x_of
+                (Ast.Builtin
+                   ( Op.Rotate,
+                     [ vec2 u32 (cu 1) (cu 1); vec2 u32 (cu 0) (cu 0) ] ))));
+      ]
+  in
+  {
+    label = "2(b)";
+    caption = "Config. 14± yields result 0xffffffff (expected: 1)";
+    testcase = testcase prog;
+    reference_result = "out: 1";
+    shows = ([ (14, false); (14, true) ], Exp_result "out: 4294967295");
+  }
+
+let fig2c =
+  let open Build in
+  let f = func "f" Ty.int [] [ barrier; ret (ci 1) ] in
+  let k' =
+    func "kk" Ty.Void
+      [ ("p", Ty.Ptr (Ty.Private, Ty.int)) ]
+      [ barrier; assign (deref (v "p")) (call "f" []) ]
+  in
+  let h =
+    func "h" Ty.Void
+      [ ("p", Ty.Ptr (Ty.Private, Ty.int)) ]
+      [ expr (call "kk" [ v "p" ]) ]
+  in
+  let prog =
+    kernel1 ~funcs:[ f; k'; h ] "k"
+      [
+        decle "x" Ty.int (ci 0);
+        expr (call "h" [ addr (v "x") ]);
+        assign (idx (v "out") tid_linear) (cast Ty.ulong (v "x"));
+      ]
+  in
+  {
+    label = "2(c)";
+    caption =
+      "Configs. 12-, 13- yield [1,0] for two threads in a group (expected \
+       [1,1]); configs. 14-, 15- crash with a segmentation fault";
+    testcase = testcase ~gsize:(2, 1, 1) ~lsize:(2, 1, 1) prog;
+    reference_result = "out: 1,1";
+    shows = ([ (12, false); (13, false) ], Exp_result "out: 1,0");
+  }
+
+let fig2c_crash =
+  {
+    fig2c with
+    label = "2(c')";
+    caption = "Configs. 14-, 15- crash with a segmentation fault on the 2(c) kernel";
+    shows = ([ (14, false); (15, false) ], Exp_crash);
+  }
+
+let fig2d =
+  let open Build in
+  let s =
+    struct_ "S"
+      [
+        sfield "a" Ty.int;
+        sfield ~volatile:true "b" (Ty.Ptr (Ty.Private, Ty.Ptr (Ty.Private, Ty.int)));
+        sfield "c" Ty.int;
+      ]
+  in
+  let f =
+    func "f" Ty.Void
+      [ ("s", Ty.Ptr (Ty.Private, Ty.Named "S")) ]
+      [
+        for_
+          ~init:(assign (arrow (v "s") "a") (ci 0))
+          ~cond:(arrow (v "s") "a" > ci 0)
+          ~update:(assign (arrow (v "s") "a") (ci 0))
+          [
+            decle "x" Ty.int (ci 1);
+            decle "p" (Ty.Ptr (Ty.Private, Ty.int)) (addr (arrow (v "s") "c"));
+            barrier;
+            (* complex expression over x, p and s (abridged, as in the paper) *)
+            assign (arrow (v "s") "c") (v "x" + deref (v "p"));
+          ];
+      ]
+  in
+  let prog =
+    kernel1 ~aggregates:[ s ] ~funcs:[ f ] "k"
+      [
+        decl ~init:(il [ ie (ci 1); ie (ci 0); ie (ci 0) ]) "s" (Ty.Named "S");
+        expr (call "f" [ addr (v "s") ]);
+        assign (idx (v "out") tid_linear) (cast Ty.ulong (field (v "s") "a"));
+      ]
+  in
+  {
+    label = "2(d)";
+    caption =
+      "Configs. 14-, 15- yield [0,1] for two threads in a group (expected \
+       [0,0]): the loop body is unreachable, yet the barrier matters";
+    testcase = testcase ~gsize:(2, 1, 1) ~lsize:(2, 1, 1) prog;
+    reference_result = "out: 0,0";
+    shows = ([ (14, false); (15, false) ], Exp_result "out: 0,1");
+  }
+
+let fig2e =
+  let open Build in
+  let f =
+    func "f" Ty.Void
+      [ ("p", Ty.Ptr (Ty.Private, Ty.int)) ]
+      [
+        if_
+          (Binop
+             ( Op.Ge,
+               Binop
+                 ( Op.Lt,
+                   Binop
+                     ( Op.Shr,
+                       Binop (Op.Ne, Binop (Op.Sub, deref (v "p"), cast Ty.int (grid Op.X)), ci 1),
+                       deref (v "p") ),
+                   ci 2 ),
+               deref (v "p") ))
+          [ assign (deref (v "p")) (ci 1) ];
+      ]
+  in
+  let prog =
+    kernel1 ~funcs:[ f ] "k"
+      [
+        decle "x" Ty.int (ci 0);
+        expr (call "f" [ addr (v "x") ]);
+        assign (idx (v "out") tid_linear) (cast Ty.ulong (v "x"));
+      ]
+  in
+  {
+    label = "2(e)";
+    caption = "Config. 9+ yields result 0 (expected: 1)";
+    testcase = testcase prog;
+    reference_result = "out: 1";
+    shows = ([ (9, true) ], Exp_result "out: 0");
+  }
+
+let fig2f =
+  let open Build in
+  let u32 = { Ty.width = Ty.W32; sign = Ty.Unsigned } in
+  let prog =
+    kernel1 "k"
+      [
+        decle "x" Ty.short (ci 0);
+        decl "y" Ty.uint;
+        for_
+          ~init:(assign (v "y") (cs u32 0xFFFFFFFFL))
+          ~cond:(v "y" >= cu 1)
+          ~update:(assign_op Op.Add (v "y") (cu 1))
+          [ if_ (comma (v "x") (ci 1)) [ break_ ] ];
+        assign (idx (v "out") tid_linear) (cast Ty.ulong (v "y"));
+      ]
+  in
+  {
+    label = "2(f)";
+    caption =
+      "Config. 19± yields result 0 (expected: 0xffffffff) — comma operator \
+       mishandling; the guard x,1 must break (x = 0 in our rendition so \
+       the first-operand bug is observable)";
+    testcase = testcase prog;
+    reference_result = "out: 4294967295";
+    shows = ([ (19, false); (19, true) ], Exp_result "out: 0");
+  }
+
+let figure1 = [ fig1a; fig1b; fig1c; fig1d; fig1e; fig1f ]
+let figure2 = [ fig2a; fig2b; fig2c; fig2c_crash; fig2d; fig2e; fig2f ]
+let all = figure1 @ figure2
+
+(* ------------------------------------------------------------------ *)
+
+let observed (e : t) =
+  List.map
+    (fun (id, opt) -> (id, opt, Driver.run ~noise:false (Config.find id) ~opt e.testcase))
+    (fst e.shows)
+
+let matches (exp : expectation) (o : Outcome.t) =
+  match (exp, o) with
+  | Exp_result r, Outcome.Success s -> String.equal r s
+  | Exp_build_failure, Outcome.Build_failure _ -> true
+  | Exp_crash, (Outcome.Crash _ | Outcome.Machine_crash _) -> true
+  | Exp_timeout, Outcome.Timeout -> true
+  | _ -> false
+
+let demonstrate (e : t) =
+  let buf = Buffer.create 1024 in
+  Printf.bprintf buf "Figure %s: %s\n\n%s\n" e.label e.caption
+    (Pp.program_to_string e.testcase.Ast.prog);
+  Printf.bprintf buf "reference (correct) result: %s\n" e.reference_result;
+  let _, exp = e.shows in
+  List.iter
+    (fun (id, opt, o) ->
+      Printf.bprintf buf "config %d%s: %s  [%s]\n" id
+        (if opt then "+" else "-")
+        (Outcome.to_string o)
+        (if matches exp o then "reproduces the paper" else "DID NOT REPRODUCE"))
+    (observed e);
+  Buffer.contents buf
+
+let summary_table (es : t list) =
+  let rows =
+    List.map
+      (fun e ->
+        let obs = observed e in
+        let ok = List.for_all (fun (_, _, o) -> matches (snd e.shows) o) obs in
+        [
+          e.label;
+          String.concat ","
+            (List.map
+               (fun (id, opt, _) ->
+                 Printf.sprintf "%d%s" id (if opt then "+" else "-"))
+               obs);
+          (match snd e.shows with
+          | Exp_result r -> "wrong result " ^ r
+          | Exp_build_failure -> "build failure"
+          | Exp_crash -> "crash"
+          | Exp_timeout -> "compile/run timeout");
+          (if ok then "reproduced" else "NOT reproduced");
+        ])
+      es
+  in
+  Table_fmt.render ~header:[ "Figure"; "Configs"; "Paper behaviour"; "Status" ] rows

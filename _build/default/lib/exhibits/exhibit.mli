@@ -1,0 +1,38 @@
+(** The bug-exhibit kernels of Figures 1 and 2, as runnable test cases.
+
+    Each exhibit records the kernel from the paper, the expected (reference)
+    result, and the configurations the paper reports misbehaving, with the
+    misbehaviour they showed. [demonstrate] compiles and runs the exhibit
+    on its configurations through the vendor simulation and reports
+    expected vs. observed; the test suite asserts each reproduction. *)
+
+type expectation =
+  | Exp_result of string  (** wrong value(s) printed, e.g. ["1"] *)
+  | Exp_build_failure
+  | Exp_crash
+  | Exp_timeout  (** compile hang or pathological compile time *)
+
+type t = {
+  label : string;  (** e.g. "1(a)" *)
+  caption : string;  (** the paper's caption *)
+  testcase : Ast.testcase;
+  reference_result : string;  (** expected out-buffer contents *)
+  shows : (int * bool) list * expectation;
+      (** configurations (id, optimisations on?) and what they exhibit *)
+}
+
+val figure1 : t list
+val figure2 : t list
+val all : t list
+
+val observed : t -> (int * bool * Outcome.t) list
+(** Run the exhibit on each of its configurations. *)
+
+val matches : expectation -> Outcome.t -> bool
+(** Does an observed outcome exhibit the documented misbehaviour? *)
+
+val demonstrate : t -> string
+(** Human-readable report: kernel source, expected result, and per
+    configuration the observed outcome with a reproduction verdict. *)
+
+val summary_table : t list -> string

@@ -1,0 +1,1 @@
+lib/harness/bench_emi.ml: Config Driver Fun Gen_config Inject List Outcome Printf String Suite Table_fmt

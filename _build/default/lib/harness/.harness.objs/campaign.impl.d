@@ -1,0 +1,1 @@
+lib/harness/campaign.ml: Buffer Config Driver Gen_config Generate Hashtbl List Majority Outcome Printf Table_fmt

@@ -1,0 +1,1 @@
+lib/harness/campaign.mli: Gen_config

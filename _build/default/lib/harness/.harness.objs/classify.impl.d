@@ -1,0 +1,1 @@
+lib/harness/classify.ml: Array Config Driver Gen_config Generate List Majority Printf Table_fmt

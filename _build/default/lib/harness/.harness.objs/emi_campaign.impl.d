@@ -1,0 +1,1 @@
+lib/harness/emi_campaign.ml: Config Driver Gen_config Generate Hashtbl List Outcome Printf String Table_fmt Variant

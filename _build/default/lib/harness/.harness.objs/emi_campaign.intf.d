@@ -1,0 +1,1 @@
+lib/harness/emi_campaign.mli:

@@ -1,0 +1,1 @@
+lib/harness/majority.ml: Hashtbl List Option Outcome String

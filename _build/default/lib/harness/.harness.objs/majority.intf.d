@@ -1,0 +1,1 @@
+lib/harness/majority.mli: Outcome

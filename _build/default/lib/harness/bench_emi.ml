@@ -1,0 +1,132 @@
+type code = Wrong of string | Crash of string | Timed_out | No_gen | Pass
+
+let code_to_string = function
+  | Wrong s -> "w" ^ s
+  | Crash s -> "c" ^ s
+  | Timed_out -> "to"
+  | No_gen -> "ng"
+  | Pass -> "OK"
+
+type t = {
+  variants : int;
+  results : (string * (int * code) list) list;
+}
+
+let default_configs = List.init 19 (fun i -> i + 1)
+
+(* superscript: did provoking the defect require substitutions enabled (e),
+   disabled (d), or either (?) *)
+let superscript ~with_subst ~without_subst =
+  match (with_subst, without_subst) with
+  | true, true -> "?"
+  | true, false -> "e"
+  | false, true -> "d"
+  | false, false -> "?"
+
+let run ?(variants = 12) ?(seed0 = 90_000) ?config_ids () : t =
+  let config_ids =
+    match config_ids with Some l -> l | None -> default_configs
+  in
+  let configs = List.map Config.find config_ids in
+  let gcfg = Gen_config.scaled Gen_config.All in
+  let results =
+    List.map
+      (fun (b : Suite.benchmark) ->
+        let original = b.Suite.testcase () in
+        let expected =
+          match Driver.reference_outcome original with
+          | Outcome.Success s -> s
+          | o ->
+              invalid_arg
+                (Printf.sprintf "benchmark %s reference run failed: %s"
+                   b.Suite.name (Outcome.to_string o))
+        in
+        let orig_prep = Driver.prepare original in
+        (* tests: variants x substitutions on/off, each prepared once *)
+        let tests =
+          List.concat_map
+            (fun i ->
+              List.map
+                (fun subst ->
+                  let inj =
+                    Inject.inject ~subst ~cfg:gcfg
+                      ~seed:(seed0 + (i * 131) + if subst then 1 else 0)
+                      original
+                  in
+                  (subst, Driver.prepare inj.Inject.testcase))
+                [ true; false ])
+            (List.init variants Fun.id)
+        in
+        let per_config =
+          List.map
+            (fun c ->
+              let orig_ok opt =
+                match Driver.run_prepared c ~opt orig_prep with
+                | Outcome.Success s -> String.equal s expected
+                | _ -> false
+              in
+              if not (orig_ok false || orig_ok true) then (c.Config.id, No_gen)
+              else begin
+                let wrong_subst = ref false
+                and wrong_nosubst = ref false
+                and crash_subst = ref false
+                and crash_nosubst = ref false
+                and timed = ref false in
+                List.iter
+                  (fun (subst, prep) ->
+                    List.iter
+                      (fun opt ->
+                        match Driver.run_prepared c ~opt prep with
+                        | Outcome.Success s when not (String.equal s expected)
+                          ->
+                            if subst then wrong_subst := true
+                            else wrong_nosubst := true
+                        | Outcome.Success _ -> ()
+                        | Outcome.Build_failure _ | Outcome.Crash _
+                        | Outcome.Machine_crash _ | Outcome.Ub _ ->
+                            if subst then crash_subst := true
+                            else crash_nosubst := true
+                        | Outcome.Timeout -> timed := true)
+                      [ false; true ])
+                  tests;
+                let code =
+                  if !wrong_subst || !wrong_nosubst then
+                    Wrong
+                      (superscript ~with_subst:!wrong_subst
+                         ~without_subst:!wrong_nosubst)
+                  else if !crash_subst || !crash_nosubst then
+                    Crash
+                      (superscript ~with_subst:!crash_subst
+                         ~without_subst:!crash_nosubst)
+                  else if !timed then Timed_out
+                  else Pass
+                in
+                (c.Config.id, code)
+              end)
+            configs
+        in
+        (b.Suite.name, per_config))
+      Suite.emi_eligible
+  in
+  { variants; results }
+
+let to_table (t : t) =
+  let config_ids =
+    match t.results with
+    | (_, row) :: _ -> List.map fst row
+    | [] -> []
+  in
+  let header = "Benchmark" :: List.map string_of_int config_ids in
+  let rows =
+    List.map
+      (fun (name, row) -> name :: List.map (fun (_, c) -> code_to_string c) row)
+      t.results
+  in
+  Table_fmt.render_titled
+    ~title:
+      (Printf.sprintf
+         "Table 3: EMI testing over the Parboil/Rodinia ports (%d injected \
+          variants x subst on/off x opt on/off per cell; spmv and myocyte \
+          excluded: data races)"
+         t.variants)
+    ~header rows

@@ -1,0 +1,35 @@
+(** EMI testing over the Parboil/Rodinia ports (paper section 7.2,
+    Table 3).
+
+    Every race-free benchmark is injected with EMI blocks (free variables
+    either substituted for kernel variables or freshly declared — the
+    paper's "substitutions on/off") and run at both optimisation levels on
+    each configuration except the Altera pair (excluded "due to their
+    reliance on offline compilation"). Per (benchmark, configuration) the
+    table reports the worst outcome over all tests, in the paper's code:
+
+    - [w] — a test produced a wrong result without crashing; superscript
+      [e]/[d]/[?] records whether substitutions had to be enabled,
+      disabled, or either;
+    - [c] — a test crashed (compiler error or runtime error: compilation
+      is online, so the two are not distinguished — footnote 6);
+    - [to] — a test timed out;
+    - [ng] — the configuration cannot produce the expected output for the
+      benchmark with an empty EMI block at either optimisation level;
+    - [OK] — all tests passed. *)
+
+type code = Wrong of string | Crash of string | Timed_out | No_gen | Pass
+
+val code_to_string : code -> string
+
+type t = {
+  variants : int;
+  results : (string * (int * code) list) list;
+      (** benchmark name -> (config id, code) *)
+}
+
+val run : ?variants:int -> ?seed0:int -> ?config_ids:int list -> unit -> t
+(** Defaults: 12 injected variants per benchmark (paper: 125), configs
+    1–19. *)
+
+val to_table : t -> string

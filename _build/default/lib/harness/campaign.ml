@@ -1,0 +1,144 @@
+type cell = { w : int; bf : int; c : int; timeout : int; ok : int }
+
+let zero_cell = { w = 0; bf = 0; c = 0; timeout = 0; ok = 0 }
+
+let add_bucket cell (b : Majority.bucket) =
+  match b with
+  | Majority.B_wrong -> { cell with w = cell.w + 1 }
+  | Majority.B_bf -> { cell with bf = cell.bf + 1 }
+  | Majority.B_crash -> { cell with c = cell.c + 1 }
+  | Majority.B_timeout -> { cell with timeout = cell.timeout + 1 }
+  | Majority.B_ok -> { cell with ok = cell.ok + 1 }
+
+let w_pct cell = Table_fmt.pct cell.w (cell.w + cell.ok)
+
+type mode_result = {
+  mode : Gen_config.mode;
+  tests_used : int;
+  discarded_sharing : int;
+  discarded_prefilter : int;
+  per_config : ((int * bool) * cell) list;
+}
+
+let prefilter_config = Config.find 1
+
+let run ?(per_mode = 60) ?(seed0 = 10_000) ?config_ids ?modes () =
+  let config_ids =
+    match config_ids with Some l -> l | None -> Config.above_threshold_ids
+  in
+  let modes = match modes with Some m -> m | None -> Gen_config.all_modes in
+  let configs = List.map Config.find config_ids in
+  List.map
+    (fun mode ->
+      let gcfg = Gen_config.scaled mode in
+      let sharing = ref 0 and prefiltered = ref 0 in
+      (* collect per_mode survivors *)
+      let rec collect seed acc n =
+        if n = 0 then List.rev acc
+        else
+          let tc, info = Generate.generate ~cfg:gcfg ~seed () in
+          if info.Generate.counter_sharing then begin
+            incr sharing;
+            collect (seed + 1) acc n
+          end
+          else
+            let prep = Driver.prepare tc in
+            match Driver.run_prepared prefilter_config ~opt:true prep with
+            | Outcome.Build_failure _ | Outcome.Timeout ->
+                incr prefiltered;
+                collect (seed + 1) acc n
+            | _ -> collect (seed + 1) (prep :: acc) (n - 1)
+      in
+      let kernels = collect seed0 [] per_mode in
+      let keys =
+        List.concat_map
+          (fun c -> [ (c.Config.id, false); (c.Config.id, true) ])
+          configs
+      in
+      let cells = Hashtbl.create 64 in
+      List.iter (fun k -> Hashtbl.replace cells k zero_cell) keys;
+      List.iter
+        (fun prep ->
+          let results =
+            List.concat_map
+              (fun c ->
+                let off = Driver.run_prepared c ~opt:false prep in
+                let on = Driver.run_prepared c ~opt:true prep in
+                [ ((c.Config.id, false), off); ((c.Config.id, true), on) ])
+              configs
+          in
+          let majority = Majority.majority_output (List.map snd results) in
+          List.iter
+            (fun (key, o) ->
+              let b = Majority.bucket_of ~majority o in
+              Hashtbl.replace cells key (add_bucket (Hashtbl.find cells key) b))
+            results)
+        kernels;
+      {
+        mode;
+        tests_used = List.length kernels;
+        discarded_sharing = !sharing;
+        discarded_prefilter = !prefiltered;
+        per_config = List.map (fun k -> (k, Hashtbl.find cells k)) keys;
+      })
+    modes
+
+let to_table (results : mode_result list) =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun r ->
+      let header =
+        "metric"
+        :: List.map
+             (fun ((id, opt), _) -> Printf.sprintf "%d%s" id (if opt then "+" else "-"))
+             r.per_config
+        @ [ "Total" ]
+      in
+      let metric name get =
+        name
+        :: List.map (fun (_, cell) -> string_of_int (get cell)) r.per_config
+        @ [ string_of_int (List.fold_left (fun a (_, c) -> a + get c) 0 r.per_config) ]
+      in
+      let total_cell =
+        List.fold_left
+          (fun acc (_, c) ->
+            { w = acc.w + c.w; bf = acc.bf + c.bf; c = acc.c + c.c;
+              timeout = acc.timeout + c.timeout; ok = acc.ok + c.ok })
+          zero_cell r.per_config
+      in
+      let wpct_row =
+        "w%"
+        :: List.map (fun (_, cell) -> w_pct cell) r.per_config
+        @ [ w_pct total_cell ]
+      in
+      Buffer.add_string buf
+        (Table_fmt.render_titled
+           ~title:
+             (Printf.sprintf
+                "Table 4 [%s] (%d tests; %d discarded: counter sharing, %d: \
+                 prefilter on 1+)"
+                (Gen_config.mode_name r.mode)
+                r.tests_used r.discarded_sharing r.discarded_prefilter)
+           ~header
+           [
+             metric "w" (fun c -> c.w);
+             metric "bf" (fun c -> c.bf);
+             metric "c" (fun c -> c.c);
+             metric "to" (fun c -> c.timeout);
+             metric "ok" (fun c -> c.ok);
+             wpct_row;
+           ]);
+      Buffer.add_char buf '\n')
+    results;
+  Buffer.contents buf
+
+let totals results =
+  List.map
+    (fun r ->
+      ( r.mode,
+        List.fold_left
+          (fun acc (_, c) ->
+            { w = acc.w + c.w; bf = acc.bf + c.bf; c = acc.c + c.c;
+              timeout = acc.timeout + c.timeout; ok = acc.ok + c.ok })
+          zero_cell r.per_config ))
+    results

@@ -1,0 +1,37 @@
+(** Intensive CLsmith-based differential testing (paper section 7.3,
+    Table 4).
+
+    For each generator mode, a batch of kernels is generated (counter-
+    sharing kernels discarded as in the paper) and prefiltered on
+    configuration 1 with optimisations — the paper "used configuration 1+
+    (NVIDIA GTX Titan) to generate the tests, discarding tests that failed
+    to compile or that timed out". Every kernel then runs on the selected
+    configurations at both optimisation levels; wrong-code classification
+    is by ≥3 majority across all collected results, and each (config,
+    level) accumulates the w / bf / c / to / ok buckets plus the
+    wrong-code percentage w% = w / (w + ok). *)
+
+type cell = { w : int; bf : int; c : int; timeout : int; ok : int }
+
+val w_pct : cell -> string
+
+type mode_result = {
+  mode : Gen_config.mode;
+  tests_used : int;
+  discarded_sharing : int;
+  discarded_prefilter : int;
+  per_config : ((int * bool) * cell) list;  (** key: (config id, opt on?) *)
+}
+
+val run :
+  ?per_mode:int ->
+  ?seed0:int ->
+  ?config_ids:int list ->
+  ?modes:Gen_config.mode list ->
+  unit ->
+  mode_result list
+(** Defaults: 60 kernels/mode (paper: 10,000), the above-threshold
+    configurations, all six modes. *)
+
+val to_table : mode_result list -> string
+val totals : mode_result list -> (Gen_config.mode * cell) list

@@ -1,0 +1,137 @@
+type config_report = {
+  config : Config.t;
+  total : int;
+  wrong : int;
+  build_failures : int;
+  crashes : int;
+  timeouts : int;
+  fail_fraction : float;
+  above : bool;
+}
+
+type t = {
+  per_mode : int;
+  discarded_sharing : int;
+  reports : config_report list;
+}
+
+(* generate the initial kernel set: [per_mode] kernels per mode, skipping
+   counter-sharing ones (the paper discarded those) *)
+let initial_kernels ~per_mode ~seed0 =
+  let discarded = ref 0 in
+  let kernels =
+    List.concat_map
+      (fun mode ->
+        let cfg = Gen_config.scaled mode in
+        let rec collect seed acc n =
+          if n = 0 then acc
+          else
+            let tc, info = Generate.generate ~cfg ~seed () in
+            if info.Generate.counter_sharing then begin
+              incr discarded;
+              collect (seed + 1) acc n
+            end
+            else collect (seed + 1) (tc :: acc) (n - 1)
+        in
+        collect seed0 [] per_mode)
+      Gen_config.all_modes
+  in
+  (kernels, !discarded)
+
+let run ?(per_mode = 10) ?(seed0 = 1) () : t =
+  let kernels, discarded_sharing = initial_kernels ~per_mode ~seed0 in
+  let configs = Config.all in
+  (* stats.(ci) = (wrong, bf, crash, timeout, total) *)
+  let n = List.length configs in
+  let wrong = Array.make n 0
+  and bf = Array.make n 0
+  and cr = Array.make n 0
+  and tmo = Array.make n 0
+  and tot = Array.make n 0 in
+  List.iter
+    (fun tc ->
+      let prep = Driver.prepare tc in
+      let outcomes =
+        List.map
+          (fun c ->
+            ( c,
+              ( Driver.run_prepared c ~opt:false prep,
+                Driver.run_prepared c ~opt:true prep ) ))
+          configs
+      in
+      let all_results =
+        List.concat_map (fun (_, (a, b)) -> [ a; b ]) outcomes
+      in
+      let majority = Majority.majority_output all_results in
+      List.iteri
+        (fun i (_, (off, on)) ->
+          List.iter
+            (fun o ->
+              tot.(i) <- tot.(i) + 1;
+              match Majority.bucket_of ~majority o with
+              | Majority.B_wrong -> wrong.(i) <- wrong.(i) + 1
+              | Majority.B_bf -> bf.(i) <- bf.(i) + 1
+              | Majority.B_crash -> cr.(i) <- cr.(i) + 1
+              | Majority.B_timeout -> tmo.(i) <- tmo.(i) + 1
+              | Majority.B_ok -> ())
+            [ off; on ])
+        outcomes)
+    kernels;
+  let reports =
+    List.mapi
+      (fun i c ->
+        let fails = wrong.(i) + bf.(i) + cr.(i) + tmo.(i) in
+        let frac = if tot.(i) = 0 then 0.0 else float fails /. float tot.(i) in
+        {
+          config = c;
+          total = tot.(i);
+          wrong = wrong.(i);
+          build_failures = bf.(i);
+          crashes = cr.(i);
+          timeouts = tmo.(i);
+          fail_fraction = frac;
+          above = frac <= 0.25 && not c.Config.manual_below;
+        })
+      configs
+  in
+  { per_mode; discarded_sharing; reports }
+
+let to_table (t : t) =
+  let rows =
+    List.map
+      (fun r ->
+        [
+          string_of_int r.config.Config.id;
+          r.config.Config.sdk;
+          r.config.Config.device;
+          r.config.Config.driver;
+          Config.device_type_name r.config.Config.device_type;
+          string_of_int r.wrong;
+          string_of_int r.build_failures;
+          string_of_int r.crashes;
+          string_of_int r.timeouts;
+          Printf.sprintf "%.1f%%" (100. *. r.fail_fraction);
+          (if r.above then "YES" else "no");
+          (if r.config.Config.above_threshold then "YES" else "no");
+        ])
+      t.reports
+  in
+  Table_fmt.render_titled
+    ~title:
+      (Printf.sprintf
+         "Table 1: configurations and reliability threshold (%d initial \
+          kernels/mode, %d discarded for counter sharing)"
+         t.per_mode t.discarded_sharing)
+    ~header:
+      [ "Conf."; "SDK"; "Device"; "Driver"; "Type"; "w"; "bf"; "c"; "to";
+        "fail%"; "above?"; "paper" ]
+    rows
+
+let agreement_with_paper (t : t) =
+  let agree =
+    List.length
+      (List.filter
+         (fun r -> r.above = r.config.Config.above_threshold)
+         t.reports)
+  in
+  (agree, List.length t.reports)

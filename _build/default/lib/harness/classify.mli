@@ -1,0 +1,38 @@
+(** Initial testing and the reliability threshold (paper section 7.1,
+    Table 1).
+
+    Every configuration runs a set of "initial kernels" (100 per CLsmith
+    mode in the paper; scaled here by [per_mode]) at both optimisation
+    levels. A configuration lies above the threshold when at most 25% of
+    its results are build failures, runtime crashes, timeouts or wrong-code
+    results (wrongness judged against the cross-configuration majority).
+    The Xeon Phi is additionally forced below the threshold, as the paper
+    did, because of its pathological struct compile times. *)
+
+type config_report = {
+  config : Config.t;
+  total : int;
+  wrong : int;
+  build_failures : int;
+  crashes : int;
+  timeouts : int;
+  fail_fraction : float;
+  above : bool;
+}
+
+type t = {
+  per_mode : int;
+  discarded_sharing : int;
+      (** kernels discarded for atomic-section counter sharing *)
+  reports : config_report list;
+}
+
+val run : ?per_mode:int -> ?seed0:int -> unit -> t
+(** Default [per_mode] is 10 (the paper used 100). *)
+
+val to_table : t -> string
+(** Rendered in the shape of Table 1, including the computed
+    above-threshold column and the paper's expectation. *)
+
+val agreement_with_paper : t -> int * int
+(** (configurations whose computed classification matches Table 1, total). *)

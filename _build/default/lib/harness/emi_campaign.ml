@@ -1,0 +1,147 @@
+type row = {
+  base_fails : int;
+  w : int;
+  bf : int;
+  c : int;
+  timeout : int;
+  stable : int;
+}
+
+let zero_row = { base_fails = 0; w = 0; bf = 0; c = 0; timeout = 0; stable = 0 }
+
+type t = {
+  bases_used : int;
+  discarded_sharing : int;
+  discarded_dead : int;
+  variants_per_base : int;
+  rows : ((int * bool) * row) list;
+}
+
+let liveness_config = Config.find 1
+
+(* the liveness filter: inverting dead must change the observable result *)
+let live_emi base =
+  let normal = Driver.run liveness_config ~opt:true base in
+  let inverted = Driver.run liveness_config ~opt:true (Variant.invert_dead base) in
+  not (Outcome.equal normal inverted)
+
+let run ?(bases = 15) ?(variants = 10) ?(seed0 = 50_000) ?config_ids () : t =
+  let config_ids =
+    match config_ids with Some l -> l | None -> Config.above_threshold_ids
+  in
+  let configs = List.map Config.find config_ids in
+  let gcfg = Gen_config.scaled Gen_config.All in
+  let sharing = ref 0 and deadish = ref 0 in
+  let rec collect seed acc n =
+    if n = 0 then List.rev acc
+    else
+      let tc, info = Generate.generate ~emi:true ~cfg:gcfg ~seed () in
+      if info.Generate.counter_sharing then begin
+        incr sharing;
+        collect (seed + 1) acc n
+      end
+      else if not (live_emi tc) then begin
+        incr deadish;
+        collect (seed + 1) acc n
+      end
+      else collect (seed + 1) (tc :: acc) (n - 1)
+  in
+  let base_list = collect seed0 [] bases in
+  let keys =
+    List.concat_map
+      (fun c -> [ (c.Config.id, false); (c.Config.id, true) ])
+      configs
+  in
+  let rows = Hashtbl.create 64 in
+  List.iter (fun k -> Hashtbl.replace rows k zero_row) keys;
+  List.iter
+    (fun base ->
+      let vs =
+        List.map Driver.prepare (Variant.variants ~base ~count:variants)
+      in
+      List.iter
+        (fun c ->
+          List.iter
+            (fun opt ->
+              let key = (c.Config.id, opt) in
+              let outcomes = List.map (Driver.run_prepared c ~opt) vs in
+              let computed =
+                List.filter_map
+                  (function Outcome.Success s -> Some s | _ -> None)
+                  outcomes
+              in
+              let r = Hashtbl.find rows key in
+              let r =
+                if computed = [] then { r with base_fails = r.base_fails + 1 }
+                else begin
+                  let distinct = List.sort_uniq String.compare computed in
+                  let r =
+                    if List.length distinct > 1 then { r with w = r.w + 1 } else r
+                  in
+                  let has p = List.exists p outcomes in
+                  let r =
+                    if has (function Outcome.Build_failure _ -> true | _ -> false)
+                    then { r with bf = r.bf + 1 }
+                    else r
+                  in
+                  let r =
+                    if
+                      has (function
+                        | Outcome.Crash _ | Outcome.Machine_crash _ | Outcome.Ub _ ->
+                            true
+                        | _ -> false)
+                    then { r with c = r.c + 1 }
+                    else r
+                  in
+                  let r =
+                    if has (function Outcome.Timeout -> true | _ -> false) then
+                      { r with timeout = r.timeout + 1 }
+                    else r
+                  in
+                  if
+                    List.length computed = List.length outcomes
+                    && List.length distinct = 1
+                  then { r with stable = r.stable + 1 }
+                  else r
+                end
+              in
+              Hashtbl.replace rows key r)
+            [ false; true ])
+        configs)
+    base_list;
+  {
+    bases_used = List.length base_list;
+    discarded_sharing = !sharing;
+    discarded_dead = !deadish;
+    variants_per_base = variants;
+    rows = List.map (fun k -> (k, Hashtbl.find rows k)) keys;
+  }
+
+let to_table (t : t) =
+  let header =
+    "metric"
+    :: List.map
+         (fun ((id, opt), _) -> Printf.sprintf "%d%s" id (if opt then "+" else "-"))
+         t.rows
+    @ [ "Total" ]
+  in
+  let metric name get =
+    name
+    :: List.map (fun (_, r) -> string_of_int (get r)) t.rows
+    @ [ string_of_int (List.fold_left (fun a (_, r) -> a + get r) 0 t.rows) ]
+  in
+  Table_fmt.render_titled
+    ~title:
+      (Printf.sprintf
+         "Table 5: CLsmith+EMI (%d bases x %d variants; discarded %d for \
+          counter sharing, %d by the liveness filter)"
+         t.bases_used t.variants_per_base t.discarded_sharing t.discarded_dead)
+    ~header
+    [
+      metric "base fails" (fun r -> r.base_fails);
+      metric "w" (fun r -> r.w);
+      metric "bf" (fun r -> r.bf);
+      metric "c" (fun r -> r.c);
+      metric "to" (fun r -> r.timeout);
+      metric "stable" (fun r -> r.stable);
+    ]

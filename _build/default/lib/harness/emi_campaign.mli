@@ -1,0 +1,51 @@
+(** CLsmith+EMI metamorphic testing (paper section 7.4, Table 5).
+
+    Base kernels are generated in ALL mode with 1–5 EMI blocks. Two filters
+    apply, both from the paper:
+
+    - counter-sharing bases are discarded (the atomic-section
+      implementation bug — the paper lost 70 of 250 bases to it);
+    - the {e liveness filter}: a base whose output does not change when the
+      [dead] array is inverted has all its EMI blocks in already-dead code
+      and is discarded ("we did not expect it would be fruitful to inject
+      dead-by-construction code exclusively into code that is already
+      dead").
+
+    From each surviving base, variants are derived by the section-5 pruning
+    strategies. Per (configuration, optimisation level):
+
+    - a base is {b bad} when no variant terminates with a computed value;
+    - a base {b induces wrong code} when two variants compute different
+      values — no majority vote and no second configuration is needed,
+      which is EMI testing's selling point;
+    - a base induces bf / c / to when at least one variant does;
+    - a base is {b stable} when all variants compute one identical value. *)
+
+type row = {
+  base_fails : int;
+  w : int;
+  bf : int;
+  c : int;
+  timeout : int;
+  stable : int;
+}
+
+type t = {
+  bases_used : int;
+  discarded_sharing : int;
+  discarded_dead : int;  (** liveness-filter discards *)
+  variants_per_base : int;
+  rows : ((int * bool) * row) list;
+}
+
+val run :
+  ?bases:int ->
+  ?variants:int ->
+  ?seed0:int ->
+  ?config_ids:int list ->
+  unit ->
+  t
+(** Defaults: 15 bases (paper: 180), 10 variants/base (paper: 40), the
+    above-threshold configurations. *)
+
+val to_table : t -> string

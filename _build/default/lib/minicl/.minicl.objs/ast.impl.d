@@ -1,0 +1,1 @@
+lib/minicl/ast.ml: Int64 List Op Option String Ty

@@ -1,0 +1,1 @@
+lib/minicl/ast_map.ml: Ast Fun List Option

@@ -1,0 +1,1 @@
+lib/minicl/ast_map.mli: Ast

@@ -1,0 +1,1 @@
+lib/minicl/build.ml: Ast Int64 List Op Stdlib String Ty

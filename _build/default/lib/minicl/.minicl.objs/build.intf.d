@@ -1,0 +1,1 @@
+lib/minicl/build.mli: Ast Op Ty

@@ -1,0 +1,1 @@
+lib/minicl/digest_util.ml: Ast Ast_map Char Digest Int64 Pp String

@@ -1,0 +1,1 @@
+lib/minicl/digest_util.mli: Ast

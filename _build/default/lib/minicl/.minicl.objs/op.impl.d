@@ -1,0 +1,1 @@
+lib/minicl/op.ml: Printf

@@ -1,0 +1,1 @@
+lib/minicl/pp.ml: Array Ast Buffer Format Int64 List Op Printf Scalar_text String Ty

@@ -1,0 +1,1 @@
+lib/minicl/pp.mli: Ast Format

@@ -1,0 +1,1 @@
+lib/minicl/scalar_text.ml: Int64 Printf Ty

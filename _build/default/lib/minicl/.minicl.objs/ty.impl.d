@@ -1,0 +1,1 @@
+lib/minicl/ty.ml: Format Int64 List Map Printf Stdlib String

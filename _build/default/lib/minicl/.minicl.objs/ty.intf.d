@@ -1,0 +1,1 @@
+lib/minicl/ty.mli: Format

@@ -1,0 +1,1 @@
+lib/minicl/typecheck.ml: Array Ast List Map Op Pp Printf String Ty

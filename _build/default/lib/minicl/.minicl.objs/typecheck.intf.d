@@ -1,0 +1,1 @@
+lib/minicl/typecheck.mli: Ast Ty

@@ -1,0 +1,1 @@
+lib/minicl/validate.ml: Ast List Op Option Pp Printf Set String

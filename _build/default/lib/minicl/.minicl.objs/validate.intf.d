@@ -1,0 +1,1 @@
+lib/minicl/validate.mli: Ast

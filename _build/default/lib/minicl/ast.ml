@@ -1,0 +1,213 @@
+(* Abstract syntax of MiniCL kernels. See ast.mli for documentation. *)
+
+type const = { value : int64; cty : Ty.scalar }
+
+type assign_op = A_simple | A_op of Op.binop
+
+type expr =
+  | Const of const
+  | Var of string
+  | Thread_id of Op.id_kind
+  | Unop of Op.unop * expr
+  | Binop of Op.binop * expr * expr
+  | Safe_binop of Op.binop * expr * expr
+  | Safe_neg of expr
+  | Builtin of Op.builtin * expr list
+  | Call of string * expr list
+  | Cast of Ty.t * expr
+  | Cond of expr * expr * expr
+  | Field of expr * string
+  | Arrow of expr * string
+  | Index of expr * expr
+  | Deref of expr
+  | Addr_of of expr
+  | Vec_lit of Ty.scalar * Ty.vlen * expr list
+  | Swizzle of expr * int list
+  | Atomic of Op.atomic * expr * expr list
+
+type init = I_expr of expr | I_list of init list
+
+type decl = {
+  dname : string;
+  dty : Ty.t;
+  dspace : Ty.space;
+  dvolatile : bool;
+  dinit : init option;
+}
+
+type stmt =
+  | Decl of decl
+  | Assign of expr * assign_op * expr
+  | Expr of expr
+  | If of expr * block * block
+  | For of for_loop
+  | While of expr * block
+  | Break
+  | Continue
+  | Return of expr option
+  | Barrier of Op.fence
+  | Block of block
+  | Emi of emi_block
+
+and for_loop = {
+  f_init : stmt option;
+  f_cond : expr option;
+  f_update : stmt option;
+  f_body : block;
+}
+
+and emi_block = { emi_id : int; emi_lo : int; emi_hi : int; emi_body : block }
+
+and block = stmt list
+
+type func = {
+  fname : string;
+  ret : Ty.t;
+  params : (string * Ty.t) list;
+  body : block;
+}
+
+type const_array = {
+  ca_name : string;
+  ca_elem : Ty.scalar;
+  ca_data : int64 array array;  (* rows; 1-row arrays print as 1-D *)
+}
+
+type program = {
+  aggregates : Ty.aggregate list;
+  constant_arrays : const_array list;
+  funcs : func list;
+  kernel : func;
+  dead_size : int;
+}
+
+type buffer_spec =
+  | Buf_out
+  | Buf_dead of bool  (* true = inverted (EMI blocks become live) *)
+  | Buf_data of int64 array
+  | Buf_zero of int
+
+type testcase = {
+  prog : program;
+  global_size : int * int * int;
+  local_size : int * int * int;
+  buffers : (string * buffer_spec) list;
+  observe : string list;
+      (* buffers whose final contents form the printed result; CLsmith
+         kernels observe [out], benchmark ports observe their output
+         buffers *)
+}
+
+let tyenv_of_program p = Ty.tyenv_of_list p.aggregates
+
+let const_of_int ?(ty = { Ty.width = Ty.W32; sign = Ty.Signed }) n =
+  Const { value = Int64.of_int n; cty = ty }
+
+let find_func p name =
+  if String.equal p.kernel.fname name then Some p.kernel
+  else List.find_opt (fun f -> String.equal f.fname name) p.funcs
+
+(* Fold over every statement of a block, including nested ones,
+   outside-in. *)
+let rec fold_stmts f acc block = List.fold_left (fold_stmt f) acc block
+
+and fold_stmt f acc s =
+  let acc = f acc s in
+  match s with
+  | Decl _ | Assign _ | Expr _ | Break | Continue | Return _ | Barrier _ -> acc
+  | If (_, b1, b2) -> fold_stmts f (fold_stmts f acc b1) b2
+  | For { f_init; f_update; f_body; _ } ->
+      let acc = Option.fold ~none:acc ~some:(fold_stmt f acc) f_init in
+      let acc = Option.fold ~none:acc ~some:(fold_stmt f acc) f_update in
+      fold_stmts f acc f_body
+  | While (_, b) -> fold_stmts f acc b
+  | Block b -> fold_stmts f acc b
+  | Emi { emi_body; _ } -> fold_stmts f acc emi_body
+
+(* Fold over every expression in a statement (conditions, initialisers,
+   right-hand sides), including sub-expressions, outside-in. *)
+let rec fold_exprs_expr f acc e =
+  let acc = f acc e in
+  match e with
+  | Const _ | Var _ | Thread_id _ -> acc
+  | Unop (_, a) | Safe_neg a | Cast (_, a) | Deref a | Addr_of a
+  | Field (a, _) | Arrow (a, _) | Swizzle (a, _) ->
+      fold_exprs_expr f acc a
+  | Binop (_, a, b) | Safe_binop (_, a, b) | Index (a, b) ->
+      fold_exprs_expr f (fold_exprs_expr f acc a) b
+  | Cond (a, b, c) ->
+      fold_exprs_expr f (fold_exprs_expr f (fold_exprs_expr f acc a) b) c
+  | Builtin (_, args) | Call (_, args) | Vec_lit (_, _, args) ->
+      List.fold_left (fold_exprs_expr f) acc args
+  | Atomic (_, p, args) ->
+      List.fold_left (fold_exprs_expr f) (fold_exprs_expr f acc p) args
+
+let rec fold_exprs_init f acc = function
+  | I_expr e -> fold_exprs_expr f acc e
+  | I_list is -> List.fold_left (fold_exprs_init f) acc is
+
+let fold_exprs_of_stmt f acc s =
+  match s with
+  | Decl { dinit = Some i; _ } -> fold_exprs_init f acc i
+  | Decl { dinit = None; _ } -> acc
+  | Assign (l, _, r) -> fold_exprs_expr f (fold_exprs_expr f acc l) r
+  | Expr e -> fold_exprs_expr f acc e
+  | If (c, _, _) -> fold_exprs_expr f acc c
+  | For { f_cond; _ } -> Option.fold ~none:acc ~some:(fold_exprs_expr f acc) f_cond
+  | While (c, _) -> fold_exprs_expr f acc c
+  | Return (Some e) -> fold_exprs_expr f acc e
+  | Return None | Break | Continue | Barrier _ | Block _ | Emi _ -> acc
+
+let fold_exprs f acc block =
+  fold_stmts (fun acc s -> fold_exprs_of_stmt f acc s) acc block
+
+let fold_program_blocks f acc p =
+  let acc = List.fold_left (fun acc fn -> f acc fn.body) acc p.funcs in
+  f acc p.kernel.body
+
+(* Feature queries used by fault-model triggers and campaign statistics. *)
+
+let exists_stmt pred p =
+  fold_program_blocks
+    (fun acc b -> acc || fold_stmts (fun a s -> a || pred s) false b)
+    false p
+
+let exists_expr pred p =
+  fold_program_blocks
+    (fun acc b -> acc || fold_exprs (fun a e -> a || pred e) false b)
+    false p
+
+let uses_barrier p =
+  exists_stmt (function Barrier _ -> true | _ -> false) p
+
+let uses_atomics p =
+  exists_expr (function Atomic _ -> true | _ -> false) p
+
+let uses_vectors p =
+  let vec_ty t = Ty.is_vector t in
+  exists_expr (function
+    | Vec_lit _ | Swizzle _ -> true
+    | Cast (t, _) -> vec_ty t
+    | _ -> false)
+    p
+  || exists_stmt
+       (function Decl { dty; _ } -> vec_ty dty | _ -> false)
+       p
+  || List.exists
+       (fun (a : Ty.aggregate) -> List.exists (fun f -> vec_ty f.Ty.fty) a.fields)
+       p.aggregates
+
+let uses_comma p =
+  exists_expr (function Binop (Op.Comma, _, _) -> true | _ -> false) p
+
+let emi_block_count p =
+  fold_program_blocks
+    (fun acc b ->
+      acc + fold_stmts (fun n s -> match s with Emi _ -> n + 1 | _ -> n) 0 b)
+    0 p
+
+let stmt_count p =
+  fold_program_blocks (fun acc b -> acc + fold_stmts (fun n _ -> n + 1) 0 b) 0 p
+
+let expr_count p =
+  fold_program_blocks (fun acc b -> acc + fold_exprs (fun n _ -> n + 1) 0 b) 0 p

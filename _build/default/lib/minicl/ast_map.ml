@@ -1,0 +1,72 @@
+open Ast
+
+type mapper = {
+  map_expr : expr -> expr;
+  map_stmt : stmt -> stmt;
+  map_block : block -> block;
+}
+
+let default = { map_expr = Fun.id; map_stmt = Fun.id; map_block = Fun.id }
+
+let rec expr m (e : expr) : expr =
+  let e' =
+    match e with
+    | Const _ | Var _ | Thread_id _ -> e
+    | Unop (op, a) -> Unop (op, expr m a)
+    | Binop (op, a, b) -> Binop (op, expr m a, expr m b)
+    | Safe_binop (op, a, b) -> Safe_binop (op, expr m a, expr m b)
+    | Safe_neg a -> Safe_neg (expr m a)
+    | Builtin (b, args) -> Builtin (b, List.map (expr m) args)
+    | Call (f, args) -> Call (f, List.map (expr m) args)
+    | Cast (t, a) -> Cast (t, expr m a)
+    | Cond (a, b, c) -> Cond (expr m a, expr m b, expr m c)
+    | Field (a, f) -> Field (expr m a, f)
+    | Arrow (a, f) -> Arrow (expr m a, f)
+    | Index (a, i) -> Index (expr m a, expr m i)
+    | Deref a -> Deref (expr m a)
+    | Addr_of a -> Addr_of (expr m a)
+    | Vec_lit (s, l, args) -> Vec_lit (s, l, List.map (expr m) args)
+    | Swizzle (a, idxs) -> Swizzle (expr m a, idxs)
+    | Atomic (op, p, args) -> Atomic (op, expr m p, List.map (expr m) args)
+  in
+  m.map_expr e'
+
+and init_ m (i : init) : init =
+  match i with
+  | I_expr e -> I_expr (expr m e)
+  | I_list is -> I_list (List.map (init_ m) is)
+
+and stmt m (s : stmt) : stmt =
+  let s' =
+    match s with
+    | Decl d -> Decl { d with dinit = Option.map (init_ m) d.dinit }
+    | Assign (l, op, r) -> Assign (expr m l, op, expr m r)
+    | Expr e -> Expr (expr m e)
+    | If (c, b1, b2) -> If (expr m c, block m b1, block m b2)
+    | For { f_init; f_cond; f_update; f_body } ->
+        For
+          {
+            f_init = Option.map (stmt m) f_init;
+            f_cond = Option.map (expr m) f_cond;
+            f_update = Option.map (stmt m) f_update;
+            f_body = block m f_body;
+          }
+    | While (c, b) -> While (expr m c, block m b)
+    | Break | Continue -> s
+    | Return e -> Return (Option.map (expr m) e)
+    | Barrier _ -> s
+    | Block b -> Block (block m b)
+    | Emi e -> Emi { e with emi_body = block m e.emi_body }
+  in
+  m.map_stmt s'
+
+and block m (b : block) : block = m.map_block (List.map (stmt m) b)
+
+let func m (f : func) = { f with body = block m f.body }
+
+let program m (p : program) =
+  { p with funcs = List.map (func m) p.funcs; kernel = func m p.kernel }
+
+let map_blocks f p = program { default with map_block = f } p
+let map_exprs f p = program { default with map_expr = f } p
+let map_stmts f p = program { default with map_stmt = f } p

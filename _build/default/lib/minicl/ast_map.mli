@@ -1,0 +1,29 @@
+(** Generic bottom-up rewriting over MiniCL ASTs.
+
+    The workhorses of the optimisation passes ([opt] library), the EMI
+    pruning strategies ([emi] library) and the fault-model mutators
+    ([vendors] library). A {!mapper} carries one hook per syntactic class;
+    hooks receive the node {e after} its children have been rewritten. *)
+
+type mapper = {
+  map_expr : Ast.expr -> Ast.expr;
+  map_stmt : Ast.stmt -> Ast.stmt;
+  map_block : Ast.block -> Ast.block;
+      (** applied after per-statement rewriting; lets passes delete or
+          splice statements *)
+}
+
+val default : mapper
+(** Identity hooks. *)
+
+val expr : mapper -> Ast.expr -> Ast.expr
+val stmt : mapper -> Ast.stmt -> Ast.stmt
+val block : mapper -> Ast.block -> Ast.block
+val func : mapper -> Ast.func -> Ast.func
+val program : mapper -> Ast.program -> Ast.program
+
+val map_blocks : (Ast.block -> Ast.block) -> Ast.program -> Ast.program
+(** Rewrite every block (outer and nested) of every function. *)
+
+val map_exprs : (Ast.expr -> Ast.expr) -> Ast.program -> Ast.program
+val map_stmts : (Ast.stmt -> Ast.stmt) -> Ast.program -> Ast.program

@@ -1,0 +1,122 @@
+open Ast
+
+let ci n = Const { value = Int64.of_int n; cty = Ty.int_scalar }
+let cu n = Const { value = Int64.of_int n; cty = { Ty.width = Ty.W32; sign = Ty.Unsigned } }
+let cul n = Const { value = n; cty = { Ty.width = Ty.W64; sign = Ty.Unsigned } }
+let cs ty n = Const { value = n; cty = ty }
+let v name = Var name
+
+let ( + ) a b = Binop (Op.Add, a, b)
+let ( - ) a b = Binop (Op.Sub, a, b)
+let ( * ) a b = Binop (Op.Mul, a, b)
+let ( / ) a b = Binop (Op.Div, a, b)
+let ( % ) a b = Binop (Op.Mod, a, b)
+let ( << ) a b = Binop (Op.Shl, a, b)
+let ( >> ) a b = Binop (Op.Shr, a, b)
+let ( == ) a b = Binop (Op.Eq, a, b)
+let ( != ) a b = Binop (Op.Ne, a, b)
+let ( < ) a b = Binop (Op.Lt, a, b)
+let ( > ) a b = Binop (Op.Gt, a, b)
+let ( <= ) a b = Binop (Op.Le, a, b)
+let ( >= ) a b = Binop (Op.Ge, a, b)
+let ( &&& ) a b = Binop (Op.LogAnd, a, b)
+let ( ||| ) a b = Binop (Op.LogOr, a, b)
+let band a b = Binop (Op.BitAnd, a, b)
+let bor a b = Binop (Op.BitOr, a, b)
+let bxor a b = Binop (Op.BitXor, a, b)
+let comma a b = Binop (Op.Comma, a, b)
+let neg a = Unop (Op.Neg, a)
+let bnot a = Unop (Op.BitNot, a)
+let lnot a = Unop (Op.LogNot, a)
+
+let field e f = Field (e, f)
+let arrow e f = Arrow (e, f)
+let idx a i = Index (a, i)
+let deref e = Deref e
+let addr e = Addr_of e
+let cast t e = Cast (t, e)
+let call f args = Call (f, args)
+let cond c a b = Cond (c, a, b)
+
+let tid_linear = Thread_id Op.Global_linear_id
+let lid_linear = Thread_id Op.Local_linear_id
+let gid a = Thread_id (Op.Global_id a)
+let lid a = Thread_id (Op.Local_id a)
+let grid a = Thread_id (Op.Group_id a)
+
+let vec2 s a b = Vec_lit (s, Ty.V2, [ a; b ])
+let vec4 s args = Vec_lit (s, Ty.V4, args)
+let swz e idxs = Swizzle (e, idxs)
+let x_of e = Swizzle (e, [ 0 ])
+let y_of e = Swizzle (e, [ 1 ])
+
+let decl ?(space = Ty.Private) ?(volatile = false) ?init dname dty =
+  Decl { dname; dty; dspace = space; dvolatile = volatile; dinit = init }
+
+let decle ?space ?volatile dname dty e = decl ?space ?volatile ~init:(I_expr e) dname dty
+let ie e = I_expr e
+let il is = I_list is
+
+let assign l r = Assign (l, A_simple, r)
+let assign_op op l r = Assign (l, A_op op, r)
+let expr e = Expr e
+let if_ c b = If (c, b, [])
+let if_else c b1 b2 = If (c, b1, b2)
+
+let for_up name ~from ~below body =
+  For
+    {
+      f_init = Some (decle name Ty.int (ci from));
+      f_cond = Some (Binop (Op.Lt, Var name, ci below));
+      f_update = Some (Assign (Var name, A_op Op.Add, ci 1));
+      f_body = body;
+    }
+
+let for_ ?init ?cond ?update body =
+  For { f_init = init; f_cond = cond; f_update = update; f_body = body }
+
+let while_ c b = While (c, b)
+let ret e = Return (Some e)
+let ret_void = Return None
+let break_ = Break
+let continue_ = Continue
+let barrier = Barrier Op.F_local
+let barrier_g = Barrier Op.F_global
+let barrier_f f = Barrier f
+
+let func fname ret params body = { fname; ret; params; body }
+
+let kernel1 ?(aggregates = []) ?(funcs = []) ?(extra_params = []) ?(dead_size = 0)
+    name body =
+  let params = ("out", Ty.Ptr (Ty.Global, Ty.ulong)) :: extra_params in
+  let params =
+    if Stdlib.( > ) dead_size 0 then
+      params @ [ ("dead", Ty.Ptr (Ty.Global, Ty.int)) ]
+    else params
+  in
+  {
+    aggregates;
+    constant_arrays = [];
+    funcs;
+    kernel = { fname = name; ret = Ty.Void; params; body };
+    dead_size;
+  }
+
+let testcase ?(gsize = (1, 1, 1)) ?(lsize = (1, 1, 1)) ?(buffers = [])
+    ?(observe = [ "out" ]) prog =
+  let bufs =
+    List.map
+      (fun (n, (_ : Ty.t)) ->
+        match List.assoc_opt n buffers with
+        | Some b -> (n, b)
+        | None ->
+            if String.equal n "out" then (n, Buf_out)
+            else if String.equal n "dead" then (n, Buf_dead false)
+            else (n, Buf_zero 1))
+      prog.kernel.params
+  in
+  { prog; global_size = gsize; local_size = lsize; buffers = bufs; observe }
+
+let sfield ?(volatile = false) fname fty = { Ty.fname; fty; fvolatile = volatile }
+let struct_ aname fields = { Ty.aname; fields; is_union = false }
+let union_ aname fields = { Ty.aname; fields; is_union = true }

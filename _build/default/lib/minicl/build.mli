@@ -1,0 +1,129 @@
+(** Ergonomic constructors for MiniCL ASTs.
+
+    Used by the hand-written bug exhibits (Figures 1 and 2), the mini
+    Parboil/Rodinia benchmark ports, and the examples. Everything here is a
+    thin wrapper over the {!Ast} constructors. *)
+
+val ci : int -> Ast.expr
+(** [int] constant. *)
+
+val cu : int -> Ast.expr
+(** [uint] constant. *)
+
+val cul : int64 -> Ast.expr
+(** [ulong] constant. *)
+
+val cs : Ty.scalar -> int64 -> Ast.expr
+
+val v : string -> Ast.expr
+(** Variable reference. *)
+
+val ( + ) : Ast.expr -> Ast.expr -> Ast.expr
+val ( - ) : Ast.expr -> Ast.expr -> Ast.expr
+val ( * ) : Ast.expr -> Ast.expr -> Ast.expr
+val ( / ) : Ast.expr -> Ast.expr -> Ast.expr
+val ( % ) : Ast.expr -> Ast.expr -> Ast.expr
+val ( << ) : Ast.expr -> Ast.expr -> Ast.expr
+val ( >> ) : Ast.expr -> Ast.expr -> Ast.expr
+val ( == ) : Ast.expr -> Ast.expr -> Ast.expr
+val ( != ) : Ast.expr -> Ast.expr -> Ast.expr
+val ( < ) : Ast.expr -> Ast.expr -> Ast.expr
+val ( > ) : Ast.expr -> Ast.expr -> Ast.expr
+val ( <= ) : Ast.expr -> Ast.expr -> Ast.expr
+val ( >= ) : Ast.expr -> Ast.expr -> Ast.expr
+val ( &&& ) : Ast.expr -> Ast.expr -> Ast.expr
+val ( ||| ) : Ast.expr -> Ast.expr -> Ast.expr
+val band : Ast.expr -> Ast.expr -> Ast.expr
+val bor : Ast.expr -> Ast.expr -> Ast.expr
+val bxor : Ast.expr -> Ast.expr -> Ast.expr
+val comma : Ast.expr -> Ast.expr -> Ast.expr
+val neg : Ast.expr -> Ast.expr
+val bnot : Ast.expr -> Ast.expr
+val lnot : Ast.expr -> Ast.expr
+
+val field : Ast.expr -> string -> Ast.expr
+val arrow : Ast.expr -> string -> Ast.expr
+val idx : Ast.expr -> Ast.expr -> Ast.expr
+val deref : Ast.expr -> Ast.expr
+val addr : Ast.expr -> Ast.expr
+val cast : Ty.t -> Ast.expr -> Ast.expr
+val call : string -> Ast.expr list -> Ast.expr
+val cond : Ast.expr -> Ast.expr -> Ast.expr -> Ast.expr
+
+val tid_linear : Ast.expr
+(** get_linear_global_id(), the [t_linear] of the paper. *)
+
+val lid_linear : Ast.expr
+val gid : Op.axis -> Ast.expr
+val lid : Op.axis -> Ast.expr
+val grid : Op.axis -> Ast.expr
+
+val vec2 : Ty.scalar -> Ast.expr -> Ast.expr -> Ast.expr
+val vec4 : Ty.scalar -> Ast.expr list -> Ast.expr
+val swz : Ast.expr -> int list -> Ast.expr
+val x_of : Ast.expr -> Ast.expr
+val y_of : Ast.expr -> Ast.expr
+
+val decl :
+  ?space:Ty.space ->
+  ?volatile:bool ->
+  ?init:Ast.init ->
+  string ->
+  Ty.t ->
+  Ast.stmt
+
+val decle :
+  ?space:Ty.space -> ?volatile:bool -> string -> Ty.t -> Ast.expr -> Ast.stmt
+(** Declaration with an expression initialiser. *)
+
+val ie : Ast.expr -> Ast.init
+val il : Ast.init list -> Ast.init
+
+val assign : Ast.expr -> Ast.expr -> Ast.stmt
+val assign_op : Op.binop -> Ast.expr -> Ast.expr -> Ast.stmt
+val expr : Ast.expr -> Ast.stmt
+val if_ : Ast.expr -> Ast.block -> Ast.stmt
+val if_else : Ast.expr -> Ast.block -> Ast.block -> Ast.stmt
+val for_up : string -> from:int -> below:int -> Ast.block -> Ast.stmt
+(** [for (int i = from; i < below; i++) body]. *)
+
+val for_ :
+  ?init:Ast.stmt -> ?cond:Ast.expr -> ?update:Ast.stmt -> Ast.block -> Ast.stmt
+
+val while_ : Ast.expr -> Ast.block -> Ast.stmt
+val ret : Ast.expr -> Ast.stmt
+val ret_void : Ast.stmt
+val break_ : Ast.stmt
+val continue_ : Ast.stmt
+val barrier : Ast.stmt
+(** Barrier with a local fence — the paper's shorthand [barrier()]. *)
+
+val barrier_g : Ast.stmt
+val barrier_f : Op.fence -> Ast.stmt
+
+val func : string -> Ty.t -> (string * Ty.t) list -> Ast.block -> Ast.func
+
+val kernel1 :
+  ?aggregates:Ty.aggregate list ->
+  ?funcs:Ast.func list ->
+  ?extra_params:(string * Ty.t) list ->
+  ?dead_size:int ->
+  string ->
+  Ast.block ->
+  Ast.program
+(** A program whose kernel takes [global ulong *out] (plus [extra_params])
+    — the shape every Figure 1/2 exhibit uses. *)
+
+val testcase :
+  ?gsize:int * int * int ->
+  ?lsize:int * int * int ->
+  ?buffers:(string * Ast.buffer_spec) list ->
+  ?observe:string list ->
+  Ast.program ->
+  Ast.testcase
+(** Defaults: 1 group of 1 thread, one [out] buffer. Extra buffers are
+    appended after [out] in kernel-parameter order. *)
+
+val sfield : ?volatile:bool -> string -> Ty.t -> Ty.field
+val struct_ : string -> Ty.field list -> Ty.aggregate
+val union_ : string -> Ty.field list -> Ty.aggregate

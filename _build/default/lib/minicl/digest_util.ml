@@ -1,0 +1,33 @@
+let splitmix z =
+  let z = Int64.add z 0x9E3779B97F4A7C15L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let of_string s =
+  let d = Digest.string s in
+  let v = ref 0L in
+  for i = 0 to 7 do
+    v := Int64.logor (Int64.shift_left !v 8) (Int64.of_int (Char.code d.[i]))
+  done;
+  splitmix !v
+
+let full p = of_string (Pp.program_to_string p)
+
+let stable p =
+  let elide =
+    {
+      Ast_map.default with
+      Ast_map.map_stmt =
+        (function
+        | Ast.Emi e -> Ast.Emi { e with emi_body = [] }
+        | s -> s);
+    }
+  in
+  of_string (Pp.program_to_string (Ast_map.program elide p))
+
+let mix a b = splitmix (Int64.logxor a (Int64.mul b 0x9E3779B97F4A7C15L))
+
+let to_float01 d =
+  let bits = Int64.shift_right_logical d 11 in
+  Int64.to_float bits /. 9007199254740992.0

@@ -1,0 +1,24 @@
+(** Canonical program digests.
+
+    Vendor fault models key their pseudo-random misbehaviour on a digest of
+    the program under compilation, in two flavours:
+
+    - the {b full digest} changes whenever any token of the program changes
+      — faults keyed on it are sensitive to EMI pruning, so EMI variants of
+      one base program diverge (the optimisation-interaction bugs EMI
+      testing targets, paper section 3.2);
+    - the {b stable digest} elides the bodies of EMI blocks, so it is
+      invariant across all EMI variants of a base — faults keyed on it are
+      visible to differential testing but invisible to EMI testing (the
+      "basic" miscompilations the paper found EMI powerless against, e.g.
+      for Oclgrind, section 7.4). *)
+
+val full : Ast.program -> int64
+val stable : Ast.program -> int64
+
+val mix : int64 -> int64 -> int64
+(** Combine a digest with a salt (e.g. a configuration id). *)
+
+val to_float01 : int64 -> float
+(** Uniform-ish value in [0, 1) derived from a digest, for probability
+    thresholds. *)

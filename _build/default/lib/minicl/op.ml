@@ -1,0 +1,169 @@
+type unop = Neg | BitNot | LogNot
+
+type binop =
+  | Add | Sub | Mul | Div | Mod
+  | Shl | Shr
+  | BitAnd | BitOr | BitXor
+  | LogAnd | LogOr
+  | Eq | Ne | Lt | Gt | Le | Ge
+  | Comma
+
+let has_ub = function
+  | Add | Sub | Mul | Div | Mod | Shl | Shr -> true
+  | BitAnd | BitOr | BitXor | LogAnd | LogOr
+  | Eq | Ne | Lt | Gt | Le | Ge | Comma -> false
+
+let is_comparison = function
+  | Eq | Ne | Lt | Gt | Le | Ge -> true
+  | Add | Sub | Mul | Div | Mod | Shl | Shr
+  | BitAnd | BitOr | BitXor | LogAnd | LogOr | Comma -> false
+
+let is_shortcircuit = function
+  | LogAnd | LogOr -> true
+  | Add | Sub | Mul | Div | Mod | Shl | Shr
+  | BitAnd | BitOr | BitXor
+  | Eq | Ne | Lt | Gt | Le | Ge | Comma -> false
+
+type builtin =
+  | Clamp
+  | Safe_clamp
+  | Rotate
+  | Min
+  | Max
+  | Abs
+  | Add_sat
+  | Sub_sat
+  | Hadd
+  | Mul_hi
+
+let builtin_name = function
+  | Clamp -> "clamp"
+  | Safe_clamp -> "safe_clamp"
+  | Rotate -> "rotate"
+  | Min -> "min"
+  | Max -> "max"
+  | Abs -> "abs"
+  | Add_sat -> "add_sat"
+  | Sub_sat -> "sub_sat"
+  | Hadd -> "hadd"
+  | Mul_hi -> "mul_hi"
+
+let builtin_arity = function
+  | Clamp | Safe_clamp -> 3
+  | Rotate | Min | Max | Add_sat | Sub_sat | Hadd | Mul_hi -> 2
+  | Abs -> 1
+
+type safe_fn =
+  | Safe_add | Safe_sub | Safe_mul | Safe_div | Safe_mod
+  | Safe_shl | Safe_shr | Safe_neg
+
+let safe_fn_name = function
+  | Safe_add -> "safe_add"
+  | Safe_sub -> "safe_sub"
+  | Safe_mul -> "safe_mul"
+  | Safe_div -> "safe_div"
+  | Safe_mod -> "safe_mod"
+  | Safe_shl -> "safe_lshift"
+  | Safe_shr -> "safe_rshift"
+  | Safe_neg -> "safe_unary_minus"
+
+let safe_fn_of_binop = function
+  | Add -> Some Safe_add
+  | Sub -> Some Safe_sub
+  | Mul -> Some Safe_mul
+  | Div -> Some Safe_div
+  | Mod -> Some Safe_mod
+  | Shl -> Some Safe_shl
+  | Shr -> Some Safe_shr
+  | BitAnd | BitOr | BitXor | LogAnd | LogOr
+  | Eq | Ne | Lt | Gt | Le | Ge | Comma -> None
+
+type atomic =
+  | A_add | A_sub | A_inc | A_dec
+  | A_min | A_max | A_and | A_or | A_xor
+  | A_xchg
+  | A_cmpxchg
+
+let atomic_name = function
+  | A_add -> "atomic_add"
+  | A_sub -> "atomic_sub"
+  | A_inc -> "atomic_inc"
+  | A_dec -> "atomic_dec"
+  | A_min -> "atomic_min"
+  | A_max -> "atomic_max"
+  | A_and -> "atomic_and"
+  | A_or -> "atomic_or"
+  | A_xor -> "atomic_xor"
+  | A_xchg -> "atomic_xchg"
+  | A_cmpxchg -> "atomic_cmpxchg"
+
+let atomic_is_reduction = function
+  | A_add | A_min | A_max | A_and | A_or | A_xor -> true
+  | A_sub | A_inc | A_dec | A_xchg | A_cmpxchg -> false
+
+let all_reduction_atomics = [ A_add; A_min; A_max; A_and; A_or; A_xor ]
+
+type axis = X | Y | Z
+
+type id_kind =
+  | Global_id of axis
+  | Local_id of axis
+  | Group_id of axis
+  | Global_size of axis
+  | Local_size of axis
+  | Num_groups of axis
+  | Global_linear_id
+  | Local_linear_id
+  | Group_linear_id
+  | Local_linear_size
+  | Global_linear_size
+
+let axis_index = function X -> 0 | Y -> 1 | Z -> 2
+
+let id_kind_to_string k =
+  let ax a = Printf.sprintf "%d" (axis_index a) in
+  match k with
+  | Global_id a -> "get_global_id(" ^ ax a ^ ")"
+  | Local_id a -> "get_local_id(" ^ ax a ^ ")"
+  | Group_id a -> "get_group_id(" ^ ax a ^ ")"
+  | Global_size a -> "get_global_size(" ^ ax a ^ ")"
+  | Local_size a -> "get_local_size(" ^ ax a ^ ")"
+  | Num_groups a -> "get_num_groups(" ^ ax a ^ ")"
+  | Global_linear_id -> "get_linear_global_id()"
+  | Local_linear_id -> "get_linear_local_id()"
+  | Group_linear_id -> "get_linear_group_id()"
+  | Local_linear_size -> "get_linear_local_size()"
+  | Global_linear_size -> "get_linear_global_size()"
+
+type fence = F_local | F_global | F_both
+
+let fence_to_string = function
+  | F_local -> "CLK_LOCAL_MEM_FENCE"
+  | F_global -> "CLK_GLOBAL_MEM_FENCE"
+  | F_both -> "CLK_LOCAL_MEM_FENCE | CLK_GLOBAL_MEM_FENCE"
+
+let unop_to_string = function
+  | Neg -> "-"
+  | BitNot -> "~"
+  | LogNot -> "!"
+
+let binop_to_string = function
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Div -> "/"
+  | Mod -> "%"
+  | Shl -> "<<"
+  | Shr -> ">>"
+  | BitAnd -> "&"
+  | BitOr -> "|"
+  | BitXor -> "^"
+  | LogAnd -> "&&"
+  | LogOr -> "||"
+  | Eq -> "=="
+  | Ne -> "!="
+  | Lt -> "<"
+  | Gt -> ">"
+  | Le -> "<="
+  | Ge -> ">="
+  | Comma -> ","

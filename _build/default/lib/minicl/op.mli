@@ -1,0 +1,101 @@
+(** Operators, built-in functions, atomics and thread-identity accessors of
+    MiniCL.
+
+    The binary/unary operators follow C99 as restricted by OpenCL C, applied
+    component-wise to vectors. The "safe" variants correspond to the
+    safe-math macros that Csmith/CLsmith wrap around operations with
+    undefined behaviours (paper section 4.1): their semantics is total, with
+    the fallback result conventions used by Csmith (e.g. division by zero
+    yields the dividend). *)
+
+type unop =
+  | Neg        (** arithmetic negation [-x] *)
+  | BitNot     (** [~x] *)
+  | LogNot     (** [!x]; yields [int] 0/1 (scalars only in MiniCL) *)
+
+type binop =
+  | Add | Sub | Mul | Div | Mod
+  | Shl | Shr
+  | BitAnd | BitOr | BitXor
+  | LogAnd | LogOr               (** short-circuit on scalars *)
+  | Eq | Ne | Lt | Gt | Le | Ge
+  | Comma                        (** the C comma operator, cf. Fig. 2(f) *)
+
+(** Whether the plain C operator has undefined behaviours on some integer
+    inputs (signed overflow, division by zero, oversized shifts): such
+    operators are wrapped by safe variants in generated code. *)
+val has_ub : binop -> bool
+
+val is_comparison : binop -> bool
+val is_shortcircuit : binop -> bool
+
+(** Vector/scalar integer built-ins exercised by the generator. [Clamp] and
+    [Rotate] are the two the paper describes in detail (section 3.1). The
+    [Safe_clamp] form implements the [safe_clamp] macro of section 4.1. *)
+type builtin =
+  | Clamp        (** clamp(x, lo, hi); UB when some lo > hi *)
+  | Safe_clamp   (** (lo > hi ? x : clamp(x, lo, hi)) *)
+  | Rotate       (** rotate(x, y): left-rotate, total *)
+  | Min
+  | Max
+  | Abs          (** returns the unsigned type of the argument *)
+  | Add_sat
+  | Sub_sat
+  | Hadd         (** (x + y) >> 1 without overflow *)
+  | Mul_hi
+
+val builtin_name : builtin -> string
+val builtin_arity : builtin -> int
+
+(** Safe scalar arithmetic wrappers, one per UB-capable operator. These are
+    printed as the [safe_*] macros CLsmith emits; their interpretation is
+    total. *)
+type safe_fn =
+  | Safe_add | Safe_sub | Safe_mul | Safe_div | Safe_mod
+  | Safe_shl | Safe_shr | Safe_neg
+
+val safe_fn_name : safe_fn -> string
+val safe_fn_of_binop : binop -> safe_fn option
+
+(** Atomic read-modify-write operations of OpenCL 1.x. All return the old
+    value of the location. *)
+type atomic =
+  | A_add | A_sub | A_inc | A_dec
+  | A_min | A_max | A_and | A_or | A_xor
+  | A_xchg
+  | A_cmpxchg
+
+val atomic_name : atomic -> string
+
+(** [true] for the commutative and associative reduction operators usable by
+    ATOMIC REDUCTION mode (paper section 4.2). *)
+val atomic_is_reduction : atomic -> bool
+
+val all_reduction_atomics : atomic list
+
+(** Thread-identity accessors (paper section 3.1). The [x/y/z] axis variants
+    have OpenCL type [size_t]; the linearised forms are computed. *)
+type axis = X | Y | Z
+
+type id_kind =
+  | Global_id of axis
+  | Local_id of axis
+  | Group_id of axis
+  | Global_size of axis
+  | Local_size of axis
+  | Num_groups of axis
+  | Global_linear_id
+  | Local_linear_id
+  | Group_linear_id
+  | Local_linear_size    (** W_linear = Wx*Wy*Wz *)
+  | Global_linear_size   (** N_linear = Nx*Ny*Nz *)
+
+val id_kind_to_string : id_kind -> string
+
+(** Memory-fence argument of [barrier]. *)
+type fence = F_local | F_global | F_both
+
+val fence_to_string : fence -> string
+
+val unop_to_string : unop -> string
+val binop_to_string : binop -> string

@@ -1,0 +1,294 @@
+open Ast
+
+(* C operator precedence levels; higher binds tighter. *)
+let binop_prec : Op.binop -> int = function
+  | Op.Mul | Op.Div | Op.Mod -> 13
+  | Op.Add | Op.Sub -> 12
+  | Op.Shl | Op.Shr -> 11
+  | Op.Lt | Op.Gt | Op.Le | Op.Ge -> 10
+  | Op.Eq | Op.Ne -> 9
+  | Op.BitAnd -> 8
+  | Op.BitXor -> 7
+  | Op.BitOr -> 6
+  | Op.LogAnd -> 5
+  | Op.LogOr -> 4
+  | Op.Comma -> 1
+
+let prec_of : expr -> int = function
+  | Const _ | Var _ | Thread_id _ | Vec_lit _ -> 16
+  | Field _ | Arrow _ | Index _ | Swizzle _ | Call _ | Builtin _ | Atomic _ ->
+      15
+  | Unop _ | Safe_neg _ | Deref _ | Addr_of _ | Cast _ -> 14
+  | Binop (op, _, _) | Safe_binop (op, _, _) -> (
+      match Op.safe_fn_of_binop op with
+      | Some _ -> binop_prec op
+      | None -> binop_prec op)
+  | Cond _ -> 2
+
+let const_to_string (c : const) = Scalar_text.render c.value c.cty
+
+let swizzle_name idxs =
+  let letter = function
+    | 0 -> "x"
+    | 1 -> "y"
+    | 2 -> "z"
+    | 3 -> "w"
+    | _ -> ""
+  in
+  if List.for_all (fun i -> i < 4) idxs then
+    "." ^ String.concat "" (List.map letter idxs)
+  else
+    ".s"
+    ^ String.concat ""
+        (List.map (fun i -> Printf.sprintf "%x" i) idxs)
+
+let rec expr_str ?(prec = 0) e =
+  let s =
+    match e with
+    | Const c -> const_to_string c
+    | Var v -> v
+    | Thread_id k -> Op.id_kind_to_string k
+    | Unop (op, a) -> Op.unop_to_string op ^ expr_str ~prec:14 a
+    | Safe_neg a -> Printf.sprintf "safe_unary_minus(%s)" (expr_str a)
+    | Binop (Op.Comma, a, b) ->
+        Printf.sprintf "%s , %s" (expr_str ~prec:2 a) (expr_str ~prec:1 b)
+    | Binop (op, a, b) ->
+        let p = binop_prec op in
+        Printf.sprintf "%s %s %s" (expr_str ~prec:p a) (Op.binop_to_string op)
+          (expr_str ~prec:(p + 1) b)
+    | Safe_binop (op, a, b) -> (
+        match Op.safe_fn_of_binop op with
+        | Some fn ->
+            Printf.sprintf "%s(%s, %s)" (Op.safe_fn_name fn) (arg_str a)
+              (arg_str b)
+        | None ->
+            let p = binop_prec op in
+            Printf.sprintf "%s %s %s" (expr_str ~prec:p a)
+              (Op.binop_to_string op)
+              (expr_str ~prec:(p + 1) b))
+    | Builtin (b, args) ->
+        Printf.sprintf "%s(%s)" (Op.builtin_name b)
+          (String.concat ", " (List.map arg_str args))
+    | Call (f, args) ->
+        Printf.sprintf "%s(%s)" f (String.concat ", " (List.map arg_str args))
+    | Cast (t, a) -> Printf.sprintf "(%s)%s" (Ty.to_string t) (expr_str ~prec:14 a)
+    | Cond (c, a, b) ->
+        Printf.sprintf "%s ? %s : %s" (expr_str ~prec:3 c) (expr_str ~prec:2 a)
+          (expr_str ~prec:2 b)
+    | Field (a, f) -> Printf.sprintf "%s.%s" (expr_str ~prec:15 a) f
+    | Arrow (a, f) -> Printf.sprintf "%s->%s" (expr_str ~prec:15 a) f
+    | Index (a, i) -> Printf.sprintf "%s[%s]" (expr_str ~prec:15 a) (expr_str i)
+    | Deref a -> Printf.sprintf "*%s" (expr_str ~prec:14 a)
+    | Addr_of a -> Printf.sprintf "&%s" (expr_str ~prec:14 a)
+    | Vec_lit (s, l, args) ->
+        Printf.sprintf "(%s%d)(%s)" (Ty.scalar_name s) (Ty.vlen_to_int l)
+          (String.concat ", " (List.map arg_str args))
+    | Swizzle (a, idxs) -> expr_str ~prec:15 a ^ swizzle_name idxs
+    | Atomic (op, p, args) ->
+        Printf.sprintf "%s(%s)" (Op.atomic_name op)
+          (String.concat ", " (List.map arg_str (p :: args)))
+  in
+  if prec_of e < prec then "(" ^ s ^ ")" else s
+
+(* argument / initialiser position: must bind tighter than the comma *)
+and arg_str e = expr_str ~prec:2 e
+
+let expr_to_string e = expr_str e
+
+let rec init_str = function
+  | I_expr e -> arg_str e
+  | I_list is -> "{ " ^ String.concat ", " (List.map init_str is) ^ " }"
+
+(* Declarations print arrays C-style: base name[dim]...; pointers and
+   qualifiers come before the name. *)
+let decl_str (d : decl) =
+  let rec split_arr ty =
+    match ty with
+    | Ty.Arr (e, n) ->
+        let base, dims = split_arr e in
+        (base, n :: dims)
+    | _ -> (ty, [])
+  in
+  let base, dims = split_arr d.dty in
+  let space_prefix =
+    match d.dspace with
+    | Ty.Private -> ""
+    | sp -> Ty.space_to_string sp ^ " "
+  in
+  let vol = if d.dvolatile then "volatile " else "" in
+  let dims_str =
+    String.concat "" (List.map (fun n -> Printf.sprintf "[%d]" n) dims)
+  in
+  let init = match d.dinit with
+    | None -> ""
+    | Some i -> " = " ^ init_str i
+  in
+  Printf.sprintf "%s%s%s %s%s%s" space_prefix vol (Ty.to_string base) d.dname
+    dims_str init
+
+let assign_op_str = function
+  | A_simple -> "="
+  | A_op op -> Op.binop_to_string op ^ "="
+
+let rec stmt_str ind s =
+  let pad = String.make (ind * 2) ' ' in
+  match s with
+  | Decl d -> pad ^ decl_str d ^ ";"
+  | Assign (l, op, r) ->
+      Printf.sprintf "%s%s %s %s;" pad (expr_str ~prec:15 l) (assign_op_str op)
+        (expr_str ~prec:2 r)
+  | Expr e -> pad ^ expr_str e ^ ";"
+  | If (c, b1, []) ->
+      Printf.sprintf "%sif (%s)\n%s" pad (expr_str c) (block_str ind b1)
+  | If (c, b1, b2) ->
+      Printf.sprintf "%sif (%s)\n%s\n%selse\n%s" pad (expr_str c)
+        (block_str ind b1) pad (block_str ind b2)
+  | For { f_init; f_cond; f_update; f_body } ->
+      let part = function
+        | None -> ""
+        | Some s -> inline_stmt_str s
+      in
+      let cond = match f_cond with None -> "" | Some e -> expr_str e in
+      Printf.sprintf "%sfor (%s; %s; %s)\n%s" pad (part f_init) cond
+        (part f_update) (block_str ind f_body)
+  | While (c, b) ->
+      Printf.sprintf "%swhile (%s)\n%s" pad (expr_str c) (block_str ind b)
+  | Break -> pad ^ "break;"
+  | Continue -> pad ^ "continue;"
+  | Return None -> pad ^ "return;"
+  | Return (Some e) -> Printf.sprintf "%sreturn %s;" pad (expr_str e)
+  | Barrier f -> Printf.sprintf "%sbarrier(%s);" pad (Op.fence_to_string f)
+  | Block b -> block_str ind b
+  | Emi { emi_lo; emi_hi; emi_body; _ } ->
+      Printf.sprintf "%sif (dead[%d] < dead[%d])\n%s" pad emi_hi emi_lo
+        (block_str ind emi_body)
+
+(* for-headers: a declaration or assignment without the trailing ';'. *)
+and inline_stmt_str s =
+  match s with
+  | Decl d -> decl_str d
+  | Assign (l, op, r) ->
+      Printf.sprintf "%s %s %s" (expr_str ~prec:15 l) (assign_op_str op)
+        (expr_str ~prec:2 r)
+  | Expr e -> expr_str e
+  | _ -> String.trim (stmt_str 0 s)
+
+and block_str ind b =
+  let pad = String.make (ind * 2) ' ' in
+  let body = List.map (stmt_str (ind + 1)) b in
+  String.concat "\n" ((pad ^ "{") :: body @ [ pad ^ "}" ])
+
+let stmt_to_string ?(indent = 0) s = stmt_str indent s
+
+let params_str params =
+  String.concat ", "
+    (List.map
+       (fun (n, t) ->
+         match t with
+         | Ty.Ptr (sp, e) when sp <> Ty.Private ->
+             Printf.sprintf "%s %s *%s" (Ty.space_to_string sp) (Ty.to_string e)
+               n
+         | _ -> Printf.sprintf "%s %s" (Ty.to_string t) n)
+       params)
+
+let func_to_string ?(kernel = false) (f : func) =
+  let quals = if kernel then "kernel " else "" in
+  Printf.sprintf "%s%s %s(%s)\n%s" quals (Ty.to_string f.ret) f.fname
+    (params_str f.params) (block_str 0 f.body)
+
+let aggregate_str (a : Ty.aggregate) =
+  let kw = if a.is_union then "union" else "struct" in
+  let field_str (f : Ty.field) =
+    let vol = if f.fvolatile then "volatile " else "" in
+    let rec split_arr ty =
+      match ty with
+      | Ty.Arr (e, n) ->
+          let base, dims = split_arr e in
+          (base, n :: dims)
+      | _ -> (ty, [])
+    in
+    let base, dims = split_arr f.fty in
+    let dims_str =
+      String.concat "" (List.map (fun n -> Printf.sprintf "[%d]" n) dims)
+    in
+    Printf.sprintf "  %s%s %s%s;" vol (Ty.to_string base) f.fname dims_str
+  in
+  Printf.sprintf "typedef %s {\n%s\n} %s;" kw
+    (String.concat "\n" (List.map field_str a.fields))
+    a.aname
+
+let const_array_str (ca : const_array) =
+  let row r =
+    "{"
+    ^ String.concat ", " (Array.to_list (Array.map Int64.to_string r))
+    ^ "}"
+  in
+  if Array.length ca.ca_data = 1 then
+    Printf.sprintf "__constant %s %s[%d] = %s;" (Ty.scalar_name ca.ca_elem)
+      ca.ca_name
+      (Array.length ca.ca_data.(0))
+      (row ca.ca_data.(0))
+  else
+    Printf.sprintf "__constant %s %s[%d][%d] = {%s};"
+      (Ty.scalar_name ca.ca_elem) ca.ca_name (Array.length ca.ca_data)
+      (Array.length ca.ca_data.(0))
+      (String.concat ", " (Array.to_list (Array.map row ca.ca_data)))
+
+let prelude =
+  String.concat "\n"
+    [ "/* Safe-math wrappers (cf. Csmith): total semantics, fallback = first";
+      "   operand. The definitions below follow csmith's safe_math.h. */";
+      "#define safe_add(a, b) __safe_binop(+, (a), (b))";
+      "#define safe_sub(a, b) __safe_binop(-, (a), (b))";
+      "#define safe_mul(a, b) __safe_binop(*, (a), (b))";
+      "#define safe_div(a, b) ((b) == 0 ? (a) : (a) / (b))";
+      "#define safe_mod(a, b) ((b) == 0 ? (a) : (a) % (b))";
+      "#define safe_lshift(a, b) __safe_shift(<<, (a), (b))";
+      "#define safe_rshift(a, b) __safe_shift(>>, (a), (b))";
+      "#define safe_unary_minus(a) __safe_neg(a)";
+      "#define safe_clamp(x, lo, hi) ((lo) > (hi) ? (x) : clamp((x), (lo), (hi)))";
+      "" ]
+
+let program_to_string ?(with_prelude = false) (p : program) =
+  let buf = Buffer.create 4096 in
+  if with_prelude then Buffer.add_string buf (prelude ^ "\n");
+  List.iter
+    (fun a -> Buffer.add_string buf (aggregate_str a ^ "\n\n"))
+    p.aggregates;
+  List.iter
+    (fun ca -> Buffer.add_string buf (const_array_str ca ^ "\n\n"))
+    p.constant_arrays;
+  List.iter
+    (fun f -> Buffer.add_string buf (func_to_string f ^ "\n\n"))
+    p.funcs;
+  Buffer.add_string buf (func_to_string ~kernel:true p.kernel ^ "\n");
+  Buffer.contents buf
+
+let buffer_spec_str = function
+  | Buf_out -> "out: ulong[N_linear] zero-initialised, printed on completion"
+  | Buf_dead false -> "dead: dead[j] = j (EMI blocks unreachable)"
+  | Buf_dead true -> "dead: inverted, dead[j] = d-1-j (EMI blocks live)"
+  | Buf_data d -> Printf.sprintf "data[%d] (host input)" (Array.length d)
+  | Buf_zero n -> Printf.sprintf "zero[%d] (scratch)" n
+
+let testcase_to_string (tc : testcase) =
+  let gx, gy, gz = tc.global_size and lx, ly, lz = tc.local_size in
+  let header =
+    Printf.sprintf
+      "/* host: global_size = (%d, %d, %d), local_size = (%d, %d, %d)\n%s */\n"
+      gx gy gz lx ly lz
+      (String.concat "\n"
+         (List.map
+            (fun (n, b) -> Printf.sprintf "   %s <- %s" n (buffer_spec_str b))
+            tc.buffers))
+  in
+  header ^ program_to_string tc.prog
+
+let pp_program fmt p = Format.pp_print_string fmt (program_to_string p)
+
+let source_line_count p =
+  let text = program_to_string p in
+  List.length
+    (List.filter
+       (fun l -> String.trim l <> "")
+       (String.split_on_char '\n' text))

@@ -1,0 +1,26 @@
+(** Pretty-printing of MiniCL programs to OpenCL C source text.
+
+    The output is the concrete syntax a real CLsmith run would hand to a
+    vendor's online compiler: aggregate definitions, the [__constant]
+    permutation tables of BARRIER mode, the helper functions, and the kernel.
+    [safe_*] operations print as the macro invocations CLsmith emits; pass
+    [~with_prelude:true] to also print the macro definitions so the text is
+    self-contained. EMI blocks print as their dead-by-construction guards
+    [if (dead[i] < dead[j]) { ... }] (paper section 5). *)
+
+val expr_to_string : Ast.expr -> string
+val stmt_to_string : ?indent:int -> Ast.stmt -> string
+val func_to_string : ?kernel:bool -> Ast.func -> string
+
+val program_to_string : ?with_prelude:bool -> Ast.program -> string
+
+val testcase_to_string : Ast.testcase -> string
+(** Program text plus a host-configuration comment (NDRange sizes, buffer
+    initialisation), which is what our campaign logs store for a failing
+    test. *)
+
+val pp_program : Format.formatter -> Ast.program -> unit
+
+val source_line_count : Ast.program -> int
+(** Number of non-blank source lines of the printed program — the metric
+    Table 2 reports (the paper used [cloc] on kernel files). *)

@@ -1,0 +1,11 @@
+(* Rendering of scalar constants as C literals. Lives in [minicl] (rather
+   than the [value] library, which depends on this one) because the
+   pretty-printer needs it. Suffixes preserve the constant's type where C's
+   default literal typing would change it. *)
+
+let render (v : int64) (ty : Ty.scalar) =
+  match (ty.sign, ty.width) with
+  | Ty.Signed, (Ty.W8 | Ty.W16 | Ty.W32) -> Int64.to_string v
+  | Ty.Unsigned, (Ty.W8 | Ty.W16 | Ty.W32) -> Printf.sprintf "%LuU" v
+  | Ty.Signed, Ty.W64 -> Printf.sprintf "%LdL" v
+  | Ty.Unsigned, Ty.W64 -> Printf.sprintf "%LuUL" v

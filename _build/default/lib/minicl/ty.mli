@@ -1,0 +1,102 @@
+(** Types of the MiniCL kernel language.
+
+    MiniCL is the OpenCL-C subset used throughout this reproduction: the
+    integer scalar types of OpenCL C (with their fixed, implementation
+    independent widths, cf. paper section 3.1), vectors of lengths 2/4/8/16,
+    nominal struct and union types, pointers qualified by one of the four
+    OpenCL memory spaces, and fixed-size arrays. *)
+
+type width = W8 | W16 | W32 | W64
+type sign = Signed | Unsigned
+
+type scalar = { width : width; sign : sign }
+
+(** Vector lengths supported by OpenCL C (length 3 exists only from
+    OpenCL 1.1 onwards and is not generated, as in CLsmith). *)
+type vlen = V2 | V4 | V8 | V16
+
+(** The OpenCL memory spaces. [Private] is the default space. *)
+type space = Private | Local | Global | Constant
+
+type t =
+  | Void
+  | Scalar of scalar
+  | Vector of scalar * vlen
+  | Named of string  (** nominal reference to a struct or union *)
+  | Ptr of space * t
+  | Arr of t * int
+
+(** A struct/union field. [fvolatile] mirrors the [volatile] qualifier,
+    which several of the paper's bug exhibits depend on. *)
+type field = { fname : string; fty : t; fvolatile : bool }
+
+(** A named aggregate definition; [is_union] selects union layout. *)
+type aggregate = { aname : string; fields : field list; is_union : bool }
+
+(** Aggregate environment: resolves [Named] types. *)
+type tyenv
+
+val char : t
+val uchar : t
+val short : t
+val ushort : t
+val int : t
+val uint : t
+val long : t
+val ulong : t
+val size_t : t
+(** [size_t] is modelled as [ulong], but thread-id expressions carry a
+    distinct provenance used by the Intel-Xeon front-end fault (section 6
+    of the paper: "invalid operands to binary expression (int and size_t)"). *)
+
+val all_scalars : scalar list
+val all_vlens : vlen list
+
+val vlen_to_int : vlen -> int
+val vlen_of_int : int -> vlen option
+val bits : width -> int
+val bytes_of_width : width -> int
+
+val tyenv_of_list : aggregate list -> tyenv
+val tyenv_aggregates : tyenv -> aggregate list
+val find_aggregate : tyenv -> string -> aggregate
+(** @raise Not_found if the name is unbound. *)
+
+val find_aggregate_opt : tyenv -> string -> aggregate option
+
+val is_integer : t -> bool
+val is_vector : t -> bool
+val is_pointer : t -> bool
+val is_aggregate : tyenv -> t -> bool
+val scalar_of : t -> scalar option
+(** Element scalar of a scalar or vector type. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val scalar_name : scalar -> string
+(** OpenCL C spelling, e.g. ["uchar"], ["long"]. *)
+
+val to_string : t -> string
+(** OpenCL C spelling of a type, e.g. ["int4"], ["global ulong*"]. *)
+
+val pp : Format.formatter -> t -> unit
+val pp_space : Format.formatter -> space -> unit
+
+val space_to_string : space -> string
+
+val int_scalar : scalar
+(** The [int] type, target of C99 integer promotion. *)
+
+val promote : scalar -> scalar
+(** C99 integer promotion: anything narrower than [int] becomes [int]. *)
+
+val usual_arith : scalar -> scalar -> scalar
+(** C99 usual arithmetic conversions restricted to the 8 OpenCL integer
+    scalar types (unsigned wins at equal rank, greater rank wins otherwise). *)
+
+(** Ranges of a scalar type, as signed 64-bit values. For unsigned 64-bit the
+    maximum is represented by [-1L] wrapped arithmetic; see {!Value.Scalar}. *)
+val min_value : scalar -> int64
+
+val max_value : scalar -> int64

@@ -1,0 +1,514 @@
+open Ast
+
+exception Type_error of string
+
+let err fmt = Printf.ksprintf (fun s -> raise (Type_error s)) fmt
+
+module String_map = Map.Make (String)
+
+type env = {
+  tyenv : Ty.tyenv;
+  funcs : (Ty.t list * Ty.t) String_map.t;
+  vars : (Ty.t * Ty.space) String_map.t;
+  dead_size : int;
+}
+
+let env_of_program (p : program) =
+  let tyenv = Ty.tyenv_of_list p.aggregates in
+  let funcs =
+    List.fold_left
+      (fun m (f : func) ->
+        String_map.add f.fname (List.map snd f.params, f.ret) m)
+      String_map.empty p.funcs
+  in
+  let vars =
+    List.fold_left
+      (fun m (ca : const_array) ->
+        let cols = if Array.length ca.ca_data = 0 then 0
+          else Array.length ca.ca_data.(0) in
+        let ty =
+          if Array.length ca.ca_data = 1 then
+            Ty.Arr (Ty.Scalar ca.ca_elem, cols)
+          else
+            Ty.Arr (Ty.Arr (Ty.Scalar ca.ca_elem, cols), Array.length ca.ca_data)
+        in
+        String_map.add ca.ca_name (ty, Ty.Constant) m)
+      String_map.empty p.constant_arrays
+  in
+  { tyenv; funcs; vars; dead_size = p.dead_size }
+
+let bind_var env name ty space =
+  { env with vars = String_map.add name (ty, space) env.vars }
+
+let lookup_var env name = String_map.find_opt name env.vars
+
+let int_t = Ty.Scalar Ty.int_scalar
+
+(* Result type of a binary operation; mirrors {!Scalar.binop} /
+   {!Vecval.binop}. *)
+let binop_result (op : Op.binop) ta tb =
+  let comparisonish = Op.is_comparison op || Op.is_shortcircuit op in
+  match (ta, tb) with
+  | Ty.Scalar a, Ty.Scalar b ->
+      if comparisonish then int_t
+      else if op = Op.Comma then tb
+      else (
+        match op with
+        | Op.Shl | Op.Shr -> Ty.Scalar (Ty.promote a)
+        | _ -> Ty.Scalar (Ty.usual_arith a b))
+  | Ty.Vector (a, la), Ty.Vector (b, lb) ->
+      if la <> lb then
+        err "vector length mismatch: %s vs %s" (Ty.to_string ta)
+          (Ty.to_string tb)
+      else if a <> b then
+        err "vector element type mismatch (no implicit conversion): %s vs %s"
+          (Ty.to_string ta) (Ty.to_string tb)
+      else if comparisonish then Ty.Vector ({ a with sign = Ty.Signed }, la)
+      else if op = Op.Comma then tb
+      else ta
+  | Ty.Vector (a, la), Ty.Scalar _ ->
+      (* scalar widens to the vector's element type *)
+      if comparisonish then Ty.Vector ({ a with sign = Ty.Signed }, la) else ta
+  | Ty.Scalar _, Ty.Vector (b, lb) ->
+      if op = Op.Shl || op = Op.Shr then
+        err "shift with vector count and scalar value"
+      else if comparisonish then Ty.Vector ({ b with sign = Ty.Signed }, lb)
+      else tb
+  | _ ->
+      if op = Op.Comma then tb
+      else if Op.is_comparison op && Ty.equal ta tb && Ty.is_pointer ta then
+        int_t
+      else
+        err "operator %s requires integer operands, got %s and %s"
+          (Op.binop_to_string op) (Ty.to_string ta) (Ty.to_string tb)
+
+let scalar_convertible t = Ty.is_integer t
+
+let rec type_of_expr env (e : expr) : Ty.t =
+  match e with
+  | Const c -> Ty.Scalar c.cty
+  | Var v -> (
+      match lookup_var env v with
+      | Some (t, _) -> t
+      | None -> err "unbound variable %s" v)
+  | Thread_id k -> (
+      match k with
+      | Op.Global_id _ | Op.Local_id _ | Op.Group_id _ | Op.Global_size _
+      | Op.Local_size _ | Op.Num_groups _ ->
+          Ty.size_t
+      | Op.Global_linear_id | Op.Local_linear_id | Op.Group_linear_id
+      | Op.Local_linear_size | Op.Global_linear_size ->
+          Ty.uint)
+  | Unop (op, a) -> (
+      let ta = type_of_expr env a in
+      match (op, ta) with
+      | Op.LogNot, Ty.Scalar _ -> int_t
+      | Op.LogNot, Ty.Vector (s, l) -> Ty.Vector ({ s with sign = Ty.Signed }, l)
+      | (Op.Neg | Op.BitNot), Ty.Scalar s -> Ty.Scalar (Ty.promote s)
+      | (Op.Neg | Op.BitNot), Ty.Vector _ -> ta
+      | _, _ ->
+          err "unary %s on non-integer type %s" (Op.unop_to_string op)
+            (Ty.to_string ta))
+  | Binop (op, a, b) | Safe_binop (op, a, b) ->
+      binop_result op (type_of_expr env a) (type_of_expr env b)
+  | Safe_neg a -> (
+      match type_of_expr env a with
+      | Ty.Scalar s -> Ty.Scalar (Ty.promote s)
+      | Ty.Vector _ as t -> t
+      | t -> err "safe_unary_minus on %s" (Ty.to_string t))
+  | Builtin (b, args) -> type_of_builtin env b args
+  | Call (f, args) -> (
+      match String_map.find_opt f env.funcs with
+      | None -> err "call to undefined function %s" f
+      | Some (params, ret) ->
+          if List.length params <> List.length args then
+            err "%s: arity mismatch" f;
+          List.iter2
+            (fun pt a ->
+              let at = type_of_expr env a in
+              if Ty.equal pt at then ()
+              else if scalar_convertible pt && scalar_convertible at then ()
+              else
+                err "%s: argument type %s does not match parameter type %s" f
+                  (Ty.to_string at) (Ty.to_string pt))
+            params args;
+          ret)
+  | Cast (t, a) -> (
+      let ta = type_of_expr env a in
+      match (t, ta) with
+      | Ty.Scalar _, Ty.Scalar _ -> t
+      | Ty.Vector (_, l1), Ty.Vector (_, l2) when l1 = l2 -> t
+      | Ty.Vector _, Ty.Scalar _ -> t (* splat *)
+      | Ty.Ptr _, Ty.Ptr _ when Ty.equal t ta -> t
+      | _ -> err "invalid cast from %s to %s" (Ty.to_string ta) (Ty.to_string t))
+  | Cond (c, a, b) -> (
+      (match type_of_expr env c with
+      | Ty.Scalar _ -> ()
+      | t -> err "?: condition must be scalar, got %s" (Ty.to_string t));
+      let ta = type_of_expr env a and tb = type_of_expr env b in
+      match (ta, tb) with
+      | Ty.Scalar x, Ty.Scalar y -> Ty.Scalar (Ty.usual_arith x y)
+      | _ when Ty.equal ta tb -> ta
+      | _ -> err "?: branches %s vs %s" (Ty.to_string ta) (Ty.to_string tb))
+  | Field (a, f) -> field_type env (type_of_expr env a) f ~arrow:false
+  | Arrow (a, f) -> (
+      match type_of_expr env a with
+      | Ty.Ptr (_, t) -> field_type env t f ~arrow:true
+      | t -> err "-> on non-pointer %s" (Ty.to_string t))
+  | Index (a, i) -> (
+      (match type_of_expr env i with
+      | Ty.Scalar _ -> ()
+      | t -> err "index must be scalar, got %s" (Ty.to_string t));
+      match type_of_expr env a with
+      | Ty.Arr (t, _) -> t
+      | Ty.Ptr (_, t) -> t
+      | t -> err "indexing non-array %s" (Ty.to_string t))
+  | Deref a -> (
+      match type_of_expr env a with
+      | Ty.Ptr (_, t) -> t
+      | t -> err "dereference of non-pointer %s" (Ty.to_string t))
+  | Addr_of a ->
+      let t = type_of_expr env a in
+      let sp = space_of_lvalue env a in
+      Ty.Ptr (sp, t)
+  | Vec_lit (s, l, args) ->
+      let count =
+        List.fold_left
+          (fun n a ->
+            match type_of_expr env a with
+            | Ty.Scalar _ -> n + 1
+            | Ty.Vector (s', l') ->
+                if s' <> s then
+                  err "vector literal component element type %s, expected %s"
+                    (Ty.scalar_name s') (Ty.scalar_name s);
+                n + Ty.vlen_to_int l'
+            | t -> err "vector literal component of type %s" (Ty.to_string t))
+          0 args
+      in
+      if count <> Ty.vlen_to_int l then
+        err "vector literal has %d components, expected %d" count
+          (Ty.vlen_to_int l);
+      Ty.Vector (s, l)
+  | Swizzle (a, idxs) -> (
+      match type_of_expr env a with
+      | Ty.Vector (s, l) ->
+          let n = Ty.vlen_to_int l in
+          List.iter
+            (fun i -> if i < 0 || i >= n then err "swizzle index %d out of range" i)
+            idxs;
+          (match List.length idxs with
+          | 1 -> Ty.Scalar s
+          | k -> (
+              match Ty.vlen_of_int k with
+              | Some l' -> Ty.Vector (s, l')
+              | None -> err "swizzle selects %d components" k))
+      | t -> err "swizzle on non-vector %s" (Ty.to_string t))
+  | Atomic (op, p, args) -> (
+      match type_of_expr env p with
+      | Ty.Ptr ((Ty.Local | Ty.Global), Ty.Scalar s)
+        when s.Ty.width = Ty.W32 ->
+          let expected =
+            match op with
+            | Op.A_inc | Op.A_dec -> 0
+            | Op.A_cmpxchg -> 2
+            | _ -> 1
+          in
+          if List.length args <> expected then
+            err "%s: expected %d operand(s)" (Op.atomic_name op) expected;
+          List.iter
+            (fun a ->
+              match type_of_expr env a with
+              | Ty.Scalar _ -> ()
+              | t -> err "atomic operand of type %s" (Ty.to_string t))
+            args;
+          Ty.Scalar s
+      | t ->
+          err "%s: first argument must point to a 32-bit integer in local or \
+               global memory, got %s"
+            (Op.atomic_name op) (Ty.to_string t))
+
+and type_of_builtin env b args =
+  let n = Op.builtin_arity b in
+  if List.length args <> n then err "%s: arity mismatch" (Op.builtin_name b);
+  let tys = List.map (type_of_expr env) args in
+  let all_same () =
+    match tys with
+    | t0 :: rest ->
+        List.iter
+          (fun t ->
+            if not (Ty.equal t t0) then
+              err "%s: mixed operand types %s vs %s" (Op.builtin_name b)
+                (Ty.to_string t0) (Ty.to_string t))
+          rest;
+        t0
+    | [] -> assert false
+  in
+  match b with
+  | Op.Clamp | Op.Safe_clamp -> (
+      match tys with
+      | [ (Ty.Vector (s, _) as tv); Ty.Scalar s1; Ty.Scalar s2 ]
+        when s1 = s && s2 = s ->
+          tv
+      | _ -> all_same ())
+  | Op.Rotate | Op.Min | Op.Max | Op.Add_sat | Op.Sub_sat | Op.Hadd
+  | Op.Mul_hi ->
+      all_same ()
+  | Op.Abs -> (
+      match all_same () with
+      | Ty.Scalar s -> Ty.Scalar { s with sign = Ty.Unsigned }
+      | Ty.Vector (s, l) -> Ty.Vector ({ s with sign = Ty.Unsigned }, l)
+      | t -> err "abs on %s" (Ty.to_string t))
+
+and field_type env t f ~arrow =
+  match t with
+  | Ty.Named n -> (
+      match Ty.find_aggregate_opt env.tyenv n with
+      | None -> err "unknown aggregate %s" n
+      | Some agg -> (
+          match List.find_opt (fun (fl : Ty.field) -> fl.fname = f) agg.fields with
+          | Some fl -> fl.fty
+          | None -> err "aggregate %s has no field %s" n f))
+  | _ ->
+      err "%s on non-aggregate type %s"
+        (if arrow then "->" else ".")
+        (Ty.to_string t)
+
+and space_of_lvalue env (e : expr) : Ty.space =
+  match e with
+  | Var v -> (
+      match lookup_var env v with
+      | Some (_, sp) ->
+          if sp = Ty.Constant then err "constant data is not an lvalue: %s" v;
+          sp
+      | None -> err "unbound variable %s" v)
+  | Field (a, _) -> space_of_lvalue env a
+  | Index (a, _) -> (
+      match type_of_expr env a with
+      | Ty.Ptr (sp, _) -> sp
+      | Ty.Arr _ -> space_of_lvalue env a
+      | t -> err "indexing non-array %s" (Ty.to_string t))
+  | Arrow (a, _) | Deref a -> (
+      match type_of_expr env a with
+      | Ty.Ptr (sp, _) -> sp
+      | t -> err "dereference of non-pointer %s" (Ty.to_string t))
+  | Swizzle (a, idxs) ->
+      if List.length idxs <> 1 then err "multi-component swizzle lvalue";
+      space_of_lvalue env a
+  | _ -> err "not an lvalue: %s" (Pp.expr_to_string e)
+
+let is_lvalue env e =
+  match space_of_lvalue env e with
+  | (_ : Ty.space) -> true
+  | exception Type_error _ -> false
+
+(* Initialiser checking: scalar initialisers convert implicitly; brace lists
+   follow C's shape for structs/arrays; a union brace list initialises the
+   first field. *)
+let rec check_init env (t : Ty.t) (i : init) =
+  match (t, i) with
+  | Ty.Ptr _, I_expr (Const c) when c.value = 0L -> () (* null constant *)
+  | _, I_expr e ->
+      let te = type_of_expr env e in
+      if Ty.equal t te then ()
+      else if scalar_convertible t && scalar_convertible te then ()
+      else
+        err "initialiser of type %s for declaration of type %s"
+          (Ty.to_string te) (Ty.to_string t)
+  | Ty.Named n, I_list is -> (
+      match Ty.find_aggregate_opt env.tyenv n with
+      | None -> err "unknown aggregate %s" n
+      | Some agg ->
+          if agg.is_union then (
+            match (agg.fields, is) with
+            | f :: _, [ i0 ] -> check_init env f.fty i0
+            | _, _ -> err "union initialiser must have exactly one element")
+          else begin
+            if List.length is > List.length agg.fields then
+              err "too many initialisers for struct %s" n;
+            List.iteri
+              (fun k ik -> check_init env (List.nth agg.fields k).fty ik)
+              is
+          end)
+  | Ty.Arr (et, sz), I_list is ->
+      if List.length is > sz then err "too many array initialisers";
+      List.iter (check_init env et) is
+  | Ty.Vector (s, l), I_list is ->
+      if List.length is <> Ty.vlen_to_int l then
+        err "vector initialiser arity mismatch";
+      List.iter (check_init env (Ty.Scalar s)) is
+  | _, I_list _ ->
+      err "brace initialiser for non-aggregate type %s" (Ty.to_string t)
+
+let assignment_compatible env ~lhs ~rhs =
+  if Ty.equal lhs rhs then true
+  else
+    match (lhs, rhs) with
+    | Ty.Scalar _, Ty.Scalar _ -> true
+    | Ty.Vector (s1, l1), Ty.Vector (s2, l2) -> s1 = s2 && l1 = l2
+    | Ty.Named a, Ty.Named b -> String.equal a b
+    | Ty.Vector _, Ty.Scalar _ -> true (* scalar splats on assignment *)
+    | _ -> ignore env; false
+
+let rec check_stmt env ~ret ~in_loop (s : stmt) : env =
+  match s with
+  | Decl d ->
+      (match d.dinit with
+      | None -> ()
+      | Some i -> check_init env d.dty i);
+      (match (d.dspace, d.dty) with
+      | (Ty.Global | Ty.Constant), _ ->
+          err "declaration %s: only private and local declarations are allowed"
+            d.dname
+      | Ty.Local, _ when d.dinit <> None ->
+          err "local-memory declaration %s cannot have an initialiser" d.dname
+      | _ -> ());
+      bind_var env d.dname d.dty d.dspace
+  | Assign (l, aop, r) ->
+      let tl = type_of_expr env l in
+      let (_ : Ty.space) = space_of_lvalue env l in
+      let tr = type_of_expr env r in
+      (match aop with
+      | A_simple ->
+          if not (assignment_compatible env ~lhs:tl ~rhs:tr) then
+            err "cannot assign %s to %s" (Ty.to_string tr) (Ty.to_string tl)
+      | A_op op ->
+          let t = binop_result op tl tr in
+          if not (assignment_compatible env ~lhs:tl ~rhs:t) then
+            err "compound assignment result %s incompatible with %s"
+              (Ty.to_string t) (Ty.to_string tl));
+      env
+  | Expr e ->
+      let (_ : Ty.t) = type_of_expr env e in
+      env
+  | If (c, b1, b2) ->
+      (match type_of_expr env c with
+      | Ty.Scalar _ -> ()
+      | t -> err "if condition must be scalar, got %s" (Ty.to_string t));
+      check_block env ~ret ~in_loop b1;
+      check_block env ~ret ~in_loop b2;
+      env
+  | For { f_init; f_cond; f_update; f_body } ->
+      let env' =
+        match f_init with
+        | None -> env
+        | Some s -> check_stmt env ~ret ~in_loop s
+      in
+      (match f_cond with
+      | None -> ()
+      | Some c -> (
+          match type_of_expr env' c with
+          | Ty.Scalar _ -> ()
+          | t -> err "for condition must be scalar, got %s" (Ty.to_string t)));
+      (match f_update with
+      | None -> ()
+      | Some s -> ignore (check_stmt env' ~ret ~in_loop:true s));
+      check_block env' ~ret ~in_loop:true f_body;
+      env
+  | While (c, b) ->
+      (match type_of_expr env c with
+      | Ty.Scalar _ -> ()
+      | t -> err "while condition must be scalar, got %s" (Ty.to_string t));
+      check_block env ~ret ~in_loop:true b;
+      env
+  | Break | Continue ->
+      if not in_loop then err "break/continue outside a loop";
+      env
+  | Return None ->
+      if not (Ty.equal ret Ty.Void) then err "return without value";
+      env
+  | Return (Some e) ->
+      let t = type_of_expr env e in
+      if Ty.equal ret Ty.Void then err "return with value in void function";
+      if not (assignment_compatible env ~lhs:ret ~rhs:t) then
+        err "return type %s, expected %s" (Ty.to_string t) (Ty.to_string ret);
+      env
+  | Barrier _ -> env
+  | Block b ->
+      check_block env ~ret ~in_loop b;
+      env
+  | Emi { emi_lo; emi_hi; emi_body; _ } ->
+      if env.dead_size = 0 then err "EMI block in a program without dead array";
+      if not (0 <= emi_lo && emi_lo < emi_hi && emi_hi < env.dead_size) then
+        err "EMI guard indices (%d, %d) out of range for dead[%d]" emi_lo
+          emi_hi env.dead_size;
+      check_block env ~ret ~in_loop emi_body;
+      env
+
+and check_block env ~ret ~in_loop b =
+  let (_ : env) =
+    List.fold_left (fun env s -> check_stmt env ~ret ~in_loop s) env b
+  in
+  ()
+
+let check_func env ~kernel (f : func) =
+  if kernel && not (Ty.equal f.ret Ty.Void) then
+    err "kernel %s must return void" f.fname;
+  let env =
+    List.fold_left
+      (fun env (n, t) ->
+        match t with
+        | Ty.Ptr (sp, _) when kernel ->
+            if sp = Ty.Private then
+              err "kernel parameter %s: pointer must be global/constant/local" n;
+            bind_var env n t Ty.Private
+        | _ -> bind_var env n t Ty.Private)
+      env f.params
+  in
+  check_block env ~ret:f.ret ~in_loop:false f.body
+
+let check_no_recursion (p : program) =
+  (* Call-graph acyclicity; OpenCL C forbids recursion. *)
+  let callees (f : func) =
+    fold_exprs
+      (fun acc e -> match e with Call (g, _) -> g :: acc | _ -> acc)
+      [] f.body
+  in
+  let graph =
+    List.map (fun f -> (f.fname, callees f)) (p.kernel :: p.funcs)
+  in
+  let rec visit path name =
+    if List.mem name path then
+      err "recursion through %s" (String.concat " -> " (List.rev (name :: path)));
+    match List.assoc_opt name graph with
+    | None -> ()
+    | Some cs -> List.iter (visit (name :: path)) cs
+  in
+  List.iter (fun (n, _) -> visit [] n) graph
+
+let check_program (p : program) =
+  match
+    let env = env_of_program p in
+    check_no_recursion p;
+    List.iter (fun f -> check_func env ~kernel:false f) p.funcs;
+    check_func env ~kernel:true p.kernel
+  with
+  | () -> Ok ()
+  | exception Type_error m -> Error m
+
+let check_testcase (tc : testcase) =
+  match check_program tc.prog with
+  | Error _ as e -> e
+  | Ok () -> (
+      match
+        let gx, gy, gz = tc.global_size and lx, ly, lz = tc.local_size in
+        if gx <= 0 || gy <= 0 || gz <= 0 || lx <= 0 || ly <= 0 || lz <= 0 then
+          err "NDRange sizes must be positive";
+        if gx mod lx <> 0 || gy mod ly <> 0 || gz mod lz <> 0 then
+          err "work-group size must divide the global size";
+        let params = tc.prog.kernel.params in
+        if List.length params <> List.length tc.buffers then
+          err "testcase provides %d buffers for %d kernel parameters"
+            (List.length tc.buffers) (List.length params);
+        List.iter2
+          (fun (pn, pt) (bn, spec) ->
+            if not (String.equal pn bn) then
+              err "buffer %s bound to parameter %s" bn pn;
+            match (spec, pt) with
+            | Buf_dead _, _ when tc.prog.dead_size = 0 ->
+                err "dead buffer for a program with no EMI support"
+            | _, Ty.Ptr ((Ty.Global | Ty.Constant), _) -> ()
+            | _, _ -> err "kernel parameter %s must be a global pointer" pn)
+          params tc.buffers
+      with
+      | () -> Ok ()
+      | exception Type_error m -> Error m)

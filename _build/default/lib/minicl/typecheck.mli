@@ -1,0 +1,44 @@
+(** Static typing of MiniCL programs.
+
+    The rules are those of OpenCL C as the paper relies on them:
+
+    - scalars follow C99 (implicit conversions, integer promotion, usual
+      arithmetic conversions);
+    - vector operands are strict — there is no implicit conversion even
+      between [int4] and [uint4] (paper section 4.1: "it is not possible to
+      cast an int4 to a short4 or even a uint4"), so the generator must be
+      type-sensitive; explicit [convert_T] casts are required;
+    - logical and comparison operators apply component-wise to vectors,
+      yielding 0/-1 in the same-width signed vector type;
+    - atomics require a pointer to a 32-bit integer in local or global
+      memory;
+    - EMI guard indices must lie within the program's [dead] array.
+
+    Pointers track the memory space of what they point at, so [&x] on a
+    local-memory array yields a [local T*]. *)
+
+exception Type_error of string
+
+type env
+
+val env_of_program : Ast.program -> env
+(** Environment with the program's aggregates, functions and constant
+    arrays in scope (no local variables). *)
+
+val bind_var : env -> string -> Ty.t -> Ty.space -> env
+val lookup_var : env -> string -> (Ty.t * Ty.space) option
+
+val type_of_expr : env -> Ast.expr -> Ty.t
+(** @raise Type_error on ill-typed expressions. *)
+
+val space_of_lvalue : env -> Ast.expr -> Ty.space
+(** Memory space an lvalue expression resides in.
+    @raise Type_error if the expression is not an lvalue. *)
+
+val is_lvalue : env -> Ast.expr -> bool
+
+val check_func : env -> kernel:bool -> Ast.func -> unit
+val check_program : Ast.program -> (unit, string) result
+val check_testcase : Ast.testcase -> (unit, string) result
+(** Additionally checks that buffers match kernel parameters and that the
+    NDRange is well-formed (work-group size divides the global size). *)

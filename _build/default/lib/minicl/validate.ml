@@ -1,0 +1,202 @@
+open Ast
+
+type violation = { where : string; what : string }
+
+module String_set = Set.Make (String)
+
+(* Thread-identity accessors that can differ between threads of one group.
+   Group ids and sizes are uniform within a group. *)
+let id_varies_in_group : Op.id_kind -> bool = function
+  | Op.Global_id _ | Op.Local_id _ | Op.Global_linear_id | Op.Local_linear_id
+    ->
+      true
+  | Op.Group_id _ | Op.Group_linear_id | Op.Global_size _ | Op.Local_size _
+  | Op.Num_groups _ | Op.Local_linear_size | Op.Global_linear_size ->
+      false
+
+(* Taint = "may differ across the threads of a group, or across schedules".
+   [tainted] is the set of tainted variable names (private variables only:
+   shared arrays are always treated as tainted sources when read). *)
+let rec expr_tainted ~allow_group_uniform ~tainted (e : expr) =
+  let recur = expr_tainted ~allow_group_uniform ~tainted in
+  match e with
+  | Const _ -> false
+  | Var v -> String_set.mem v tainted
+  | Thread_id k ->
+      if allow_group_uniform then id_varies_in_group k
+      else (
+        match k with
+        | Op.Global_size _ | Op.Local_size _ | Op.Num_groups _
+        | Op.Local_linear_size | Op.Global_linear_size ->
+            false
+        | _ -> true)
+  | Atomic _ -> true
+  | Unop (_, a) | Safe_neg a | Cast (_, a) | Field (a, _) | Swizzle (a, _) ->
+      recur a
+  | Arrow (a, _) | Deref a ->
+      (* Conservative: pointers may reference shared memory. The generator
+         only forms pointers to private data outside designated contexts. *)
+      recur a
+  | Addr_of a -> recur a
+  | Binop (_, a, b) | Safe_binop (_, a, b) -> recur a || recur b
+  | Index (a, i) -> recur a || recur i
+  | Cond (a, b, c) -> recur a || recur b || recur c
+  | Builtin (_, args) | Call (_, args) | Vec_lit (_, _, args) ->
+      (* Calls: helper functions receive only uniform data in generated
+         programs; a tainted argument taints the call. The callee's own
+         conditions are validated separately. *)
+      List.exists recur args
+
+(* Variables written (as top-level assignment targets) in a block. *)
+let rec assigned_vars block =
+  fold_stmts
+    (fun acc s ->
+      match s with
+      | Assign (l, _, _) -> (
+          match root_var l with Some v -> v :: acc | None -> acc)
+      | _ -> acc)
+    [] block
+
+and root_var = function
+  | Var v -> Some v
+  | Field (a, _) | Index (a, _) | Swizzle (a, _) -> root_var a
+  | Arrow (a, _) | Deref a -> root_var a
+  | Addr_of a -> root_var a
+  | _ -> None
+
+let rec declared_vars block =
+  List.concat_map
+    (function
+      | Decl d -> [ d.dname ]
+      | Block b -> declared_vars b
+      | _ -> [])
+    block
+
+let contains_barrier block =
+  fold_stmts
+    (fun acc s -> acc || match s with Barrier _ -> true | _ -> false)
+    false block
+
+let contains_jump_or_call block =
+  let stmt_bad = function
+    | Break | Continue | Return _ -> true
+    | _ -> false
+  in
+  fold_stmts (fun acc s -> acc || stmt_bad s) false block
+  || fold_exprs
+       (fun acc e -> acc || match e with Call _ -> true | _ -> false)
+       false block
+
+let is_atomic_section (s : stmt) =
+  match s with
+  | If (Binop (Op.Eq, Atomic (Op.A_inc, _, []), Const _), body, []) ->
+      (* Last statement increments the special value; the rest only touches
+         section-local declarations; no jumps, calls or barriers. *)
+      let locals = String_set.of_list (declared_vars body) in
+      let writes = assigned_vars body in
+      let body_without_final_add =
+        match List.rev body with
+        | Expr (Atomic (Op.A_add, _, [ _ ])) :: rest -> Some (List.rev rest)
+        | _ -> None
+      in
+      (match body_without_final_add with
+      | None -> false
+      | Some inner ->
+          List.for_all (fun v -> String_set.mem v locals) writes
+          && (not (contains_barrier inner))
+          && (not (contains_jump_or_call inner))
+          && fold_exprs
+               (fun acc e ->
+                 acc && match e with Atomic (Op.A_inc, _, _) -> false | _ -> true)
+               true inner)
+  | _ -> false
+
+let is_group_master_guard (s : stmt) =
+  match s with
+  | If (Binop (Op.Eq, Thread_id Op.Local_linear_id, Const c), body, [])
+    when c.value = 0L ->
+      not (contains_barrier body)
+  | _ -> false
+
+let check ?(allow_group_uniform = false) (p : program) =
+  let violations = ref [] in
+  let report where what = violations := { where; what } :: !violations in
+  let check_func (f : func) =
+    (* Single forward pass with a pre-pass over assignments: a variable is
+       tainted if any assignment anywhere in the function taints it. Two
+       rounds reach the fixpoint for chains through loops in practice; we
+       iterate until stable for correctness. *)
+    let rec taint_fixpoint tainted =
+      let step =
+        fold_stmts
+          (fun tainted s ->
+            match s with
+            | Assign (l, _, r) -> (
+                match root_var l with
+                | Some v
+                  when expr_tainted ~allow_group_uniform ~tainted r
+                       || expr_tainted ~allow_group_uniform ~tainted l ->
+                    String_set.add v tainted
+                | _ -> tainted)
+            | Decl { dname; dinit = Some (I_expr e); _ }
+              when expr_tainted ~allow_group_uniform ~tainted e ->
+                String_set.add dname tainted
+            | _ -> tainted)
+          tainted f.body
+      in
+      if String_set.equal step tainted then tainted else taint_fixpoint step
+    in
+    let tainted = taint_fixpoint String_set.empty in
+    let cond_ok c = not (expr_tainted ~allow_group_uniform ~tainted c) in
+    let rec walk_block b = List.iter walk_stmt b
+    and walk_stmt s =
+      match s with
+      | _ when is_atomic_section s -> () (* sanctioned *)
+      | _ when is_group_master_guard s -> () (* sanctioned *)
+      | If (c, b1, b2) ->
+          if not (cond_ok c) then
+            report f.fname
+              (Printf.sprintf "non-uniform if condition: %s"
+                 (Pp.expr_to_string c));
+          walk_block b1;
+          walk_block b2
+      | While (c, b) ->
+          if not (cond_ok c) then
+            report f.fname
+              (Printf.sprintf "non-uniform while condition: %s"
+                 (Pp.expr_to_string c));
+          walk_block b
+      | For { f_init; f_cond; f_update; f_body } ->
+          Option.iter walk_stmt f_init;
+          (match f_cond with
+          | Some c when not (cond_ok c) ->
+              report f.fname
+                (Printf.sprintf "non-uniform for condition: %s"
+                   (Pp.expr_to_string c))
+          | _ -> ());
+          Option.iter walk_stmt f_update;
+          walk_block f_body
+      | Block b -> walk_block b
+      | Emi { emi_body; _ } -> walk_block emi_body
+      | Decl _ | Assign _ | Expr _ | Break | Continue | Return _ | Barrier _
+        ->
+          ()
+    in
+    walk_block f.body;
+    (* Ternary conditions are expressions; scan them too. *)
+    fold_exprs
+      (fun () e ->
+        match e with
+        | Cond (c, _, _) when not (cond_ok c) ->
+            report f.fname
+              (Printf.sprintf "non-uniform ?: condition: %s"
+                 (Pp.expr_to_string c))
+        | _ -> ())
+      () f.body
+  in
+  List.iter check_func (p.kernel :: p.funcs);
+  match !violations with [] -> Ok () | vs -> Error (List.rev vs)
+
+let errors_to_string vs =
+  String.concat "\n"
+    (List.map (fun v -> Printf.sprintf "%s: %s" v.where v.what) vs)

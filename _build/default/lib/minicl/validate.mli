@@ -1,0 +1,49 @@
+(** Static validation of the determinism discipline CLsmith enforces on
+    generated kernels (paper section 4.2, "Avoiding barrier divergence").
+
+    The rules checked here guarantee that a well-typed program yields
+    schedule-independent output:
+
+    - {b Uniform control flow}: no condition (of [if]/[while]/[for]/[?:])
+      may depend on thread identity, atomic results, volatile data, or
+      reads of shared (local/global) memory. A conservative syntactic taint
+      analysis enforces this, with exactly two sanctioned exceptions:
+
+      {ul
+      {- the {e atomic section} pattern
+         [if (atomic_inc(c) == K) { ... ; atomic_add(s, hash); }] whose body
+         modifies only variables declared inside the section, performs no
+         jumps, calls, or barriers (section 4.2, ATOMIC SECTION mode);}
+      {- the {e group-master} pattern [if (get_linear_local_id() == 0) ...]
+         whose body contains no barriers (used by ATOMIC REDUCTION mode and
+         by the result-collection epilogue).}}
+
+    - {b Barrier placement}: barriers may appear only where control flow is
+      uniform — which the taint rule above implies — and never inside the
+      sanctioned non-uniform patterns.
+
+    - {b Reducibility}: MiniCL has no [goto]/[switch], so all control flow
+      is structured and therefore reducible; the check is recorded for
+      completeness (whether irreducible control flow is supported is
+      implementation-defined in OpenCL, section 3.1).
+
+    Programs built by {!module:Generate} always satisfy [check]; the
+    hand-written bug exhibits of Figures 1 and 2 may not (e.g. Fig. 2(e)
+    deliberately uses [get_group_id(0)] in a condition — which is uniform
+    {e within} a group and safe for a single-group launch, so exhibits are
+    validated with [~allow_group_uniform:true]). *)
+
+type violation = {
+  where : string;  (** function name *)
+  what : string;   (** human-readable rule violation *)
+}
+
+val check : ?allow_group_uniform:bool -> Ast.program -> (unit, violation list) result
+(** [allow_group_uniform] (default [false]) additionally permits conditions
+    that depend only on group ids — uniform within a group, hence still
+    divergence-free. *)
+
+val is_atomic_section : Ast.stmt -> bool
+(** Recognises the ATOMIC SECTION pattern described above. *)
+
+val errors_to_string : violation list -> string

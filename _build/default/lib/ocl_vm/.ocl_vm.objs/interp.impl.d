@@ -1,0 +1,1 @@
+lib/ocl_vm/interp.ml: Array Ast Bytes Bytes_repr Effect Fun Hashtbl Int64 Layout List Ndrange Op Outcome Pp Printf Profile Race Rt_value Scalar Sched Stdlib String Ty Vecval

@@ -1,0 +1,1 @@
+lib/ocl_vm/interp.mli: Ast Layout Outcome Profile Race Scalar Sched

@@ -1,0 +1,1 @@
+lib/ocl_vm/ndrange.ml: Fun Int64 List Op

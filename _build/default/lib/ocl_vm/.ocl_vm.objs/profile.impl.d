@@ -1,0 +1,1 @@
+lib/ocl_vm/profile.ml:

@@ -1,0 +1,1 @@
+lib/ocl_vm/race.ml: Hashtbl List Printf Ty

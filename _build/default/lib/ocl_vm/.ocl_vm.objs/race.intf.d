@@ -1,0 +1,1 @@
+lib/ocl_vm/race.mli: Ty

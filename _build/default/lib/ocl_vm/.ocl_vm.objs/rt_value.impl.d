@@ -1,0 +1,1 @@
+lib/ocl_vm/rt_value.ml: Array Bytes Bytes_repr Layout List Printf Scalar String Ty Vecval

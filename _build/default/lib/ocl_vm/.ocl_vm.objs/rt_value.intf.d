@@ -1,0 +1,1 @@
+lib/ocl_vm/rt_value.mli: Bytes Layout Scalar Ty Vecval

@@ -1,0 +1,1 @@
+lib/ocl_vm/sched.ml: Array Fun Int64 Printf

@@ -1,0 +1,46 @@
+(** The reference OpenCL device: an NDRange interpreter for MiniCL.
+
+    Execution model: groups run one after another; within a group, threads
+    are run serially in the order given by the {!Sched} policy, each until
+    it completes or reaches a barrier (implemented with OCaml 5 effect
+    handlers — a barrier captures the thread's continuation). When every
+    thread of the group has arrived, the rendezvous is checked for barrier
+    divergence (same syntactic barrier, same enclosing-loop iteration
+    counts, cf. paper section 3.1) and all threads resume in the next
+    epoch's order. This serial run-to-barrier execution is a sound
+    sequentialisation of OpenCL 1.x intra-group concurrency, and together
+    with {!Race}'s epoch-based detector it observes exactly the data races
+    the paper's definition describes.
+
+    The interpreter is parameterised by a {!Layout.policy} (union member
+    access) and a {!Profile.t} of semantic quirks, so the same engine
+    executes both the trustworthy reference device and the buggy code that
+    vendor fault models produce. *)
+
+type config = {
+  fuel : int;  (** per-thread execution-step budget; exhaustion = timeout *)
+  schedule : Sched.t;
+  detect_races : bool;
+  check_divergence : bool;
+  layout : Layout.policy;
+  profile : Profile.t;
+}
+
+val default_config : config
+(** Reference semantics: standard layout, no quirks, ascending schedule,
+    divergence checking on, race detection off, fuel 250,000. *)
+
+type run_result = {
+  outcome : Outcome.t;
+  races : Race.race list;  (** non-empty only when [detect_races] *)
+}
+
+val run : ?config:config -> Ast.testcase -> run_result
+
+val run_outcome : ?config:config -> Ast.testcase -> Outcome.t
+(** Just the outcome. *)
+
+val output_of_buffers : (string * Scalar.t array) list -> string
+(** The canonical result string: buffers in [observe] order, each printed
+    as a comma-separated value list (the format CLsmith host programs
+    print). Exposed for tests. *)

@@ -1,0 +1,69 @@
+type t = { global : int * int * int; local : int * int * int }
+
+type thread = {
+  gid : int * int * int;
+  lid : int * int * int;
+  grp : int * int * int;
+}
+
+let make ~global ~local =
+  let gx, gy, gz = global and lx, ly, lz = local in
+  if gx <= 0 || gy <= 0 || gz <= 0 || lx <= 0 || ly <= 0 || lz <= 0 then
+    invalid_arg "Ndrange.make: sizes must be positive";
+  if gx mod lx <> 0 || gy mod ly <> 0 || gz mod lz <> 0 then
+    invalid_arg "Ndrange.make: work-group size must divide global size";
+  { global; local }
+
+let n_linear { global = x, y, z; _ } = x * y * z
+let w_linear { local = x, y, z; _ } = x * y * z
+
+let num_groups_3d { global = gx, gy, gz; local = lx, ly, lz } =
+  (gx / lx, gy / ly, gz / lz)
+
+let num_groups nd =
+  let x, y, z = num_groups_3d nd in
+  x * y * z
+
+let linearise (nx, ny, _nz) (x, y, z) = ((z * ny) + y) * nx + x
+
+let t_linear nd th = linearise nd.global th.gid
+let l_linear nd th = linearise nd.local th.lid
+let g_linear nd th = linearise (num_groups_3d nd) th.grp
+
+let threads_of_group nd g =
+  let ngx, ngy, _ = num_groups_3d nd in
+  let gz = g / (ngx * ngy) in
+  let gy = g mod (ngx * ngy) / ngx in
+  let gx = g mod ngx in
+  let lx, ly, lz = nd.local in
+  let acc = ref [] in
+  for z = lz - 1 downto 0 do
+    for y = ly - 1 downto 0 do
+      for x = lx - 1 downto 0 do
+        let gid = ((gx * lx) + x, (gy * ly) + y, (gz * lz) + z) in
+        acc := { gid; lid = (x, y, z); grp = (gx, gy, gz) } :: !acc
+      done
+    done
+  done;
+  !acc
+
+let groups nd = List.init (num_groups nd) Fun.id
+
+let axis (x, y, z) = function Op.X -> x | Op.Y -> y | Op.Z -> z
+
+let id_value nd th (k : Op.id_kind) =
+  let v =
+    match k with
+    | Op.Global_id a -> axis th.gid a
+    | Op.Local_id a -> axis th.lid a
+    | Op.Group_id a -> axis th.grp a
+    | Op.Global_size a -> axis nd.global a
+    | Op.Local_size a -> axis nd.local a
+    | Op.Num_groups a -> axis (num_groups_3d nd) a
+    | Op.Global_linear_id -> t_linear nd th
+    | Op.Local_linear_id -> l_linear nd th
+    | Op.Group_linear_id -> g_linear nd th
+    | Op.Local_linear_size -> w_linear nd
+    | Op.Global_linear_size -> n_linear nd
+  in
+  Int64.of_int v

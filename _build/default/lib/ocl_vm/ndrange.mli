@@ -1,0 +1,39 @@
+(** NDRange geometry (paper section 3.1).
+
+    A kernel executes over a 3-D grid of [N_linear] threads organised into
+    work-groups of shape [W]; [W] must divide [N] component-wise. Linear ids
+    follow the paper's definitions: [t_linear = (tz*Ny + ty)*Nx + tx], and
+    similarly for group and local ids. *)
+
+type t = private {
+  global : int * int * int;  (** ~N *)
+  local : int * int * int;  (** ~W *)
+}
+
+type thread = {
+  gid : int * int * int;  (** global id ~t *)
+  lid : int * int * int;  (** local id ~l *)
+  grp : int * int * int;  (** group id ~g *)
+}
+
+val make : global:int * int * int -> local:int * int * int -> t
+(** @raise Invalid_argument unless sizes are positive and [local] divides
+    [global] component-wise. *)
+
+val n_linear : t -> int
+val w_linear : t -> int
+val num_groups : t -> int
+val num_groups_3d : t -> int * int * int
+
+val t_linear : t -> thread -> int
+val l_linear : t -> thread -> int
+val g_linear : t -> thread -> int
+
+val threads_of_group : t -> int -> thread list
+(** Threads of the group with linear id [g], in ascending local-linear
+    order. *)
+
+val groups : t -> int list
+
+val id_value : t -> thread -> Op.id_kind -> int64
+(** Evaluate a thread-identity accessor for [thread]. *)

@@ -1,0 +1,41 @@
+type t =
+  | Success of string
+  | Build_failure of string
+  | Crash of string
+  | Timeout
+  | Machine_crash of string
+  | Ub of string
+
+let is_computed = function
+  | Success _ -> true
+  | Build_failure _ | Crash _ | Timeout | Machine_crash _ | Ub _ -> false
+
+let equal a b =
+  match (a, b) with
+  | Success x, Success y -> String.equal x y
+  | Build_failure x, Build_failure y -> String.equal x y
+  | Crash x, Crash y -> String.equal x y
+  | Timeout, Timeout -> true
+  | Machine_crash x, Machine_crash y -> String.equal x y
+  | Ub x, Ub y -> String.equal x y
+  | (Success _ | Build_failure _ | Crash _ | Timeout | Machine_crash _ | Ub _), _
+    ->
+      false
+
+let to_string = function
+  | Success s -> "result: " ^ s
+  | Build_failure m -> "build failure: " ^ m
+  | Crash m -> "crash: " ^ m
+  | Timeout -> "timeout"
+  | Machine_crash m -> "machine crash: " ^ m
+  | Ub m -> "undefined behaviour: " ^ m
+
+let short_tag = function
+  | Success _ -> "ok"
+  | Build_failure _ -> "bf"
+  | Crash _ -> "c"
+  | Timeout -> "to"
+  | Machine_crash _ -> "mc"
+  | Ub _ -> "ub"
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)

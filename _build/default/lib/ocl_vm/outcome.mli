@@ -1,0 +1,30 @@
+(** Outcome of submitting a test program to one OpenCL configuration.
+
+    These are the observation buckets of the paper's campaign tables:
+    computed results (later classified correct / wrong-code by majority
+    vote), build failures ([bf]), crashes ([c]) and timeouts ([to]).
+    [Machine_crash] models the host-OS crashes the paper reports for the
+    AMD/Intel GPU configurations (section 6, "Machine crashes"); campaigns
+    count it as a crash but it is tracked separately because it makes batch
+    testing infeasible. [Ub] is reported only by the reference device when
+    race or divergence detection is active — a real device would silently
+    return garbage. *)
+
+type t =
+  | Success of string  (** canonical printed output *)
+  | Build_failure of string  (** compiler diagnostic *)
+  | Crash of string  (** compiler internal error or runtime crash *)
+  | Timeout
+  | Machine_crash of string
+  | Ub of string  (** data race / barrier divergence detected (reference) *)
+
+val is_computed : t -> bool
+(** [true] only for [Success]: outcomes that produced a result usable for
+    majority voting. *)
+
+val equal : t -> t -> bool
+val to_string : t -> string
+val short_tag : t -> string
+(** One of ["ok"], ["bf"], ["c"], ["to"], ["mc"], ["ub"]. *)
+
+val pp : Format.formatter -> t -> unit

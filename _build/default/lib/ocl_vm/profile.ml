@@ -1,0 +1,33 @@
+type comma_semantics = Comma_second | Comma_first
+
+type pointer_write_bug =
+  | Pwb_none
+  | Pwb_callee_barrier of { crash : bool }
+  | Pwb_after_barrier
+
+type loop_barrier_bug = Lb_ok | Lb_lose_init | Lb_crash
+
+type union_init_bug = Ui_correct | Ui_struct_leaf_garbage
+
+type t = {
+  comma : comma_semantics;
+  union_init : union_init_bug;
+  struct_init_char_first_zero : bool;
+  struct_copy_drop_arrays : bool;
+  pointer_write_bug : pointer_write_bug;
+  loop_barrier : loop_barrier_bug;
+  group_id_cmp_invert : bool;
+}
+
+let reference =
+  {
+    comma = Comma_second;
+    union_init = Ui_correct;
+    struct_init_char_first_zero = false;
+    struct_copy_drop_arrays = false;
+    pointer_write_bug = Pwb_none;
+    loop_barrier = Lb_ok;
+    group_id_cmp_invert = false;
+  }
+
+let equal (a : t) (b : t) = a = b

@@ -1,0 +1,66 @@
+(** Semantic override hooks ("quirks") that vendor fault models install into
+    the execution engine.
+
+    Each hook reproduces a documented bug class from the paper's study; the
+    {!reference} profile has every hook disabled and implements the OpenCL C
+    semantics faithfully. Optimiser-level bugs (e.g. the Fig. 2(b) rotate
+    const-folding bug) are {e not} here — those are buggy transformation
+    passes in the [vendors] library; this record covers bugs that live in
+    code generation / execution and therefore need semantic hooks. *)
+
+(** Fig. 2(f), Oclgrind: "mis-handling of the comma operator" — the comma
+    yields its first operand. *)
+type comma_semantics = Comma_second | Comma_first
+
+(** Pointer-mediated store bugs around barriers:
+    - [Pwb_callee_barrier]: Fig. 2(c), Intel CPU 12−/13− (and, with
+      [crash = true], the segmentation faults of 14−/15−): after a barrier
+      executed {e inside a callee}, stores through pointer parameters are
+      lost on every thread with non-zero local id (observed result [1,0]
+      for two threads), or the kernel crashes.
+    - [Pwb_after_barrier]: Fig. 1(d), anonymous CPU config 17: once a
+      thread has executed any barrier, stores through pointer parameters
+      inside callees are lost (observed result 2 instead of 3). *)
+type pointer_write_bug =
+  | Pwb_none
+  | Pwb_callee_barrier of { crash : bool }
+  | Pwb_after_barrier
+
+(** Fig. 2(d), Intel CPU 14−/15−: a [for] loop whose body contains a
+    barrier mis-executes on threads with non-zero local id — the loop
+    {e initialiser}'s store is lost (observed [0,1] instead of [0,0]).
+    [Lb_crash] models the same trigger crashing instead. *)
+type loop_barrier_bug = Lb_ok | Lb_lose_init | Lb_crash
+
+(** Fig. 2(a), NVIDIA 1−..4−: brace-initialising a union whose first field
+    is scalar but which also contains a struct field routes the initialiser
+    to the struct's first leaf (fewer bytes) and leaves the remaining bytes
+    as garbage (0xff), so reading the scalar member yields e.g.
+    0xffff0001. *)
+type union_init_bug = Ui_correct | Ui_struct_leaf_garbage
+
+type t = {
+  comma : comma_semantics;
+  union_init : union_init_bug;
+  struct_init_char_first_zero : bool;
+      (** Fig. 1(a), AMD with optimisations: brace-initialisation of a
+          struct whose first member is [char] followed by a larger member
+          only initialises the first field (the rest read as zero) —
+          "these configurations appear to miscompile any struct that
+          starts with char followed by a larger member". *)
+  struct_copy_drop_arrays : bool;
+      (** Fig. 1(b), anonymous GPU 10−/11−: whole-struct assignment fails
+          to copy array-typed members (the paper's reproducer reads 0 from
+          [p->f[7]] after [s = t]). The Nx = 1 grid condition is part of
+          the vendor trigger, not of this hook. *)
+  pointer_write_bug : pointer_write_bug;
+  loop_barrier : loop_barrier_bug;
+  group_id_cmp_invert : bool;
+      (** Fig. 2(e), anonymous GPU 9+: comparisons whose operands involve
+          [get_group_id] evaluate inverted ("this bug requires the
+          presence of the global id gx; if the literal 0 is used explicitly
+          instead the problem does not manifest"). *)
+}
+
+val reference : t
+val equal : t -> t -> bool

@@ -1,0 +1,74 @@
+type kind = Read | Write
+
+type access = {
+  loc : int;
+  thread : int;
+  group : int;
+  kind : kind;
+  atomic : bool;
+  epoch : int;
+  space : Ty.space;
+}
+
+type race = { first : access; second : access }
+
+type t = {
+  (* per location: compressed set of distinct access summaries *)
+  by_loc : (int, access list ref) Hashtbl.t;
+  mutable found : race list;
+  reported : (int, unit) Hashtbl.t;
+}
+
+let create () =
+  { by_loc = Hashtbl.create 256; found = []; reported = Hashtbl.create 16 }
+
+(* A conflicting pair involves a non-atomic write: atomic read-modify-writes
+   synchronise against every access of the same location, so kernels that
+   update shared data exclusively through atomics (e.g. the bfs port's
+   compare-and-exchange, tpacf's histogram increments) are race-free, while
+   spmv/myocyte-style plain read-modify-writes are flagged. *)
+let non_atomic_write x = x.kind = Write && not x.atomic
+
+let conflict a b =
+  a.thread <> b.thread
+  && (non_atomic_write a || non_atomic_write b)
+  && (a.group <> b.group || a.epoch = b.epoch)
+
+let record t ~loc ~thread ~group ~kind ~atomic ~epoch ~space =
+  if loc >= 0 then begin
+    let summaries =
+      match Hashtbl.find_opt t.by_loc loc with
+      | Some r -> r
+      | None ->
+          let r = ref [] in
+          Hashtbl.add t.by_loc loc r;
+          r
+    in
+    let a = { loc; thread; group; kind; atomic; epoch; space } in
+    if not (List.mem a !summaries) then begin
+      if not (Hashtbl.mem t.reported loc) then (
+        match List.find_opt (fun b -> conflict a b) !summaries with
+        | Some b ->
+            Hashtbl.add t.reported loc ();
+            t.found <- { first = b; second = a } :: t.found
+        | None -> ());
+      summaries := a :: !summaries
+    end
+  end
+
+let races t = List.rev t.found
+let has_race t = t.found <> []
+
+let kind_str = function Read -> "read" | Write -> "write"
+
+let race_to_string r =
+  Printf.sprintf
+    "data race on %s location #%d: thread %d (group %d, epoch %d) %s%s vs \
+     thread %d (group %d, epoch %d) %s%s"
+    (Ty.space_to_string r.first.space)
+    r.first.loc r.first.thread r.first.group r.first.epoch
+    (kind_str r.first.kind)
+    (if r.first.atomic then " [atomic]" else "")
+    r.second.thread r.second.group r.second.epoch
+    (kind_str r.second.kind)
+    (if r.second.atomic then " [atomic]" else "")

@@ -1,0 +1,58 @@
+(** Epoch-based data-race detection.
+
+    The paper's definition (section 3.1): two distinct threads race on a
+    common memory location if at least one modifies it and either (a) the
+    threads are in different groups, or (b) they are in the same group, at
+    least one access is non-atomic, and the accesses are not separated by a
+    barrier synchronisation. We sharpen "at least one access is non-atomic"
+    to "the modification is non-atomic": an atomic read-modify-write
+    synchronises against every access of the location, so kernels that
+    update shared data exclusively through atomics (the bfs port's
+    compare-and-exchange, tpacf's histogram) are not flagged, while plain
+    read-modify-writes (spmv, myocyte) are.
+
+    Because OpenCL 1.x offers {e only} barriers for intra-group ordering,
+    happens-before degenerates into {e barrier epochs}: every barrier
+    rendezvous that fences a memory space starts a new epoch for that
+    space, and two same-group accesses are unordered iff they fall in the
+    same epoch. This makes precise race detection possible from a serial
+    run-to-barrier execution — no interleaving exploration needed.
+
+    This detector is how the reproduction rediscovers the data races the
+    paper found in Parboil [spmv] and Rodinia [myocyte] (section 2.4). *)
+
+type kind = Read | Write
+
+type access = {
+  loc : int;  (** location id, cf. {!Rt_value.base_loc} *)
+  thread : int;  (** global linear id *)
+  group : int;  (** group linear id *)
+  kind : kind;
+  atomic : bool;
+  epoch : int;  (** barrier epoch of the location's space *)
+  space : Ty.space;
+}
+
+type race = { first : access; second : access }
+
+type t
+
+val create : unit -> t
+
+val record :
+  t ->
+  loc:int ->
+  thread:int ->
+  group:int ->
+  kind:kind ->
+  atomic:bool ->
+  epoch:int ->
+  space:Ty.space ->
+  unit
+(** Ignores private locations ([loc < 0]). *)
+
+val races : t -> race list
+(** All races found, deduplicated by location (one witness per location). *)
+
+val has_race : t -> bool
+val race_to_string : race -> string

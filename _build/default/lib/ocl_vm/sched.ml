@@ -1,0 +1,36 @@
+type t = Ascending | Descending | Rotating of int | Seeded of int
+
+(* splitmix64 step; good enough to derive per-epoch permutations. *)
+let mix seed =
+  let z = Int64.add seed 0x9E3779B97F4A7C15L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let order policy ~epoch n =
+  match policy with
+  | Ascending -> Array.init n Fun.id
+  | Descending -> Array.init n (fun i -> n - 1 - i)
+  | Rotating r ->
+      let start = (r + epoch) mod max n 1 in
+      Array.init n (fun i -> (start + i) mod n)
+  | Seeded s ->
+      let a = Array.init n Fun.id in
+      let state = ref (mix (Int64.of_int ((s * 1_000_003) + epoch))) in
+      for i = n - 1 downto 1 do
+        state := mix !state;
+        let j = Int64.to_int (Int64.unsigned_rem !state (Int64.of_int (i + 1))) in
+        let tmp = a.(i) in
+        a.(i) <- a.(j);
+        a.(j) <- tmp
+      done;
+      a
+
+let default = Ascending
+let all_for_testing = [ Ascending; Descending; Rotating 1; Seeded 7; Seeded 42 ]
+
+let to_string = function
+  | Ascending -> "ascending"
+  | Descending -> "descending"
+  | Rotating r -> Printf.sprintf "rotating(%d)" r
+  | Seeded s -> Printf.sprintf "seeded(%d)" s

@@ -1,0 +1,26 @@
+(** Work-group scheduling policies.
+
+    The simulator runs the threads of a group one at a time between barrier
+    rendezvous points (atomicity at this granularity is a sound
+    sequentialisation of OpenCL 1.x intra-group concurrency). The policy
+    decides the order, which determines e.g. which thread is the [rnd]-th to
+    increment an atomic-section counter (paper section 4.2: "which thread
+    this is (if any) depends on the order in which threads are scheduled").
+    Deterministic, communicating CLsmith kernels must produce the same
+    output under every policy — a property the test suite checks. *)
+
+type t =
+  | Ascending  (** local-linear order *)
+  | Descending
+  | Rotating of int
+      (** round [r]: start at thread [r mod W_linear], wrap around —
+          different epochs see different winners *)
+  | Seeded of int  (** per-epoch pseudo-random permutation *)
+
+val order : t -> epoch:int -> int -> int array
+(** [order policy ~epoch n] is a permutation of [0..n-1]: the order in which
+    the [n] threads of a group run during barrier interval [epoch]. *)
+
+val default : t
+val all_for_testing : t list
+val to_string : t -> string

@@ -1,0 +1,1 @@
+lib/opt/const_fold.ml: Ast Ast_map List Op Pass Scalar Ty

@@ -1,0 +1,1 @@
+lib/opt/dce.ml: Ast Ast_map Hashtbl List Pass

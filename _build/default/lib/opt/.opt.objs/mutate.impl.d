@@ -1,0 +1,1 @@
+lib/opt/mutate.ml: Ast Ast_map Int64 Op

@@ -1,0 +1,1 @@
+lib/opt/mutate.mli: Ast

@@ -1,0 +1,1 @@
+lib/opt/simplify.ml: Ast Ast_map List Op Option Pass Ty

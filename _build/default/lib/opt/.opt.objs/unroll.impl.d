@@ -1,0 +1,1 @@
+lib/opt/unroll.ml: Ast Ast_map Int64 List Op Pass String Ty

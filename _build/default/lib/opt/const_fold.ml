@@ -1,0 +1,116 @@
+open Ast
+
+let scalar_of_const (c : const) = Scalar.make c.cty c.value
+let const_of_scalar (s : Scalar.t) =
+  Const { value = Scalar.to_int64 s; cty = Scalar.ty s }
+
+let as_const = function Const c -> Some (scalar_of_const c) | _ -> None
+
+(* purity: no calls or atomics (assignments cannot occur in expressions) *)
+let rec pure (e : expr) =
+  match e with
+  | Call _ | Atomic _ -> false
+  | Const _ | Var _ | Thread_id _ -> true
+  | Unop (_, a) | Safe_neg a | Cast (_, a) | Field (a, _) | Arrow (a, _)
+  | Deref a | Addr_of a | Swizzle (a, _) ->
+      pure a
+  | Binop (_, a, b) | Safe_binop (_, a, b) | Index (a, b) -> pure a && pure b
+  | Cond (a, b, c) -> pure a && pure b && pure c
+  | Builtin (_, args) | Vec_lit (_, _, args) -> List.for_all pure args
+
+let all_zero_const_vector = function
+  | Vec_lit (_, _, args) ->
+      List.for_all
+        (function Const c -> c.value = 0L | _ -> false)
+        args
+  | Const c -> c.value = 0L
+  | _ -> false
+
+let builtin_const b (args : Scalar.t list) : Scalar.t option =
+  match (b, args) with
+  | (Op.Clamp | Op.Safe_clamp), [ x; lo; hi ] -> Some (Scalar.clamp x lo hi)
+  | Op.Rotate, [ x; y ] -> Some (Scalar.rotate x y)
+  | Op.Min, [ x; y ] -> Some (Scalar.min_v x y)
+  | Op.Max, [ x; y ] -> Some (Scalar.max_v x y)
+  | Op.Abs, [ x ] -> Some (Scalar.abs_v x)
+  | Op.Add_sat, [ x; y ] -> Some (Scalar.add_sat x y)
+  | Op.Sub_sat, [ x; y ] -> Some (Scalar.sub_sat x y)
+  | Op.Hadd, [ x; y ] -> Some (Scalar.hadd x y)
+  | Op.Mul_hi, [ x; y ] -> Some (Scalar.mul_hi x y)
+  | _ -> None
+
+let fold_node ~rotate_zero_bug (e : expr) : expr =
+  match e with
+  (* the Fig. 2(b) bug: must be examined before correct rotate folding *)
+  | Builtin (Op.Rotate, [ x; y ]) when rotate_zero_bug && all_zero_const_vector y
+    -> (
+      match x with
+      | Vec_lit (s, l, _) ->
+          let ones = const_of_scalar (Scalar.make s (-1L)) in
+          Vec_lit (s, l, List.init (Ty.vlen_to_int l) (fun _ -> ones))
+      | Const c -> const_of_scalar (Scalar.make c.cty (-1L))
+      | _ -> e)
+  | Binop (op, a, b) -> (
+      match (op, as_const a, as_const b) with
+      | Op.Comma, _, _ -> if pure a then b else e
+      | Op.LogAnd, Some x, _ ->
+          if Scalar.is_zero x then Const { value = 0L; cty = Ty.int_scalar }
+          else Binop (Op.Ne, b, Ast.const_of_int 0)
+      | Op.LogOr, Some x, _ ->
+          if Scalar.is_true x then Const { value = 1L; cty = Ty.int_scalar }
+          else Binop (Op.Ne, b, Ast.const_of_int 0)
+      | _, Some x, Some y -> const_of_scalar (Scalar.binop op x y)
+      | _ -> e)
+  | Safe_binop (op, a, b) -> (
+      match (as_const a, as_const b) with
+      | Some x, Some y -> const_of_scalar (Scalar.safe_binop op x y)
+      | _ -> e)
+  | Unop (op, a) -> (
+      match as_const a with
+      | Some x ->
+          const_of_scalar
+            (match op with
+            | Op.Neg -> Scalar.neg x
+            | Op.BitNot -> Scalar.bit_not x
+            | Op.LogNot -> Scalar.log_not x)
+      | None -> e)
+  | Safe_neg a -> (
+      match as_const a with
+      | Some x -> const_of_scalar (Scalar.safe_neg x)
+      | None -> e)
+  | Cast (Ty.Scalar s, a) -> (
+      match as_const a with
+      | Some x -> const_of_scalar (Scalar.convert s x)
+      | None -> e)
+  | Builtin (b, args) -> (
+      match
+        List.fold_right
+          (fun a acc ->
+            match (acc, as_const a) with
+            | Some l, Some c -> Some (c :: l)
+            | _ -> None)
+          args (Some [])
+      with
+      | Some consts -> (
+          match builtin_const b consts with
+          | Some r -> const_of_scalar r
+          | None -> e)
+      | None -> e)
+  | Cond (c, a, b) -> (
+      match as_const c with
+      | Some x -> if Scalar.is_true x then a else b
+      | None -> e)
+  | _ -> e
+
+let fold_expr ?(rotate_zero_bug = false) e =
+  Ast_map.expr
+    { Ast_map.default with Ast_map.map_expr = fold_node ~rotate_zero_bug }
+    e
+
+let pass ?(rotate_zero_bug = false) () : Pass.t =
+  {
+    Pass.name = (if rotate_zero_bug then "const-fold[rotate-bug]" else "const-fold");
+    run =
+      Ast_map.program
+        { Ast_map.default with Ast_map.map_expr = fold_node ~rotate_zero_bug };
+  }

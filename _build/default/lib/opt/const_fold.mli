@@ -1,0 +1,17 @@
+(** Constant folding.
+
+    Folds scalar operators, safe-math wrappers, built-ins, casts, constant
+    conditionals and short-circuit operators, using exactly the runtime
+    semantics of {!Scalar} so the transformation is observation-equivalent
+    on the reference device.
+
+    [rotate_zero_bug] installs the Fig. 2(b) Intel miscompilation: a
+    [rotate(x, 0)] whose shift vector is a constant zero is folded to
+    all-ones lanes (the paper found the x component of
+    [rotate((uint2)(1,1), (uint2)(0,0))] "incorrectly constant-folded to
+    0xffffffff"). *)
+
+val pass : ?rotate_zero_bug:bool -> unit -> Pass.t
+
+val fold_expr : ?rotate_zero_bug:bool -> Ast.expr -> Ast.expr
+(** Exposed for the IR const-folder tests. *)

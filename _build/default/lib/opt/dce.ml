@@ -1,0 +1,60 @@
+open Ast
+
+let rec pure (e : expr) =
+  match e with
+  | Call _ | Atomic _ -> false
+  | Const _ | Var _ | Thread_id _ -> true
+  | Unop (_, a) | Safe_neg a | Cast (_, a) | Field (a, _) | Arrow (a, _)
+  | Deref a | Addr_of a | Swizzle (a, _) ->
+      pure a
+  | Binop (_, a, b) | Safe_binop (_, a, b) | Index (a, b) -> pure a && pure b
+  | Cond (a, b, c) -> pure a && pure b && pure c
+  | Builtin (_, args) | Vec_lit (_, _, args) -> List.for_all pure args
+
+let rec pure_init = function
+  | I_expr e -> pure e
+  | I_list is -> List.for_all pure_init is
+
+(* names referenced anywhere in a function body, except as the declared
+   name of a declaration *)
+let used_names (f : func) =
+  let tbl = Hashtbl.create 64 in
+  let add v = Hashtbl.replace tbl v () in
+  fold_exprs (fun () e -> match e with Var v -> add v | _ -> ()) () f.body;
+  tbl
+
+let truncate_after_jump (b : block) : block =
+  let rec go = function
+    | [] -> []
+    | ((Return _ | Break | Continue) as s) :: _ -> [ s ]
+    | s :: rest -> s :: go rest
+  in
+  go b
+
+let pass () : Pass.t =
+  let run_func (f : func) =
+    let used = used_names f in
+    let drop_dead_decls (b : block) =
+      List.filter
+        (fun s ->
+          match s with
+          | Decl d ->
+              Hashtbl.mem used d.dname
+              || (match d.dinit with Some i -> not (pure_init i) | None -> false)
+          | _ -> true)
+        b
+    in
+    let mapper =
+      {
+        Ast_map.default with
+        Ast_map.map_block = (fun b -> drop_dead_decls (truncate_after_jump b));
+      }
+    in
+    Ast_map.func mapper f
+  in
+  {
+    Pass.name = "dce";
+    run =
+      (fun p ->
+        { p with funcs = List.map run_func p.funcs; kernel = run_func p.kernel });
+  }

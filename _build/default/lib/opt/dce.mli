@@ -1,0 +1,16 @@
+(** Dead-code elimination.
+
+    - statements following an unconditional [return]/[break]/[continue] in
+      a block are removed;
+    - locally declared variables whose names are never referenced again in
+      the enclosing function and whose initialisers are pure are removed
+      (generated programs have globally unique names, so a name-based
+      criterion is exact for them; hand-written exhibits keep shadowing
+      away from this pass).
+
+    The EMI guard [if (dead[i] < dead[j])] is opaque to this pass — the
+    compiler "knows nothing about the runtime values of elements of dead"
+    (paper section 5) — so EMI blocks are never removed, only their
+    contents transform like any other code. *)
+
+val pass : unit -> Pass.t

@@ -1,0 +1,70 @@
+open Ast
+
+(* Mutation kinds, all total (no crashes, no nondeterminism):
+   1. flip a plain comparison operator (Lt<->Le, Gt<->Ge, Eq<->Ne);
+   2. swap the operands of a safe-math binary operation;
+   3. perturb a constant multiplier (k -> k+1) in a plain multiplication;
+   4. swap the arms of a conditional expression. *)
+
+let flip_cmp = function
+  | Op.Lt -> Op.Le
+  | Op.Le -> Op.Lt
+  | Op.Gt -> Op.Ge
+  | Op.Ge -> Op.Gt
+  | Op.Eq -> Op.Ne
+  | Op.Ne -> Op.Eq
+  | op -> op
+
+let is_candidate (e : expr) =
+  match e with
+  (* comparisons against literals are usually loop bounds or the group
+     master guard: flipping those turns wrong code into out-of-bounds
+     crashes, which dedicated crash faults model instead *)
+  | Binop ((Op.Lt | Op.Le | Op.Gt | Op.Ge | Op.Eq | Op.Ne), Const _, _)
+  | Binop ((Op.Lt | Op.Le | Op.Gt | Op.Ge | Op.Eq | Op.Ne), _, Const _) ->
+      false
+  | Binop ((Op.Lt | Op.Le | Op.Gt | Op.Ge | Op.Eq | Op.Ne), _, _) -> true
+  | Safe_binop ((Op.Sub | Op.Div | Op.Mod | Op.Shl | Op.Shr), _, _) -> true
+  | Binop (Op.Mul, _, Const _) -> true
+  | Cond (_, _, _) -> true
+  | _ -> false
+
+let mutate_expr (e : expr) : expr =
+  match e with
+  | Binop (((Op.Lt | Op.Le | Op.Gt | Op.Ge | Op.Eq | Op.Ne) as op), a, b) ->
+      Binop (flip_cmp op, a, b)
+  | Safe_binop (((Op.Sub | Op.Div | Op.Mod | Op.Shl | Op.Shr) as op), a, b) ->
+      Safe_binop (op, b, a)
+  | Binop (Op.Mul, a, Const c) ->
+      Binop (Op.Mul, a, Const { c with value = Int64.add c.value 1L })
+  | Cond (c, a, b) -> Cond (c, b, a)
+  | e -> e
+
+let candidate_count (p : program) =
+  fold_program_blocks
+    (fun acc b ->
+      fold_exprs (fun n e -> if is_candidate e then n + 1 else n) acc b)
+    0 p
+
+let apply ~seed (p : program) : program =
+  let total = candidate_count p in
+  if total = 0 then p
+  else begin
+    let target =
+      Int64.to_int (Int64.unsigned_rem seed (Int64.of_int total))
+    in
+    let counter = ref (-1) in
+    let mapper =
+      {
+        Ast_map.default with
+        Ast_map.map_expr =
+          (fun e ->
+            if is_candidate e then begin
+              incr counter;
+              if !counter = target then mutate_expr e else e
+            end
+            else e);
+      }
+    in
+    Ast_map.program mapper p
+  end

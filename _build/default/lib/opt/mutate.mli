@@ -1,0 +1,25 @@
+(** Seeded miscompilation injection — the engine behind the "generic wrong
+    code" fault models of the vendor configurations.
+
+    A real miscompilation is a deterministic function of the compiler and
+    the input program: the same kernel always comes out wrong in the same
+    way, and an arbitrarily small change to the program can tip it into or
+    out of the bug (that sensitivity is precisely what EMI variants
+    exploit, paper section 3.2). [apply ~seed prog] models this: from the
+    seed (derived by the fault model from the configuration identity and a
+    program digest) it deterministically selects one mutation site in the
+    program and applies a small semantics-changing rewrite — swapping the
+    operands of a non-commutative operator, perturbing a constant,
+    flipping a comparison, or dropping an assignment.
+
+    Mutations never touch EMI guards (only their bodies can change), never
+    touch atomic or barrier statements, and never introduce or remove
+    declarations, so mutated programs still type-check, still satisfy the
+    determinism validator, and fail only by computing wrong values. *)
+
+val candidate_count : Ast.program -> int
+(** Number of mutation sites the program offers. *)
+
+val apply : seed:int64 -> Ast.program -> Ast.program
+(** Deterministically mutate one site ([prog] unchanged if it offers no
+    sites). *)

@@ -1,0 +1,6 @@
+type t = { name : string; run : Ast.program -> Ast.program }
+
+let pipeline passes prog =
+  List.fold_left (fun p pass -> pass.run p) prog passes
+
+let names passes = List.map (fun p -> p.name) passes

@@ -1,0 +1,11 @@
+(** Optimisation-pass framework for the simulated vendor compilers.
+
+    A pass is a whole-program AST transformation. Correct passes preserve
+    the reference semantics (a property the test suite checks on generated
+    programs); buggy variants — constructed by the [vendors] fault models —
+    deliberately do not. *)
+
+type t = { name : string; run : Ast.program -> Ast.program }
+
+val pipeline : t list -> Ast.program -> Ast.program
+val names : t list -> string list

@@ -1,0 +1,67 @@
+open Ast
+
+let is_zero = function Const c -> c.value = 0L | _ -> false
+
+let rec pure (e : expr) =
+  match e with
+  | Call _ | Atomic _ -> false
+  | Const _ | Var _ | Thread_id _ -> true
+  | Unop (_, a) | Safe_neg a | Cast (_, a) | Field (a, _) | Arrow (a, _)
+  | Deref a | Addr_of a | Swizzle (a, _) ->
+      pure a
+  | Binop (_, a, b) | Safe_binop (_, a, b) | Index (a, b) -> pure a && pure b
+  | Cond (a, b, c) -> pure a && pure b && pure c
+  | Builtin (_, args) | Vec_lit (_, _, args) -> List.for_all pure args
+
+(* Identities are only applied when the neutral constant has type [int]:
+   then C's usual arithmetic conversions give [x + 0] and [x] observationally
+   identical typings (any wider-ranked constant could change the common
+   type and with it the signedness of later comparisons). *)
+let int_const v = function
+  | Const c -> c.value = v && c.cty = Ty.int_scalar
+  | _ -> false
+
+let simplify_node (e : expr) : expr =
+  match e with
+  | Binop (Op.Add, x, z) when int_const 0L z -> x
+  | Binop (Op.Add, z, x) when int_const 0L z -> x
+  | Binop (Op.Sub, x, z) when int_const 0L z -> x
+  | Binop (Op.Mul, x, o) when int_const 1L o -> x
+  | Binop (Op.Mul, o, x) when int_const 1L o -> x
+  | Binop (Op.BitOr, x, z) when int_const 0L z -> x
+  | Binop (Op.BitXor, x, z) when int_const 0L z -> x
+  | Unop (Op.LogNot, Unop (Op.LogNot, Unop (Op.LogNot, x))) ->
+      Unop (Op.LogNot, x)
+  | e -> e
+
+let rec stmt_pure_expr (s : stmt) =
+  match s with Expr e -> pure e | _ -> false
+
+and simplify_block (b : block) : block =
+  List.concat_map
+    (fun s ->
+      match s with
+      | If (c, _, b2) when is_zero c -> [ Block b2 ]
+      | If (Const k, b1, _) when k.value <> 0L -> [ Block b1 ]
+      | While (c, _) when is_zero c -> []
+      | For { f_init; f_cond = Some c; _ } when is_zero c ->
+          Option.to_list f_init
+      | Block [] -> []
+      | Block [ (Decl _ as d) ] -> [ Block [ d ] ] (* keep scope *)
+      | Block inner when List.for_all (fun s -> match s with Decl _ -> false | _ -> true) inner ->
+          inner (* flatten blocks without declarations *)
+      | _ when stmt_pure_expr s -> []
+      | s -> [ s ])
+    b
+
+let pass () : Pass.t =
+  {
+    Pass.name = "simplify";
+    run =
+      Ast_map.program
+        {
+          Ast_map.default with
+          Ast_map.map_expr = simplify_node;
+          Ast_map.map_block = simplify_block;
+        };
+  }

@@ -1,0 +1,8 @@
+(** Algebraic and control-flow simplification.
+
+    Expression identities ([x + 0], [x * 1], [x & 0], [!!x] in boolean
+    context, double negation) and statement-level cleanups (constant-
+    condition [if]/[while]/[for], block flattening). Statement-level
+    simplification never deletes declarations. *)
+
+val pass : unit -> Pass.t

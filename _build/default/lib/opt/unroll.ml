@@ -1,0 +1,61 @@
+open Ast
+
+let max_iterations = 4
+
+let has_jump_or_iv_write iv (b : block) =
+  let jump =
+    fold_stmts
+      (fun acc s ->
+        acc || match s with Break | Continue | Return _ -> true | _ -> false)
+      false b
+  in
+  let writes_iv =
+    fold_stmts
+      (fun acc s ->
+        acc
+        ||
+        match s with
+        | Assign (Var v, _, _) -> String.equal v iv
+        | _ -> false)
+      false b
+  in
+  jump || writes_iv
+
+let subst_var name value =
+  {
+    Ast_map.default with
+    Ast_map.map_expr =
+      (function
+      | Var v when String.equal v name -> const_of_int value
+      | e -> e);
+  }
+
+(* recognise: for (int i = 0; i < K; i += S) with constant K, S > 0 *)
+let unroll_stmt (s : stmt) : stmt =
+  match s with
+  | For
+      {
+        f_init =
+          Some (Decl { dname; dty = Ty.Scalar _; dinit = Some (I_expr (Const c0)); _ });
+        f_cond = Some (Binop (Op.Lt, Var v, Const bound));
+        f_update = Some (Assign (Var v', A_op Op.Add, Const step));
+        f_body;
+      }
+    when String.equal dname v && String.equal v v'
+         && c0.value = 0L && step.value > 0L
+         && bound.value >= 0L
+         && not (has_jump_or_iv_write v f_body) ->
+      let k = Int64.to_int bound.value and s' = Int64.to_int step.value in
+      let trip = (k + s' - 1) / s' in
+      if trip > max_iterations then s
+      else
+        Block
+          (List.init trip (fun j ->
+               Block (Ast_map.block (subst_var v (j * s')) f_body)))
+  | s -> s
+
+let pass () : Pass.t =
+  {
+    Pass.name = "unroll";
+    run = Ast_map.program { Ast_map.default with Ast_map.map_stmt = unroll_stmt };
+  }

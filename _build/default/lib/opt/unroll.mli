@@ -1,0 +1,9 @@
+(** Bounded loop unrolling.
+
+    [for (int i = 0; i < K; i += S)] loops with constant small trip counts
+    (at most 4 iterations) whose bodies do not [break]/[continue] and do
+    not reassign the induction variable are replaced by the iterated body
+    with the induction variable substituted by constants. Each unrolled
+    iteration is wrapped in its own block so declarations stay scoped. *)
+
+val pass : unit -> Pass.t

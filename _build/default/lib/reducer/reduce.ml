@@ -1,0 +1,93 @@
+open Ast
+
+type stats = {
+  initial_stmts : int;
+  final_stmts : int;
+  attempts : int;
+  accepted : int;
+}
+
+type op = Remove | Unwrap
+
+(* Apply [op] to the [target]-th statement (depth-first postorder over
+   blocks). Returns the new program and whether the target was hit. *)
+let apply_at (p : program) target op : program =
+  let counter = ref (-1) in
+  let map_block b =
+    List.concat_map
+      (fun s ->
+        incr counter;
+        if !counter <> target then [ s ]
+        else
+          match op with
+          | Remove -> []
+          | Unwrap -> (
+              match s with
+              | If (_, b1, b2) -> b1 @ b2
+              | For { f_init; f_body; _ } -> Option.to_list f_init @ f_body
+              | While (_, b) -> b
+              | Block b -> b
+              | Emi e -> e.emi_body
+              | _ -> [ s ]))
+      b
+  in
+  Ast_map.map_blocks map_block p
+
+let stmt_positions (p : program) =
+  fold_program_blocks
+    (fun acc b -> acc + fold_stmts (fun n _ -> n + 1) 0 b)
+    0 p
+
+(* concurrency-aware well-formedness: types still check, and the reference
+   device sees neither races nor divergence *)
+let well_formed (tc : testcase) =
+  match Typecheck.check_testcase tc with
+  | Error _ -> false
+  | Ok () -> (
+      let config =
+        { Interp.default_config with Interp.detect_races = true }
+      in
+      match (Interp.run ~config tc).Interp.outcome with
+      | Outcome.Ub _ -> false
+      | _ -> true)
+
+let reduce ?(max_attempts = 5000) ~interesting (tc : testcase) =
+  let attempts = ref 0 and accepted = ref 0 in
+  let initial_stmts = stmt_positions tc.prog in
+  let try_variant current target op =
+    incr attempts;
+    let prog' = apply_at current.prog target op in
+    if prog' = current.prog then None
+    else
+      let tc' = { current with prog = prog' } in
+      if well_formed tc' && interesting tc' then Some tc' else None
+  in
+  let rec fixpoint current =
+    if !attempts >= max_attempts then current
+    else begin
+      let n = stmt_positions current.prog in
+      let rec scan i =
+        if i >= n || !attempts >= max_attempts then None
+        else
+          match try_variant current i Remove with
+          | Some tc' -> Some tc'
+          | None -> (
+              match try_variant current i Unwrap with
+              | Some tc' -> Some tc'
+              | None -> scan (i + 1))
+      in
+      match scan 0 with
+      | Some tc' ->
+          incr accepted;
+          fixpoint tc'
+      | None -> current
+    end
+  in
+  let final = fixpoint tc in
+  ( final,
+    {
+      initial_stmts;
+      final_stmts = stmt_positions final.prog;
+      attempts = !attempts;
+      accepted = !accepted;
+    } )

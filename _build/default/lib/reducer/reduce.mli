@@ -1,0 +1,35 @@
+(** Test-case reduction for MiniCL kernels.
+
+    The paper notes (section 8) that "manual reduction of randomly
+    generated programs to isolate compiler bugs is time-consuming" and that
+    a C-Reduce-style tool for OpenCL "would require a concurrency-aware
+    static analysis to avoid introducing data races". This module is that
+    tool for MiniCL: a greedy delta-debugging loop over statements whose
+    candidate transformations are
+
+    - removing a statement;
+    - unwrapping a compound statement (a conditional becomes its branches
+      in sequence, a loop becomes its body once, a block is spliced);
+
+    and whose well-formedness gate re-checks {!Typecheck.check_testcase}
+    and — concurrency-awareness — re-runs the reference interpreter with
+    race and divergence detection, rejecting any variant that introduces
+    undefined behaviour. The caller's [interesting] predicate (e.g. "this
+    configuration still miscompiles it") drives the search exactly as in
+    C-Reduce. *)
+
+type stats = {
+  initial_stmts : int;
+  final_stmts : int;
+  attempts : int;  (** candidate variants tried *)
+  accepted : int;  (** reduction steps that kept the bug alive *)
+}
+
+val reduce :
+  ?max_attempts:int ->
+  interesting:(Ast.testcase -> bool) ->
+  Ast.testcase ->
+  Ast.testcase * stats
+(** Fixpoint of greedy single-step reductions. The input testcase must
+    itself satisfy [interesting]. [max_attempts] (default 5000) bounds the
+    total number of candidate evaluations. *)

@@ -1,0 +1,31 @@
+let render ~header rows =
+  let all = header :: rows in
+  let cols = List.fold_left (fun m r -> max m (List.length r)) 0 all in
+  let pad_row r = r @ List.init (cols - List.length r) (fun _ -> "") in
+  let all = List.map pad_row all in
+  let widths = Array.make cols 0 in
+  List.iter
+    (List.iteri (fun i cell -> widths.(i) <- max widths.(i) (String.length cell)))
+    all;
+  let line r =
+    String.concat "  "
+      (List.mapi
+         (fun i cell -> cell ^ String.make (widths.(i) - String.length cell) ' ')
+         r)
+    |> fun s -> String.trim (" " ^ s) |> fun s -> s
+  in
+  let sep =
+    String.concat "  "
+      (Array.to_list (Array.map (fun w -> String.make w '-') widths))
+  in
+  match all with
+  | h :: rest ->
+      String.concat "\n" ((line h :: sep :: List.map line rest) @ [ "" ])
+  | [] -> ""
+
+let render_titled ~title ~header rows =
+  Printf.sprintf "%s\n%s\n%s" title (String.make (String.length title) '=')
+    (render ~header rows)
+
+let pct num den =
+  if den = 0 then "-" else Printf.sprintf "%.1f" (100.0 *. float num /. float den)

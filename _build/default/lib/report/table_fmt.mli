@@ -1,0 +1,9 @@
+(** Plain-text table rendering for the campaign reports. *)
+
+val render : header:string list -> string list list -> string
+(** Columns are sized to their widest cell; the header is underlined. *)
+
+val render_titled : title:string -> header:string list -> string list list -> string
+
+val pct : int -> int -> string
+(** [pct num den]: percentage with one decimal, ["-"] when [den = 0]. *)

@@ -1,0 +1,1 @@
+lib/value/bytes_repr.ml: Array Bytes Char Int64 Scalar Ty Vecval

@@ -1,0 +1,1 @@
+lib/value/bytes_repr.mli: Bytes Scalar Ty Vecval

@@ -1,0 +1,1 @@
+lib/value/layout.mli: Ty

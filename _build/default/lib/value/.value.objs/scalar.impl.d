@@ -1,0 +1,1 @@
+lib/value/scalar.ml: Format Int64 Op Printf Ty

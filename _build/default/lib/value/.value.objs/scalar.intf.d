@@ -1,0 +1,1 @@
+lib/value/scalar.mli: Format Op Ty

@@ -1,0 +1,1 @@
+lib/value/vecval.ml: Array Format List Op Printf Scalar String Ty

@@ -1,0 +1,1 @@
+lib/value/vecval.mli: Format Op Scalar Ty

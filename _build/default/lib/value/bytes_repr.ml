@@ -1,0 +1,35 @@
+let write buf off (x : Scalar.t) =
+  let n = Ty.bytes_of_width x.ty.width in
+  let v = Scalar.to_int64 x in
+  for i = 0 to n - 1 do
+    Bytes.set buf (off + i)
+      (Char.chr
+         (Int64.to_int
+            (Int64.logand (Int64.shift_right_logical v (8 * i)) 0xFFL)))
+  done
+
+let read buf off (ty : Ty.scalar) =
+  let n = Ty.bytes_of_width ty.width in
+  let v = ref 0L in
+  for i = n - 1 downto 0 do
+    v :=
+      Int64.logor
+        (Int64.shift_left !v 8)
+        (Int64.of_int (Char.code (Bytes.get buf (off + i))))
+  done;
+  Scalar.make ty !v
+
+let write_vector buf off v =
+  let n = Ty.bytes_of_width (Vecval.elem_ty v).width in
+  for i = 0 to Vecval.length v - 1 do
+    write buf (off + (i * n)) (Vecval.get v i)
+  done
+
+let read_vector buf off elem vl =
+  let n = Ty.bytes_of_width elem.Ty.width in
+  let comps =
+    Array.init (Ty.vlen_to_int vl) (fun i -> read buf (off + (i * n)) elem)
+  in
+  Vecval.make elem comps
+
+let fill buf off len c = Bytes.fill buf off len c

@@ -1,0 +1,20 @@
+(** Little-endian byte-level (de)serialisation of scalar values.
+
+    Used in two places: the byte-addressed IR memory of the vendor-compiler
+    back end, and the union semantics of the reference interpreter (reading
+    a union member reinterprets the bytes last stored through any member,
+    exactly as a real device does — the NVIDIA union-initialisation bug of
+    Fig. 2(a) is only expressible at this level). *)
+
+val write : Bytes.t -> int -> Scalar.t -> unit
+(** [write buf off x] stores [x]'s [sizeof] bytes at [off], little-endian. *)
+
+val read : Bytes.t -> int -> Ty.scalar -> Scalar.t
+(** [read buf off ty] loads a [ty] value from [off]. *)
+
+val write_vector : Bytes.t -> int -> Vecval.t -> unit
+val read_vector : Bytes.t -> int -> Ty.scalar -> Ty.vlen -> Vecval.t
+
+val fill : Bytes.t -> int -> int -> char -> unit
+(** [fill buf off len c]: used by fault models to plant "garbage" bytes
+    (e.g. the 0xff pattern behind Fig. 2(a)'s 0xffff0001 result). *)

@@ -1,0 +1,92 @@
+type policy = { pack_char_first_structs : bool }
+
+let standard = { pack_char_first_structs = false }
+let char_first_bug = { pack_char_first_structs = true }
+
+let align_up off a = (off + a - 1) / a * a
+
+let scalar_size (s : Ty.scalar) = Ty.bytes_of_width s.width
+
+let struct_is_char_first env (agg : Ty.aggregate) =
+  ignore env;
+  (not agg.is_union)
+  &&
+  match agg.fields with
+  | { fty = Ty.Scalar s; _ } :: rest when scalar_size s = 1 ->
+      List.exists
+        (fun (f : Ty.field) ->
+          match f.fty with
+          | Ty.Scalar s' -> scalar_size s' > 1
+          | Ty.Vector _ | Ty.Ptr _ | Ty.Named _ | Ty.Arr _ -> true
+          | Ty.Void -> false)
+        rest
+  | _ -> false
+
+let rec sizeof policy env (t : Ty.t) =
+  match t with
+  | Ty.Void -> invalid_arg "Layout.sizeof: void"
+  | Ty.Scalar s -> scalar_size s
+  | Ty.Vector (s, l) -> scalar_size s * Ty.vlen_to_int l
+  | Ty.Ptr _ -> 8
+  | Ty.Arr (e, n) -> n * sizeof policy env e
+  | Ty.Named n -> aggregate_size policy env (Ty.find_aggregate env n)
+
+and alignof policy env (t : Ty.t) =
+  match t with
+  | Ty.Void -> invalid_arg "Layout.alignof: void"
+  | Ty.Scalar s -> scalar_size s
+  | Ty.Vector (s, l) -> scalar_size s * Ty.vlen_to_int l
+  | Ty.Ptr _ -> 8
+  | Ty.Arr (e, _) -> alignof policy env e
+  | Ty.Named n -> aggregate_align policy env (Ty.find_aggregate env n)
+
+and aggregate_align policy env (agg : Ty.aggregate) =
+  List.fold_left
+    (fun a (f : Ty.field) -> max a (alignof policy env f.fty))
+    1 agg.fields
+
+and packed policy env agg =
+  policy.pack_char_first_structs && struct_is_char_first env agg
+
+and field_offsets policy env (agg : Ty.aggregate) =
+  if agg.is_union then List.map (fun (f : Ty.field) -> (f.Ty.fname, 0)) agg.fields
+  else
+    let pack = packed policy env agg in
+    let _, acc =
+      List.fold_left
+        (fun (off, acc) (f : Ty.field) ->
+          let off =
+            if pack then off else align_up off (alignof policy env f.fty)
+          in
+          (off + sizeof policy env f.fty, (f.fname, off) :: acc))
+        (0, []) agg.fields
+    in
+    List.rev acc
+
+and aggregate_size policy env (agg : Ty.aggregate) =
+  let a = aggregate_align policy env agg in
+  if agg.is_union then
+    let m =
+      List.fold_left
+        (fun m (f : Ty.field) -> max m (sizeof policy env f.fty))
+        0 agg.fields
+    in
+    align_up (max m 1) a
+  else
+    let pack = packed policy env agg in
+    let last =
+      List.fold_left
+        (fun off (f : Ty.field) ->
+          let off =
+            if pack then off else align_up off (alignof policy env f.fty)
+          in
+          off + sizeof policy env f.fty)
+        0 agg.fields
+    in
+    if pack then max last 1 else align_up (max last 1) a
+
+let field_offset policy env ~agg ~field =
+  let a = Ty.find_aggregate env agg in
+  match List.assoc_opt field (field_offsets policy env a) with
+  | Some off -> off
+  | None -> raise Not_found

@@ -1,0 +1,37 @@
+(** C-style data layout: sizes, alignments and field offsets for MiniCL
+    types, as a vendor compiler's lowering computes them.
+
+    The layout engine is parameterised by a {!policy} so that vendor fault
+    models can install buggy layouts. The paper reports that AMD's compilers
+    "appear to miscompile any struct that starts with [char] followed by a
+    larger member" (Fig. 1(a)) — the [pack_char_first_structs] policy
+    reproduces that family of bugs when installed on the store path only. *)
+
+type policy = {
+  pack_char_first_structs : bool;
+      (** lay out a struct with no padding when its first field is a 1-byte
+          scalar and a later field is wider *)
+}
+
+val standard : policy
+val char_first_bug : policy
+
+val sizeof : policy -> Ty.tyenv -> Ty.t -> int
+(** Size in bytes. Scalars have their natural size, vectors are
+    [length * elem] (power-of-two lengths only, so this is also their
+    alignment), pointers are 8 bytes, arrays are [n * sizeof elem], structs
+    include padding per the policy, unions are the padded maximum.
+    @raise Invalid_argument on [Void]. *)
+
+val alignof : policy -> Ty.tyenv -> Ty.t -> int
+
+val field_offset : policy -> Ty.tyenv -> agg:string -> field:string -> int
+(** Byte offset of [field] within aggregate [agg].
+    @raise Not_found if the aggregate or field does not exist. *)
+
+val field_offsets : policy -> Ty.tyenv -> Ty.aggregate -> (string * int) list
+(** All fields with their offsets, in declaration order. *)
+
+val struct_is_char_first : Ty.tyenv -> Ty.aggregate -> bool
+(** The Fig. 1(a) trigger shape: first field is a 1-byte scalar and some
+    later field is wider. *)

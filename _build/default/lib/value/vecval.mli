@@ -1,0 +1,41 @@
+(** OpenCL vector values: fixed-length tuples of {!Scalar.t} sharing one
+    element type. All C operators and built-ins lift component-wise (paper
+    section 3.1); comparison operators on vectors yield a vector whose
+    components are 0 or -1 (all-ones), as OpenCL C specifies. *)
+
+type t
+
+val make : Ty.scalar -> Scalar.t array -> t
+(** Components are converted to the element type. The array length must be a
+    valid OpenCL vector length (2/4/8/16). *)
+
+val splat : Ty.scalar -> Ty.vlen -> Scalar.t -> t
+val elem_ty : t -> Ty.scalar
+val length : t -> int
+val vlen : t -> Ty.vlen
+val get : t -> int -> Scalar.t
+val components : t -> Scalar.t array
+(** A fresh copy. *)
+
+val swizzle : t -> int list -> t option
+(** Component selection; [None] when the selected count is 1 (use {!get}) or
+    not a valid vector length. Indices must be in range. *)
+
+val equal : t -> t -> bool
+
+val map : (Scalar.t -> Scalar.t) -> t -> t
+val map2 : (Scalar.t -> Scalar.t -> Scalar.t) -> t -> t -> t
+
+val binop : Op.binop -> t -> t -> t
+(** Component-wise; comparisons produce 0 / -1 components in the signed type
+    of the same width. Operands must have equal lengths; element types are
+    reconciled component-wise by the scalar operation and the result is
+    normalised to a single element type following OpenCL's rule that both
+    operands must have the same element type (the generator guarantees
+    this). *)
+
+val convert : Ty.scalar -> t -> t
+(** [convert_T]: element-wise C conversion. *)
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

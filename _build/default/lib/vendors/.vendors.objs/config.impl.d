@@ -1,0 +1,1 @@
+lib/vendors/config.ml: Fault Features List Profile

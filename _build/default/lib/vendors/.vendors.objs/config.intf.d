@@ -1,0 +1,1 @@
+lib/vendors/config.mli: Fault

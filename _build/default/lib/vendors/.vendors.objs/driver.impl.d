@@ -1,0 +1,1 @@
+lib/vendors/driver.ml: Ast Config Const_fold Dce Digest_util Fault Features Int64 Interp Lazy List Mutate Outcome Pass Profile Sched Simplify Unroll

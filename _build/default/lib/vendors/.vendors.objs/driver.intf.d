@@ -1,0 +1,1 @@
+lib/vendors/driver.mli: Ast Config Features Outcome

@@ -1,0 +1,1 @@
+lib/vendors/fault.ml: Digest_util Features Int64 Profile

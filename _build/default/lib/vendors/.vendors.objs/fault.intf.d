@@ -1,0 +1,1 @@
+lib/vendors/fault.mli: Features Profile

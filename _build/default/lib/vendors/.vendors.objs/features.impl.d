@@ -1,0 +1,1 @@
+lib/vendors/features.ml: Ast Digest_util Hashtbl Int64 Layout List Op Ty

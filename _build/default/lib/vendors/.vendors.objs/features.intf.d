@@ -1,0 +1,1 @@
+lib/vendors/features.mli: Ast

@@ -1,0 +1,377 @@
+type device_type = GPU | CPU | Accelerator | Emulator | FPGA
+
+type t = {
+  id : int;
+  sdk : string;
+  device : string;
+  driver : string;
+  opencl : string;
+  os : string;
+  device_type : device_type;
+  above_threshold : bool;
+  manual_below : bool;
+  optimizes : bool;
+  faults_off : Fault.t list;
+  faults_on : Fault.t list;
+}
+
+let always (_ : Features.t) = true
+let has_struct (f : Features.t) = f.Features.has_struct
+let char_first (f : Features.t) = f.Features.char_first_struct
+let union_struct (f : Features.t) = f.Features.union_with_struct_field
+let vec_in_struct (f : Features.t) = f.Features.vector_in_struct
+let uses_vectors (f : Features.t) = f.Features.uses_vectors
+let uses_barrier (f : Features.t) = f.Features.uses_barrier
+let barrier_in_callee (f : Features.t) = f.Features.barrier_in_callee
+let barrier_in_callee_straight (f : Features.t) =
+  f.Features.barrier_in_callee_straight
+
+let barrier_in_loop (f : Features.t) = f.Features.barrier_in_loop
+let while_true (f : Features.t) = f.Features.while_true
+let size_t_mix (f : Features.t) = f.Features.mixes_int_size_t
+let vec_logical (f : Features.t) = f.Features.uses_vector_logical
+
+(* reduced test cases reproduce deterministically *)
+let small (f : Features.t) = f.Features.stmt_count <= 25
+let small_and p (f : Features.t) = small f && p f
+
+let wrong rate key requires = Fault.Wrong_code { rate; key; requires }
+let reject message rate key requires = Fault.Reject { message; rate; key; requires }
+let crash message rate key requires = Fault.Runtime_crash { message; rate; key; requires }
+let quirk rate key requires install = Fault.Quirk { rate; key; requires; install }
+let timeout rate key requires = Fault.Run_timeout { rate; key; requires }
+let no_struct (f : Features.t) = not f.Features.has_struct
+
+(* ------------------------------------------------------------------ *)
+(* Per-vendor fault sets. Rates are calibrated against Table 4 of the  *)
+(* paper (per-10,000-test counts); see EXPERIMENTS.md.                 *)
+(* ------------------------------------------------------------------ *)
+
+(* NVIDIA GPUs (1-4): low wrong-code rates, higher without optimisations;
+   build failures ("Wrong type for attribute zeroext") without
+   optimisations; the union-initialisation bug of Fig. 2(a) at -O0. *)
+let nvidia ~old_driver =
+  let faults_off =
+    [
+      reject "internal error: Wrong type for attribute zeroext" 0.040 Fault.Stable always;
+      quirk 0.02 Fault.Stable union_struct (fun p ->
+          { p with Profile.union_init = Profile.Ui_struct_leaf_garbage });
+      quirk 1.0 Fault.Stable (small_and union_struct) (fun p ->
+          { p with Profile.union_init = Profile.Ui_struct_leaf_garbage });
+      wrong 0.004 Fault.Full always;
+      crash "CL_OUT_OF_RESOURCES (unspecified launch failure)" 0.045 Fault.Full has_struct;
+      crash "CL_OUT_OF_RESOURCES" 0.003 Fault.Full always;
+      timeout (if old_driver then 0.019 else 0.0) Fault.Stable has_struct;
+    ]
+  in
+  let faults_on =
+    [
+      wrong 0.008 Fault.Full always;
+      crash "CL_OUT_OF_RESOURCES (unspecified launch failure)" 0.055 Fault.Full has_struct;
+      crash "CL_OUT_OF_RESOURCES" 0.003 Fault.Full always;
+      timeout 0.0005 Fault.Stable has_struct;
+    ]
+  in
+  (faults_off, faults_on)
+
+(* AMD (5, 6 GPU; 16 CPU): the Fig. 1(a) char-first struct bug with
+   optimisations; irreducible-control-flow rejections with optimisations;
+   GPU machine crashes. *)
+let amd ~gpu =
+  let base_off =
+    [
+      wrong 0.07 Fault.Stable has_struct;
+      crash "CL_INVALID_COMMAND_QUEUE" 0.10 Fault.Full has_struct;
+      crash "CL_INVALID_COMMAND_QUEUE" 0.004 Fault.Full always;
+    ]
+  in
+  let base_on =
+    [
+      quirk 1.0 Fault.Stable char_first (fun p ->
+          { p with Profile.struct_init_char_first_zero = true });
+      reject "unsupported irreducible control flow" 0.06 Fault.Stable always;
+      wrong 0.14 Fault.Stable has_struct;
+      crash "CL_INVALID_COMMAND_QUEUE" 0.09 Fault.Full has_struct;
+      crash "CL_INVALID_COMMAND_QUEUE" 0.004 Fault.Full always;
+    ]
+  in
+  let mc = Fault.Machine_crash { message = "host OS crash during kernel execution"; rate = 0.05 } in
+  if gpu then (mc :: base_off, mc :: base_on)
+  else
+    (* the CPU configuration (16) cannot run most standard benchmarks at
+       all (Table 3: "ng" for five or more benchmarks) *)
+    let ng = wrong 0.6 Fault.Stable no_struct in
+    (ng :: base_off, ng :: base_on)
+
+(* Intel GPUs (7, 8): compile hang on while(1) patterns (Fig. 1(e)),
+   struct miscompilations, machine crashes. *)
+let intel_gpu =
+  let common =
+    [
+      Fault.Compile_hang { rate = 1.0; key = Fault.Stable; requires = while_true };
+      wrong 0.30 Fault.Stable has_struct;
+      Fault.Machine_crash { message = "host OS crash during kernel execution"; rate = 0.12 };
+      crash "CL_OUT_OF_RESOURCES" 0.06 Fault.Full has_struct;
+      crash "CL_OUT_OF_RESOURCES" 0.004 Fault.Full always;
+      wrong 0.004 Fault.Full always;
+      timeout 0.03 Fault.Stable has_struct;
+    ]
+  in
+  (common, common)
+
+(* Anonymous GPU vendor (9, 10, 11). 9 carries fixes and sits above the
+   threshold; 10/11 additionally miscompile whole-struct assignment when
+   Nx = 1 (Fig. 1(b)) and mangle structs broadly. *)
+let anon_gpu_fixed =
+  let common rate_c rate_to =
+    [
+      wrong 0.019 Fault.Stable has_struct;
+      wrong 0.003 Fault.Full always;
+      crash "internal device fault" rate_c Fault.Full has_struct;
+      timeout rate_to Fault.Stable has_struct;
+      timeout 0.002 Fault.Full always;
+    ]
+  in
+  ( common 0.032 0.14,
+    quirk 1.0 Fault.Stable always (fun p ->
+        { p with Profile.group_id_cmp_invert = true })
+    :: common 0.025 0.10 )
+
+let anon_gpu_old =
+  let fig1b =
+    quirk 1.0 Fault.Stable
+      (fun f -> f.Features.whole_struct_assign && f.Features.nx_is_one)
+      (fun p -> { p with Profile.struct_copy_drop_arrays = true })
+  in
+  let common =
+    [
+      wrong 0.48 Fault.Stable has_struct;
+      wrong 0.6 Fault.Stable no_struct;
+      crash "internal device fault" 0.05 Fault.Full has_struct;
+      timeout 0.10 Fault.Stable has_struct;
+    ]
+  in
+  (fig1b :: common, common)
+
+(* Intel i7 CPUs (12, 13): the Fig. 2(c) barrier-in-callee write-loss bug
+   without optimisations; vectoriser/barrier-pass build failures with
+   optimisations. *)
+let intel_i7 =
+  ( [
+      quirk 0.05 Fault.Stable barrier_in_callee (fun p ->
+          { p with Profile.pointer_write_bug = Profile.Pwb_callee_barrier { crash = false } });
+      quirk 1.0 Fault.Stable (small_and barrier_in_callee) (fun p ->
+          { p with Profile.pointer_write_bug = Profile.Pwb_callee_barrier { crash = false } });
+      wrong 0.010 Fault.Full always;
+      reject "Instruction does not dominate all uses!" 0.001 Fault.Stable always;
+      crash "segmentation fault" 0.085 Fault.Full has_struct;
+      crash "segmentation fault" 0.003 Fault.Full always;
+      timeout 0.030 Fault.Stable has_struct;
+    ],
+    [
+      wrong 0.004 Fault.Full always;
+      reject "error in Intel OpenCL Vectorizer pass" 0.005 Fault.Stable always;
+      crash "segmentation fault" 0.065 Fault.Full has_struct;
+      crash "segmentation fault" 0.003 Fault.Full always;
+      timeout 0.13 Fault.Stable has_struct;
+    ] )
+
+(* Intel i5 (14): rotate const-fold bug at both levels (Fig. 2(b));
+   barrier-in-callee segfaults and the Fig. 2(d) loop-barrier bug without
+   optimisations. *)
+let intel_i5 =
+  ( [
+      Fault.Buggy_rotate_fold;
+      quirk 0.80 Fault.Stable barrier_in_callee_straight (fun p ->
+          { p with Profile.pointer_write_bug = Profile.Pwb_callee_barrier { crash = true } });
+      quirk 1.0 Fault.Stable (small_and barrier_in_callee_straight) (fun p ->
+          { p with Profile.pointer_write_bug = Profile.Pwb_callee_barrier { crash = true } });
+      quirk 0.10 Fault.Stable barrier_in_loop (fun p ->
+          { p with Profile.loop_barrier = Profile.Lb_lose_init });
+      quirk 1.0 Fault.Stable (small_and barrier_in_loop) (fun p ->
+          { p with Profile.loop_barrier = Profile.Lb_lose_init });
+      reject "error in Intel OpenCL Barrier pass" 0.02 Fault.Stable uses_barrier;
+      wrong 0.001 Fault.Full always;
+      crash "segmentation fault" 0.006 Fault.Full always;
+      timeout 0.028 Fault.Stable has_struct;
+    ],
+    [
+      Fault.Buggy_rotate_fold;
+      wrong 0.020 Fault.Full uses_vectors;
+      wrong 0.002 Fault.Full always;
+      reject "error in Intel OpenCL Vectorizer pass" 0.008 Fault.Stable always;
+      crash "segmentation fault" 0.025 Fault.Full has_struct;
+      crash "segmentation fault" 0.003 Fault.Full always;
+      timeout 0.045 Fault.Stable has_struct;
+    ] )
+
+(* Intel Xeon (15): front end rejects legal int/size_t mixtures at both
+   levels; barrier-in-callee segfaults without optimisations. *)
+let intel_xeon =
+  let szt =
+    reject "invalid operands to binary expression ('int' and 'size_t')" 1.0
+      Fault.Stable size_t_mix
+  in
+  ( [
+      szt;
+      quirk 0.85 Fault.Stable barrier_in_callee_straight (fun p ->
+          { p with Profile.pointer_write_bug = Profile.Pwb_callee_barrier { crash = true } });
+      quirk 1.0 Fault.Stable (small_and barrier_in_callee_straight) (fun p ->
+          { p with Profile.pointer_write_bug = Profile.Pwb_callee_barrier { crash = true } });
+      quirk 0.10 Fault.Stable barrier_in_loop (fun p ->
+          { p with Profile.loop_barrier = Profile.Lb_lose_init });
+      quirk 1.0 Fault.Stable (small_and barrier_in_loop) (fun p ->
+          { p with Profile.loop_barrier = Profile.Lb_lose_init });
+      wrong 0.002 Fault.Full always;
+      crash "segmentation fault" 0.002 Fault.Full always;
+      timeout 0.045 Fault.Stable has_struct;
+    ],
+    [
+      szt;
+      wrong 0.020 Fault.Full always;
+      crash "segmentation fault" 0.015 Fault.Full has_struct;
+      crash "segmentation fault" 0.003 Fault.Full always;
+      crash "segmentation fault" 0.08 Fault.Full uses_barrier;
+      timeout 0.06 Fault.Stable has_struct;
+    ] )
+
+(* Anonymous CPU vendor (17): the Fig. 1(d) post-barrier callee-write bug
+   plus broad struct miscompilation. *)
+let anon_cpu =
+  let common =
+    [
+      quirk 1.0 Fault.Stable always (fun p ->
+          { p with Profile.pointer_write_bug = Profile.Pwb_after_barrier });
+      wrong 0.28 Fault.Stable has_struct;
+      wrong 0.004 Fault.Full always;
+      crash "internal error" 0.04 Fault.Full has_struct;
+      crash "internal error" 0.002 Fault.Full always;
+    ]
+  in
+  (common, common)
+
+(* Xeon Phi (18): prohibitively slow compilation when large structs meet
+   barriers with optimisations (Fig. 1(f)). *)
+let xeon_phi =
+  let base =
+    [
+      wrong 0.02 Fault.Stable has_struct;
+      crash "offload error" 0.03 Fault.Full has_struct;
+      timeout 0.05 Fault.Stable has_struct;
+      timeout 0.20 Fault.Stable no_struct;
+    ]
+  in
+  ( base,
+    Fault.Slow_compile
+      { requires = (fun f -> f.Features.max_struct_bytes > 64 && f.Features.uses_barrier) }
+    :: base )
+
+(* Oclgrind (19): interpreter-level comma mishandling (Fig. 2(f)), a small
+   family of vector bugs, and emulation slowness. Identical at both
+   levels: Oclgrind does not optimise. *)
+let oclgrind =
+  let common =
+    [
+      quirk 1.0 Fault.Stable always (fun p ->
+          { p with Profile.comma = Profile.Comma_first });
+      wrong 0.04 Fault.Stable uses_vectors;
+      timeout 0.12 Fault.Stable has_struct;
+      timeout 0.75 Fault.Stable no_struct;
+      crash "ICD loader error" 0.0005 Fault.Stable always;
+    ]
+  in
+  (common, common)
+
+(* Altera (20 emulated, 21 FPGA): vectors-in-struct IR generation errors,
+   rejection of logical operations on vectors; the FPGA flow mostly fails. *)
+let altera ~fpga =
+  let common =
+    [
+      reject "LLVM IR generation error (vector type in struct)" 1.0 Fault.Stable vec_in_struct;
+      reject "front end rejects logical operation on vector operands" 1.0 Fault.Stable vec_logical;
+      wrong 0.05 Fault.Stable always;
+      crash "aoc internal error" 0.08 Fault.Full has_struct;
+    ]
+  in
+  if fpga then
+    let hard =
+      [
+        reject "aoc internal compiler error" 0.35 Fault.Stable always;
+        crash "FPGA execution fault" 0.35 Fault.Full always;
+      ]
+    in
+    (hard @ common, hard @ common)
+  else (common, common)
+
+(* ------------------------------------------------------------------ *)
+(* Table 1                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let mk id sdk device driver opencl os device_type ~above ?(manual_below = false)
+    ?(optimizes = true) (faults_off, faults_on) =
+  {
+    id; sdk; device; driver; opencl; os; device_type;
+    above_threshold = above;
+    manual_below;
+    optimizes;
+    faults_off;
+    faults_on;
+  }
+
+let all =
+  [
+    mk 1 "NVIDIA 6.5.19" "NVIDIA GeForce GTX Titan" "343.22" "1.1"
+      "Ubuntu 14.04.1 LTS" GPU ~above:true (nvidia ~old_driver:true);
+    mk 2 "NVIDIA 6.5.19" "NVIDIA GeForce GTX 770" "343.22" "1.1"
+      "Ubuntu 14.04.1 LTS" GPU ~above:true (nvidia ~old_driver:true);
+    mk 3 "NVIDIA 7.0.28" "NVIDIA Tesla M2050" "346.47" "1.1" "RHEL Server 6.5"
+      GPU ~above:true (nvidia ~old_driver:false);
+    mk 4 "NVIDIA 7.0.28" "NVIDIA Tesla K40c" "346.47" "1.1" "RHEL Server 6.5"
+      GPU ~above:true (nvidia ~old_driver:false);
+    mk 5 "AMD 2.9-1" "AMD Radeon HD7970 GHz edition" "Catalyst 14.9" "1.2"
+      "Windows 7 Enterprise" GPU ~above:false (amd ~gpu:true);
+    mk 6 "AMD 2.9-1" "ATI Radeon HD 6570 650MHz" "Catalyst 14.9" "1.2"
+      "Windows 7 Enterprise" GPU ~above:false (amd ~gpu:true);
+    mk 7 "Intel 4.6" "Intel HD Graphics 4600" "10.18.10.3960" "1.2"
+      "Windows 7 Enterprise" GPU ~above:false intel_gpu;
+    mk 8 "Intel 4.6" "Intel HD Graphics 4000" "10.18.10.3412" "1.2"
+      "Windows 8.1 Pro" GPU ~above:false intel_gpu;
+    mk 9 "Anon. SDK 1" "Anon. device 1" "Anon. driver 1c" "1.1"
+      "Linux (anon. version)" GPU ~above:true anon_gpu_fixed;
+    mk 10 "Anon. SDK 1" "Anon. device 1" "Anon. driver 1b" "1.1"
+      "Linux (anon. version)" GPU ~above:false anon_gpu_old;
+    mk 11 "Anon. SDK 1" "Anon. device 1" "Anon. driver 1a" "1.1"
+      "Linux (anon. version)" GPU ~above:false anon_gpu_old;
+    mk 12 "Intel 4.6" "Intel Core i7-4770 @ 3.40 GHz" "4.6.0.92" "2.0"
+      "Windows 7 Enterprise" CPU ~above:true intel_i7;
+    mk 13 "Intel 4.6" "Intel Core i7-4770 @ 3.40 GHz" "4.2.0.76" "1.2"
+      "Windows 7 Enterprise" CPU ~above:true intel_i7;
+    mk 14 "Intel 4.6" "Intel Core i5-3317U @ 1.70 GHz" "3.0.1.10878" "1.2"
+      "Windows 8.1 Pro" CPU ~above:true intel_i5;
+    mk 15 "Intel XE 2013 R2" "Intel Xeon X5650 @ 2.67GHz" "1.2 build 56860"
+      "1.2" "RHEL Server 6.5" CPU ~above:true intel_xeon;
+    mk 16 "AMD 2.9-1" "Intel Xeon E5-2609 v2 @ 2.50GHz" "Catalyst 14.9" "1.2"
+      "Windows 7 Enterprise" CPU ~above:false (amd ~gpu:false);
+    mk 17 "Anon. SDK 2" "Anon. device 2" "Anon. driver 2" "1.1"
+      "Linux (anon. version)" CPU ~above:false anon_cpu;
+    mk 18 "Intel XE 2013 R2" "Intel Xeon Phi" "5889-14" "1.2" "RHEL Server 6.5"
+      Accelerator ~above:false ~manual_below:true xeon_phi;
+    mk 19 "Intel 4.6" "Oclgrind v14.5" "LLVM 3.2, SPIR 1.2" "1.2"
+      "Ubuntu 14.04" Emulator ~above:true ~optimizes:false oclgrind;
+    mk 20 "Altera 14.0" "Altera PCIe-385N D5 (Emulated)" "aoc 14.0 build 200"
+      "1.0" "CentOS 6.5" Emulator ~above:false (altera ~fpga:false);
+    mk 21 "Altera 14.0" "Altera PCIe-385N D5" "aoc 14.0 build 200" "1.0"
+      "CentOS 6.5" FPGA ~above:false (altera ~fpga:true);
+  ]
+
+let find id = List.find (fun c -> c.id = id) all
+
+let above_threshold_ids =
+  List.filter_map (fun c -> if c.above_threshold then Some c.id else None) all
+
+let device_type_name = function
+  | GPU -> "GPU"
+  | CPU -> "CPU"
+  | Accelerator -> "Accelerator"
+  | Emulator -> "Emulator"
+  | FPGA -> "FPGA"

@@ -1,0 +1,38 @@
+(** The 21 OpenCL (device, compiler) configurations of Table 1, each
+    modelled as a vendor-compiler simulation: an optimisation pipeline plus
+    the fault set reproducing the bug classes the paper documents for it
+    (section 6 and Figures 1–2).
+
+    Anonymised vendors are kept anonymous here too. [above_threshold]
+    records the paper's Table 1 classification — the reproduction's
+    {!Classify} recomputes the classification from actual campaign results
+    and EXPERIMENTS.md compares the two. The Xeon Phi (18) carries
+    [manual_below] because the paper classified it below the threshold by
+    judgement (prohibitively slow struct compiles) rather than by the 25%
+    rule. *)
+
+type device_type = GPU | CPU | Accelerator | Emulator | FPGA
+
+type t = {
+  id : int;
+  sdk : string;
+  device : string;
+  driver : string;
+  opencl : string;
+  os : string;
+  device_type : device_type;
+  above_threshold : bool;
+  manual_below : bool;
+  optimizes : bool;  (** Oclgrind does not optimise *)
+  faults_off : Fault.t list;  (** active with [-cl-opt-disable] *)
+  faults_on : Fault.t list;  (** active with default optimisation *)
+}
+
+val all : t list
+val find : int -> t
+(** @raise Not_found for ids outside 1..21 *)
+
+val above_threshold_ids : int list
+(** Paper classification: the configurations used for Tables 4 and 5. *)
+
+val device_type_name : device_type -> string

@@ -1,0 +1,182 @@
+let fault_rate = function
+  | Fault.Reject { rate; _ } | Fault.Compile_hang { rate; _ }
+  | Fault.Runtime_crash { rate; _ } | Fault.Machine_crash { rate; _ }
+  | Fault.Run_timeout { rate; _ } | Fault.Wrong_code { rate; _ }
+  | Fault.Quirk { rate; _ } ->
+      rate
+  | Fault.Slow_compile _ | Fault.Buggy_rotate_fold -> 1.0
+
+let salt_of (c : Config.t) ~opt i =
+  (c.Config.id * 1000) + (if opt then 500 else 0) + i
+
+let faults_of ?(noise = true) (c : Config.t) ~opt =
+  let fs = if opt then c.Config.faults_on else c.Config.faults_off in
+  if noise then fs else List.filter (fun f -> fault_rate f >= 1.0) fs
+
+(* first front-end fault that fires, if any *)
+let front_end ?noise (c : Config.t) ~opt (feats : Features.t) : Outcome.t option =
+  let faults = faults_of ?noise c ~opt in
+  let rec scan i = function
+    | [] -> None
+    | f :: rest -> (
+        let salt = salt_of c ~opt i in
+        match f with
+        | Fault.Reject { message; rate; key; requires }
+          when requires feats && Fault.gate key feats ~salt ~rate ->
+            Some (Outcome.Build_failure message)
+        | Fault.Compile_hang { rate; key; requires }
+          when requires feats && Fault.gate key feats ~salt ~rate ->
+            Some Outcome.Timeout
+        | Fault.Slow_compile { requires } when requires feats ->
+            Some Outcome.Timeout
+        | _ -> scan (i + 1) rest)
+  in
+  scan 0 faults
+
+let has_buggy_rotate (c : Config.t) ~opt =
+  List.exists
+    (function Fault.Buggy_rotate_fold -> true | _ -> false)
+    (faults_of c ~opt)
+
+let std_pipeline ~rotate_zero_bug =
+  [
+    Const_fold.pass ~rotate_zero_bug ();
+    Simplify.pass ();
+    Unroll.pass ();
+    Dce.pass ();
+    Const_fold.pass ~rotate_zero_bug ();
+    Simplify.pass ();
+  ]
+
+(* Pass-pipeline results depend only on (optimising?, rotate bug?), so a
+   prepared test case caches the four possibilities lazily. *)
+type prepared = {
+  tc : Ast.testcase;
+  feats : Features.t Lazy.t;
+  plain : Ast.program Lazy.t; (* no passes *)
+  rotate_only : Ast.program Lazy.t; (* Fig. 2(b) front-end folder at -O0 *)
+  optimized : Ast.program Lazy.t;
+  optimized_rotate : Ast.program Lazy.t;
+}
+
+let prepare (tc : Ast.testcase) =
+  {
+    tc;
+    feats = lazy (Features.of_testcase tc);
+    plain = lazy tc.Ast.prog;
+    rotate_only =
+      lazy (Pass.pipeline [ Const_fold.pass ~rotate_zero_bug:true () ] tc.Ast.prog);
+    optimized =
+      lazy (Pass.pipeline (std_pipeline ~rotate_zero_bug:false) tc.Ast.prog);
+    optimized_rotate =
+      lazy (Pass.pipeline (std_pipeline ~rotate_zero_bug:true) tc.Ast.prog);
+  }
+
+let testcase_of p = p.tc
+let features_of_prepared p = Lazy.force p.feats
+
+let compiled (c : Config.t) ~opt (p : prepared) =
+  let rotate = has_buggy_rotate c ~opt in
+  if opt && c.Config.optimizes then
+    Lazy.force (if rotate then p.optimized_rotate else p.optimized)
+  else if rotate then Lazy.force p.rotate_only
+  else Lazy.force p.plain
+
+let apply_wrong_code ?noise (c : Config.t) ~opt feats prog =
+  let faults = faults_of ?noise c ~opt in
+  let _, prog =
+    List.fold_left
+      (fun (i, prog) f ->
+        let salt = salt_of c ~opt i in
+        match f with
+        | Fault.Wrong_code { rate; key; requires }
+          when requires feats && Fault.gate key feats ~salt ~rate ->
+            let seed =
+              Digest_util.mix
+                (match key with
+                | Fault.Full -> feats.Features.full_digest
+                | Fault.Stable -> feats.Features.stable_digest)
+                (Int64.of_int (salt + 77))
+            in
+            (i + 1, Mutate.apply ~seed prog)
+        | _ -> (i + 1, prog))
+      (0, prog) faults
+  in
+  prog
+
+let assemble_profile ?noise (c : Config.t) ~opt feats =
+  let faults = faults_of ?noise c ~opt in
+  let _, profile =
+    List.fold_left
+      (fun (i, profile) f ->
+        let salt = salt_of c ~opt i in
+        match f with
+        | Fault.Quirk { rate; key; requires; install }
+          when requires feats && Fault.gate key feats ~salt ~rate ->
+            (i + 1, install profile)
+        | _ -> (i + 1, profile))
+      (0, Profile.reference) faults
+  in
+  profile
+
+(* crash / machine-crash / run-timeout decisions (pre-execution) *)
+let runtime_fate ?noise (c : Config.t) ~opt feats : Outcome.t option =
+  let faults = faults_of ?noise c ~opt in
+  let rec scan i = function
+    | [] -> None
+    | f :: rest -> (
+        let salt = salt_of c ~opt i in
+        match f with
+        | Fault.Runtime_crash { message; rate; key; requires }
+          when requires feats && Fault.gate key feats ~salt ~rate ->
+            Some (Outcome.Crash message)
+        | Fault.Machine_crash { message; rate }
+          when Fault.gate Fault.Full feats ~salt ~rate ->
+            Some (Outcome.Machine_crash message)
+        | Fault.Run_timeout { rate; key; requires }
+          when requires feats && Fault.gate key feats ~salt ~rate ->
+            Some Outcome.Timeout
+        | _ -> scan (i + 1) rest)
+  in
+  scan 0 faults
+
+let interp_config (c : Config.t) profile =
+  {
+    Interp.default_config with
+    Interp.schedule = Sched.Seeded c.Config.id;
+    profile;
+  }
+
+let compiled_program (c : Config.t) ~opt (tc : Ast.testcase) =
+  let p = prepare tc in
+  apply_wrong_code c ~opt (Lazy.force p.feats) (compiled c ~opt p)
+
+let run_prepared ?noise (c : Config.t) ~opt (p : prepared) : Outcome.t =
+  let feats = Lazy.force p.feats in
+  match front_end ?noise c ~opt feats with
+  | Some o -> o
+  | None -> (
+      match runtime_fate ?noise c ~opt feats with
+      | Some o -> o
+      | None ->
+          let prog = apply_wrong_code ?noise c ~opt feats (compiled c ~opt p) in
+          let profile = assemble_profile ?noise c ~opt feats in
+          let outcome =
+            Interp.run_outcome
+              ~config:(interp_config c profile)
+              { p.tc with Ast.prog }
+          in
+          (* a real device does not diagnose UB: it just misbehaves *)
+          (match outcome with
+          | Outcome.Ub m -> Outcome.Crash ("undefined behaviour: " ^ m)
+          | o -> o))
+
+let run ?noise (c : Config.t) ~opt tc = run_prepared ?noise c ~opt (prepare tc)
+
+let run_both c tc =
+  let p = prepare tc in
+  (run_prepared c ~opt:false p, run_prepared c ~opt:true p)
+
+let reference_outcome ?(detect_races = false) tc =
+  let config = { Interp.default_config with Interp.detect_races } in
+  Interp.run_outcome ~config tc

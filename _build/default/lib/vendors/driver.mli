@@ -1,0 +1,47 @@
+(** Compile-and-run a test case on a simulated configuration.
+
+    The pipeline mirrors an online OpenCL compile+execute cycle:
+
+    + front-end checks — vendor-specific rejections, compile hangs and
+      pathological compile times fire here (build failure / timeout);
+    + optimisation — when optimisations are on and the configuration
+      optimises, the AST pass pipeline runs (const-fold, simplify, unroll,
+      DCE), with buggy pass variants substituted where a fault demands;
+    + miscompilation — gated [Wrong_code] faults apply deterministic
+      mutations; gated [Quirk] faults assemble the execution profile;
+    + execution — the device simulator runs the result; gated crash /
+      machine-crash / timeout faults pre-empt execution (the simulation
+      does not need to burn cycles to know the run would crash).
+
+    Everything is deterministic in (configuration, optimisation level,
+    test case). *)
+
+type prepared
+(** A test case with its feature vector and pass-pipeline results cached:
+    features and the optimised program are shared by every configuration,
+    so campaigns prepare once and run many. *)
+
+val prepare : Ast.testcase -> prepared
+val testcase_of : prepared -> Ast.testcase
+val features_of_prepared : prepared -> Features.t
+
+val run_prepared : ?noise:bool -> Config.t -> opt:bool -> prepared -> Outcome.t
+(** [noise:false] considers only deterministic faults (gate rate >= 1.0) —
+    used when demonstrating a specific reduced bug exhibit, where the
+    paper's investigation likewise separated the bug under study from
+    unrelated transient failures. Default [true]. *)
+
+val run : ?noise:bool -> Config.t -> opt:bool -> Ast.testcase -> Outcome.t
+(** [prepare] + [run_prepared]. *)
+
+val run_both : Config.t -> Ast.testcase -> Outcome.t * Outcome.t
+(** (optimisations off, optimisations on). *)
+
+val reference_outcome : ?detect_races:bool -> Ast.testcase -> Outcome.t
+(** The trustworthy reference device (no faults, standard layout). *)
+
+val compiled_program : Config.t -> opt:bool -> Ast.testcase -> Ast.program
+(** The program as the configuration's compiler transforms it (passes and
+    mutations applied) — the analogue of inspecting emitted PTX/assembly
+    when investigating a bug (paper section 6). Front-end rejections are
+    ignored here. *)

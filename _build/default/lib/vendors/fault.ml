@@ -1,0 +1,37 @@
+type key = Full | Stable
+
+type t =
+  | Reject of {
+      message : string;
+      rate : float;
+      key : key;
+      requires : Features.t -> bool;
+    }
+  | Compile_hang of { rate : float; key : key; requires : Features.t -> bool }
+  | Slow_compile of { requires : Features.t -> bool }
+  | Runtime_crash of {
+      message : string;
+      rate : float;
+      key : key;
+      requires : Features.t -> bool;
+    }
+  | Machine_crash of { message : string; rate : float }
+  | Run_timeout of { rate : float; key : key; requires : Features.t -> bool }
+  | Wrong_code of { rate : float; key : key; requires : Features.t -> bool }
+  | Quirk of {
+      rate : float;
+      key : key;
+      requires : Features.t -> bool;
+      install : Profile.t -> Profile.t;
+    }
+  | Buggy_rotate_fold
+
+let digest_of key (f : Features.t) =
+  match key with Full -> f.Features.full_digest | Stable -> f.Features.stable_digest
+
+let gate key f ~salt ~rate =
+  if rate >= 1.0 then true
+  else if rate <= 0.0 then false
+  else
+    let d = Digest_util.mix (digest_of key f) (Int64.of_int salt) in
+    Digest_util.to_float01 d < rate

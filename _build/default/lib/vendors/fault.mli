@@ -1,0 +1,56 @@
+(** Fault models: the injectable bug classes of the simulated vendor
+    compilers.
+
+    A fault has a {e trigger} (a predicate over {!Features.t}) and an
+    optional {e gate}: a deterministic pseudo-random threshold evaluated
+    from a program digest, the configuration id and the fault's salt. A
+    gate of rate [r] makes the fault fire on a fraction [r] of triggering
+    programs — deterministically per program, as real compiler bugs do.
+    Digest choice matters (see {!Digest_util}): [`Full]-keyed faults are
+    sensitive to EMI pruning (optimisation-interaction bugs), [`Stable]-
+    keyed faults hit every EMI variant of a base identically (front-end /
+    interpreter bugs, which EMI testing cannot see — section 7.4's Oclgrind
+    contrast). *)
+
+type key = Full | Stable
+
+type t =
+  | Reject of {
+      message : string;
+      rate : float;
+      key : key;
+      requires : Features.t -> bool;
+    }  (** front-end build failure *)
+  | Compile_hang of { rate : float; key : key; requires : Features.t -> bool }
+      (** compiler never terminates (Fig. 1(e)) — observed as a timeout *)
+  | Slow_compile of { requires : Features.t -> bool }
+      (** pathological compile time (Fig. 1(f), Xeon Phi) — timeout *)
+  | Runtime_crash of {
+      message : string;
+      rate : float;
+      key : key;
+      requires : Features.t -> bool;
+    }
+  | Machine_crash of { message : string; rate : float }
+      (** takes the host OS down (AMD/Intel GPUs, section 6) *)
+  | Run_timeout of {
+      rate : float;
+      key : key;
+      requires : Features.t -> bool;
+    }
+      (** execution exceeds the campaign timeout (e.g. the slow Oclgrind
+          emulator) *)
+  | Wrong_code of { rate : float; key : key; requires : Features.t -> bool }
+      (** miscompilation via {!Mutate} *)
+  | Quirk of {
+      rate : float;
+      key : key;
+      requires : Features.t -> bool;
+      install : Profile.t -> Profile.t;
+    }  (** semantic quirk installed into the execution profile *)
+  | Buggy_rotate_fold
+      (** replace the const-fold pass by the Fig. 2(b) variant *)
+
+val gate : key -> Features.t -> salt:int -> rate:float -> bool
+(** Deterministic threshold test. [rate >= 1.0] always fires; [rate <= 0.]
+    never. *)

@@ -1,0 +1,212 @@
+open Ast
+
+type t = {
+  uses_barrier : bool;
+  barrier_count : int;
+  uses_vectors : bool;
+  uses_vector_logical : bool;
+  uses_atomics : bool;
+  uses_comma : bool;
+  has_struct : bool;
+  char_first_struct : bool;
+  union_with_struct_field : bool;
+  vector_in_struct : bool;
+  max_struct_bytes : int;
+  barrier_in_callee : bool;
+  barrier_in_callee_straight : bool;
+  barrier_in_loop : bool;
+  mixes_int_size_t : bool;
+  while_true : bool;
+  long_loop_bound : int;
+  whole_struct_assign : bool;
+  nx_is_one : bool;
+  stmt_count : int;
+  full_digest : int64;
+  stable_digest : int64;
+}
+
+let count_barriers p =
+  fold_program_blocks
+    (fun acc b ->
+      acc
+      + fold_stmts
+          (fun n s -> match s with Barrier _ -> n + 1 | _ -> n)
+          0 b)
+    0 p
+
+let block_has_barrier b =
+  fold_stmts (fun acc s -> acc || match s with Barrier _ -> true | _ -> false) false b
+
+let barrier_in_callee p =
+  List.exists (fun (f : func) -> block_has_barrier f.body) p.funcs
+
+(* a barrier in a callee outside any loop: the Fig. 2(c) crash shape, as
+   opposed to the loop-nested Fig. 2(d) shape *)
+let barrier_in_callee_straight p =
+  let rec straight b =
+    List.exists
+      (fun s ->
+        match s with
+        | Barrier _ -> true
+        | If (_, b1, b2) -> straight b1 || straight b2
+        | Block b -> straight b
+        | Emi { emi_body; _ } -> straight emi_body
+        | For _ | While _ | Decl _ | Assign _ | Expr _ | Break | Continue
+        | Return _ ->
+            false)
+      b
+  in
+  List.exists (fun (f : func) -> straight f.body) p.funcs
+
+let barrier_in_loop p =
+  fold_program_blocks
+    (fun acc b ->
+      acc
+      || fold_stmts
+           (fun found s ->
+             found
+             ||
+             match s with
+             | For { f_body; _ } -> block_has_barrier f_body
+             | While (_, body) -> block_has_barrier body
+             | _ -> false)
+           false b)
+    false p
+
+(* does any expression tree contain an axis-form thread id? (type size_t) *)
+let rec has_axis_id (e : expr) =
+  match e with
+  | Thread_id (Op.Global_id _ | Op.Local_id _ | Op.Group_id _) -> true
+  | Const _ | Var _ | Thread_id _ -> false
+  (* an explicit cast to a non-size_t type launders the operand: the
+     front-end bug only fires on genuinely mixed int/size_t expressions *)
+  | Cast (t, a) -> Ty.equal t Ty.size_t && has_axis_id a
+  | Unop (_, a) | Safe_neg a | Field (a, _) | Arrow (a, _)
+  | Deref a | Addr_of a | Swizzle (a, _) ->
+      has_axis_id a
+  | Binop (_, a, b) | Safe_binop (_, a, b) | Index (a, b) ->
+      has_axis_id a || has_axis_id b
+  | Cond (a, b, c) -> has_axis_id a || has_axis_id b || has_axis_id c
+  | Builtin (_, args) | Call (_, args) | Vec_lit (_, _, args) ->
+      List.exists has_axis_id args
+  | Atomic (_, p, args) -> List.exists has_axis_id (p :: args)
+
+(* the Intel-Xeon rejection shape: a compound bitwise assignment whose
+   right-hand side involves size_t thread ids ("int x; x |= gx") *)
+let mixes_int_size_t p =
+  exists_stmt
+    (function
+      | Assign (_, A_op (Op.BitOr | Op.BitAnd | Op.BitXor), rhs) ->
+          has_axis_id rhs
+      | _ -> false)
+    p
+
+let while_true p =
+  exists_stmt
+    (function
+      | While (Const c, _) -> c.value <> 0L
+      | _ -> false)
+    p
+
+let long_loop_bound p =
+  fold_program_blocks
+    (fun acc b ->
+      fold_stmts
+        (fun m s ->
+          match s with
+          | For { f_cond = Some (Binop (Op.Lt, _, Const c)); _ } ->
+              max m (Int64.to_int (min c.value 1_000_000L))
+          | _ -> m)
+        acc b)
+    0 p
+
+let whole_struct_assign p =
+  let decls = Hashtbl.create 32 in
+  let record_block b =
+    ignore
+      (fold_stmts
+         (fun () s ->
+           match s with
+           | Decl { dname; dty = Ty.Named n; _ } -> Hashtbl.replace decls dname n
+           | _ -> ())
+         () b)
+  in
+  List.iter (fun (f : func) -> record_block f.body) (p.kernel :: p.funcs);
+  exists_stmt
+    (function
+      | Assign (Var a, A_simple, Var b) ->
+          Hashtbl.mem decls a && Hashtbl.mem decls b
+      | _ -> false)
+    p
+
+let uses_vector_logical p =
+  (* approximation: a logical operator whose operand is syntactically a
+     vector literal, swizzle source, or vector-typed cast *)
+  let rec vectorish = function
+    | Vec_lit _ -> true
+    | Cast (Ty.Vector _, _) -> true
+    | Binop (_, a, b) | Safe_binop (_, a, b) -> vectorish a || vectorish b
+    | Unop (_, a) | Safe_neg a -> vectorish a
+    | Builtin (_, args) -> List.exists vectorish args
+    | _ -> false
+  in
+  exists_expr
+    (function
+      | Binop ((Op.LogAnd | Op.LogOr), a, b) -> vectorish a || vectorish b
+      | Unop (Op.LogNot, a) -> vectorish a
+      | _ -> false)
+    p
+
+let of_testcase (tc : testcase) : t =
+  let p = tc.prog in
+  let tyenv = tyenv_of_program p in
+  let structs = List.filter (fun (a : Ty.aggregate) -> not a.is_union) p.aggregates in
+  let unions = List.filter (fun (a : Ty.aggregate) -> a.is_union) p.aggregates in
+  let max_struct_bytes =
+    List.fold_left
+      (fun m (a : Ty.aggregate) ->
+        max m (Layout.sizeof Layout.standard tyenv (Ty.Named a.aname)))
+      0 p.aggregates
+  in
+  let nx, _, _ = tc.global_size in
+  {
+    uses_barrier = uses_barrier p;
+    barrier_count = count_barriers p;
+    uses_vectors = uses_vectors p;
+    uses_vector_logical = uses_vector_logical p;
+    uses_atomics = uses_atomics p;
+    uses_comma = uses_comma p;
+    has_struct = structs <> [];
+    char_first_struct =
+      List.exists (Layout.struct_is_char_first tyenv) structs;
+    union_with_struct_field =
+      List.exists
+        (fun (u : Ty.aggregate) ->
+          List.exists
+            (fun (f : Ty.field) ->
+              match f.fty with
+              | Ty.Named n -> (
+                  match Ty.find_aggregate_opt tyenv n with
+                  | Some a -> not a.is_union
+                  | None -> false)
+              | _ -> false)
+            u.fields)
+        unions;
+    vector_in_struct =
+      List.exists
+        (fun (a : Ty.aggregate) ->
+          List.exists (fun (f : Ty.field) -> Ty.is_vector f.fty) a.fields)
+        p.aggregates;
+    max_struct_bytes;
+    barrier_in_callee = barrier_in_callee p;
+    barrier_in_callee_straight = barrier_in_callee_straight p;
+    barrier_in_loop = barrier_in_loop p;
+    mixes_int_size_t = mixes_int_size_t p;
+    while_true = while_true p;
+    long_loop_bound = long_loop_bound p;
+    whole_struct_assign = whole_struct_assign p;
+    nx_is_one = nx = 1;
+    stmt_count = stmt_count p;
+    full_digest = Digest_util.full p;
+    stable_digest = Digest_util.stable p;
+  }

@@ -1,0 +1,42 @@
+(** Syntactic/structural program features that fault-model triggers key on.
+
+    Each feature corresponds to a trigger condition of a documented bug
+    from the paper (section 6): e.g. [char_first_struct] is the Fig. 1(a)
+    AMD trigger, [mixes_int_size_t] the Intel-Xeon front-end rejection,
+    [barrier_in_callee] the Fig. 2(c) Intel CPU trigger, [while_true] the
+    Fig. 1(e) Intel GPU compile hang. Features are computed once per test
+    case and shared by all fault evaluations. *)
+
+type t = {
+  uses_barrier : bool;
+  barrier_count : int;
+  uses_vectors : bool;
+  uses_vector_logical : bool;
+      (** logical operators applied to vectors — rejected by Altera *)
+  uses_atomics : bool;
+  uses_comma : bool;
+  has_struct : bool;
+  char_first_struct : bool;
+  union_with_struct_field : bool;
+  vector_in_struct : bool;
+  max_struct_bytes : int;
+  barrier_in_callee : bool;
+  barrier_in_callee_straight : bool;
+      (** a callee barrier outside any loop — the Fig. 2(c) crash shape,
+          as opposed to the loop-nested Fig. 2(d) shape *)
+  barrier_in_loop : bool;
+  mixes_int_size_t : bool;
+  while_true : bool;
+  long_loop_bound : int;  (** largest constant loop bound *)
+  whole_struct_assign : bool;
+  nx_is_one : bool;  (** launch geometry: the Fig. 1(b) bug needs Nx = 1 *)
+  stmt_count : int;
+      (** program size; reduced test cases (like the Figure 1/2 exhibits)
+          trigger their bugs deterministically, so several fault models use
+          rate 1.0 for small programs and a statistical rate for large
+          generated kernels *)
+  full_digest : int64;
+  stable_digest : int64;
+}
+
+val of_testcase : Ast.testcase -> t

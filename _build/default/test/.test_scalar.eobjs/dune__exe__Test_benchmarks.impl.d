@@ -1,0 +1,1 @@
+test/test_benchmarks.ml: Alcotest Driver Interp List Outcome Printf Sched String Suite Typecheck

@@ -1,0 +1,1 @@
+test/test_emi.ml: Alcotest Ast Build Driver Gen_config Generate Inject Interp List Outcome Prune Rng Stdlib Suite Ty Typecheck Variant

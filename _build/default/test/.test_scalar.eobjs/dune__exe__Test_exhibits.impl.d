@@ -1,0 +1,1 @@
+test/test_exhibits.ml: Alcotest Config Driver Exhibit List Outcome Printf String Typecheck

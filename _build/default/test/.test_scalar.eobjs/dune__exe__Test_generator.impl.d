@@ -1,0 +1,1 @@
+test/test_generator.ml: Alcotest Ast Digest Features Gen_config Generate Interp List Outcome Pp Printf Sched String Typecheck Validate

@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest Bench_emi Campaign Classify Config Emi_campaign Gen_config List Majority Outcome String Table_fmt

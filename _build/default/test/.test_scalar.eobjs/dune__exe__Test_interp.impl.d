@@ -1,0 +1,1 @@
+test/test_interp.ml: Alcotest Ast Build Interp List Op Outcome Profile Sched Stdlib String Ty

@@ -1,0 +1,1 @@
+test/test_layout_bytes.ml: Alcotest Build Bytes Bytes_repr Layout List Printf QCheck2 QCheck_alcotest Scalar Ty

@@ -1,0 +1,1 @@
+test/test_misc.ml: Alcotest Array Ast Ast_map Digest_util Fun Gen_config Generate Hashtbl Int64 Interp List Ndrange Outcome Pp Printf Rng Sched String Typecheck Validate

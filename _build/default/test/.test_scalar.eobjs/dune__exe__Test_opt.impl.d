@@ -1,0 +1,1 @@
+test/test_opt.ml: Alcotest Ast Build Const_fold Dce Gen_config Generate Int64 Interp List Mutate Op Outcome Pass Pp Printf Simplify Stdlib String Ty Typecheck Unroll

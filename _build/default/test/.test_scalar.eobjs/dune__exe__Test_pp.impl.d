@@ -1,0 +1,1 @@
+test/test_pp.ml: Alcotest Ast Build Exhibit List Op Pp Printf Stdlib String Ty

@@ -1,0 +1,1 @@
+test/test_race.ml: Alcotest Build Gen_config Generate Interp List Printf Race Suite Ty

@@ -1,0 +1,1 @@
+test/test_reducer.ml: Alcotest Ast Build Config Driver Gen_config Generate Interp Op Outcome Reduce Stdlib String Ty Typecheck

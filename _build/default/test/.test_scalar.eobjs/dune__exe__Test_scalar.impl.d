@@ -1,0 +1,1 @@
+test/test_scalar.ml: Alcotest Int64 Op QCheck2 QCheck_alcotest Scalar Ty

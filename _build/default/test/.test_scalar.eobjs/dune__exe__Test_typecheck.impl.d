@@ -1,0 +1,1 @@
+test/test_typecheck.ml: Alcotest Ast Build Op Stdlib String Ty Typecheck

@@ -1,0 +1,1 @@
+test/test_validate.ml: Alcotest Ast Build Gen_config Generate List Op Ty Validate

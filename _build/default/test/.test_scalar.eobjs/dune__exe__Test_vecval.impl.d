@@ -1,0 +1,1 @@
+test/test_vecval.ml: Alcotest Array List Op QCheck2 QCheck_alcotest Scalar Ty Vecval

@@ -1,0 +1,1 @@
+test/test_vendors.ml: Alcotest Ast Build Config Digest_util Driver Fault Features Gen_config Generate Int64 List Op Outcome Printf Prune Stdlib String Ty Variant

@@ -1,0 +1,125 @@
+(* The mini Parboil/Rodinia suite: every port type-checks, runs to a
+   computed result on the reference device, and has the documented race
+   status; golden outputs pin down a few ports completely. *)
+
+let test_all_run () =
+  List.iter
+    (fun (b : Suite.benchmark) ->
+      let tc = b.Suite.testcase () in
+      (match Typecheck.check_testcase tc with
+      | Ok () -> ()
+      | Error m -> Alcotest.failf "%s: %s" b.Suite.name m);
+      match Driver.reference_outcome tc with
+      | Outcome.Success _ -> ()
+      | o -> Alcotest.failf "%s: %s" b.Suite.name (Outcome.to_string o))
+    Suite.all
+
+let test_bfs_levels () =
+  (* hand-checked BFS levels for the ring+chord graph from node 0 *)
+  match Driver.reference_outcome ((Suite.find "bfs").Suite.testcase ()) with
+  | Outcome.Success s ->
+      Alcotest.(check string) "levels" "levels: 0,1,2,3,2,3,4,3,4,5,4,5,6,3,4,5" s
+  | o -> Alcotest.failf "bfs: %s" (Outcome.to_string o)
+
+let test_pathfinder_monotone () =
+  (* DP costs are sums of positive weights: every result is >= rows *)
+  match Driver.reference_outcome ((Suite.find "pathfinder").Suite.testcase ()) with
+  | Outcome.Success s ->
+      let values =
+        match String.split_on_char ':' s with
+        | [ _; rest ] ->
+            List.map
+              (fun x -> int_of_string (String.trim x))
+              (String.split_on_char ',' rest)
+        | _ -> Alcotest.fail "unexpected output shape"
+      in
+      List.iter
+        (fun c -> Alcotest.(check bool) "path cost at least 8" true (c >= 8))
+        values
+  | o -> Alcotest.failf "pathfinder: %s" (Outcome.to_string o)
+
+let test_tpacf_histogram_total () =
+  (* the histogram must contain exactly the n*(n-1)/2 pairs *)
+  match Driver.reference_outcome ((Suite.find "tpacf").Suite.testcase ()) with
+  | Outcome.Success s ->
+      let total =
+        match String.split_on_char ':' s with
+        | [ _; rest ] ->
+            List.fold_left
+              (fun a x -> a + int_of_string (String.trim x))
+              0
+              (String.split_on_char ',' rest)
+        | _ -> Alcotest.fail "unexpected output shape"
+      in
+      Alcotest.(check int) "16*15/2 pairs" 120 total
+  | o -> Alcotest.failf "tpacf: %s" (Outcome.to_string o)
+
+let test_race_status () =
+  List.iter
+    (fun (b : Suite.benchmark) ->
+      let config = { Interp.default_config with Interp.detect_races = true } in
+      let r = Interp.run ~config (b.Suite.testcase ()) in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s race status" b.Suite.name)
+        b.Suite.racy
+        (r.Interp.races <> []))
+    Suite.all
+
+let test_suite_metadata () =
+  Alcotest.(check int) "10 benchmarks" 10 (List.length Suite.all);
+  Alcotest.(check int) "8 EMI-eligible" 8 (List.length Suite.emi_eligible);
+  Alcotest.(check bool) "spmv excluded" true
+    (not (List.exists (fun b -> b.Suite.name = "spmv") Suite.emi_eligible));
+  Alcotest.(check bool) "myocyte excluded" true
+    (not (List.exists (fun b -> b.Suite.name = "myocyte") Suite.emi_eligible));
+  (* Table 2 renders and mentions every benchmark *)
+  let t2 = Suite.table2 () in
+  List.iter
+    (fun (b : Suite.benchmark) ->
+      let nl = String.length b.Suite.name and hl = String.length t2 in
+      let rec go i =
+        i + nl <= hl && (String.equal (String.sub t2 i nl) b.Suite.name || go (i + 1))
+      in
+      Alcotest.(check bool) (b.Suite.name ^ " in table2") true (go 0))
+    Suite.all
+
+let test_deterministic_across_schedules_when_race_free () =
+  List.iter
+    (fun (b : Suite.benchmark) ->
+      if not b.Suite.racy then begin
+        let tc = b.Suite.testcase () in
+        let outs =
+          List.map
+            (fun s ->
+              Interp.run_outcome
+                ~config:{ Interp.default_config with Interp.schedule = s }
+                tc)
+            Sched.all_for_testing
+        in
+        match outs with
+        | first :: rest ->
+            List.iter
+              (fun o ->
+                Alcotest.(check bool)
+                  (b.Suite.name ^ " schedule independent")
+                  true (Outcome.equal first o))
+              rest
+        | [] -> ()
+      end)
+    Suite.all
+
+let () =
+  Alcotest.run "benchmarks"
+    [
+      ( "suite",
+        [
+          Alcotest.test_case "all run" `Quick test_all_run;
+          Alcotest.test_case "bfs golden" `Quick test_bfs_levels;
+          Alcotest.test_case "pathfinder monotone" `Quick test_pathfinder_monotone;
+          Alcotest.test_case "tpacf histogram" `Quick test_tpacf_histogram_total;
+          Alcotest.test_case "race status" `Quick test_race_status;
+          Alcotest.test_case "metadata" `Quick test_suite_metadata;
+          Alcotest.test_case "schedule independence" `Quick
+            test_deterministic_across_schedules_when_race_free;
+        ] );
+    ]

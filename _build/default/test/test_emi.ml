@@ -1,0 +1,168 @@
+(* EMI machinery: pruning strategy arithmetic, structural guarantees, and —
+   the heart of EMI testing — the metamorphic invariant that every variant
+   of a base program computes the base's output on a correct device. *)
+
+open Build
+
+(* --- parameters --- *)
+
+let test_paper_combinations () =
+  Alcotest.(check int) "40 combinations (sec 7.4)" 40
+    (List.length Prune.paper_combinations);
+  List.iter
+    (fun (p : Prune.params) ->
+      Alcotest.(check bool) "constraint" true
+        Stdlib.(p.Prune.pcompound +. p.Prune.plift <= 1.0 +. 1e-9))
+    Prune.paper_combinations
+
+let test_adjusted_lift () =
+  let p = Prune.make_params ~pleaf:0.0 ~pcompound:0.4 ~plift:0.3 in
+  Alcotest.(check (float 1e-9)) "p'lift = plift/(1-pcompound)" 0.5
+    (Prune.adjusted_lift p);
+  let p1 = Prune.make_params ~pleaf:0.0 ~pcompound:1.0 ~plift:0.0 in
+  Alcotest.(check (float 1e-9)) "pcompound=1 caps at 1" 1.0 (Prune.adjusted_lift p1);
+  Alcotest.check_raises "constraint enforced"
+    (Invalid_argument "Prune.make_params: pcompound + plift must be <= 1")
+    (fun () -> ignore (Prune.make_params ~pleaf:0.0 ~pcompound:0.7 ~plift:0.7))
+
+(* --- structural pruning guarantees --- *)
+
+let body_with_everything =
+  [
+    decle "x" Ty.int (ci 1);
+    assign (v "x") (ci 2);
+    if_ (v "x" > ci 0) [ assign (v "x") (ci 3) ];
+    for_up "i" ~from:0 ~below:3 [ break_; assign (v "x") (v "i") ];
+    while_ (v "x" > ci 99) [ continue_ ];
+  ]
+
+let test_leaf_prune_removes_everything_but_decls () =
+  let rng = Rng.make 1 in
+  let p = Prune.make_params ~pleaf:1.0 ~pcompound:1.0 ~plift:0.0 in
+  let pruned = Prune.prune_block rng p body_with_everything in
+  Alcotest.(check int) "only the declaration remains" 1 (List.length pruned);
+  (match pruned with
+  | [ Ast.Decl _ ] -> ()
+  | _ -> Alcotest.fail "expected just the decl")
+
+let test_zero_probabilities_identity () =
+  let rng = Rng.make 1 in
+  let p = Prune.make_params ~pleaf:0.0 ~pcompound:0.0 ~plift:0.0 in
+  Alcotest.(check bool) "no-op" true
+    (Prune.prune_block rng p body_with_everything = body_with_everything)
+
+let test_lift_strips_outer_jumps () =
+  let rng = Rng.make 1 in
+  let p = Prune.make_params ~pleaf:0.0 ~pcompound:0.0 ~plift:1.0 in
+  let pruned = Prune.prune_block rng p body_with_everything in
+  (* all compounds lifted: break/continue at what is now the outer level
+     must be gone (they'd be syntactically invalid), inner assigns stay *)
+  let has_jump =
+    List.exists (function Ast.Break | Ast.Continue -> true | _ -> false) pruned
+  in
+  Alcotest.(check bool) "no dangling jumps" false has_jump;
+  let has_compound =
+    List.exists
+      (function Ast.If _ | Ast.For _ | Ast.While _ -> true | _ -> false)
+      pruned
+  in
+  Alcotest.(check bool) "no compounds left" false has_compound
+
+let test_lift_keeps_loop_initialiser () =
+  (* "a for loop with initializer S and body T becomes S; T'" *)
+  let rng = Rng.make 1 in
+  let p = Prune.make_params ~pleaf:0.0 ~pcompound:0.0 ~plift:1.0 in
+  let block = [ for_up "i" ~from:0 ~below:3 [ assign (v "x") (v "i") ] ] in
+  let pruned = Prune.prune_block rng p block in
+  (match pruned with
+  | [ Ast.Decl { Ast.dname = "i"; _ }; Ast.Assign _ ] -> ()
+  | _ -> Alcotest.failf "unexpected shape (%d stmts)" (List.length pruned))
+
+(* --- the metamorphic invariant (paper section 5) --- *)
+
+let test_variants_equal_base_on_reference () =
+  let cfg = Gen_config.scaled Gen_config.All in
+  let checked = ref 0 in
+  let seed = ref 1000 in
+  while Stdlib.(!checked < 6) do
+    incr seed;
+    let base, info = Generate.generate ~emi:true ~cfg ~seed:!seed () in
+    if not info.Generate.counter_sharing then begin
+      incr checked;
+      let ob = Interp.run_outcome base in
+      List.iteri
+        (fun i variant ->
+          (match Typecheck.check_testcase variant with
+          | Ok () -> ()
+          | Error m -> Alcotest.failf "variant %d ill-typed: %s" i m);
+          let ov = Interp.run_outcome variant in
+          if not (Outcome.equal ob ov) then
+            Alcotest.failf "seed %d variant %d output differs from base" !seed i)
+        (Variant.paper_variants ~base)
+    end
+  done
+
+let test_invert_dead_flips_buffer () =
+  let cfg = Gen_config.scaled Gen_config.All in
+  let base, _ = Generate.generate ~emi:true ~cfg ~seed:60_001 () in
+  let inv = Variant.invert_dead base in
+  let spec_of tc = List.assoc "dead" tc.Ast.buffers in
+  (match (spec_of base, spec_of inv) with
+  | Ast.Buf_dead false, Ast.Buf_dead true -> ()
+  | _ -> Alcotest.fail "inversion did not flip the dead buffer")
+
+(* --- injection into existing kernels --- *)
+
+let test_injection_preserves_benchmarks () =
+  let cfg = Gen_config.scaled Gen_config.All in
+  List.iter
+    (fun (b : Suite.benchmark) ->
+      let original = b.Suite.testcase () in
+      let expected = Driver.reference_outcome original in
+      List.iter
+        (fun subst ->
+          let inj = Inject.inject ~subst ~cfg ~seed:77 original in
+          (match Typecheck.check_testcase inj.Inject.testcase with
+          | Ok () -> ()
+          | Error m ->
+              Alcotest.failf "%s subst=%b ill-typed: %s" b.Suite.name subst m);
+          let got = Driver.reference_outcome inj.Inject.testcase in
+          if not (Outcome.equal expected got) then
+            Alcotest.failf "%s subst=%b: injection changed the output"
+              b.Suite.name subst)
+        [ true; false ])
+    Suite.emi_eligible
+
+let test_injection_rejects_emi_programs () =
+  let cfg = Gen_config.scaled Gen_config.All in
+  let base, _ = Generate.generate ~emi:true ~cfg ~seed:60_002 () in
+  Alcotest.check_raises "already EMI"
+    (Invalid_argument "Inject.inject: program already uses EMI") (fun () ->
+      ignore (Inject.inject ~subst:true ~cfg ~seed:1 base))
+
+let () =
+  Alcotest.run "emi"
+    [
+      ( "pruning",
+        [
+          Alcotest.test_case "40 combinations" `Quick test_paper_combinations;
+          Alcotest.test_case "adjusted lift" `Quick test_adjusted_lift;
+          Alcotest.test_case "leaf prune keeps decls" `Quick
+            test_leaf_prune_removes_everything_but_decls;
+          Alcotest.test_case "zero probabilities" `Quick test_zero_probabilities_identity;
+          Alcotest.test_case "lift strips jumps" `Quick test_lift_strips_outer_jumps;
+          Alcotest.test_case "lift keeps initialiser" `Quick
+            test_lift_keeps_loop_initialiser;
+        ] );
+      ( "metamorphic invariant",
+        [
+          Alcotest.test_case "variants equal base" `Slow
+            test_variants_equal_base_on_reference;
+          Alcotest.test_case "invert dead" `Quick test_invert_dead_flips_buffer;
+        ] );
+      ( "injection",
+        [
+          Alcotest.test_case "benchmarks preserved" `Slow test_injection_preserves_benchmarks;
+          Alcotest.test_case "rejects EMI programs" `Quick test_injection_rejects_emi_programs;
+        ] );
+    ]

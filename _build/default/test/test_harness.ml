@@ -1,0 +1,129 @@
+(* Campaign machinery: majority voting, bucket classification, and
+   small-scale end-to-end runs of every table generator. *)
+
+let s x = Outcome.Success x
+let bf = Outcome.Build_failure "boom"
+let cr = Outcome.Crash "segv"
+
+(* --- majority voting (sec 7.3's exact rule) --- *)
+
+let test_majority_basics () =
+  Alcotest.(check (option string)) "clear majority" (Some "a")
+    (Majority.majority_output [ s "a"; s "a"; s "a"; s "b" ]);
+  Alcotest.(check (option string)) "needs at least 3" None
+    (Majority.majority_output [ s "a"; s "a"; s "b" ]);
+  Alcotest.(check (option string)) "ties give none" None
+    (Majority.majority_output [ s "a"; s "a"; s "a"; s "b"; s "b"; s "b" ]);
+  Alcotest.(check (option string)) "non-computed excluded" (Some "a")
+    (Majority.majority_output [ s "a"; s "a"; s "a"; bf; cr; Outcome.Timeout ]);
+  Alcotest.(check (option string)) "empty" None (Majority.majority_output [])
+
+let test_wrong_code_rule () =
+  let majority = Some "a" in
+  Alcotest.(check bool) "disagreeing success is wrong" true
+    (Majority.is_wrong_code ~majority (s "b"));
+  Alcotest.(check bool) "agreeing success is fine" false
+    (Majority.is_wrong_code ~majority (s "a"));
+  Alcotest.(check bool) "crash is not wrong code" false
+    (Majority.is_wrong_code ~majority cr);
+  Alcotest.(check bool) "no majority, nothing is wrong" false
+    (Majority.is_wrong_code ~majority:None (s "b"))
+
+let test_buckets () =
+  let majority = Some "a" in
+  let b o = Majority.bucket_name (Majority.bucket_of ~majority o) in
+  Alcotest.(check string) "ok" "ok" (b (s "a"));
+  Alcotest.(check string) "w" "w" (b (s "b"));
+  Alcotest.(check string) "bf" "bf" (b bf);
+  Alcotest.(check string) "c" "c" (b cr);
+  Alcotest.(check string) "machine crash counts as crash" "c"
+    (b (Outcome.Machine_crash "host down"));
+  Alcotest.(check string) "to" "to" (b Outcome.Timeout)
+
+(* --- table renderer --- *)
+
+let test_table_fmt () =
+  let t = Table_fmt.render ~header:[ "a"; "bb" ] [ [ "1"; "2" ]; [ "333"; "4" ] ] in
+  Alcotest.(check bool) "has separator" true
+    (String.length t > 0 && String.contains t '-');
+  Alcotest.(check string) "pct" "50.0" (Table_fmt.pct 1 2);
+  Alcotest.(check string) "pct of zero" "-" (Table_fmt.pct 1 0)
+
+(* --- end-to-end smoke runs of each table (tiny sizes) --- *)
+
+let test_classify_smoke () =
+  let t = Classify.run ~per_mode:2 () in
+  Alcotest.(check int) "21 reports" 21 (List.length t.Classify.reports);
+  List.iter
+    (fun (r : Classify.config_report) ->
+      Alcotest.(check bool) "totals consistent" true
+        (r.Classify.wrong + r.Classify.build_failures + r.Classify.crashes
+         + r.Classify.timeouts
+        <= r.Classify.total);
+      Alcotest.(check bool) "fraction in range" true
+        (r.Classify.fail_fraction >= 0.0 && r.Classify.fail_fraction <= 1.0))
+    t.Classify.reports;
+  (* the Xeon Phi manual exclusion *)
+  let phi = List.find (fun r -> r.Classify.config.Config.id = 18) t.Classify.reports in
+  Alcotest.(check bool) "Phi below threshold" false phi.Classify.above;
+  Alcotest.(check bool) "renders" true (String.length (Classify.to_table t) > 100)
+
+let test_campaign_smoke () =
+  let rs = Campaign.run ~per_mode:4 ~modes:[ Gen_config.Basic ] () in
+  match rs with
+  | [ r ] ->
+      Alcotest.(check int) "4 tests" 4 r.Campaign.tests_used;
+      Alcotest.(check int) "20 config-level cells" 20 (List.length r.Campaign.per_config);
+      List.iter
+        (fun (_, c) ->
+          Alcotest.(check int) "cells sum to tests" 4
+            (c.Campaign.w + c.Campaign.bf + c.Campaign.c + c.Campaign.timeout
+           + c.Campaign.ok))
+        r.Campaign.per_config;
+      Alcotest.(check bool) "renders" true
+        (String.length (Campaign.to_table rs) > 100)
+  | _ -> Alcotest.fail "expected one mode result"
+
+let test_emi_campaign_smoke () =
+  let t = Emi_campaign.run ~bases:2 ~variants:4 () in
+  Alcotest.(check int) "2 bases" 2 t.Emi_campaign.bases_used;
+  List.iter
+    (fun (_, (r : Emi_campaign.row)) ->
+      Alcotest.(check bool) "bad+stable bounded by bases" true
+        (r.Emi_campaign.base_fails + r.Emi_campaign.stable <= 2))
+    t.Emi_campaign.rows;
+  Alcotest.(check bool) "renders" true
+    (String.length (Emi_campaign.to_table t) > 100)
+
+let test_bench_emi_smoke () =
+  let t = Bench_emi.run ~variants:2 ~config_ids:[ 1; 19 ] () in
+  Alcotest.(check int) "8 benchmarks" 8 (List.length t.Bench_emi.results);
+  List.iter
+    (fun (_, row) -> Alcotest.(check int) "2 configs" 2 (List.length row))
+    t.Bench_emi.results;
+  Alcotest.(check bool) "renders" true (String.length (Bench_emi.to_table t) > 100)
+
+let test_bench_emi_codes () =
+  Alcotest.(check string) "we" "we" (Bench_emi.code_to_string (Bench_emi.Wrong "e"));
+  Alcotest.(check string) "ng" "ng" (Bench_emi.code_to_string Bench_emi.No_gen);
+  Alcotest.(check string) "OK" "OK" (Bench_emi.code_to_string Bench_emi.Pass)
+
+let () =
+  Alcotest.run "harness"
+    [
+      ( "majority",
+        [
+          Alcotest.test_case "vote basics" `Quick test_majority_basics;
+          Alcotest.test_case "wrong-code rule" `Quick test_wrong_code_rule;
+          Alcotest.test_case "buckets" `Quick test_buckets;
+        ] );
+      ("render", [ Alcotest.test_case "table fmt" `Quick test_table_fmt ]);
+      ( "campaigns",
+        [
+          Alcotest.test_case "classify" `Slow test_classify_smoke;
+          Alcotest.test_case "table4" `Slow test_campaign_smoke;
+          Alcotest.test_case "table5" `Slow test_emi_campaign_smoke;
+          Alcotest.test_case "table3" `Slow test_bench_emi_smoke;
+          Alcotest.test_case "table3 codes" `Quick test_bench_emi_codes;
+        ] );
+    ]

@@ -1,0 +1,141 @@
+(* Layout engine (sizes / alignments / field offsets, correct and buggy
+   policies) and the byte-level scalar representation behind unions. *)
+
+let field = Build.sfield
+
+let env_of aggs = Ty.tyenv_of_list aggs
+
+let s_char_short = Build.struct_ "CS" [ field "a" Ty.char; field "b" Ty.short ]
+
+let s_mixed =
+  Build.struct_ "M"
+    [ field "a" Ty.char; field "b" Ty.long; field "c" Ty.int ]
+
+let u_paper =
+  (* Fig. 2(a)'s union U { uint a; struct S { short c; long d } b } *)
+  [
+    Build.struct_ "S" [ field "c" Ty.short; field "d" Ty.long ];
+    Build.union_ "U" [ field "a" Ty.uint; field "b" (Ty.Named "S") ];
+  ]
+
+let test_standard_offsets () =
+  let env = env_of [ s_char_short ] in
+  Alcotest.(check int) "a at 0" 0
+    (Layout.field_offset Layout.standard env ~agg:"CS" ~field:"a");
+  Alcotest.(check int) "b padded to 2" 2
+    (Layout.field_offset Layout.standard env ~agg:"CS" ~field:"b");
+  Alcotest.(check int) "sizeof CS" 4
+    (Layout.sizeof Layout.standard env (Ty.Named "CS"));
+  let env = env_of [ s_mixed ] in
+  Alcotest.(check int) "b aligned to 8" 8
+    (Layout.field_offset Layout.standard env ~agg:"M" ~field:"b");
+  Alcotest.(check int) "c at 16" 16
+    (Layout.field_offset Layout.standard env ~agg:"M" ~field:"c");
+  Alcotest.(check int) "M padded to 24" 24
+    (Layout.sizeof Layout.standard env (Ty.Named "M"))
+
+let test_char_first_bug_policy () =
+  let env = env_of [ s_char_short ] in
+  Alcotest.(check bool) "trigger shape detected" true
+    (Layout.struct_is_char_first env s_char_short);
+  Alcotest.(check int) "packed b at 1" 1
+    (Layout.field_offset Layout.char_first_bug env ~agg:"CS" ~field:"b");
+  (* structs not matching the trigger lay out normally *)
+  let s2 = Build.struct_ "N" [ field "a" Ty.int; field "b" Ty.short ] in
+  let env2 = env_of [ s2 ] in
+  Alcotest.(check bool) "no trigger" false (Layout.struct_is_char_first env2 s2);
+  Alcotest.(check int) "b unaffected" 4
+    (Layout.field_offset Layout.char_first_bug env2 ~agg:"N" ~field:"b")
+
+let test_union_layout () =
+  let env = env_of u_paper in
+  Alcotest.(check int) "union members at 0" 0
+    (Layout.field_offset Layout.standard env ~agg:"U" ~field:"b");
+  Alcotest.(check int) "sizeof S (padded)" 16
+    (Layout.sizeof Layout.standard env (Ty.Named "S"));
+  Alcotest.(check int) "sizeof U = padded max" 16
+    (Layout.sizeof Layout.standard env (Ty.Named "U"));
+  Alcotest.(check int) "alignof U" 8
+    (Layout.alignof Layout.standard env (Ty.Named "U"))
+
+let test_vector_and_array () =
+  let env = env_of [] in
+  Alcotest.(check int) "int4 is 16 bytes" 16
+    (Layout.sizeof Layout.standard env (Ty.Vector (Ty.int_scalar, Ty.V4)));
+  Alcotest.(check int) "int4 aligns to 16" 16
+    (Layout.alignof Layout.standard env (Ty.Vector (Ty.int_scalar, Ty.V4)));
+  Alcotest.(check int) "array size" 24
+    (Layout.sizeof Layout.standard env (Ty.Arr (Ty.int, 6)));
+  Alcotest.(check int) "pointer is 8" 8
+    (Layout.sizeof Layout.standard env (Ty.Ptr (Ty.Global, Ty.char)))
+
+(* every offset is aligned and fields don't overlap under the standard
+   policy *)
+let prop_offsets_sound =
+  let gen =
+    QCheck2.Gen.(
+      list_size (int_range 1 6)
+        (oneofl [ Ty.char; Ty.uchar; Ty.short; Ty.int; Ty.uint; Ty.long; Ty.ulong ]))
+  in
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:200 ~name:"offsets aligned and non-overlapping" gen
+       (fun tys ->
+         let fields = List.mapi (fun i t -> field (Printf.sprintf "f%d" i) t) tys in
+         let agg = Build.struct_ "P" fields in
+         let env = env_of [ agg ] in
+         let offs = Layout.field_offsets Layout.standard env agg in
+         let ok_align =
+           List.for_all2
+             (fun (_, off) t -> off mod Layout.alignof Layout.standard env t = 0)
+             offs tys
+         in
+         let rec no_overlap = function
+           | (_, o1) :: ((_, o2) :: _ as rest), t1 :: ts ->
+               o1 + Layout.sizeof Layout.standard env t1 <= o2
+               && no_overlap (rest, ts)
+           | _ -> true
+         in
+         ok_align && no_overlap (offs, tys)))
+
+(* byte representation round-trips *)
+let prop_bytes_roundtrip =
+  let gen =
+    QCheck2.Gen.(
+      pair
+        (oneofl
+           [ { Ty.width = Ty.W8; sign = Ty.Signed };
+             { Ty.width = Ty.W16; sign = Ty.Unsigned };
+             { Ty.width = Ty.W32; sign = Ty.Signed };
+             { Ty.width = Ty.W64; sign = Ty.Unsigned } ])
+        int64)
+  in
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:500 ~name:"write/read round-trip" gen
+       (fun (ty, bits) ->
+         let x = Scalar.make ty bits in
+         let buf = Bytes.make 16 '\000' in
+         Bytes_repr.write buf 3 x;
+         Scalar.equal x (Bytes_repr.read buf 3 ty)))
+
+let test_little_endian () =
+  let buf = Bytes.make 8 '\000' in
+  Bytes_repr.write buf 0 (Scalar.make Ty.int_scalar 0x01020304L);
+  Alcotest.(check char) "LSB first" '\x04' (Bytes.get buf 0);
+  Alcotest.(check char) "MSB last" '\x01' (Bytes.get buf 3);
+  (* type punning: reading shorts out of an int *)
+  let lo = Bytes_repr.read buf 0 { Ty.width = Ty.W16; sign = Ty.Unsigned } in
+  Alcotest.(check int64) "low short" 0x0304L (Scalar.to_int64 lo)
+
+let () =
+  Alcotest.run "layout+bytes"
+    [
+      ( "layout",
+        [
+          Alcotest.test_case "standard offsets" `Quick test_standard_offsets;
+          Alcotest.test_case "char-first bug policy" `Quick test_char_first_bug_policy;
+          Alcotest.test_case "union layout" `Quick test_union_layout;
+          Alcotest.test_case "vector/array/pointer" `Quick test_vector_and_array;
+        ] );
+      ("properties", [ prop_offsets_sound; prop_bytes_roundtrip ]);
+      ("bytes", [ Alcotest.test_case "little endian" `Quick test_little_endian ]);
+    ]

@@ -1,0 +1,164 @@
+(* Cross-cutting coverage: the paper-scale generator preset, AST rewriting
+   identities, digests, the scheduler, and NDRange geometry. *)
+
+let test_paper_scale_generation () =
+  (* the paper's NDRange ranges: total threads in [100, 10000), work-groups
+     up to 256 (section 4.1) — heavy, so only a couple of seeds *)
+  List.iter
+    (fun seed ->
+      let cfg = Gen_config.paper_scale Gen_config.All in
+      let tc, info = Generate.generate ~cfg ~seed () in
+      Alcotest.(check bool) "thread count in paper range" true
+        (info.Generate.n_linear >= 100 && info.Generate.n_linear < 10_000);
+      Alcotest.(check bool) "group size within 256" true
+        (info.Generate.w_linear <= 256);
+      (match Typecheck.check_testcase tc with
+      | Ok () -> ()
+      | Error m -> Alcotest.failf "seed %d: %s" seed m);
+      match Validate.check tc.Ast.prog with
+      | Ok () -> ()
+      | Error vs -> Alcotest.failf "seed %d: %s" seed (Validate.errors_to_string vs))
+    [ 1 ]
+
+let test_paper_scale_runs () =
+  (* one paper-scale kernel actually executes on the reference device; pick
+     a seed with a moderate thread count so the suite stays fast *)
+  let cfg = Gen_config.paper_scale Gen_config.Basic in
+  let rec pick seed =
+    let tc, info = Generate.generate ~cfg ~seed () in
+    if info.Generate.n_linear <= 1200 then (tc, info) else pick (seed + 1)
+  in
+  let tc, info = pick 1 in
+  let config = { Interp.default_config with Interp.fuel = 2_000_000 } in
+  match Interp.run_outcome ~config tc with
+  | Outcome.Success s ->
+      (* one comma-separated value per thread *)
+      let values =
+        match String.split_on_char ':' s with
+        | [ _; rest ] -> List.length (String.split_on_char ',' rest)
+        | _ -> 0
+      in
+      Alcotest.(check int) "one result per thread" info.Generate.n_linear values
+  | Outcome.Timeout -> () (* acceptable for a heavyweight kernel *)
+  | o -> Alcotest.failf "paper-scale run: %s" (Outcome.to_string o)
+
+let test_ast_map_identity () =
+  List.iter
+    (fun mode ->
+      let cfg = Gen_config.scaled mode in
+      let tc, _ = Generate.generate ~cfg ~seed:11 () in
+      let mapped = Ast_map.program Ast_map.default tc.Ast.prog in
+      Alcotest.(check string)
+        (Gen_config.mode_name mode ^ " identity map")
+        (Pp.program_to_string tc.Ast.prog)
+        (Pp.program_to_string mapped))
+    Gen_config.all_modes
+
+let test_ast_counts_consistent () =
+  let cfg = Gen_config.scaled Gen_config.All in
+  let tc, _ = Generate.generate ~cfg ~seed:13 () in
+  let p = tc.Ast.prog in
+  Alcotest.(check bool) "statements exist" true (Ast.stmt_count p > 10);
+  Alcotest.(check bool) "expressions outnumber statements" true
+    (Ast.expr_count p > Ast.stmt_count p)
+
+let test_digest_sensitivity () =
+  let cfg = Gen_config.scaled Gen_config.Basic in
+  let a, _ = Generate.generate ~cfg ~seed:21 () in
+  let b, _ = Generate.generate ~cfg ~seed:22 () in
+  Alcotest.(check bool) "different programs, different digests" false
+    (Int64.equal (Digest_util.full a.Ast.prog) (Digest_util.full b.Ast.prog));
+  Alcotest.(check bool) "digest is stable" true
+    (Int64.equal (Digest_util.full a.Ast.prog) (Digest_util.full a.Ast.prog));
+  Alcotest.(check bool) "mix changes the value" false
+    (Int64.equal
+       (Digest_util.mix (Digest_util.full a.Ast.prog) 1L)
+       (Digest_util.mix (Digest_util.full a.Ast.prog) 2L))
+
+let test_sched_orders_are_permutations () =
+  List.iter
+    (fun policy ->
+      List.iter
+        (fun n ->
+          List.iter
+            (fun epoch ->
+              let o = Sched.order policy ~epoch n in
+              let sorted = Array.copy o in
+              Array.sort compare sorted;
+              Alcotest.(check bool)
+                (Printf.sprintf "%s n=%d epoch=%d is a permutation"
+                   (Sched.to_string policy) n epoch)
+                true
+                (sorted = Array.init n Fun.id))
+            [ 0; 1; 5 ])
+        [ 1; 4; 16 ])
+    Sched.all_for_testing
+
+let test_ndrange_geometry () =
+  let nd = Ndrange.make ~global:(6, 4, 2) ~local:(3, 2, 1) in
+  Alcotest.(check int) "48 threads" 48 (Ndrange.n_linear nd);
+  Alcotest.(check int) "6 per group" 6 (Ndrange.w_linear nd);
+  Alcotest.(check int) "8 groups" 8 (Ndrange.num_groups nd);
+  (* every thread appears exactly once across the groups *)
+  let seen = Hashtbl.create 64 in
+  List.iter
+    (fun g ->
+      List.iter
+        (fun th ->
+          let t = Ndrange.t_linear nd th in
+          Alcotest.(check bool) "unique linear id" false (Hashtbl.mem seen t);
+          Hashtbl.add seen t ())
+        (Ndrange.threads_of_group nd g))
+    (Ndrange.groups nd);
+  Alcotest.(check int) "all threads covered" 48 (Hashtbl.length seen);
+  Alcotest.check_raises "non-dividing group rejected"
+    (Invalid_argument "Ndrange.make: work-group size must divide global size")
+    (fun () -> ignore (Ndrange.make ~global:(5, 1, 1) ~local:(2, 1, 1)))
+
+let test_rng_determinism_and_ranges () =
+  let a = Rng.make 42 and b = Rng.make 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int) "same stream" (Rng.int a 1000) (Rng.int b 1000)
+  done;
+  let r = Rng.make 7 in
+  for _ = 1 to 200 do
+    let x = Rng.int_range r 5 12 in
+    Alcotest.(check bool) "in range" true (x >= 5 && x < 12)
+  done;
+  let p = Rng.permutation (Rng.make 3) 20 in
+  let sorted = Array.copy p in
+  Array.sort compare sorted;
+  Alcotest.(check bool) "permutation" true (sorted = Array.init 20 Fun.id);
+  (* split independence: consuming one stream leaves the other unchanged *)
+  let base = Rng.make 5 in
+  let s1 = Rng.split base in
+  let v1 = Rng.int s1 1_000_000 in
+  let base' = Rng.make 5 in
+  let s2 = Rng.split base' in
+  for _ = 1 to 50 do
+    ignore (Rng.int base' 10)
+  done;
+  Alcotest.(check int) "split stream unaffected by parent" v1 (Rng.int s2 1_000_000)
+
+let () =
+  Alcotest.run "misc"
+    [
+      ( "paper scale",
+        [
+          Alcotest.test_case "generation" `Slow test_paper_scale_generation;
+          Alcotest.test_case "execution" `Slow test_paper_scale_runs;
+        ] );
+      ( "ast utilities",
+        [
+          Alcotest.test_case "identity map" `Quick test_ast_map_identity;
+          Alcotest.test_case "counts" `Quick test_ast_counts_consistent;
+          Alcotest.test_case "digests" `Quick test_digest_sensitivity;
+        ] );
+      ( "runtime substrate",
+        [
+          Alcotest.test_case "scheduler permutations" `Quick
+            test_sched_orders_are_permutations;
+          Alcotest.test_case "ndrange geometry" `Quick test_ndrange_geometry;
+          Alcotest.test_case "rng" `Quick test_rng_determinism_and_ranges;
+        ] );
+    ]

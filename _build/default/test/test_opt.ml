@@ -1,0 +1,193 @@
+(* Optimisation passes: unit rewrites, the deliberate Fig. 2(b) bug variant,
+   and the key property that correct pipelines preserve the reference
+   semantics of generated programs. *)
+
+open Build
+
+let k body = kernel1 "k" body
+let store e = assign (idx (v "out") tid_linear) (cast Ty.ulong e)
+
+let std_pipeline =
+  [ Const_fold.pass (); Simplify.pass (); Unroll.pass (); Dce.pass ();
+    Const_fold.pass (); Simplify.pass () ]
+
+(* --- const folding --- *)
+
+let test_const_fold_exprs () =
+  let check msg expected e =
+    Alcotest.(check string) msg expected (Pp.expr_to_string (Const_fold.fold_expr e))
+  in
+  check "arith folds" "7" (ci 3 + ci 4);
+  check "nested folds" "14" ((ci 3 + ci 4) * ci 2);
+  check "comparison folds" "1" (ci 3 < ci 4);
+  check "safe op folds via safe semantics" "2147483647"
+    (Ast.Safe_binop (Op.Add, ci 2147483647, ci 1));
+  check "division by zero folds to dividend" "5"
+    (Ast.Safe_binop (Op.Div, ci 5, ci 0));
+  check "builtin folds" "9" (Ast.Builtin (Op.Max, [ ci 4; ci 9 ]));
+  check "rotate folds correctly" "2" (Ast.Builtin (Op.Rotate, [ ci 1; ci 1 ]));
+  check "cast folds" "255U" (cast Ty.uchar (ci (-1)));
+  check "ternary folds" "b" (cond (ci 1) (v "b") (v "c"));
+  check "comma drops pure lhs" "b" (comma (ci 1) (v "b"));
+  check "comma keeps impure lhs" "f() , b" (comma (call "f" []) (v "b"));
+  check "shortcircuit false" "0" (Ast.Binop (Op.LogAnd, ci 0, call "f" []));
+  check "shortcircuit true keeps rhs" "f() != 0"
+    (Ast.Binop (Op.LogAnd, ci 3, call "f" []))
+
+let test_rotate_bug_variant () =
+  let u32 = { Ty.width = Ty.W32; sign = Ty.Unsigned } in
+  (* the Fig. 2(b) shape *)
+  let e =
+    Ast.Builtin (Op.Rotate, [ vec2 u32 (cu 1) (cu 1); vec2 u32 (cu 0) (cu 0) ])
+  in
+  Alcotest.(check string) "buggy fold to all-ones"
+    "(uint2)(4294967295U, 4294967295U)"
+    (Pp.expr_to_string (Const_fold.fold_expr ~rotate_zero_bug:true e));
+  (* the correct folder leaves vectors alone / the identity intact *)
+  let scalar = Ast.Builtin (Op.Rotate, [ cu 1; cu 0 ]) in
+  Alcotest.(check string) "correct fold" "1U"
+    (Pp.expr_to_string (Const_fold.fold_expr scalar));
+  Alcotest.(check string) "buggy scalar fold" "4294967295U"
+    (Pp.expr_to_string (Const_fold.fold_expr ~rotate_zero_bug:true scalar))
+
+(* --- simplify / dce / unroll units --- *)
+
+let run_pass pass prog = pass.Pass.run prog
+
+let test_simplify_constant_branches () =
+  let prog =
+    k [ if_else (ci 0) [ store (ci 1) ] [ store (ci 2) ] ]
+  in
+  let prog' = run_pass (Simplify.pass ()) prog in
+  Alcotest.(check string) "else branch survives"
+    (Outcome.to_string (Interp.run_outcome (testcase prog)))
+    (Outcome.to_string (Interp.run_outcome (testcase prog')));
+  let count = Ast.stmt_count prog' in
+  Alcotest.(check bool) "branch eliminated" true Stdlib.(count <= 2)
+
+let test_dce_drops_unused () =
+  let prog =
+    k [ decle "unused" Ty.int (ci 5); decle "used" Ty.int (ci 7); store (v "used") ]
+  in
+  let prog' = run_pass (Dce.pass ()) prog in
+  let decls =
+    Ast.fold_program_blocks
+      (fun acc b ->
+        Stdlib.( + ) acc
+          (Ast.fold_stmts
+            (fun n s -> match s with Ast.Decl _ -> Stdlib.(n + 1) | _ -> n)
+             0 b))
+      0 prog'
+  in
+  Alcotest.(check int) "one declaration left" 1 decls;
+  Alcotest.(check string) "semantics preserved" "result: out: 7"
+    (Outcome.to_string (Interp.run_outcome (testcase prog')))
+
+let test_dce_keeps_impure_initialisers () =
+  let f = func "f" Ty.int [] [ ret (ci 3) ] in
+  let prog =
+    kernel1 ~funcs:[ f ] "k"
+      [ decle "x" Ty.int (call "f" []); store (ci 0) ]
+  in
+  let prog' = run_pass (Dce.pass ()) prog in
+  Alcotest.(check bool) "call-initialised decl kept" true
+    (Ast.exists_expr (function Ast.Call _ -> true | _ -> false) prog')
+
+let test_unroll () =
+  let prog = k [ decle "s" Ty.int (ci 0); for_up "i" ~from:0 ~below:3 [ assign_op Op.Add (v "s") (v "i") ]; store (v "s") ] in
+  let prog' = run_pass (Unroll.pass ()) prog in
+  Alcotest.(check bool) "loop gone" true
+    (not (Ast.exists_stmt (function Ast.For _ -> true | _ -> false) prog'));
+  Alcotest.(check string) "same sum" "result: out: 3"
+    (Outcome.to_string (Interp.run_outcome (testcase prog')));
+  (* loops above the unroll bound stay *)
+  let big = k [ for_up "i" ~from:0 ~below:9 [ store (ci 0) ] ] in
+  let big' = run_pass (Unroll.pass ()) big in
+  Alcotest.(check bool) "big loop stays" true
+    (Ast.exists_stmt (function Ast.For _ -> true | _ -> false) big')
+
+(* --- the big property: pipelines preserve semantics --- *)
+
+let test_pipeline_preserves_semantics () =
+  List.iter
+    (fun mode ->
+      let cfg = Gen_config.scaled mode in
+      for seed = 300 to 312 do
+        let tc, info = Generate.generate ~cfg ~seed () in
+        if not info.Generate.counter_sharing then begin
+          let prog' = Pass.pipeline std_pipeline tc.Ast.prog in
+          (match Typecheck.check_program prog' with
+          | Ok () -> ()
+          | Error m ->
+              Alcotest.failf "[%s %d] optimised program ill-typed: %s"
+                (Gen_config.mode_name mode) seed m);
+          (* generous fuel: optimisation legitimately changes how much work
+             a borderline kernel does before the budget runs out *)
+          let config = { Interp.default_config with Interp.fuel = 3_000_000 } in
+          let before = Interp.run_outcome ~config tc in
+          let after = Interp.run_outcome ~config { tc with Ast.prog = prog' } in
+          if not (Outcome.equal before after) then
+            Alcotest.failf "[%s %d] pipeline changed semantics:\n%s\nvs\n%s"
+              (Gen_config.mode_name mode) seed (Outcome.to_string before)
+              (Outcome.to_string after)
+        end
+      done)
+    Gen_config.all_modes
+
+(* --- mutation --- *)
+
+let test_mutate_deterministic_and_typed () =
+  let cfg = Gen_config.scaled Gen_config.All in
+  for seed = 400 to 412 do
+    let tc, _ = Generate.generate ~cfg ~seed () in
+    let m1 = Mutate.apply ~seed:77L tc.Ast.prog in
+    let m2 = Mutate.apply ~seed:77L tc.Ast.prog in
+    Alcotest.(check bool) "deterministic" true
+      (String.equal (Pp.program_to_string m1) (Pp.program_to_string m2));
+    (match Typecheck.check_program m1 with
+    | Ok () -> ()
+    | Error m -> Alcotest.failf "mutant ill-typed: %s" m);
+    Alcotest.(check bool) "sites exist" true
+      Stdlib.(Mutate.candidate_count tc.Ast.prog > 0)
+  done
+
+let test_mutate_changes_something () =
+  let cfg = Gen_config.scaled Gen_config.Basic in
+  let changed = ref 0 and total = ref 0 in
+  for seed = 420 to 450 do
+    let tc, info = Generate.generate ~cfg ~seed () in
+    if not info.Generate.counter_sharing then begin
+      incr total;
+      let m = Mutate.apply ~seed:(Int64.of_int Stdlib.(seed * 31)) tc.Ast.prog in
+      if not (Outcome.equal (Interp.run_outcome tc) (Interp.run_outcome { tc with Ast.prog = m }))
+      then incr changed
+    end
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "some mutants misbehave (%d/%d)" !changed !total)
+    true
+    Stdlib.(!changed > 0)
+
+let () =
+  Alcotest.run "opt"
+    [
+      ( "const-fold",
+        [
+          Alcotest.test_case "expressions" `Quick test_const_fold_exprs;
+          Alcotest.test_case "rotate bug variant" `Quick test_rotate_bug_variant;
+        ] );
+      ( "passes",
+        [
+          Alcotest.test_case "simplify branches" `Quick test_simplify_constant_branches;
+          Alcotest.test_case "dce unused" `Quick test_dce_drops_unused;
+          Alcotest.test_case "dce impure" `Quick test_dce_keeps_impure_initialisers;
+          Alcotest.test_case "unroll" `Quick test_unroll;
+          Alcotest.test_case "pipeline preserves semantics" `Slow
+            test_pipeline_preserves_semantics;
+        ] );
+      ( "mutate",
+        [
+          Alcotest.test_case "deterministic+typed" `Slow test_mutate_deterministic_and_typed;
+          Alcotest.test_case "changes output" `Slow test_mutate_changes_something;
+        ] );
+    ]

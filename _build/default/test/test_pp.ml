@@ -1,0 +1,107 @@
+(* Pretty-printer: the text handed to the simulated vendor compilers must be
+   valid OpenCL C — precedence, the comma pitfall the generator hit, struct
+   and constant-array syntax. *)
+
+open Build
+
+let check = Alcotest.(check string)
+
+let test_expr_precedence () =
+  check "mul binds over add" "a + b * c"
+    (Pp.expr_to_string (v "a" + (v "b" * v "c")));
+  check "parens when add under mul" "(a + b) * c"
+    (Pp.expr_to_string ((v "a" + v "b") * v "c"));
+  check "shift vs compare" "a << b >= c"
+    (Pp.expr_to_string ((v "a" << v "b") >= v "c"));
+  check "unary binds tight" "-a + b" (Pp.expr_to_string (neg (v "a") + v "b"));
+  check "deref then field" "(*gp).f" (Pp.expr_to_string (field (deref (v "gp")) "f"));
+  check "arrow" "p->x" (Pp.expr_to_string (arrow (v "p") "x"));
+  check "ternary" "a ? b : c" (Pp.expr_to_string (cond (v "a") (v "b") (v "c")));
+  (* the middle of ?: parses as a full expression in C, so no parentheses
+     are needed around a nested conditional there *)
+  check "nested ternary" "a ? x ? y : z : c"
+    (Pp.expr_to_string (cond (v "a") (cond (v "x") (v "y") (v "z")) (v "c")));
+  check "ternary under arithmetic parenthesised" "(a ? b : c) + d"
+    (Pp.expr_to_string (cond (v "a") (v "b") (v "c") + v "d"))
+
+let test_comma_in_argument_lists () =
+  (* the bug we found on ourselves: an unparenthesised comma expression in
+     an argument list changes the call's arity *)
+  check "comma argument parenthesised" "f((a , b), c)"
+    (Pp.expr_to_string (call "f" [ comma (v "a") (v "b"); v "c" ]));
+  check "comma in safe macro" "safe_add((a , b), c)"
+    (Pp.expr_to_string (Ast.Safe_binop (Op.Add, comma (v "a") (v "b"), v "c")));
+  check "comma in vector literal" "(int2)((a , b), c)"
+    (Pp.expr_to_string (vec2 Ty.int_scalar (comma (v "a") (v "b")) (v "c")))
+
+let test_safe_macros_and_builtins () =
+  check "safe div macro" "safe_div(a, b)"
+    (Pp.expr_to_string (Ast.Safe_binop (Op.Div, v "a", v "b")));
+  check "safe lshift" "safe_lshift(a, b)"
+    (Pp.expr_to_string (Ast.Safe_binop (Op.Shl, v "a", v "b")));
+  check "safe unary minus" "safe_unary_minus(a)"
+    (Pp.expr_to_string (Ast.Safe_neg (v "a")));
+  check "rotate" "rotate(a, b)"
+    (Pp.expr_to_string (Ast.Builtin (Op.Rotate, [ v "a"; v "b" ])));
+  check "thread id" "get_linear_global_id()" (Pp.expr_to_string tid_linear)
+
+let test_constants_with_suffixes () =
+  check "plain int" "42" (Pp.expr_to_string (ci 42));
+  check "uint suffix" "7U" (Pp.expr_to_string (cu 7));
+  check "ulong suffix" "7UL" (Pp.expr_to_string (cul 7L));
+  check "unsigned renders unsigned" "18446744073709551615UL"
+    (Pp.expr_to_string (cul (-1L)));
+  check "long suffix" "-5L"
+    (Pp.expr_to_string (cs { Ty.width = Ty.W64; sign = Ty.Signed } (-5L)))
+
+let test_statements () =
+  check "assign" "x = y + 1;" (Pp.stmt_to_string (assign (v "x") (v "y" + ci 1)));
+  check "compound assign" "x |= y;" (Pp.stmt_to_string (assign_op Op.BitOr (v "x") (v "y")));
+  check "barrier local" "barrier(CLK_LOCAL_MEM_FENCE);" (Pp.stmt_to_string barrier);
+  check "emi guard prints dead comparison" "if (dead[3] < dead[1])\n{\n}"
+    (Pp.stmt_to_string
+       (Ast.Emi { Ast.emi_id = 0; emi_lo = 1; emi_hi = 3; emi_body = [] }));
+  check "for loop"
+    "for (int i = 0; i < 5; i += 1)\n{\n  x = i;\n}"
+    (Pp.stmt_to_string (for_up "i" ~from:0 ~below:5 [ assign (v "x") (v "i") ]))
+
+let contains haystack needle =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i =
+    Stdlib.(i + nl <= hl)
+    && (String.equal (String.sub haystack i nl) needle || go Stdlib.(i + 1))
+  in
+  go 0
+
+let test_program_rendering () =
+  let e = List.hd Exhibit.figure1 in
+  let src = Pp.program_to_string e.Exhibit.testcase.Ast.prog in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) (Printf.sprintf "contains %S" needle) true
+        (contains src needle))
+    [
+      "typedef struct {"; "char a;"; "short b;";
+      "kernel void k(global ulong *out)"; "S s = { 1, 1 };";
+      "out[get_linear_global_id()] = (ulong)(s.a + s.b);";
+    ]
+
+let test_source_line_count () =
+  let e = List.hd Exhibit.figure1 in
+  let n = Pp.source_line_count e.Exhibit.testcase.Ast.prog in
+  Alcotest.(check bool) "small exhibit is under 15 lines" true Stdlib.(n < 15 && n > 4)
+
+let () =
+  Alcotest.run "pp"
+    [
+      ( "pp",
+        [
+          Alcotest.test_case "precedence" `Quick test_expr_precedence;
+          Alcotest.test_case "comma in arguments" `Quick test_comma_in_argument_lists;
+          Alcotest.test_case "safe macros" `Quick test_safe_macros_and_builtins;
+          Alcotest.test_case "constant suffixes" `Quick test_constants_with_suffixes;
+          Alcotest.test_case "statements" `Quick test_statements;
+          Alcotest.test_case "program rendering" `Quick test_program_rendering;
+          Alcotest.test_case "line count" `Quick test_source_line_count;
+        ] );
+    ]

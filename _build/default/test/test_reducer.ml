@@ -1,0 +1,106 @@
+(* The test-case reducer: shrinks while preserving the interestingness
+   predicate, never introduces UB, and handles the unwrap transformations. *)
+
+open Build
+
+let test_reduce_trivial_predicate () =
+  (* "interesting = contains a barrier": everything else should go *)
+  let prog =
+    kernel1 "k"
+      [
+        decle "x" Ty.int (ci 1);
+        assign (v "x") (v "x" + ci 1);
+        for_up "i" ~from:0 ~below:3 [ assign (v "x") (v "i") ];
+        barrier;
+        assign (idx (v "out") tid_linear) (cast Ty.ulong (v "x"));
+      ]
+  in
+  let tc = testcase ~gsize:(2, 1, 1) ~lsize:(2, 1, 1) prog in
+  let interesting t = Ast.uses_barrier t.Ast.prog in
+  let reduced, stats = Reduce.reduce ~interesting tc in
+  Alcotest.(check bool) "still interesting" true (interesting reduced);
+  Alcotest.(check bool) "shrunk" true
+    Stdlib.(stats.Reduce.final_stmts < stats.Reduce.initial_stmts);
+  Alcotest.(check bool) "very small" true Stdlib.(stats.Reduce.final_stmts <= 2)
+
+let test_reduce_preserves_wrongness () =
+  (* find an Oclgrind (comma) miscompilation and reduce it *)
+  let cfg = Gen_config.scaled Gen_config.Basic in
+  let c = Config.find 19 in
+  let wrong tc =
+    match (Driver.reference_outcome tc, Driver.run c ~opt:false tc) with
+    | Outcome.Success a, Outcome.Success b -> not (String.equal a b)
+    | _ -> false
+  in
+  let rec hunt seed =
+    if Stdlib.(seed > 800) then None
+    else
+      let tc, info = Generate.generate ~cfg ~seed () in
+      if (not info.Generate.counter_sharing) && wrong tc then Some tc
+      else hunt Stdlib.(seed + 1)
+  in
+  match hunt 1 with
+  | None -> Alcotest.fail "no comma miscompilation found within 800 seeds"
+  | Some tc ->
+      let reduced, stats = Reduce.reduce ~max_attempts:2500 ~interesting:wrong tc in
+      Alcotest.(check bool) "still miscompiled" true (wrong reduced);
+      Alcotest.(check bool) "meaningfully smaller" true
+        Stdlib.(stats.Reduce.final_stmts * 2 < stats.Reduce.initial_stmts);
+      (match Typecheck.check_testcase reduced with
+      | Ok () -> ()
+      | Error m -> Alcotest.failf "reduced program ill-typed: %s" m);
+      (* the reducer's concurrency-aware gate: no UB introduced *)
+      let r =
+        Interp.run
+          ~config:{ Interp.default_config with Interp.detect_races = true }
+          reduced
+      in
+      (match r.Interp.outcome with
+      | Outcome.Ub m -> Alcotest.failf "reduction introduced UB: %s" m
+      | _ -> ())
+
+let test_reduce_rejects_race_introducing_steps () =
+  (* removing this barrier would be a textual reduction, but it introduces
+     a data race — the well-formedness gate must refuse it *)
+  let prog =
+    kernel1 "k"
+      [
+        decl ~space:Ty.Local "a" (Ty.Arr (Ty.uint, 2));
+        assign (idx (v "a") lid_linear) (cu 1);
+        barrier;
+        assign (idx (v "a") (Ast.Binop (Op.Mod, cast Ty.uint lid_linear + cu 1, cu 2))) (cu 2);
+        barrier;
+        assign (idx (v "out") tid_linear) (cast Ty.ulong (idx (v "a") (ci 0)));
+      ]
+  in
+  let tc = testcase ~gsize:(2, 1, 1) ~lsize:(2, 1, 1) prog in
+  (* interesting: both writes still present *)
+  let interesting t =
+    Stdlib.( >= )
+      (Ast.fold_program_blocks
+         (fun acc b ->
+           Stdlib.( + ) acc
+             (Ast.fold_stmts
+                (fun n s ->
+                  match s with
+                  | Ast.Assign (Ast.Index _, _, _) -> Stdlib.(n + 1)
+                  | _ -> n)
+                0 b))
+         0 t.Ast.prog)
+      3
+  in
+  let reduced, _ = Reduce.reduce ~interesting tc in
+  (* the barrier between the two writes must have survived *)
+  Alcotest.(check bool) "barrier retained" true (Ast.uses_barrier reduced.Ast.prog)
+
+let () =
+  Alcotest.run "reducer"
+    [
+      ( "reduce",
+        [
+          Alcotest.test_case "trivial predicate" `Quick test_reduce_trivial_predicate;
+          Alcotest.test_case "preserves wrongness" `Slow test_reduce_preserves_wrongness;
+          Alcotest.test_case "race-aware gate" `Quick
+            test_reduce_rejects_race_introducing_steps;
+        ] );
+    ]

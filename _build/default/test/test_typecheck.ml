@@ -1,0 +1,152 @@
+(* Typechecker: acceptance of legal OpenCL C shapes and rejection of the
+   illegal ones the generator must never produce. *)
+
+open Build
+
+let accepts name prog =
+  Alcotest.test_case name `Quick (fun () ->
+      match Typecheck.check_program prog with
+      | Ok () -> ()
+      | Error m -> Alcotest.failf "expected to typecheck, got: %s" m)
+
+let rejects name ?(substring = "") prog =
+  Alcotest.test_case name `Quick (fun () ->
+      match Typecheck.check_program prog with
+      | Ok () -> Alcotest.fail "expected a type error"
+      | Error m ->
+          if substring <> "" then
+            let contains =
+              let nl = String.length substring and hl = String.length m in
+              let rec go i =
+                Stdlib.(i + nl <= hl)
+                && (String.equal (String.sub m i nl) substring
+                   || go Stdlib.(i + 1))
+              in
+              go 0
+            in
+            if not contains then
+              Alcotest.failf "error %S does not mention %S" m substring)
+
+let k body = kernel1 "k" body
+let store e = assign (idx (v "out") tid_linear) (cast Ty.ulong e)
+
+let i32v = { Ty.width = Ty.W32; sign = Ty.Signed }
+let u32v = { Ty.width = Ty.W32; sign = Ty.Unsigned }
+
+let acceptance =
+  [
+    accepts "implicit scalar conversions"
+      (k [ decle "x" Ty.char (ci 300); store (v "x" + cul 5L) ]);
+    accepts "vector same-type arithmetic"
+      (k
+         [
+           decle "a" (Ty.Vector (i32v, Ty.V4)) (vec4 i32v [ ci 1; ci 2; ci 3; ci 4 ]);
+           store (x_of (v "a" + v "a"));
+         ]);
+    accepts "vector-scalar widening"
+      (k
+         [
+           decle "a" (Ty.Vector (i32v, Ty.V4)) (vec4 i32v [ ci 1; ci 2; ci 3; ci 4 ]);
+           store (x_of (v "a" + ci 7));
+         ]);
+    accepts "explicit convert between vector element types"
+      (k
+         [
+           decle "a" (Ty.Vector (i32v, Ty.V4)) (vec4 i32v [ ci 1; ci 2; ci 3; ci 4 ]);
+           decle "b" (Ty.Vector (u32v, Ty.V4)) (cast (Ty.Vector (u32v, Ty.V4)) (v "a"));
+           store (x_of (v "b"));
+         ]);
+    accepts "atomic on local uint"
+      (k
+         [
+           decl ~space:Ty.Local ~volatile:true "c" Ty.uint;
+           store (Ast.Atomic (Op.A_inc, addr (v "c"), []));
+         ]);
+    accepts "null pointer constant initialiser"
+      (k [ decle "p" (Ty.Ptr (Ty.Private, Ty.int)) (ci 0); store (ci 1) ]);
+    accepts "pointer equality"
+      (k
+         [
+           decle "x" Ty.int (ci 1);
+           decle "p" (Ty.Ptr (Ty.Private, Ty.int)) (addr (v "x"));
+           store (v "p" == v "p");
+         ]);
+    accepts "break inside loop"
+      (k [ for_up "i" ~from:0 ~below:3 [ break_ ]; store (ci 0) ]);
+    accepts "EMI guard in range"
+      { (kernel1 ~dead_size:4 "k" [ Ast.Emi { Ast.emi_id = 0; emi_lo = 0; emi_hi = 3; emi_body = [] }; store (ci 0) ]) with Ast.dead_size = 4 };
+  ]
+
+let rejection =
+  [
+    rejects "vector element types do not mix" ~substring:"implicit"
+      (k
+         [
+           decle "a" (Ty.Vector (i32v, Ty.V4)) (vec4 i32v [ ci 1; ci 2; ci 3; ci 4 ]);
+           decle "b" (Ty.Vector (u32v, Ty.V4)) (cast (Ty.Vector (u32v, Ty.V4)) (v "a"));
+           store (x_of (v "a" + v "b"));
+         ]);
+    rejects "vector length mismatch" ~substring:"length"
+      (k
+         [
+           decle "a" (Ty.Vector (i32v, Ty.V4)) (vec4 i32v [ ci 1; ci 2; ci 3; ci 4 ]);
+           decle "b" (Ty.Vector (i32v, Ty.V2)) (vec2 i32v (ci 1) (ci 2));
+           store (x_of (v "a" + v "b"));
+         ]);
+    rejects "atomic on private data" ~substring:"atomic"
+      (k [ decle "x" Ty.uint (cu 0); store (Ast.Atomic (Op.A_inc, addr (v "x"), [])) ]);
+    rejects "atomic on 64-bit location" ~substring:"atomic"
+      (k
+         [
+           decl ~space:Ty.Local "c" Ty.ulong;
+           store (Ast.Atomic (Op.A_inc, addr (v "c"), []));
+         ]);
+    rejects "break outside loop" ~substring:"break"
+      (k [ break_; store (ci 0) ]);
+    rejects "unbound variable" ~substring:"unbound" (k [ store (v "nope") ]);
+    rejects "unknown field" ~substring:"field"
+      (kernel1
+         ~aggregates:[ struct_ "S" [ sfield "a" Ty.int ] ]
+         "k"
+         [ decl ~init:(il [ ie (ci 1) ]) "s" (Ty.Named "S"); store (field (v "s") "zz") ]);
+    rejects "EMI out of range" ~substring:"EMI"
+      (kernel1 ~dead_size:4 "k"
+         [ Ast.Emi { Ast.emi_id = 0; emi_lo = 1; emi_hi = 9; emi_body = [] }; store (ci 0) ]);
+    rejects "EMI without dead array" ~substring:"dead"
+      (k [ Ast.Emi { Ast.emi_id = 0; emi_lo = 0; emi_hi = 1; emi_body = [] }; store (ci 0) ]);
+    rejects "recursion" ~substring:"recursion"
+      (kernel1
+         ~funcs:[ func "f" Ty.int [ ("x", Ty.int) ] [ ret (call "f" [ v "x" ]) ] ]
+         "k"
+         [ store (call "f" [ ci 1 ]) ]);
+    rejects "local with initialiser" ~substring:"initialiser"
+      (k [ decl ~space:Ty.Local ~init:(ie (ci 0)) "a" Ty.uint; store (ci 0) ]);
+    rejects "kernel must return void" ~substring:"void"
+      {
+        (k [ store (ci 0) ]) with
+        Ast.kernel = { ((k [ store (ci 0) ]).Ast.kernel) with Ast.ret = Ty.int };
+      };
+    rejects "assigning to constant data" ~substring:"lvalue"
+      {
+        (k [ assign (idx (idx (v "perm") (ci 0)) (ci 0)) (ci 1); store (ci 0) ]) with
+        Ast.constant_arrays =
+          [ { Ast.ca_name = "perm"; ca_elem = u32v; ca_data = [| [| 0L; 1L |]; [| 2L; 3L |] |] } ];
+      };
+  ]
+
+let test_testcase_checks () =
+  let prog = k [ store (ci 0) ] in
+  (match Typecheck.check_testcase (testcase ~gsize:(4, 1, 1) ~lsize:(2, 1, 1) prog) with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "valid testcase rejected: %s" m);
+  (match Typecheck.check_testcase (testcase ~gsize:(5, 1, 1) ~lsize:(2, 1, 1) prog) with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "group size must divide global size")
+
+let () =
+  Alcotest.run "typecheck"
+    [
+      ("accepts", acceptance);
+      ("rejects", rejection);
+      ("testcase", [ Alcotest.test_case "ndrange" `Quick test_testcase_checks ]);
+    ]

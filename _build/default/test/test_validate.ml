@@ -1,0 +1,127 @@
+(* The determinism validator: uniform control flow, sanctioned patterns. *)
+
+open Build
+
+let k body = kernel1 "k" body
+let store e = assign (idx (v "out") tid_linear) (cast Ty.ulong e)
+
+let ok name ?(allow_group_uniform = false) prog =
+  Alcotest.test_case name `Quick (fun () ->
+      match Validate.check ~allow_group_uniform prog with
+      | Ok () -> ()
+      | Error vs -> Alcotest.failf "unexpected: %s" (Validate.errors_to_string vs))
+
+let bad name prog =
+  Alcotest.test_case name `Quick (fun () ->
+      match Validate.check prog with
+      | Error _ -> ()
+      | Ok () -> Alcotest.fail "expected a uniformity violation")
+
+(* the canonical atomic section, as the generator emits it *)
+let section =
+  Ast.If
+    ( Ast.Binop
+        (Op.Eq, Ast.Atomic (Op.A_inc, addr (idx (v "ctrs") (ci 0)), []), ci 2),
+      [
+        decle "sl" Ty.uint (cu 5);
+        expr (Ast.Atomic (Op.A_add, addr (idx (v "specials") (ci 0)), [ v "sl" ]));
+      ],
+      [] )
+
+let shared_decls =
+  [
+    decl ~space:Ty.Local ~volatile:true "ctrs" (Ty.Arr (Ty.uint, 2));
+    decl ~space:Ty.Local ~volatile:true "specials" (Ty.Arr (Ty.uint, 2));
+  ]
+
+let cases =
+  [
+    ok "plain uniform kernel"
+      (k [ decle "x" Ty.int (ci 1); if_ (v "x" > ci 0) [ store (v "x") ] ]);
+    bad "thread id in condition"
+      (k [ if_ (cast Ty.int tid_linear > ci 0) [ store (ci 1) ] ]);
+    bad "taint flows through assignment"
+      (k
+         [
+           decle "x" Ty.int (ci 0);
+           assign (v "x") (cast Ty.int lid_linear);
+           if_ (v "x" == ci 0) [ store (ci 1) ];
+         ]);
+    bad "atomic result in plain condition"
+      (k
+         (shared_decls
+         @ [ if_ (Ast.Atomic (Op.A_inc, addr (idx (v "ctrs") (ci 0)), []) > cu 0)
+               [ store (ci 1) ] ]));
+    ok "atomic section pattern is sanctioned" (k (shared_decls @ [ section; store (ci 0) ]));
+    ok "group master pattern is sanctioned"
+      (k
+         [
+           decle "t" Ty.uint (cu 0);
+           if_ (lid_linear == ci 0) [ assign (v "t") (cu 1) ];
+           store (v "t");
+         ]);
+    bad "master guard with a barrier inside is not sanctioned"
+      (k [ if_ (lid_linear == ci 0) [ barrier ]; store (ci 0) ]);
+    ok "group ids allowed under allow_group_uniform" ~allow_group_uniform:true
+      (k [ if_ (cast Ty.int (grid Op.X) == ci 0) [ store (ci 1) ] ]);
+    bad "group ids rejected by default"
+      (k [ if_ (cast Ty.int (grid Op.X) == ci 0) [ store (ci 1) ] ]);
+    ok "sizes are always uniform"
+      (k
+         [
+           if_ (Ast.Thread_id Op.Local_linear_size > cu 1) [ store (ci 1) ];
+         ]);
+  ]
+
+let test_is_atomic_section () =
+  Alcotest.(check bool) "recognised" true (Validate.is_atomic_section section);
+  (* a section writing a non-local variable is not a valid section *)
+  let bad_section =
+    Ast.If
+      ( Ast.Binop
+          (Op.Eq, Ast.Atomic (Op.A_inc, addr (idx (v "ctrs") (ci 0)), []), ci 2),
+        [
+          assign (v "outer") (ci 1);
+          expr (Ast.Atomic (Op.A_add, addr (idx (v "specials") (ci 0)), [ cu 0 ]));
+        ],
+        [] )
+  in
+  Alcotest.(check bool) "writes to outer state rejected" false
+    (Validate.is_atomic_section bad_section);
+  (* missing the final special-value add *)
+  let no_add =
+    Ast.If
+      ( Ast.Binop
+          (Op.Eq, Ast.Atomic (Op.A_inc, addr (idx (v "ctrs") (ci 0)), []), ci 2),
+        [ decle "sl" Ty.uint (cu 5) ],
+        [] )
+  in
+  Alcotest.(check bool) "missing atomic_add rejected" false
+    (Validate.is_atomic_section no_add)
+
+(* every generated kernel must validate — the generator's core guarantee *)
+let test_generated_kernels_validate () =
+  List.iter
+    (fun mode ->
+      let cfg = Gen_config.scaled mode in
+      for seed = 500 to 512 do
+        let tc, _ = Generate.generate ~cfg ~seed () in
+        match Validate.check tc.Ast.prog with
+        | Ok () -> ()
+        | Error vs ->
+            Alcotest.failf "[%s seed %d] %s" (Gen_config.mode_name mode) seed
+              (Validate.errors_to_string vs)
+      done)
+    Gen_config.all_modes
+
+let () =
+  Alcotest.run "validate"
+    [
+      ("uniformity", cases);
+      ( "patterns",
+        [
+          Alcotest.test_case "atomic section recognition" `Quick test_is_atomic_section;
+          Alcotest.test_case "generated kernels validate" `Quick
+            test_generated_kernels_validate;
+        ] );
+    ]

@@ -1,0 +1,86 @@
+(* Vector value semantics: component-wise lifting, OpenCL's 0/-1 comparison
+   results, swizzles, conversions. *)
+
+let u32 = { Ty.width = Ty.W32; sign = Ty.Unsigned }
+let i32 = Ty.int_scalar
+
+let vec ty xs = Vecval.make ty (Array.of_list (List.map (Scalar.make ty) xs))
+let to_list v = Array.to_list (Array.map Scalar.to_int64 (Vecval.components v))
+
+let check_vec msg expected v = Alcotest.(check (list int64)) msg expected (to_list v)
+
+let test_componentwise () =
+  let a = vec i32 [ 1L; 2L; 3L; 4L ] and b = vec i32 [ 10L; 20L; 30L; 40L ] in
+  check_vec "add" [ 11L; 22L; 33L; 44L ] (Vecval.binop Op.Add a b);
+  check_vec "mul" [ 10L; 40L; 90L; 160L ] (Vecval.binop Op.Mul a b)
+
+let test_comparisons_all_ones () =
+  let a = vec i32 [ 1L; 5L; 3L; 9L ] and b = vec i32 [ 2L; 4L; 3L; 8L ] in
+  (* OpenCL: vector comparisons yield 0 / -1 per lane, signed type *)
+  check_vec "lt lanes" [ -1L; 0L; 0L; 0L ] (Vecval.binop Op.Lt a b);
+  check_vec "eq lanes" [ 0L; 0L; -1L; 0L ] (Vecval.binop Op.Eq a b);
+  let ua = vec u32 [ 1L; 5L; 3L; 9L ] and ub = vec u32 [ 2L; 4L; 3L; 8L ] in
+  let r = Vecval.binop Op.Gt ua ub in
+  Alcotest.(check string) "unsigned compare yields signed type" "int"
+    (Ty.scalar_name (Vecval.elem_ty r))
+
+let test_swizzle () =
+  let a = vec i32 [ 1L; 2L; 3L; 4L ] in
+  (match Vecval.swizzle a [ 3; 0 ] with
+  | Some w -> check_vec "wx" [ 4L; 1L ] w
+  | None -> Alcotest.fail "swizzle failed");
+  (match Vecval.swizzle a [ 0 ] with
+  | None -> ()
+  | Some _ -> Alcotest.fail "single-component swizzle should be None");
+  Alcotest.(check int64) "get" 3L (Scalar.to_int64 (Vecval.get a 2))
+
+let test_convert_and_splat () =
+  let a = vec i32 [ -1L; 300L ] in
+  let b = Vecval.convert { Ty.width = Ty.W8; sign = Ty.Unsigned } a in
+  check_vec "convert truncates per lane" [ 255L; 44L ] b;
+  let s = Vecval.splat i32 Ty.V4 (Scalar.of_int i32 7) in
+  check_vec "splat" [ 7L; 7L; 7L; 7L ] s
+
+let test_invalid_lengths () =
+  Alcotest.check_raises "length 3 invalid"
+    (Invalid_argument "Vecval.make: invalid vector length 3") (fun () ->
+      ignore (vec i32 [ 1L; 2L; 3L ]))
+
+let prop name gen f =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count:300 ~name gen f)
+
+let arb_vec4 =
+  QCheck2.Gen.map
+    (fun xs -> vec i32 xs)
+    (QCheck2.Gen.list_repeat 4 QCheck2.Gen.int64)
+
+let properties =
+  [
+    prop "binop lifts scalar op per lane"
+      (QCheck2.Gen.pair arb_vec4 arb_vec4) (fun (a, b) ->
+        let r = Vecval.binop Op.BitXor a b in
+        List.for_all2 Scalar.equal
+          (Array.to_list (Vecval.components r))
+          (List.map2 (Scalar.binop Op.BitXor)
+             (Array.to_list (Vecval.components a))
+             (Array.to_list (Vecval.components b))));
+    prop "map2 with safe ops is total" (QCheck2.Gen.pair arb_vec4 arb_vec4)
+      (fun (a, b) ->
+        let r = Vecval.map2 (Scalar.safe_binop Op.Div) a b in
+        Vecval.length r = 4);
+    prop "equal is reflexive" arb_vec4 (fun a -> Vecval.equal a a);
+  ]
+
+let () =
+  Alcotest.run "vecval"
+    [
+      ( "units",
+        [
+          Alcotest.test_case "componentwise" `Quick test_componentwise;
+          Alcotest.test_case "comparisons 0/-1" `Quick test_comparisons_all_ones;
+          Alcotest.test_case "swizzle" `Quick test_swizzle;
+          Alcotest.test_case "convert/splat" `Quick test_convert_and_splat;
+          Alcotest.test_case "invalid lengths" `Quick test_invalid_lengths;
+        ] );
+      ("properties", properties);
+    ]

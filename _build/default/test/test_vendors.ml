@@ -1,0 +1,204 @@
+(* The vendor-simulation layer: feature extraction, fault gates, the
+   configuration table, and driver determinism. *)
+
+open Build
+
+let k body = kernel1 "k" body
+let store e = assign (idx (v "out") tid_linear) (cast Ty.ulong e)
+
+(* --- feature extraction --- *)
+
+let feats prog = Features.of_testcase (testcase prog)
+
+let test_feature_extraction () =
+  let f = feats (k [ barrier; store (ci 0) ]) in
+  Alcotest.(check bool) "uses_barrier" true f.Features.uses_barrier;
+  Alcotest.(check int) "barrier_count" 1 f.Features.barrier_count;
+  Alcotest.(check bool) "no callee barrier" false f.Features.barrier_in_callee;
+
+  let callee = func "h" Ty.Void [] [ barrier ] in
+  let f = feats (kernel1 ~funcs:[ callee ] "k" [ expr (call "h" []); store (ci 0) ]) in
+  Alcotest.(check bool) "callee barrier" true f.Features.barrier_in_callee;
+  Alcotest.(check bool) "straight-line callee barrier" true
+    f.Features.barrier_in_callee_straight;
+
+  let loopy = func "h" Ty.Void [] [ for_up "i" ~from:0 ~below:2 [ barrier ] ] in
+  let f = feats (kernel1 ~funcs:[ loopy ] "k" [ expr (call "h" []); store (ci 0) ]) in
+  Alcotest.(check bool) "loop-nested callee barrier is not straight" false
+    f.Features.barrier_in_callee_straight;
+  Alcotest.(check bool) "barrier in loop" true f.Features.barrier_in_loop;
+
+  let f = feats (k [ while_ (ci 1) []; store (ci 0) ]) in
+  Alcotest.(check bool) "while(1) detected" true f.Features.while_true;
+
+  let f =
+    feats
+      (k
+         [
+           decle "x" Ty.uint (cu 0);
+           assign_op Op.BitOr (v "x") (cast Ty.uint (gid Op.X));
+           store (v "x");
+         ])
+  in
+  (* the cast breaks the size_t mixing... without the cast it triggers *)
+  Alcotest.(check bool) "cast hides size_t mix" false f.Features.mixes_int_size_t;
+  let f =
+    feats
+      (k
+         [
+           decle "x" Ty.ulong (cul 0L);
+           Ast.Assign (v "x", Ast.A_op Op.BitOr, gid Op.X);
+           store (v "x");
+         ])
+  in
+  Alcotest.(check bool) "size_t |= mix detected" true f.Features.mixes_int_size_t
+
+let test_char_first_feature () =
+  let s = struct_ "S" [ sfield "a" Ty.char; sfield "b" Ty.short ] in
+  let f =
+    feats
+      (kernel1 ~aggregates:[ s ] "k"
+         [ decl ~init:(il [ ie (ci 1); ie (ci 1) ]) "s" (Ty.Named "S"); store (ci 0) ])
+  in
+  Alcotest.(check bool) "char-first struct" true f.Features.char_first_struct;
+  Alcotest.(check bool) "has struct" true f.Features.has_struct
+
+(* --- gate determinism and rates --- *)
+
+let test_gate_determinism_and_rate () =
+  let f = feats (k [ store (ci 0) ]) in
+  let a = Fault.gate Fault.Full f ~salt:3 ~rate:0.5 in
+  let b = Fault.gate Fault.Full f ~salt:3 ~rate:0.5 in
+  Alcotest.(check bool) "deterministic" a b;
+  Alcotest.(check bool) "rate 1 fires" true (Fault.gate Fault.Full f ~salt:3 ~rate:1.0);
+  Alcotest.(check bool) "rate 0 never" false (Fault.gate Fault.Full f ~salt:3 ~rate:0.0);
+  (* empirical rate over many programs should be near the nominal rate *)
+  let fired = ref 0 in
+  let n = 300 in
+  for seed = 1 to n do
+    let tc, _ = Generate.generate ~cfg:(Gen_config.scaled Gen_config.Basic) ~seed () in
+    let f = Features.of_testcase tc in
+    if Fault.gate Fault.Full f ~salt:11 ~rate:0.3 then incr fired
+  done;
+  let rate = float !fired /. float n in
+  Alcotest.(check bool)
+    (Printf.sprintf "empirical rate %.2f near 0.3" rate)
+    true
+    Stdlib.(rate > 0.2 && rate < 0.4)
+
+let test_stable_digest_ignores_emi_bodies () =
+  let cfg = Gen_config.scaled Gen_config.All in
+  let base, info = Generate.generate ~emi:true ~cfg ~seed:777 () in
+  if info.Generate.counter_sharing then ()
+  else begin
+    let variant =
+      Variant.derive ~base
+        ~params:(Prune.make_params ~pleaf:1.0 ~pcompound:1.0 ~plift:0.0)
+        ~seed:1
+    in
+    Alcotest.(check bool) "stable digest invariant under pruning" true
+      (Int64.equal
+         (Digest_util.stable base.Ast.prog)
+         (Digest_util.stable variant.Ast.prog));
+    Alcotest.(check bool) "full digest changes under pruning" false
+      (Int64.equal
+         (Digest_util.full base.Ast.prog)
+         (Digest_util.full variant.Ast.prog))
+  end
+
+(* --- configuration table --- *)
+
+let test_config_table () =
+  Alcotest.(check int) "21 configurations" 21 (List.length Config.all);
+  List.iteri
+    (fun i c -> Alcotest.(check int) "ids are 1..21 in order" Stdlib.(i + 1) c.Config.id)
+    Config.all;
+  Alcotest.(check (list int)) "paper's above-threshold set"
+    [ 1; 2; 3; 4; 9; 12; 13; 14; 15; 19 ]
+    Config.above_threshold_ids;
+  let oclgrind = Config.find 19 in
+  Alcotest.(check bool) "Oclgrind does not optimise" false oclgrind.Config.optimizes;
+  let phi = Config.find 18 in
+  Alcotest.(check bool) "Xeon Phi manually below threshold" true
+    phi.Config.manual_below
+
+(* --- driver behaviour --- *)
+
+let test_driver_deterministic () =
+  let cfg = Gen_config.scaled Gen_config.All in
+  let tc, _ = Generate.generate ~cfg ~seed:31 () in
+  List.iter
+    (fun c ->
+      let a = Driver.run c ~opt:true tc and b = Driver.run c ~opt:true tc in
+      Alcotest.(check bool)
+        (Printf.sprintf "config %d deterministic" c.Config.id)
+        true (Outcome.equal a b))
+    Config.all
+
+let test_noise_filter () =
+  (* with noise suppressed, a plain struct-free kernel passes everywhere
+     except deterministic-fault configurations *)
+  let tc = testcase (k [ store (ci 7) ]) in
+  List.iter
+    (fun id ->
+      match Driver.run ~noise:false (Config.find id) ~opt:false tc with
+      | Outcome.Success _ -> ()
+      | o ->
+          Alcotest.failf "config %d- should pass a trivial kernel, got %s" id
+            (Outcome.to_string o))
+    [ 1; 4; 9; 12; 15; 19 ]
+
+let test_size_t_rejection () =
+  (* config 15 rejects int/size_t mixes at both levels with identical
+     build-failure rates (sec 6) *)
+  let prog =
+    k
+      [
+        decle "x" Ty.ulong (cul 0L);
+        Ast.Assign (v "x", Ast.A_op Op.BitOr, gid Op.X);
+        store (v "x");
+      ]
+  in
+  let tc = testcase prog in
+  let c15 = Config.find 15 in
+  (match Driver.run c15 ~opt:false tc with
+  | Outcome.Build_failure m ->
+      Alcotest.(check bool) "mentions size_t" true
+        Stdlib.(String.length m > 0)
+  | o -> Alcotest.failf "expected build failure, got %s" (Outcome.to_string o));
+  match Driver.run c15 ~opt:true tc with
+  | Outcome.Build_failure _ -> ()
+  | o -> Alcotest.failf "expected build failure at +, got %s" (Outcome.to_string o)
+
+let test_compiled_program_inspection () =
+  (* inspecting the vendor's compiled output, like the paper's PTX digging *)
+  let prog = k [ store (ci 3 + ci 4) ] in
+  let tc = testcase prog in
+  let compiled = Driver.compiled_program (Config.find 12) ~opt:true tc in
+  Alcotest.(check bool) "constants folded by the vendor pipeline" true
+    (Ast.exists_expr
+       (function Ast.Const c -> Int64.equal c.Ast.value 7L | _ -> false)
+       compiled)
+
+let () =
+  Alcotest.run "vendors"
+    [
+      ( "features",
+        [
+          Alcotest.test_case "extraction" `Quick test_feature_extraction;
+          Alcotest.test_case "char-first" `Quick test_char_first_feature;
+        ] );
+      ( "faults",
+        [
+          Alcotest.test_case "gates" `Slow test_gate_determinism_and_rate;
+          Alcotest.test_case "stable digest" `Quick test_stable_digest_ignores_emi_bodies;
+        ] );
+      ( "configurations",
+        [
+          Alcotest.test_case "table" `Quick test_config_table;
+          Alcotest.test_case "driver determinism" `Quick test_driver_deterministic;
+          Alcotest.test_case "noise filter" `Quick test_noise_filter;
+          Alcotest.test_case "size_t rejection" `Quick test_size_t_rejection;
+          Alcotest.test_case "compiled inspection" `Quick test_compiled_program_inspection;
+        ] );
+    ]
