@@ -5,11 +5,23 @@
    and then runs the Bechamel microbenchmarks. Individual experiments:
 
      dune exec bench/main.exe -- table1|table2|table3|table4|table5
-     dune exec bench/main.exe -- figure1|figure2|races|micro|ablate
+     dune exec bench/main.exe -- figure1|figure2|races|micro|ablate|scaling
+
+   Global flags (before or between experiment names):
+
+     -j N   execution-pool size for the campaign experiments (default:
+            recommended domain count; output is identical across -j)
+     -n N   override the default sample size of table1/3/4/5 (tiny CI
+            smoke runs use -n 2)
 
    Scaled sizes are chosen so the whole run completes in minutes on one
    core; the paper's full sizes are available through bin/campaign_cli.exe
    with explicit -n. *)
+
+let jobs = ref (Pool.recommended_jobs ())
+let scale = ref None (* -n override of per-experiment sample sizes *)
+
+let size default = match !scale with Some n -> n | None -> default
 
 let section title =
   Printf.printf "\n%s\n%s\n%!" title (String.make (String.length title) '#')
@@ -27,7 +39,7 @@ let timed name f =
 let table1 () =
   section "Table 1 — configurations and the reliability threshold (sec 7.1)";
   timed "table1" (fun () ->
-      let t = Classify.run ~per_mode:8 () in
+      let t = Classify.run ~jobs:!jobs ~per_mode:(size 8) () in
       print_endline (Classify.to_table t);
       let a, n = Classify.agreement_with_paper t in
       Printf.printf "classification agreement with the paper: %d/%d\n" a n)
@@ -39,18 +51,21 @@ let table2 () =
 let table3 () =
   section "Table 3 — EMI testing over Parboil/Rodinia (sec 7.2)";
   timed "table3" (fun () ->
-      print_endline (Bench_emi.to_table (Bench_emi.run ~variants:10 ())))
+      print_endline
+        (Bench_emi.to_table (Bench_emi.run ~jobs:!jobs ~variants:(size 10) ())))
 
 let table4 () =
   section "Table 4 — intensive CLsmith differential testing (sec 7.3)";
   timed "table4" (fun () ->
-      print_endline (Campaign.to_table (Campaign.run ~per_mode:40 ())))
+      print_endline
+        (Campaign.to_table (Campaign.run ~jobs:!jobs ~per_mode:(size 40) ())))
 
 let table5 () =
   section "Table 5 — CLsmith+EMI metamorphic testing (sec 7.4)";
   timed "table5" (fun () ->
       print_endline
-        (Emi_campaign.to_table (Emi_campaign.run ~bases:16 ~variants:10 ())))
+        (Emi_campaign.to_table
+           (Emi_campaign.run ~jobs:!jobs ~bases:(size 16) ~variants:10 ())))
 
 let figure n exhibits =
   section (Printf.sprintf "Figure %d — bug exhibits (sec 6)" n);
@@ -193,6 +208,42 @@ let ablate () =
     (avg !kept) (avg !discarded)
 
 (* ------------------------------------------------------------------ *)
+(* Parallel scaling: -j 1 vs -j N on a micro campaign                  *)
+(* ------------------------------------------------------------------ *)
+
+let scaling () =
+  section "Parallel campaign scaling — -j 1 vs -j N on a micro Table 4";
+  let per_mode = size 12 in
+  let modes = [ Gen_config.Basic; Gen_config.Barrier ] in
+  let run_at jobs =
+    let t0 = Unix.gettimeofday () in
+    let table = Campaign.to_table (Campaign.run ~jobs ~per_mode ~modes ()) in
+    (table, Unix.gettimeofday () -. t0)
+  in
+  let n_jobs = max 1 !jobs in
+  let table_seq, t_seq = run_at 1 in
+  let table_par, t_par = run_at n_jobs in
+  let identical = String.equal table_seq table_par in
+  let cells = per_mode * List.length modes * 2 * List.length Config.above_threshold_ids in
+  Printf.printf
+    "%d kernels x %d modes (%d cells): -j 1 in %.2fs (%.1f cells/s), -j %d in \
+     %.2fs (%.1f cells/s)\n"
+    per_mode (List.length modes) cells t_seq
+    (float cells /. t_seq)
+    n_jobs t_par
+    (float cells /. t_par);
+  Printf.printf "tables byte-identical across -j: %b\n" identical;
+  if not identical then prerr_endline "ERROR: parallel output diverged from sequential";
+  Printf.printf
+    "BENCH-JSON {\"bench\":\"campaign_parallel_scaling\",\"kernels_per_mode\":%d,\
+     \"cells\":%d,\"jobs\":%d,\"t_j1_s\":%.3f,\"t_jN_s\":%.3f,\"cells_per_s_j1\":%.1f,\
+     \"cells_per_s_jN\":%.1f,\"speedup\":%.2f,\"identical\":%b}\n"
+    per_mode cells n_jobs t_seq t_par
+    (float cells /. t_seq)
+    (float cells /. t_par)
+    (t_seq /. t_par) identical
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel microbenchmarks                                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -279,12 +330,34 @@ let all_experiments () =
   table3 ();
   table4 ();
   table5 ();
+  scaling ();
   micro ()
 
 let () =
-  match Array.to_list Sys.argv with
-  | [ _ ] -> all_experiments ()
-  | _ :: args ->
+  (* split argv into global flags (-j N, -n N) and experiment names *)
+  let rec parse acc = function
+    | [] -> List.rev acc
+    | "-j" :: v :: rest -> (
+        match int_of_string_opt v with
+        | Some j when j >= 1 ->
+            jobs := j;
+            parse acc rest
+        | _ ->
+            Printf.eprintf "-j expects a positive integer, got %s\n" v;
+            exit 2)
+    | "-n" :: v :: rest -> (
+        match int_of_string_opt v with
+        | Some n when n >= 1 ->
+            scale := Some n;
+            parse acc rest
+        | _ ->
+            Printf.eprintf "-n expects a positive integer, got %s\n" v;
+            exit 2)
+    | name :: rest -> parse (name :: acc) rest
+  in
+  match parse [] (List.tl (Array.to_list Sys.argv)) with
+  | [] -> all_experiments ()
+  | names ->
       List.iter
         (function
           | "table1" -> table1 ()
@@ -297,7 +370,7 @@ let () =
           | "races" -> races ()
           | "micro" -> micro ()
           | "ablate" -> ablate ()
+          | "scaling" -> scaling ()
           | "all" -> all_experiments ()
           | other -> Printf.eprintf "unknown experiment %s\n" other)
-        args
-  | [] -> ()
+        names

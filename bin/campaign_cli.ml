@@ -8,43 +8,68 @@ open Cmdliner
 
 let n_arg default doc = Arg.(value & opt int default & info [ "n" ] ~doc)
 
+let jobs_arg =
+  Arg.(
+    value
+    & opt int (Pool.recommended_jobs ())
+    & info [ "j"; "jobs" ]
+        ~doc:
+          "Size of the execution pool (worker domains). Defaults to the \
+           recommended domain count. Output is byte-identical across -j \
+           values.")
+
+let fuel_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "fuel" ]
+        ~doc:
+          "Per-task soft timeout: the interpreter's per-thread step budget. \
+           Exhaustion is counted as a timeout.")
+
 let table1_cmd =
-  let run n =
-    let t = Classify.run ~per_mode:n () in
+  let run n jobs =
+    let t = Classify.run ~jobs ~per_mode:n () in
     print_endline (Classify.to_table t);
     let a, total = Classify.agreement_with_paper t in
     Printf.printf "classification agreement with the paper's Table 1: %d/%d\n" a total
   in
   Cmd.v (Cmd.info "table1" ~doc:"Initial testing and reliability threshold")
-    Term.(const run $ n_arg 10 "initial kernels per mode (paper: 100)")
+    Term.(const run $ n_arg 10 "initial kernels per mode (paper: 100)" $ jobs_arg)
 
 let table2_cmd =
   let run () = print_endline (Suite.table2 ()) in
   Cmd.v (Cmd.info "table2" ~doc:"Benchmark suite summary") Term.(const run $ const ())
 
 let table3_cmd =
-  let run n =
-    print_endline (Bench_emi.to_table (Bench_emi.run ~variants:n ()))
+  let run n jobs fuel =
+    print_endline (Bench_emi.to_table (Bench_emi.run ~jobs ?fuel ~variants:n ()))
   in
   Cmd.v (Cmd.info "table3" ~doc:"EMI testing over the Parboil/Rodinia ports")
-    Term.(const run $ n_arg 12 "EMI variants per benchmark (paper: 125)")
+    Term.(
+      const run
+      $ n_arg 12 "EMI variants per benchmark (paper: 125)"
+      $ jobs_arg $ fuel_arg)
 
 let table4_cmd =
-  let run n =
-    print_endline (Campaign.to_table (Campaign.run ~per_mode:n ()))
+  let run n jobs fuel =
+    print_endline (Campaign.to_table (Campaign.run ~jobs ?fuel ~per_mode:n ()))
   in
   Cmd.v (Cmd.info "table4" ~doc:"Intensive CLsmith differential testing")
-    Term.(const run $ n_arg 60 "kernels per mode (paper: 10000)")
+    Term.(
+      const run $ n_arg 60 "kernels per mode (paper: 10000)" $ jobs_arg $ fuel_arg)
 
 let table5_cmd =
-  let run n v =
-    print_endline (Emi_campaign.to_table (Emi_campaign.run ~bases:n ~variants:v ()))
+  let run n v jobs fuel =
+    print_endline
+      (Emi_campaign.to_table (Emi_campaign.run ~jobs ?fuel ~bases:n ~variants:v ()))
   in
   Cmd.v (Cmd.info "table5" ~doc:"CLsmith+EMI metamorphic testing")
     Term.(
       const run
       $ n_arg 15 "base programs (paper: 180)"
-      $ Arg.(value & opt int 10 & info [ "variants" ] ~doc:"variants per base (paper: 40)"))
+      $ Arg.(value & opt int 10 & info [ "variants" ] ~doc:"variants per base (paper: 40)")
+      $ jobs_arg $ fuel_arg)
 
 let figure_cmd name exhibits doc =
   let run verbose =

@@ -1,0 +1,26 @@
+type 'a state = Thunk of (unit -> 'a) | Value of 'a | Poisoned of exn
+
+type 'a t = { m : Mutex.t; mutable state : 'a state }
+
+let make f = { m = Mutex.create (); state = Thunk f }
+let of_val v = { m = Mutex.create (); state = Value v }
+
+let force t =
+  Mutex.lock t.m;
+  match t.state with
+  | Value v ->
+      Mutex.unlock t.m;
+      v
+  | Poisoned e ->
+      Mutex.unlock t.m;
+      raise e
+  | Thunk f -> (
+      match f () with
+      | v ->
+          t.state <- Value v;
+          Mutex.unlock t.m;
+          v
+      | exception e ->
+          t.state <- Poisoned e;
+          Mutex.unlock t.m;
+          raise e)

@@ -1,0 +1,19 @@
+(** A domain-safe memoised thunk — [Lazy.t] for values shared across the
+    pool's domains.
+
+    [Lazy.force] is not safe under concurrent forcing (a racing force
+    raises [CamlinternalLazy.Undefined]); campaigns share one prepared
+    kernel between every (configuration, opt-level) cell, and with
+    cell-granularity tasks those cells run on different domains. A [Memo.t]
+    computes its thunk at most once, under a mutex; racing forcers block
+    until the first computation finishes and then read the cached value.
+
+    A thunk that raises is poisoned: the exception is cached and re-raised
+    by every subsequent force, mirroring [Lazy] semantics. Thunks must not
+    force themselves recursively (the mutex is not reentrant). *)
+
+type 'a t
+
+val make : (unit -> 'a) -> 'a t
+val of_val : 'a -> 'a t
+val force : 'a t -> 'a

@@ -1,0 +1,117 @@
+type t = {
+  jobs : int;
+  queue : (unit -> unit) Queue.t;
+  m : Mutex.t;
+  work_available : Condition.t;
+  mutable live : bool;
+  mutable workers : unit Domain.t list;
+}
+
+let recommended_jobs () = Domain.recommended_domain_count ()
+
+let rec worker_loop t =
+  Mutex.lock t.m;
+  while Queue.is_empty t.queue && t.live do
+    Condition.wait t.work_available t.m
+  done;
+  if Queue.is_empty t.queue then Mutex.unlock t.m (* shut down *)
+  else begin
+    let job = Queue.pop t.queue in
+    Mutex.unlock t.m;
+    job ();
+    worker_loop t
+  end
+
+let create ~jobs =
+  let jobs = max 1 jobs in
+  let t =
+    {
+      jobs;
+      queue = Queue.create ();
+      m = Mutex.create ();
+      work_available = Condition.create ();
+      live = true;
+      workers = [];
+    }
+  in
+  if jobs > 1 then
+    t.workers <- List.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  t
+
+let jobs t = t.jobs
+
+let shutdown t =
+  Mutex.lock t.m;
+  t.live <- false;
+  Condition.broadcast t.work_available;
+  Mutex.unlock t.m;
+  List.iter Domain.join t.workers;
+  t.workers <- []
+
+let with_pool ~jobs f =
+  let t = create ~jobs in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+
+(* Jobs enqueued by [try_map] never raise: each stores its own result (or
+   captured exception) and signals completion, so a worker domain can
+   never die mid-batch. *)
+let try_map t ~f xs =
+  let tasks = Array.of_list xs in
+  let n = Array.length tasks in
+  if n = 0 then []
+  else if t.jobs = 1 then
+    List.map (fun x -> try Ok (f x) with e -> Error e) xs
+  else begin
+    let results = Array.make n None in
+    let remaining = Atomic.make n in
+    let done_m = Mutex.create () and all_done = Condition.create () in
+    let job i () =
+      let r = try Ok (f tasks.(i)) with e -> Error e in
+      results.(i) <- Some r;
+      if Atomic.fetch_and_add remaining (-1) = 1 then begin
+        (* last task: wake the submitter (broadcast under the lock so the
+           wakeup cannot be lost between its predicate check and wait) *)
+        Mutex.lock done_m;
+        Condition.broadcast all_done;
+        Mutex.unlock done_m
+      end
+    in
+    Mutex.lock t.m;
+    for i = 0 to n - 1 do
+      Queue.add (job i) t.queue
+    done;
+    Condition.broadcast t.work_available;
+    Mutex.unlock t.m;
+    (* the submitting domain is a runner too: help drain the queue *)
+    let rec help () =
+      Mutex.lock t.m;
+      match Queue.take_opt t.queue with
+      | None -> Mutex.unlock t.m
+      | Some job ->
+          Mutex.unlock t.m;
+          job ();
+          help ()
+    in
+    help ();
+    Mutex.lock done_m;
+    while Atomic.get remaining > 0 do
+      Condition.wait all_done done_m
+    done;
+    Mutex.unlock done_m;
+    Array.to_list
+      (Array.map (function Some r -> r | None -> assert false) results)
+  end
+
+let map t ~f xs =
+  let rs = try_map t ~f xs in
+  List.map (function Ok v -> v | Error e -> raise e) rs
+
+let is_fatal = function Out_of_memory | Stack_overflow -> true | _ -> false
+
+let map_isolated t ~f ~on_error xs =
+  List.map
+    (function
+      | Ok v -> v
+      | Error e when is_fatal e -> raise e
+      | Error e -> on_error e)
+    (try_map t ~f xs)

@@ -1,0 +1,63 @@
+(** A fixed-size pool of OCaml 5 domains with a shared work queue and
+    deterministic, order-preserving result merging.
+
+    Campaigns are embarrassingly parallel: every (kernel, configuration,
+    opt-level) cell is an independent pure computation. The pool exploits
+    that while keeping the paper's bookkeeping reproducible:
+
+    - {b determinism}: tasks carry their stable submission index; results
+      are merged in index order, so the merged output is byte-identical to
+      a sequential run and to itself across any [jobs] value;
+    - {b exception isolation}: a task that raises is captured as an
+      [Error] cell instead of killing the whole campaign. Asynchronous
+      resource exhaustion ({!Out_of_memory}, {!Stack_overflow}) is never
+      masked: {!map_isolated} re-raises it in the submitting domain (in
+      task order) rather than letting it be misclassified as a kernel
+      crash;
+    - {b cooperative timeouts}: the pool never kills a task; long-running
+      kernels are bounded by the interpreter's fuel budget (a soft,
+      per-task step limit — see [Driver.run_prepared ?fuel]), which turns
+      runaway work into a deterministic [Outcome.Timeout].
+
+    [jobs = 1] degrades to a plain sequential fold in the calling domain —
+    no domains are spawned, which keeps single-core behaviour (and
+    debugging) exactly as before. The submitting domain always
+    participates in draining the queue, so [jobs = n] means [n] runners
+    total, not [n + 1]. [map]/[try_map]/[map_isolated] must only be called
+    from the domain that created the pool, and tasks must not themselves
+    submit work to the same pool. *)
+
+type t
+
+val recommended_jobs : unit -> int
+(** [Domain.recommended_domain_count ()] — the CLI default for [-j]. *)
+
+val create : jobs:int -> t
+(** A pool of [max 1 jobs] runners ([jobs - 1] spawned worker domains plus
+    the submitting domain). *)
+
+val jobs : t -> int
+
+val shutdown : t -> unit
+(** Drain and join the worker domains. Idempotent. *)
+
+val with_pool : jobs:int -> (t -> 'a) -> 'a
+(** [create], run, [shutdown] (also on exception). *)
+
+val try_map : t -> f:('a -> 'b) -> 'a list -> ('b, exn) result list
+(** Run [f] over every element in parallel; the result list is in input
+    order regardless of completion order. Exceptions raised by [f] are
+    captured per-task. *)
+
+val map : t -> f:('a -> 'b) -> 'a list -> 'b list
+(** [try_map] that re-raises the first captured exception (in task order,
+    so even failure is deterministic) once every task has finished. *)
+
+val map_isolated : t -> f:('a -> 'b) -> on_error:(exn -> 'b) -> 'a list -> 'b list
+(** Exception-isolating map: a task that raised yields [on_error e] — the
+    campaigns map harness-level exceptions to a crash cell — except for
+    fatal exhaustion ({!is_fatal}), which is re-raised in task order. *)
+
+val is_fatal : exn -> bool
+(** [Out_of_memory] and [Stack_overflow]: conditions that must surface to
+    the operator instead of being bucketed as kernel crashes. *)

@@ -1,0 +1,11 @@
+(* splitmix64's finaliser: a bijective avalanche mix on 64 bits *)
+let mix64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xbf58476d1ce4e5b9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94d049bb133111ebL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let derive64 ~base ~index =
+  mix64 (Int64.add base (Int64.mul (Int64.of_int (index + 1)) 0x9e3779b97f4a7c15L))
+
+let derive ~base ~index =
+  Int64.to_int (derive64 ~base:(Int64.of_int base) ~index) land max_int

@@ -1,0 +1,14 @@
+(** Deterministic per-task RNG seed derivation.
+
+    Parallel tasks must never share or advance a common RNG stream — the
+    schedule would leak into the results. Every task instead derives its
+    own seed from a campaign base seed and its stable task index with a
+    splitmix64-style finaliser, so task [i]'s randomness is a pure function
+    of [(base, i)] independent of scheduling, [-j], and completion order,
+    and neighbouring indices are statistically unrelated. *)
+
+val derive : base:int -> index:int -> int
+(** A non-negative seed, pure in [(base, index)]. *)
+
+val derive64 : base:int64 -> index:int -> int64
+(** The full-width variant (the mutation engine keys on 64-bit seeds). *)

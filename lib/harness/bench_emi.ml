@@ -23,15 +23,27 @@ let superscript ~with_subst ~without_subst =
   | false, true -> "d"
   | false, false -> "?"
 
-let run ?(variants = 12) ?(seed0 = 90_000) ?config_ids () : t =
+(* everything one benchmark's cells need, computed once and shared *)
+type bench_setup = {
+  name : string;
+  expected : string;
+  orig_prep : Driver.prepared;
+  tests : (bool * Driver.prepared) list;  (** (substitutions on?, variant) *)
+}
+
+let run ?jobs ?fuel ?(variants = 12) ?(seed0 = 90_000) ?config_ids () : t =
+  let jobs = match jobs with Some j -> j | None -> Pool.recommended_jobs () in
   let config_ids =
     match config_ids with Some l -> l | None -> default_configs
   in
   let configs = List.map Config.find config_ids in
   let gcfg = Gen_config.scaled Gen_config.All in
-  let results =
-    List.map
-      (fun (b : Suite.benchmark) ->
+  Pool.with_pool ~jobs @@ fun pool ->
+  (* phase 1: per-benchmark setup (reference run, EMI injection, prepare),
+     one task per benchmark; a failed reference run must still raise *)
+  let setups =
+    Pool.map pool
+      ~f:(fun (b : Suite.benchmark) ->
         let original = b.Suite.testcase () in
         let expected =
           match Driver.reference_outcome original with
@@ -57,56 +69,68 @@ let run ?(variants = 12) ?(seed0 = 90_000) ?config_ids () : t =
                 [ true; false ])
             (List.init variants Fun.id)
         in
-        let per_config =
-          List.map
-            (fun c ->
-              let orig_ok opt =
-                match Driver.run_prepared c ~opt orig_prep with
-                | Outcome.Success s -> String.equal s expected
-                | _ -> false
-              in
-              if not (orig_ok false || orig_ok true) then (c.Config.id, No_gen)
-              else begin
-                let wrong_subst = ref false
-                and wrong_nosubst = ref false
-                and crash_subst = ref false
-                and crash_nosubst = ref false
-                and timed = ref false in
-                List.iter
-                  (fun (subst, prep) ->
-                    List.iter
-                      (fun opt ->
-                        match Driver.run_prepared c ~opt prep with
-                        | Outcome.Success s when not (String.equal s expected)
-                          ->
-                            if subst then wrong_subst := true
-                            else wrong_nosubst := true
-                        | Outcome.Success _ -> ()
-                        | Outcome.Build_failure _ | Outcome.Crash _
-                        | Outcome.Machine_crash _ | Outcome.Ub _ ->
-                            if subst then crash_subst := true
-                            else crash_nosubst := true
-                        | Outcome.Timeout -> timed := true)
-                      [ false; true ])
-                  tests;
-                let code =
-                  if !wrong_subst || !wrong_nosubst then
-                    Wrong
-                      (superscript ~with_subst:!wrong_subst
-                         ~without_subst:!wrong_nosubst)
-                  else if !crash_subst || !crash_nosubst then
-                    Crash
-                      (superscript ~with_subst:!crash_subst
-                         ~without_subst:!crash_nosubst)
-                  else if !timed then Timed_out
-                  else Pass
-                in
-                (c.Config.id, code)
-              end)
-            configs
-        in
-        (b.Suite.name, per_config))
+        { name = b.Suite.name; expected; orig_prep; tests })
       Suite.emi_eligible
+  in
+  (* phase 2: one task per (benchmark, configuration) cell *)
+  let cell (s, c) =
+    let orig_ok opt =
+      match Driver.run_prepared ?fuel c ~opt s.orig_prep with
+      | Outcome.Success out -> String.equal out s.expected
+      | _ -> false
+    in
+    if not (orig_ok false || orig_ok true) then (c.Config.id, No_gen)
+    else begin
+      let wrong_subst = ref false
+      and wrong_nosubst = ref false
+      and crash_subst = ref false
+      and crash_nosubst = ref false
+      and timed = ref false in
+      List.iter
+        (fun (subst, prep) ->
+          List.iter
+            (fun opt ->
+              match Driver.run_prepared ?fuel c ~opt prep with
+              | Outcome.Success out when not (String.equal out s.expected) ->
+                  if subst then wrong_subst := true else wrong_nosubst := true
+              | Outcome.Success _ -> ()
+              | Outcome.Build_failure _ | Outcome.Crash _
+              | Outcome.Machine_crash _ | Outcome.Ub _ ->
+                  if subst then crash_subst := true else crash_nosubst := true
+              | Outcome.Timeout -> timed := true)
+            [ false; true ])
+        s.tests;
+      let code =
+        if !wrong_subst || !wrong_nosubst then
+          Wrong
+            (superscript ~with_subst:!wrong_subst ~without_subst:!wrong_nosubst)
+        else if !crash_subst || !crash_nosubst then
+          Crash
+            (superscript ~with_subst:!crash_subst ~without_subst:!crash_nosubst)
+        else if !timed then Timed_out
+        else Pass
+      in
+      (c.Config.id, code)
+    end
+  in
+  let tasks =
+    List.concat_map (fun s -> List.map (fun c -> (s, c)) configs) setups
+  in
+  let cells =
+    (* exception isolation: a cell whose harness code raises becomes a
+       crash cell for its configuration; fatal exhaustion still surfaces *)
+    Pool.map pool
+      ~f:(fun ((_, c) as task) ->
+        try cell task
+        with e when not (Pool.is_fatal e) -> (c.Config.id, Crash "?"))
+      tasks
+  in
+  (* regroup the flat cell list by benchmark, in task order *)
+  let results =
+    List.map2
+      (fun s row -> (s.name, row))
+      setups
+      (Par.chunk (List.length configs) cells)
   in
   { variants; results }
 

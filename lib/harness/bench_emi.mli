@@ -28,7 +28,9 @@ type t = {
       (** benchmark name -> (config id, code) *)
 }
 
-val run : ?variants:int -> ?seed0:int -> ?config_ids:int list -> unit -> t
+val run :
+  ?jobs:int ->
+  ?fuel:int -> ?variants:int -> ?seed0:int -> ?config_ids:int list -> unit -> t
 (** Defaults: 12 injected variants per benchmark (paper: 125), configs
     1–19. *)
 

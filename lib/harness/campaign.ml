@@ -22,63 +22,69 @@ type mode_result = {
 
 let prefilter_config = Config.find 1
 
-let run ?(per_mode = 60) ?(seed0 = 10_000) ?config_ids ?modes () =
+let run ?jobs ?fuel ?(per_mode = 60) ?(seed0 = 10_000) ?config_ids ?modes () =
+  let jobs = match jobs with Some j -> j | None -> Pool.recommended_jobs () in
   let config_ids =
     match config_ids with Some l -> l | None -> Config.above_threshold_ids
   in
   let modes = match modes with Some m -> m | None -> Gen_config.all_modes in
   let configs = List.map Config.find config_ids in
+  Pool.with_pool ~jobs @@ fun pool ->
   List.map
     (fun mode ->
       let gcfg = Gen_config.scaled mode in
-      let sharing = ref 0 and prefiltered = ref 0 in
-      (* collect per_mode survivors *)
-      let rec collect seed acc n =
-        if n = 0 then List.rev acc
+      (* phase 1: generate + prefilter candidate seeds in parallel batches,
+         consumed in seed order (Par.collect), so survivors and discard
+         tallies match the sequential loop exactly *)
+      let classify ~seed =
+        let tc, info = Generate.generate ~cfg:gcfg ~seed () in
+        if info.Generate.counter_sharing then Par.Reject `Sharing
         else
-          let tc, info = Generate.generate ~cfg:gcfg ~seed () in
-          if info.Generate.counter_sharing then begin
-            incr sharing;
-            collect (seed + 1) acc n
-          end
-          else
-            let prep = Driver.prepare tc in
-            match Driver.run_prepared prefilter_config ~opt:true prep with
-            | Outcome.Build_failure _ | Outcome.Timeout ->
-                incr prefiltered;
-                collect (seed + 1) acc n
-            | _ -> collect (seed + 1) (prep :: acc) (n - 1)
+          let prep = Driver.prepare tc in
+          match Driver.run_prepared ?fuel prefilter_config ~opt:true prep with
+          | Outcome.Build_failure _ | Outcome.Timeout -> Par.Reject `Prefiltered
+          | _ -> Par.Accept prep
       in
-      let kernels = collect seed0 [] per_mode in
+      let kernels, rejects = Par.collect pool ~n:per_mode ~seed0 ~classify in
       let keys =
         List.concat_map
           (fun c -> [ (c.Config.id, false); (c.Config.id, true) ])
           configs
       in
+      (* phase 2: every (kernel, config, opt-level) cell is one pool task,
+         in kernel-major stable order *)
+      let tasks =
+        List.concat_map
+          (fun prep ->
+            List.concat_map
+              (fun c -> [ (prep, c, false); (prep, c, true) ])
+              configs)
+          kernels
+      in
+      let outcomes =
+        Par.run_cells pool
+          ~f:(fun (prep, c, opt) -> Driver.run_prepared ?fuel c ~opt prep)
+          tasks
+      in
+      (* deterministic merge: regroup the flat outcome list by kernel (the
+         chunk layout mirrors [keys]) and fold buckets in task order *)
       let cells = Hashtbl.create 64 in
       List.iter (fun k -> Hashtbl.replace cells k zero_cell) keys;
       List.iter
-        (fun prep ->
-          let results =
-            List.concat_map
-              (fun c ->
-                let off = Driver.run_prepared c ~opt:false prep in
-                let on = Driver.run_prepared c ~opt:true prep in
-                [ ((c.Config.id, false), off); ((c.Config.id, true), on) ])
-              configs
-          in
-          let majority = Majority.majority_output (List.map snd results) in
+        (fun kernel_outcomes ->
+          let results = List.combine keys kernel_outcomes in
+          let majority = Majority.majority_output kernel_outcomes in
           List.iter
             (fun (key, o) ->
               let b = Majority.bucket_of ~majority o in
               Hashtbl.replace cells key (add_bucket (Hashtbl.find cells key) b))
             results)
-        kernels;
+        (Par.chunk (List.length keys) outcomes);
       {
         mode;
         tests_used = List.length kernels;
-        discarded_sharing = !sharing;
-        discarded_prefilter = !prefiltered;
+        discarded_sharing = Par.count rejects ~tag:`Sharing;
+        discarded_prefilter = Par.count rejects ~tag:`Prefiltered;
         per_config = List.map (fun k -> (k, Hashtbl.find cells k)) keys;
       })
     modes

@@ -24,6 +24,8 @@ type mode_result = {
 }
 
 val run :
+  ?jobs:int ->
+  ?fuel:int ->
   ?per_mode:int ->
   ?seed0:int ->
   ?config_ids:int list ->
@@ -31,7 +33,13 @@ val run :
   unit ->
   mode_result list
 (** Defaults: 60 kernels/mode (paper: 10,000), the above-threshold
-    configurations, all six modes. *)
+    configurations, all six modes.
+
+    [jobs] (default [Pool.recommended_jobs ()]) sizes the execution pool;
+    every (kernel, config, opt-level) cell is an independent task, and the
+    merged result is byte-identical across [jobs] values and across runs
+    at the same seed. [fuel] overrides the per-task soft timeout (the
+    interpreter's step budget). *)
 
 val to_table : mode_result list -> string
 val totals : mode_result list -> (Gen_config.mode * cell) list

@@ -17,29 +17,28 @@ type t = {
 
 (* generate the initial kernel set: [per_mode] kernels per mode, skipping
    counter-sharing ones (the paper discarded those) *)
-let initial_kernels ~per_mode ~seed0 =
+let initial_kernels pool ~per_mode ~seed0 =
   let discarded = ref 0 in
   let kernels =
     List.concat_map
       (fun mode ->
         let cfg = Gen_config.scaled mode in
-        let rec collect seed acc n =
-          if n = 0 then acc
-          else
-            let tc, info = Generate.generate ~cfg ~seed () in
-            if info.Generate.counter_sharing then begin
-              incr discarded;
-              collect (seed + 1) acc n
-            end
-            else collect (seed + 1) (tc :: acc) (n - 1)
+        let classify ~seed =
+          let tc, info = Generate.generate ~cfg ~seed () in
+          if info.Generate.counter_sharing then Par.Reject `Sharing
+          else Par.Accept tc
         in
-        collect seed0 [] per_mode)
+        let accepted, rejects = Par.collect pool ~n:per_mode ~seed0 ~classify in
+        discarded := !discarded + List.length rejects;
+        accepted)
       Gen_config.all_modes
   in
   (kernels, !discarded)
 
-let run ?(per_mode = 10) ?(seed0 = 1) () : t =
-  let kernels, discarded_sharing = initial_kernels ~per_mode ~seed0 in
+let run ?jobs ?fuel ?(per_mode = 10) ?(seed0 = 1) () : t =
+  let jobs = match jobs with Some j -> j | None -> Pool.recommended_jobs () in
+  Pool.with_pool ~jobs @@ fun pool ->
+  let kernels, discarded_sharing = initial_kernels pool ~per_mode ~seed0 in
   let configs = Config.all in
   (* stats.(ci) = (wrong, bf, crash, timeout, total) *)
   let n = List.length configs in
@@ -48,23 +47,32 @@ let run ?(per_mode = 10) ?(seed0 = 1) () : t =
   and cr = Array.make n 0
   and tmo = Array.make n 0
   and tot = Array.make n 0 in
+  (* one task per (kernel, configuration) cell, kernel-major; the prepared
+     kernel is shared by all of its cells across domains *)
+  let preps = List.map Driver.prepare kernels in
+  let tasks =
+    List.concat_map (fun prep -> List.map (fun c -> (prep, c)) configs) preps
+  in
+  let pairs =
+    Pool.map_isolated pool
+      ~f:(fun (prep, c) ->
+        ( Driver.run_prepared ?fuel c ~opt:false prep,
+          Driver.run_prepared ?fuel c ~opt:true prep ))
+      ~on_error:(fun e ->
+        let o = Outcome.Crash ("harness: uncaught exception: " ^ Printexc.to_string e) in
+        (o, o))
+      tasks
+  in
+  (* deterministic merge: per kernel, majority over all its results, then
+     per-config bucket accumulation in task order *)
   List.iter
-    (fun tc ->
-      let prep = Driver.prepare tc in
-      let outcomes =
-        List.map
-          (fun c ->
-            ( c,
-              ( Driver.run_prepared c ~opt:false prep,
-                Driver.run_prepared c ~opt:true prep ) ))
-          configs
-      in
+    (fun kernel_pairs ->
       let all_results =
-        List.concat_map (fun (_, (a, b)) -> [ a; b ]) outcomes
+        List.concat_map (fun (a, b) -> [ a; b ]) kernel_pairs
       in
       let majority = Majority.majority_output all_results in
       List.iteri
-        (fun i (_, (off, on)) ->
+        (fun i (off, on) ->
           List.iter
             (fun o ->
               tot.(i) <- tot.(i) + 1;
@@ -75,8 +83,8 @@ let run ?(per_mode = 10) ?(seed0 = 1) () : t =
               | Majority.B_timeout -> tmo.(i) <- tmo.(i) + 1
               | Majority.B_ok -> ())
             [ off; on ])
-        outcomes)
-    kernels;
+        kernel_pairs)
+    (Par.chunk (List.length configs) pairs);
   let reports =
     List.mapi
       (fun i c ->

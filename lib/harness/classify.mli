@@ -27,7 +27,7 @@ type t = {
   reports : config_report list;
 }
 
-val run : ?per_mode:int -> ?seed0:int -> unit -> t
+val run : ?jobs:int -> ?fuel:int -> ?per_mode:int -> ?seed0:int -> unit -> t
 (** Default [per_mode] is 10 (the paper used 100). *)
 
 val to_table : t -> string

@@ -25,94 +25,99 @@ let live_emi base =
   let inverted = Driver.run liveness_config ~opt:true (Variant.invert_dead base) in
   not (Outcome.equal normal inverted)
 
-let run ?(bases = 15) ?(variants = 10) ?(seed0 = 50_000) ?config_ids () : t =
+(* fold one (base, config, opt) cell's variant outcomes into its row *)
+let apply_cell r outcomes =
+  let computed =
+    List.filter_map
+      (function Outcome.Success s -> Some s | _ -> None)
+      outcomes
+  in
+  if computed = [] then { r with base_fails = r.base_fails + 1 }
+  else begin
+    let distinct = List.sort_uniq String.compare computed in
+    let r = if List.length distinct > 1 then { r with w = r.w + 1 } else r in
+    let has p = List.exists p outcomes in
+    let r =
+      if has (function Outcome.Build_failure _ -> true | _ -> false) then
+        { r with bf = r.bf + 1 }
+      else r
+    in
+    let r =
+      if
+        has (function
+          | Outcome.Crash _ | Outcome.Machine_crash _ | Outcome.Ub _ -> true
+          | _ -> false)
+      then { r with c = r.c + 1 }
+      else r
+    in
+    let r =
+      if has (function Outcome.Timeout -> true | _ -> false) then
+        { r with timeout = r.timeout + 1 }
+      else r
+    in
+    if List.length computed = List.length outcomes && List.length distinct = 1
+    then { r with stable = r.stable + 1 }
+    else r
+  end
+
+let run ?jobs ?fuel ?(bases = 15) ?(variants = 10) ?(seed0 = 50_000) ?config_ids
+    () : t =
+  let jobs = match jobs with Some j -> j | None -> Pool.recommended_jobs () in
   let config_ids =
     match config_ids with Some l -> l | None -> Config.above_threshold_ids
   in
   let configs = List.map Config.find config_ids in
   let gcfg = Gen_config.scaled Gen_config.All in
-  let sharing = ref 0 and deadish = ref 0 in
-  let rec collect seed acc n =
-    if n = 0 then List.rev acc
-    else
-      let tc, info = Generate.generate ~emi:true ~cfg:gcfg ~seed () in
-      if info.Generate.counter_sharing then begin
-        incr sharing;
-        collect (seed + 1) acc n
-      end
-      else if not (live_emi tc) then begin
-        incr deadish;
-        collect (seed + 1) acc n
-      end
-      else collect (seed + 1) (tc :: acc) (n - 1)
+  Pool.with_pool ~jobs @@ fun pool ->
+  (* phase 1: generation + liveness filter over candidate seeds, in
+     parallel batches consumed in seed order *)
+  let classify ~seed =
+    let tc, info = Generate.generate ~emi:true ~cfg:gcfg ~seed () in
+    if info.Generate.counter_sharing then Par.Reject `Sharing
+    else if not (live_emi tc) then Par.Reject `Dead
+    else Par.Accept tc
   in
-  let base_list = collect seed0 [] bases in
+  let base_list, rejects = Par.collect pool ~n:bases ~seed0 ~classify in
   let keys =
     List.concat_map
       (fun c -> [ (c.Config.id, false); (c.Config.id, true) ])
       configs
   in
+  (* phase 2: derive + prepare each base's variants (one task per base);
+     the prepared variants are then shared by that base's cells *)
+  let prepared_bases =
+    Pool.map pool
+      ~f:(fun base -> List.map Driver.prepare (Variant.variants ~base ~count:variants))
+      base_list
+  in
+  (* phase 3: one task per (base, config, opt-level) cell, base-major *)
+  let tasks =
+    List.concat_map
+      (fun vs ->
+        List.concat_map (fun c -> [ (vs, c, false); (vs, c, true) ]) configs)
+      prepared_bases
+  in
+  let cell_outcomes =
+    (* a cell's value is its variant outcome list; exceptions inside a cell
+       surface as a Crash outcome for that cell's variants *)
+    Pool.map_isolated pool
+      ~f:(fun (vs, c, opt) -> List.map (Driver.run_prepared ?fuel c ~opt) vs)
+      ~on_error:(fun e ->
+        [ Outcome.Crash ("harness: uncaught exception: " ^ Printexc.to_string e) ])
+      tasks
+  in
+  (* deterministic merge in task order *)
   let rows = Hashtbl.create 64 in
   List.iter (fun k -> Hashtbl.replace rows k zero_row) keys;
-  List.iter
-    (fun base ->
-      let vs =
-        List.map Driver.prepare (Variant.variants ~base ~count:variants)
-      in
-      List.iter
-        (fun c ->
-          List.iter
-            (fun opt ->
-              let key = (c.Config.id, opt) in
-              let outcomes = List.map (Driver.run_prepared c ~opt) vs in
-              let computed =
-                List.filter_map
-                  (function Outcome.Success s -> Some s | _ -> None)
-                  outcomes
-              in
-              let r = Hashtbl.find rows key in
-              let r =
-                if computed = [] then { r with base_fails = r.base_fails + 1 }
-                else begin
-                  let distinct = List.sort_uniq String.compare computed in
-                  let r =
-                    if List.length distinct > 1 then { r with w = r.w + 1 } else r
-                  in
-                  let has p = List.exists p outcomes in
-                  let r =
-                    if has (function Outcome.Build_failure _ -> true | _ -> false)
-                    then { r with bf = r.bf + 1 }
-                    else r
-                  in
-                  let r =
-                    if
-                      has (function
-                        | Outcome.Crash _ | Outcome.Machine_crash _ | Outcome.Ub _ ->
-                            true
-                        | _ -> false)
-                    then { r with c = r.c + 1 }
-                    else r
-                  in
-                  let r =
-                    if has (function Outcome.Timeout -> true | _ -> false) then
-                      { r with timeout = r.timeout + 1 }
-                    else r
-                  in
-                  if
-                    List.length computed = List.length outcomes
-                    && List.length distinct = 1
-                  then { r with stable = r.stable + 1 }
-                  else r
-                end
-              in
-              Hashtbl.replace rows key r)
-            [ false; true ])
-        configs)
-    base_list;
+  List.iter2
+    (fun (_, c, opt) outcomes ->
+      let key = (c.Config.id, opt) in
+      Hashtbl.replace rows key (apply_cell (Hashtbl.find rows key) outcomes))
+    tasks cell_outcomes;
   {
     bases_used = List.length base_list;
-    discarded_sharing = !sharing;
-    discarded_dead = !deadish;
+    discarded_sharing = Par.count rejects ~tag:`Sharing;
+    discarded_dead = Par.count rejects ~tag:`Dead;
     variants_per_base = variants;
     rows = List.map (fun k -> (k, Hashtbl.find rows k)) keys;
   }

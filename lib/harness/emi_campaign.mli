@@ -39,6 +39,8 @@ type t = {
 }
 
 val run :
+  ?jobs:int ->
+  ?fuel:int ->
   ?bases:int ->
   ?variants:int ->
   ?seed0:int ->
@@ -46,6 +48,8 @@ val run :
   unit ->
   t
 (** Defaults: 15 bases (paper: 180), 10 variants/base (paper: 40), the
-    above-threshold configurations. *)
+    above-threshold configurations. [jobs] sizes the execution pool
+    (default [Pool.recommended_jobs ()]); output is identical across
+    [jobs]. [fuel] is the per-task soft timeout. *)
 
 val to_table : t -> string

@@ -1,0 +1,40 @@
+type ('a, 'r) verdict = Accept of 'a | Reject of 'r
+
+let collect pool ~n ~seed0 ~classify =
+  let batch = max 8 (2 * Pool.jobs pool) in
+  (* scan verdicts in seed order; stop at the n-th acceptance so discard
+     tallies match the sequential loop exactly *)
+  let rec go seed acc rejects need =
+    if need = 0 then (List.rev acc, List.rev rejects)
+    else
+      let seeds = List.init batch (fun i -> seed + i) in
+      let verdicts = Pool.map pool ~f:(fun s -> classify ~seed:s) seeds in
+      scan (seed + batch) acc rejects need verdicts
+  and scan next_seed acc rejects need = function
+    | _ when need = 0 -> (List.rev acc, List.rev rejects)
+    | [] -> go next_seed acc rejects need
+    | Accept a :: rest -> scan next_seed (a :: acc) rejects (need - 1) rest
+    | Reject r :: rest -> scan next_seed acc (r :: rejects) need rest
+  in
+  if n <= 0 then ([], []) else go seed0 [] [] n
+
+let count rejects ~tag = List.length (List.filter (fun r -> r = tag) rejects)
+
+let crash_of_exn e =
+  Outcome.Crash ("harness: uncaught exception: " ^ Printexc.to_string e)
+
+let run_cells pool ~f cells = Pool.map_isolated pool ~f ~on_error:crash_of_exn cells
+
+let chunk size xs =
+  let rec take k acc = function
+    | rest when k = 0 -> (List.rev acc, rest)
+    | [] -> (List.rev acc, [])
+    | x :: rest -> take (k - 1) (x :: acc) rest
+  in
+  let rec go acc = function
+    | [] -> List.rev acc
+    | xs ->
+        let c, rest = take size [] xs in
+        go (c :: acc) rest
+  in
+  if size <= 0 then invalid_arg "Par.chunk" else go [] xs

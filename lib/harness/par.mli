@@ -1,0 +1,36 @@
+(** Parallel building blocks shared by the campaign drivers.
+
+    Everything here preserves the sequential drivers' observable output
+    bit-for-bit: work is dispatched to an execution pool but consumed in
+    stable task order, so a campaign's tables are identical across [-j]
+    values and across runs at the same seed. *)
+
+type ('a, 'r) verdict = Accept of 'a | Reject of 'r
+
+val collect :
+  Pool.t ->
+  n:int ->
+  seed0:int ->
+  classify:(seed:int -> ('a, 'r) verdict) ->
+  'a list * 'r list
+(** Evaluate candidate seeds [seed0, seed0+1, ...] in parallel batches and
+    scan the verdicts in seed order, exactly as the sequential
+    generate-and-filter loops did: the first [n] accepted candidates are
+    returned (in seed order) together with the rejection tags of every
+    seed consumed before the [n]-th acceptance. Seeds evaluated beyond
+    that point are discarded unobserved, so the result — including the
+    discard tallies — is independent of batch size and [-j]. [classify]
+    must be pure. *)
+
+val count : 'r list -> tag:'r -> int
+(** Occurrences of [tag] in a rejection list. *)
+
+val run_cells : Pool.t -> f:('a -> Outcome.t) -> 'a list -> Outcome.t list
+(** Map campaign cells through the pool with exception isolation: a cell
+    whose harness code raises becomes [Outcome.Crash] instead of killing
+    the campaign, while fatal exhaustion ([Out_of_memory],
+    [Stack_overflow]) is re-raised. Results are in input order. *)
+
+val chunk : int -> 'a list -> 'a list list
+(** Split into consecutive chunks of the given size (the last may be
+    shorter) — used to regroup a flat cell-result list by kernel. *)

@@ -799,7 +799,12 @@ let run_group (l : launch) g =
     Array.iter
       (function
         | Some (At_barrier (_, k)) -> (
-            try ignore (Effect.Deep.discontinue k Stdlib.Exit) with _ -> ())
+            (* unwinding a parked fiber can only legitimately raise the
+               injected Exit or a VM exception from the unwind path; let
+               Out_of_memory / Stack_overflow and friends surface instead
+               of being swallowed into a bogus "clean" cleanup *)
+            try ignore (Effect.Deep.discontinue k Stdlib.Exit)
+            with Stdlib.Exit | Rt_crash _ | Fuel_exhausted | Divergence _ -> ())
         | _ -> ())
       statuses
   in
@@ -814,7 +819,12 @@ let run_group (l : launch) g =
           | `Start ts ->
               let env = kernel_env ts in
               statuses.(i) <- Some (start_thread ts env)
-          | `Resume k -> statuses.(i) <- Some (Effect.Deep.continue k ())
+          | `Resume k ->
+              (* the continuation is consumed by [continue] even when the
+                 fiber raises (fuel exhaustion, VM crash): clear the slot
+                 first so [cleanup] never discontinues a resumed one *)
+              statuses.(i) <- None;
+              statuses.(i) <- Some (Effect.Deep.continue k ())
           | `Done -> ())
         order;
       (* classify the rendezvous *)

@@ -49,38 +49,44 @@ let std_pipeline ~rotate_zero_bug =
   ]
 
 (* Pass-pipeline results depend only on (optimising?, rotate bug?), so a
-   prepared test case caches the four possibilities lazily. *)
+   prepared test case caches the four possibilities on first use. The
+   caches are Memo cells, not Lazy, because a prepared kernel is shared by
+   every (config, opt-level) cell of a campaign and those cells run
+   concurrently on pool domains. *)
 type prepared = {
   tc : Ast.testcase;
-  feats : Features.t Lazy.t;
-  plain : Ast.program Lazy.t; (* no passes *)
-  rotate_only : Ast.program Lazy.t; (* Fig. 2(b) front-end folder at -O0 *)
-  optimized : Ast.program Lazy.t;
-  optimized_rotate : Ast.program Lazy.t;
+  feats : Features.t Memo.t;
+  plain : Ast.program Memo.t; (* no passes *)
+  rotate_only : Ast.program Memo.t; (* Fig. 2(b) front-end folder at -O0 *)
+  optimized : Ast.program Memo.t;
+  optimized_rotate : Ast.program Memo.t;
 }
 
 let prepare (tc : Ast.testcase) =
   {
     tc;
-    feats = lazy (Features.of_testcase tc);
-    plain = lazy tc.Ast.prog;
+    feats = Memo.make (fun () -> Features.of_testcase tc);
+    plain = Memo.of_val tc.Ast.prog;
     rotate_only =
-      lazy (Pass.pipeline [ Const_fold.pass ~rotate_zero_bug:true () ] tc.Ast.prog);
+      Memo.make (fun () ->
+          Pass.pipeline [ Const_fold.pass ~rotate_zero_bug:true () ] tc.Ast.prog);
     optimized =
-      lazy (Pass.pipeline (std_pipeline ~rotate_zero_bug:false) tc.Ast.prog);
+      Memo.make (fun () ->
+          Pass.pipeline (std_pipeline ~rotate_zero_bug:false) tc.Ast.prog);
     optimized_rotate =
-      lazy (Pass.pipeline (std_pipeline ~rotate_zero_bug:true) tc.Ast.prog);
+      Memo.make (fun () ->
+          Pass.pipeline (std_pipeline ~rotate_zero_bug:true) tc.Ast.prog);
   }
 
 let testcase_of p = p.tc
-let features_of_prepared p = Lazy.force p.feats
+let features_of_prepared p = Memo.force p.feats
 
 let compiled (c : Config.t) ~opt (p : prepared) =
   let rotate = has_buggy_rotate c ~opt in
   if opt && c.Config.optimizes then
-    Lazy.force (if rotate then p.optimized_rotate else p.optimized)
-  else if rotate then Lazy.force p.rotate_only
-  else Lazy.force p.plain
+    Memo.force (if rotate then p.optimized_rotate else p.optimized)
+  else if rotate then Memo.force p.rotate_only
+  else Memo.force p.plain
 
 let apply_wrong_code ?noise (c : Config.t) ~opt feats prog =
   let faults = faults_of ?noise c ~opt in
@@ -140,19 +146,23 @@ let runtime_fate ?noise (c : Config.t) ~opt feats : Outcome.t option =
   in
   scan 0 faults
 
-let interp_config (c : Config.t) profile =
+let interp_config ?fuel (c : Config.t) profile =
   {
     Interp.default_config with
     Interp.schedule = Sched.Seeded c.Config.id;
     profile;
+    fuel =
+      (match fuel with
+      | Some f -> f
+      | None -> Interp.default_config.Interp.fuel);
   }
 
 let compiled_program (c : Config.t) ~opt (tc : Ast.testcase) =
   let p = prepare tc in
-  apply_wrong_code c ~opt (Lazy.force p.feats) (compiled c ~opt p)
+  apply_wrong_code c ~opt (Memo.force p.feats) (compiled c ~opt p)
 
-let run_prepared ?noise (c : Config.t) ~opt (p : prepared) : Outcome.t =
-  let feats = Lazy.force p.feats in
+let run_prepared ?noise ?fuel (c : Config.t) ~opt (p : prepared) : Outcome.t =
+  let feats = Memo.force p.feats in
   match front_end ?noise c ~opt feats with
   | Some o -> o
   | None -> (
@@ -163,7 +173,7 @@ let run_prepared ?noise (c : Config.t) ~opt (p : prepared) : Outcome.t =
           let profile = assemble_profile ?noise c ~opt feats in
           let outcome =
             Interp.run_outcome
-              ~config:(interp_config c profile)
+              ~config:(interp_config ?fuel c profile)
               { p.tc with Ast.prog }
           in
           (* a real device does not diagnose UB: it just misbehaves *)

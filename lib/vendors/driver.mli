@@ -19,17 +19,24 @@
 type prepared
 (** A test case with its feature vector and pass-pipeline results cached:
     features and the optimised program are shared by every configuration,
-    so campaigns prepare once and run many. *)
+    so campaigns prepare once and run many. The caches are domain-safe
+    ({!Memo}), so one prepared kernel may be run concurrently from every
+    domain of an execution pool. *)
 
 val prepare : Ast.testcase -> prepared
 val testcase_of : prepared -> Ast.testcase
 val features_of_prepared : prepared -> Features.t
 
-val run_prepared : ?noise:bool -> Config.t -> opt:bool -> prepared -> Outcome.t
+val run_prepared :
+  ?noise:bool -> ?fuel:int -> Config.t -> opt:bool -> prepared -> Outcome.t
 (** [noise:false] considers only deterministic faults (gate rate >= 1.0) —
     used when demonstrating a specific reduced bug exhibit, where the
     paper's investigation likewise separated the bug under study from
-    unrelated transient failures. Default [true]. *)
+    unrelated transient failures. Default [true].
+
+    [fuel] overrides the interpreter's per-thread step budget — the
+    campaigns' per-task soft timeout. Exhaustion yields a deterministic
+    [Outcome.Timeout]; the execution pool never kills a task. *)
 
 val run : ?noise:bool -> Config.t -> opt:bool -> Ast.testcase -> Outcome.t
 (** [prepare] + [run_prepared]. *)

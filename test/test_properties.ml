@@ -1,0 +1,148 @@
+(* Property-test layer over the kernel pipeline (QCheck over generator
+   seeds):
+
+   (a) every generated test case pretty-prints totally and
+       deterministically and (re-)typechecks — the printed text is what a
+       real campaign would hand to a vendor compiler;
+   (b) each optimisation pass in isolation preserves the reference
+       interpreter's output on a small NDRange — the guarantee that makes
+       an optimising configuration's disagreement a compiler bug, not a
+       pipeline bug;
+   (c) EMI-pruned variants agree with their parent kernel — the paper's
+       core metamorphic invariant (every EMI block is dead by
+       construction, so pruning it cannot change the output). *)
+
+let rand () = Random.State.make [| 0x5eed |]
+
+let seed_arb lo hi =
+  QCheck.make ~print:(fun s -> "generator seed " ^ string_of_int s)
+    QCheck.Gen.(lo -- hi)
+
+(* a small NDRange so a property check costs milliseconds, not seconds *)
+let small_cfg mode =
+  {
+    (Gen_config.scaled mode) with
+    Gen_config.min_threads = 4;
+    max_threads = 12;
+    max_group_linear = 4;
+  }
+
+(* generous fuel: transformed kernels may do more work before the budget
+   runs out (cf. test_opt) *)
+let run_config = { Interp.default_config with Interp.fuel = 3_000_000 }
+
+(* --- (a) pp / typecheck totality and determinism, ~200 kernels/mode --- *)
+
+let pp_roundtrip_test mode =
+  QCheck.Test.make ~count:200
+    ~name:(Printf.sprintf "pp+retypecheck [%s]" (Gen_config.mode_name mode))
+    (seed_arb 100_000 1_000_000)
+    (fun seed ->
+      let tc, _info = Generate.generate ~cfg:(Gen_config.scaled mode) ~seed () in
+      (match Typecheck.check_testcase tc with
+      | Ok () -> ()
+      | Error m -> QCheck.Test.fail_reportf "ill-typed at seed %d: %s" seed m);
+      let printed = Pp.testcase_to_string tc in
+      if String.length printed = 0 then
+        QCheck.Test.fail_reportf "empty print at seed %d" seed;
+      (* printing is a pure function of the AST *)
+      if not (String.equal printed (Pp.testcase_to_string tc)) then
+        QCheck.Test.fail_reportf "non-deterministic print at seed %d" seed;
+      (* the full prelude form is printable too *)
+      String.length (Pp.program_to_string ~with_prelude:true tc.Ast.prog) > 0)
+
+(* --- (b) each pass alone preserves reference semantics --- *)
+
+let passes () =
+  [
+    ("const_fold", Const_fold.pass ());
+    ("simplify", Simplify.pass ());
+    ("unroll", Unroll.pass ());
+    ("dce", Dce.pass ());
+  ]
+
+let pass_preservation_test mode =
+  QCheck.Test.make ~count:8
+    ~name:(Printf.sprintf "passes preserve semantics [%s]" (Gen_config.mode_name mode))
+    (seed_arb 200_000 400_000)
+    (fun seed ->
+      let tc, info = Generate.generate ~cfg:(small_cfg mode) ~seed () in
+      if info.Generate.counter_sharing then true (* discarded, as campaigns do *)
+      else begin
+        let before = Interp.run_outcome ~config:run_config tc in
+        List.iter
+          (fun (name, pass) ->
+            let prog' = pass.Pass.run tc.Ast.prog in
+            (match Typecheck.check_program prog' with
+            | Ok () -> ()
+            | Error m ->
+                QCheck.Test.fail_reportf "[%s seed %d] %s output ill-typed: %s"
+                  (Gen_config.mode_name mode) seed name m);
+            let after =
+              Interp.run_outcome ~config:run_config { tc with Ast.prog = prog' }
+            in
+            if not (Outcome.equal before after) then
+              QCheck.Test.fail_reportf
+                "[%s seed %d] pass %s changed semantics:\n%s\nvs\n%s"
+                (Gen_config.mode_name mode) seed name
+                (Outcome.to_string before) (Outcome.to_string after))
+          (passes ());
+        true
+      end)
+
+(* --- (c) the EMI metamorphic invariant --- *)
+
+let emi_invariant_test =
+  QCheck.Test.make ~count:12 ~name:"EMI-pruned variants agree with parent"
+    (seed_arb 500_000 700_000)
+    (fun seed ->
+      let base, info =
+        Generate.generate ~emi:true ~cfg:(small_cfg Gen_config.All) ~seed ()
+      in
+      if info.Generate.counter_sharing then true
+      else
+        match Interp.run_outcome ~config:run_config base with
+        | Outcome.Success expected ->
+            List.iteri
+              (fun i v ->
+                match Interp.run_outcome ~config:run_config v with
+                | Outcome.Success got when String.equal got expected -> ()
+                | o ->
+                    QCheck.Test.fail_reportf
+                      "[seed %d] variant %d diverged from parent: %s vs \
+                       Success %s"
+                      seed i (Outcome.to_string o) expected)
+              (Variant.variants ~base ~count:3);
+            true
+        | _ ->
+            (* a base that doesn't compute a value on the reference device
+               is not a usable EMI parent; campaigns filter these out *)
+            true)
+
+(* variant derivation itself is deterministic in (base, params, seed) *)
+let emi_derivation_deterministic_test =
+  QCheck.Test.make ~count:12 ~name:"EMI derivation deterministic"
+    (seed_arb 500_000 700_000)
+    (fun seed ->
+      let base, _ =
+        Generate.generate ~emi:true ~cfg:(small_cfg Gen_config.All) ~seed ()
+      in
+      let params = List.hd Prune.paper_combinations in
+      let d = Task_seed.derive ~base:seed ~index:0 land 0xFFFF in
+      let v1 = Variant.derive ~base ~params ~seed:d in
+      let v2 = Variant.derive ~base ~params ~seed:d in
+      String.equal
+        (Pp.program_to_string v1.Ast.prog)
+        (Pp.program_to_string v2.Ast.prog))
+
+let qtest t = QCheck_alcotest.to_alcotest ~rand:(rand ()) t
+
+let () =
+  Alcotest.run "properties"
+    [
+      ("pp-roundtrip", List.map (fun m -> qtest (pp_roundtrip_test m)) Gen_config.all_modes);
+      ( "pass-preservation",
+        List.map (fun m -> qtest (pass_preservation_test m)) Gen_config.all_modes );
+      ( "emi-invariant",
+        [ qtest emi_invariant_test; qtest emi_derivation_deterministic_test ] );
+    ]

@@ -101,6 +101,37 @@ let test_generated_kernels_race_free () =
       done)
     Gen_config.all_modes
 
+let test_detection_pool_j_independent () =
+  (* the racy-schedule path (detect_races on, racy and clean kernels mixed)
+     run as pool tasks: reports must not depend on -j *)
+  let tcs =
+    List.concat_map
+      (fun (b : Suite.benchmark) -> [ b.Suite.testcase () ])
+      Suite.all
+    @ List.filter_map
+        (fun seed ->
+          let tc, info =
+            Generate.generate ~cfg:(Gen_config.scaled Gen_config.Barrier) ~seed ()
+          in
+          if info.Generate.counter_sharing then None else Some tc)
+        [ 910; 911; 912 ]
+  in
+  let reports jobs =
+    Pool.with_pool ~jobs (fun pool ->
+        Pool.map pool tcs ~f:(fun tc ->
+            List.map Race.race_to_string (races tc)))
+  in
+  let reference = reports 1 in
+  List.iter
+    (fun j ->
+      List.iteri
+        (fun i rs ->
+          Alcotest.(check (list string))
+            (Printf.sprintf "-j %d kernel %d" j i)
+            (List.nth reference i) rs)
+        (reports j))
+    [ 2; 4 ]
+
 let test_benchmark_races () =
   List.iter
     (fun (b : Suite.benchmark) ->
@@ -129,5 +160,7 @@ let () =
           Alcotest.test_case "generated kernels race-free" `Slow
             test_generated_kernels_race_free;
           Alcotest.test_case "spmv/myocyte rediscovered" `Quick test_benchmark_races;
+          Alcotest.test_case "detection -j independent under pool" `Slow
+            test_detection_pool_j_independent;
         ] );
     ]
