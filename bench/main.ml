@@ -234,14 +234,27 @@ let scaling () =
     (float cells /. t_par);
   Printf.printf "tables byte-identical across -j: %b\n" identical;
   if not identical then prerr_endline "ERROR: parallel output diverged from sequential";
-  Printf.printf
-    "BENCH-JSON {\"bench\":\"campaign_parallel_scaling\",\"kernels_per_mode\":%d,\
-     \"cells\":%d,\"jobs\":%d,\"t_j1_s\":%.3f,\"t_jN_s\":%.3f,\"cells_per_s_j1\":%.1f,\
-     \"cells_per_s_jN\":%.1f,\"speedup\":%.2f,\"identical\":%b}\n"
-    per_mode cells n_jobs t_seq t_par
-    (float cells /. t_seq)
-    (float cells /. t_par)
-    (t_seq /. t_par) identical
+  let payload =
+    Printf.sprintf
+      "{\"bench\":\"campaign_parallel_scaling\",\"kernels_per_mode\":%d,\
+       \"cells\":%d,\"jobs\":%d,\"t_j1_s\":%.3f,\"t_jN_s\":%.3f,\
+       \"cells_per_s_j1\":%.1f,\"cells_per_s_jN\":%.1f,\"speedup\":%.2f,\
+       \"identical\":%b}"
+      per_mode cells n_jobs t_seq t_par
+      (float cells /. t_seq)
+      (float cells /. t_par)
+      (t_seq /. t_par) identical
+  in
+  Printf.printf "BENCH-JSON %s\n" payload;
+  (* persist the measurement next to the sources so successive revisions
+     leave a comparable trail (key order is fixed; no wall-clock stamps) *)
+  (try
+     let oc = open_out "BENCH_scaling.json" in
+     output_string oc (payload ^ "\n");
+     close_out oc;
+     Printf.printf "scaling record written to BENCH_scaling.json\n"
+   with Sys_error m ->
+     Printf.eprintf "could not write BENCH_scaling.json: %s\n" m)
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel microbenchmarks                                            *)

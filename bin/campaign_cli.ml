@@ -1,10 +1,38 @@
 (* campaign: run any of the paper's experiments from the command line.
 
    Subcommands mirror the per-experiment index of DESIGN.md:
-     table1 | table2 | table3 | table4 | table5 | figure1 | figure2 | races
-   with -n to scale the sample sizes. *)
+     table1 | table2 | table3 | table4 | table5 | figure1 | figure2
+     | races | reduce | triage
+   with -n to scale the sample sizes. The table campaigns persist their
+   cells to a crash-safe journal (--journal FILE), continue interrupted or
+   smaller runs (--resume), and archive their distinct-bug witnesses to a
+   content-addressed corpus (--corpus DIR); triage deduplicates a journal
+   into buckets. Every subcommand exits nonzero on failure. *)
 
 open Cmdliner
+
+let fail fmt = Printf.ksprintf (fun m -> prerr_endline ("campaign: " ^ m); 1) fmt
+
+(* every subcommand renders its report into a string and emits it here *)
+let emit out text =
+  match out with
+  | None ->
+      print_string text;
+      0
+  | Some path -> (
+      try
+        let oc = open_out path in
+        output_string oc text;
+        close_out oc;
+        0
+      with Sys_error m -> fail "%s" m)
+
+let out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "o"; "out" ] ~docv:"FILE"
+        ~doc:"Write the report to $(docv) instead of stdout.")
 
 let n_arg default doc = Arg.(value & opt int default & info [ "n" ] ~doc)
 
@@ -27,84 +55,248 @@ let fuel_arg =
           "Per-task soft timeout: the interpreter's per-thread step budget. \
            Exhaustion is counted as a timeout.")
 
+let journal_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "journal" ] ~docv:"FILE"
+        ~doc:
+          "Persist every completed cell to a crash-safe JSONL journal at \
+           $(docv), appended and flushed in deterministic task order.")
+
+let resume_arg =
+  Arg.(
+    value & flag
+    & info [ "resume" ]
+        ~doc:
+          "Replay the journal named by $(b,--journal) first: cells already \
+           recorded are not re-executed, only the remainder runs, and the \
+           finished run (table and rewritten journal) is byte-identical to \
+           an uninterrupted one. The journal's campaign parameters must \
+           match; sample sizes (-n) may differ.")
+
+let corpus_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "corpus" ] ~docv:"DIR"
+        ~doc:
+          "Archive each distinct-bug bucket's exemplar kernel to the \
+           content-addressed corpus at $(docv).")
+
+(* run [k sink resumed_cells] under the requested journal plumbing *)
+let with_journal ~header ~journal ~resume k =
+  match (journal, resume) with
+  | None, true -> Error "--resume requires --journal FILE"
+  | None, false -> Ok (k None [])
+  | Some path, false -> (
+      try
+        let w = Journal.create ~path header in
+        let r = k (Some (Journal.write_cell w)) [] in
+        Journal.commit w;
+        Ok r
+      with Sys_error m -> Error m)
+  | Some path, true -> (
+      match Journal.resume ~path header with
+      | Error e -> Error (Journal.error_to_string e)
+      | Ok (w, cells) -> (
+          try
+            let r = k (Some (Journal.write_cell w)) cells in
+            Journal.commit w;
+            Ok r
+          with Sys_error m -> Error m))
+
+let archive ~dir ~header ~cells report =
+  match Triage.of_journal header cells with
+  | Error m -> Error m
+  | Ok buckets -> (
+      match Corpus.add_all ~dir (Triage.corpus_entries buckets) with
+      | Error m -> Error m
+      | Ok added ->
+          Ok
+            (report
+            ^ Printf.sprintf "corpus: %d new of %d exemplars in %s\n" added
+                (List.length buckets) dir))
+
 let table1_cmd =
-  let run n jobs =
-    let t = Classify.run ~jobs ~per_mode:n () in
-    print_endline (Classify.to_table t);
-    let a, total = Classify.agreement_with_paper t in
-    Printf.printf "classification agreement with the paper's Table 1: %d/%d\n" a total
+  let run n jobs fuel journal resume out =
+    let header = Classify.journal_header ?fuel ~per_mode:n () in
+    match
+      with_journal ~header ~journal ~resume (fun sink cells ->
+          Classify.run ~jobs ?fuel ~per_mode:n ?sink ~resume:cells ())
+    with
+    | Error m -> fail "%s" m
+    | Ok t ->
+        let a, total = Classify.agreement_with_paper t in
+        emit out
+          (Classify.to_table t ^ "\n"
+          ^ Printf.sprintf
+              "classification agreement with the paper's Table 1: %d/%d\n" a
+              total)
   in
   Cmd.v (Cmd.info "table1" ~doc:"Initial testing and reliability threshold")
-    Term.(const run $ n_arg 10 "initial kernels per mode (paper: 100)" $ jobs_arg)
+    Term.(
+      const run
+      $ n_arg 10 "initial kernels per mode (paper: 100)"
+      $ jobs_arg $ fuel_arg $ journal_arg $ resume_arg $ out_arg)
 
 let table2_cmd =
-  let run () = print_endline (Suite.table2 ()) in
-  Cmd.v (Cmd.info "table2" ~doc:"Benchmark suite summary") Term.(const run $ const ())
+  let run out = emit out (Suite.table2 () ^ "\n") in
+  Cmd.v (Cmd.info "table2" ~doc:"Benchmark suite summary") Term.(const run $ out_arg)
 
 let table3_cmd =
-  let run n jobs fuel =
-    print_endline (Bench_emi.to_table (Bench_emi.run ~jobs ?fuel ~variants:n ()))
+  let run n jobs fuel journal resume out =
+    let header = Bench_emi.journal_header ?fuel ~variants:n () in
+    match
+      with_journal ~header ~journal ~resume (fun sink cells ->
+          Bench_emi.run ~jobs ?fuel ~variants:n ?sink ~resume:cells ())
+    with
+    | Error m -> fail "%s" m
+    | Ok t -> emit out (Bench_emi.to_table t ^ "\n")
   in
   Cmd.v (Cmd.info "table3" ~doc:"EMI testing over the Parboil/Rodinia ports")
     Term.(
       const run
       $ n_arg 12 "EMI variants per benchmark (paper: 125)"
-      $ jobs_arg $ fuel_arg)
+      $ jobs_arg $ fuel_arg $ journal_arg $ resume_arg $ out_arg)
 
 let table4_cmd =
-  let run n jobs fuel =
-    print_endline (Campaign.to_table (Campaign.run ~jobs ?fuel ~per_mode:n ()))
+  let run n jobs fuel journal resume corpus out =
+    let header = Campaign.journal_header ?fuel ~per_mode:n () in
+    (* the corpus is populated from the run's own cell stream, so it works
+       with or without a journal *)
+    let collected = ref [] in
+    let collect sink =
+      match (corpus, sink) with
+      | None, s -> s
+      | Some _, None -> Some (fun c -> collected := c :: !collected)
+      | Some _, Some s ->
+          Some
+            (fun c ->
+              collected := c :: !collected;
+              s c)
+    in
+    match
+      with_journal ~header ~journal ~resume (fun sink cells ->
+          Campaign.run ~jobs ?fuel ~per_mode:n ?sink:(collect sink)
+            ~resume:cells ())
+    with
+    | Error m -> fail "%s" m
+    | Ok t -> (
+        let report = Campaign.to_table t ^ "\n" in
+        match corpus with
+        | None -> emit out report
+        | Some dir -> (
+            match archive ~dir ~header ~cells:(List.rev !collected) report with
+            | Error m -> fail "corpus: %s" m
+            | Ok report -> emit out report))
   in
   Cmd.v (Cmd.info "table4" ~doc:"Intensive CLsmith differential testing")
     Term.(
-      const run $ n_arg 60 "kernels per mode (paper: 10000)" $ jobs_arg $ fuel_arg)
+      const run
+      $ n_arg 60 "kernels per mode (paper: 10000)"
+      $ jobs_arg $ fuel_arg $ journal_arg $ resume_arg $ corpus_arg $ out_arg)
 
 let table5_cmd =
-  let run n v jobs fuel =
-    print_endline
-      (Emi_campaign.to_table (Emi_campaign.run ~jobs ?fuel ~bases:n ~variants:v ()))
+  let run n v jobs fuel journal resume out =
+    let header = Emi_campaign.journal_header ?fuel ~bases:n ~variants:v () in
+    match
+      with_journal ~header ~journal ~resume (fun sink cells ->
+          Emi_campaign.run ~jobs ?fuel ~bases:n ~variants:v ?sink ~resume:cells
+            ())
+    with
+    | Error m -> fail "%s" m
+    | Ok t -> emit out (Emi_campaign.to_table t ^ "\n")
   in
   Cmd.v (Cmd.info "table5" ~doc:"CLsmith+EMI metamorphic testing")
     Term.(
       const run
       $ n_arg 15 "base programs (paper: 180)"
-      $ Arg.(value & opt int 10 & info [ "variants" ] ~doc:"variants per base (paper: 40)")
-      $ jobs_arg $ fuel_arg)
+      $ Arg.(
+          value & opt int 10
+          & info [ "variants" ] ~doc:"variants per base (paper: 40)")
+      $ jobs_arg $ fuel_arg $ journal_arg $ resume_arg $ out_arg)
+
+let triage_cmd =
+  let run path corpus out =
+    match Journal.load ~path with
+    | Error e -> fail "%s: %s" path (Journal.error_to_string e)
+    | Ok (header, cells, truncated) -> (
+        if truncated then
+          prerr_endline
+            "campaign: warning: journal ended in a torn line (interrupted \
+             run); triaging the clean prefix";
+        match Triage.of_journal header cells with
+        | Error m -> fail "%s" m
+        | Ok buckets -> (
+            let report = Triage.to_table header buckets ^ "\n" in
+            match corpus with
+            | None -> emit out report
+            | Some dir -> (
+                match Corpus.add_all ~dir (Triage.corpus_entries buckets) with
+                | Error m -> fail "corpus: %s" m
+                | Ok added ->
+                    emit out
+                      (report
+                      ^ Printf.sprintf "corpus: %d new of %d exemplars in %s\n"
+                          added (List.length buckets) dir))))
+  in
+  Cmd.v
+    (Cmd.info "triage"
+       ~doc:
+         "Deduplicate a journal's findings into distinct-bug buckets \
+          (outcome class x configuration x opt level x trigger-feature \
+          signature), with one exemplar kernel per bucket")
+    Term.(
+      const run
+      $ Arg.(
+          required
+          & pos 0 (some string) None
+          & info [] ~docv:"JOURNAL" ~doc:"journal file to triage")
+      $ corpus_arg $ out_arg)
 
 let figure_cmd name exhibits doc =
-  let run verbose =
+  let run verbose out =
     if verbose then
-      List.iter (fun e -> print_endline (Exhibit.demonstrate e)) exhibits
-    else print_endline (Exhibit.summary_table exhibits)
+      emit out
+        (String.concat "\n" (List.map Exhibit.demonstrate exhibits) ^ "\n")
+    else emit out (Exhibit.summary_table exhibits ^ "\n")
   in
   Cmd.v (Cmd.info name ~doc)
-    Term.(const run $ Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"print kernels"))
+    Term.(
+      const run
+      $ Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"print kernels")
+      $ out_arg)
 
 let races_cmd =
-  let run () =
+  let run out =
+    let b = Buffer.create 256 in
     List.iter
-      (fun (b : Suite.benchmark) ->
+      (fun (bm : Suite.benchmark) ->
         let r =
           Interp.run
             ~config:{ Interp.default_config with Interp.detect_races = true }
-            (b.Suite.testcase ())
+            (bm.Suite.testcase ())
         in
-        Printf.printf "%-11s %s\n" b.Suite.name
-          (match r.Interp.races with
-          | [] -> "race-free"
-          | race :: _ -> Race.race_to_string race))
-      Suite.all
+        Buffer.add_string b
+          (Printf.sprintf "%-11s %s\n" bm.Suite.name
+             (match r.Interp.races with
+             | [] -> "race-free"
+             | race :: _ -> Race.race_to_string race)))
+      Suite.all;
+    emit out (Buffer.contents b)
   in
   Cmd.v
     (Cmd.info "races"
        ~doc:"Race-detect the benchmark suite (rediscovers the spmv/myocyte races)")
-    Term.(const run $ const ())
+    Term.(const run $ out_arg)
 
 let reduce_cmd =
-  let run seed config_id opt =
+  let run seed config_id opt out =
     let cfg = Gen_config.scaled Gen_config.All in
     let tc, info = Generate.generate ~cfg ~seed () in
-    if info.Generate.counter_sharing then print_endline "kernel discarded (counter sharing)"
+    if info.Generate.counter_sharing then
+      fail "seed %d discarded (counter sharing); try another seed" seed
     else begin
       let c = Config.find config_id in
       let reference tc = Driver.reference_outcome tc in
@@ -114,16 +306,18 @@ let reduce_cmd =
         | _ -> false
       in
       if not (interesting tc) then
-        Printf.printf
-          "config %d%s compiles seed %d correctly; try another seed\n" config_id
-          (if opt then "+" else "-") seed
+        fail "config %d%s compiles seed %d correctly; try another seed"
+          config_id
+          (if opt then "+" else "-")
+          seed
       else begin
         let reduced, stats = Reduce.reduce ~interesting tc in
-        Printf.printf
-          "reduced from %d to %d statements (%d attempts, %d steps)\n\n"
-          stats.Reduce.initial_stmts stats.Reduce.final_stmts
-          stats.Reduce.attempts stats.Reduce.accepted;
-        print_string (Pp.program_to_string reduced.Ast.prog)
+        emit out
+          (Printf.sprintf
+             "reduced from %d to %d statements (%d attempts, %d steps)\n\n"
+             stats.Reduce.initial_stmts stats.Reduce.final_stmts
+             stats.Reduce.attempts stats.Reduce.accepted
+          ^ Pp.program_to_string reduced.Ast.prog)
       end
     end
   in
@@ -132,15 +326,17 @@ let reduce_cmd =
       const run
       $ Arg.(value & opt int 1 & info [ "seed" ] ~doc:"generator seed")
       $ Arg.(value & opt int 19 & info [ "config" ] ~doc:"configuration id")
-      $ Arg.(value & flag & info [ "opt" ] ~doc:"optimisations on"))
+      $ Arg.(value & flag & info [ "opt" ] ~doc:"optimisations on")
+      $ out_arg)
 
 let () =
   exit
-    (Cmd.eval
+    (Cmd.eval'
        (Cmd.group
           (Cmd.info "campaign" ~doc:"Reproduce the paper's experiments")
           [
             table1_cmd; table2_cmd; table3_cmd; table4_cmd; table5_cmd;
+            triage_cmd;
             figure_cmd "figure1" Exhibit.figure1 "Figure 1 bug exhibits";
             figure_cmd "figure2" Exhibit.figure2 "Figure 2 bug exhibits";
             races_cmd; reduce_cmd;

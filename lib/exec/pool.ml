@@ -54,27 +54,42 @@ let with_pool ~jobs f =
 
 (* Jobs enqueued by [try_map] never raise: each stores its own result (or
    captured exception) and signals completion, so a worker domain can
-   never die mid-batch. *)
-let try_map t ~f xs =
+   never die mid-batch.
+
+   [on_result] is the persistence hook: it runs in the submitting domain
+   only, and is handed the ready prefix of the result array in index
+   order as it grows — never out of order, regardless of completion
+   order — so a journal written from it is a deterministic prefix of the
+   batch at every instant. *)
+let try_map ?on_result t ~f xs =
   let tasks = Array.of_list xs in
   let n = Array.length tasks in
+  let emit i r = match on_result with Some cb -> cb i r | None -> () in
   if n = 0 then []
   else if t.jobs = 1 then
-    List.map (fun x -> try Ok (f x) with e -> Error e) xs
+    (* explicit recursion: the callback must fire in index order, which
+       List.map's unspecified evaluation order does not promise *)
+    let rec seq i acc = function
+      | [] -> List.rev acc
+      | x :: rest ->
+          let r = try Ok (f x) with e -> Error e in
+          emit i r;
+          seq (i + 1) (r :: acc) rest
+    in
+    seq 0 [] xs
   else begin
     let results = Array.make n None in
-    let remaining = Atomic.make n in
-    let done_m = Mutex.create () and all_done = Condition.create () in
+    let done_m = Mutex.create () and progress = Condition.create () in
+    (* the ready-prefix cursor: owned by the submitting domain *)
+    let next = ref 0 in
     let job i () =
       let r = try Ok (f tasks.(i)) with e -> Error e in
+      (* publish under the lock: the submitter reads [results] under the
+         same lock, which also orders the write before the wakeup *)
+      Mutex.lock done_m;
       results.(i) <- Some r;
-      if Atomic.fetch_and_add remaining (-1) = 1 then begin
-        (* last task: wake the submitter (broadcast under the lock so the
-           wakeup cannot be lost between its predicate check and wait) *)
-        Mutex.lock done_m;
-        Condition.broadcast all_done;
-        Mutex.unlock done_m
-      end
+      Condition.broadcast progress;
+      Mutex.unlock done_m
     in
     Mutex.lock t.m;
     for i = 0 to n - 1 do
@@ -82,7 +97,22 @@ let try_map t ~f xs =
     done;
     Condition.broadcast t.work_available;
     Mutex.unlock t.m;
-    (* the submitting domain is a runner too: help drain the queue *)
+    (* flush the ready prefix: collect under the lock, call back outside
+       it so a slow [on_result] (journal IO) never blocks the workers *)
+    let flush_ready () =
+      Mutex.lock done_m;
+      let ready = ref [] in
+      while !next < n && results.(!next) <> None do
+        (match results.(!next) with
+        | Some r -> ready := (!next, r) :: !ready
+        | None -> assert false);
+        incr next
+      done;
+      Mutex.unlock done_m;
+      List.iter (fun (i, r) -> emit i r) (List.rev !ready)
+    in
+    (* the submitting domain is a runner too: help drain the queue,
+       flushing completed results between tasks *)
     let rec help () =
       Mutex.lock t.m;
       match Queue.take_opt t.queue with
@@ -90,14 +120,23 @@ let try_map t ~f xs =
       | Some job ->
           Mutex.unlock t.m;
           job ();
+          flush_ready ();
           help ()
     in
     help ();
-    Mutex.lock done_m;
-    while Atomic.get remaining > 0 do
-      Condition.wait all_done done_m
+    (* wait for stragglers, flushing each time the prefix grows; the loop
+       terminates because every task eventually stores its result and
+       broadcasts *)
+    while
+      flush_ready ();
+      !next < n
+    do
+      Mutex.lock done_m;
+      while results.(!next) = None do
+        Condition.wait progress done_m
+      done;
+      Mutex.unlock done_m
     done;
-    Mutex.unlock done_m;
     Array.to_list
       (Array.map (function Some r -> r | None -> assert false) results)
   end
@@ -108,10 +147,25 @@ let map t ~f xs =
 
 let is_fatal = function Out_of_memory | Stack_overflow -> true | _ -> false
 
-let map_isolated t ~f ~on_error xs =
+let map_isolated ?on_result t ~f ~on_error xs =
+  let on_result =
+    Option.map
+      (fun cb ->
+        (* a fatal result is about to abort the whole batch: withhold it
+           and everything after it from the sink, so a journal ends in a
+           clean prefix at the point of resource exhaustion *)
+        let poisoned = ref false in
+        fun i r ->
+          if not !poisoned then
+            match r with
+            | Ok v -> cb i v
+            | Error e when is_fatal e -> poisoned := true
+            | Error e -> cb i (on_error e))
+      on_result
+  in
   List.map
     (function
       | Ok v -> v
       | Error e when is_fatal e -> raise e
       | Error e -> on_error e)
-    (try_map t ~f xs)
+    (try_map ?on_result t ~f xs)

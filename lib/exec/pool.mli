@@ -44,19 +44,43 @@ val shutdown : t -> unit
 val with_pool : jobs:int -> (t -> 'a) -> 'a
 (** [create], run, [shutdown] (also on exception). *)
 
-val try_map : t -> f:('a -> 'b) -> 'a list -> ('b, exn) result list
+val try_map :
+  ?on_result:(int -> ('b, exn) result -> unit) ->
+  t ->
+  f:('a -> 'b) ->
+  'a list ->
+  ('b, exn) result list
 (** Run [f] over every element in parallel; the result list is in input
     order regardless of completion order. Exceptions raised by [f] are
-    captured per-task. *)
+    captured per-task.
+
+    [on_result] is the streaming persistence hook: it is invoked in the
+    {e submitting} domain, strictly in index order, as the ready prefix
+    of results grows — a result is delivered as soon as it and all of
+    its predecessors have completed, not when the whole batch has. A
+    journal written from it is therefore always a clean, deterministic
+    prefix of the batch, which is what makes a crashed campaign
+    resumable. An exception raised by the callback propagates to the
+    caller. *)
 
 val map : t -> f:('a -> 'b) -> 'a list -> 'b list
 (** [try_map] that re-raises the first captured exception (in task order,
     so even failure is deterministic) once every task has finished. *)
 
-val map_isolated : t -> f:('a -> 'b) -> on_error:(exn -> 'b) -> 'a list -> 'b list
+val map_isolated :
+  ?on_result:(int -> 'b -> unit) ->
+  t ->
+  f:('a -> 'b) ->
+  on_error:(exn -> 'b) ->
+  'a list ->
+  'b list
 (** Exception-isolating map: a task that raised yields [on_error e] — the
     campaigns map harness-level exceptions to a crash cell — except for
-    fatal exhaustion ({!is_fatal}), which is re-raised in task order. *)
+    fatal exhaustion ({!is_fatal}), which is re-raised in task order.
+    [on_result] streams isolated results exactly like {!try_map}'s hook,
+    except that a fatal failure stops the stream at its index: the cells
+    after it are computed but never delivered, so a sink sees a clean
+    prefix ending where the batch will abort. *)
 
 val is_fatal : exn -> bool
 (** [Out_of_memory] and [Stack_overflow]: conditions that must surface to

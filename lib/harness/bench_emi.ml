@@ -7,6 +7,14 @@ let code_to_string = function
   | No_gen -> "ng"
   | Pass -> "OK"
 
+let code_of_string = function
+  | "to" -> Some Timed_out
+  | "ng" -> Some No_gen
+  | "OK" -> Some Pass
+  | s when String.length s = 2 && s.[0] = 'w' -> Some (Wrong (String.sub s 1 1))
+  | s when String.length s = 2 && s.[0] = 'c' -> Some (Crash (String.sub s 1 1))
+  | _ -> None
+
 type t = {
   variants : int;
   results : (string * (int * code) list) list;
@@ -31,7 +39,22 @@ type bench_setup = {
   tests : (bool * Driver.prepared) list;  (** (substitutions on?, variant) *)
 }
 
-let run ?jobs ?fuel ?(variants = 12) ?(seed0 = 90_000) ?config_ids () : t =
+let journal_header ?fuel ?(variants = 12) ?(seed0 = 90_000) ?config_ids () =
+  let config_ids =
+    match config_ids with Some l -> l | None -> default_configs
+  in
+  Journal.make_header ~campaign:"table3"
+    ~ident:
+      [
+        ("seed0", string_of_int seed0);
+        ("fuel", match fuel with Some f -> string_of_int f | None -> "-");
+        ("configs", String.concat "," (List.map string_of_int config_ids));
+        ("variants", string_of_int variants);
+      ]
+    ~scale:[]
+
+let run ?jobs ?fuel ?(variants = 12) ?(seed0 = 90_000) ?config_ids ?sink
+    ?resume () : t =
   let jobs = match jobs with Some j -> j | None -> Pool.recommended_jobs () in
   let config_ids =
     match config_ids with Some l -> l | None -> default_configs
@@ -116,14 +139,41 @@ let run ?jobs ?fuel ?(variants = 12) ?(seed0 = 90_000) ?config_ids () : t =
   let tasks =
     List.concat_map (fun s -> List.map (fun c -> (s, c)) configs) setups
   in
+  let tasks_arr = Array.of_list tasks in
+  let cell_record i (config, code) =
+    let s, _ = tasks_arr.(i) in
+    {
+      Journal.index = i;
+      seed = 0;
+      mode = s.name;
+      config;
+      opt = "*";
+      outcomes = [];
+      note = code_to_string code;
+    }
+  in
+  let sink = Option.map (fun emit i r -> emit (cell_record i r)) sink in
+  let lookup =
+    match resume with
+    | None | Some [] -> None
+    | Some cells ->
+        let tbl = Journal.index_cells cells in
+        Some
+          (fun i ->
+            let s, c = tasks_arr.(i) in
+            match Hashtbl.find_opt tbl (s.name, 0, c.Config.id, "*") with
+            | Some { Journal.note; _ } ->
+                Option.map (fun code -> (c.Config.id, code)) (code_of_string note)
+            | None -> None)
+  in
   let cells =
     (* exception isolation: a cell whose harness code raises becomes a
        crash cell for its configuration; fatal exhaustion still surfaces *)
-    Pool.map pool
+    Par.run_resumable pool ?sink ?lookup
       ~f:(fun ((_, c) as task) ->
         try cell task
         with e when not (Pool.is_fatal e) -> (c.Config.id, Crash "?"))
-      tasks
+      ~on_error:raise tasks
   in
   (* regroup the flat cell list by benchmark, in task order *)
   let results =

@@ -22,16 +22,39 @@ type code = Wrong of string | Crash of string | Timed_out | No_gen | Pass
 
 val code_to_string : code -> string
 
+val code_of_string : string -> code option
+(** Inverse of {!code_to_string} — used to replay journalled cells. *)
+
 type t = {
   variants : int;
   results : (string * (int * code) list) list;
       (** benchmark name -> (config id, code) *)
 }
 
+val journal_header :
+  ?fuel:int -> ?variants:int -> ?seed0:int -> ?config_ids:int list -> unit ->
+  Journal.header
+(** Header describing a [run] with the same arguments (same defaults).
+    All parameters are identity: the benchmark set is fixed, so there is
+    no scale axis. *)
+
 val run :
   ?jobs:int ->
-  ?fuel:int -> ?variants:int -> ?seed0:int -> ?config_ids:int list -> unit -> t
+  ?fuel:int ->
+  ?variants:int ->
+  ?seed0:int ->
+  ?config_ids:int list ->
+  ?sink:(Journal.cell -> unit) ->
+  ?resume:Journal.cell list ->
+  unit ->
+  t
 (** Defaults: 12 injected variants per benchmark (paper: 125), configs
-    1–19. *)
+    1–19.
+
+    A cell is one (benchmark, configuration); its journal record stores
+    the benchmark name in the [mode] field, the paper's result code in
+    [note], and no outcomes. [sink]/[resume] behave as in
+    {!Campaign.run}; benchmark setup (reference runs, EMI injection) is
+    always recomputed on resume. *)
 
 val to_table : t -> string

@@ -22,20 +22,51 @@ type mode_result = {
 
 let prefilter_config = Config.find 1
 
-let run ?jobs ?fuel ?(per_mode = 60) ?(seed0 = 10_000) ?config_ids ?modes () =
+let opt_str opt = if opt then "+" else "-"
+
+let journal_header ?fuel ?(per_mode = 60) ?(seed0 = 10_000) ?config_ids ?modes
+    () =
+  let config_ids =
+    match config_ids with Some l -> l | None -> Config.above_threshold_ids
+  in
+  let modes = match modes with Some m -> m | None -> Gen_config.all_modes in
+  Journal.make_header ~campaign:"table4"
+    ~ident:
+      [
+        ("seed0", string_of_int seed0);
+        ("fuel", match fuel with Some f -> string_of_int f | None -> "-");
+        ("configs", String.concat "," (List.map string_of_int config_ids));
+        ("modes", String.concat "," (List.map Gen_config.mode_name modes));
+      ]
+    ~scale:[ ("per_mode", string_of_int per_mode) ]
+
+let run ?jobs ?fuel ?(per_mode = 60) ?(seed0 = 10_000) ?config_ids ?modes ?sink
+    ?resume () =
   let jobs = match jobs with Some j -> j | None -> Pool.recommended_jobs () in
   let config_ids =
     match config_ids with Some l -> l | None -> Config.above_threshold_ids
   in
   let modes = match modes with Some m -> m | None -> Gen_config.all_modes in
   let configs = List.map Config.find config_ids in
+  let replay =
+    match resume with
+    | None | Some [] -> None
+    | Some cells -> Some (Journal.index_cells cells)
+  in
+  (* cells are journalled with their position in the whole run's task
+     order, counted across modes *)
+  let base = ref 0 in
   Pool.with_pool ~jobs @@ fun pool ->
   List.map
     (fun mode ->
+      let mode_name = Gen_config.mode_name mode in
       let gcfg = Gen_config.scaled mode in
       (* phase 1: generate + prefilter candidate seeds in parallel batches,
          consumed in seed order (Par.collect), so survivors and discard
-         tallies match the sequential loop exactly *)
+         tallies match the sequential loop exactly. Always recomputed on
+         resume — it is deterministic and a small fraction of the cell
+         work, and rebuilding the kernels is needed to verify the journal
+         against this run anyway. *)
       let classify ~seed =
         let tc, info = Generate.generate ~cfg:gcfg ~seed () in
         if info.Generate.counter_sharing then Par.Reject `Sharing
@@ -43,7 +74,7 @@ let run ?jobs ?fuel ?(per_mode = 60) ?(seed0 = 10_000) ?config_ids ?modes () =
           let prep = Driver.prepare tc in
           match Driver.run_prepared ?fuel prefilter_config ~opt:true prep with
           | Outcome.Build_failure _ | Outcome.Timeout -> Par.Reject `Prefiltered
-          | _ -> Par.Accept prep
+          | _ -> Par.Accept (seed, prep)
       in
       let kernels, rejects = Par.collect pool ~n:per_mode ~seed0 ~classify in
       let keys =
@@ -55,17 +86,43 @@ let run ?jobs ?fuel ?(per_mode = 60) ?(seed0 = 10_000) ?config_ids ?modes () =
          in kernel-major stable order *)
       let tasks =
         List.concat_map
-          (fun prep ->
+          (fun (seed, prep) ->
             List.concat_map
-              (fun c -> [ (prep, c, false); (prep, c, true) ])
+              (fun c -> [ (seed, prep, c, false); (seed, prep, c, true) ])
               configs)
           kernels
       in
-      let outcomes =
-        Par.run_cells pool
-          ~f:(fun (prep, c, opt) -> Driver.run_prepared ?fuel c ~opt prep)
-          tasks
+      let tasks_arr = Array.of_list tasks in
+      let cell_of i o =
+        let seed, _, c, opt = tasks_arr.(i) in
+        {
+          Journal.index = !base + i;
+          seed;
+          mode = mode_name;
+          config = c.Config.id;
+          opt = opt_str opt;
+          outcomes = [ o ];
+          note = "";
+        }
       in
+      let sink = Option.map (fun emit i o -> emit (cell_of i o)) sink in
+      let lookup =
+        Option.map
+          (fun tbl i ->
+            let seed, _, c, opt = tasks_arr.(i) in
+            match
+              Hashtbl.find_opt tbl (mode_name, seed, c.Config.id, opt_str opt)
+            with
+            | Some { Journal.outcomes = [ o ]; _ } -> Some o
+            | _ -> None)
+          replay
+      in
+      let outcomes =
+        Par.run_resumable pool ?sink ?lookup
+          ~f:(fun (_, prep, c, opt) -> Driver.run_prepared ?fuel c ~opt prep)
+          ~on_error:Par.crash_of_exn tasks
+      in
+      base := !base + Array.length tasks_arr;
       (* deterministic merge: regroup the flat outcome list by kernel (the
          chunk layout mirrors [keys]) and fold buckets in task order *)
       let cells = Hashtbl.create 64 in

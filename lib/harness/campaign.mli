@@ -23,6 +23,19 @@ type mode_result = {
   per_config : ((int * bool) * cell) list;  (** key: (config id, opt on?) *)
 }
 
+val journal_header :
+  ?fuel:int ->
+  ?per_mode:int ->
+  ?seed0:int ->
+  ?config_ids:int list ->
+  ?modes:Gen_config.mode list ->
+  unit ->
+  Journal.header
+(** The journal header describing a [run] with the same arguments (same
+    defaults). [seed0], [fuel], [config_ids] and [modes] are identity
+    parameters; [per_mode] is scale (a journal may be resumed at a larger
+    or smaller [-n]). *)
+
 val run :
   ?jobs:int ->
   ?fuel:int ->
@@ -30,6 +43,8 @@ val run :
   ?seed0:int ->
   ?config_ids:int list ->
   ?modes:Gen_config.mode list ->
+  ?sink:(Journal.cell -> unit) ->
+  ?resume:Journal.cell list ->
   unit ->
   mode_result list
 (** Defaults: 60 kernels/mode (paper: 10,000), the above-threshold
@@ -39,7 +54,17 @@ val run :
     every (kernel, config, opt-level) cell is an independent task, and the
     merged result is byte-identical across [jobs] values and across runs
     at the same seed. [fuel] overrides the per-task soft timeout (the
-    interpreter's step budget). *)
+    interpreter's step budget).
+
+    [sink] is invoked once per completed cell, in deterministic task
+    order, streamed as results complete (see {!Par.run_resumable}) — the
+    journalling hook. [resume] replays previously journalled cells:
+    any task whose [(mode, seed, config, opt)] key is found is not
+    re-executed, its recorded outcome is used (and re-emitted to [sink]
+    in order), so an interrupted campaign continues where it stopped and
+    finishes with output byte-identical to an uninterrupted run.
+    Generation and prefiltering are always recomputed — they are
+    deterministic and cheap relative to the cell grid. *)
 
 val to_table : mode_result list -> string
 val totals : mode_result list -> (Gen_config.mode * cell) list

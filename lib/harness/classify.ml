@@ -26,16 +26,25 @@ let initial_kernels pool ~per_mode ~seed0 =
         let classify ~seed =
           let tc, info = Generate.generate ~cfg ~seed () in
           if info.Generate.counter_sharing then Par.Reject `Sharing
-          else Par.Accept tc
+          else Par.Accept (seed, tc)
         in
         let accepted, rejects = Par.collect pool ~n:per_mode ~seed0 ~classify in
         discarded := !discarded + List.length rejects;
-        accepted)
+        List.map (fun (seed, tc) -> (seed, mode, tc)) accepted)
       Gen_config.all_modes
   in
   (kernels, !discarded)
 
-let run ?jobs ?fuel ?(per_mode = 10) ?(seed0 = 1) () : t =
+let journal_header ?fuel ?(per_mode = 10) ?(seed0 = 1) () =
+  Journal.make_header ~campaign:"table1"
+    ~ident:
+      [
+        ("seed0", string_of_int seed0);
+        ("fuel", match fuel with Some f -> string_of_int f | None -> "-");
+      ]
+    ~scale:[ ("per_mode", string_of_int per_mode) ]
+
+let run ?jobs ?fuel ?(per_mode = 10) ?(seed0 = 1) ?sink ?resume () : t =
   let jobs = match jobs with Some j -> j | None -> Pool.recommended_jobs () in
   Pool.with_pool ~jobs @@ fun pool ->
   let kernels, discarded_sharing = initial_kernels pool ~per_mode ~seed0 in
@@ -48,18 +57,52 @@ let run ?jobs ?fuel ?(per_mode = 10) ?(seed0 = 1) () : t =
   and tmo = Array.make n 0
   and tot = Array.make n 0 in
   (* one task per (kernel, configuration) cell, kernel-major; the prepared
-     kernel is shared by all of its cells across domains *)
-  let preps = List.map Driver.prepare kernels in
+     kernel is shared by all of its cells across domains. A cell's two
+     optimisation levels are journalled together as opt "*" with a
+     two-element outcome list. *)
   let tasks =
-    List.concat_map (fun prep -> List.map (fun c -> (prep, c)) configs) preps
+    List.concat_map
+      (fun (seed, mode, tc) ->
+        let prep = Driver.prepare tc in
+        List.map (fun c -> (seed, mode, prep, c)) configs)
+      kernels
+  in
+  let tasks_arr = Array.of_list tasks in
+  let cell_of i (off, on) =
+    let seed, mode, _, c = tasks_arr.(i) in
+    {
+      Journal.index = i;
+      seed;
+      mode = Gen_config.mode_name mode;
+      config = c.Config.id;
+      opt = "*";
+      outcomes = [ off; on ];
+      note = "";
+    }
+  in
+  let sink = Option.map (fun emit i pair -> emit (cell_of i pair)) sink in
+  let lookup =
+    match resume with
+    | None | Some [] -> None
+    | Some cells ->
+        let tbl = Journal.index_cells cells in
+        Some
+          (fun i ->
+            let seed, mode, _, c = tasks_arr.(i) in
+            match
+              Hashtbl.find_opt tbl
+                (Gen_config.mode_name mode, seed, c.Config.id, "*")
+            with
+            | Some { Journal.outcomes = [ off; on ]; _ } -> Some (off, on)
+            | _ -> None)
   in
   let pairs =
-    Pool.map_isolated pool
-      ~f:(fun (prep, c) ->
+    Par.run_resumable pool ?sink ?lookup
+      ~f:(fun (_, _, prep, c) ->
         ( Driver.run_prepared ?fuel c ~opt:false prep,
           Driver.run_prepared ?fuel c ~opt:true prep ))
       ~on_error:(fun e ->
-        let o = Outcome.Crash ("harness: uncaught exception: " ^ Printexc.to_string e) in
+        let o = Par.crash_of_exn e in
         (o, o))
       tasks
   in

@@ -27,8 +27,27 @@ type t = {
   reports : config_report list;
 }
 
-val run : ?jobs:int -> ?fuel:int -> ?per_mode:int -> ?seed0:int -> unit -> t
-(** Default [per_mode] is 10 (the paper used 100). *)
+val journal_header :
+  ?fuel:int -> ?per_mode:int -> ?seed0:int -> unit -> Journal.header
+(** Header describing a [run] with the same arguments (same defaults);
+    [per_mode] is a scale parameter, the rest are identity. *)
+
+val run :
+  ?jobs:int ->
+  ?fuel:int ->
+  ?per_mode:int ->
+  ?seed0:int ->
+  ?sink:(Journal.cell -> unit) ->
+  ?resume:Journal.cell list ->
+  unit ->
+  t
+(** Default [per_mode] is 10 (the paper used 100).
+
+    A cell is one (kernel, configuration) pair; both optimisation levels
+    are journalled together as one record with opt ["*"] and a
+    two-element outcome list. [sink]/[resume] behave exactly as in
+    {!Campaign.run}: ordered streaming persistence, and key-based replay
+    that skips already-journalled cells. *)
 
 val to_table : t -> string
 (** Rendered in the shape of Table 1, including the computed

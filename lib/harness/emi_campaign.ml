@@ -60,14 +60,32 @@ let apply_cell r outcomes =
     else r
   end
 
+let opt_str opt = if opt then "+" else "-"
+
+let journal_header ?fuel ?(bases = 15) ?(variants = 10) ?(seed0 = 50_000)
+    ?config_ids () =
+  let config_ids =
+    match config_ids with Some l -> l | None -> Config.above_threshold_ids
+  in
+  Journal.make_header ~campaign:"table5"
+    ~ident:
+      [
+        ("seed0", string_of_int seed0);
+        ("fuel", match fuel with Some f -> string_of_int f | None -> "-");
+        ("configs", String.concat "," (List.map string_of_int config_ids));
+        ("variants", string_of_int variants);
+      ]
+    ~scale:[ ("bases", string_of_int bases) ]
+
 let run ?jobs ?fuel ?(bases = 15) ?(variants = 10) ?(seed0 = 50_000) ?config_ids
-    () : t =
+    ?sink ?resume () : t =
   let jobs = match jobs with Some j -> j | None -> Pool.recommended_jobs () in
   let config_ids =
     match config_ids with Some l -> l | None -> Config.above_threshold_ids
   in
   let configs = List.map Config.find config_ids in
   let gcfg = Gen_config.scaled Gen_config.All in
+  let mode_name = Gen_config.mode_name Gen_config.All in
   Pool.with_pool ~jobs @@ fun pool ->
   (* phase 1: generation + liveness filter over candidate seeds, in
      parallel batches consumed in seed order *)
@@ -75,7 +93,7 @@ let run ?jobs ?fuel ?(bases = 15) ?(variants = 10) ?(seed0 = 50_000) ?config_ids
     let tc, info = Generate.generate ~emi:true ~cfg:gcfg ~seed () in
     if info.Generate.counter_sharing then Par.Reject `Sharing
     else if not (live_emi tc) then Par.Reject `Dead
-    else Par.Accept tc
+    else Par.Accept (seed, tc)
   in
   let base_list, rejects = Par.collect pool ~n:bases ~seed0 ~classify in
   let keys =
@@ -84,33 +102,64 @@ let run ?jobs ?fuel ?(bases = 15) ?(variants = 10) ?(seed0 = 50_000) ?config_ids
       configs
   in
   (* phase 2: derive + prepare each base's variants (one task per base);
-     the prepared variants are then shared by that base's cells *)
+     the prepared variants are then shared by that base's cells. Always
+     recomputed on resume: derivation is deterministic in the base seed. *)
   let prepared_bases =
     Pool.map pool
-      ~f:(fun base -> List.map Driver.prepare (Variant.variants ~base ~count:variants))
+      ~f:(fun (seed, base) ->
+        (seed, List.map Driver.prepare (Variant.variants ~base ~count:variants)))
       base_list
   in
   (* phase 3: one task per (base, config, opt-level) cell, base-major *)
   let tasks =
     List.concat_map
-      (fun vs ->
-        List.concat_map (fun c -> [ (vs, c, false); (vs, c, true) ]) configs)
+      (fun (seed, vs) ->
+        List.concat_map
+          (fun c -> [ (seed, vs, c, false); (seed, vs, c, true) ])
+          configs)
       prepared_bases
+  in
+  let tasks_arr = Array.of_list tasks in
+  let cell_of i outcomes =
+    let seed, _, c, opt = tasks_arr.(i) in
+    {
+      Journal.index = i;
+      seed;
+      mode = mode_name;
+      config = c.Config.id;
+      opt = opt_str opt;
+      outcomes;
+      note = "";
+    }
+  in
+  let sink = Option.map (fun emit i outcomes -> emit (cell_of i outcomes)) sink in
+  let lookup =
+    match resume with
+    | None | Some [] -> None
+    | Some cells ->
+        let tbl = Journal.index_cells cells in
+        Some
+          (fun i ->
+            let seed, _, c, opt = tasks_arr.(i) in
+            match
+              Hashtbl.find_opt tbl (mode_name, seed, c.Config.id, opt_str opt)
+            with
+            | Some { Journal.outcomes = [] ; _ } | None -> None
+            | Some { Journal.outcomes; _ } -> Some outcomes)
   in
   let cell_outcomes =
     (* a cell's value is its variant outcome list; exceptions inside a cell
        surface as a Crash outcome for that cell's variants *)
-    Pool.map_isolated pool
-      ~f:(fun (vs, c, opt) -> List.map (Driver.run_prepared ?fuel c ~opt) vs)
-      ~on_error:(fun e ->
-        [ Outcome.Crash ("harness: uncaught exception: " ^ Printexc.to_string e) ])
+    Par.run_resumable pool ?sink ?lookup
+      ~f:(fun (_, vs, c, opt) -> List.map (Driver.run_prepared ?fuel c ~opt) vs)
+      ~on_error:(fun e -> [ Par.crash_of_exn e ])
       tasks
   in
   (* deterministic merge in task order *)
   let rows = Hashtbl.create 64 in
   List.iter (fun k -> Hashtbl.replace rows k zero_row) keys;
   List.iter2
-    (fun (_, c, opt) outcomes ->
+    (fun (_, _, c, opt) outcomes ->
       let key = (c.Config.id, opt) in
       Hashtbl.replace rows key (apply_cell (Hashtbl.find rows key) outcomes))
     tasks cell_outcomes;

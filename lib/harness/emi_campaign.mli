@@ -38,6 +38,18 @@ type t = {
   rows : ((int * bool) * row) list;
 }
 
+val journal_header :
+  ?fuel:int ->
+  ?bases:int ->
+  ?variants:int ->
+  ?seed0:int ->
+  ?config_ids:int list ->
+  unit ->
+  Journal.header
+(** Header describing a [run] with the same arguments (same defaults).
+    [variants] is identity — it changes every cell's outcome list —
+    while [bases] is scale. *)
+
 val run :
   ?jobs:int ->
   ?fuel:int ->
@@ -45,11 +57,18 @@ val run :
   ?variants:int ->
   ?seed0:int ->
   ?config_ids:int list ->
+  ?sink:(Journal.cell -> unit) ->
+  ?resume:Journal.cell list ->
   unit ->
   t
 (** Defaults: 15 bases (paper: 180), 10 variants/base (paper: 40), the
     above-threshold configurations. [jobs] sizes the execution pool
     (default [Pool.recommended_jobs ()]); output is identical across
-    [jobs]. [fuel] is the per-task soft timeout. *)
+    [jobs]. [fuel] is the per-task soft timeout.
+
+    A cell is one (base, configuration, opt level) and its journal record
+    carries the full per-variant outcome list; [sink]/[resume] behave as
+    in {!Campaign.run}. Base generation, the liveness filter and variant
+    derivation are always recomputed on resume (deterministic). *)
 
 val to_table : t -> string

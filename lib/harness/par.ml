@@ -23,7 +23,49 @@ let count rejects ~tag = List.length (List.filter (fun r -> r = tag) rejects)
 let crash_of_exn e =
   Outcome.Crash ("harness: uncaught exception: " ^ Printexc.to_string e)
 
-let run_cells pool ~f cells = Pool.map_isolated pool ~f ~on_error:crash_of_exn cells
+let run_resumable pool ?sink ?(lookup = fun _ -> None) ~f ~on_error cells =
+  let tasks = Array.of_list cells in
+  let n = Array.length tasks in
+  let results = Array.init n lookup in
+  let missing =
+    List.filter (fun i -> results.(i) = None) (List.init n Fun.id)
+  in
+  let missing_arr = Array.of_list missing in
+  (* the sink sees the merged sequence (replayed + fresh) in global task
+     order: a fresh result at global index g is only emitted once every
+     cell before g is available, and replayed cells ride along in the
+     same prefix flush *)
+  let next = ref 0 in
+  let flush () =
+    match sink with
+    | None -> ()
+    | Some emit ->
+        while !next < n && results.(!next) <> None do
+          (match results.(!next) with
+          | Some r -> emit !next r
+          | None -> assert false);
+          incr next
+        done
+  in
+  flush ();
+  let on_result =
+    Option.map
+      (fun _ mi r ->
+        results.(missing_arr.(mi)) <- Some r;
+        flush ())
+      sink
+  in
+  let fresh =
+    Pool.map_isolated ?on_result pool ~f ~on_error
+      (List.map (fun i -> tasks.(i)) missing)
+  in
+  List.iter2 (fun i r -> results.(i) <- Some r) missing fresh;
+  flush ();
+  Array.to_list
+    (Array.map (function Some r -> r | None -> assert false) results)
+
+let run_cells pool ?sink ~f cells =
+  run_resumable pool ?sink ~f ~on_error:crash_of_exn cells
 
 let chunk size xs =
   let rec take k acc = function

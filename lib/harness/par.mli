@@ -25,11 +25,44 @@ val collect :
 val count : 'r list -> tag:'r -> int
 (** Occurrences of [tag] in a rejection list. *)
 
-val run_cells : Pool.t -> f:('a -> Outcome.t) -> 'a list -> Outcome.t list
-(** Map campaign cells through the pool with exception isolation: a cell
-    whose harness code raises becomes [Outcome.Crash] instead of killing
-    the campaign, while fatal exhaustion ([Out_of_memory],
-    [Stack_overflow]) is re-raised. Results are in input order. *)
+val crash_of_exn : exn -> Outcome.t
+(** The campaigns' exception-isolation policy: an uncaught harness
+    exception becomes a crash cell. *)
+
+val run_resumable :
+  Pool.t ->
+  ?sink:(int -> 'b -> unit) ->
+  ?lookup:(int -> 'b option) ->
+  f:('a -> 'b) ->
+  on_error:(exn -> 'b) ->
+  'a list ->
+  'b list
+(** The campaigns' cell engine with persistence hooks, preserving the
+    order-preserving [-j] contract:
+
+    - [lookup i] replays an already-journalled result for task [i]
+      (resume): replayed cells never hit the pool, only the remainder is
+      scheduled;
+    - [sink] receives every result — replayed and fresh alike — in
+      global task order, streamed as the ready prefix grows (a fresh
+      cell is delivered as soon as it and all predecessors are
+      available, not at batch end), so a journal written from it is
+      crash-safe and byte-identical to an uninterrupted run's.
+
+    Exception isolation as in {!Pool.map_isolated}: non-fatal exceptions
+    become [on_error e]; fatal exhaustion stops the sink stream at its
+    index and re-raises. Results are in input order. *)
+
+val run_cells :
+  Pool.t ->
+  ?sink:(int -> Outcome.t -> unit) ->
+  f:('a -> Outcome.t) ->
+  'a list ->
+  Outcome.t list
+(** [run_resumable] with the {!crash_of_exn} isolation policy and no
+    replay: a cell whose harness code raises becomes [Outcome.Crash]
+    instead of killing the campaign, while fatal exhaustion
+    ([Out_of_memory], [Stack_overflow]) is re-raised. *)
 
 val chunk : int -> 'a list -> 'a list list
 (** Split into consecutive chunks of the given size (the last may be

@@ -1,0 +1,126 @@
+type entry = {
+  hash : string;
+  seed : int;
+  mode : string;
+  cls : string;
+  config : int;
+  opt : string;
+}
+
+let hash_text text = Digest.to_hex (Digest.string text)
+let kernel_path ~dir ~hash = Filename.concat dir (hash ^ ".cl")
+let index_path dir = Filename.concat dir "index.jsonl"
+
+let entry_fields e =
+  [
+    ("k", Jsonl.Str "kernel");
+    ("hash", Jsonl.Str e.hash);
+    ("seed", Jsonl.Int e.seed);
+    ("mode", Jsonl.Str e.mode);
+    ("cls", Jsonl.Str e.cls);
+    ("config", Jsonl.Int e.config);
+    ("opt", Jsonl.Str e.opt);
+  ]
+
+let entry_of_fields fields =
+  let j = Jsonl.Obj fields in
+  let int name = Option.bind (Jsonl.member name j) Jsonl.get_int in
+  let str name = Option.bind (Jsonl.member name j) Jsonl.get_str in
+  match (str "hash", int "seed", str "mode", str "cls", int "config", str "opt") with
+  | Some hash, Some seed, Some mode, Some cls, Some config, Some opt ->
+      Some { hash; seed; mode; cls; config; opt }
+  | _ -> None
+
+let dedup_key e = (e.hash, e.cls, e.config, e.opt)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_file_atomic path contents =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  output_string oc contents;
+  close_out oc;
+  Sys.rename tmp path
+
+let index ~dir =
+  let path = index_path dir in
+  if not (Sys.file_exists path) then Ok []
+  else
+    match read_file path with
+    | exception Sys_error m -> Error m
+    | contents ->
+        let lines =
+          List.filter (fun l -> l <> "") (String.split_on_char '\n' contents)
+        in
+        let n = List.length lines in
+        let rec go i acc = function
+          | [] -> Ok (List.rev acc)
+          | line :: rest -> (
+              let bad msg =
+                (* like the journal: tolerate only a torn final line *)
+                if i = n - 1 then Ok (List.rev acc)
+                else Error (Printf.sprintf "corpus index entry %d: %s" (i + 1) msg)
+              in
+              match Jsonl.decode_line line with
+              | Error e -> bad e
+              | Ok fields -> (
+                  match entry_of_fields fields with
+                  | None -> bad "malformed entry"
+                  | Some e -> go (i + 1) (e :: acc) rest))
+        in
+        go 0 [] lines
+
+let add_all ~dir pairs =
+  match
+    if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+    index ~dir
+  with
+  | exception Sys_error m -> Error m
+  | Error m -> Error m
+  | Ok existing -> (
+      let seen = Hashtbl.create 64 in
+      List.iter (fun e -> Hashtbl.replace seen (dedup_key e) ()) existing;
+      match
+        let oc =
+          open_out_gen [ Open_wronly; Open_append; Open_creat ] 0o644
+            (index_path dir)
+        in
+        Fun.protect
+          ~finally:(fun () -> close_out_noerr oc)
+          (fun () ->
+            let added = ref 0 in
+            List.iter
+              (fun (e, text) ->
+                let path = kernel_path ~dir ~hash:e.hash in
+                if not (Sys.file_exists path) then write_file_atomic path text;
+                if not (Hashtbl.mem seen (dedup_key e)) then begin
+                  Hashtbl.replace seen (dedup_key e) ();
+                  output_string oc (Jsonl.encode_line (entry_fields e));
+                  output_char oc '\n';
+                  incr added
+                end)
+              pairs;
+            flush oc;
+            !added)
+      with
+      | exception Sys_error m -> Error m
+      | added -> Ok added)
+
+let read_kernel ~dir ~hash =
+  match read_file (kernel_path ~dir ~hash) with
+  | exception Sys_error m -> Error m
+  | contents -> Ok contents
+
+let verify ~dir e =
+  match read_kernel ~dir ~hash:e.hash with
+  | Error m -> Error m
+  | Ok text ->
+      let h = hash_text text in
+      if String.equal h e.hash then Ok ()
+      else
+        Error
+          (Printf.sprintf "content hash %s does not match address %s" h e.hash)

@@ -1,0 +1,38 @@
+(** Content-addressed corpus of interesting kernels.
+
+    Wrong-code, crash and build-failure witnesses from a campaign are
+    kept as OpenCL C text ([Pp.program_to_string]) under their content
+    hash — [DIR/<md5hex>.cl] — so the same kernel surfacing in many
+    campaigns, configurations or resumed runs is stored exactly once.
+    A checksummed JSONL index ([DIR/index.jsonl]) records one line per
+    (kernel, classification, configuration, opt level): the provenance
+    needed to regenerate the kernel deterministically from its seed and
+    re-run it against the configuration that misbehaved. *)
+
+type entry = {
+  hash : string;  (** MD5 hex of the kernel text = file basename *)
+  seed : int;  (** generator seed: the kernel's deterministic provenance *)
+  mode : string;  (** generation mode name *)
+  cls : string;  (** "wrong-code" | "crash" | "build-failure" *)
+  config : int;
+  opt : string;  (** ["-"] | ["+"] *)
+}
+
+val hash_text : string -> string
+(** MD5 hex of the kernel text — the content address. *)
+
+val kernel_path : dir:string -> hash:string -> string
+
+val add_all : dir:string -> (entry * string) list -> (int, string) result
+(** Store each (entry, kernel text) pair: the kernel file is written if
+    absent (atomically, via a temp file), the index gains a line per new
+    (hash, cls, config, opt). Returns how many index entries were new. *)
+
+val index : dir:string -> (entry list, string) result
+(** All index entries, insertion order; a torn final line is dropped.
+    A missing corpus reads as empty. *)
+
+val read_kernel : dir:string -> hash:string -> (string, string) result
+
+val verify : dir:string -> entry -> (unit, string) result
+(** Re-hash the stored kernel text and compare with the content address. *)

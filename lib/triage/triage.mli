@@ -1,0 +1,53 @@
+(** Deduplication of journal findings into distinct-bug buckets.
+
+    A machine-week campaign surfaces thousands of failing cells but only
+    a handful of distinct compiler bugs; the paper's authors triaged by
+    hand (section 6) and later built tooling to keep such campaigns'
+    bookkeeping reproducible. This module automates the first cut: every
+    wrong-code / crash / build-failure cell of a journal is keyed by
+
+    [(configuration, opt level, outcome class, trigger signature)]
+
+    where the trigger signature is the set of syntactic features
+    ({!Features.t}) the documented fault models key on — two kernels
+    failing on the same configuration with the same feature set are very
+    likely witnesses of the same underlying bug, which is exactly how the
+    paper's section 6 narrates its findings ("kernels with a struct whose
+    first member is a char", "a barrier in a helper function", ...).
+
+    Wrong-code classification is recomputed from the journal by majority
+    vote, exactly as the campaign tables do; kernels are regenerated
+    deterministically from their journalled seed and mode, so triage
+    needs nothing but the journal. Works on table4 and table1 journals
+    (plainly generated kernels); table3/table5 cells are derived objects
+    (injected benchmarks, EMI variants) that cannot be regenerated from a
+    seed alone and are rejected. *)
+
+type bucket = {
+  cls : string;  (** "wrong-code" | "crash" | "build-failure" *)
+  config : int;
+  opt : string;  (** ["-"] | ["+"] *)
+  signature : string;  (** comma-joined trigger features, or ["plain"] *)
+  cells : int;  (** failing cells in the bucket *)
+  kernels : int;  (** distinct kernels among them *)
+  exemplar_seed : int;  (** first witness, in journal order *)
+  exemplar_mode : string;
+  exemplar_hash : string;  (** content address of the exemplar's text *)
+}
+
+val signature_of_features : Features.t -> string
+(** The trigger-feature signature: the names of the active features that
+    documented fault models key on, comma-joined; ["plain"] if none. *)
+
+val of_journal :
+  Journal.header -> Journal.cell list -> (bucket list, string) result
+(** Buckets sorted by (class, config, opt, signature). [Error] when the
+    journal's campaign is not triageable or a record names an unknown
+    generation mode. *)
+
+val to_table : Journal.header -> bucket list -> string
+
+val corpus_entries : bucket list -> (Corpus.entry * string) list
+(** One corpus entry per bucket: the exemplar kernel's provenance and
+    printed text, ready for {!Corpus.add_all}. Buckets sharing an
+    exemplar kernel deduplicate at the corpus layer. *)

@@ -1,0 +1,318 @@
+(* The persistence layer: the JSONL codec, the crash-safe journal (torn
+   tails recovered, deeper damage rejected, resume validated against the
+   header identity), the content-addressed corpus, and the subsystem's
+   headline property — a campaign resumed from any journal prefix, at any
+   -j, finishes byte-identical (table and journal file) to an
+   uninterrupted run. *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let append_file path s =
+  let oc = open_out_gen [ Open_append ] 0o644 path in
+  output_string oc s;
+  close_out oc
+
+let temp suffix = Filename.temp_file "store_test" suffix
+
+(* --- jsonl codec --- *)
+
+let test_jsonl_roundtrip () =
+  let values =
+    [
+      Jsonl.Null;
+      Jsonl.Bool true;
+      Jsonl.Int (-42);
+      Jsonl.Int max_int;
+      Jsonl.Str "";
+      Jsonl.Str "plain";
+      Jsonl.Str "quotes \" and \\ and \t\n control \x01 and bytes \xff\x80";
+      Jsonl.List [ Jsonl.Int 1; Jsonl.Str "two"; Jsonl.Null ];
+      Jsonl.Obj
+        [ ("a", Jsonl.Int 1); ("b", Jsonl.List []); ("c", Jsonl.Obj []) ];
+    ]
+  in
+  List.iter
+    (fun v ->
+      let s = Jsonl.to_string v in
+      match Jsonl.of_string s with
+      | Ok v' ->
+          Alcotest.(check string) ("round-trip of " ^ s) s (Jsonl.to_string v')
+      | Error e -> Alcotest.failf "could not re-parse %s: %s" s e)
+    values
+
+let test_jsonl_rejects () =
+  List.iter
+    (fun s ->
+      match Jsonl.of_string s with
+      | Ok _ -> Alcotest.failf "accepted malformed input %S" s
+      | Error _ -> ())
+    [ ""; "{"; "{} trailing"; "1.5"; "nul"; "\"unterminated"; "{\"a\":}" ]
+
+let test_jsonl_checksum () =
+  let fields = [ ("k", Jsonl.Str "cell"); ("i", Jsonl.Int 7) ] in
+  let line = Jsonl.encode_line fields in
+  (match Jsonl.decode_line line with
+  | Ok fs -> Alcotest.(check string) "checksum strips" (Jsonl.to_string (Jsonl.Obj fields)) (Jsonl.to_string (Jsonl.Obj fs))
+  | Error e -> Alcotest.fail e);
+  (* flipping any payload byte must invalidate the line *)
+  let corrupt = String.mapi (fun i c -> if i = 10 then 'X' else c) line in
+  match Jsonl.decode_line corrupt with
+  | Ok _ -> Alcotest.fail "accepted a corrupted line"
+  | Error _ -> ()
+
+(* --- journal --- *)
+
+let header () =
+  Journal.make_header ~campaign:"table4"
+    ~ident:[ ("seed0", "10000"); ("fuel", "-") ]
+    ~scale:[ ("per_mode", "2") ]
+
+let cells () =
+  let open Outcome in
+  [
+    {
+      Journal.index = 0; seed = 10000; mode = "BASIC"; config = 1; opt = "-";
+      outcomes = [ Success "out: 1,2,3" ]; note = "";
+    };
+    {
+      Journal.index = 1; seed = 10000; mode = "BASIC"; config = 1; opt = "+";
+      outcomes = [ Build_failure "diag \"quoted\"\nline2" ]; note = "";
+    };
+    {
+      Journal.index = 2; seed = 10001; mode = "ALL"; config = 12; opt = "*";
+      outcomes = [ Crash "sig"; Timeout ]; note = "";
+    };
+    {
+      Journal.index = 3; seed = 0; mode = "lud"; config = 19; opt = "*";
+      outcomes = [ Machine_crash "hang"; Ub "race" ]; note = "w?";
+    };
+  ]
+
+let write_journal path h cs =
+  let w = Journal.create ~path h in
+  List.iter (Journal.write_cell w) cs;
+  Journal.commit w
+
+let check_load ~msg path expect_cells expect_trunc =
+  match Journal.load ~path with
+  | Error e -> Alcotest.failf "%s: %s" msg (Journal.error_to_string e)
+  | Ok (h, cs, trunc) ->
+      Alcotest.(check bool) (msg ^ ": campaign") true (h.Journal.campaign = "table4");
+      Alcotest.(check bool) (msg ^ ": truncated flag") expect_trunc trunc;
+      Alcotest.(check int) (msg ^ ": cell count") (List.length expect_cells)
+        (List.length cs);
+      List.iter2
+        (fun (a : Journal.cell) (b : Journal.cell) ->
+          Alcotest.(check bool) (msg ^ ": cell") true
+            (a.Journal.index = b.Journal.index
+            && Journal.key a = Journal.key b
+            && a.Journal.note = b.Journal.note
+            && List.for_all2 Outcome.equal a.Journal.outcomes b.Journal.outcomes))
+        expect_cells cs
+
+let test_journal_roundtrip () =
+  let path = temp ".jsonl" in
+  write_journal path (header ()) (cells ());
+  check_load ~msg:"round-trip" path (cells ()) false;
+  Sys.remove path
+
+let test_journal_torn_tail () =
+  let path = temp ".jsonl" in
+  write_journal path (header ()) (cells ());
+  (* a kill -9 mid-append leaves a partial final line *)
+  append_file path "{\"k\":\"cell\",\"i\":4,\"se";
+  check_load ~msg:"torn tail" path (cells ()) true;
+  (* resume recovers the clean prefix too *)
+  (match Journal.resume ~path (header ()) with
+  | Error e -> Alcotest.fail (Journal.error_to_string e)
+  | Ok (w, cs) ->
+      Alcotest.(check int) "resume sees clean prefix" 4 (List.length cs);
+      Journal.commit w);
+  Sys.remove path
+
+let test_journal_corrupt_middle () =
+  let path = temp ".jsonl" in
+  write_journal path (header ()) (cells ());
+  let lines = String.split_on_char '\n' (read_file path) in
+  (* damage the second record: now the bad line is not the final one *)
+  let mangled =
+    List.mapi (fun i l -> if i = 2 then "{\"k\":\"cell\",broken" else l) lines
+  in
+  let oc = open_out_bin path in
+  output_string oc (String.concat "\n" mangled);
+  close_out oc;
+  (match Journal.load ~path with
+  | Error (Journal.Corrupt _) -> ()
+  | Error e -> Alcotest.failf "expected Corrupt, got %s" (Journal.error_to_string e)
+  | Ok _ -> Alcotest.fail "loaded a journal with mid-file damage");
+  Sys.remove path
+
+let test_journal_header_mismatch () =
+  let path = temp ".jsonl" in
+  write_journal path (header ()) (cells ());
+  let other =
+    Journal.make_header ~campaign:"table4"
+      ~ident:[ ("seed0", "99"); ("fuel", "-") ]
+      ~scale:[ ("per_mode", "2") ]
+  in
+  (match Journal.resume ~path other with
+  | Error (Journal.Mismatch _) -> ()
+  | Error e -> Alcotest.failf "expected Mismatch, got %s" (Journal.error_to_string e)
+  | Ok _ -> Alcotest.fail "resumed under a different identity");
+  (* a different campaign is also an identity change *)
+  (match
+     Journal.resume ~path
+       (Journal.make_header ~campaign:"table1"
+          ~ident:[ ("seed0", "10000"); ("fuel", "-") ]
+          ~scale:[])
+   with
+  | Error (Journal.Mismatch _) -> ()
+  | _ -> Alcotest.fail "resumed under a different campaign");
+  (* scale may differ: that is the grow-the-campaign workflow *)
+  (match
+     Journal.resume ~path
+       (Journal.make_header ~campaign:"table4"
+          ~ident:[ ("seed0", "10000"); ("fuel", "-") ]
+          ~scale:[ ("per_mode", "50") ])
+   with
+  | Ok (w, cs) ->
+      Alcotest.(check int) "cells replayed across scales" 4 (List.length cs);
+      Journal.commit w
+  | Error e -> Alcotest.fail (Journal.error_to_string e));
+  Sys.remove path
+
+let test_journal_missing_file () =
+  let path = temp ".jsonl" in
+  Sys.remove path;
+  match Journal.resume ~path (header ()) with
+  | Ok (w, cs) ->
+      Alcotest.(check int) "missing journal = fresh start" 0 (List.length cs);
+      List.iter (Journal.write_cell w) (cells ());
+      Journal.commit w;
+      check_load ~msg:"created by resume" path (cells ()) false;
+      Sys.remove path
+  | Error e -> Alcotest.fail (Journal.error_to_string e)
+
+(* --- corpus --- *)
+
+let test_corpus () =
+  let dir = Filename.temp_file "store_corpus" "" in
+  Sys.remove dir;
+  let text = "__kernel void entry() { }\n" in
+  let h = Corpus.hash_text text in
+  let entry cls config =
+    { Corpus.hash = h; seed = 3; mode = "BASIC"; cls; config; opt = "-" }
+  in
+  (match Corpus.add_all ~dir [ (entry "crash" 1, text); (entry "crash" 2, text) ] with
+  | Ok n -> Alcotest.(check int) "two fresh entries" 2 n
+  | Error e -> Alcotest.fail e);
+  (* same kernel, same provenance: deduplicated end to end *)
+  (match Corpus.add_all ~dir [ (entry "crash" 1, text) ] with
+  | Ok n -> Alcotest.(check int) "duplicate adds nothing" 0 n
+  | Error e -> Alcotest.fail e);
+  (* same kernel, new classification: one more index line, same file *)
+  (match Corpus.add_all ~dir [ (entry "wrong-code" 1, text) ] with
+  | Ok n -> Alcotest.(check int) "new class indexes again" 1 n
+  | Error e -> Alcotest.fail e);
+  (match Corpus.index ~dir with
+  | Ok es ->
+      Alcotest.(check int) "index lines" 3 (List.length es);
+      List.iter
+        (fun e ->
+          match Corpus.verify ~dir e with
+          | Ok () -> ()
+          | Error m -> Alcotest.fail m)
+        es
+  | Error e -> Alcotest.fail e);
+  (match Corpus.read_kernel ~dir ~hash:h with
+  | Ok t -> Alcotest.(check string) "kernel text intact" text t
+  | Error e -> Alcotest.fail e);
+  Alcotest.(check int) "one kernel file + index" 2
+    (Array.length (Sys.readdir dir))
+
+(* --- resume determinism: the subsystem's headline property --- *)
+
+let campaign_run ~jobs ?sink ?resume () =
+  Campaign.run ~jobs ~per_mode:2 ~modes:[ Gen_config.Basic ]
+    ~config_ids:[ 1; 12; 19 ] ?sink ?resume ()
+
+let campaign_header () =
+  Campaign.journal_header ~per_mode:2 ~config_ids:[ 1; 12; 19 ]
+    ~modes:[ Gen_config.Basic ] ()
+
+let test_resume_determinism () =
+  (* reference: one uninterrupted journalled run *)
+  let ref_path = temp ".jsonl" in
+  let w = Journal.create ~path:ref_path (campaign_header ()) in
+  let collected = ref [] in
+  let t_ref =
+    Campaign.to_table
+      (campaign_run ~jobs:2
+         ~sink:(fun c ->
+           collected := c :: !collected;
+           Journal.write_cell w c)
+         ())
+  in
+  Journal.commit w;
+  let ref_bytes = read_file ref_path in
+  let all_cells = List.rev !collected in
+  let n = List.length all_cells in
+  Alcotest.(check bool) "campaign produced cells" true (n >= 6);
+  (* resume from assorted interruption points, at several -j: the final
+     table and the rewritten journal must match the reference bytes *)
+  let prefixes = List.filter (fun k -> k <= n) [ 0; 1; 5; n - 1; n ] in
+  List.iter
+    (fun k ->
+      List.iter
+        (fun jobs ->
+          let path = temp ".jsonl" in
+          let prefix = List.filteri (fun i _ -> i < k) all_cells in
+          write_journal path (campaign_header ()) prefix;
+          match Journal.resume ~path (campaign_header ()) with
+          | Error e -> Alcotest.fail (Journal.error_to_string e)
+          | Ok (w, replay) ->
+              Alcotest.(check int) "replayed cell count" k (List.length replay);
+              let t =
+                Campaign.to_table
+                  (campaign_run ~jobs ~sink:(Journal.write_cell w)
+                     ~resume:replay ())
+              in
+              Journal.commit w;
+              Alcotest.(check string)
+                (Printf.sprintf "table after resume from %d/%d at -j %d" k n jobs)
+                t_ref t;
+              Alcotest.(check string)
+                (Printf.sprintf "journal bytes after resume from %d/%d at -j %d"
+                   k n jobs)
+                ref_bytes (read_file path);
+              Sys.remove path)
+        [ 1; 4 ])
+    prefixes;
+  Sys.remove ref_path
+
+let () =
+  Alcotest.run "store"
+    [
+      ( "jsonl",
+        [
+          Alcotest.test_case "round-trip" `Quick test_jsonl_roundtrip;
+          Alcotest.test_case "rejects malformed" `Quick test_jsonl_rejects;
+          Alcotest.test_case "checksummed lines" `Quick test_jsonl_checksum;
+        ] );
+      ( "journal",
+        [
+          Alcotest.test_case "round-trip" `Quick test_journal_roundtrip;
+          Alcotest.test_case "torn tail recovered" `Quick test_journal_torn_tail;
+          Alcotest.test_case "mid-file damage rejected" `Quick test_journal_corrupt_middle;
+          Alcotest.test_case "identity mismatch rejected" `Quick test_journal_header_mismatch;
+          Alcotest.test_case "missing file = fresh" `Quick test_journal_missing_file;
+        ] );
+      ("corpus", [ Alcotest.test_case "add/index/verify/dedup" `Quick test_corpus ]);
+      ( "resume",
+        [ Alcotest.test_case "byte-identical from any prefix" `Slow test_resume_determinism ] );
+    ]

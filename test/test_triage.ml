@@ -1,0 +1,197 @@
+(* Triage: crafted journals bucket exactly as the majority vote dictates,
+   table1's packed records are expanded, non-regenerable campaigns are
+   rejected, and the corpus round trip — archived exemplars re-read,
+   regenerated from their recorded provenance and re-typechecked. *)
+
+let cell index seed mode config opt outcomes =
+  { Journal.index; seed; mode; config; opt; outcomes; note = "" }
+
+let t4_header =
+  Journal.make_header ~campaign:"table4" ~ident:[ ("seed0", "1") ] ~scale:[]
+
+(* one BASIC kernel (seed 1) across three configs at both levels; majority
+   output "A" (4 votes), one wrong-code cell, one crash cell, one timeout
+   (never bucketed) *)
+let crafted_cells =
+  let open Outcome in
+  [
+    cell 0 1 "BASIC" 1 "-" [ Success "A" ];
+    cell 1 1 "BASIC" 12 "-" [ Success "A" ];
+    cell 2 1 "BASIC" 19 "-" [ Success "A" ];
+    cell 3 1 "BASIC" 1 "+" [ Success "A" ];
+    cell 4 1 "BASIC" 12 "+" [ Success "B" ];
+    cell 5 1 "BASIC" 19 "+" [ Crash "signal" ];
+    cell 6 1 "BASIC" 9 "-" [ Timeout ];
+  ]
+
+let expected_kernel_hash =
+  let tc, _ =
+    Generate.generate ~cfg:(Gen_config.scaled Gen_config.Basic) ~seed:1 ()
+  in
+  Corpus.hash_text (Pp.program_to_string tc.Ast.prog)
+
+let test_crafted_buckets () =
+  match Triage.of_journal t4_header crafted_cells with
+  | Error m -> Alcotest.fail m
+  | Ok buckets ->
+      Alcotest.(check (list string))
+        "one wrong-code and one crash bucket" [ "crash"; "wrong-code" ]
+        (List.map (fun b -> b.Triage.cls) buckets);
+      List.iter
+        (fun b ->
+          Alcotest.(check int) "one cell each" 1 b.Triage.cells;
+          Alcotest.(check int) "one kernel each" 1 b.Triage.kernels;
+          Alcotest.(check string) "opt level" "+" b.Triage.opt;
+          Alcotest.(check int) "exemplar seed" 1 b.Triage.exemplar_seed;
+          Alcotest.(check string) "exemplar mode" "BASIC" b.Triage.exemplar_mode;
+          Alcotest.(check string) "exemplar hash is the content address"
+            expected_kernel_hash b.Triage.exemplar_hash)
+        buckets;
+      let crash = List.hd buckets and wrong = List.nth buckets 1 in
+      Alcotest.(check int) "crash config" 19 crash.Triage.config;
+      Alcotest.(check int) "wrong-code config" 12 wrong.Triage.config
+
+let test_same_signature_merges () =
+  (* two kernels with identical trigger signatures crashing on the same
+     (config, opt) must share a bucket; the exemplar is the first witness *)
+  let seeds = List.init 30 (fun i -> i + 1) in
+  let sig_of seed =
+    let tc, _ =
+      Generate.generate ~cfg:(Gen_config.scaled Gen_config.Basic) ~seed ()
+    in
+    Triage.signature_of_features (Features.of_testcase tc)
+  in
+  let by_sig = Hashtbl.create 8 in
+  List.iter
+    (fun s ->
+      let g = sig_of s in
+      Hashtbl.replace by_sig g (s :: Option.value ~default:[] (Hashtbl.find_opt by_sig g)))
+    seeds;
+  match
+    Hashtbl.fold
+      (fun _ ss acc -> if List.length ss >= 2 && acc = None then Some (List.rev ss) else acc)
+      by_sig None
+  with
+  | None -> Alcotest.fail "no two BASIC seeds share a signature in 30 tries"
+  | Some (s1 :: s2 :: _) ->
+      let cells =
+        [
+          cell 0 s1 "BASIC" 7 "-" [ Outcome.Crash "x" ];
+          cell 1 s2 "BASIC" 7 "-" [ Outcome.Crash "y" ];
+        ]
+      in
+      (match Triage.of_journal t4_header cells with
+      | Error m -> Alcotest.fail m
+      | Ok [ b ] ->
+          Alcotest.(check int) "both cells merged" 2 b.Triage.cells;
+          Alcotest.(check int) "two distinct kernels" 2 b.Triage.kernels;
+          Alcotest.(check int) "first witness is the exemplar" s1
+            b.Triage.exemplar_seed
+      | Ok bs -> Alcotest.failf "expected one bucket, got %d" (List.length bs))
+  | Some _ -> assert false
+
+let test_table1_expansion () =
+  let h =
+    Journal.make_header ~campaign:"table1" ~ident:[ ("seed0", "1") ] ~scale:[]
+  in
+  (* opt "*" packs both levels into one record: the bucket keys must still
+     carry "-" / "+" separately *)
+  let open Outcome in
+  let cells =
+    [
+      cell 0 1 "BASIC" 1 "*" [ Success "A"; Success "A" ];
+      cell 1 1 "BASIC" 12 "*" [ Success "A"; Build_failure "d" ];
+      cell 2 1 "BASIC" 19 "*" [ Success "A"; Success "A" ];
+    ]
+  in
+  match Triage.of_journal h cells with
+  | Error m -> Alcotest.fail m
+  | Ok [ b ] ->
+      Alcotest.(check string) "class" "build-failure" b.Triage.cls;
+      Alcotest.(check string) "split to the opt-on level" "+" b.Triage.opt;
+      Alcotest.(check int) "config" 12 b.Triage.config
+  | Ok bs -> Alcotest.failf "expected one bucket, got %d" (List.length bs)
+
+let test_untriageable_campaigns () =
+  List.iter
+    (fun campaign ->
+      let h = Journal.make_header ~campaign ~ident:[] ~scale:[] in
+      match Triage.of_journal h [] with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "triaged a %s journal" campaign)
+    [ "table3"; "table5"; "nonsense" ]
+
+(* --- end-to-end: real campaign -> triage -> corpus -> re-typecheck --- *)
+
+let test_campaign_corpus_roundtrip () =
+  let header =
+    Campaign.journal_header ~per_mode:2 ~config_ids:[ 1; 12; 19 ]
+      ~modes:[ Gen_config.Basic; Gen_config.All ] ()
+  in
+  let collected = ref [] in
+  ignore
+    (Campaign.run ~jobs:2 ~per_mode:2 ~config_ids:[ 1; 12; 19 ]
+       ~modes:[ Gen_config.Basic; Gen_config.All ]
+       ~sink:(fun c -> collected := c :: !collected)
+       ());
+  match Triage.of_journal header (List.rev !collected) with
+  | Error m -> Alcotest.fail m
+  | Ok buckets ->
+      Alcotest.(check bool) "tiny campaign yields buckets" true (buckets <> []);
+      let entries = Triage.corpus_entries buckets in
+      Alcotest.(check int) "one corpus entry per bucket" (List.length buckets)
+        (List.length entries);
+      let dir = Filename.temp_file "triage_corpus" "" in
+      Sys.remove dir;
+      (match Corpus.add_all ~dir entries with
+      | Error m -> Alcotest.fail m
+      | Ok _ -> ());
+      let indexed =
+        match Corpus.index ~dir with Ok es -> es | Error m -> Alcotest.fail m
+      in
+      Alcotest.(check bool) "index populated" true (indexed <> []);
+      List.iter
+        (fun (e : Corpus.entry) ->
+          (* stored bytes still match their content address *)
+          (match Corpus.verify ~dir e with
+          | Ok () -> ()
+          | Error m -> Alcotest.fail m);
+          (* the recorded provenance regenerates the archived text *)
+          let stored =
+            match Corpus.read_kernel ~dir ~hash:e.Corpus.hash with
+            | Ok t -> t
+            | Error m -> Alcotest.fail m
+          in
+          let mode =
+            match Gen_config.mode_of_string e.Corpus.mode with
+            | Some m -> m
+            | None -> Alcotest.failf "bad mode %s in index" e.Corpus.mode
+          in
+          let tc, _ =
+            Generate.generate ~cfg:(Gen_config.scaled mode) ~seed:e.Corpus.seed ()
+          in
+          Alcotest.(check string) "regenerated kernel prints identically"
+            stored
+            (Pp.program_to_string tc.Ast.prog);
+          (* and the archived kernel is well-typed *)
+          match Typecheck.check_program tc.Ast.prog with
+          | Ok () -> ()
+          | Error m -> Alcotest.failf "exemplar does not typecheck: %s" m)
+        indexed
+
+let () =
+  Alcotest.run "triage"
+    [
+      ( "buckets",
+        [
+          Alcotest.test_case "crafted majority" `Quick test_crafted_buckets;
+          Alcotest.test_case "same signature merges" `Quick test_same_signature_merges;
+          Alcotest.test_case "table1 expansion" `Quick test_table1_expansion;
+          Alcotest.test_case "untriageable campaigns" `Quick test_untriageable_campaigns;
+        ] );
+      ( "corpus",
+        [
+          Alcotest.test_case "campaign exemplars re-typecheck" `Slow
+            test_campaign_corpus_roundtrip;
+        ] );
+    ]
