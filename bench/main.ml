@@ -215,14 +215,46 @@ let scaling () =
   section "Parallel campaign scaling — -j 1 vs -j N on a micro Table 4";
   let per_mode = size 12 in
   let modes = [ Gen_config.Basic; Gen_config.Barrier ] in
+  (* both runs journal to a scratch file and collect spans, so the record
+     carries a per-stage breakdown (including persistence) and the two
+     timings stay comparable *)
   let run_at jobs =
+    Span.reset ();
+    Span.enable ();
+    let path = Filename.temp_file "bench_scaling" ".jsonl" in
+    let header = Campaign.journal_header ~per_mode ~modes () in
+    let w = Journal.create ~path header in
     let t0 = Unix.gettimeofday () in
-    let table = Campaign.to_table (Campaign.run ~jobs ~per_mode ~modes ()) in
-    (table, Unix.gettimeofday () -. t0)
+    let table =
+      Campaign.to_table
+        (Campaign.run ~jobs ~per_mode ~modes ~sink:(Journal.write_cell w) ())
+    in
+    let dt = Unix.gettimeofday () -. t0 in
+    Journal.commit w;
+    Sys.remove path;
+    Span.disable ();
+    let spans = Span.drain () in
+    let stage_s cat =
+      Int64.to_float
+        (List.fold_left
+           (fun acc (s : Span.t) ->
+             if String.equal s.Span.cat cat then Int64.add acc s.Span.dur_ns
+             else acc)
+           0L spans)
+      /. 1e9
+    in
+    let stages =
+      Printf.sprintf
+        "{\"generate_s\":%.3f,\"opt_s\":%.3f,\"execute_s\":%.3f,\
+         \"vote_s\":%.3f,\"persist_s\":%.3f}"
+        (stage_s "gen") (stage_s "opt") (stage_s "exec") (stage_s "vote")
+        (stage_s "persist")
+    in
+    (table, dt, stages)
   in
   let n_jobs = max 1 !jobs in
-  let table_seq, t_seq = run_at 1 in
-  let table_par, t_par = run_at n_jobs in
+  let table_seq, t_seq, stages_seq = run_at 1 in
+  let table_par, t_par, stages_par = run_at n_jobs in
   let identical = String.equal table_seq table_par in
   let cells = per_mode * List.length modes * 2 * List.length Config.above_threshold_ids in
   Printf.printf
@@ -232,18 +264,22 @@ let scaling () =
     (float cells /. t_seq)
     n_jobs t_par
     (float cells /. t_par);
+  Printf.printf "stages -j 1: %s\nstages -j %d: %s\n" stages_seq n_jobs stages_par;
   Printf.printf "tables byte-identical across -j: %b\n" identical;
   if not identical then prerr_endline "ERROR: parallel output diverged from sequential";
   let payload =
     Printf.sprintf
-      "{\"bench\":\"campaign_parallel_scaling\",\"kernels_per_mode\":%d,\
+      "{\"bench\":\"campaign_parallel_scaling\",\"schema\":2,\
+       \"kernels_per_mode\":%d,\
        \"cells\":%d,\"jobs\":%d,\"t_j1_s\":%.3f,\"t_jN_s\":%.3f,\
        \"cells_per_s_j1\":%.1f,\"cells_per_s_jN\":%.1f,\"speedup\":%.2f,\
-       \"identical\":%b}"
+       \"identical\":%b,\"stages_j1\":%s,\"stages_jN\":%s,\
+       \"host\":{\"cores\":%d,\"ocaml\":%S,\"os\":%S,\"word_size\":%d}}"
       per_mode cells n_jobs t_seq t_par
       (float cells /. t_seq)
       (float cells /. t_par)
-      (t_seq /. t_par) identical
+      (t_seq /. t_par) identical stages_seq stages_par (Hostinfo.cores ())
+      Hostinfo.ocaml_version Hostinfo.os_type Hostinfo.word_size
   in
   Printf.printf "BENCH-JSON %s\n" payload;
   (* persist the measurement next to the sources so successive revisions

@@ -11,7 +11,16 @@
 
 open Cmdliner
 
-let fail fmt = Printf.ksprintf (fun m -> prerr_endline ("campaign: " ^ m); 1) fmt
+(* every operator-facing diagnostic goes through [report], so all of them
+   carry the "campaign:" prefix *)
+let report fmt = Printf.ksprintf (fun m -> prerr_endline ("campaign: " ^ m)) fmt
+let warn fmt = report ("warning: " ^^ fmt)
+let fail fmt =
+  Printf.ksprintf
+    (fun m ->
+      report "%s" m;
+      1)
+    fmt
 
 (* every subcommand renders its report into a string and emits it here *)
 let emit out text =
@@ -84,6 +93,105 @@ let corpus_arg =
           "Archive each distinct-bug bucket's exemplar kernel to the \
            content-addressed corpus at $(docv).")
 
+let metrics_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics" ] ~docv:"FILE"
+        ~doc:
+          "Dump the campaign's metrics registry (cell totals, interpreter \
+           work, outcome-class tallies, pool gauges) to $(docv) as canonical \
+           JSON after the run. The deterministic totals are identical across \
+           $(b,-j) values.")
+
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Record a span for every pipeline stage (generate, typecheck, \
+           optimisation passes, per-config execution, vote, journal append) \
+           and write a Chrome trace-event JSON to $(docv) — load it in \
+           ui.perfetto.dev or chrome://tracing; one pid per domain.")
+
+let progress_arg =
+  Arg.(
+    value & flag
+    & info [ "progress" ]
+        ~doc:
+          "Render a live stderr progress line: done/total cells, cells/s, \
+           ETA and running class tallies. Purely cosmetic — table and \
+           journal bytes are unchanged.")
+
+let telemetry_term =
+  let combine metrics trace progress = (metrics, trace, progress) in
+  Term.(const combine $ metrics_arg $ trace_arg $ progress_arg)
+
+(* one short class tag per journalled cell, for the progress tallies *)
+let tag_of_cell (c : Journal.cell) =
+  match c.Journal.outcomes with
+  | [] -> if c.Journal.note = "" then "ok" else c.Journal.note
+  | outcomes -> (
+      match List.find_opt (fun o -> not (Outcome.is_computed o)) outcomes with
+      | Some o -> Outcome.short_tag o
+      | None -> "ok")
+
+(* Arm span collection and the progress line around [k], then emit the
+   requested telemetry files. [k] receives a sink wrapper that teaches a
+   campaign's cell stream to drive the progress display. Telemetry never
+   touches stdout, the table or the journal; a file that cannot be
+   written fails the run only after the campaign itself finished. *)
+let with_telemetry ~telemetry:(metrics, trace, progress) ~label ~total k =
+  if trace <> None then begin
+    Span.reset ();
+    Span.enable ()
+  end;
+  let prog =
+    if progress then Some (Progress.create ~label ~total ()) else None
+  in
+  let wrap sink =
+    match prog with
+    | None -> sink
+    | Some p ->
+        let bump c = Progress.step p ~tag:(tag_of_cell c) in
+        Some
+          (match sink with
+          | None -> bump
+          | Some s ->
+              fun c ->
+                bump c;
+                s c)
+  in
+  let rc = k wrap in
+  (match prog with Some p -> Progress.finish p | None -> ());
+  let write_json path json =
+    try
+      let oc = open_out path in
+      output_string oc (Jsonl.to_string json);
+      output_char oc '\n';
+      close_out oc;
+      0
+    with Sys_error m -> fail "%s" m
+  in
+  let rc_metrics =
+    match metrics with
+    | None -> 0
+    | Some path -> write_json path (Metrics.to_json ())
+  in
+  let rc_trace =
+    match trace with
+    | None -> 0
+    | Some path ->
+        Span.disable ();
+        let spans = Span.drain () in
+        (try
+           Trace.write ~path spans;
+           0
+         with Sys_error m -> fail "%s" m)
+  in
+  max rc (max rc_metrics rc_trace)
+
 (* run [k sink resumed_cells] under the requested journal plumbing *)
 let with_journal ~header ~journal ~resume k =
   match (journal, resume) with
@@ -119,11 +227,15 @@ let archive ~dir ~header ~cells report =
                 (List.length buckets) dir))
 
 let table1_cmd =
-  let run n jobs fuel journal resume out =
+  let run n jobs fuel journal resume out telemetry =
     let header = Classify.journal_header ?fuel ~per_mode:n () in
+    let total =
+      n * List.length Gen_config.all_modes * List.length Config.all
+    in
+    with_telemetry ~telemetry ~label:"table1" ~total @@ fun wrap ->
     match
       with_journal ~header ~journal ~resume (fun sink cells ->
-          Classify.run ~jobs ?fuel ~per_mode:n ?sink ~resume:cells ())
+          Classify.run ~jobs ?fuel ~per_mode:n ?sink:(wrap sink) ~resume:cells ())
     with
     | Error m -> fail "%s" m
     | Ok t ->
@@ -138,18 +250,23 @@ let table1_cmd =
     Term.(
       const run
       $ n_arg 10 "initial kernels per mode (paper: 100)"
-      $ jobs_arg $ fuel_arg $ journal_arg $ resume_arg $ out_arg)
+      $ jobs_arg $ fuel_arg $ journal_arg $ resume_arg $ out_arg
+      $ telemetry_term)
 
 let table2_cmd =
   let run out = emit out (Suite.table2 () ^ "\n") in
   Cmd.v (Cmd.info "table2" ~doc:"Benchmark suite summary") Term.(const run $ out_arg)
 
 let table3_cmd =
-  let run n jobs fuel journal resume out =
+  let run n jobs fuel journal resume out telemetry =
     let header = Bench_emi.journal_header ?fuel ~variants:n () in
+    let total =
+      List.length Suite.emi_eligible * List.length Bench_emi.default_configs
+    in
+    with_telemetry ~telemetry ~label:"table3" ~total @@ fun wrap ->
     match
       with_journal ~header ~journal ~resume (fun sink cells ->
-          Bench_emi.run ~jobs ?fuel ~variants:n ?sink ~resume:cells ())
+          Bench_emi.run ~jobs ?fuel ~variants:n ?sink:(wrap sink) ~resume:cells ())
     with
     | Error m -> fail "%s" m
     | Ok t -> emit out (Bench_emi.to_table t ^ "\n")
@@ -158,11 +275,17 @@ let table3_cmd =
     Term.(
       const run
       $ n_arg 12 "EMI variants per benchmark (paper: 125)"
-      $ jobs_arg $ fuel_arg $ journal_arg $ resume_arg $ out_arg)
+      $ jobs_arg $ fuel_arg $ journal_arg $ resume_arg $ out_arg
+      $ telemetry_term)
 
 let table4_cmd =
-  let run n jobs fuel journal resume corpus out =
+  let run n jobs fuel journal resume corpus out telemetry =
     let header = Campaign.journal_header ?fuel ~per_mode:n () in
+    let total =
+      n * List.length Gen_config.all_modes
+      * List.length Config.above_threshold_ids
+      * 2
+    in
     (* the corpus is populated from the run's own cell stream, so it works
        with or without a journal *)
     let collected = ref [] in
@@ -176,9 +299,10 @@ let table4_cmd =
               collected := c :: !collected;
               s c)
     in
+    with_telemetry ~telemetry ~label:"table4" ~total @@ fun wrap ->
     match
       with_journal ~header ~journal ~resume (fun sink cells ->
-          Campaign.run ~jobs ?fuel ~per_mode:n ?sink:(collect sink)
+          Campaign.run ~jobs ?fuel ~per_mode:n ?sink:(wrap (collect sink))
             ~resume:cells ())
     with
     | Error m -> fail "%s" m
@@ -195,15 +319,18 @@ let table4_cmd =
     Term.(
       const run
       $ n_arg 60 "kernels per mode (paper: 10000)"
-      $ jobs_arg $ fuel_arg $ journal_arg $ resume_arg $ corpus_arg $ out_arg)
+      $ jobs_arg $ fuel_arg $ journal_arg $ resume_arg $ corpus_arg $ out_arg
+      $ telemetry_term)
 
 let table5_cmd =
-  let run n v jobs fuel journal resume out =
+  let run n v jobs fuel journal resume out telemetry =
     let header = Emi_campaign.journal_header ?fuel ~bases:n ~variants:v () in
+    let total = n * List.length Config.above_threshold_ids * 2 in
+    with_telemetry ~telemetry ~label:"table5" ~total @@ fun wrap ->
     match
       with_journal ~header ~journal ~resume (fun sink cells ->
-          Emi_campaign.run ~jobs ?fuel ~bases:n ~variants:v ?sink ~resume:cells
-            ())
+          Emi_campaign.run ~jobs ?fuel ~bases:n ~variants:v ?sink:(wrap sink)
+            ~resume:cells ())
     with
     | Error m -> fail "%s" m
     | Ok t -> emit out (Emi_campaign.to_table t ^ "\n")
@@ -215,7 +342,8 @@ let table5_cmd =
       $ Arg.(
           value & opt int 10
           & info [ "variants" ] ~doc:"variants per base (paper: 40)")
-      $ jobs_arg $ fuel_arg $ journal_arg $ resume_arg $ out_arg)
+      $ jobs_arg $ fuel_arg $ journal_arg $ resume_arg $ out_arg
+      $ telemetry_term)
 
 let triage_cmd =
   let run path corpus out =
@@ -223,9 +351,9 @@ let triage_cmd =
     | Error e -> fail "%s: %s" path (Journal.error_to_string e)
     | Ok (header, cells, truncated) -> (
         if truncated then
-          prerr_endline
-            "campaign: warning: journal ended in a torn line (interrupted \
-             run); triaging the clean prefix";
+          warn
+            "journal ended in a torn line (interrupted run); triaging the \
+             clean prefix";
         match Triage.of_journal header cells with
         | Error m -> fail "%s" m
         | Ok buckets -> (

@@ -5,9 +5,48 @@ type t = {
   work_available : Condition.t;
   mutable live : bool;
   mutable workers : unit Domain.t list;
+  submitted : int Atomic.t;
+  completed : int Atomic.t;
+  (* first fatal task index seen by an isolated batch; written only by
+     the submitting domain *)
+  mutable poisoned : int option;
+}
+
+type stats = {
+  submitted : int;
+  completed : int;
+  in_flight : int;
+  poisoned : int option;
 }
 
 let recommended_jobs () = Domain.recommended_domain_count ()
+
+(* telemetry: queue depth at dequeue and per-domain busy time, recorded
+   only while span collection is on — both are scheduling-dependent and
+   deliberately outside the determinism contract *)
+let queue_depth = Metrics.histogram "pool.queue_depth"
+
+let busy_counter () =
+  Metrics.counter (Printf.sprintf "pool.busy_ns.domain%d" (Domain.self () :> int))
+
+let observe_depth t =
+  (* called with [t.m] held; Queue.length is O(1) *)
+  if Span.enabled () then Metrics.observe queue_depth (Queue.length t.queue)
+
+(* every task runs through here, on whichever domain picked it up: tag
+   spans with the task index, count completion, accrue busy time *)
+let run_task (t : t) i f x =
+  Span.set_task i;
+  let timed = Span.enabled () in
+  let t0 = if timed then Mclock.now_ns () else 0L in
+  Fun.protect
+    ~finally:(fun () ->
+      Span.clear_task ();
+      if timed then
+        Metrics.add (busy_counter ())
+          (Int64.to_int (Int64.sub (Mclock.now_ns ()) t0));
+      Atomic.incr t.completed)
+    (fun () -> f x)
 
 let rec worker_loop t =
   Mutex.lock t.m;
@@ -17,6 +56,7 @@ let rec worker_loop t =
   if Queue.is_empty t.queue then Mutex.unlock t.m (* shut down *)
   else begin
     let job = Queue.pop t.queue in
+    observe_depth t;
     Mutex.unlock t.m;
     job ();
     worker_loop t
@@ -32,6 +72,9 @@ let create ~jobs =
       work_available = Condition.create ();
       live = true;
       workers = [];
+      submitted = Atomic.make 0;
+      completed = Atomic.make 0;
+      poisoned = None;
     }
   in
   if jobs > 1 then
@@ -39,6 +82,18 @@ let create ~jobs =
   t
 
 let jobs t = t.jobs
+
+let stats (t : t) =
+  (* completed is read before submitted so a racing snapshot can only
+     under-report in_flight, never go negative *)
+  let completed = Atomic.get t.completed in
+  let submitted = Atomic.get t.submitted in
+  {
+    submitted;
+    completed;
+    in_flight = max 0 (submitted - completed);
+    poisoned = t.poisoned;
+  }
 
 let shutdown t =
   Mutex.lock t.m;
@@ -61,10 +116,11 @@ let with_pool ~jobs f =
    order as it grows — never out of order, regardless of completion
    order — so a journal written from it is a deterministic prefix of the
    batch at every instant. *)
-let try_map ?on_result t ~f xs =
+let try_map ?on_result (t : t) ~f xs =
   let tasks = Array.of_list xs in
   let n = Array.length tasks in
   let emit i r = match on_result with Some cb -> cb i r | None -> () in
+  ignore (Atomic.fetch_and_add t.submitted n);
   if n = 0 then []
   else if t.jobs = 1 then
     (* explicit recursion: the callback must fire in index order, which
@@ -72,7 +128,7 @@ let try_map ?on_result t ~f xs =
     let rec seq i acc = function
       | [] -> List.rev acc
       | x :: rest ->
-          let r = try Ok (f x) with e -> Error e in
+          let r = try Ok (run_task t i f x) with e -> Error e in
           emit i r;
           seq (i + 1) (r :: acc) rest
     in
@@ -83,7 +139,7 @@ let try_map ?on_result t ~f xs =
     (* the ready-prefix cursor: owned by the submitting domain *)
     let next = ref 0 in
     let job i () =
-      let r = try Ok (f tasks.(i)) with e -> Error e in
+      let r = try Ok (run_task t i f tasks.(i)) with e -> Error e in
       (* publish under the lock: the submitter reads [results] under the
          same lock, which also orders the write before the wakeup *)
       Mutex.lock done_m;
@@ -118,6 +174,7 @@ let try_map ?on_result t ~f xs =
       match Queue.take_opt t.queue with
       | None -> Mutex.unlock t.m
       | Some job ->
+          observe_depth t;
           Mutex.unlock t.m;
           job ();
           flush_ready ();
@@ -147,6 +204,8 @@ let map t ~f xs =
 
 let is_fatal = function Out_of_memory | Stack_overflow -> true | _ -> false
 
+let mark_poisoned (t : t) i = if t.poisoned = None then t.poisoned <- Some i
+
 let map_isolated ?on_result t ~f ~on_error xs =
   let on_result =
     Option.map
@@ -159,13 +218,17 @@ let map_isolated ?on_result t ~f ~on_error xs =
           if not !poisoned then
             match r with
             | Ok v -> cb i v
-            | Error e when is_fatal e -> poisoned := true
+            | Error e when is_fatal e ->
+                poisoned := true;
+                mark_poisoned t i
             | Error e -> cb i (on_error e))
       on_result
   in
-  List.map
-    (function
+  List.mapi
+    (fun i -> function
       | Ok v -> v
-      | Error e when is_fatal e -> raise e
+      | Error e when is_fatal e ->
+          mark_poisoned t i;
+          raise e
       | Error e -> on_error e)
     (try_map ?on_result t ~f xs)

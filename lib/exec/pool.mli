@@ -38,6 +38,22 @@ val create : jobs:int -> t
 
 val jobs : t -> int
 
+type stats = {
+  submitted : int;  (** tasks handed to the pool over its lifetime *)
+  completed : int;  (** tasks that finished (including ones that raised) *)
+  in_flight : int;  (** [submitted - completed] at snapshot time *)
+  poisoned : int option;
+      (** index of the first task whose fatal exhaustion aborted an
+          isolated batch, once {!map_isolated} has delivered or raised
+          it; [None] while healthy *)
+}
+
+val stats : t -> stats
+(** A monitoring snapshot. Counts are exact when the pool is quiescent
+    (before/after a batch, or after {!map_isolated} raised); sampled
+    mid-batch from another thread they are merely consistent enough for
+    display. *)
+
 val shutdown : t -> unit
 (** Drain and join the worker domains. Idempotent. *)
 

@@ -95,14 +95,22 @@ let run ?jobs ?fuel ?(variants = 12) ?(seed0 = 90_000) ?config_ids ?sink
         { name = b.Suite.name; expected; orig_prep; tests })
       Suite.emi_eligible
   in
-  (* phase 2: one task per (benchmark, configuration) cell *)
+  (* phase 2: one task per (benchmark, configuration) cell; the cell's
+     many variant runs accumulate one interpreter-work tally *)
   let cell (s, c) =
+    let work = ref Interp.zero_stats in
+    let run_counted ~opt prep =
+      let o, st = Driver.run_prepared_stats ?fuel c ~opt prep in
+      work := Interp.add_stats !work st;
+      o
+    in
+    let finish code = ((c.Config.id, code), !work) in
     let orig_ok opt =
-      match Driver.run_prepared ?fuel c ~opt s.orig_prep with
+      match run_counted ~opt s.orig_prep with
       | Outcome.Success out -> String.equal out s.expected
       | _ -> false
     in
-    if not (orig_ok false || orig_ok true) then (c.Config.id, No_gen)
+    if not (orig_ok false || orig_ok true) then finish No_gen
     else begin
       let wrong_subst = ref false
       and wrong_nosubst = ref false
@@ -113,7 +121,7 @@ let run ?jobs ?fuel ?(variants = 12) ?(seed0 = 90_000) ?config_ids ?sink
         (fun (subst, prep) ->
           List.iter
             (fun opt ->
-              match Driver.run_prepared ?fuel c ~opt prep with
+              match run_counted ~opt prep with
               | Outcome.Success out when not (String.equal out s.expected) ->
                   if subst then wrong_subst := true else wrong_nosubst := true
               | Outcome.Success _ -> ()
@@ -133,7 +141,7 @@ let run ?jobs ?fuel ?(variants = 12) ?(seed0 = 90_000) ?config_ids ?sink
         else if !timed then Timed_out
         else Pass
       in
-      (c.Config.id, code)
+      finish code
     end
   in
   let tasks =
@@ -152,7 +160,7 @@ let run ?jobs ?fuel ?(variants = 12) ?(seed0 = 90_000) ?config_ids ?sink
       note = code_to_string code;
     }
   in
-  let sink = Option.map (fun emit i r -> emit (cell_record i r)) sink in
+  let sink = Option.map (fun emit i (r, _stats) -> emit (cell_record i r)) sink in
   let lookup =
     match resume with
     | None | Some [] -> None
@@ -163,7 +171,9 @@ let run ?jobs ?fuel ?(variants = 12) ?(seed0 = 90_000) ?config_ids ?sink
             let s, c = tasks_arr.(i) in
             match Hashtbl.find_opt tbl (s.name, 0, c.Config.id, "*") with
             | Some { Journal.note; _ } ->
-                Option.map (fun code -> (c.Config.id, code)) (code_of_string note)
+                Option.map
+                  (fun code -> ((c.Config.id, code), Interp.zero_stats))
+                  (code_of_string note)
             | None -> None)
   in
   let cells =
@@ -172,8 +182,15 @@ let run ?jobs ?fuel ?(variants = 12) ?(seed0 = 90_000) ?config_ids ?sink
     Par.run_resumable pool ?sink ?lookup
       ~f:(fun ((_, c) as task) ->
         try cell task
-        with e when not (Pool.is_fatal e) -> (c.Config.id, Crash "?"))
+        with e when not (Pool.is_fatal e) ->
+          ((c.Config.id, Crash "?"), Interp.zero_stats))
       ~on_error:raise tasks
+    (* table 3 cells have no per-run outcome list; their class lives in
+       the note code, tallied under cells.note.* *)
+    |> List.map (fun ((id, code), stats) ->
+           Par.record_cell stats [];
+           Metrics.incr (Metrics.counter ("cells.note." ^ code_to_string code));
+           (id, code))
   in
   (* regroup the flat cell list by benchmark, in task order *)
   let results =

@@ -25,6 +25,10 @@ val code_to_string : code -> string
 val code_of_string : string -> code option
 (** Inverse of {!code_to_string} — used to replay journalled cells. *)
 
+val default_configs : int list
+(** Configs 1–19 (the Altera pair is excluded) — exposed so callers can
+    size the cell grid, e.g. for a progress display. *)
+
 type t = {
   variants : int;
   results : (string * (int * code) list) list;

@@ -68,7 +68,10 @@ let run ?jobs ?fuel ?(per_mode = 60) ?(seed0 = 10_000) ?config_ids ?modes ?sink
          work, and rebuilding the kernels is needed to verify the journal
          against this run anyway. *)
       let classify ~seed =
-        let tc, info = Generate.generate ~cfg:gcfg ~seed () in
+        let tc, info =
+          Span.with_ ~cat:"gen" "generate" (fun () ->
+              Generate.generate ~cfg:gcfg ~seed ())
+        in
         if info.Generate.counter_sharing then Par.Reject `Sharing
         else
           let prep = Driver.prepare tc in
@@ -105,7 +108,7 @@ let run ?jobs ?fuel ?(per_mode = 60) ?(seed0 = 10_000) ?config_ids ?modes ?sink
           note = "";
         }
       in
-      let sink = Option.map (fun emit i o -> emit (cell_of i o)) sink in
+      let sink = Option.map (fun emit i (o, _stats) -> emit (cell_of i o)) sink in
       let lookup =
         Option.map
           (fun tbl i ->
@@ -113,14 +116,21 @@ let run ?jobs ?fuel ?(per_mode = 60) ?(seed0 = 10_000) ?config_ids ?modes ?sink
             match
               Hashtbl.find_opt tbl (mode_name, seed, c.Config.id, opt_str opt)
             with
-            | Some { Journal.outcomes = [ o ]; _ } -> Some o
+            | Some { Journal.outcomes = [ o ]; _ } ->
+                Some (o, Interp.zero_stats)
             | _ -> None)
           replay
       in
       let outcomes =
         Par.run_resumable pool ?sink ?lookup
-          ~f:(fun (_, prep, c, opt) -> Driver.run_prepared ?fuel c ~opt prep)
-          ~on_error:Par.crash_of_exn tasks
+          ~f:(fun (_, prep, c, opt) -> Driver.run_prepared_stats ?fuel c ~opt prep)
+          ~on_error:(fun e -> (Par.crash_of_exn e, Interp.zero_stats))
+          tasks
+        (* metrics fold over the merged list, in task order: replayed
+           cells count their outcome but no interpreter work *)
+        |> List.map (fun (o, stats) ->
+               Par.record_cell stats [ o ];
+               o)
       in
       base := !base + Array.length tasks_arr;
       (* deterministic merge: regroup the flat outcome list by kernel (the
@@ -130,10 +140,14 @@ let run ?jobs ?fuel ?(per_mode = 60) ?(seed0 = 10_000) ?config_ids ?modes ?sink
       List.iter
         (fun kernel_outcomes ->
           let results = List.combine keys kernel_outcomes in
-          let majority = Majority.majority_output kernel_outcomes in
+          let majority =
+            Span.with_ ~cat:"vote" "vote" (fun () ->
+                Majority.majority_output kernel_outcomes)
+          in
           List.iter
             (fun (key, o) ->
               let b = Majority.bucket_of ~majority o in
+              Par.record_bucket b;
               Hashtbl.replace cells key (add_bucket (Hashtbl.find cells key) b))
             results)
         (Par.chunk (List.length keys) outcomes);

@@ -24,7 +24,10 @@ let initial_kernels pool ~per_mode ~seed0 =
       (fun mode ->
         let cfg = Gen_config.scaled mode in
         let classify ~seed =
-          let tc, info = Generate.generate ~cfg ~seed () in
+          let tc, info =
+            Span.with_ ~cat:"gen" "generate" (fun () ->
+                Generate.generate ~cfg ~seed ())
+          in
           if info.Generate.counter_sharing then Par.Reject `Sharing
           else Par.Accept (seed, tc)
         in
@@ -80,7 +83,7 @@ let run ?jobs ?fuel ?(per_mode = 10) ?(seed0 = 1) ?sink ?resume () : t =
       note = "";
     }
   in
-  let sink = Option.map (fun emit i pair -> emit (cell_of i pair)) sink in
+  let sink = Option.map (fun emit i (pair, _stats) -> emit (cell_of i pair)) sink in
   let lookup =
     match resume with
     | None | Some [] -> None
@@ -93,18 +96,23 @@ let run ?jobs ?fuel ?(per_mode = 10) ?(seed0 = 1) ?sink ?resume () : t =
               Hashtbl.find_opt tbl
                 (Gen_config.mode_name mode, seed, c.Config.id, "*")
             with
-            | Some { Journal.outcomes = [ off; on ]; _ } -> Some (off, on)
+            | Some { Journal.outcomes = [ off; on ]; _ } ->
+                Some ((off, on), Interp.zero_stats)
             | _ -> None)
   in
   let pairs =
     Par.run_resumable pool ?sink ?lookup
       ~f:(fun (_, _, prep, c) ->
-        ( Driver.run_prepared ?fuel c ~opt:false prep,
-          Driver.run_prepared ?fuel c ~opt:true prep ))
+        let off, st_off = Driver.run_prepared_stats ?fuel c ~opt:false prep in
+        let on, st_on = Driver.run_prepared_stats ?fuel c ~opt:true prep in
+        ((off, on), Interp.add_stats st_off st_on))
       ~on_error:(fun e ->
         let o = Par.crash_of_exn e in
-        (o, o))
+        ((o, o), Interp.zero_stats))
       tasks
+    |> List.map (fun ((off, on), stats) ->
+           Par.record_cell stats [ off; on ];
+           (off, on))
   in
   (* deterministic merge: per kernel, majority over all its results, then
      per-config bucket accumulation in task order *)
@@ -113,12 +121,16 @@ let run ?jobs ?fuel ?(per_mode = 10) ?(seed0 = 1) ?sink ?resume () : t =
       let all_results =
         List.concat_map (fun (a, b) -> [ a; b ]) kernel_pairs
       in
-      let majority = Majority.majority_output all_results in
+      let majority =
+        Span.with_ ~cat:"vote" "vote" (fun () ->
+            Majority.majority_output all_results)
+      in
       List.iteri
         (fun i (off, on) ->
           List.iter
             (fun o ->
               tot.(i) <- tot.(i) + 1;
+              Par.record_bucket (Majority.bucket_of ~majority o);
               match Majority.bucket_of ~majority o with
               | Majority.B_wrong -> wrong.(i) <- wrong.(i) + 1
               | Majority.B_bf -> bf.(i) <- bf.(i) + 1

@@ -90,7 +90,10 @@ let run ?jobs ?fuel ?(bases = 15) ?(variants = 10) ?(seed0 = 50_000) ?config_ids
   (* phase 1: generation + liveness filter over candidate seeds, in
      parallel batches consumed in seed order *)
   let classify ~seed =
-    let tc, info = Generate.generate ~emi:true ~cfg:gcfg ~seed () in
+    let tc, info =
+      Span.with_ ~cat:"gen" "generate" (fun () ->
+          Generate.generate ~emi:true ~cfg:gcfg ~seed ())
+    in
     if info.Generate.counter_sharing then Par.Reject `Sharing
     else if not (live_emi tc) then Par.Reject `Dead
     else Par.Accept (seed, tc)
@@ -132,7 +135,9 @@ let run ?jobs ?fuel ?(bases = 15) ?(variants = 10) ?(seed0 = 50_000) ?config_ids
       note = "";
     }
   in
-  let sink = Option.map (fun emit i outcomes -> emit (cell_of i outcomes)) sink in
+  let sink =
+    Option.map (fun emit i (outcomes, _stats) -> emit (cell_of i outcomes)) sink
+  in
   let lookup =
     match resume with
     | None | Some [] -> None
@@ -145,15 +150,24 @@ let run ?jobs ?fuel ?(bases = 15) ?(variants = 10) ?(seed0 = 50_000) ?config_ids
               Hashtbl.find_opt tbl (mode_name, seed, c.Config.id, opt_str opt)
             with
             | Some { Journal.outcomes = [] ; _ } | None -> None
-            | Some { Journal.outcomes; _ } -> Some outcomes)
+            | Some { Journal.outcomes; _ } -> Some (outcomes, Interp.zero_stats))
   in
   let cell_outcomes =
     (* a cell's value is its variant outcome list; exceptions inside a cell
        surface as a Crash outcome for that cell's variants *)
     Par.run_resumable pool ?sink ?lookup
-      ~f:(fun (_, vs, c, opt) -> List.map (Driver.run_prepared ?fuel c ~opt) vs)
-      ~on_error:(fun e -> [ Par.crash_of_exn e ])
+      ~f:(fun (_, vs, c, opt) ->
+        List.fold_left_map
+          (fun acc prep ->
+            let o, st = Driver.run_prepared_stats ?fuel c ~opt prep in
+            (Interp.add_stats acc st, o))
+          Interp.zero_stats vs
+        |> fun (stats, outcomes) -> (outcomes, stats))
+      ~on_error:(fun e -> ([ Par.crash_of_exn e ], Interp.zero_stats))
       tasks
+    |> List.map (fun (outcomes, stats) ->
+           Par.record_cell stats outcomes;
+           outcomes)
   in
   (* deterministic merge in task order *)
   let rows = Hashtbl.create 64 in

@@ -20,6 +20,47 @@ let collect pool ~n ~seed0 ~classify =
 
 let count rejects ~tag = List.length (List.filter (fun r -> r = tag) rejects)
 
+(* ------------------------------------------------------------------ *)
+(* Deterministic campaign metrics                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* These totals are fed exclusively from the fixed (kernel, config, opt)
+   cell grid — never from [collect]'s generation batches, whose evaluated
+   seed set depends on the pool size — so they are [-j]-invariant. *)
+let m_cells = Metrics.counter "cells.completed"
+let m_steps = Metrics.counter "interp.steps"
+let m_barriers = Metrics.counter "interp.barriers"
+let m_atomics = Metrics.counter "interp.atomics"
+let m_race_checks = Metrics.counter "interp.race_checks"
+let h_steps = Metrics.histogram "interp.steps_per_cell"
+
+let outcome_counter =
+  let by_tag =
+    List.map
+      (fun tag -> (tag, Metrics.counter ("outcomes." ^ tag)))
+      [ "ok"; "bf"; "c"; "to"; "mc"; "ub" ]
+  in
+  fun o -> List.assoc (Outcome.short_tag o) by_tag
+
+let record_cell (st : Interp.stats) outcomes =
+  Metrics.incr m_cells;
+  Metrics.add m_steps st.Interp.steps;
+  Metrics.add m_barriers st.Interp.barriers;
+  Metrics.add m_atomics st.Interp.atomics;
+  Metrics.add m_race_checks st.Interp.race_checks;
+  Metrics.observe h_steps st.Interp.steps;
+  List.iter (fun o -> Metrics.incr (outcome_counter o)) outcomes
+
+let bucket_counter =
+  let by_bucket =
+    List.map
+      (fun b -> (b, Metrics.counter ("cells.class." ^ Majority.bucket_name b)))
+      [ Majority.B_wrong; B_ok; B_bf; B_crash; B_timeout ]
+  in
+  fun b -> List.assoc b by_bucket
+
+let record_bucket b = Metrics.incr (bucket_counter b)
+
 let crash_of_exn e =
   Outcome.Crash ("harness: uncaught exception: " ^ Printexc.to_string e)
 

@@ -25,6 +25,19 @@ val collect :
 val count : 'r list -> tag:'r -> int
 (** Occurrences of [tag] in a rejection list. *)
 
+val record_cell : Interp.stats -> Outcome.t list -> unit
+(** Fold one completed cell into the global {!Metrics} registry: cell
+    count, interpreter work totals and histogram, and one
+    ["outcomes.<tag>"] tick per outcome. Call it from the merged result
+    list (replayed cells with {!Interp.zero_stats}), never from
+    generation batches: {!collect} evaluates a pool-size-dependent set
+    of seeds, so anything counted there would break the [-j]-invariance
+    the metrics tests assert. *)
+
+val record_bucket : Majority.bucket -> unit
+(** One ["cells.class.<name>"] tick — the campaign tables' post-vote
+    classification tallies. *)
+
 val crash_of_exn : exn -> Outcome.t
 (** The campaigns' exception-isolation policy: an uncaught harness
     exception becomes a crash cell. *)

@@ -476,6 +476,7 @@ let check_no_recursion (p : program) =
   List.iter (fun (n, _) -> visit [] n) graph
 
 let check_program (p : program) =
+  Span.with_ ~cat:"check" "typecheck" @@ fun () ->
   match
     let env = env_of_program p in
     check_no_recursion p;

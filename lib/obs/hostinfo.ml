@@ -1,0 +1,13 @@
+let cores () = Domain.recommended_domain_count ()
+let ocaml_version = Sys.ocaml_version
+let os_type = Sys.os_type
+let word_size = Sys.word_size
+
+let to_json () =
+  Jsonl.Obj
+    [
+      ("cores", Jsonl.Int (cores ()));
+      ("ocaml", Jsonl.Str ocaml_version);
+      ("os", Jsonl.Str os_type);
+      ("word_size", Jsonl.Int word_size);
+    ]

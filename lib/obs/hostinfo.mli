@@ -1,0 +1,12 @@
+(** Host facts stamped into benchmark output, so BENCH_scaling.json
+    numbers from different machines/PRs are comparable. *)
+
+val cores : unit -> int
+(** [Domain.recommended_domain_count ()]. *)
+
+val ocaml_version : string
+val os_type : string
+val word_size : int
+
+val to_json : unit -> Jsonl.t
+(** [{"cores":N,"ocaml":"5.1.x","os":"Unix","word_size":64}]. *)

@@ -1,0 +1,3 @@
+let now_ns () = Monotonic_clock.now ()
+
+let ns_to_us ns = Int64.to_int (Int64.div ns 1000L)

@@ -1,0 +1,14 @@
+(** Monotonic wall clock.
+
+    One indirection over the [bechamel.monotonic_clock] C stub
+    ([CLOCK_MONOTONIC] on Linux) so nothing else in the tree names the
+    vendor package. Readings are nanoseconds from an arbitrary origin:
+    only differences are meaningful, and they survive NTP slews that
+    would corrupt [Unix.gettimeofday]-based span durations. *)
+
+val now_ns : unit -> int64
+(** Current monotonic time in nanoseconds. *)
+
+val ns_to_us : int64 -> int
+(** Truncating nanoseconds -> microseconds conversion (Chrome traces
+    and the progress line both work in integer microseconds). *)

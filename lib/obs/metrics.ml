@@ -1,0 +1,95 @@
+type counter = int Atomic.t
+
+(* 63 buckets cover every positive OCaml int; bucket i counts values v
+   with 2^i <= v < 2^(i+1), and v <= 1 lands in bucket 0. *)
+type histogram = int Atomic.t array
+
+let bucket_count = 63
+
+let reg_m = Mutex.create ()
+let counters_tbl : (string, counter) Hashtbl.t = Hashtbl.create 64
+let histograms_tbl : (string, histogram) Hashtbl.t = Hashtbl.create 16
+
+let counter name =
+  Mutex.lock reg_m;
+  let c =
+    match Hashtbl.find_opt counters_tbl name with
+    | Some c -> c
+    | None ->
+        let c = Atomic.make 0 in
+        Hashtbl.add counters_tbl name c;
+        c
+  in
+  Mutex.unlock reg_m;
+  c
+
+let incr c = Atomic.incr c
+let add c n = ignore (Atomic.fetch_and_add c n)
+let value c = Atomic.get c
+
+let histogram name =
+  Mutex.lock reg_m;
+  let h =
+    match Hashtbl.find_opt histograms_tbl name with
+    | Some h -> h
+    | None ->
+        let h = Array.init bucket_count (fun _ -> Atomic.make 0) in
+        Hashtbl.add histograms_tbl name h;
+        h
+  in
+  Mutex.unlock reg_m;
+  h
+
+let bucket_of v =
+  if v <= 1 then 0
+  else
+    let rec log2 acc v = if v <= 1 then acc else log2 (acc + 1) (v lsr 1) in
+    min (bucket_count - 1) (log2 0 v)
+
+let observe h v = Atomic.incr h.(bucket_of v)
+
+let sorted_bindings tbl =
+  Mutex.lock reg_m;
+  let l = Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [] in
+  Mutex.unlock reg_m;
+  List.sort (fun (a, _) (b, _) -> String.compare a b) l
+
+let counters () =
+  List.map (fun (name, c) -> (name, Atomic.get c)) (sorted_bindings counters_tbl)
+
+let histogram_buckets h =
+  let acc = ref [] in
+  for i = bucket_count - 1 downto 0 do
+    let n = Atomic.get h.(i) in
+    if n > 0 then acc := ((if i = 0 then 1 else 1 lsl i), n) :: !acc
+  done;
+  !acc
+
+let histograms () =
+  List.map
+    (fun (name, h) -> (name, histogram_buckets h))
+    (sorted_bindings histograms_tbl)
+
+let reset () =
+  Mutex.lock reg_m;
+  Hashtbl.iter (fun _ c -> Atomic.set c 0) counters_tbl;
+  Hashtbl.iter (fun _ h -> Array.iter (fun b -> Atomic.set b 0) h) histograms_tbl;
+  Mutex.unlock reg_m
+
+let to_json () =
+  let counters =
+    Jsonl.Obj (List.map (fun (name, v) -> (name, Jsonl.Int v)) (counters ()))
+  in
+  let histograms =
+    Jsonl.Obj
+      (List.map
+         (fun (name, buckets) ->
+           ( name,
+             Jsonl.Obj
+               (List.map
+                  (fun (floor, n) -> (string_of_int floor, Jsonl.Int n))
+                  buckets) ))
+         (histograms ()))
+  in
+  Jsonl.Obj
+    [ ("version", Jsonl.Int 1); ("counters", counters); ("histograms", histograms) ]

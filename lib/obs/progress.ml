@@ -1,0 +1,66 @@
+type t = {
+  out : out_channel;
+  min_interval_ns : int64;
+  label : string;
+  total : int;
+  t0_ns : int64;
+  mutable done_ : int;
+  mutable last_draw_ns : int64;
+  mutable tallies : (string * int) list; (* insertion-ordered *)
+}
+
+let create ?(out = stderr) ?(min_interval_ms = 100) ~label ~total () =
+  {
+    out;
+    min_interval_ns = Int64.mul (Int64.of_int min_interval_ms) 1_000_000L;
+    label;
+    total;
+    t0_ns = Mclock.now_ns ();
+    done_ = 0;
+    last_draw_ns = 0L;
+    tallies = [];
+  }
+
+let tally t tag =
+  let rec bump = function
+    | [] -> [ (tag, 1) ]
+    | (tg, n) :: rest when String.equal tg tag -> (tg, n + 1) :: rest
+    | kv :: rest -> kv :: bump rest
+  in
+  t.tallies <- bump t.tallies
+
+let eta_string t now =
+  if t.done_ = 0 || t.total <= t.done_ then "0s"
+  else
+    let elapsed_s =
+      Int64.to_float (Int64.sub now t.t0_ns) /. 1e9
+    in
+    let remaining = float_of_int (t.total - t.done_) *. elapsed_s /. float_of_int t.done_ in
+    if remaining >= 3600. then Printf.sprintf "%.1fh" (remaining /. 3600.)
+    else if remaining >= 60. then Printf.sprintf "%.1fm" (remaining /. 60.)
+    else Printf.sprintf "%.0fs" remaining
+
+let draw t now =
+  t.last_draw_ns <- now;
+  let elapsed_s = Int64.to_float (Int64.sub now t.t0_ns) /. 1e9 in
+  let rate = if elapsed_s > 0. then float_of_int t.done_ /. elapsed_s else 0. in
+  let tallies =
+    String.concat " "
+      (List.map (fun (tag, n) -> Printf.sprintf "%s:%d" tag n) t.tallies)
+  in
+  Printf.fprintf t.out "\r%s %d/%d cells  %.1f cells/s  ETA %s  %s\027[K%!"
+    t.label t.done_ t.total rate (eta_string t now) tallies
+
+let step t ~tag =
+  t.done_ <- t.done_ + 1;
+  tally t tag;
+  let now = Mclock.now_ns () in
+  if
+    t.done_ = t.total
+    || Int64.compare (Int64.sub now t.last_draw_ns) t.min_interval_ns >= 0
+  then draw t now
+
+let finish t =
+  draw t (Mclock.now_ns ());
+  output_char t.out '\n';
+  flush t.out

@@ -1,0 +1,24 @@
+(** Live single-line campaign progress.
+
+    Renders [\r]-overwritten status — done/total cells, throughput,
+    ETA, running class tallies — to a channel (stderr by default),
+    throttled so a fast campaign does not spend its time printing.
+    Driven from the submitting domain via the ordered [?on_result]
+    stream: {!step} is called once per delivered cell with a short
+    class tag (["ok"], ["w"], ["bf"], ...), so the tallies match the
+    table being built. Purely an observer — it writes nothing to
+    stdout and never affects table or journal bytes. *)
+
+type t
+
+val create :
+  ?out:out_channel -> ?min_interval_ms:int -> label:string -> total:int -> unit -> t
+(** [create ~label ~total ()] starts the clock. [total] is the full
+    cell count (resumed cells included); [min_interval_ms] (default
+    100) limits redraw frequency. *)
+
+val step : t -> tag:string -> unit
+(** Count one finished cell under class [tag] and maybe redraw. *)
+
+val finish : t -> unit
+(** Final redraw and trailing newline, so the line is left intact. *)

@@ -1,0 +1,53 @@
+(** Timed scopes over the pipeline, collected per domain.
+
+    A span is one timed execution of a named stage — generating a
+    kernel, running one optimisation pass, executing a cell on one
+    configuration, voting, appending to the journal. Collection is off
+    by default and costs one atomic load per {!with_} call; {!enable}
+    turns it on (the CLI does so only when [--trace] is given), after
+    which each span is pushed onto a buffer local to the recording
+    domain. Buffers register themselves in a global list on first use,
+    so {!drain} — called from the submitting domain once the pool has
+    been torn down — can collect everything without any cross-domain
+    synchronisation on the hot path.
+
+    Spans deliberately live {e outside} the [-j] byte-identity
+    contract: their timestamps, durations and domain placement vary
+    run to run. Everything that must be deterministic (tables,
+    journals, metric totals) flows through the ordered [?on_result]
+    stream instead; spans only observe it. *)
+
+type t = {
+  cat : string;  (** stage family: "gen", "check", "opt", "exec", "vote", "persist" *)
+  name : string;  (** e.g. "generate", "opt:const_fold", "exec:7+" *)
+  t0_ns : int64;  (** monotonic start time *)
+  dur_ns : int64;  (** duration; >= 0 *)
+  domain : int;  (** recording domain id — one trace pid per domain *)
+  task : int;  (** pool task index in flight, or -1 outside the pool *)
+}
+
+val enable : unit -> unit
+val disable : unit -> unit
+
+val enabled : unit -> bool
+(** Whether {!with_} currently records. *)
+
+val with_ : cat:string -> string -> (unit -> 'a) -> 'a
+(** [with_ ~cat name f] runs [f ()], recording a span on the current
+    domain when collection is enabled. The span is recorded even when
+    [f] raises (the exception is re-raised), so crashing cells still
+    show up in the trace. *)
+
+val set_task : int -> unit
+(** Tag subsequent spans on this domain with a pool task index. *)
+
+val clear_task : unit -> unit
+
+val drain : unit -> t list
+(** All spans recorded on any domain since the last drain, sorted by
+    start time; buffers are emptied. Call only while no domain is
+    recording (the pool joins its workers before the campaign
+    returns). *)
+
+val reset : unit -> unit
+(** Discard all buffered spans. *)

@@ -1,0 +1,63 @@
+let to_json spans =
+  let spans =
+    List.sort
+      (fun (a : Span.t) (b : Span.t) ->
+        match Int64.compare a.t0_ns b.t0_ns with
+        | 0 -> compare (a.domain, a.name) (b.domain, b.name)
+        | c -> c)
+      spans
+  in
+  let epoch =
+    List.fold_left
+      (fun acc (s : Span.t) -> if Int64.compare s.t0_ns acc < 0 then s.t0_ns else acc)
+      (match spans with [] -> 0L | s :: _ -> s.t0_ns)
+      spans
+  in
+  let domains =
+    List.sort_uniq compare (List.map (fun (s : Span.t) -> s.domain) spans)
+  in
+  let meta =
+    List.map
+      (fun d ->
+        Jsonl.Obj
+          [
+            ("name", Jsonl.Str "process_name");
+            ("ph", Jsonl.Str "M");
+            ("pid", Jsonl.Int d);
+            ("tid", Jsonl.Int 1);
+            ("args", Jsonl.Obj [ ("name", Jsonl.Str (Printf.sprintf "domain %d" d)) ]);
+          ])
+      domains
+  in
+  let events =
+    List.map
+      (fun (s : Span.t) ->
+        let args =
+          if s.task >= 0 then [ ("task", Jsonl.Int s.task) ] else []
+        in
+        Jsonl.Obj
+          [
+            ("name", Jsonl.Str s.name);
+            ("cat", Jsonl.Str s.cat);
+            ("ph", Jsonl.Str "X");
+            ("ts", Jsonl.Int (Mclock.ns_to_us (Int64.sub s.t0_ns epoch)));
+            ("dur", Jsonl.Int (max 1 (Mclock.ns_to_us s.dur_ns)));
+            ("pid", Jsonl.Int s.domain);
+            ("tid", Jsonl.Int 1);
+            ("args", Jsonl.Obj args);
+          ])
+      spans
+  in
+  Jsonl.Obj
+    [
+      ("traceEvents", Jsonl.List (meta @ events));
+      ("displayTimeUnit", Jsonl.Str "ms");
+    ]
+
+let write ~path spans =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc (Jsonl.to_string (to_json spans));
+      output_char oc '\n')

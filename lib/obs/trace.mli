@@ -1,0 +1,17 @@
+(** Chrome trace-event export of drained spans.
+
+    Produces the JSON object format of the Trace Event spec — a
+    ["traceEvents"] array of complete ("X") events — which
+    [ui.perfetto.dev] and [chrome://tracing] both load. Each recording
+    domain becomes one pid (named by a process_name metadata event);
+    within a domain tasks run serially, so every span lives on tid 1
+    and nesting falls out of time containment. Timestamps are integer
+    microseconds relative to the earliest span, keeping the file within
+    the int-only {!Jsonl} codec. *)
+
+val to_json : Span.t list -> Jsonl.t
+(** Encode drained spans (any order) as a trace-event object. *)
+
+val write : path:string -> Span.t list -> unit
+(** [to_json] rendered canonically to [path] plus a final newline.
+    Raises [Sys_error] on I/O failure. *)

@@ -20,7 +20,19 @@ let default_config =
     profile = Profile.reference;
   }
 
-type run_result = { outcome : Outcome.t; races : Race.race list }
+type stats = { steps : int; barriers : int; atomics : int; race_checks : int }
+
+let zero_stats = { steps = 0; barriers = 0; atomics = 0; race_checks = 0 }
+
+let add_stats a b =
+  {
+    steps = a.steps + b.steps;
+    barriers = a.barriers + b.barriers;
+    atomics = a.atomics + b.atomics;
+    race_checks = a.race_checks + b.race_checks;
+  }
+
+type run_result = { outcome : Outcome.t; races : Race.race list; stats : stats }
 
 exception Rt_crash of string
 exception Fuel_exhausted
@@ -30,6 +42,15 @@ exception Divergence of string
 (* Launch / group / thread state                                       *)
 (* ------------------------------------------------------------------ *)
 
+(* work tally for the whole launch; groups and their threads run
+   serially on one domain, so plain mutable fields suffice *)
+type tally = {
+  mutable t_steps : int;
+  mutable t_barriers : int;
+  mutable t_atomics : int;
+  mutable t_race_checks : int;
+}
+
 type launch = {
   cfg : config;
   ctx : R.alloc_ctx;
@@ -37,6 +58,7 @@ type launch = {
   nd : Ndrange.t;
   buffers : (string * R.cell) list;
   race : Race.t;
+  tally : tally;
 }
 
 type group_state = {
@@ -71,6 +93,7 @@ type env = (string * R.cell) list
 type flow = F_normal | F_break | F_continue | F_return of R.value option
 
 let spend ts n =
+  ts.l.tally.t_steps <- ts.l.tally.t_steps + n;
   ts.fuel <- ts.fuel - n;
   if ts.fuel <= 0 then raise Fuel_exhausted
 
@@ -83,6 +106,7 @@ let record_access ts lv kind ~atomic =
     let space = R.lvalue_space lv in
     match space with
     | Ty.Local | Ty.Global ->
+        ts.l.tally.t_race_checks <- ts.l.tally.t_race_checks + 1;
         let epoch =
           match space with
           | Ty.Local -> ts.grp.epoch_local
@@ -442,6 +466,7 @@ and eval_atomic ts env aop p args : R.value =
   let ptr = as_pointer "atomic" (eval ts env p) in
   let cell = ptr.R.target in
   let lv = R.L_cell cell in
+  ts.l.tally.t_atomics <- ts.l.tally.t_atomics + 1;
   record_access ts lv Race.Write ~atomic:true;
   let old = as_scalar "atomic" (R.read ts.l.ctx lv) in
   let ty = old.Scalar.ty in
@@ -711,6 +736,7 @@ and exec_for ts env (f : for_loop) : flow =
   fl
 
 and exec_barrier ts site fence =
+  ts.l.tally.t_barriers <- ts.l.tally.t_barriers + 1;
   (match ts.l.cfg.profile.Profile.pointer_write_bug with
   | Profile.Pwb_callee_barrier { crash } when ts.call_depth > 0 ->
       if crash then raise (Rt_crash "segmentation fault (barrier in callee)");
@@ -916,6 +942,15 @@ let output_of_buffers bufs =
 
 let run ?(config = default_config) (tc : testcase) : run_result =
   let race = Race.create () in
+  let tally = { t_steps = 0; t_barriers = 0; t_atomics = 0; t_race_checks = 0 } in
+  let stats () =
+    {
+      steps = tally.t_steps;
+      barriers = tally.t_barriers;
+      atomics = tally.t_atomics;
+      race_checks = tally.t_race_checks;
+    }
+  in
   match
     let nd = Ndrange.make ~global:tc.global_size ~local:tc.local_size in
     let tyenv = tyenv_of_program tc.prog in
@@ -939,6 +974,7 @@ let run ?(config = default_config) (tc : testcase) : run_result =
         nd;
         buffers = buffers @ const_cells;
         race;
+        tally;
       }
     in
     List.iter (fun g -> run_group l g) (Ndrange.groups nd);
@@ -958,12 +994,20 @@ let run ?(config = default_config) (tc : testcase) : run_result =
         {
           outcome = Outcome.Ub (Race.race_to_string (List.hd races));
           races;
+          stats = stats ();
         }
-      else { outcome = Outcome.Success out; races }
-  | exception Rt_crash m -> { outcome = Outcome.Crash m; races = Race.races race }
-  | exception Fuel_exhausted -> { outcome = Outcome.Timeout; races = Race.races race }
-  | exception Divergence m -> { outcome = Outcome.Ub m; races = Race.races race }
+      else { outcome = Outcome.Success out; races; stats = stats () }
+  | exception Rt_crash m ->
+      { outcome = Outcome.Crash m; races = Race.races race; stats = stats () }
+  | exception Fuel_exhausted ->
+      { outcome = Outcome.Timeout; races = Race.races race; stats = stats () }
+  | exception Divergence m ->
+      { outcome = Outcome.Ub m; races = Race.races race; stats = stats () }
   | exception Invalid_argument m ->
-      { outcome = Outcome.Crash ("runtime error: " ^ m); races = Race.races race }
+      {
+        outcome = Outcome.Crash ("runtime error: " ^ m);
+        races = Race.races race;
+        stats = stats ();
+      }
 
 let run_outcome ?config tc = (run ?config tc).outcome

@@ -30,9 +30,24 @@ val default_config : config
 (** Reference semantics: standard layout, no quirks, ascending schedule,
     divergence checking on, race detection off, fuel 250,000. *)
 
+type stats = {
+  steps : int;  (** fuel units consumed (one per executed statement/expression charge) *)
+  barriers : int;  (** barrier arrivals, counted per thread *)
+  atomics : int;  (** atomic operations executed *)
+  race_checks : int;  (** local/global accesses fed to the race detector *)
+}
+(** Work performed by one launch. Groups and threads execute serially
+    on the calling domain with a deterministic schedule, so for a fixed
+    testcase and config these counts are exactly reproducible — the
+    campaign layer folds them into [-j]-invariant metric totals. *)
+
+val zero_stats : stats
+val add_stats : stats -> stats -> stats
+
 type run_result = {
   outcome : Outcome.t;
   races : Race.race list;  (** non-empty only when [detect_races] *)
+  stats : stats;  (** work done, valid on every outcome including crashes *)
 }
 
 val run : ?config:config -> Ast.testcase -> run_result

@@ -1,6 +1,11 @@
 type t = { name : string; run : Ast.program -> Ast.program }
 
+let run_pass pass prog =
+  if Span.enabled () then
+    Span.with_ ~cat:"opt" ("opt:" ^ pass.name) (fun () -> pass.run prog)
+  else pass.run prog
+
 let pipeline passes prog =
-  List.fold_left (fun p pass -> pass.run p) prog passes
+  List.fold_left (fun p pass -> run_pass pass p) prog passes
 
 let names passes = List.map (fun p -> p.name) passes

@@ -223,6 +223,7 @@ let resume ~path header =
             Ok (open_writer ~path:tmp ~rename_to:(Some path) header, cells))
 
 let write_cell w c =
+  Span.with_ ~cat:"persist" "journal.append" @@ fun () ->
   output_string w.oc (Jsonl.encode_line (cell_fields c));
   output_char w.oc '\n';
   flush w.oc

@@ -161,25 +161,38 @@ let compiled_program (c : Config.t) ~opt (tc : Ast.testcase) =
   let p = prepare tc in
   apply_wrong_code c ~opt (Memo.force p.feats) (compiled c ~opt p)
 
-let run_prepared ?noise ?fuel (c : Config.t) ~opt (p : prepared) : Outcome.t =
+(* span name is only materialised when tracing is on *)
+let exec_span (c : Config.t) ~opt f =
+  if Span.enabled () then
+    Span.with_ ~cat:"exec"
+      (Printf.sprintf "exec:%d%c" c.Config.id (if opt then '+' else '-'))
+      f
+  else f ()
+
+let run_prepared_stats ?noise ?fuel (c : Config.t) ~opt (p : prepared) :
+    Outcome.t * Interp.stats =
   let feats = Memo.force p.feats in
   match front_end ?noise c ~opt feats with
-  | Some o -> o
+  | Some o -> (o, Interp.zero_stats)
   | None -> (
       match runtime_fate ?noise c ~opt feats with
-      | Some o -> o
+      | Some o -> (o, Interp.zero_stats)
       | None ->
           let prog = apply_wrong_code ?noise c ~opt feats (compiled c ~opt p) in
           let profile = assemble_profile ?noise c ~opt feats in
-          let outcome =
-            Interp.run_outcome
-              ~config:(interp_config ?fuel c profile)
-              { p.tc with Ast.prog }
+          let r =
+            exec_span c ~opt (fun () ->
+                Interp.run
+                  ~config:(interp_config ?fuel c profile)
+                  { p.tc with Ast.prog })
           in
           (* a real device does not diagnose UB: it just misbehaves *)
-          (match outcome with
-          | Outcome.Ub m -> Outcome.Crash ("undefined behaviour: " ^ m)
-          | o -> o))
+          (match r.Interp.outcome with
+          | Outcome.Ub m -> (Outcome.Crash ("undefined behaviour: " ^ m), r.Interp.stats)
+          | o -> (o, r.Interp.stats)))
+
+let run_prepared ?noise ?fuel (c : Config.t) ~opt (p : prepared) : Outcome.t =
+  fst (run_prepared_stats ?noise ?fuel c ~opt p)
 
 let run ?noise (c : Config.t) ~opt tc = run_prepared ?noise c ~opt (prepare tc)
 

@@ -38,6 +38,13 @@ val run_prepared :
     campaigns' per-task soft timeout. Exhaustion yields a deterministic
     [Outcome.Timeout]; the execution pool never kills a task. *)
 
+val run_prepared_stats :
+  ?noise:bool -> ?fuel:int -> Config.t -> opt:bool -> prepared -> Outcome.t * Interp.stats
+(** [run_prepared] plus the interpreter's work tally for the launch —
+    zero when a front-end or pre-execution fault short-circuits the run.
+    Deterministic in (configuration, opt level, test case), so campaign
+    metric totals built from it are [-j]-invariant. *)
+
 val run : ?noise:bool -> Config.t -> opt:bool -> Ast.testcase -> Outcome.t
 (** [prepare] + [run_prepared]. *)
 

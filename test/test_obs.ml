@@ -1,0 +1,238 @@
+(* The telemetry subsystem: spans, the metrics registry, Chrome-trace
+   export and the progress line — and the property the whole thing hangs
+   off: telemetry observes the deterministic campaign surface without
+   perturbing it. Metric totals fed from the ordered result stream are
+   -j-invariant; tables and journal bytes are identical with tracing on
+   and off. *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i =
+    i + nn <= nh && (String.equal (String.sub hay i nn) needle || go (i + 1))
+  in
+  nn = 0 || go 0
+
+(* --- spans --- *)
+
+let test_span_disabled_records_nothing () =
+  Span.reset ();
+  let r = Span.with_ ~cat:"gen" "generate" (fun () -> 41 + 1) in
+  Alcotest.(check int) "with_ is transparent" 42 r;
+  Alcotest.(check int) "no spans while disabled" 0 (List.length (Span.drain ()))
+
+let test_span_records_and_survives_raise () =
+  Span.reset ();
+  Span.enable ();
+  Fun.protect ~finally:Span.disable (fun () ->
+      ignore (Span.with_ ~cat:"gen" "generate" (fun () -> Sys.opaque_identity 1));
+      Span.set_task 7;
+      (try Span.with_ ~cat:"exec" "exec:1+" (fun () -> failwith "boom")
+       with Failure _ -> ());
+      Span.clear_task ());
+  let spans = Span.drain () in
+  Alcotest.(check int) "crashing scope still recorded" 2 (List.length spans);
+  List.iter
+    (fun (s : Span.t) ->
+      Alcotest.(check bool) "duration non-negative" true (s.Span.dur_ns >= 0L))
+    spans;
+  let exec = List.find (fun (s : Span.t) -> String.equal s.Span.cat "exec") spans in
+  Alcotest.(check int) "pool task index tagged" 7 exec.Span.task;
+  Alcotest.(check int) "drain empties the buffers" 0 (List.length (Span.drain ()))
+
+(* --- Chrome trace export --- *)
+
+let test_trace_export () =
+  Span.reset ();
+  Span.enable ();
+  Fun.protect ~finally:Span.disable (fun () ->
+      ignore (Span.with_ ~cat:"gen" "generate" (fun () -> Sys.opaque_identity 1));
+      ignore (Span.with_ ~cat:"exec" "exec:1+" (fun () -> Sys.opaque_identity 2)));
+  let spans = Span.drain () in
+  let path = Filename.temp_file "test_obs_trace" ".json" in
+  Trace.write ~path spans;
+  let body = read_file path in
+  Sys.remove path;
+  match Jsonl.of_string (String.trim body) with
+  | Error e -> Alcotest.failf "trace does not parse: %s" e
+  | Ok j ->
+      let events =
+        match Jsonl.member "traceEvents" j with
+        | Some (Jsonl.List l) -> l
+        | _ -> Alcotest.fail "no traceEvents array"
+      in
+      let phase e = Option.bind (Jsonl.member "ph" e) Jsonl.get_str in
+      let xs = List.filter (fun e -> phase e = Some "X") events in
+      let ms = List.filter (fun e -> phase e = Some "M") events in
+      Alcotest.(check int) "one complete event per span" (List.length spans)
+        (List.length xs);
+      Alcotest.(check bool) "process_name metadata present" true (ms <> []);
+      List.iter
+        (fun e ->
+          List.iter
+            (fun k ->
+              if Jsonl.member k e = None then Alcotest.failf "X event lacks %S" k)
+            [ "name"; "cat"; "ts"; "dur"; "pid"; "tid" ];
+          match Option.bind (Jsonl.member "dur" e) Jsonl.get_int with
+          | Some d ->
+              Alcotest.(check bool) "durations clamped to >= 1us" true (d >= 1)
+          | None -> Alcotest.fail "dur is not an int")
+        xs
+
+(* --- metrics registry --- *)
+
+let test_metrics_counters_and_json () =
+  Metrics.reset ();
+  let c = Metrics.counter "test.alpha" in
+  Metrics.incr c;
+  Metrics.add c 4;
+  Alcotest.(check int) "incr + add" 5 (Metrics.value c);
+  Alcotest.(check int) "same name finds the same cell" 5
+    (Metrics.value (Metrics.counter "test.alpha"));
+  let j = Metrics.to_json () in
+  (match Jsonl.of_string (Jsonl.to_string j) with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "metrics JSON does not round-trip: %s" e);
+  match Jsonl.member "counters" j with
+  | Some counters -> (
+      match Option.bind (Jsonl.member "test.alpha" counters) Jsonl.get_int with
+      | Some v -> Alcotest.(check int) "exported value" 5 v
+      | None -> Alcotest.fail "counter missing from JSON")
+  | None -> Alcotest.fail "no counters object"
+
+let test_histogram_bucketing () =
+  Metrics.reset ();
+  let h = Metrics.histogram "test.hist" in
+  List.iter (Metrics.observe h) [ 0; 1; 2; 3; 4; 1024; 1500 ];
+  let buckets = List.assoc "test.hist" (Metrics.histograms ()) in
+  Alcotest.(check (list (pair int int)))
+    "log2 buckets: <=1 share floor 1; [2,3] floor 2; [1024,1500] floor 1024"
+    [ (1, 2); (2, 2); (4, 1); (1024, 2) ]
+    buckets
+
+(* --- progress line --- *)
+
+let test_progress_line () =
+  let path = Filename.temp_file "test_obs_progress" ".txt" in
+  let oc = open_out path in
+  let p = Progress.create ~out:oc ~min_interval_ms:0 ~label:"cells" ~total:3 () in
+  Progress.step p ~tag:"ok";
+  Progress.step p ~tag:"w";
+  Progress.step p ~tag:"ok";
+  Progress.finish p;
+  close_out oc;
+  let body = read_file path in
+  Sys.remove path;
+  Alcotest.(check bool) "shows done/total" true (contains body "3/3");
+  Alcotest.(check bool) "tallies classes in arrival order" true
+    (contains body "ok:2" && contains body "w:1")
+
+(* --- host info --- *)
+
+let test_hostinfo () =
+  Alcotest.(check bool) "at least one core" true (Hostinfo.cores () >= 1);
+  match Jsonl.of_string (Jsonl.to_string (Hostinfo.to_json ())) with
+  | Ok j ->
+      Alcotest.(check (option string)) "ocaml version exported"
+        (Some Sys.ocaml_version)
+        (Option.bind (Jsonl.member "ocaml" j) Jsonl.get_str)
+  | Error e -> Alcotest.failf "host JSON does not round-trip: %s" e
+
+(* --- the determinism contract on a real campaign --- *)
+
+let per_mode = 2
+let modes = [ Gen_config.Basic ]
+let config_ids = [ 1; 19 ]
+
+(* the counters under the -j-invariance contract: totals fed from the
+   ordered result stream. Pool gauges (busy time, queue depth) are
+   scheduling-dependent by design and excluded. *)
+let deterministic_counters () =
+  List.filter
+    (fun (name, _) ->
+      List.exists
+        (fun p -> String.starts_with ~prefix:p name)
+        [ "cells."; "interp."; "outcomes." ])
+    (Metrics.counters ())
+
+let run_and_snapshot jobs =
+  Metrics.reset ();
+  let table =
+    Campaign.to_table (Campaign.run ~jobs ~per_mode ~modes ~config_ids ())
+  in
+  (table, deterministic_counters ())
+
+let test_metrics_j_invariant () =
+  let t1, c1 = run_and_snapshot 1 in
+  let t4, c4 = run_and_snapshot 4 in
+  Alcotest.(check string) "tables agree" t1 t4;
+  Alcotest.(check (list (pair string int)))
+    "deterministic counter totals agree across -j" c1 c4;
+  Alcotest.(check bool) "cells were actually counted" true
+    (match List.assoc_opt "cells.completed" c1 with
+    | Some n -> n > 0
+    | None -> false);
+  Alcotest.(check bool) "interpreter work was tallied" true
+    (match List.assoc_opt "interp.steps" c1 with
+    | Some n -> n > 0
+    | None -> false)
+
+let run_with_telemetry enabled =
+  Span.reset ();
+  Metrics.reset ();
+  if enabled then Span.enable ();
+  let path = Filename.temp_file "test_obs_journal" ".jsonl" in
+  let w =
+    Journal.create ~path (Campaign.journal_header ~per_mode ~modes ~config_ids ())
+  in
+  let table =
+    Campaign.to_table
+      (Campaign.run ~jobs:2 ~per_mode ~modes ~config_ids
+         ~sink:(Journal.write_cell w) ())
+  in
+  Journal.commit w;
+  let journal = read_file path in
+  Sys.remove path;
+  Span.disable ();
+  let spans = Span.drain () in
+  (table, journal, List.length spans)
+
+let test_telemetry_does_not_change_bytes () =
+  let t_off, j_off, s_off = run_with_telemetry false in
+  let t_on, j_on, s_on = run_with_telemetry true in
+  Alcotest.(check string) "table bytes identical with tracing on" t_off t_on;
+  Alcotest.(check string) "journal bytes identical with tracing on" j_off j_on;
+  Alcotest.(check int) "no spans while disabled" 0 s_off;
+  Alcotest.(check bool) "spans recorded while enabled" true (s_on > 0)
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "span",
+        [
+          Alcotest.test_case "disabled is free" `Quick
+            test_span_disabled_records_nothing;
+          Alcotest.test_case "records + survives raise" `Quick
+            test_span_records_and_survives_raise;
+        ] );
+      ("trace", [ Alcotest.test_case "chrome export" `Quick test_trace_export ]);
+      ( "metrics",
+        [
+          Alcotest.test_case "counters + json" `Quick
+            test_metrics_counters_and_json;
+          Alcotest.test_case "histogram buckets" `Quick test_histogram_bucketing;
+        ] );
+      ("progress", [ Alcotest.test_case "line" `Quick test_progress_line ]);
+      ("host", [ Alcotest.test_case "info" `Quick test_hostinfo ]);
+      ( "determinism",
+        [
+          Alcotest.test_case "metrics -j invariant" `Slow test_metrics_j_invariant;
+          Alcotest.test_case "telemetry leaves bytes alone" `Slow
+            test_telemetry_does_not_change_bytes;
+        ] );
+    ]

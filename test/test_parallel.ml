@@ -58,6 +58,48 @@ let test_map_raises_in_task_order () =
                ~f:(fun x -> if x >= 2 then failwith (string_of_int x) else x)
                [ 0; 1; 2; 3; 4 ])))
 
+let test_pool_stats_counts () =
+  Pool.with_pool ~jobs:4 (fun pool ->
+      let s0 = Pool.stats pool in
+      Alcotest.(check int) "fresh pool: nothing submitted" 0 s0.Pool.submitted;
+      Alcotest.(check int) "fresh pool: nothing completed" 0 s0.Pool.completed;
+      ignore (Pool.map pool ~f:Fun.id (List.init 25 Fun.id));
+      ignore
+        (Pool.try_map pool
+           ~f:(fun x -> if x = 3 then failwith "x" else x)
+           (List.init 5 Fun.id));
+      let s = Pool.stats pool in
+      Alcotest.(check int) "submitted accumulates across batches" 30
+        s.Pool.submitted;
+      Alcotest.(check int) "raising tasks still count as completed" 30
+        s.Pool.completed;
+      Alcotest.(check int) "quiescent pool has nothing in flight" 0
+        s.Pool.in_flight;
+      Alcotest.(check bool) "captured failures do not poison" true
+        (s.Pool.poisoned = None))
+
+let test_poisoned_index_reported () =
+  Pool.with_pool ~jobs:4 (fun pool ->
+      let delivered = ref [] in
+      let raised =
+        try
+          ignore
+            (Pool.map_isolated pool
+               ~on_result:(fun i _ -> delivered := i :: !delivered)
+               ~f:(fun x -> if x = 7 then raise Out_of_memory else x)
+               ~on_error:(fun _ -> -1)
+               (List.init 20 Fun.id));
+          false
+        with Out_of_memory -> true
+      in
+      Alcotest.(check bool) "fatal exhaustion re-raised" true raised;
+      Alcotest.(check (list int))
+        "sink saw exactly the clean prefix before the fatal index"
+        (List.init 7 Fun.id) (List.rev !delivered);
+      let s = Pool.stats pool in
+      Alcotest.(check (option int)) "poisoned records the fatal task index"
+        (Some 7) s.Pool.poisoned)
+
 let test_fatal_exceptions_surface () =
   Pool.with_pool ~jobs:2 (fun pool ->
       Alcotest.check_raises "Out_of_memory is never bucketed" Out_of_memory
@@ -162,6 +204,8 @@ let () =
           Alcotest.test_case "reuse + empty" `Quick test_pool_reuse_and_empty;
           Alcotest.test_case "exception isolation" `Quick test_exception_isolation;
           Alcotest.test_case "raise in task order" `Quick test_map_raises_in_task_order;
+          Alcotest.test_case "stats counts" `Quick test_pool_stats_counts;
+          Alcotest.test_case "poisoned index" `Quick test_poisoned_index_reported;
           Alcotest.test_case "fatal surfaces" `Quick test_fatal_exceptions_surface;
         ] );
       ( "memo",
