@@ -5,7 +5,7 @@
    and then runs the Bechamel microbenchmarks. Individual experiments:
 
      dune exec bench/main.exe -- table1|table2|table3|table4|table5
-     dune exec bench/main.exe -- figure1|figure2|races|micro|ablate|scaling
+     dune exec bench/main.exe -- figure1|figure2|races|micro|ablate|scaling|fuzz
 
    Global flags (before or between experiment names):
 
@@ -293,6 +293,67 @@ let scaling () =
      Printf.eprintf "could not write BENCH_scaling.json: %s\n" m)
 
 (* ------------------------------------------------------------------ *)
+(* Coverage-guided fuzzing: feedback on vs off at equal budget         *)
+(* ------------------------------------------------------------------ *)
+
+let fuzz () =
+  section "Coverage-guided fuzzing — feedback vs blind sweep at equal budget";
+  let budget = size 24 and seed = 7 in
+  let run_policy feedback =
+    let t0 = Unix.gettimeofday () in
+    let r = Fuzz_loop.run ~jobs:!jobs ~budget ~seed ~feedback () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let fb, t_fb = timed "fuzz/feedback" (fun () -> run_policy true) in
+  let blind, t_blind = timed "fuzz/no-feedback" (fun () -> run_policy false) in
+  print_endline (Fuzz_loop.to_table fb);
+  let final r =
+    match List.rev r.Fuzz_loop.generations with
+    | g :: _ -> (g.Fuzz_loop.coverage, g.Fuzz_loop.distinct_bugs)
+    | [] -> (0, 0)
+  in
+  let cov_fb, bugs_fb = final fb and cov_bl, bugs_bl = final blind in
+  Printf.printf
+    "feedback ON : %d kernels, %d coverage points, %d distinct bugs (%.1fs)\n\
+     feedback OFF: %d kernels, %d coverage points, %d distinct bugs (%.1fs)\n"
+    fb.Fuzz_loop.kernels_run cov_fb bugs_fb t_fb blind.Fuzz_loop.kernels_run
+    cov_bl bugs_bl t_blind;
+  (* per-generation trajectories: cumulative coverage and distinct bugs *)
+  let series field r =
+    "["
+    ^ String.concat ","
+        (List.map (fun g -> string_of_int (field g)) r.Fuzz_loop.generations)
+    ^ "]"
+  in
+  let policy name r dt =
+    Printf.sprintf
+      "{\"policy\":%S,\"kernels\":%d,\"cells\":%d,\"coverage\":%s,\
+       \"distinct_bugs\":%s,\"t_s\":%.3f}"
+      name r.Fuzz_loop.kernels_run r.Fuzz_loop.cells_run
+      (series (fun g -> g.Fuzz_loop.coverage) r)
+      (series (fun g -> g.Fuzz_loop.distinct_bugs) r)
+      dt
+  in
+  let payload =
+    Printf.sprintf
+      "{\"bench\":\"fuzz_feedback_vs_blind\",\"schema\":1,\"budget\":%d,\
+       \"seed\":%d,\"jobs\":%d,\"feedback\":%s,\"no_feedback\":%s,\
+       \"host\":{\"cores\":%d,\"ocaml\":%S,\"os\":%S,\"word_size\":%d}}"
+      budget seed !jobs
+      (policy "feedback" fb t_fb)
+      (policy "no-feedback" blind t_blind)
+      (Hostinfo.cores ()) Hostinfo.ocaml_version Hostinfo.os_type
+      Hostinfo.word_size
+  in
+  Printf.printf "BENCH-JSON %s\n" payload;
+  (try
+     let oc = open_out "BENCH_fuzz.json" in
+     output_string oc (payload ^ "\n");
+     close_out oc;
+     Printf.printf "fuzzing record written to BENCH_fuzz.json\n"
+   with Sys_error m -> Printf.eprintf "could not write BENCH_fuzz.json: %s\n" m)
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel microbenchmarks                                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -380,6 +441,7 @@ let all_experiments () =
   table4 ();
   table5 ();
   scaling ();
+  fuzz ();
   micro ()
 
 let () =
@@ -420,6 +482,7 @@ let () =
           | "micro" -> micro ()
           | "ablate" -> ablate ()
           | "scaling" -> scaling ()
+          | "fuzz" -> fuzz ()
           | "all" -> all_experiments ()
           | other -> Printf.eprintf "unknown experiment %s\n" other)
         names

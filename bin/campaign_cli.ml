@@ -2,12 +2,14 @@
 
    Subcommands mirror the per-experiment index of DESIGN.md:
      table1 | table2 | table3 | table4 | table5 | figure1 | figure2
-     | races | reduce | triage
+     | races | reduce | triage | fuzz
    with -n to scale the sample sizes. The table campaigns persist their
    cells to a crash-safe journal (--journal FILE), continue interrupted or
    smaller runs (--resume), and archive their distinct-bug witnesses to a
    content-addressed corpus (--corpus DIR); triage deduplicates a journal
-   into buckets. Every subcommand exits nonzero on failure. *)
+   into buckets; fuzz replaces the blind seed sweep with coverage-guided,
+   feedback-directed search (DESIGN.md section 11). Every subcommand exits
+   nonzero on failure. *)
 
 open Cmdliner
 
@@ -383,6 +385,114 @@ let triage_cmd =
           & info [] ~docv:"JOURNAL" ~doc:"journal file to triage")
       $ corpus_arg $ out_arg)
 
+let fuzz_cmd =
+  let run budget seed gen_size no_feedback minimize jobs fuel journal resume
+      corpus covmap out telemetry =
+    let feedback = not no_feedback in
+    let header =
+      Fuzz_loop.journal_header ?fuel ~budget ~seed ~feedback ~gen_size
+        ~minimize ()
+    in
+    let total = budget * Fuzz_loop.cells_per_kernel () in
+    with_telemetry ~telemetry ~label:"fuzz" ~total @@ fun wrap ->
+    match
+      with_journal ~header ~journal ~resume (fun sink cells ->
+          Fuzz_loop.run ~jobs ?fuel ~budget ~seed ~feedback ~gen_size ~minimize
+            ?sink:(wrap sink) ~resume:cells ())
+    with
+    | Error m -> fail "%s" m
+    | Ok r -> (
+        let report = Fuzz_loop.to_table r ^ "\n" in
+        let rc_cov =
+          match covmap with
+          | None -> 0
+          | Some path -> (
+              try
+                let oc = open_out path in
+                output_string oc (Covmap.to_hex r.Fuzz_loop.covmap);
+                output_char oc '\n';
+                close_out oc;
+                0
+              with Sys_error m -> fail "covmap: %s" m)
+        in
+        if rc_cov <> 0 then rc_cov
+        else
+          match corpus with
+          | None -> emit out report
+          | Some dir -> (
+              match Seedpool.persist r.Fuzz_loop.pool ~dir with
+              | Error m -> fail "corpus: %s" m
+              | Ok new_seeds -> (
+                  match Corpus.add_all ~dir (Fuzz_loop.finding_entries r) with
+                  | Error m -> fail "corpus: %s" m
+                  | Ok new_bugs -> (
+                      (* one pass over the archive just written: entry and
+                         distinct-kernel tallies for the report *)
+                      match Corpus.load_all ~dir with
+                      | Error m -> fail "corpus: %s" m
+                      | Ok all ->
+                          let seeds, bugs =
+                            List.partition
+                              (fun ((e : Corpus.entry), _) -> e.Corpus.cls = "seed")
+                              all
+                          in
+                          let kernels =
+                            List.length
+                              (List.sort_uniq String.compare
+                                 (List.map
+                                    (fun ((e : Corpus.entry), _) -> e.Corpus.hash)
+                                    all))
+                          in
+                          emit out
+                            (report
+                            ^ Printf.sprintf
+                                "corpus: +%d seed / +%d bug entries this run; \
+                                 %d seed + %d bug entries, %d distinct kernels \
+                                 in %s\n"
+                                new_seeds new_bugs (List.length seeds)
+                                (List.length bugs) kernels dir)))))
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Coverage-guided fuzzing: feedback-directed search scheduling a \
+          mutation corpus by behavioral-coverage novelty, replacing the \
+          blind seed sweep. Deterministic: corpus, bitmap and triage output \
+          are byte-identical across $(b,-j) values and across resumed runs.")
+    Term.(
+      const run
+      $ Arg.(
+          value & opt int Fuzz_loop.default_budget
+          & info [ "budget" ]
+              ~doc:"Total kernels to execute (the search budget).")
+      $ Arg.(
+          value & opt int 1
+          & info [ "seed" ] ~doc:"Root seed: generator seeds and every \
+                                  scheduling decision derive from it.")
+      $ Arg.(
+          value & opt int Fuzz_loop.default_gen_size
+          & info [ "gen" ] ~doc:"Kernels per generation (identity parameter).")
+      $ Arg.(
+          value & flag
+          & info [ "no-feedback" ]
+              ~doc:
+                "Degrade to blind sampling: fresh kernels only, the corpus \
+                 scheduler is never consulted. The feedback advantage is the \
+                 difference against a default run at equal budget.")
+      $ Arg.(
+          value & flag
+          & info [ "minimize" ]
+              ~doc:
+                "Reduce each admitted seed with the delta-debugging reducer \
+                 under a keep-coverage predicate before it enters the corpus.")
+      $ jobs_arg $ fuel_arg $ journal_arg $ resume_arg $ corpus_arg
+      $ Arg.(
+          value
+          & opt (some string) None
+          & info [ "covmap" ] ~docv:"FILE"
+              ~doc:"Write the final coverage bitmap to $(docv) as canonical hex.")
+      $ out_arg $ telemetry_term)
+
 let figure_cmd name exhibits doc =
   let run verbose out =
     if verbose then
@@ -420,7 +530,7 @@ let races_cmd =
     Term.(const run $ out_arg)
 
 let reduce_cmd =
-  let run seed config_id opt out =
+  let run seed config_id opt max_attempts out =
     let cfg = Gen_config.scaled Gen_config.All in
     let tc, info = Generate.generate ~cfg ~seed () in
     if info.Generate.counter_sharing then
@@ -439,12 +549,13 @@ let reduce_cmd =
           (if opt then "+" else "-")
           seed
       else begin
-        let reduced, stats = Reduce.reduce ~interesting tc in
+        let reduced, stats = Reduce.reduce ~max_attempts ~interesting tc in
         emit out
           (Printf.sprintf
-             "reduced from %d to %d statements (%d attempts, %d steps)\n\n"
+             "reduced from %d to %d statements\n\
+              stats: attempts %d (budget %d), accepted %d\n\n"
              stats.Reduce.initial_stmts stats.Reduce.final_stmts
-             stats.Reduce.attempts stats.Reduce.accepted
+             stats.Reduce.attempts max_attempts stats.Reduce.accepted
           ^ Pp.program_to_string reduced.Ast.prog)
       end
     end
@@ -455,6 +566,13 @@ let reduce_cmd =
       $ Arg.(value & opt int 1 & info [ "seed" ] ~doc:"generator seed")
       $ Arg.(value & opt int 19 & info [ "config" ] ~doc:"configuration id")
       $ Arg.(value & flag & info [ "opt" ] ~doc:"optimisations on")
+      $ Arg.(
+          value & opt int 5000
+          & info [ "max-attempts" ]
+              ~doc:
+                "Budget on candidate-variant evaluations. Candidates are \
+                 tried in deterministic statement order (remove before \
+                 unwrap, rescanning from the top after each accepted step).")
       $ out_arg)
 
 let () =
@@ -464,7 +582,7 @@ let () =
           (Cmd.info "campaign" ~doc:"Reproduce the paper's experiments")
           [
             table1_cmd; table2_cmd; table3_cmd; table4_cmd; table5_cmd;
-            triage_cmd;
+            fuzz_cmd; triage_cmd;
             figure_cmd "figure1" Exhibit.figure1 "Figure 1 bug exhibits";
             figure_cmd "figure2" Exhibit.figure2 "Figure 2 bug exhibits";
             races_cmd; reduce_cmd;

@@ -1,0 +1,82 @@
+(* Energy-scheduled seed corpus. See seedpool.mli. *)
+
+type origin = Generated of int | Mutated of int * string
+
+type entry = {
+  id : int;
+  origin : origin;
+  tc : Ast.testcase;
+  text : string;
+  hash : string;
+  gen : int;
+  new_bits : int;
+  findings : int;
+  mutable energy : float;
+}
+
+type t = { mutable rev_entries : entry list; mutable n : int }
+
+let decay_factor = 0.85
+let energy_floor = 0.03
+
+let create () = { rev_entries = []; n = 0 }
+let size t = t.n
+let entries t = List.rev t.rev_entries
+
+(* coverage novelty plus a bug-adjacency bonus: compiler bugs cluster,
+   so seeds whose cells were interesting are mined harder *)
+let admission_energy ~new_bits ~findings =
+  1.0 +. float_of_int (min new_bits 16) +. (2.0 *. float_of_int (min findings 4))
+
+let add t ~origin ~gen ~new_bits ?(findings = 0) tc =
+  let text = Pp.program_to_string tc.Ast.prog in
+  let e =
+    {
+      id = t.n;
+      origin;
+      tc;
+      text;
+      hash = Corpus.hash_text text;
+      gen;
+      new_bits;
+      findings;
+      energy = admission_energy ~new_bits ~findings;
+    }
+  in
+  t.rev_entries <- e :: t.rev_entries;
+  t.n <- t.n + 1;
+  e
+
+let decay t =
+  List.iter
+    (fun e -> e.energy <- Float.max energy_floor (e.energy *. decay_factor))
+    t.rev_entries
+
+(* integer weights for Rng.weighted: 8x fixed-point, floored at 1 so a
+   fully decayed seed is still reachable *)
+let weight e = max 1 (int_of_float (e.energy *. 8.0))
+
+let select t rng =
+  match t.rev_entries with
+  | [] -> None
+  | _ ->
+      Some (Rng.weighted rng (List.map (fun e -> (e, weight e)) (entries t)))
+
+let origin_mode = function
+  | Generated _ -> "fuzz:gen"
+  | Mutated (_, op) -> "fuzz:" ^ op
+
+let persist t ~dir =
+  Corpus.add_all ~dir
+    (List.map
+       (fun e ->
+         ( {
+             Corpus.hash = e.hash;
+             seed = e.id;
+             mode = origin_mode e.origin;
+             cls = "seed";
+             config = 0;
+             opt = "-";
+           },
+           e.text ))
+       (entries t))

@@ -1,0 +1,70 @@
+(** Energy-based corpus scheduler for the fuzzing loop.
+
+    The pool holds every kernel that ever produced new coverage, with an
+    {e energy} that determines how often it is picked as a mutation
+    parent:
+
+    - admission energy is [1 + min new_bits 16 + 2 * min findings 4] —
+      a kernel that lit up many new coverage points is mined harder,
+      and one whose cells were interesting (wrong-code/crash/build-
+      failure) harder still, because compiler bugs cluster: a mutant of
+      a bug-adjacent kernel often trips the neighbouring bug;
+    - every generation, all energies decay by the factor 0.85 (floored
+      at 0.03), so the scheduler drifts towards fresh discoveries
+      without ever fully retiring a seed;
+    - {!select} draws energy-weighted through the caller's splitmix
+      {!Rng.t}, so selection is a pure function of the root seed and
+      the (deterministic) admission history — runs are reproducible
+      and [-j]-invariant.
+
+    Energies are recomputable from [(gen, new_bits, findings)] —
+    [energy = admission * 0.85^(now - gen)] — so nothing scheduling-
+    related needs persisting: a resumed run re-derives the identical
+    pool by replaying the loop against its journal. {!persist} archives
+    the kernels themselves (class ["seed"]) through the content-
+    addressed {!Corpus} for human inspection and cross-campaign reuse. *)
+
+type origin =
+  | Generated of int  (** generator seed of a fresh kernel *)
+  | Mutated of int * string  (** parent pool id, mutation operator name *)
+
+type entry = {
+  id : int;  (** dense pool id, insertion order *)
+  origin : origin;
+  tc : Ast.testcase;
+  text : string;  (** printed kernel — also the content address input *)
+  hash : string;
+  gen : int;  (** generation at admission *)
+  new_bits : int;  (** coverage novelty that earned admission *)
+  findings : int;  (** interesting cells the kernel produced at admission *)
+  mutable energy : float;
+}
+
+type t
+
+val create : unit -> t
+val size : t -> int
+val entries : t -> entry list
+(** Insertion order. *)
+
+val add :
+  t ->
+  origin:origin ->
+  gen:int ->
+  new_bits:int ->
+  ?findings:int ->
+  Ast.testcase ->
+  entry
+(** [findings] defaults to 0. *)
+
+val decay : t -> unit
+(** One generation tick: multiply every energy by 0.85 (floor 0.03).
+    Call exactly once per generation, before admissions. *)
+
+val select : t -> Rng.t -> entry option
+(** Energy-weighted draw; [None] on an empty pool. Consumes exactly one
+    [Rng] value when the pool is non-empty. *)
+
+val persist : t -> dir:string -> (int, string) result
+(** Archive every kernel to the corpus at [dir] (class ["seed"], mode
+    recording its origin); returns how many index entries were new. *)

@@ -32,4 +32,15 @@ val reduce :
   Ast.testcase * stats
 (** Fixpoint of greedy single-step reductions. The input testcase must
     itself satisfy [interesting]. [max_attempts] (default 5000) bounds the
-    total number of candidate evaluations. *)
+    total number of candidate evaluations.
+
+    {b Candidate order} (deterministic, and part of the observable
+    contract — two runs over the same input always visit the same
+    variants): statements are numbered by a depth-first, left-to-right
+    walk of every function body (helpers first, kernel last; nested
+    statements visited where they occur). Each round scans positions in
+    increasing order, trying {e remove} before {e unwrap} at each
+    position, and restarts from position 0 as soon as one candidate is
+    accepted — greedy first-improvement, as in delta debugging. The
+    fixpoint is reached when a full scan accepts nothing or the attempt
+    budget is exhausted. *)

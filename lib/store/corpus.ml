@@ -115,6 +115,29 @@ let read_kernel ~dir ~hash =
   | exception Sys_error m -> Error m
   | contents -> Ok contents
 
+let fold ~dir ~init ~f =
+  match index ~dir with
+  | Error m -> Error m
+  | Ok entries -> (
+      let cache = Hashtbl.create 64 in
+      let text_of hash =
+        match Hashtbl.find_opt cache hash with
+        | Some t -> t
+        | None ->
+            let t = read_file (kernel_path ~dir ~hash) in
+            Hashtbl.add cache hash t;
+            t
+      in
+      match
+        List.fold_left (fun acc e -> f acc e (text_of e.hash)) init entries
+      with
+      | exception Sys_error m -> Error m
+      | acc -> Ok acc)
+
+let load_all ~dir =
+  Result.map List.rev
+    (fold ~dir ~init:[] ~f:(fun acc e text -> (e, text) :: acc))
+
 let verify ~dir e =
   match read_kernel ~dir ~hash:e.hash with
   | Error m -> Error m

@@ -34,5 +34,21 @@ val index : dir:string -> (entry list, string) result
 
 val read_kernel : dir:string -> hash:string -> (string, string) result
 
+val fold :
+  dir:string ->
+  init:'a ->
+  f:('a -> entry -> string -> 'a) ->
+  ('a, string) result
+(** One pass over the corpus: [f] receives every index entry together
+    with its kernel text, in index order. Kernel files are read once
+    per distinct hash (entries sharing a kernel share the read), so
+    consumers no longer re-scan the index and then re-open each file
+    per entry. Fails on the first unreadable kernel. *)
+
+val load_all : dir:string -> ((entry * string) list, string) result
+(** [fold] specialised to collecting [(entry, kernel text)] pairs in
+    index order — the one-call replacement for the
+    [index]-then-[read_kernel] two-pass pattern. *)
+
 val verify : dir:string -> entry -> (unit, string) result
 (** Re-hash the stored kernel text and compare with the content address. *)

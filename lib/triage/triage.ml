@@ -39,6 +39,61 @@ let cls_of_bucket = function
   | Majority.B_crash -> Some "crash"
   | Majority.B_ok | Majority.B_timeout -> None
 
+type observation = {
+  o_cls : string;
+  o_config : int;
+  o_opt : string;
+  o_signature : string;
+  o_seed : int;
+  o_mode : string;
+  o_hash : string;
+}
+
+(* the dedup core shared by the journal path and the fuzzing campaign:
+   accumulate buckets in observation order so exemplars are the first
+   witnesses encountered, then sort by key *)
+let of_observations (obs : observation list) =
+  let buckets = Hashtbl.create 32 in
+  let seen_kernels = Hashtbl.create 64 in
+  let order = ref [] in
+  List.iter
+    (fun o ->
+      let key = (o.o_cls, o.o_config, o.o_opt, o.o_signature) in
+      let fresh_kernel =
+        not (Hashtbl.mem seen_kernels (key, o.o_mode, o.o_seed))
+      in
+      if fresh_kernel then Hashtbl.add seen_kernels (key, o.o_mode, o.o_seed) ();
+      match Hashtbl.find_opt buckets key with
+      | None ->
+          order := key :: !order;
+          Hashtbl.add buckets key
+            {
+              cls = o.o_cls;
+              config = o.o_config;
+              opt = o.o_opt;
+              signature = o.o_signature;
+              cells = 1;
+              kernels = 1;
+              exemplar_seed = o.o_seed;
+              exemplar_mode = o.o_mode;
+              exemplar_hash = o.o_hash;
+            }
+      | Some b ->
+          Hashtbl.replace buckets key
+            {
+              b with
+              cells = b.cells + 1;
+              kernels = (b.kernels + if fresh_kernel then 1 else 0);
+            })
+    obs;
+  let bs = List.rev_map (Hashtbl.find buckets) !order in
+  List.sort
+    (fun a b ->
+      compare
+        (a.cls, a.config, a.opt, a.signature)
+        (b.cls, b.config, b.opt, b.signature))
+    bs
+
 exception Triage_error of string
 
 (* one (config, opt, outcome) observation of a kernel; table1 records carry
@@ -87,58 +142,35 @@ let of_journal (h : Journal.header) (cells : Journal.cell list) =
               Hashtbl.add kernel_info (mode, seed) v;
               v
         in
-        (* accumulate buckets in journal order so exemplars are the first
-           witnesses encountered *)
-        let buckets = Hashtbl.create 32 in
-        let seen_kernels = Hashtbl.create 64 in
-        let order = ref [] in
-        List.iter
-          (fun (c : Journal.cell) ->
-            let mode = c.Journal.mode and seed = c.Journal.seed in
-            let majority =
-              Majority.majority_output (Hashtbl.find votes (mode, seed))
-            in
-            List.iter
-              (fun (config, opt, o) ->
-                match cls_of_bucket (Majority.bucket_of ~majority o) with
-                | None -> ()
-                | Some cls ->
-                    let signature, hash = info_of mode seed in
-                    let key = (cls, config, opt, signature) in
-                    let fresh_kernel = not (Hashtbl.mem seen_kernels (key, mode, seed)) in
-                    if fresh_kernel then Hashtbl.add seen_kernels (key, mode, seed) ();
-                    (match Hashtbl.find_opt buckets key with
-                    | None ->
-                        order := key :: !order;
-                        Hashtbl.add buckets key
-                          {
-                            cls;
-                            config;
-                            opt;
-                            signature;
-                            cells = 1;
-                            kernels = 1;
-                            exemplar_seed = seed;
-                            exemplar_mode = mode;
-                            exemplar_hash = hash;
-                          }
-                    | Some b ->
-                        Hashtbl.replace buckets key
-                          {
-                            b with
-                            cells = b.cells + 1;
-                            kernels = (b.kernels + if fresh_kernel then 1 else 0);
-                          }))
-              (logical_cells c))
-          cells;
-        let bs = List.rev_map (Hashtbl.find buckets) !order in
-        Ok
-          (List.sort
-             (fun a b ->
-               compare
-                 (a.cls, a.config, a.opt, a.signature)
-                 (b.cls, b.config, b.opt, b.signature))
-             bs)
+        (* flatten the journal into classified observations, in journal
+           order, and hand them to the shared dedup core *)
+        let obs =
+          List.concat_map
+            (fun (c : Journal.cell) ->
+              let mode = c.Journal.mode and seed = c.Journal.seed in
+              let majority =
+                Majority.majority_output (Hashtbl.find votes (mode, seed))
+              in
+              List.filter_map
+                (fun (config, opt, o) ->
+                  match cls_of_bucket (Majority.bucket_of ~majority o) with
+                  | None -> None
+                  | Some cls ->
+                      let signature, hash = info_of mode seed in
+                      Some
+                        {
+                          o_cls = cls;
+                          o_config = config;
+                          o_opt = opt;
+                          o_signature = signature;
+                          o_seed = seed;
+                          o_mode = mode;
+                          o_hash = hash;
+                        })
+                (logical_cells c))
+            cells
+        in
+        Ok (of_observations obs)
       with Triage_error m -> Error m)
   | c ->
       Error

@@ -39,6 +39,26 @@ val signature_of_features : Features.t -> string
 (** The trigger-feature signature: the names of the active features that
     documented fault models key on, comma-joined; ["plain"] if none. *)
 
+type observation = {
+  o_cls : string;  (** "wrong-code" | "crash" | "build-failure" *)
+  o_config : int;
+  o_opt : string;  (** ["-"] | ["+"] *)
+  o_signature : string;  (** {!signature_of_features} of the kernel *)
+  o_seed : int;  (** kernel identity (generator seed, or fuzz counter) *)
+  o_mode : string;
+  o_hash : string;  (** content address of the kernel text *)
+}
+(** One interesting (kernel, configuration, opt level) cell, already
+    classified. The journal path builds these by regenerating kernels
+    from their seeds; the fuzzing campaign builds them directly from the
+    kernels it holds in memory (its mutants have no generator seed). *)
+
+val of_observations : observation list -> bucket list
+(** The dedup core: bucket observations by
+    [(class, config, opt, signature)], counting cells and distinct
+    [(mode, seed)] kernels, with the first witness in list order as each
+    bucket's exemplar. Buckets sorted by key. *)
+
 val of_journal :
   Journal.header -> Journal.cell list -> (bucket list, string) result
 (** Buckets sorted by (class, config, opt, signature). [Error] when the

@@ -1,0 +1,235 @@
+(* The coverage-guided fuzzing loop: covmap determinism, the -j-invariance
+   and resume contracts inherited from the execution pool, and the
+   --no-feedback degradation to a plain blind sweep. Tiny budgets and a
+   two-configuration matrix keep every case CI-sized. *)
+
+let config_ids = [ 1; 12 ]
+let budget = 6
+let gen_size = 3
+let seed = 11
+
+let run ?(jobs = 2) ?(feedback = true) ?sink ?resume () =
+  Fuzz_loop.run ~jobs ~budget ~seed ~config_ids ~feedback ~gen_size ?sink
+    ?resume ()
+
+(* --- covmap ----------------------------------------------------------- *)
+
+let test_covmap_deterministic () =
+  let tc, _ =
+    Generate.generate ~cfg:(Gen_config.scaled Gen_config.All) ~seed:3 ()
+  in
+  let features = Features.of_testcase tc in
+  let stats = { Interp.steps = 1234; barriers = 8; atomics = 0; race_checks = 17 } in
+  let idx () =
+    Covmap.indices ~features ~config:12 ~opt:true ~divergent:false
+      ~outcome:(Outcome.Success "out: 1") ~stats
+  in
+  Alcotest.(check (list int)) "same inputs, same indices" (idx ()) (idx ());
+  List.iter
+    (fun i ->
+      Alcotest.(check bool) "index in range" true (i >= 0 && i < Covmap.size))
+    (idx ());
+  (* each signature dimension moves at least one index *)
+  let base = idx () in
+  let vary ~msg indices =
+    Alcotest.(check bool) msg true (indices <> base)
+  in
+  vary ~msg:"config moves the signature"
+    (Covmap.indices ~features ~config:13 ~opt:true ~divergent:false
+       ~outcome:(Outcome.Success "out: 1") ~stats);
+  vary ~msg:"opt level moves the signature"
+    (Covmap.indices ~features ~config:12 ~opt:false ~divergent:false
+       ~outcome:(Outcome.Success "out: 1") ~stats);
+  vary ~msg:"outcome class moves the signature"
+    (Covmap.indices ~features ~config:12 ~opt:true ~divergent:false
+       ~outcome:(Outcome.Crash "sig") ~stats);
+  vary ~msg:"behaviour bucket moves the signature"
+    (Covmap.indices ~features ~config:12 ~opt:true ~divergent:false
+       ~outcome:(Outcome.Success "out: 1")
+       ~stats:{ stats with Interp.steps = 1234 * 64 });
+  (* log2 bucketing: nearby tallies share a signature *)
+  Alcotest.(check (list int)) "nearby tallies bucket together" base
+    (Covmap.indices ~features ~config:12 ~opt:true ~divergent:false
+       ~outcome:(Outcome.Success "out: 1")
+       ~stats:{ stats with Interp.steps = 1235 })
+
+let test_covmap_bitmap () =
+  let m = Covmap.create () in
+  Alcotest.(check int) "fresh map is empty" 0 (Covmap.count m);
+  Alcotest.(check int) "three new bits" 3 (Covmap.add_all m [ 1; 99; 65535 ]);
+  Alcotest.(check int) "re-adding lights nothing" 0 (Covmap.add_all m [ 1; 99 ]);
+  Alcotest.(check int) "population" 3 (Covmap.count m);
+  Alcotest.(check bool) "mem set" true (Covmap.mem m 99);
+  Alcotest.(check bool) "mem unset" false (Covmap.mem m 100);
+  let c = Covmap.copy m in
+  ignore (Covmap.add_all c [ 100 ]);
+  Alcotest.(check bool) "copy is independent" false (Covmap.mem m 100);
+  Alcotest.(check bool) "hex digests differ" false
+    (String.equal (Covmap.to_hex m) (Covmap.to_hex c))
+
+(* --- the loop's determinism contracts --------------------------------- *)
+
+(* everything the loop promises to keep byte-identical: the rendered
+   report (generations + triage), the coverage bitmap, the corpus pool
+   (hashes, origins, energies) and the exemplar texts *)
+let fingerprint (r : Fuzz_loop.result) =
+  String.concat "\n"
+    (Fuzz_loop.to_table r :: Covmap.to_hex r.Fuzz_loop.covmap
+    :: List.map
+         (fun (e : Seedpool.entry) ->
+           Printf.sprintf "%d %s %d %d %.4f" e.Seedpool.id e.Seedpool.hash
+             e.Seedpool.gen e.Seedpool.new_bits e.Seedpool.energy)
+         (Seedpool.entries r.Fuzz_loop.pool)
+    @ List.map fst r.Fuzz_loop.exemplar_texts)
+
+let test_jobs_invariant () =
+  let r1 = run ~jobs:1 () in
+  let r4 = run ~jobs:4 () in
+  Alcotest.(check string) "-j 1 and -j 4 byte-identical" (fingerprint r1)
+    (fingerprint r4);
+  Alcotest.(check int) "budget honoured" budget r1.Fuzz_loop.kernels_run;
+  Alcotest.(check int) "cells accounted"
+    (budget * Fuzz_loop.cells_per_kernel ~config_ids ())
+    r1.Fuzz_loop.cells_run
+
+let test_resume_equivalence () =
+  (* reference: uninterrupted journalled run *)
+  let collected = ref [] in
+  let r_ref = run ~sink:(fun c -> collected := c :: !collected) () in
+  let all_cells = List.rev !collected in
+  let n = List.length all_cells in
+  Alcotest.(check int) "journal covers every cell" r_ref.Fuzz_loop.cells_run n;
+  (* resume from assorted prefixes, including one cutting a generation
+     mid-way, at different -j: results must be byte-identical *)
+  let cells_per_gen = gen_size * Fuzz_loop.cells_per_kernel ~config_ids () in
+  List.iter
+    (fun k ->
+      let prefix = List.filteri (fun i _ -> i < k) all_cells in
+      let resumed = ref [] in
+      let r =
+        run ~jobs:3 ~resume:prefix
+          ~sink:(fun c -> resumed := c :: !resumed)
+          ()
+      in
+      Alcotest.(check string)
+        (Printf.sprintf "resume from %d/%d cells" k n)
+        (fingerprint r_ref) (fingerprint r);
+      (* the rewritten journal is also byte-equivalent *)
+      List.iter2
+        (fun (a : Journal.cell) (b : Journal.cell) ->
+          Alcotest.(check bool) "journal cell identical" true
+            (a.Journal.index = b.Journal.index
+            && Journal.key a = Journal.key b
+            && a.Journal.note = b.Journal.note
+            && List.for_all2 Outcome.equal a.Journal.outcomes b.Journal.outcomes))
+        all_cells (List.rev !resumed))
+    [ 0; cells_per_gen / 2; cells_per_gen; cells_per_gen + 3; n ]
+
+(* --- --no-feedback degrades to a blind sweep -------------------------- *)
+
+let test_no_feedback_is_blind_sweep () =
+  let r = run ~feedback:false () in
+  (* no mutants anywhere, and the pool only holds generator kernels *)
+  List.iter
+    (fun (g : Fuzz_loop.gen_stat) ->
+      Alcotest.(check int)
+        (Printf.sprintf "generation %d has no mutants" g.Fuzz_loop.gen)
+        0 g.Fuzz_loop.mutants)
+    r.Fuzz_loop.generations;
+  (* the kernel sequence is the paper's sweep: modes round-robin over
+     consecutive seeds, counter-sharing seeds skipped *)
+  let expected =
+    let rec collect acc counter =
+      if List.length acc >= budget then List.rev acc
+      else begin
+        let mode =
+          List.nth Gen_config.all_modes
+            (counter mod List.length Gen_config.all_modes)
+        in
+        let tc, info =
+          Generate.generate ~cfg:(Gen_config.scaled mode) ~seed:(seed + counter) ()
+        in
+        if info.Generate.counter_sharing then collect acc (counter + 1)
+        else collect ((Corpus.hash_text (Pp.program_to_string tc.Ast.prog)) :: acc) (counter + 1)
+      end
+    in
+    collect [] 0
+  in
+  let pool_hashes =
+    List.map (fun (e : Seedpool.entry) -> e.Seedpool.hash)
+      (Seedpool.entries r.Fuzz_loop.pool)
+  in
+  (* every admitted seed is one of the sweep's kernels, in sweep order *)
+  let rec subsequence xs = function
+    | [] -> xs = []
+    | y :: ys -> ( match xs with
+        | [] -> true
+        | x :: xs' -> if String.equal x y then subsequence xs' ys else subsequence xs ys)
+  in
+  Alcotest.(check bool) "pool is a subsequence of the blind sweep" true
+    (subsequence pool_hashes expected);
+  List.iter
+    (fun (e : Seedpool.entry) ->
+      match e.Seedpool.origin with
+      | Seedpool.Generated _ -> ()
+      | Seedpool.Mutated _ -> Alcotest.fail "mutant admitted without feedback")
+    (Seedpool.entries r.Fuzz_loop.pool)
+
+(* --- triage and corpus plumbing --------------------------------------- *)
+
+let test_findings_archive () =
+  let r = run () in
+  let entries = Fuzz_loop.finding_entries r in
+  Alcotest.(check int) "one corpus entry per bucket"
+    (List.length r.Fuzz_loop.buckets)
+    (List.length entries);
+  let dir = Filename.temp_file "fuzz_corpus" "" in
+  Sys.remove dir;
+  (match Corpus.add_all ~dir entries with
+  | Error m -> Alcotest.fail m
+  | Ok _ -> ());
+  (* the index is content-addressed: pool entries printing identically
+     share one line, so the archive count is the distinct-hash count *)
+  let distinct_pool_hashes =
+    List.length
+      (List.sort_uniq String.compare
+         (List.map
+            (fun (e : Seedpool.entry) -> e.Seedpool.hash)
+            (Seedpool.entries r.Fuzz_loop.pool)))
+  in
+  (match Seedpool.persist r.Fuzz_loop.pool ~dir with
+  | Error m -> Alcotest.fail m
+  | Ok n ->
+      Alcotest.(check int) "every distinct pool kernel archived"
+        distinct_pool_hashes n);
+  (* the archive round-trips through the one-pass loader *)
+  match Corpus.load_all ~dir with
+  | Error m -> Alcotest.fail m
+  | Ok loaded ->
+      Alcotest.(check int) "index covers findings + seeds"
+        (List.length entries + distinct_pool_hashes)
+        (List.length loaded);
+      List.iter
+        (fun ((e : Corpus.entry), text) ->
+          Alcotest.(check string) "content address intact" e.Corpus.hash
+            (Corpus.hash_text text))
+        loaded
+
+let () =
+  Alcotest.run "fuzz"
+    [
+      ( "covmap",
+        [
+          Alcotest.test_case "signature determinism" `Quick test_covmap_deterministic;
+          Alcotest.test_case "bitmap ops" `Quick test_covmap_bitmap;
+        ] );
+      ( "loop",
+        [
+          Alcotest.test_case "byte-identical across -j" `Slow test_jobs_invariant;
+          Alcotest.test_case "resume equivalence" `Slow test_resume_equivalence;
+          Alcotest.test_case "--no-feedback = blind sweep" `Slow
+            test_no_feedback_is_blind_sweep;
+        ] );
+      ( "corpus",
+        [ Alcotest.test_case "findings + pool archive" `Slow test_findings_archive ] );
+    ]

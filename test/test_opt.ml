@@ -151,6 +151,54 @@ let test_mutate_deterministic_and_typed () =
       Stdlib.(Mutate.candidate_count tc.Ast.prog > 0)
   done
 
+(* property: every mutant of every generated kernel re-typechecks — the
+   contract that lets the fuzzing loop and the fault models trust
+   Mutate.apply output without a per-mutant recovery path *)
+let test_mutate_all_typecheck () =
+  List.iter
+    (fun mode ->
+      let cfg = Gen_config.scaled mode in
+      for seed = 500 to 507 do
+        let tc, _ = Generate.generate ~cfg ~seed () in
+        for mseed = 0 to 9 do
+          let m =
+            Mutate.apply
+              ~seed:(Int64.of_int Stdlib.((seed * 100) + mseed))
+              tc.Ast.prog
+          in
+          match Typecheck.check_program m with
+          | Ok () -> ()
+          | Error e ->
+              Alcotest.failf "mutant (gen %d, mut %d, %s) ill-typed: %s" seed
+                mseed (Gen_config.mode_name mode) e
+        done
+      done)
+    [ Gen_config.Basic; Gen_config.Vector; Gen_config.Atomic_section; Gen_config.All ]
+
+(* property: fixed-seed mutation is byte-deterministic across pool sizes —
+   printed mutants from a -j 1 run and a -j 4 run are identical *)
+let test_mutate_pool_invariant () =
+  let cfg = Gen_config.scaled Gen_config.All in
+  let kernels =
+    List.init 6 (fun i -> fst (Generate.generate ~cfg ~seed:Stdlib.(520 + i) ()))
+  in
+  let tasks =
+    List.concat_map
+      (fun tc ->
+        List.init 4 (fun m -> (tc, Int64.of_int Stdlib.(1 + (m * 7919)))))
+      kernels
+  in
+  let render jobs =
+    Pool.with_pool ~jobs (fun pool ->
+        Pool.map pool
+          ~f:(fun (tc, seed) ->
+            Pp.program_to_string (Mutate.apply ~seed tc.Ast.prog))
+          tasks)
+  in
+  List.iter2
+    (fun a b -> Alcotest.(check string) "byte-identical across -j" a b)
+    (render 1) (render 4)
+
 let test_mutate_changes_something () =
   let cfg = Gen_config.scaled Gen_config.Basic in
   let changed = ref 0 and total = ref 0 in
@@ -188,6 +236,8 @@ let () =
       ( "mutate",
         [
           Alcotest.test_case "deterministic+typed" `Slow test_mutate_deterministic_and_typed;
+          Alcotest.test_case "all mutants re-typecheck" `Slow test_mutate_all_typecheck;
+          Alcotest.test_case "byte-deterministic across -j" `Slow test_mutate_pool_invariant;
           Alcotest.test_case "changes output" `Slow test_mutate_changes_something;
         ] );
     ]

@@ -235,6 +235,55 @@ let test_corpus () =
   Alcotest.(check int) "one kernel file + index" 2
     (Array.length (Sys.readdir dir))
 
+let test_corpus_fold () =
+  let dir = Filename.temp_file "store_corpus_fold" "" in
+  Sys.remove dir;
+  (* load_all on a corpus that does not exist yet reads as empty *)
+  (match Corpus.load_all ~dir with
+  | Ok [] -> ()
+  | Ok _ -> Alcotest.fail "missing corpus should be empty"
+  | Error e -> Alcotest.fail e);
+  let text_a = "__kernel void entry() { }\n"
+  and text_b = "__kernel void entry() { int x = 0; }\n" in
+  let entry text cls config =
+    { Corpus.hash = Corpus.hash_text text; seed = 1; mode = "ALL"; cls; config; opt = "+" }
+  in
+  let pairs =
+    [
+      (entry text_a "crash" 1, text_a);
+      (entry text_a "crash" 2, text_a);
+      (entry text_b "seed" 0, text_b);
+    ]
+  in
+  (match Corpus.add_all ~dir pairs with
+  | Ok n -> Alcotest.(check int) "three entries" 3 n
+  | Error e -> Alcotest.fail e);
+  (* fold sees every entry with its text, in index order *)
+  (match
+     Corpus.fold ~dir ~init:[] ~f:(fun acc e text -> (e.Corpus.cls, text) :: acc)
+   with
+  | Ok acc ->
+      Alcotest.(check (list (pair string string)))
+        "fold visits index order with texts"
+        [ ("crash", text_a); ("crash", text_a); ("seed", text_b) ]
+        (List.rev acc)
+  | Error e -> Alcotest.fail e);
+  (* load_all is the collecting specialisation of fold *)
+  (match Corpus.load_all ~dir with
+  | Ok loaded ->
+      Alcotest.(check int) "load_all count" 3 (List.length loaded);
+      List.iter2
+        (fun (e, text) (e', text') ->
+          Alcotest.(check bool) "entry matches" true (e = e');
+          Alcotest.(check string) "text matches" text text')
+        pairs loaded
+  | Error e -> Alcotest.fail e);
+  (* a missing kernel file surfaces as an error, not an exception *)
+  Sys.remove (Corpus.kernel_path ~dir ~hash:(Corpus.hash_text text_b));
+  match Corpus.load_all ~dir with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "load_all ignored a missing kernel file"
+
 (* --- resume determinism: the subsystem's headline property --- *)
 
 let campaign_run ~jobs ?sink ?resume () =
@@ -312,7 +361,11 @@ let () =
           Alcotest.test_case "identity mismatch rejected" `Quick test_journal_header_mismatch;
           Alcotest.test_case "missing file = fresh" `Quick test_journal_missing_file;
         ] );
-      ("corpus", [ Alcotest.test_case "add/index/verify/dedup" `Quick test_corpus ]);
+      ( "corpus",
+        [
+          Alcotest.test_case "add/index/verify/dedup" `Quick test_corpus;
+          Alcotest.test_case "fold/load_all one-pass" `Quick test_corpus_fold;
+        ] );
       ( "resume",
         [ Alcotest.test_case "byte-identical from any prefix" `Slow test_resume_determinism ] );
     ]
