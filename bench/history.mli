@@ -1,0 +1,34 @@
+(** Benchmark history trail and regression gate.
+
+    Every [scaling] / [fuzz] bench run already persists its BENCH-JSON
+    payload to [BENCH_scaling.json] / [BENCH_fuzz.json]; {!record} also
+    appends it to [BENCH_history.jsonl], one run per line, so successive
+    revisions of the tree leave a comparable performance trail (payloads
+    are stamped with the git commit and the jobs actually used).
+
+    [bench compare] ({!compare_latest}) reads that trail and, per bench
+    name, compares the latest run against the previous {e comparable}
+    one — same scale parameters (cells/budget/seed) and same jobs, so
+    throughput numbers mean the same thing. It flags:
+
+    - a throughput drop of more than 15% (cells/s), and
+    - any coverage drop at equal budget and seed (the fuzz loop is
+      deterministic, so any drop is a real behavior change, not noise),
+
+    returning nonzero so CI can gate on it. Fewer than two comparable
+    runs is "no baseline", not a failure. *)
+
+val default_path : string
+(** ["BENCH_history.jsonl"], written in the current directory like the
+    BENCH_*.json records. *)
+
+val record : ?path:string -> string -> unit
+(** Append one BENCH-JSON payload line to the history trail. Best
+    effort: an unwritable history warns on stderr and never fails the
+    bench run that produced the payload. *)
+
+val compare_latest : ?path:string -> unit -> int
+(** Compare the latest run of every bench name against its previous
+    comparable run, printing one verdict line per check. Returns 1 if
+    any regression was flagged, 0 otherwise (including "no history" /
+    "no baseline"). *)

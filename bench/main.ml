@@ -6,6 +6,7 @@
 
      dune exec bench/main.exe -- table1|table2|table3|table4|table5
      dune exec bench/main.exe -- figure1|figure2|races|micro|ablate|scaling|fuzz
+     dune exec bench/main.exe -- compare   # regression-gate BENCH_history.jsonl
 
    Global flags (before or between experiment names):
 
@@ -274,12 +275,14 @@ let scaling () =
        \"cells\":%d,\"jobs\":%d,\"t_j1_s\":%.3f,\"t_jN_s\":%.3f,\
        \"cells_per_s_j1\":%.1f,\"cells_per_s_jN\":%.1f,\"speedup\":%.2f,\
        \"identical\":%b,\"stages_j1\":%s,\"stages_jN\":%s,\
-       \"host\":{\"cores\":%d,\"ocaml\":%S,\"os\":%S,\"word_size\":%d}}"
+       \"host\":{\"cores\":%d,\"ocaml\":%S,\"os\":%S,\"word_size\":%d,\
+       \"commit\":%S}}"
       per_mode cells n_jobs t_seq t_par
       (float cells /. t_seq)
       (float cells /. t_par)
       (t_seq /. t_par) identical stages_seq stages_par (Hostinfo.cores ())
       Hostinfo.ocaml_version Hostinfo.os_type Hostinfo.word_size
+      (Hostinfo.git_commit ())
   in
   Printf.printf "BENCH-JSON %s\n" payload;
   (* persist the measurement next to the sources so successive revisions
@@ -290,7 +293,8 @@ let scaling () =
      close_out oc;
      Printf.printf "scaling record written to BENCH_scaling.json\n"
    with Sys_error m ->
-     Printf.eprintf "could not write BENCH_scaling.json: %s\n" m)
+     Printf.eprintf "could not write BENCH_scaling.json: %s\n" m);
+  History.record payload
 
 (* ------------------------------------------------------------------ *)
 (* Coverage-guided fuzzing: feedback on vs off at equal budget         *)
@@ -299,9 +303,10 @@ let scaling () =
 let fuzz () =
   section "Coverage-guided fuzzing — feedback vs blind sweep at equal budget";
   let budget = size 24 and seed = 7 in
+  let n_jobs = max 1 !jobs in
   let run_policy feedback =
     let t0 = Unix.gettimeofday () in
-    let r = Fuzz_loop.run ~jobs:!jobs ~budget ~seed ~feedback () in
+    let r = Fuzz_loop.run ~jobs:n_jobs ~budget ~seed ~feedback () in
     (r, Unix.gettimeofday () -. t0)
   in
   let fb, t_fb = timed "fuzz/feedback" (fun () -> run_policy true) in
@@ -338,12 +343,14 @@ let fuzz () =
     Printf.sprintf
       "{\"bench\":\"fuzz_feedback_vs_blind\",\"schema\":1,\"budget\":%d,\
        \"seed\":%d,\"jobs\":%d,\"feedback\":%s,\"no_feedback\":%s,\
-       \"host\":{\"cores\":%d,\"ocaml\":%S,\"os\":%S,\"word_size\":%d}}"
-      budget seed !jobs
+       \"host\":{\"cores\":%d,\"ocaml\":%S,\"os\":%S,\"word_size\":%d,\
+       \"commit\":%S}}"
+      budget seed n_jobs
       (policy "feedback" fb t_fb)
       (policy "no-feedback" blind t_blind)
       (Hostinfo.cores ()) Hostinfo.ocaml_version Hostinfo.os_type
       Hostinfo.word_size
+      (Hostinfo.git_commit ())
   in
   Printf.printf "BENCH-JSON %s\n" payload;
   (try
@@ -351,7 +358,8 @@ let fuzz () =
      output_string oc (payload ^ "\n");
      close_out oc;
      Printf.printf "fuzzing record written to BENCH_fuzz.json\n"
-   with Sys_error m -> Printf.eprintf "could not write BENCH_fuzz.json: %s\n" m)
+   with Sys_error m -> Printf.eprintf "could not write BENCH_fuzz.json: %s\n" m);
+  History.record payload
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel microbenchmarks                                            *)
@@ -466,7 +474,8 @@ let () =
             exit 2)
     | name :: rest -> parse (name :: acc) rest
   in
-  match parse [] (List.tl (Array.to_list Sys.argv)) with
+  let rc = ref 0 in
+  (match parse [] (List.tl (Array.to_list Sys.argv)) with
   | [] -> all_experiments ()
   | names ->
       List.iter
@@ -483,6 +492,8 @@ let () =
           | "ablate" -> ablate ()
           | "scaling" -> scaling ()
           | "fuzz" -> fuzz ()
+          | "compare" -> rc := max !rc (History.compare_latest ())
           | "all" -> all_experiments ()
           | other -> Printf.eprintf "unknown experiment %s\n" other)
-        names
+        names);
+  if !rc <> 0 then exit !rc

@@ -2,7 +2,7 @@
 
    Subcommands mirror the per-experiment index of DESIGN.md:
      table1 | table2 | table3 | table4 | table5 | figure1 | figure2
-     | races | reduce | triage | fuzz
+     | races | reduce | triage | fuzz | report
    with -n to scale the sample sizes. The table campaigns persist their
    cells to a crash-safe journal (--journal FILE), continue interrupted or
    smaller runs (--resume), and archive their distinct-bug witnesses to a
@@ -126,9 +126,56 @@ let progress_arg =
            ETA and running class tallies. Purely cosmetic — table and \
            journal bytes are unchanged.")
 
+let events_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "events" ] ~docv:"FILE"
+        ~doc:
+          "Write a schema-versioned structured eventlog (campaign lifecycle, \
+           per-cell completions, fuzz generations, coverage deltas, triage \
+           hits) to $(docv) as checksummed JSONL. Lifecycle events are \
+           emitted in deterministic task order: without $(b,--trace) or a \
+           watchdog, the file is byte-identical across $(b,-j) values.")
+
+let watchdog_timeout_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "watchdog-timeout" ] ~docv:"SECS"
+        ~doc:
+          "Arm a stall watchdog: a monitoring domain that warns after \
+           $(docv)/2 seconds without a completed cell and records a stall \
+           event (listing stale worker domains) after $(docv) seconds. \
+           Choose $(docv) above the longest legitimate quiet window (e.g. \
+           $(b,--minimize) reduction runs).")
+
+let watchdog_abort_arg =
+  Arg.(
+    value & flag
+    & info [ "watchdog-abort" ]
+        ~doc:
+          "Escalate a watchdog stall to an abort: exit nonzero instead of \
+           hanging forever, so CI fails fast rather than hitting the \
+           job-level timeout. Requires $(b,--watchdog-timeout).")
+
+(* everything observability-related that rides alongside a campaign *)
+type obs_opts = {
+  o_metrics : string option;
+  o_trace : string option;
+  o_progress : bool;
+  o_events : string option;
+  o_wd_timeout : int option;  (* seconds *)
+  o_wd_abort : bool;
+}
+
 let telemetry_term =
-  let combine metrics trace progress = (metrics, trace, progress) in
-  Term.(const combine $ metrics_arg $ trace_arg $ progress_arg)
+  let combine o_metrics o_trace o_progress o_events o_wd_timeout o_wd_abort =
+    { o_metrics; o_trace; o_progress; o_events; o_wd_timeout; o_wd_abort }
+  in
+  Term.(
+    const combine $ metrics_arg $ trace_arg $ progress_arg $ events_arg
+    $ watchdog_timeout_arg $ watchdog_abort_arg)
 
 (* one short class tag per journalled cell, for the progress tallies *)
 let tag_of_cell (c : Journal.cell) =
@@ -139,60 +186,147 @@ let tag_of_cell (c : Journal.cell) =
       | Some o -> Outcome.short_tag o
       | None -> "ok")
 
-(* Arm span collection and the progress line around [k], then emit the
-   requested telemetry files. [k] receives a sink wrapper that teaches a
-   campaign's cell stream to drive the progress display. Telemetry never
+(* per-stage-category microseconds, for the Stage_timing event *)
+let stage_totals spans =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun (s : Span.t) ->
+      let us = Int64.to_int (Int64.div s.Span.dur_ns 1000L) in
+      Hashtbl.replace tbl s.Span.cat
+        (us + Option.value ~default:0 (Hashtbl.find_opt tbl s.Span.cat)))
+    spans;
+  List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])
+
+(* Arm span collection, the eventlog, the watchdog and the progress line
+   around [k], then emit the requested telemetry files. [k] receives a
+   sink wrapper that teaches a campaign's cell stream to drive the
+   progress display and the eventlog, plus an event emitter for campaigns
+   that produce their own lifecycle events (fuzz). Telemetry never
    touches stdout, the table or the journal; a file that cannot be
    written fails the run only after the campaign itself finished. *)
-let with_telemetry ~telemetry:(metrics, trace, progress) ~label ~total k =
-  if trace <> None then begin
+let with_telemetry ~telemetry:t ~header ~label ~total k =
+  if t.o_trace <> None then begin
     Span.reset ();
     Span.enable ()
   end;
-  let prog =
-    if progress then Some (Progress.create ~label ~total ()) else None
-  in
-  let wrap sink =
-    match prog with
-    | None -> sink
-    | Some p ->
-        let bump c = Progress.step p ~tag:(tag_of_cell c) in
-        Some
-          (match sink with
-          | None -> bump
-          | Some s ->
-              fun c ->
-                bump c;
-                s c)
-  in
-  let rc = k wrap in
-  (match prog with Some p -> Progress.finish p | None -> ());
-  let write_json path json =
-    try
-      let oc = open_out path in
-      output_string oc (Jsonl.to_string json);
-      output_char oc '\n';
-      close_out oc;
-      0
-    with Sys_error m -> fail "%s" m
-  in
-  let rc_metrics =
-    match metrics with
-    | None -> 0
-    | Some path -> write_json path (Metrics.to_json ())
-  in
-  let rc_trace =
-    match trace with
-    | None -> 0
-    | Some path ->
-        Span.disable ();
-        let spans = Span.drain () in
-        (try
-           Trace.write ~path spans;
-           0
-         with Sys_error m -> fail "%s" m)
-  in
-  max rc (max rc_metrics rc_trace)
+  match
+    try Ok (Option.map (fun path -> Eventlog.create ~path) t.o_events)
+    with Sys_error m -> Error m
+  with
+  | Error m -> fail "events: %s" m
+  | Ok ev_writer ->
+      let emit_ev e =
+        match ev_writer with Some w -> Eventlog.emit w e | None -> ()
+      in
+      emit_ev
+        (Eventlog.Campaign_start
+           {
+             campaign = header.Journal.campaign;
+             ident = header.Journal.ident;
+             scale = header.Journal.scale;
+             total;
+           });
+      let cells_seen = ref 0 in
+      let prog =
+        if t.o_progress then Some (Progress.create ~label ~total ()) else None
+      in
+      let wrap sink =
+        match (prog, ev_writer) with
+        | None, None -> sink
+        | _ ->
+            Some
+              (fun (c : Journal.cell) ->
+                let tag = tag_of_cell c in
+                (match prog with
+                | Some p -> Progress.step p ~tag
+                | None -> ());
+                incr cells_seen;
+                emit_ev
+                  (Eventlog.Cell
+                     {
+                       index = c.Journal.index;
+                       seed = c.Journal.seed;
+                       mode = c.Journal.mode;
+                       config = c.Journal.config;
+                       opt = c.Journal.opt;
+                       cls = tag;
+                     });
+                match sink with Some s -> s c | None -> ())
+      in
+      let wd =
+        match t.o_wd_timeout with
+        | None ->
+            if t.o_wd_abort then
+              warn "--watchdog-abort has no effect without --watchdog-timeout";
+            None
+        | Some secs ->
+            let on_event level (s : Watchdog.snapshot) =
+              warn "watchdog %s: no progress for %d ms (%d completed, %d in \
+                    flight%s)"
+                (Watchdog.level_name level)
+                s.Watchdog.idle_ms s.Watchdog.completed s.Watchdog.in_flight
+                (match s.Watchdog.stalled_domains with
+                | [] -> ""
+                | ds ->
+                    Printf.sprintf ", stale domains %s"
+                      (String.concat "," (List.map string_of_int ds)));
+              emit_ev
+                (Eventlog.Watchdog
+                   {
+                     level = Watchdog.level_name level;
+                     completed = s.Watchdog.completed;
+                     in_flight = s.Watchdog.in_flight;
+                     stalled_domains = s.Watchdog.stalled_domains;
+                     idle_ms = s.Watchdog.idle_ms;
+                   })
+            in
+            let abort =
+              if t.o_wd_abort then
+                Some
+                  (fun (_ : Watchdog.snapshot) ->
+                    report "watchdog: stalled campaign aborted";
+                    (match ev_writer with
+                    | Some w -> Eventlog.close w
+                    | None -> ());
+                    Stdlib.exit 2)
+              else None
+            in
+            Some (Watchdog.start ~timeout_ms:(secs * 1000) ?abort ~on_event ())
+      in
+      let rc = k wrap emit_ev in
+      (match wd with Some w -> Watchdog.stop w | None -> ());
+      (match prog with Some p -> Progress.finish p | None -> ());
+      let write_json path json =
+        try
+          let oc = open_out path in
+          output_string oc (Jsonl.to_string json);
+          output_char oc '\n';
+          close_out oc;
+          0
+        with Sys_error m -> fail "%s" m
+      in
+      let rc_metrics =
+        match t.o_metrics with
+        | None -> 0
+        | Some path -> write_json path (Metrics.to_json ())
+      in
+      let rc_trace =
+        match t.o_trace with
+        | None -> 0
+        | Some path ->
+            Span.disable ();
+            let spans = Span.drain () in
+            (match stage_totals spans with
+            | [] -> ()
+            | stages -> emit_ev (Eventlog.Stage_timing stages));
+            (try
+               Trace.write ~path spans;
+               0
+             with Sys_error m -> fail "%s" m)
+      in
+      emit_ev (Eventlog.Campaign_end { cells = !cells_seen });
+      (match ev_writer with Some w -> Eventlog.close w | None -> ());
+      max rc (max rc_metrics rc_trace)
 
 (* run [k sink resumed_cells] under the requested journal plumbing *)
 let with_journal ~header ~journal ~resume k =
@@ -234,7 +368,7 @@ let table1_cmd =
     let total =
       n * List.length Gen_config.all_modes * List.length Config.all
     in
-    with_telemetry ~telemetry ~label:"table1" ~total @@ fun wrap ->
+    with_telemetry ~telemetry ~header ~label:"table1" ~total @@ fun wrap _ev ->
     match
       with_journal ~header ~journal ~resume (fun sink cells ->
           Classify.run ~jobs ?fuel ~per_mode:n ?sink:(wrap sink) ~resume:cells ())
@@ -265,7 +399,7 @@ let table3_cmd =
     let total =
       List.length Suite.emi_eligible * List.length Bench_emi.default_configs
     in
-    with_telemetry ~telemetry ~label:"table3" ~total @@ fun wrap ->
+    with_telemetry ~telemetry ~header ~label:"table3" ~total @@ fun wrap _ev ->
     match
       with_journal ~header ~journal ~resume (fun sink cells ->
           Bench_emi.run ~jobs ?fuel ~variants:n ?sink:(wrap sink) ~resume:cells ())
@@ -301,7 +435,7 @@ let table4_cmd =
               collected := c :: !collected;
               s c)
     in
-    with_telemetry ~telemetry ~label:"table4" ~total @@ fun wrap ->
+    with_telemetry ~telemetry ~header ~label:"table4" ~total @@ fun wrap _ev ->
     match
       with_journal ~header ~journal ~resume (fun sink cells ->
           Campaign.run ~jobs ?fuel ~per_mode:n ?sink:(wrap (collect sink))
@@ -328,7 +462,7 @@ let table5_cmd =
   let run n v jobs fuel journal resume out telemetry =
     let header = Emi_campaign.journal_header ?fuel ~bases:n ~variants:v () in
     let total = n * List.length Config.above_threshold_ids * 2 in
-    with_telemetry ~telemetry ~label:"table5" ~total @@ fun wrap ->
+    with_telemetry ~telemetry ~header ~label:"table5" ~total @@ fun wrap _ev ->
     match
       with_journal ~header ~journal ~resume (fun sink cells ->
           Emi_campaign.run ~jobs ?fuel ~bases:n ~variants:v ?sink:(wrap sink)
@@ -394,11 +528,11 @@ let fuzz_cmd =
         ~minimize ()
     in
     let total = budget * Fuzz_loop.cells_per_kernel () in
-    with_telemetry ~telemetry ~label:"fuzz" ~total @@ fun wrap ->
+    with_telemetry ~telemetry ~header ~label:"fuzz" ~total @@ fun wrap ev ->
     match
       with_journal ~header ~journal ~resume (fun sink cells ->
           Fuzz_loop.run ~jobs ?fuel ~budget ~seed ~feedback ~gen_size ~minimize
-            ?sink:(wrap sink) ~resume:cells ())
+            ?sink:(wrap sink) ~events:ev ~resume:cells ())
     with
     | Error m -> fail "%s" m
     | Ok r -> (
@@ -493,6 +627,65 @@ let fuzz_cmd =
               ~doc:"Write the final coverage bitmap to $(docv) as canonical hex.")
       $ out_arg $ telemetry_term)
 
+let report_cmd =
+  let run path html events out =
+    match Journal.load ~path with
+    | Error e -> fail "%s: %s" path (Journal.error_to_string e)
+    | Ok (header, cells, truncated) ->
+        if truncated then
+          warn
+            "journal ended in a torn line (interrupted run); reporting the \
+             clean prefix";
+        let evs =
+          match events with
+          | None -> []
+          | Some p -> (
+              match Eventlog.load ~path:p with
+              | Error m ->
+                  warn "events: %s (continuing without the eventlog)" m;
+                  []
+              | Ok (evs, torn) ->
+                  if torn then
+                    warn "eventlog ended in a torn line; using the clean prefix";
+                  evs)
+        in
+        let text =
+          if html then
+            Report_html.render ~header ~cells ~truncated ~events:evs ()
+          else Report_html.summary ~header ~cells ~truncated ~events:evs ()
+        in
+        emit out text
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:
+         "Render a journal (and optionally its eventlog) into a campaign \
+          report: outcome grids with majority-vote wrong-code counts, \
+          per-configuration heatmap, coverage and bug curves, stage timing, \
+          incidents and per-bug mutation lineage. $(b,--html) produces a \
+          self-contained zero-dependency HTML file; the default is a \
+          plain-text digest.")
+    Term.(
+      const run
+      $ Arg.(
+          required
+          & pos 0 (some string) None
+          & info [] ~docv:"JOURNAL" ~doc:"journal file to render")
+      $ Arg.(
+          value & flag
+          & info [ "html" ]
+              ~doc:
+                "Emit a self-contained HTML report (inline CSS and SVG, no \
+                 scripts, no external assets).")
+      $ Arg.(
+          value
+          & opt (some string) None
+          & info [ "events" ] ~docv:"FILE"
+              ~doc:
+                "Eventlog written by the campaign's $(b,--events): enables \
+                 the coverage/bug curves, stage-timing and incident sections.")
+      $ out_arg)
+
 let figure_cmd name exhibits doc =
   let run verbose out =
     if verbose then
@@ -582,7 +775,7 @@ let () =
           (Cmd.info "campaign" ~doc:"Reproduce the paper's experiments")
           [
             table1_cmd; table2_cmd; table3_cmd; table4_cmd; table5_cmd;
-            fuzz_cmd; triage_cmd;
+            fuzz_cmd; triage_cmd; report_cmd;
             figure_cmd "figure1" Exhibit.figure1 "Figure 1 bug exhibits";
             figure_cmd "figure2" Exhibit.figure2 "Figure 2 bug exhibits";
             races_cmd; reduce_cmd;

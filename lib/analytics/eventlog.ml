@@ -1,0 +1,316 @@
+let schema_version = 1
+
+type event =
+  | Campaign_start of {
+      campaign : string;
+      ident : (string * string) list;
+      scale : (string * string) list;
+      total : int;
+    }
+  | Cell of {
+      index : int;
+      seed : int;
+      mode : string;
+      config : int;
+      opt : string;
+      cls : string;
+    }
+  | Generation of {
+      gen : int;
+      kernels : int;
+      mutants : int;
+      new_bits : int;
+      coverage : int;
+      corpus : int;
+      findings : int;
+      distinct_bugs : int;
+    }
+  | Coverage_delta of { gen : int; kernel : int; new_bits : int; total : int }
+  | Triage_hit of {
+      cls : string;
+      config : int;
+      opt : string;
+      signature : string;
+      seed : int;
+      mode : string;
+      hash : string;
+    }
+  | Pool_health of {
+      submitted : int;
+      completed : int;
+      in_flight : int;
+      stalled_domains : int list;
+    }
+  | Stage_timing of (string * int) list
+  | Watchdog of {
+      level : string;
+      completed : int;
+      in_flight : int;
+      stalled_domains : int list;
+      idle_ms : int;
+    }
+  | Campaign_end of { cells : int }
+
+let is_deterministic = function
+  | Campaign_start _ | Cell _ | Generation _ | Coverage_delta _ | Triage_hit _
+  | Campaign_end _ ->
+      true
+  | Pool_health _ | Stage_timing _ | Watchdog _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Encoding                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let params_json ps = Jsonl.Obj (List.map (fun (k, v) -> (k, Jsonl.Str v)) ps)
+let ints_json is = Jsonl.List (List.map (fun i -> Jsonl.Int i) is)
+
+let fields_of = function
+  | Campaign_start { campaign; ident; scale; total } ->
+      [
+        ("e", Jsonl.Str "campaign_start");
+        ("campaign", Jsonl.Str campaign);
+        ("ident", params_json ident);
+        ("scale", params_json scale);
+        ("total", Jsonl.Int total);
+      ]
+  | Cell { index; seed; mode; config; opt; cls } ->
+      [
+        ("e", Jsonl.Str "cell");
+        ("i", Jsonl.Int index);
+        ("seed", Jsonl.Int seed);
+        ("mode", Jsonl.Str mode);
+        ("config", Jsonl.Int config);
+        ("opt", Jsonl.Str opt);
+        ("cls", Jsonl.Str cls);
+      ]
+  | Generation
+      { gen; kernels; mutants; new_bits; coverage; corpus; findings;
+        distinct_bugs } ->
+      [
+        ("e", Jsonl.Str "generation");
+        ("gen", Jsonl.Int gen);
+        ("kernels", Jsonl.Int kernels);
+        ("mutants", Jsonl.Int mutants);
+        ("new_bits", Jsonl.Int new_bits);
+        ("coverage", Jsonl.Int coverage);
+        ("corpus", Jsonl.Int corpus);
+        ("findings", Jsonl.Int findings);
+        ("distinct_bugs", Jsonl.Int distinct_bugs);
+      ]
+  | Coverage_delta { gen; kernel; new_bits; total } ->
+      [
+        ("e", Jsonl.Str "coverage_delta");
+        ("gen", Jsonl.Int gen);
+        ("kernel", Jsonl.Int kernel);
+        ("new_bits", Jsonl.Int new_bits);
+        ("total", Jsonl.Int total);
+      ]
+  | Triage_hit { cls; config; opt; signature; seed; mode; hash } ->
+      [
+        ("e", Jsonl.Str "triage_hit");
+        ("cls", Jsonl.Str cls);
+        ("config", Jsonl.Int config);
+        ("opt", Jsonl.Str opt);
+        ("sig", Jsonl.Str signature);
+        ("seed", Jsonl.Int seed);
+        ("mode", Jsonl.Str mode);
+        ("hash", Jsonl.Str hash);
+      ]
+  | Pool_health { submitted; completed; in_flight; stalled_domains } ->
+      [
+        ("e", Jsonl.Str "pool_health");
+        ("submitted", Jsonl.Int submitted);
+        ("completed", Jsonl.Int completed);
+        ("in_flight", Jsonl.Int in_flight);
+        ("stalled_domains", ints_json stalled_domains);
+      ]
+  | Stage_timing stages ->
+      [
+        ("e", Jsonl.Str "stage_timing");
+        ( "stages_us",
+          Jsonl.Obj (List.map (fun (cat, us) -> (cat, Jsonl.Int us)) stages) );
+      ]
+  | Watchdog { level; completed; in_flight; stalled_domains; idle_ms } ->
+      [
+        ("e", Jsonl.Str "watchdog");
+        ("level", Jsonl.Str level);
+        ("completed", Jsonl.Int completed);
+        ("in_flight", Jsonl.Int in_flight);
+        ("stalled_domains", ints_json stalled_domains);
+        ("idle_ms", Jsonl.Int idle_ms);
+      ]
+  | Campaign_end { cells } ->
+      [ ("e", Jsonl.Str "campaign_end"); ("cells", Jsonl.Int cells) ]
+
+let encode e =
+  Jsonl.encode_line (("v", Jsonl.Int schema_version) :: fields_of e)
+
+(* ------------------------------------------------------------------ *)
+(* Decoding                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let params_of = function
+  | Some (Jsonl.Obj fields) ->
+      let strs =
+        List.filter_map
+          (fun (k, v) -> Option.map (fun s -> (k, s)) (Jsonl.get_str v))
+          fields
+      in
+      if List.length strs = List.length fields then Some strs else None
+  | _ -> None
+
+let ints_of = function
+  | Some (Jsonl.List l) ->
+      let is = List.filter_map Jsonl.get_int l in
+      if List.length is = List.length l then Some is else None
+  | _ -> None
+
+let event_of_fields fields =
+  let j = Jsonl.Obj fields in
+  let int name = Option.bind (Jsonl.member name j) Jsonl.get_int in
+  let str name = Option.bind (Jsonl.member name j) Jsonl.get_str in
+  match int "v" with
+  | Some v when v <> schema_version ->
+      Error (Printf.sprintf "schema version %d, this build reads %d" v schema_version)
+  | None -> Error "missing schema version"
+  | Some _ -> (
+      let missing = Error "malformed event record" in
+      match str "e" with
+      | Some "campaign_start" -> (
+          match
+            ( str "campaign",
+              params_of (Jsonl.member "ident" j),
+              params_of (Jsonl.member "scale" j),
+              int "total" )
+          with
+          | Some campaign, Some ident, Some scale, Some total ->
+              Ok (Campaign_start { campaign; ident; scale; total })
+          | _ -> missing)
+      | Some "cell" -> (
+          match
+            (int "i", int "seed", str "mode", int "config", str "opt", str "cls")
+          with
+          | Some index, Some seed, Some mode, Some config, Some opt, Some cls ->
+              Ok (Cell { index; seed; mode; config; opt; cls })
+          | _ -> missing)
+      | Some "generation" -> (
+          match
+            ( (int "gen", int "kernels", int "mutants", int "new_bits"),
+              (int "coverage", int "corpus", int "findings", int "distinct_bugs") )
+          with
+          | ( (Some gen, Some kernels, Some mutants, Some new_bits),
+              (Some coverage, Some corpus, Some findings, Some distinct_bugs) ) ->
+              Ok
+                (Generation
+                   { gen; kernels; mutants; new_bits; coverage; corpus;
+                     findings; distinct_bugs })
+          | _ -> missing)
+      | Some "coverage_delta" -> (
+          match (int "gen", int "kernel", int "new_bits", int "total") with
+          | Some gen, Some kernel, Some new_bits, Some total ->
+              Ok (Coverage_delta { gen; kernel; new_bits; total })
+          | _ -> missing)
+      | Some "triage_hit" -> (
+          match
+            ( (str "cls", int "config", str "opt", str "sig"),
+              (int "seed", str "mode", str "hash") )
+          with
+          | ( (Some cls, Some config, Some opt, Some signature),
+              (Some seed, Some mode, Some hash) ) ->
+              Ok (Triage_hit { cls; config; opt; signature; seed; mode; hash })
+          | _ -> missing)
+      | Some "pool_health" -> (
+          match
+            ( int "submitted", int "completed", int "in_flight",
+              ints_of (Jsonl.member "stalled_domains" j) )
+          with
+          | Some submitted, Some completed, Some in_flight, Some stalled_domains
+            ->
+              Ok (Pool_health { submitted; completed; in_flight; stalled_domains })
+          | _ -> missing)
+      | Some "stage_timing" -> (
+          match Jsonl.member "stages_us" j with
+          | Some (Jsonl.Obj stages) ->
+              let parsed =
+                List.filter_map
+                  (fun (cat, v) -> Option.map (fun us -> (cat, us)) (Jsonl.get_int v))
+                  stages
+              in
+              if List.length parsed = List.length stages then
+                Ok (Stage_timing parsed)
+              else missing
+          | _ -> missing)
+      | Some "watchdog" -> (
+          match
+            ( (str "level", int "completed", int "in_flight"),
+              (ints_of (Jsonl.member "stalled_domains" j), int "idle_ms") )
+          with
+          | (Some level, Some completed, Some in_flight),
+            (Some stalled_domains, Some idle_ms) ->
+              Ok (Watchdog { level; completed; in_flight; stalled_domains; idle_ms })
+          | _ -> missing)
+      | Some "campaign_end" -> (
+          match int "cells" with
+          | Some cells -> Ok (Campaign_end { cells })
+          | _ -> missing)
+      | Some other -> Error (Printf.sprintf "unknown event kind %S" other)
+      | None -> Error "missing event kind")
+
+let decode line =
+  match Jsonl.decode_line line with
+  | Error e -> Error e
+  | Ok fields -> event_of_fields fields
+
+(* ------------------------------------------------------------------ *)
+(* Writer                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type writer = { oc : out_channel; wm : Mutex.t }
+
+let create ~path = { oc = open_out_bin path; wm = Mutex.create () }
+
+let emit w e =
+  (* the mutex admits the one legitimate cross-domain producer — the
+     watchdog — without ever reordering the submitting domain's
+     deterministic stream *)
+  Mutex.lock w.wm;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock w.wm)
+    (fun () ->
+      output_string w.oc (encode e);
+      output_char w.oc '\n';
+      flush w.oc)
+
+let close w = close_out w.oc
+
+(* ------------------------------------------------------------------ *)
+(* Reader                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let load ~path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | exception Sys_error m -> Error m
+  | contents ->
+      let lines =
+        match List.rev (String.split_on_char '\n' contents) with
+        | "" :: rev -> List.rev rev
+        | rev -> List.rev rev
+      in
+      let n = List.length lines in
+      let rec go i acc = function
+        | [] -> Ok (List.rev acc, false)
+        | line :: rest -> (
+            match decode line with
+            | Ok e -> go (i + 1) (e :: acc) rest
+            | Error e ->
+                (* same torn-tail policy as the journal: damage is only
+                   tolerated at the very end of the file *)
+                if i = n - 1 then Ok (List.rev acc, true)
+                else Error (Printf.sprintf "event %d: %s" (i + 1) e))
+      in
+      go 0 [] lines

@@ -1,0 +1,102 @@
+(** Typed, schema-versioned structured event stream for a campaign.
+
+    The journal records {e results}; the eventlog records the {e story}:
+    campaign lifecycle, per-cell completions, fuzzing generations,
+    coverage deltas, triage hits, pool health and watchdog escalations,
+    one checksummed JSON object per line ([{"v":1,"e":"<kind>",...,
+    "h":"<md5>"}]) written next to the journal. Any text tool can tail
+    it; {!load} replays it for the offline report generator.
+
+    {b Determinism.} Every lifecycle event ({!is_deterministic}) is
+    emitted from the ordered merged result stream — the same path that
+    makes journals byte-identical across [-j] — and carries no
+    wall-clock fields, so two runs of the same campaign at any [-j]
+    produce byte-identical event files. The monitoring kinds
+    ([Pool_health], [Stage_timing], [Watchdog]) are explicitly outside
+    that contract: they only appear when the operator armed [--trace] or
+    the watchdog, and a healthy untraced run never emits them. *)
+
+val schema_version : int
+(** The version stamped into (and required of) every record: 1. *)
+
+type event =
+  | Campaign_start of {
+      campaign : string;
+      ident : (string * string) list;
+      scale : (string * string) list;
+      total : int;  (** planned cells, resumed cells included *)
+    }
+  | Cell of {
+      index : int;  (** position in the run's deterministic task order *)
+      seed : int;
+      mode : string;
+      config : int;
+      opt : string;
+      cls : string;  (** short class tag: "ok", "w", "bf", "c", "to", ... *)
+    }  (** one completed cell, streamed in merged task order *)
+  | Generation of {
+      gen : int;
+      kernels : int;
+      mutants : int;
+      new_bits : int;
+      coverage : int;  (** cumulative coverage points *)
+      corpus : int;
+      findings : int;
+      distinct_bugs : int;  (** cumulative distinct buckets *)
+    }  (** one fuzzing generation's summary *)
+  | Coverage_delta of { gen : int; kernel : int; new_bits : int; total : int }
+      (** a kernel earned admission: its novelty and the new total *)
+  | Triage_hit of {
+      cls : string;
+      config : int;
+      opt : string;
+      signature : string;
+      seed : int;  (** kernel identity (fuzz kernel index) *)
+      mode : string;
+      hash : string;  (** content address of the kernel text *)
+    }  (** one interesting cell, already classified *)
+  | Pool_health of {
+      submitted : int;
+      completed : int;
+      in_flight : int;
+      stalled_domains : int list;
+    }  (** watchdog-sampled pool snapshot (nondeterministic) *)
+  | Stage_timing of (string * int) list
+      (** per-stage-category microseconds from drained spans; only
+          emitted when [--trace] armed span collection
+          (nondeterministic) *)
+  | Watchdog of {
+      level : string;  (** "warn" | "stall" | "abort" *)
+      completed : int;
+      in_flight : int;
+      stalled_domains : int list;
+      idle_ms : int;  (** zero-progress window length at detection *)
+    }  (** a stall escalation (nondeterministic) *)
+  | Campaign_end of { cells : int }
+
+val is_deterministic : event -> bool
+(** Whether the event kind is inside the [-j] byte-identity contract. *)
+
+val encode : event -> string
+(** One checksummed JSONL line (no trailing newline). *)
+
+val decode : string -> (event, string) result
+(** Parse, checksum-verify and type one line. *)
+
+type writer
+
+val create : path:string -> writer
+(** Truncate [path] and open it for appending events. *)
+
+val emit : writer -> event -> unit
+(** Append one event and flush — crash-safe like the journal. Safe to
+    call from the watchdog domain concurrently with the submitting
+    domain (serialised by a mutex); the deterministic stream itself is
+    produced by the submitting domain only, in order. *)
+
+val close : writer -> unit
+
+val load : path:string -> (event list * bool, string) result
+(** All valid events in file order; the flag reports a discarded torn
+    final line. Fails on damage before the tail or a schema-version
+    mismatch. *)

@@ -1,0 +1,92 @@
+type level = Warn | Stall | Abort
+
+let level_name = function Warn -> "warn" | Stall -> "stall" | Abort -> "abort"
+
+type snapshot = {
+  completed : int;
+  in_flight : int;
+  stalled_domains : int list;
+  idle_ms : int;
+}
+
+type probe = unit -> (int * int * (int * int64) list) option
+
+let pool_probe () =
+  match Pool.current () with
+  | None -> None
+  | Some p ->
+      let s = Pool.stats p in
+      Some (s.Pool.completed, s.Pool.in_flight, Pool.heartbeats p)
+
+type t = { stop_flag : bool Atomic.t; mutable dom : unit Domain.t option }
+
+let start ?(poll_ms = 250) ?warn_ms ~timeout_ms ?(probe = pool_probe) ?abort
+    ~on_event () =
+  let warn_ms =
+    match warn_ms with Some w -> w | None -> max 1 (timeout_ms / 2)
+  in
+  let stop_flag = Atomic.make false in
+  let body () =
+    let ms_of_ns ns = Int64.to_int (Int64.div ns 1_000_000L) in
+    let last_completed = ref (-1) in
+    let last_change = ref (Mclock.now_ns ()) in
+    (* escalation state of the current zero-progress episode; cleared
+       the moment the completed count moves again *)
+    let warned = ref false and stalled = ref false in
+    while not (Atomic.get stop_flag) do
+      Unix.sleepf (float_of_int poll_ms /. 1000.);
+      if not (Atomic.get stop_flag) then
+        match probe () with
+        | None ->
+            (* no pool alive (between campaigns): nothing to watch *)
+            last_completed := -1;
+            warned := false;
+            stalled := false
+        | Some (completed, in_flight, beats) ->
+            let now = Mclock.now_ns () in
+            if completed <> !last_completed then begin
+              last_completed := completed;
+              last_change := now;
+              warned := false;
+              stalled := false
+            end
+            else begin
+              let idle_ms = ms_of_ns (Int64.sub now !last_change) in
+              let stalled_domains =
+                if in_flight = 0 then []
+                else
+                  List.filter_map
+                    (fun (d, beat) ->
+                      if
+                        beat > 0L
+                        && ms_of_ns (Int64.sub now beat) >= timeout_ms
+                      then Some d
+                      else None)
+                    (List.sort compare beats)
+              in
+              let snap = { completed; in_flight; stalled_domains; idle_ms } in
+              if idle_ms >= timeout_ms && not !stalled then begin
+                stalled := true;
+                on_event Stall snap;
+                match abort with
+                | Some f ->
+                    on_event Abort snap;
+                    f snap
+                | None -> ()
+              end
+              else if idle_ms >= warn_ms && not (!warned || !stalled) then begin
+                warned := true;
+                on_event Warn snap
+              end
+            end
+    done
+  in
+  { stop_flag; dom = Some (Domain.spawn body) }
+
+let stop t =
+  Atomic.set t.stop_flag true;
+  match t.dom with
+  | None -> ()
+  | Some d ->
+      t.dom <- None;
+      Domain.join d

@@ -1,0 +1,68 @@
+(** Stall watchdog over the execution pool.
+
+    A hung configuration simulation, a runaway reduction or a deadlocked
+    worker turns a week-long campaign into a silent zombie — the paper's
+    authors ran 21 configurations unattended, and cuFuzz-style harnesses
+    all ship a babysitter. This one is a monitoring domain that polls a
+    {!probe} (by default {!pool_probe}: the live pool's completed /
+    in-flight counters plus per-domain heartbeat timestamps) and
+    escalates when the completed count stops moving while the probe
+    still reports a pool:
+
+    - after [warn_ms] (default [timeout_ms / 2]) of zero progress:
+      [Warn];
+    - after [timeout_ms]: [Stall] — the structured event the CLI writes
+      to the eventlog — listing every domain whose heartbeat went stale;
+    - if an [abort] action was armed: [Abort] immediately after the
+      stall event, then the action (the CLI exits nonzero so CI jobs
+      fail fast instead of hitting the job-level timeout).
+
+    Progress resets the escalation, so a slow-but-moving campaign only
+    ever warns once per genuine quiet window. Everything here is
+    monitoring-only and nondeterministic by nature: watchdog events are
+    outside the eventlog's [-j] byte-identity contract and a healthy run
+    emits none. The watchdog never perturbs results — it only reads
+    atomics published by the pool.
+
+    Choose [timeout_ms] longer than the campaign's longest legitimate
+    quiet window (e.g. [--minimize] reduction runs execute on the
+    submitting domain between pool batches). *)
+
+type level = Warn | Stall | Abort
+
+val level_name : level -> string
+(** ["warn"] / ["stall"] / ["abort"]. *)
+
+type snapshot = {
+  completed : int;  (** pool tasks completed at detection *)
+  in_flight : int;
+  stalled_domains : int list;
+      (** domains whose last heartbeat is older than [timeout_ms]
+          while work is in flight; sorted *)
+  idle_ms : int;  (** length of the zero-progress window *)
+}
+
+type probe = unit -> (int * int * (int * int64) list) option
+(** [completed, in_flight, heartbeats] of the thing being watched, or
+    [None] when there is nothing to watch (between campaigns). *)
+
+val pool_probe : probe
+(** {!Pool.current} + {!Pool.stats} + {!Pool.heartbeats}. *)
+
+type t
+
+val start :
+  ?poll_ms:int ->
+  ?warn_ms:int ->
+  timeout_ms:int ->
+  ?probe:probe ->
+  ?abort:(snapshot -> unit) ->
+  on_event:(level -> snapshot -> unit) ->
+  unit ->
+  t
+(** Spawn the monitoring domain. [poll_ms] defaults to 250. [on_event]
+    and [abort] run on the watchdog domain — keep them reentrant (the
+    eventlog writer serialises emission internally). *)
+
+val stop : t -> unit
+(** Signal and join the monitoring domain. Idempotent. *)

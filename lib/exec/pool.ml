@@ -10,6 +10,10 @@ type t = {
   (* first fatal task index seen by an isolated batch; written only by
      the submitting domain *)
   mutable poisoned : int option;
+  (* per-domain last-activity timestamps for the stall watchdog: one
+     (domain id, monotonic ns) cell per runner, registered lock-free on
+     the domain's first task *)
+  heartbeats : (int * int64 Atomic.t) list Atomic.t;
 }
 
 type stats = {
@@ -33,9 +37,30 @@ let observe_depth t =
   (* called with [t.m] held; Queue.length is O(1) *)
   if Span.enabled () then Metrics.observe queue_depth (Queue.length t.queue)
 
+(* stamp this domain's heartbeat cell, registering it on first use; the
+   CAS loop only ever runs once per (domain, pool) pair *)
+let beat (t : t) =
+  let id = (Domain.self () :> int) in
+  let rec find = function
+    | (d, cell) :: _ when d = id -> Some cell
+    | _ :: rest -> find rest
+    | [] -> None
+  in
+  let rec cell_of () =
+    match find (Atomic.get t.heartbeats) with
+    | Some cell -> cell
+    | None ->
+        let cur = Atomic.get t.heartbeats in
+        let cell = Atomic.make 0L in
+        if Atomic.compare_and_set t.heartbeats cur ((id, cell) :: cur) then cell
+        else cell_of ()
+  in
+  Atomic.set (cell_of ()) (Mclock.now_ns ())
+
 (* every task runs through here, on whichever domain picked it up: tag
    spans with the task index, count completion, accrue busy time *)
 let run_task (t : t) i f x =
+  beat t;
   Span.set_task i;
   let timed = Span.enabled () in
   let t0 = if timed then Mclock.now_ns () else 0L in
@@ -45,7 +70,8 @@ let run_task (t : t) i f x =
       if timed then
         Metrics.add (busy_counter ())
           (Int64.to_int (Int64.sub (Mclock.now_ns ()) t0));
-      Atomic.incr t.completed)
+      Atomic.incr t.completed;
+      beat t)
     (fun () -> f x)
 
 let rec worker_loop t =
@@ -62,6 +88,11 @@ let rec worker_loop t =
     worker_loop t
   end
 
+(* the most recently created live pool, for external monitors (the
+   watchdog) that have no handle on the pool a campaign creates
+   internally; cleared on that pool's shutdown *)
+let current_pool : t option Atomic.t = Atomic.make None
+
 let create ~jobs =
   let jobs = max 1 jobs in
   let t =
@@ -75,13 +106,20 @@ let create ~jobs =
       submitted = Atomic.make 0;
       completed = Atomic.make 0;
       poisoned = None;
+      heartbeats = Atomic.make [];
     }
   in
   if jobs > 1 then
     t.workers <- List.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  Atomic.set current_pool (Some t);
   t
 
 let jobs t = t.jobs
+
+let heartbeats t =
+  List.map (fun (d, cell) -> (d, Atomic.get cell)) (Atomic.get t.heartbeats)
+
+let current () = Atomic.get current_pool
 
 let stats (t : t) =
   (* completed is read before submitted so a racing snapshot can only
@@ -96,6 +134,9 @@ let stats (t : t) =
   }
 
 let shutdown t =
+  (match Atomic.get current_pool with
+  | Some p when p == t -> Atomic.set current_pool None
+  | _ -> ());
   Mutex.lock t.m;
   t.live <- false;
   Condition.broadcast t.work_available;

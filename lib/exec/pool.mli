@@ -54,6 +54,18 @@ val stats : t -> stats
     mid-batch from another thread they are merely consistent enough for
     display. *)
 
+val heartbeats : t -> (int * int64) list
+(** Per-runner-domain last-activity timestamps: [(domain id, monotonic
+    ns)] pairs, stamped at every task start and completion. A domain
+    whose beat goes stale while the pool reports work in flight is
+    executing a hung task — the signal the stall watchdog keys on.
+    Registration order; a runner appears after its first task. *)
+
+val current : unit -> t option
+(** The most recently created pool that has not been shut down — a probe
+    for external monitors (the watchdog) observing a pool a campaign
+    driver created internally. [None] between campaigns. *)
+
 val shutdown : t -> unit
 (** Drain and join the worker domains. Idempotent. *)
 

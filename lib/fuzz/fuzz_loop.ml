@@ -95,7 +95,7 @@ type planned = { kidx : int; prov : provenance; tc : Ast.testcase; prep : Driver
 
 let run ?jobs ?fuel ?(budget = default_budget) ?(seed = 1) ?config_ids
     ?(feedback = true) ?(gen_size = default_gen_size) ?(minimize = false) ?sink
-    ?resume () =
+    ?(events = fun (_ : Eventlog.event) -> ()) ?resume () =
   let jobs = match jobs with Some j -> j | None -> Pool.recommended_jobs () in
   let config_ids =
     match config_ids with Some l -> l | None -> default_config_ids ()
@@ -124,6 +124,11 @@ let run ?jobs ?fuel ?(budget = default_budget) ?(seed = 1) ?config_ids
   let fresh_counter = ref 0 in
   let kernels_run = ref 0 in
   let cell_base = ref 0 in
+  (* pool entry id -> kernel index of the admitted kernel, so mutant
+     provenance can name its parent by kernel index: the journal is then
+     self-contained for lineage reconstruction (a kernel index resolves
+     to earlier journal cells; a pool id only to replayed pool state) *)
+  let pid2kidx = Hashtbl.create 64 in
   (* fresh kernels cycle the six generator modes and skip counter-sharing
      seeds, exactly like the paper's sweeps; the consumed-seed sequence is
      a deterministic function of how many fresh kernels came before *)
@@ -170,7 +175,12 @@ let run ?jobs ?fuel ?(budget = default_budget) ?(seed = 1) ?config_ids
                         Mutator.mutate ~rng ~donor parent.Seedpool.tc
                       with
                       | Some (op, tc') ->
-                          (P_mut (parent.Seedpool.id, Mutator.op_name op), tc')
+                          let pk =
+                            match Hashtbl.find_opt pid2kidx parent.Seedpool.id with
+                            | Some k -> k
+                            | None -> assert false (* every entry is registered at admission *)
+                          in
+                          (P_mut (pk, Mutator.op_name op), tc')
                       | None -> fresh_kernel ())
                 end
                 else fresh_kernel ()
@@ -280,12 +290,31 @@ let run ?jobs ?fuel ?(budget = default_budget) ?(seed = 1) ?config_ids
                 rev_observations := obs :: !rev_observations;
                 Hashtbl.replace bucket_keys
                   (cls, cfg_id, opt_str opt, obs.Triage.o_signature)
-                  ())
+                  ();
+                events
+                  (Eventlog.Triage_hit
+                     {
+                       cls;
+                       config = cfg_id;
+                       opt = opt_str opt;
+                       signature = obs.Triage.o_signature;
+                       seed = k.kidx;
+                       mode = "fuzz";
+                       hash = Lazy.force hash;
+                     }))
           keys kernel_results;
         gen_new_bits := !gen_new_bits + !kernel_bits;
         Metrics.add m_new_bits !kernel_bits;
         if !kernel_bits > 0 then begin
           Metrics.incr m_admitted;
+          events
+            (Eventlog.Coverage_delta
+               {
+                 gen = g;
+                 kernel = k.kidx;
+                 new_bits = !kernel_bits;
+                 total = Covmap.count cov;
+               });
           let tc_admit =
             match (minimize, !novel_cell) with
             | true, Some (cfg_id, opt, divergent, novel) ->
@@ -313,13 +342,15 @@ let run ?jobs ?fuel ?(budget = default_budget) ?(seed = 1) ?config_ids
             | P_gen s -> Seedpool.Generated s
             | P_mut (p, op) -> Seedpool.Mutated (p, op)
           in
-          ignore
-            (Seedpool.add spool ~origin ~gen:g ~new_bits:!kernel_bits
-               ~findings:!kernel_findings tc_admit)
+          let e =
+            Seedpool.add spool ~origin ~gen:g ~new_bits:!kernel_bits
+              ~findings:!kernel_findings tc_admit
+          in
+          Hashtbl.replace pid2kidx e.Seedpool.id k.kidx
         end)
       planned
       (Par.chunk n_keys merged);
-    rev_stats :=
+    let stat =
       {
         gen = g;
         kernels = slots;
@@ -330,7 +361,20 @@ let run ?jobs ?fuel ?(budget = default_budget) ?(seed = 1) ?config_ids
         findings = !gen_findings;
         distinct_bugs = Hashtbl.length bucket_keys;
       }
-      :: !rev_stats
+    in
+    rev_stats := stat :: !rev_stats;
+    events
+      (Eventlog.Generation
+         {
+           gen = stat.gen;
+           kernels = stat.kernels;
+           mutants = stat.mutants;
+           new_bits = stat.new_bits;
+           coverage = stat.coverage;
+           corpus = stat.corpus;
+           findings = stat.findings;
+           distinct_bugs = stat.distinct_bugs;
+         })
   done;
   let buckets = Triage.of_observations (List.rev !rev_observations) in
   {

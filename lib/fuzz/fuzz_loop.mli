@@ -41,7 +41,10 @@
 
 type provenance =
   | P_gen of int  (** generator seed *)
-  | P_mut of int * string  (** parent pool id, mutation operator *)
+  | P_mut of int * string
+      (** parent {e kernel index} and mutation operator — the parent is
+          always an earlier journalled kernel, so the journal alone
+          reconstructs the full mutation ancestry DAG ({!Lineage}) *)
 
 type gen_stat = {
   gen : int;
@@ -93,13 +96,17 @@ val run :
   ?gen_size:int ->
   ?minimize:bool ->
   ?sink:(Journal.cell -> unit) ->
+  ?events:(Eventlog.event -> unit) ->
   ?resume:Journal.cell list ->
   unit ->
   result
 (** [feedback:false] degrades to a blind sweep — fresh kernels only,
     the pool never consulted — so the feedback advantage is directly
     measurable at equal budget. [sink]/[resume] follow the campaign
-    persistence contract ({!Par.run_resumable}). *)
+    persistence contract ({!Par.run_resumable}). [events] receives the
+    loop's lifecycle events ([Generation], [Coverage_delta],
+    [Triage_hit]) from the ordered fold over the merged result stream —
+    deterministic and [-j]-invariant, like the journal. *)
 
 val cells_per_kernel : ?config_ids:int list -> unit -> int
 (** Cells each kernel occupies in the journal — [2 x #configs]. *)

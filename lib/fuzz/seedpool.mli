@@ -26,7 +26,8 @@
 
 type origin =
   | Generated of int  (** generator seed of a fresh kernel *)
-  | Mutated of int * string  (** parent pool id, mutation operator name *)
+  | Mutated of int * string
+      (** parent kernel index (journal provenance), mutation operator *)
 
 type entry = {
   id : int;  (** dense pool id, insertion order *)

@@ -3,6 +3,22 @@ let ocaml_version = Sys.ocaml_version
 let os_type = Sys.os_type
 let word_size = Sys.word_size
 
+(* One subprocess per process lifetime: bench records are stamped with
+   the commit they measured, so history entries stay attributable. A
+   checkout without git (tarball, stripped CI image) reads as "unknown"
+   rather than failing the bench. *)
+let git_commit =
+  let memo = lazy (
+    try
+      let ic = Unix.open_process_in "git rev-parse --short HEAD 2>/dev/null" in
+      let line = try input_line ic with End_of_file -> "" in
+      match (Unix.close_process_in ic, String.trim line) with
+      | Unix.WEXITED 0, sha when sha <> "" -> sha
+      | _ -> "unknown"
+    with Unix.Unix_error _ | Sys_error _ -> "unknown")
+  in
+  fun () -> Lazy.force memo
+
 let to_json () =
   Jsonl.Obj
     [
@@ -10,4 +26,5 @@ let to_json () =
       ("ocaml", Jsonl.Str ocaml_version);
       ("os", Jsonl.Str os_type);
       ("word_size", Jsonl.Int word_size);
+      ("commit", Jsonl.Str (git_commit ()));
     ]

@@ -1,5 +1,5 @@
-(** Host facts stamped into benchmark output, so BENCH_scaling.json
-    numbers from different machines/PRs are comparable. *)
+(** Host facts stamped into benchmark output, so BENCH_*.json numbers
+    from different machines/PRs are comparable and attributable. *)
 
 val cores : unit -> int
 (** [Domain.recommended_domain_count ()]. *)
@@ -8,5 +8,10 @@ val ocaml_version : string
 val os_type : string
 val word_size : int
 
+val git_commit : unit -> string
+(** Short commit hash of the working tree ([git rev-parse --short HEAD],
+    memoized); ["unknown"] outside a git checkout. *)
+
 val to_json : unit -> Jsonl.t
-(** [{"cores":N,"ocaml":"5.1.x","os":"Unix","word_size":64}]. *)
+(** [{"cores":N,"ocaml":"5.1.x","os":"Unix","word_size":64,
+    "commit":"abc1234"}]. *)

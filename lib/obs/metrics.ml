@@ -70,6 +70,24 @@ let histograms () =
     (fun (name, h) -> (name, histogram_buckets h))
     (sorted_bindings histograms_tbl)
 
+(* The p-th percentile over bucketed contents: the smallest bucket floor
+   whose cumulative count reaches ceil(p/100 * total). Exact for the
+   bucket representatives — every observation in a bucket is reported as
+   the bucket floor, the same compression the buckets themselves apply. *)
+let percentile_of_buckets buckets p =
+  let total = List.fold_left (fun acc (_, n) -> acc + n) 0 buckets in
+  if total = 0 then None
+  else
+    let rank = max 1 ((p * total + 99) / 100) in
+    let rec go seen = function
+      | [] -> None
+      | (floor, n) :: rest ->
+          if seen + n >= rank then Some floor else go (seen + n) rest
+    in
+    go 0 buckets
+
+let percentile h p = percentile_of_buckets (histogram_buckets h) p
+
 let reset () =
   Mutex.lock reg_m;
   Hashtbl.iter (fun _ c -> Atomic.set c 0) counters_tbl;
@@ -84,12 +102,26 @@ let to_json () =
     Jsonl.Obj
       (List.map
          (fun (name, buckets) ->
+           let count = List.fold_left (fun acc (_, n) -> acc + n) 0 buckets in
+           let pct p =
+             match percentile_of_buckets buckets p with
+             | Some v -> Jsonl.Int v
+             | None -> Jsonl.Null
+           in
            ( name,
              Jsonl.Obj
-               (List.map
-                  (fun (floor, n) -> (string_of_int floor, Jsonl.Int n))
-                  buckets) ))
+               [
+                 ( "buckets",
+                   Jsonl.Obj
+                     (List.map
+                        (fun (floor, n) -> (string_of_int floor, Jsonl.Int n))
+                        buckets) );
+                 ("count", Jsonl.Int count);
+                 ("p50", pct 50);
+                 ("p90", pct 90);
+                 ("p99", pct 99);
+               ] ))
          (histograms ()))
   in
   Jsonl.Obj
-    [ ("version", Jsonl.Int 1); ("counters", counters); ("histograms", histograms) ]
+    [ ("version", Jsonl.Int 2); ("counters", counters); ("histograms", histograms) ]

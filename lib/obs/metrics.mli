@@ -39,9 +39,17 @@ val histograms : unit -> (string * (int * int) list) list
 (** Snapshot of every histogram, sorted by name; each histogram is its
     non-empty [(bucket_floor, count)] pairs in increasing order. *)
 
+val percentile : histogram -> int -> int option
+(** [percentile h p] for [p] in [0, 100]: the smallest bucket floor whose
+    cumulative count reaches [ceil (p/100 * total)], or [None] on an
+    empty histogram. Exact over the bucket representatives (every
+    observation reports as its bucket floor), so p50/p90/p99 summaries
+    are deterministic functions of the bucket contents. *)
+
 val reset : unit -> unit
 (** Zero every counter and histogram (registration survives). *)
 
 val to_json : unit -> Jsonl.t
-(** [{"version":1,"counters":{...},"histograms":{name:{floor:count}}}]
-    with every level sorted by key. *)
+(** [{"version":2,"counters":{...},"histograms":{name:{"buckets":
+    {floor:count},"count":N,"p50":P,"p90":P,"p99":P}}}] with every level
+    sorted by key; empty-histogram percentiles render as [null]. *)

@@ -1,5 +1,24 @@
+type style = Ansi | Plain
+
+(* CI logs are the motivating case: a \r-overwritten line becomes one
+   unreadable kilometer of control characters in a captured log, so
+   anything that is not an interactive terminal gets plain, throttled,
+   newline-separated updates instead. NO_COLOR (non-empty) and
+   TERM=dumb are honoured as explicit operator requests for the same. *)
+let detect_style out =
+  let env_plain =
+    (match Sys.getenv_opt "NO_COLOR" with Some v -> v <> "" | None -> false)
+    || Sys.getenv_opt "TERM" = Some "dumb"
+  in
+  if env_plain then Plain
+  else
+    match Unix.isatty (Unix.descr_of_out_channel out) with
+    | true -> Ansi
+    | false | (exception _) -> Plain
+
 type t = {
   out : out_channel;
+  style : style;
   min_interval_ns : int64;
   label : string;
   total : int;
@@ -9,9 +28,17 @@ type t = {
   mutable tallies : (string * int) list; (* insertion-ordered *)
 }
 
-let create ?(out = stderr) ?(min_interval_ms = 100) ~label ~total () =
+let create ?out:(oc = stderr) ?style ?min_interval_ms ~label ~total () =
+  let style = match style with Some s -> s | None -> detect_style oc in
+  let min_interval_ms =
+    match min_interval_ms with
+    | Some ms -> ms
+    (* a plain line cannot be overwritten, so redraw far less often *)
+    | None -> ( match style with Ansi -> 100 | Plain -> 1000)
+  in
   {
-    out;
+    out = oc;
+    style;
     min_interval_ns = Int64.mul (Int64.of_int min_interval_ms) 1_000_000L;
     label;
     total;
@@ -48,8 +75,13 @@ let draw t now =
     String.concat " "
       (List.map (fun (tag, n) -> Printf.sprintf "%s:%d" tag n) t.tallies)
   in
-  Printf.fprintf t.out "\r%s %d/%d cells  %.1f cells/s  ETA %s  %s\027[K%!"
-    t.label t.done_ t.total rate (eta_string t now) tallies
+  let body =
+    Printf.sprintf "%s %d/%d cells  %.1f cells/s  ETA %s  %s" t.label t.done_
+      t.total rate (eta_string t now) tallies
+  in
+  match t.style with
+  | Ansi -> Printf.fprintf t.out "\r%s\027[K%!" body
+  | Plain -> Printf.fprintf t.out "%s\n%!" body
 
 let step t ~tag =
   t.done_ <- t.done_ + 1;
@@ -61,6 +93,13 @@ let step t ~tag =
   then draw t now
 
 let finish t =
-  draw t (Mclock.now_ns ());
-  output_char t.out '\n';
+  (match t.style with
+  | Ansi ->
+      draw t (Mclock.now_ns ());
+      output_char t.out '\n'
+  | Plain ->
+      (* the final state was already printed by [step] when the last cell
+         arrived; redraw only if something happened since *)
+      if Int64.compare t.last_draw_ns t.t0_ns <= 0 || t.done_ < t.total then
+        draw t (Mclock.now_ns ()));
   flush t.out

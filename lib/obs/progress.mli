@@ -1,24 +1,43 @@
-(** Live single-line campaign progress.
+(** Live campaign progress for terminals and CI logs alike.
 
-    Renders [\r]-overwritten status — done/total cells, throughput,
-    ETA, running class tallies — to a channel (stderr by default),
-    throttled so a fast campaign does not spend its time printing.
-    Driven from the submitting domain via the ordered [?on_result]
-    stream: {!step} is called once per delivered cell with a short
-    class tag (["ok"], ["w"], ["bf"], ...), so the tallies match the
-    table being built. Purely an observer — it writes nothing to
+    On an interactive terminal the line is [\r]-overwritten in place —
+    done/total cells, throughput, ETA, running class tallies — throttled
+    so a fast campaign does not spend its time printing. When stderr is
+    not a tty (captured CI logs), or the operator set [NO_COLOR] or
+    [TERM=dumb], the display degrades to plain newline-separated status
+    lines at a much lower cadence instead of spamming carriage returns
+    into the log. Driven from the submitting domain via the ordered
+    [?on_result] stream: {!step} is called once per delivered cell with a
+    short class tag (["ok"], ["w"], ["bf"], ...), so the tallies match
+    the table being built. Purely an observer — it writes nothing to
     stdout and never affects table or journal bytes. *)
 
 type t
 
+type style =
+  | Ansi  (** interactive: [\r]-overwritten single line *)
+  | Plain  (** non-tty / NO_COLOR / TERM=dumb: throttled newline updates *)
+
+val detect_style : out_channel -> style
+(** [Plain] when the channel is not a tty, [NO_COLOR] is set non-empty,
+    or [TERM=dumb]; [Ansi] otherwise. *)
+
 val create :
-  ?out:out_channel -> ?min_interval_ms:int -> label:string -> total:int -> unit -> t
+  ?out:out_channel ->
+  ?style:style ->
+  ?min_interval_ms:int ->
+  label:string ->
+  total:int ->
+  unit ->
+  t
 (** [create ~label ~total ()] starts the clock. [total] is the full
-    cell count (resumed cells included); [min_interval_ms] (default
-    100) limits redraw frequency. *)
+    cell count (resumed cells included). [style] defaults to
+    {!detect_style} of the channel; [min_interval_ms] limits redraw
+    frequency and defaults to 100 (Ansi) / 1000 (Plain). *)
 
 val step : t -> tag:string -> unit
 (** Count one finished cell under class [tag] and maybe redraw. *)
 
 val finish : t -> unit
-(** Final redraw and trailing newline, so the line is left intact. *)
+(** Final redraw (Plain mode skips it when the last {!step} already
+    printed the final state) and flush, leaving the line intact. *)

@@ -1,0 +1,415 @@
+(* The analytics layer: eventlog codec and writer, lineage reconstruction
+   from journal provenance, the HTML report generator and the stall
+   watchdog — plus the property the eventlog hangs off: lifecycle events
+   stream through the ordered merge path, so the event file is
+   byte-identical across -j values, exactly like the journal. *)
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i =
+    i + nn <= nh && (String.equal (String.sub hay i nn) needle || go (i + 1))
+  in
+  nn = 0 || go 0
+
+(* --- eventlog codec --- *)
+
+let sample_events =
+  [
+    Eventlog.Campaign_start
+      {
+        campaign = "fuzz";
+        ident = [ ("fuel", "-"); ("seed", "1") ];
+        scale = [ ("budget", "8") ];
+        total = 160;
+      };
+    Eventlog.Cell
+      { index = 0; seed = 0; mode = "fuzz"; config = 1; opt = "-"; cls = "ok" };
+    Eventlog.Generation
+      {
+        gen = 0;
+        kernels = 8;
+        mutants = 2;
+        new_bits = 31;
+        coverage = 200;
+        corpus = 5;
+        findings = 3;
+        distinct_bugs = 2;
+      };
+    Eventlog.Coverage_delta { gen = 0; kernel = 3; new_bits = 7; total = 150 };
+    Eventlog.Triage_hit
+      {
+        cls = "wrong-code";
+        config = 13;
+        opt = "+";
+        signature = "vector";
+        seed = 3;
+        mode = "fuzz";
+        hash = "abcdef";
+      };
+    Eventlog.Pool_health
+      { submitted = 100; completed = 90; in_flight = 10; stalled_domains = [] };
+    Eventlog.Stage_timing [ ("exec", 12345); ("gen", 678) ];
+    Eventlog.Watchdog
+      {
+        level = "stall";
+        completed = 90;
+        in_flight = 10;
+        stalled_domains = [ 2; 5 ];
+        idle_ms = 30000;
+      };
+    Eventlog.Campaign_end { cells = 160 };
+  ]
+
+let test_encode_decode_roundtrip () =
+  List.iter
+    (fun e ->
+      match Eventlog.decode (Eventlog.encode e) with
+      | Ok e' ->
+          Alcotest.(check bool) "decode (encode e) = e" true (e = e')
+      | Error m -> Alcotest.failf "roundtrip failed: %s" m)
+    sample_events
+
+let test_decode_rejects_damage () =
+  let line = Eventlog.encode (List.hd sample_events) in
+  let flipped =
+    String.mapi (fun i c -> if i = 8 then (if c = 'z' then 'y' else 'z') else c) line
+  in
+  (match Eventlog.decode flipped with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "corrupted line decoded");
+  match Eventlog.decode "{\"v\":99,\"e\":\"campaign_end\",\"cells\":1}" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "wrong schema version accepted"
+
+let test_deterministic_split () =
+  List.iter
+    (fun e ->
+      let expected =
+        match e with
+        | Eventlog.Pool_health _ | Eventlog.Stage_timing _ | Eventlog.Watchdog _
+          ->
+            false
+        | _ -> true
+      in
+      Alcotest.(check bool) "is_deterministic matches the contract" expected
+        (Eventlog.is_deterministic e))
+    sample_events
+
+let test_writer_and_torn_tail () =
+  let path = Filename.temp_file "test_eventlog" ".jsonl" in
+  let w = Eventlog.create ~path in
+  List.iter (Eventlog.emit w) sample_events;
+  Eventlog.close w;
+  (match Eventlog.load ~path with
+  | Ok (evs, torn) ->
+      Alcotest.(check bool) "clean file is not torn" false torn;
+      Alcotest.(check bool) "events replay in order" true (evs = sample_events)
+  | Error m -> Alcotest.failf "load failed: %s" m);
+  (* a kill -9 mid-append leaves a partial final line: discarded, flagged *)
+  let oc = open_out_gen [ Open_append ] 0o644 path in
+  output_string oc "{\"v\":1,\"e\":\"cell\",\"ind";
+  close_out oc;
+  (match Eventlog.load ~path with
+  | Ok (evs, torn) ->
+      Alcotest.(check bool) "torn tail flagged" true torn;
+      Alcotest.(check int) "clean prefix kept"
+        (List.length sample_events)
+        (List.length evs)
+  | Error m -> Alcotest.failf "torn tail should not fail the load: %s" m);
+  Sys.remove path
+
+(* --- fuzz lifecycle events: -j invariance and lineage --- *)
+
+let fuzz_budget = 24
+let fuzz_configs = [ 1; 13; 15 ]
+
+let run_fuzz jobs =
+  let cells = ref [] and events = ref [] in
+  let r =
+    Fuzz_loop.run ~jobs ~budget:fuzz_budget ~seed:3 ~config_ids:fuzz_configs
+      ~sink:(fun c -> cells := c :: !cells)
+      ~events:(fun e -> events := Eventlog.encode e :: !events)
+      ()
+  in
+  (r, List.rev !cells, List.rev !events)
+
+let fuzz_j1 = lazy (run_fuzz 1)
+let fuzz_j4 = lazy (run_fuzz 4)
+
+let test_events_j_invariant () =
+  let _, cells1, events1 = Lazy.force fuzz_j1 in
+  let _, cells4, events4 = Lazy.force fuzz_j4 in
+  Alcotest.(check bool) "journalled cells identical across -j" true
+    (cells1 = cells4);
+  Alcotest.(check (list string)) "encoded events identical across -j" events1
+    events4;
+  Alcotest.(check bool) "events were actually emitted" true (events1 <> []);
+  (* every emitted kind is inside the determinism contract *)
+  List.iter
+    (fun line ->
+      match Eventlog.decode line with
+      | Ok e ->
+          Alcotest.(check bool) "fuzz emits only deterministic kinds" true
+            (Eventlog.is_deterministic e)
+      | Error m -> Alcotest.failf "emitted line does not decode: %s" m)
+    events1
+
+let lineage_exn cells =
+  match Lineage.of_cells cells with
+  | Ok t -> t
+  | Error m -> Alcotest.failf "lineage rejected a live journal: %s" m
+
+let test_lineage_properties () =
+  let r, cells, _ = Lazy.force fuzz_j1 in
+  let t = lineage_exn cells in
+  Alcotest.(check int) "one DAG node per kernel" r.Fuzz_loop.kernels_run
+    (Lineage.size t);
+  let n_mutants = ref 0 in
+  List.iter
+    (fun id ->
+      match Lineage.node t id with
+      | None -> Alcotest.failf "kernel %d listed but not resolvable" id
+      | Some n -> (
+          match n.Lineage.prov with
+          | Lineage.Root _ ->
+              Alcotest.(check (option int)) "roots have no parent" None
+                (Lineage.parent t id)
+          | Lineage.Mutant { parent; _ } ->
+              incr n_mutants;
+              (* the satellite property: every P_mut parent resolves to an
+                 earlier journalled kernel *)
+              Alcotest.(check bool) "parent strictly earlier" true (parent < id);
+              Alcotest.(check bool) "parent resolvable" true
+                (Lineage.node t parent <> None);
+              (* acyclicity, constructively: the root-first ancestry is
+                 finite, strictly increasing and ends at this kernel *)
+              let path = Lineage.path_to_root t id in
+              Alcotest.(check bool) "path starts at a root" true
+                (match path with (_, None) :: _ -> true | _ -> false);
+              Alcotest.(check bool) "path ends at the kernel" true
+                (match List.rev path with (k, _) :: _ -> k = id | [] -> false);
+              let ids = List.map fst path in
+              Alcotest.(check bool) "path ids strictly increase" true
+                (List.for_all2 ( < ) (List.filteri (fun i _ -> i < List.length ids - 1) ids)
+                   (List.tl ids));
+              Alcotest.(check bool) "depth = path length - 1" true
+                (Lineage.depth t id = List.length path - 1);
+              Alcotest.(check bool) "ancestry tops out at a generator seed"
+                true
+                (Lineage.root_seed t id <> None)))
+    (Lineage.ids t);
+  Alcotest.(check bool) "the run actually produced mutants" true
+    (!n_mutants > 0);
+  Alcotest.(check int) "operator counts cover every mutant" !n_mutants
+    (List.fold_left (fun a (_, n) -> a + n) 0 (Lineage.operator_counts t))
+
+let test_lineage_j_invariant () =
+  let _, cells1, _ = Lazy.force fuzz_j1 in
+  let _, cells4, _ = Lazy.force fuzz_j4 in
+  let t1 = lineage_exn cells1 and t4 = lineage_exn cells4 in
+  Alcotest.(check (list int)) "same kernels in the same order"
+    (Lineage.ids t1) (Lineage.ids t4);
+  List.iter
+    (fun id ->
+      Alcotest.(check bool) "same provenance and tags per kernel" true
+        (Lineage.node t1 id = Lineage.node t4 id))
+    (Lineage.ids t1)
+
+let test_lineage_rejects_bad_provenance () =
+  let cell ~seed ~note =
+    {
+      Journal.index = 0;
+      seed;
+      mode = "fuzz";
+      config = 1;
+      opt = "-";
+      outcomes = [ Outcome.Success "0" ];
+      note;
+    }
+  in
+  (match Lineage.of_cells [ cell ~seed:0 ~note:"s=1;b=0" ] with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "missing provenance accepted");
+  (match
+     Lineage.of_cells
+       [ cell ~seed:0 ~note:"p=g1"; cell ~seed:1 ~note:"p=m2:splice" ]
+   with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "forward parent reference accepted");
+  match
+    Lineage.of_cells [ cell ~seed:0 ~note:"p=g1"; cell ~seed:1 ~note:"p=m1:splice" ]
+  with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "self-parent accepted"
+
+let test_discovery_paths () =
+  let _, cells, events = Lazy.force fuzz_j1 in
+  let t = lineage_exn cells in
+  let hits =
+    List.filter_map
+      (fun line ->
+        match Eventlog.decode line with
+        | Ok (Eventlog.Triage_hit { cls; config; opt; signature; seed; _ }) ->
+            Some (cls, config, opt, signature, seed)
+        | _ -> None)
+      events
+  in
+  Alcotest.(check bool) "the run produced triage hits" true (hits <> []);
+  let ds = Lineage.discovery_paths t hits in
+  Alcotest.(check bool) "at least one discovery" true (ds <> []);
+  let keys =
+    List.map
+      (fun d ->
+        (d.Lineage.d_cls, d.Lineage.d_config, d.Lineage.d_opt,
+         d.Lineage.d_signature))
+      ds
+  in
+  Alcotest.(check int) "one discovery per distinct bucket"
+    (List.length (List.sort_uniq compare keys))
+    (List.length keys);
+  List.iter
+    (fun d ->
+      Alcotest.(check bool) "path ends at the exemplar kernel" true
+        (match List.rev d.Lineage.d_path with
+        | (k, _) :: _ -> k = d.Lineage.d_kernel
+        | [] -> false))
+    ds
+
+(* --- HTML report --- *)
+
+let test_report_html () =
+  let r, cells, events = Lazy.force fuzz_j1 in
+  let header =
+    Fuzz_loop.journal_header ~budget:fuzz_budget ~seed:3
+      ~config_ids:fuzz_configs ()
+  in
+  let evs =
+    List.filter_map
+      (fun l -> match Eventlog.decode l with Ok e -> Some e | Error _ -> None)
+      events
+  in
+  let html = Report_html.render ~header ~cells ~events:evs () in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) (Printf.sprintf "report contains %S" needle) true
+        (contains html needle))
+    [
+      "<!DOCTYPE html>";
+      "Outcomes by configuration and opt level";
+      "Interesting-cell heatmap";
+      "Campaign curves";
+      "<svg";
+      "Bug discovery paths";
+      "<details>";
+    ];
+  (* self-contained: no scripts, no external references *)
+  List.iter
+    (fun banned ->
+      Alcotest.(check bool) (Printf.sprintf "report avoids %S" banned) false
+        (contains html banned))
+    [ "<script"; "http://"; "https://"; "src=" ];
+  let summary = Report_html.summary ~header ~cells ~events:evs () in
+  Alcotest.(check bool) "summary names the campaign" true
+    (contains summary "campaign fuzz:");
+  Alcotest.(check bool) "summary reports the kernel count" true
+    (contains summary (Printf.sprintf "%d kernels" r.Fuzz_loop.kernels_run))
+
+(* --- watchdog --- *)
+
+let collect_watchdog ?abort ~probe ~warn_ms ~timeout_ms wait_s =
+  let events = ref [] and m = Mutex.create () in
+  let on_event level snap =
+    Mutex.lock m;
+    events := (level, snap) :: !events;
+    Mutex.unlock m
+  in
+  let w = Watchdog.start ~poll_ms:5 ~warn_ms ~timeout_ms ~probe ?abort ~on_event () in
+  Unix.sleepf wait_s;
+  Watchdog.stop w;
+  List.rev !events
+
+let test_watchdog_escalates_on_stall () =
+  (* a frozen pool: completed never moves, domain 1's heartbeat is
+     ancient while domain 2 beats on every probe *)
+  let probe () = Some (5, 2, [ (1, 1L); (2, Mclock.now_ns ()) ]) in
+  let events =
+    collect_watchdog ~probe ~warn_ms:30 ~timeout_ms:90 0.4
+  in
+  let levels = List.map fst events in
+  Alcotest.(check bool) "warns exactly once" true
+    (List.length (List.filter (( = ) Watchdog.Warn) levels) = 1);
+  Alcotest.(check bool) "stalls exactly once" true
+    (List.length (List.filter (( = ) Watchdog.Stall) levels) = 1);
+  Alcotest.(check bool) "warn precedes stall" true
+    (levels = [ Watchdog.Warn; Watchdog.Stall ]);
+  let _, stall = List.nth events 1 in
+  Alcotest.(check (list int)) "only the silent domain is stale" [ 1 ]
+    stall.Watchdog.stalled_domains;
+  Alcotest.(check bool) "idle window measured" true
+    (stall.Watchdog.idle_ms >= 90)
+
+let test_watchdog_abort_fires_once () =
+  let aborted = ref 0 in
+  let probe () = Some (7, 1, []) in
+  let events =
+    collect_watchdog
+      ~abort:(fun _ -> incr aborted)
+      ~probe ~warn_ms:20 ~timeout_ms:60 0.3
+  in
+  Alcotest.(check int) "abort action ran once" 1 !aborted;
+  Alcotest.(check bool) "abort event recorded after the stall" true
+    (List.map fst events = [ Watchdog.Warn; Watchdog.Stall; Watchdog.Abort ])
+
+let test_watchdog_quiet_while_progressing () =
+  let counter = Atomic.make 0 in
+  let probe () = Some (Atomic.fetch_and_add counter 1, 1, []) in
+  let events = collect_watchdog ~probe ~warn_ms:20 ~timeout_ms:40 0.25 in
+  Alcotest.(check int) "no events while completed keeps moving" 0
+    (List.length events)
+
+let test_pool_probe_without_pool () =
+  Alcotest.(check bool) "no pool, nothing to watch" true
+    (Watchdog.pool_probe () = None)
+
+let () =
+  Alcotest.run "analytics"
+    [
+      ( "eventlog",
+        [
+          Alcotest.test_case "encode/decode roundtrip" `Quick
+            test_encode_decode_roundtrip;
+          Alcotest.test_case "rejects damage + wrong schema" `Quick
+            test_decode_rejects_damage;
+          Alcotest.test_case "determinism split" `Quick test_deterministic_split;
+          Alcotest.test_case "writer + torn tail" `Quick
+            test_writer_and_torn_tail;
+        ] );
+      ( "fuzz-events",
+        [
+          Alcotest.test_case "byte-identical across -j" `Slow
+            test_events_j_invariant;
+        ] );
+      ( "lineage",
+        [
+          Alcotest.test_case "parents resolve, DAG acyclic" `Slow
+            test_lineage_properties;
+          Alcotest.test_case "identical across -j" `Slow
+            test_lineage_j_invariant;
+          Alcotest.test_case "rejects bad provenance" `Quick
+            test_lineage_rejects_bad_provenance;
+          Alcotest.test_case "discovery paths" `Slow test_discovery_paths;
+        ] );
+      ( "report",
+        [ Alcotest.test_case "self-contained html" `Slow test_report_html ] );
+      ( "watchdog",
+        [
+          Alcotest.test_case "escalates on stall" `Quick
+            test_watchdog_escalates_on_stall;
+          Alcotest.test_case "abort fires once" `Quick
+            test_watchdog_abort_fires_once;
+          Alcotest.test_case "quiet while progressing" `Quick
+            test_watchdog_quiet_while_progressing;
+          Alcotest.test_case "pool probe without pool" `Quick
+            test_pool_probe_without_pool;
+        ] );
+    ]

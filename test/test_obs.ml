@@ -115,6 +115,42 @@ let test_histogram_bucketing () =
     [ (1, 2); (2, 2); (4, 1); (1024, 2) ]
     buckets
 
+(* exactness over crafted bucket contents: 5 observations in the floor-1
+   bucket, 4 in floor-4, 1 in floor-64 — every percentile is a known
+   cumulative-rank lookup, nothing interpolated *)
+let test_histogram_percentiles () =
+  Metrics.reset ();
+  let h = Metrics.histogram "test.pct" in
+  List.iter (Metrics.observe h) [ 0; 1; 1; 1; 1; 4; 5; 6; 7; 64 ];
+  let pct p = Metrics.percentile h p in
+  Alcotest.(check (option int)) "p0 clamps to rank 1" (Some 1) (pct 0);
+  Alcotest.(check (option int)) "p50 = rank 5 -> floor 1" (Some 1) (pct 50);
+  Alcotest.(check (option int)) "p51 = rank 6 -> floor 4" (Some 4) (pct 51);
+  Alcotest.(check (option int)) "p90 = rank 9 -> floor 4" (Some 4) (pct 90);
+  Alcotest.(check (option int)) "p99 = rank 10 -> floor 64" (Some 64) (pct 99);
+  Alcotest.(check (option int)) "p100 -> last bucket" (Some 64) (pct 100);
+  Alcotest.(check (option int))
+    "empty histogram has no percentiles" None
+    (Metrics.percentile (Metrics.histogram "test.pct.empty") 50);
+  (* the JSON export carries the same summaries *)
+  let j = Metrics.to_json () in
+  let hist =
+    Option.bind (Jsonl.member "histograms" j) (Jsonl.member "test.pct")
+  in
+  (match Option.bind hist (Jsonl.member "p50") with
+  | Some (Jsonl.Int v) -> Alcotest.(check int) "p50 in to_json" 1 v
+  | _ -> Alcotest.fail "p50 missing from to_json");
+  (match Option.bind hist (Jsonl.member "p99") with
+  | Some (Jsonl.Int v) -> Alcotest.(check int) "p99 in to_json" 64 v
+  | _ -> Alcotest.fail "p99 missing from to_json");
+  match
+    Option.bind
+      (Option.bind (Jsonl.member "histograms" j) (Jsonl.member "test.pct.empty"))
+      (Jsonl.member "p50")
+  with
+  | Some Jsonl.Null -> ()
+  | _ -> Alcotest.fail "empty histogram should export null percentiles"
+
 (* --- progress line --- *)
 
 let test_progress_line () =
@@ -131,6 +167,41 @@ let test_progress_line () =
   Alcotest.(check bool) "shows done/total" true (contains body "3/3");
   Alcotest.(check bool) "tallies classes in arrival order" true
     (contains body "ok:2" && contains body "w:1")
+
+(* a non-tty out channel must degrade to plain newline updates: no
+   carriage returns, no escape sequences, parseable by any log viewer *)
+let test_progress_plain_fallback () =
+  let path = Filename.temp_file "test_obs_plain" ".txt" in
+  let oc = open_out path in
+  Alcotest.(check bool) "file out detected as plain" true
+    (Progress.detect_style oc = Progress.Plain);
+  let p = Progress.create ~out:oc ~min_interval_ms:0 ~label:"cells" ~total:2 () in
+  Progress.step p ~tag:"ok";
+  Progress.step p ~tag:"ok";
+  Progress.finish p;
+  close_out oc;
+  let body = read_file path in
+  Sys.remove path;
+  Alcotest.(check bool) "no ANSI escapes on a non-tty" true
+    (not (String.contains body '\027' || String.contains body '\r'));
+  Alcotest.(check bool) "newline-terminated updates" true
+    (String.length body > 0 && body.[String.length body - 1] = '\n');
+  Alcotest.(check bool) "final state present" true (contains body "2/2")
+
+let test_progress_ansi_style () =
+  let path = Filename.temp_file "test_obs_ansi" ".txt" in
+  let oc = open_out path in
+  let p =
+    Progress.create ~out:oc ~style:Progress.Ansi ~min_interval_ms:0
+      ~label:"cells" ~total:1 ()
+  in
+  Progress.step p ~tag:"ok";
+  Progress.finish p;
+  close_out oc;
+  let body = read_file path in
+  Sys.remove path;
+  Alcotest.(check bool) "carriage-return redraw when forced to ANSI" true
+    (String.contains body '\r' && contains body "\027[K")
 
 (* --- host info --- *)
 
@@ -226,8 +297,15 @@ let () =
           Alcotest.test_case "counters + json" `Quick
             test_metrics_counters_and_json;
           Alcotest.test_case "histogram buckets" `Quick test_histogram_bucketing;
+          Alcotest.test_case "histogram percentiles" `Quick
+            test_histogram_percentiles;
         ] );
-      ("progress", [ Alcotest.test_case "line" `Quick test_progress_line ]);
+      ( "progress",
+        [
+          Alcotest.test_case "line" `Quick test_progress_line;
+          Alcotest.test_case "plain fallback" `Quick test_progress_plain_fallback;
+          Alcotest.test_case "ansi style" `Quick test_progress_ansi_style;
+        ] );
       ("host", [ Alcotest.test_case "info" `Quick test_hostinfo ]);
       ( "determinism",
         [
