@@ -78,6 +78,7 @@ let checks_of = function
       Some ([ "cells"; "jobs" ], [ "cells_per_s_j1"; "cells_per_s_jN" ], None)
   | "fuzz_feedback_vs_blind" ->
       Some ([ "budget"; "seed"; "jobs" ], [], Some "coverage")
+  | "dist_loopback" -> Some ([ "cells"; "workers" ], [ "cells_per_s" ], None)
   | _ -> None
 
 let threshold = 0.15 (* relative cells/s drop that counts as a regression *)

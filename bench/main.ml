@@ -5,7 +5,7 @@
    and then runs the Bechamel microbenchmarks. Individual experiments:
 
      dune exec bench/main.exe -- table1|table2|table3|table4|table5
-     dune exec bench/main.exe -- figure1|figure2|races|micro|ablate|scaling|fuzz
+     dune exec bench/main.exe -- figure1|figure2|races|micro|ablate|scaling|dist|fuzz
      dune exec bench/main.exe -- compare   # regression-gate BENCH_history.jsonl
 
    Global flags (before or between experiment names):
@@ -297,6 +297,79 @@ let scaling () =
   History.record payload
 
 (* ------------------------------------------------------------------ *)
+(* Distributed fabric: coordinator + loopback workers                  *)
+(* ------------------------------------------------------------------ *)
+
+let dist () =
+  section "Distributed fabric — coordinator + 2 loopback workers (Table 4 grid)";
+  let per_mode = size 8 and workers = 2 in
+  let spec =
+    match Spec.make ~campaign:"table4" ~n:per_mode () with
+    | Ok s -> s
+    | Error m -> failwith m
+  in
+  let total = Spec.total_cells spec in
+  (* single-process reference for the byte-identity check (untimed) *)
+  let local =
+    match Spec.run_local ~jobs:1 spec with
+    | Spec.Table t -> t
+    | Spec.Fuzz _ -> assert false
+  in
+  let sock = Filename.temp_file "bench_dist" ".sock" in
+  Sys.remove sock;
+  let addr = Proto.Unix_sock sock in
+  let t0 = Unix.gettimeofday () in
+  let doms =
+    List.init workers (fun _ ->
+        Domain.spawn (fun () -> Dist_worker.run ~addr ~jobs:1 ()))
+  in
+  let collected =
+    match Coordinator.serve ~addr ~spec ~workers () with
+    | Ok cells -> cells
+    | Error e -> failwith ("coordinator: " ^ e)
+  in
+  List.iter
+    (fun d ->
+      match Domain.join d with
+      | Ok (_ : int) -> ()
+      | Error e -> Printf.eprintf "bench dist worker: %s\n" e)
+    doms;
+  let merged =
+    match Spec.run_local ~jobs:1 ~resume:collected spec with
+    | Spec.Table t -> t
+    | Spec.Fuzz _ -> assert false
+  in
+  let dt = Unix.gettimeofday () -. t0 in
+  let identical = String.equal local merged in
+  Printf.printf
+    "%d cells over %d loopback workers in %.2fs (%.1f cells/s)\n" total
+    workers dt
+    (float total /. dt);
+  Printf.printf "merged table byte-identical to single-process: %b\n" identical;
+  if not identical then
+    prerr_endline "ERROR: distributed merge diverged from single-process run";
+  let payload =
+    Printf.sprintf
+      "{\"bench\":\"dist_loopback\",\"schema\":1,\"cells\":%d,\"workers\":%d,\
+       \"jobs\":1,\"t_s\":%.3f,\"cells_per_s\":%.1f,\"identical\":%b,\
+       \"host\":{\"cores\":%d,\"ocaml\":%S,\"os\":%S,\"word_size\":%d,\
+       \"commit\":%S}}"
+      total workers dt
+      (float total /. dt)
+      identical (Hostinfo.cores ()) Hostinfo.ocaml_version Hostinfo.os_type
+      Hostinfo.word_size
+      (Hostinfo.git_commit ())
+  in
+  Printf.printf "BENCH-JSON %s\n" payload;
+  (try
+     let oc = open_out "BENCH_dist.json" in
+     output_string oc (payload ^ "\n");
+     close_out oc;
+     Printf.printf "dist record written to BENCH_dist.json\n"
+   with Sys_error m -> Printf.eprintf "could not write BENCH_dist.json: %s\n" m);
+  History.record payload
+
+(* ------------------------------------------------------------------ *)
 (* Coverage-guided fuzzing: feedback on vs off at equal budget         *)
 (* ------------------------------------------------------------------ *)
 
@@ -449,6 +522,7 @@ let all_experiments () =
   table4 ();
   table5 ();
   scaling ();
+  dist ();
   fuzz ();
   micro ()
 
@@ -491,6 +565,7 @@ let () =
           | "micro" -> micro ()
           | "ablate" -> ablate ()
           | "scaling" -> scaling ()
+          | "dist" -> dist ()
           | "fuzz" -> fuzz ()
           | "compare" -> rc := max !rc (History.compare_latest ())
           | "all" -> all_experiments ()

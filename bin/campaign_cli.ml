@@ -768,6 +768,323 @@ let reduce_cmd =
                  unwrap, rescanning from the top after each accepted step).")
       $ out_arg)
 
+(* ------------------------------------------------------------------ *)
+(* Distributed fabric: coordinate / worker                             *)
+(* ------------------------------------------------------------------ *)
+
+(* a distribution failure must abort the run without committing the
+   journal (the .tmp rewrite must not replace a good journal with an
+   empty one) and without a raw backtrace: raise through with_journal,
+   catch before with_telemetry's cleanup *)
+exception Dist_failed of string
+
+let addr_conv =
+  let parse s =
+    match Proto.addr_of_string s with Ok a -> Ok a | Error e -> Error (`Msg e)
+  in
+  Arg.conv (parse, fun ppf a -> Format.pp_print_string ppf (Proto.addr_to_string a))
+
+let campaign_pos =
+  Arg.(
+    required
+    & pos 0 (some (enum (List.map (fun c -> (c, c)) Spec.campaigns))) None
+    & info [] ~docv:"CAMPAIGN"
+        ~doc:"Campaign to distribute: table1 | table3 | table4 | table5 | fuzz.")
+
+let listen_arg =
+  Arg.(
+    required
+    & opt (some addr_conv) None
+    & info [ "listen" ] ~docv:"ADDR"
+        ~doc:"Address to serve workers on: $(b,unix:PATH) or $(b,HOST:PORT).")
+
+let workers_arg =
+  Arg.(
+    value & opt int 2
+    & info [ "workers" ]
+        ~doc:
+          "Connected workers to wait for before leasing begins (late \
+           joiners are put to work too).")
+
+let chunk_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "lease" ] ~docv:"CELLS"
+        ~doc:
+          "Cells per lease. Default: the grid split twice per worker \
+           (fuzz: each generation split across the workers).")
+
+let ttl_arg =
+  Arg.(
+    value & opt int 60
+    & info [ "lease-ttl" ] ~docv:"SECS"
+        ~doc:
+          "Heartbeat expiry: a lease silent for $(docv) seconds is \
+           revoked and re-granted (streamed cells count as beats).")
+
+let coordinate_cmd =
+  let run campaign addr workers chunk ttl n seed variants gen_size no_feedback
+      minimize jobs fuel journal resume out telemetry =
+    let n =
+      match n with
+      | Some n -> n
+      | None -> (
+          match campaign with
+          | "table1" -> 10
+          | "table3" -> 12
+          | "table4" -> 60
+          | "table5" -> 15
+          | _ -> Fuzz_loop.default_budget)
+    in
+    match
+      Spec.make ~campaign
+        ~n:(if campaign = "table3" then 0 else n)
+        ?seed0:seed ?fuel
+        ?variants:(if campaign = "table3" then Some n else variants)
+        ~feedback:(not no_feedback) ~gen_size ~minimize ()
+    with
+    | Error m -> fail "%s" m
+    | Ok spec ->
+        let header = Spec.header spec in
+        let total = Spec.total_cells spec in
+        let chunk =
+          match chunk with
+          | Some c -> Some (max 1 c)
+          | None ->
+              let per =
+                match campaign with
+                | "fuzz" ->
+                    spec.Spec.gen_size * Fuzz_loop.cells_per_kernel ()
+                    / max 1 workers
+                | _ -> total / max 1 (workers * 2)
+              in
+              Some (max 1 per)
+        in
+        with_telemetry ~telemetry ~header ~label:("dist-" ^ campaign) ~total
+        @@ fun wrap ev ->
+        let mon = Coordinator.monitor () in
+        let dist_wd =
+          match telemetry.o_wd_timeout with
+          | None -> None
+          | Some secs ->
+              let on_event level (s : Watchdog.snapshot) =
+                warn
+                  "watchdog %s: fabric made no progress for %d ms (%d cells \
+                   collected, %d leases in flight%s)"
+                  (Watchdog.level_name level)
+                  s.Watchdog.idle_ms s.Watchdog.completed s.Watchdog.in_flight
+                  (match s.Watchdog.stalled_domains with
+                  | [] -> ""
+                  | ws ->
+                      Printf.sprintf ", stale workers %s"
+                        (String.concat "," (List.map string_of_int ws)));
+                ev
+                  (Eventlog.Watchdog
+                     {
+                       level = Watchdog.level_name level;
+                       completed = s.Watchdog.completed;
+                       in_flight = s.Watchdog.in_flight;
+                       stalled_domains = s.Watchdog.stalled_domains;
+                       idle_ms = s.Watchdog.idle_ms;
+                     });
+                (* one worker-tagged health snapshot per stale worker: the
+                   eventlog's pool_health dimension, with fabric workers in
+                   place of pool domains (monitoring-only, like all
+                   nondeterministic events) *)
+                List.iter
+                  (fun w ->
+                    ev
+                      (Eventlog.Pool_health
+                         {
+                           worker = w;
+                           submitted = s.Watchdog.completed + s.Watchdog.in_flight;
+                           completed = s.Watchdog.completed;
+                           in_flight = s.Watchdog.in_flight;
+                           stalled_domains = s.Watchdog.stalled_domains;
+                         }))
+                  s.Watchdog.stalled_domains
+              in
+              let abort =
+                if telemetry.o_wd_abort then
+                  Some
+                    (fun (_ : Watchdog.snapshot) ->
+                      report "watchdog: stalled fabric aborted";
+                      Stdlib.exit 2)
+                else None
+              in
+              Some
+                (Watchdog.start ~timeout_ms:(secs * 1000)
+                   ~probe:(Coordinator.probe mon) ?abort ~on_event ())
+        in
+        let progress_step = max 1 (total / 10) in
+        let on_event = function
+          | Coordinator.Worker_joined w -> report "worker %d joined" w
+          | Coordinator.Worker_left (w, reason) ->
+              warn "worker %d left: %s (its leases are requeued)" w reason
+          | Coordinator.Lease_granted _ -> ()
+          | Coordinator.Lease_expired (l, w) ->
+              warn "lease %d (cells [%d,%d)) of worker %d expired; requeued"
+                l.Lease.lease_id l.Lease.lo l.Lease.hi w
+          | Coordinator.Progress (c, t) ->
+              if c mod progress_step = 0 || c = t then
+                report "fabric: %d/%d cells collected" c t
+          | Coordinator.Fallback missing ->
+              warn
+                "all workers gone; finishing the remaining %d cells locally"
+                missing
+        in
+        (* the scratch journal holds streamed cells in arrival order as
+           they land, so a killed coordinator resumes with the work its
+           workers already did; it is dropped once the real (ordered)
+           journal commits *)
+        let scratch = Option.map (fun p -> p ^ ".dist") journal in
+        let rc =
+          match
+            try
+              with_journal ~header ~journal ~resume (fun sink cells ->
+                  let sw, salvaged =
+                    match scratch with
+                    | None -> (None, [])
+                    | Some path when resume -> (
+                        match Journal.append ~path header with
+                        | Ok (w, cs) -> (Some w, cs)
+                        | Error e ->
+                            raise (Dist_failed (Journal.error_to_string e)))
+                    | Some path -> (
+                        match Journal.create ~path header with
+                        | w -> (Some w, [])
+                        | exception Sys_error m -> raise (Dist_failed m))
+                  in
+                  let on_cell c =
+                    match sw with
+                    | None -> ()
+                    | Some w -> Journal.write_cell w c
+                  in
+                  let collected =
+                    match
+                      try
+                        Coordinator.serve ~addr ~spec ~workers ?chunk
+                          ~lease_ttl_ms:(ttl * 1000)
+                          ~resume:(cells @ salvaged) ~monitor:mon ~on_event
+                          ~on_cell ()
+                      with Unix.Unix_error (e, fn, _) ->
+                        Error (Printf.sprintf "%s: %s" fn (Unix.error_message e))
+                    with
+                    | Ok collected -> collected
+                    | Error e -> raise (Dist_failed e)
+                  in
+                  (match sw with Some w -> Journal.commit w | None -> ());
+                  (* the deterministic merge IS an ordinary local run that
+                     replays every collected cell — and executes whatever
+                     the fabric failed to deliver *)
+                  Spec.run_local ~jobs ?sink:(wrap sink) ~events:ev
+                    ~resume:collected spec)
+            with Dist_failed m -> Error m
+          with
+          | Error m -> fail "%s" m
+          | Ok r ->
+              (* the ordered journal is committed; the scratch is now
+                 redundant *)
+              Option.iter
+                (fun p -> try Sys.remove p with Sys_error _ -> ())
+                scratch;
+              (match r with
+              | Spec.Table text -> emit out (text ^ "\n")
+              | Spec.Fuzz fr -> emit out (Fuzz_loop.to_table fr ^ "\n"))
+        in
+        (match dist_wd with Some w -> Watchdog.stop w | None -> ());
+        rc
+  in
+  Cmd.v
+    (Cmd.info "coordinate"
+       ~doc:
+         "Coordinate a distributed campaign: shard the deterministic cell \
+          grid into heartbeat-guarded leases over connected workers, stream \
+          their results, then fold them through the ordinary ordered merge \
+          — journal, tables and eventlog come out byte-identical to a \
+          single-process run at the same seed and scale, and a dead \
+          worker's cells are re-leased or finished locally.")
+    Term.(
+      const run $ campaign_pos $ listen_arg $ workers_arg $ chunk_arg
+      $ ttl_arg
+      $ Arg.(
+          value
+          & opt (some int) None
+          & info [ "n" ]
+              ~doc:
+                "Scale: kernels per mode (table1/4), EMI variants per \
+                 benchmark (table3), bases (table5) or kernel budget \
+                 (fuzz). Defaults match the single-process subcommands.")
+      $ Arg.(
+          value
+          & opt (some int) None
+          & info [ "seed" ] ~doc:"Root seed (defaults per campaign).")
+      $ Arg.(
+          value
+          & opt (some int) None
+          & info [ "variants" ] ~doc:"Variants per base (table5).")
+      $ Arg.(
+          value & opt int Fuzz_loop.default_gen_size
+          & info [ "gen" ] ~doc:"Kernels per generation (fuzz).")
+      $ Arg.(
+          value & flag
+          & info [ "no-feedback" ] ~doc:"Blind sampling (fuzz).")
+      $ Arg.(
+          value & flag
+          & info [ "minimize" ] ~doc:"Minimize admitted seeds (fuzz).")
+      $ jobs_arg $ fuel_arg $ journal_arg $ resume_arg $ out_arg
+      $ telemetry_term)
+
+let worker_cmd =
+  let run addr jobs retries journal =
+    let on_progress = function
+      | Dist_worker.Connected w -> report "connected as worker %d" w
+      | Dist_worker.Leased { gen; lo; hi } ->
+          report "lease: generation %d, cells [%d,%d)" gen lo hi
+      | Dist_worker.Finished { lease_id = _; executed } ->
+          report "lease done: %d cells executed" executed
+    in
+    match
+      try Dist_worker.run ~addr ~jobs ~retries ?journal ~on_progress ()
+      with Unix.Unix_error (e, fn, _) ->
+        Error (Printf.sprintf "%s: %s" fn (Unix.error_message e))
+    with
+    | Ok cells ->
+        report "shutdown: %d cells executed in total" cells;
+        0
+    | Error m -> fail "worker: %s" m
+  in
+  Cmd.v
+    (Cmd.info "worker"
+       ~doc:
+         "Serve a coordinator as a fabric worker: receive the campaign \
+          spec over the wire, execute leased shards of the cell grid \
+          through the local execution pool, stream every result back. \
+          Takes no campaign parameters — the coordinator owns them all.")
+    Term.(
+      const run
+      $ Arg.(
+          required
+          & opt (some addr_conv) None
+          & info [ "connect" ] ~docv:"ADDR"
+              ~doc:"Coordinator address: $(b,unix:PATH) or $(b,HOST:PORT).")
+      $ jobs_arg
+      $ Arg.(
+          value & opt int 20
+          & info [ "retries" ]
+              ~doc:
+                "Connection attempts while the coordinator is not up yet \
+                 (half a second apart).")
+      $ Arg.(
+          value
+          & opt (some string) None
+          & info [ "journal" ] ~docv:"FILE"
+              ~doc:
+                "Per-worker scratch journal: durably record every executed \
+                 cell, and on restart replay it instead of re-executing \
+                 cells that land in a fresh lease."))
+
 let () =
   exit
     (Cmd.eval'
@@ -778,5 +1095,5 @@ let () =
             fuzz_cmd; triage_cmd; report_cmd;
             figure_cmd "figure1" Exhibit.figure1 "Figure 1 bug exhibits";
             figure_cmd "figure2" Exhibit.figure2 "Figure 2 bug exhibits";
-            races_cmd; reduce_cmd;
+            races_cmd; reduce_cmd; coordinate_cmd; worker_cmd;
           ]))

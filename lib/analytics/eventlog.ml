@@ -36,6 +36,7 @@ type event =
       hash : string;
     }
   | Pool_health of {
+      worker : int;
       submitted : int;
       completed : int;
       in_flight : int;
@@ -116,9 +117,10 @@ let fields_of = function
         ("mode", Jsonl.Str mode);
         ("hash", Jsonl.Str hash);
       ]
-  | Pool_health { submitted; completed; in_flight; stalled_domains } ->
+  | Pool_health { worker; submitted; completed; in_flight; stalled_domains } ->
       [
         ("e", Jsonl.Str "pool_health");
+        ("worker", Jsonl.Int worker);
         ("submitted", Jsonl.Int submitted);
         ("completed", Jsonl.Int completed);
         ("in_flight", Jsonl.Int in_flight);
@@ -226,7 +228,12 @@ let event_of_fields fields =
           with
           | Some submitted, Some completed, Some in_flight, Some stalled_domains
             ->
-              Ok (Pool_health { submitted; completed; in_flight; stalled_domains })
+              (* the worker dimension arrived with the distributed fabric;
+                 a record without it is a local pool snapshot *)
+              let worker = Option.value ~default:(-1) (int "worker") in
+              Ok
+                (Pool_health
+                   { worker; submitted; completed; in_flight; stalled_domains })
           | _ -> missing)
       | Some "stage_timing" -> (
           match Jsonl.member "stages_us" j with

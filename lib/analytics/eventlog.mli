@@ -56,6 +56,10 @@ type event =
       hash : string;  (** content address of the kernel text *)
     }  (** one interesting cell, already classified *)
   | Pool_health of {
+      worker : int;
+          (** [-1]: the local execution pool; [>= 0]: a distributed
+              fabric worker id ([stalled_domains] then lists stale
+              worker ids rather than domain ids) *)
       submitted : int;
       completed : int;
       in_flight : int;

@@ -338,12 +338,14 @@ let incidents events =
                     Printf.sprintf ", stale domains [%s]"
                       (String.concat "; "
                          (List.map string_of_int stalled_domains))))
-        | Eventlog.Pool_health { submitted; completed; in_flight;
+        | Eventlog.Pool_health { worker; submitted; completed; in_flight;
                                  stalled_domains } ->
             Some
               (Printf.sprintf
-                 "<li>pool health: %d submitted, %d completed, %d in \
+                 "<li>%s health: %d submitted, %d completed, %d in \
                   flight%s</li>"
+                 (if worker < 0 then "pool"
+                  else Printf.sprintf "worker %d" worker)
                  submitted completed in_flight
                  (if stalled_domains = [] then ""
                   else

@@ -1,0 +1,173 @@
+type progress =
+  | Connected of int
+  | Leased of { gen : int; lo : int; hi : int }
+  | Finished of { lease_id : int; executed : int }
+
+let default_retries = 20
+let retry_pause = 0.5
+
+exception Fail of string
+
+let send fd msg =
+  let bytes = Wire.frame (Proto.encode msg) in
+  let n = String.length bytes in
+  let written = ref 0 in
+  try
+    while !written < n do
+      written := !written + Unix.write_substring fd bytes !written (n - !written)
+    done
+  with Unix.Unix_error (err, _, _) ->
+    raise (Fail (Printf.sprintf "send: %s" (Unix.error_message err)))
+
+(* blocking read of the next protocol message *)
+let recv fd dec buf =
+  let rec go () =
+    match Wire.next dec with
+    | `Frame payload -> (
+        match Proto.decode payload with
+        | Ok msg -> msg
+        | Error e -> raise (Fail ("bad message: " ^ e)))
+    | `Corrupt msg -> raise (Fail ("corrupt frame: " ^ msg))
+    | `Awaiting -> (
+        match Unix.read fd buf 0 (Bytes.length buf) with
+        | 0 -> raise (Fail "connection closed by coordinator")
+        | exception Unix.Unix_error (err, _, _) ->
+            raise (Fail (Printf.sprintf "recv: %s" (Unix.error_message err)))
+        | n ->
+            Wire.feed dec buf n;
+            go ())
+  in
+  go ()
+
+let connect ~addr ~retries =
+  match Proto.sockaddr_of addr with
+  | Error e -> raise (Fail e)
+  | Ok sockaddr ->
+      let rec attempt left =
+        let fd =
+          Unix.socket (Unix.domain_of_sockaddr sockaddr) Unix.SOCK_STREAM 0
+        in
+        match Unix.connect fd sockaddr with
+        | () -> fd
+        | exception Unix.Unix_error (err, _, _) ->
+            (try Unix.close fd with Unix.Unix_error _ -> ());
+            let transient =
+              match err with
+              | Unix.ECONNREFUSED | Unix.ENOENT | Unix.ECONNRESET -> true
+              | _ -> false
+            in
+            if transient && left > 0 then begin
+              Unix.sleepf retry_pause;
+              attempt (left - 1)
+            end
+            else
+              raise
+                (Fail
+                   (Printf.sprintf "connect %s: %s"
+                      (Proto.addr_to_string addr)
+                      (Unix.error_message err)))
+      in
+      attempt retries
+
+let run_lease ~fd ~jobs ~spec ~known ~record ~lease_id ~gen ~lo ~hi =
+  let spec = Spec.clamp spec ~gen in
+  let executed = ref 0 in
+  let sink (c : Journal.cell) =
+    (* the run replays the synced prefix and fabricates placeholders
+       outside the shard; only the leased range is real — and only it
+       leaves this process *)
+    if c.Journal.index >= lo && c.Journal.index < hi then begin
+      record c;
+      send fd (Proto.Cell { lease_id; cell = c });
+      incr executed
+    end
+  in
+  let (_ : Spec.summary) =
+    Spec.run_local ?jobs ~sink ~resume:known
+      ~exec_filter:(fun i -> i >= lo && i < hi)
+      spec
+  in
+  send fd (Proto.Done { lease_id; executed = !executed });
+  !executed
+
+let run ~addr ?jobs ?(retries = default_retries) ?journal
+    ?(on_progress = fun _ -> ()) () =
+  (match Sys.signal Sys.sigpipe Sys.Signal_ignore with
+  | _ -> ()
+  | exception Invalid_argument _ -> ());
+  match
+    let fd = connect ~addr ~retries in
+    Fun.protect
+      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+      (fun () ->
+        let dec = Wire.decoder () in
+        let buf = Bytes.create 65536 in
+        send fd
+          (Proto.Hello
+             {
+               proto = Proto.version;
+               pid = Unix.getpid ();
+               host = Unix.gethostname ();
+             });
+        let spec =
+          match recv fd dec buf with
+          | Proto.Welcome { worker_id; spec } ->
+              on_progress (Connected worker_id);
+              spec
+          | _ -> raise (Fail "expected welcome")
+        in
+        (* the per-worker journal: every cell this worker ever executed,
+           durably appended in arrival order. A restarted worker replays
+           it — cells from a killed lease that land in a new lease are
+           streamed from the journal instead of re-executed *)
+        let jw, mine =
+          match journal with
+          | None -> (None, [])
+          | Some path -> (
+              match Journal.append ~path (Spec.header spec) with
+              | Ok (w, cells) -> (Some w, cells)
+              | Error e -> raise (Fail (Journal.error_to_string e)))
+        in
+        let written = Hashtbl.create 64 in
+        List.iter (fun c -> Hashtbl.replace written (Journal.key c) ()) mine;
+        let record c =
+          match jw with
+          | None -> ()
+          | Some w ->
+              let k = Journal.key c in
+              if not (Hashtbl.mem written k) then begin
+                Hashtbl.replace written k ();
+                Journal.write_cell w c
+              end
+        in
+        (* synced cells arrive as a growing prefix in index order; kept
+           reversed for O(1) extension *)
+        let known_rev = ref [] in
+        let total = ref 0 in
+        let rec serve () =
+          match recv fd dec buf with
+          | Proto.Sync { cells } ->
+              List.iter (fun c -> known_rev := c :: !known_rev) cells;
+              send fd Proto.Beat;
+              serve ()
+          | Proto.Lease { lease_id; gen; lo; hi } ->
+              on_progress (Leased { gen; lo; hi });
+              let executed =
+                run_lease ~fd ~jobs ~spec
+                  ~known:(mine @ List.rev !known_rev)
+                  ~record ~lease_id ~gen ~lo ~hi
+              in
+              total := !total + executed;
+              on_progress (Finished { lease_id; executed });
+              serve ()
+          | Proto.Beat -> serve ()
+          | Proto.Shutdown ->
+              Option.iter Journal.commit jw;
+              !total
+          | Proto.Hello _ | Proto.Welcome _ | Proto.Cell _ | Proto.Done _ ->
+              raise (Fail "unexpected message from coordinator")
+        in
+        serve ())
+  with
+  | total -> Ok total
+  | exception Fail msg -> Error msg

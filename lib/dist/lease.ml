@@ -1,0 +1,154 @@
+type lease = { lease_id : int; gen : int; lo : int; hi : int }
+
+type live = { lease : lease; worker : int; mutable beat : int64 }
+
+type t = {
+  boundaries : (int * int) array;
+  chunk : int option;
+  got : Journal.cell option array;
+  mutable n_collected : int;
+  leased : bool array;  (** index currently covered by a live lease *)
+  active : (int, live) Hashtbl.t;
+  mutable next_id : int;
+}
+
+let create ?chunk ~boundaries () =
+  let boundaries = Array.of_list boundaries in
+  let total =
+    if Array.length boundaries = 0 then 0
+    else snd boundaries.(Array.length boundaries - 1)
+  in
+  {
+    boundaries;
+    chunk;
+    got = Array.make (max total 1) None;
+    n_collected = 0;
+    leased = Array.make (max total 1) false;
+    active = Hashtbl.create 16;
+    next_id = 0;
+  }
+
+let total t =
+  if Array.length t.boundaries = 0 then 0
+  else snd t.boundaries.(Array.length t.boundaries - 1)
+
+let collected t = t.n_collected
+let complete t = t.n_collected >= total t
+
+let set t (c : Journal.cell) =
+  if c.Journal.index >= 0 && c.Journal.index < total t then
+    match t.got.(c.Journal.index) with
+    | Some _ -> `Dup
+    | None ->
+        t.got.(c.Journal.index) <- Some c;
+        t.n_collected <- t.n_collected + 1;
+        `Fresh
+  else `Out_of_range
+
+let prefill t cells = List.iter (fun c -> ignore (set t c)) cells
+
+let gen_complete t (lo, hi) =
+  let rec go i = i >= hi || (t.got.(i) <> None && go (i + 1)) in
+  go lo
+
+let frontier t =
+  let rec go g =
+    if g >= Array.length t.boundaries - 1 then g
+    else if gen_complete t t.boundaries.(g) then go (g + 1)
+    else g
+  in
+  go 0
+
+let next t ~worker ~now =
+  if complete t then None
+  else begin
+    let g = frontier t in
+    let glo, ghi = t.boundaries.(g) in
+    let free i = t.got.(i) = None && not t.leased.(i) in
+    let rec first i = if i >= ghi then None else if free i then Some i else first (i + 1) in
+    match first glo with
+    | None -> None
+    | Some lo ->
+        let cap = match t.chunk with Some c -> min ghi (lo + c) | None -> ghi in
+        let rec last i = if i < cap && free i then last (i + 1) else i in
+        let hi = last lo in
+        let lease = { lease_id = t.next_id; gen = g; lo; hi } in
+        t.next_id <- t.next_id + 1;
+        for i = lo to hi - 1 do
+          t.leased.(i) <- true
+        done;
+        Hashtbl.replace t.active lease.lease_id { lease; worker; beat = now };
+        Some lease
+  end
+
+let sync_upto t lease = fst t.boundaries.(lease.gen)
+
+let record t ~lease_id ~now cell =
+  (match Hashtbl.find_opt t.active lease_id with
+  | Some live -> live.beat <- now
+  | None -> ());
+  set t cell
+
+let beat_worker t ~worker ~now =
+  Hashtbl.iter
+    (fun _ live -> if live.worker = worker then live.beat <- now)
+    t.active
+
+let range t ~lo ~hi =
+  let acc = ref [] in
+  for i = min hi (total t) - 1 downto max lo 0 do
+    match t.got.(i) with Some c -> acc := c :: !acc | None -> ()
+  done;
+  !acc
+
+let unlease t lease =
+  for i = lease.lo to lease.hi - 1 do
+    t.leased.(i) <- false
+  done
+
+let finish t ~lease_id =
+  match Hashtbl.find_opt t.active lease_id with
+  | None -> ()
+  | Some live ->
+      Hashtbl.remove t.active lease_id;
+      unlease t live.lease
+
+let release_worker t ~worker =
+  let mine =
+    Hashtbl.fold
+      (fun _ live acc -> if live.worker = worker then live :: acc else acc)
+      t.active []
+  in
+  List.map
+    (fun live ->
+      Hashtbl.remove t.active live.lease.lease_id;
+      unlease t live.lease;
+      live.lease)
+    mine
+
+let expire t ~now ~ttl_ns =
+  let stale =
+    Hashtbl.fold
+      (fun _ live acc ->
+        if Int64.sub now live.beat > ttl_ns then live :: acc else acc)
+      t.active []
+  in
+  List.map
+    (fun live ->
+      Hashtbl.remove t.active live.lease.lease_id;
+      unlease t live.lease;
+      (live.lease, live.worker))
+    stale
+
+let outstanding t =
+  Hashtbl.fold
+    (fun id live acc -> (id, live.worker, live.beat) :: acc)
+    t.active []
+  |> List.sort compare
+
+let cells t =
+  let acc = ref [] in
+  for i = Array.length t.got - 1 downto 0 do
+    match t.got.(i) with Some c -> acc := c :: !acc | None -> ()
+  done;
+  !acc

@@ -1,0 +1,82 @@
+(** Work-lease bookkeeping over the campaign's global cell grid.
+
+    Pure state machine (no sockets, no clocks of its own), so the
+    protocol's awkward corners — duplicate replies after a lease
+    expired and was re-run, out-of-order arrival, a worker dying
+    mid-lease — are unit-testable in isolation.
+
+    The grid is [total] cells in global deterministic task order,
+    partitioned into generations; a lease is a half-open index range
+    within the {e frontier} generation (the lowest one not fully
+    collected). Only frontier leases are granted, which is what makes
+    the fuzzing campaign sound: generation [g]'s plan depends on every
+    cell below it, so those cells must all be collected — and synced
+    to the worker — before [g] runs anywhere.
+
+    Determinism makes duplicates harmless: a cell index can only ever
+    carry one value, so the first arrival wins and any re-execution's
+    copy is byte-identical by the campaign contract. *)
+
+type lease = { lease_id : int; gen : int; lo : int; hi : int }
+
+type t
+
+val create : ?chunk:int -> boundaries:(int * int) list -> unit -> t
+(** [boundaries] as from {!Spec.boundaries}; [chunk] caps a lease's
+    cell count (default: whole generations). *)
+
+val total : t -> int
+
+val collected : t -> int
+
+val complete : t -> bool
+
+val prefill : t -> Journal.cell list -> unit
+(** Seed already-known cells (a [--resume] journal) before leasing;
+    out-of-range indices are ignored. *)
+
+val frontier : t -> int
+(** The generation leases are currently drawn from. *)
+
+val next : t -> worker:int -> now:int64 -> lease option
+(** Grant the next lease to [worker]: the first run of cells in the
+    frontier generation that are neither collected nor actively
+    leased, at most [chunk] long. [None] when the frontier is fully
+    covered by collected cells and live leases — the worker idles
+    until an expiry or the next generation opens. *)
+
+val sync_upto : t -> lease -> int
+(** Cells below this index must be synced to the lease's worker before
+    it runs (the start of the lease's generation; [0] for the table
+    campaigns — no dependencies). *)
+
+val record : t -> lease_id:int -> now:int64 -> Journal.cell ->
+  [ `Fresh | `Dup | `Out_of_range ]
+(** Fold one streamed cell in. Accepts cells from unknown (expired)
+    leases too — determinism makes them correct; the id only refreshes
+    the lease heartbeat when it is still live. *)
+
+val beat_worker : t -> worker:int -> now:int64 -> unit
+(** Refresh the heartbeat of every live lease held by [worker]. *)
+
+val range : t -> lo:int -> hi:int -> Journal.cell list
+(** Collected cells with index in [lo, hi), in index order. *)
+
+val finish : t -> lease_id:int -> unit
+(** The worker reported [Done]: drop the lease. Any cells of its range
+    that never arrived simply become leasable again. *)
+
+val release_worker : t -> worker:int -> lease list
+(** The worker's connection died: drop all its live leases, returning
+    them (their uncollected cells become leasable again). *)
+
+val expire : t -> now:int64 -> ttl_ns:int64 -> (lease * int) list
+(** Drop every live lease whose last heartbeat is older than [ttl_ns],
+    returning [(lease, worker)] pairs. *)
+
+val outstanding : t -> (int * int * int64) list
+(** Live leases as [(lease_id, worker, last_beat_ns)] — the watchdog
+    probe's heartbeat view. *)
+
+val cells : t -> Journal.cell list
+(** All collected cells in global index order (gaps skipped). *)

@@ -1,0 +1,146 @@
+let version = 1
+
+type msg =
+  | Hello of { proto : int; pid : int; host : string }
+  | Welcome of { worker_id : int; spec : Spec.t }
+  | Sync of { cells : Journal.cell list }
+  | Lease of { lease_id : int; gen : int; lo : int; hi : int }
+  | Cell of { lease_id : int; cell : Journal.cell }
+  | Done of { lease_id : int; executed : int }
+  | Beat
+  | Shutdown
+
+let fields_of = function
+  | Hello { proto; pid; host } ->
+      [
+        ("m", Jsonl.Str "hello");
+        ("proto", Jsonl.Int proto);
+        ("pid", Jsonl.Int pid);
+        ("host", Jsonl.Str host);
+      ]
+  | Welcome { worker_id; spec } ->
+      [
+        ("m", Jsonl.Str "welcome");
+        ("worker", Jsonl.Int worker_id);
+        ("spec", Spec.to_json spec);
+      ]
+  | Sync { cells } ->
+      [
+        ("m", Jsonl.Str "sync");
+        ("cells", Jsonl.List (List.map Journal.cell_to_json cells));
+      ]
+  | Lease { lease_id; gen; lo; hi } ->
+      [
+        ("m", Jsonl.Str "lease");
+        ("lease", Jsonl.Int lease_id);
+        ("gen", Jsonl.Int gen);
+        ("lo", Jsonl.Int lo);
+        ("hi", Jsonl.Int hi);
+      ]
+  | Cell { lease_id; cell } ->
+      [
+        ("m", Jsonl.Str "cell");
+        ("lease", Jsonl.Int lease_id);
+        ("cell", Journal.cell_to_json cell);
+      ]
+  | Done { lease_id; executed } ->
+      [
+        ("m", Jsonl.Str "done");
+        ("lease", Jsonl.Int lease_id);
+        ("executed", Jsonl.Int executed);
+      ]
+  | Beat -> [ ("m", Jsonl.Str "beat") ]
+  | Shutdown -> [ ("m", Jsonl.Str "shutdown") ]
+
+let encode m = Jsonl.encode_line (fields_of m)
+
+let decode line =
+  match Jsonl.decode_line line with
+  | Error e -> Error e
+  | Ok fields -> (
+      let j = Jsonl.Obj fields in
+      let int name = Option.bind (Jsonl.member name j) Jsonl.get_int in
+      let str name = Option.bind (Jsonl.member name j) Jsonl.get_str in
+      let malformed = Error "malformed message" in
+      match str "m" with
+      | Some "hello" -> (
+          match (int "proto", int "pid", str "host") with
+          | Some proto, Some pid, Some host -> Ok (Hello { proto; pid; host })
+          | _ -> malformed)
+      | Some "welcome" -> (
+          match (int "worker", Jsonl.member "spec" j) with
+          | Some worker_id, Some spec_json -> (
+              match Spec.of_json spec_json with
+              | Ok spec -> Ok (Welcome { worker_id; spec })
+              | Error e -> Error e)
+          | _ -> malformed)
+      | Some "sync" -> (
+          match Jsonl.member "cells" j with
+          | Some (Jsonl.List l) ->
+              let cells = List.filter_map Journal.cell_of_json l in
+              if List.length cells = List.length l then Ok (Sync { cells })
+              else malformed
+          | _ -> malformed)
+      | Some "lease" -> (
+          match (int "lease", int "gen", int "lo", int "hi") with
+          | Some lease_id, Some gen, Some lo, Some hi ->
+              Ok (Lease { lease_id; gen; lo; hi })
+          | _ -> malformed)
+      | Some "cell" -> (
+          match
+            (int "lease", Option.bind (Jsonl.member "cell" j) Journal.cell_of_json)
+          with
+          | Some lease_id, Some cell -> Ok (Cell { lease_id; cell })
+          | _ -> malformed)
+      | Some "done" -> (
+          match (int "lease", int "executed") with
+          | Some lease_id, Some executed -> Ok (Done { lease_id; executed })
+          | _ -> malformed)
+      | Some "beat" -> Ok Beat
+      | Some "shutdown" -> Ok Shutdown
+      | Some other -> Error (Printf.sprintf "unknown message kind %S" other)
+      | None -> Error "missing message kind")
+
+(* ------------------------------------------------------------------ *)
+(* Addresses                                                           *)
+(* ------------------------------------------------------------------ *)
+
+type addr = Unix_sock of string | Tcp of string * int
+
+let addr_of_string s =
+  match String.index_opt s ':' with
+  | None -> Error (Printf.sprintf "address %S: expected unix:PATH or HOST:PORT" s)
+  | Some _ when String.length s > 5 && String.sub s 0 5 = "unix:" ->
+      let path = String.sub s 5 (String.length s - 5) in
+      Ok (Unix_sock path)
+  | Some _ -> (
+      (* HOST:PORT, split on the last colon *)
+      match String.rindex_opt s ':' with
+      | None -> assert false
+      | Some i -> (
+          let host = String.sub s 0 i in
+          let port = String.sub s (i + 1) (String.length s - i - 1) in
+          match int_of_string_opt port with
+          | Some p when p > 0 && p < 65536 && host <> "" -> Ok (Tcp (host, p))
+          | _ ->
+              Error
+                (Printf.sprintf "address %S: bad port %S (or empty host)" s
+                   port)))
+
+let addr_to_string = function
+  | Unix_sock p -> "unix:" ^ p
+  | Tcp (h, p) -> Printf.sprintf "%s:%d" h p
+
+let sockaddr_of = function
+  | Unix_sock p -> Ok (Unix.ADDR_UNIX p)
+  | Tcp (host, port) -> (
+      match Unix.inet_addr_of_string host with
+      | ip -> Ok (Unix.ADDR_INET (ip, port))
+      | exception Failure _ -> (
+          match Unix.gethostbyname host with
+          | { Unix.h_addr_list = [||]; _ } ->
+              Error (Printf.sprintf "host %S has no address" host)
+          | { Unix.h_addr_list; _ } ->
+              Ok (Unix.ADDR_INET (h_addr_list.(0), port))
+          | exception Not_found ->
+              Error (Printf.sprintf "host %S not found" host)))

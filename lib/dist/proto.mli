@@ -1,0 +1,49 @@
+(** The coordinator/worker message vocabulary.
+
+    Every message is one checksummed JSONL object (the journal's codec
+    and MD5 line discipline) carried in one {!Wire} frame. Cells travel
+    in the journal's own canonical record encoding
+    ({!Journal.cell_to_json}), so a result has exactly one serialised
+    form end to end — what the worker streams is byte-for-byte what the
+    merged journal records.
+
+    Lifecycle: the worker opens with [Hello]; the coordinator answers
+    [Welcome] carrying the full campaign {!Spec} (workers need no
+    campaign flags of their own). Work arrives as [Lease] messages —
+    a half-open global cell index range within one generation —
+    preceded by whatever [Sync] prefix of already-collected cells the
+    lease's generation depends on. The worker streams every executed
+    cell back as [Cell] (each doubles as a liveness beat) and closes
+    the lease with [Done]; [Shutdown] ends the session. *)
+
+type msg =
+  | Hello of { proto : int; pid : int; host : string }
+  | Welcome of { worker_id : int; spec : Spec.t }
+  | Sync of { cells : Journal.cell list }
+      (** already-collected cells the next lease's generation depends
+          on, in global index order *)
+  | Lease of { lease_id : int; gen : int; lo : int; hi : int }
+      (** execute global cells [lo, hi) of generation [gen] *)
+  | Cell of { lease_id : int; cell : Journal.cell }
+  | Done of { lease_id : int; executed : int }
+  | Beat
+  | Shutdown
+
+val version : int
+(** Protocol version carried by [Hello]; a mismatch is refused. *)
+
+val encode : msg -> string
+(** One checksummed JSONL line (no newline, not yet framed). *)
+
+val decode : string -> (msg, string) result
+(** Parse, checksum-verify and type one payload. *)
+
+(** Endpoint addresses: [unix:PATH] or [HOST:PORT]. *)
+type addr = Unix_sock of string | Tcp of string * int
+
+val addr_of_string : string -> (addr, string) result
+val addr_to_string : addr -> string
+
+val sockaddr_of : addr -> (Unix.sockaddr, string) result
+(** Resolve to a connectable/bindable address ([Tcp] hosts via
+    numeric parse then name lookup). *)

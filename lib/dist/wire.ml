@@ -1,0 +1,68 @@
+let max_frame = 16 * 1024 * 1024
+
+(* longest legal length header: decimal digits of max_frame *)
+let max_header = String.length (string_of_int max_frame)
+
+let frame payload =
+  String.concat ""
+    [ string_of_int (String.length payload); "\n"; payload; "\n" ]
+
+type decoder = {
+  buf : Buffer.t;
+  mutable off : int;  (** consumed prefix of [buf] *)
+  mutable corrupt : string option;
+}
+
+let decoder () = { buf = Buffer.create 4096; off = 0; corrupt = None }
+
+let compact d =
+  (* drop the consumed prefix once it dominates the buffer, keeping
+     feed/next amortised linear *)
+  if d.off > 0 && d.off >= Buffer.length d.buf - d.off then begin
+    let rest = Buffer.sub d.buf d.off (Buffer.length d.buf - d.off) in
+    Buffer.clear d.buf;
+    Buffer.add_string d.buf rest;
+    d.off <- 0
+  end
+
+let feed d b n = Buffer.add_subbytes d.buf b 0 n
+let feed_string d s = Buffer.add_string d.buf s
+let buffered d = Buffer.length d.buf - d.off
+
+let fail d msg =
+  d.corrupt <- Some msg;
+  `Corrupt msg
+
+let next d =
+  match d.corrupt with
+  | Some msg -> `Corrupt msg
+  | None -> (
+      compact d;
+      let len = Buffer.length d.buf in
+      let contents = Buffer.contents d.buf in
+      match String.index_from_opt contents d.off '\n' with
+      | None ->
+          if len - d.off > max_header then
+            fail d "length header too long"
+          else `Awaiting
+      | Some nl -> (
+          let header = String.sub contents d.off (nl - d.off) in
+          match int_of_string_opt header with
+          | None -> fail d (Printf.sprintf "bad length header %S" header)
+          | Some plen when plen < 0 || plen > max_frame ->
+              fail d (Printf.sprintf "frame length %d out of bounds" plen)
+          | Some plen ->
+              (* header, payload, terminating newline *)
+              if len - nl - 1 < plen + 1 then `Awaiting
+              else begin
+                let payload = String.sub contents (nl + 1) plen in
+                let term = contents.[nl + 1 + plen] in
+                if term <> '\n' then
+                  fail d
+                    (Printf.sprintf "frame terminator %C after %d bytes" term
+                       plen)
+                else begin
+                  d.off <- nl + 1 + plen + 1;
+                  `Frame payload
+                end
+              end))

@@ -95,7 +95,7 @@ type planned = { kidx : int; prov : provenance; tc : Ast.testcase; prep : Driver
 
 let run ?jobs ?fuel ?(budget = default_budget) ?(seed = 1) ?config_ids
     ?(feedback = true) ?(gen_size = default_gen_size) ?(minimize = false) ?sink
-    ?(events = fun (_ : Eventlog.event) -> ()) ?resume () =
+    ?(events = fun (_ : Eventlog.event) -> ()) ?resume ?exec_filter () =
   let jobs = match jobs with Some j -> j | None -> Pool.recommended_jobs () in
   let config_ids =
     match config_ids with Some l -> l | None -> default_config_ids ()
@@ -209,7 +209,7 @@ let run ?jobs ?fuel ?(budget = default_budget) ?(seed = 1) ?config_ids
       }
     in
     let sink = Option.map (fun emit i r -> emit (cell_of i r)) sink in
-    let lookup =
+    let replayed =
       Option.map
         (fun tbl i ->
           let k, c, opt = tasks_arr.(i) in
@@ -222,6 +222,26 @@ let run ?jobs ?fuel ?(budget = default_budget) ?(seed = 1) ?config_ids
               | None -> None)
           | _ -> None)
         replay
+    in
+    (* distributed worker: placeholders for non-replayed cells outside the
+       leased shard. Sound only because the coordinator syncs every cell
+       of prior generations before leasing generation [g] (the planner
+       needs real coverage state) and the worker discards this run's own
+       fold products, forwarding only sink-accepted cells. *)
+    let lookup =
+      match exec_filter with
+      | None -> replayed
+      | Some keep ->
+          Some
+            (fun i ->
+              match Option.bind replayed (fun f -> f i) with
+              | Some r -> Some r
+              | None ->
+                  if keep (!cell_base + i) then None
+                  else
+                    Some
+                      ( Outcome.Crash "skipped: outside shard",
+                        Interp.zero_stats ))
     in
     let merged =
       Par.run_resumable pool ?sink ?lookup

@@ -98,6 +98,7 @@ val run :
   ?sink:(Journal.cell -> unit) ->
   ?events:(Eventlog.event -> unit) ->
   ?resume:Journal.cell list ->
+  ?exec_filter:(int -> bool) ->
   unit ->
   result
 (** [feedback:false] degrades to a blind sweep — fresh kernels only,
@@ -106,7 +107,14 @@ val run :
     persistence contract ({!Par.run_resumable}). [events] receives the
     loop's lifecycle events ([Generation], [Coverage_delta],
     [Triage_hit]) from the ordered fold over the merged result stream —
-    deterministic and [-j]-invariant, like the journal. *)
+    deterministic and [-j]-invariant, like the journal.
+
+    [exec_filter] restricts execution to a leased shard of the global
+    cell index space (distributed worker). Because generation [g]'s plan
+    depends on generations [< g], a worker is only sound when [resume]
+    already replays every earlier generation's cells — the coordinator
+    guarantees this by syncing prior cells before leasing [g], and caps
+    the worker's [budget] at the leased generation's end. *)
 
 val cells_per_kernel : ?config_ids:int list -> unit -> int
 (** Cells each kernel occupies in the journal — [2 x #configs]. *)

@@ -54,7 +54,7 @@ let journal_header ?fuel ?(variants = 12) ?(seed0 = 90_000) ?config_ids () =
     ~scale:[]
 
 let run ?jobs ?fuel ?(variants = 12) ?(seed0 = 90_000) ?config_ids ?sink
-    ?resume () : t =
+    ?resume ?exec_filter () : t =
   let jobs = match jobs with Some j -> j | None -> Pool.recommended_jobs () in
   let config_ids =
     match config_ids with Some l -> l | None -> default_configs
@@ -161,7 +161,7 @@ let run ?jobs ?fuel ?(variants = 12) ?(seed0 = 90_000) ?config_ids ?sink
     }
   in
   let sink = Option.map (fun emit i (r, _stats) -> emit (cell_record i r)) sink in
-  let lookup =
+  let replayed =
     match resume with
     | None | Some [] -> None
     | Some cells ->
@@ -175,6 +175,22 @@ let run ?jobs ?fuel ?(variants = 12) ?(seed0 = 90_000) ?config_ids ?sink
                   (fun code -> ((c.Config.id, code), Interp.zero_stats))
                   (code_of_string note)
             | None -> None)
+  in
+  (* distributed worker: placeholders for non-replayed cells outside the
+     leased shard; only sink-forwarded cells leave the worker *)
+  let lookup =
+    match exec_filter with
+    | None -> replayed
+    | Some keep ->
+        Some
+          (fun i ->
+            match Option.bind replayed (fun f -> f i) with
+            | Some r -> Some r
+            | None ->
+                if keep i then None
+                else
+                  let _, c = tasks_arr.(i) in
+                  Some ((c.Config.id, Crash "?"), Interp.zero_stats))
   in
   let cells =
     (* exception isolation: a cell whose harness code raises becomes a

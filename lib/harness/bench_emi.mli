@@ -50,6 +50,7 @@ val run :
   ?config_ids:int list ->
   ?sink:(Journal.cell -> unit) ->
   ?resume:Journal.cell list ->
+  ?exec_filter:(int -> bool) ->
   unit ->
   t
 (** Defaults: 12 injected variants per benchmark (paper: 125), configs
@@ -57,7 +58,7 @@ val run :
 
     A cell is one (benchmark, configuration); its journal record stores
     the benchmark name in the [mode] field, the paper's result code in
-    [note], and no outcomes. [sink]/[resume] behave as in
+    [note], and no outcomes. [sink]/[resume]/[exec_filter] behave as in
     {!Campaign.run}; benchmark setup (reference runs, EMI injection) is
     always recomputed on resume. *)
 

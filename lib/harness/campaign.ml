@@ -41,7 +41,7 @@ let journal_header ?fuel ?(per_mode = 60) ?(seed0 = 10_000) ?config_ids ?modes
     ~scale:[ ("per_mode", string_of_int per_mode) ]
 
 let run ?jobs ?fuel ?(per_mode = 60) ?(seed0 = 10_000) ?config_ids ?modes ?sink
-    ?resume () =
+    ?resume ?exec_filter () =
   let jobs = match jobs with Some j -> j | None -> Pool.recommended_jobs () in
   let config_ids =
     match config_ids with Some l -> l | None -> Config.above_threshold_ids
@@ -109,7 +109,7 @@ let run ?jobs ?fuel ?(per_mode = 60) ?(seed0 = 10_000) ?config_ids ?modes ?sink
         }
       in
       let sink = Option.map (fun emit i (o, _stats) -> emit (cell_of i o)) sink in
-      let lookup =
+      let replayed =
         Option.map
           (fun tbl i ->
             let seed, _, c, opt = tasks_arr.(i) in
@@ -120,6 +120,24 @@ let run ?jobs ?fuel ?(per_mode = 60) ?(seed0 = 10_000) ?config_ids ?modes ?sink
                 Some (o, Interp.zero_stats)
             | _ -> None)
           replay
+      in
+      (* a distributed worker executes only its leased shard: every other
+         non-replayed cell degrades to an instant placeholder, never sent
+         anywhere — only the shard's real cells leave this process *)
+      let lookup =
+        match exec_filter with
+        | None -> replayed
+        | Some keep ->
+            Some
+              (fun i ->
+                match Option.bind replayed (fun f -> f i) with
+                | Some r -> Some r
+                | None ->
+                    if keep (!base + i) then None
+                    else
+                      Some
+                        ( Outcome.Crash "skipped: outside shard",
+                          Interp.zero_stats ))
       in
       let outcomes =
         Par.run_resumable pool ?sink ?lookup

@@ -45,6 +45,7 @@ val run :
   ?modes:Gen_config.mode list ->
   ?sink:(Journal.cell -> unit) ->
   ?resume:Journal.cell list ->
+  ?exec_filter:(int -> bool) ->
   unit ->
   mode_result list
 (** Defaults: 60 kernels/mode (paper: 10,000), the above-threshold
@@ -64,7 +65,13 @@ val run :
     in order), so an interrupted campaign continues where it stopped and
     finishes with output byte-identical to an uninterrupted run.
     Generation and prefiltering are always recomputed — they are
-    deterministic and cheap relative to the cell grid. *)
+    deterministic and cheap relative to the cell grid.
+
+    [exec_filter] is the distributed-worker hook: when given, a cell
+    whose global task index is rejected (and that [resume] does not
+    replay) is not executed — it yields an instant placeholder outcome
+    instead. The caller (a fabric worker) must then treat the fold
+    result as garbage and only forward cells its [sink] accepted. *)
 
 val to_table : mode_result list -> string
 val totals : mode_result list -> (Gen_config.mode * cell) list

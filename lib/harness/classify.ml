@@ -47,7 +47,8 @@ let journal_header ?fuel ?(per_mode = 10) ?(seed0 = 1) () =
       ]
     ~scale:[ ("per_mode", string_of_int per_mode) ]
 
-let run ?jobs ?fuel ?(per_mode = 10) ?(seed0 = 1) ?sink ?resume () : t =
+let run ?jobs ?fuel ?(per_mode = 10) ?(seed0 = 1) ?sink ?resume ?exec_filter ()
+    : t =
   let jobs = match jobs with Some j -> j | None -> Pool.recommended_jobs () in
   Pool.with_pool ~jobs @@ fun pool ->
   let kernels, discarded_sharing = initial_kernels pool ~per_mode ~seed0 in
@@ -84,7 +85,7 @@ let run ?jobs ?fuel ?(per_mode = 10) ?(seed0 = 1) ?sink ?resume () : t =
     }
   in
   let sink = Option.map (fun emit i (pair, _stats) -> emit (cell_of i pair)) sink in
-  let lookup =
+  let replayed =
     match resume with
     | None | Some [] -> None
     | Some cells ->
@@ -99,6 +100,22 @@ let run ?jobs ?fuel ?(per_mode = 10) ?(seed0 = 1) ?sink ?resume () : t =
             | Some { Journal.outcomes = [ off; on ]; _ } ->
                 Some ((off, on), Interp.zero_stats)
             | _ -> None)
+  in
+  (* distributed worker: placeholders for non-replayed cells outside the
+     leased shard; only sink-forwarded cells leave the worker *)
+  let lookup =
+    match exec_filter with
+    | None -> replayed
+    | Some keep ->
+        Some
+          (fun i ->
+            match Option.bind replayed (fun f -> f i) with
+            | Some r -> Some r
+            | None ->
+                if keep i then None
+                else
+                  let skip = Outcome.Crash "skipped: outside shard" in
+                  Some ((skip, skip), Interp.zero_stats))
   in
   let pairs =
     Par.run_resumable pool ?sink ?lookup

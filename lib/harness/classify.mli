@@ -39,15 +39,17 @@ val run :
   ?seed0:int ->
   ?sink:(Journal.cell -> unit) ->
   ?resume:Journal.cell list ->
+  ?exec_filter:(int -> bool) ->
   unit ->
   t
 (** Default [per_mode] is 10 (the paper used 100).
 
     A cell is one (kernel, configuration) pair; both optimisation levels
     are journalled together as one record with opt ["*"] and a
-    two-element outcome list. [sink]/[resume] behave exactly as in
-    {!Campaign.run}: ordered streaming persistence, and key-based replay
-    that skips already-journalled cells. *)
+    two-element outcome list. [sink]/[resume]/[exec_filter] behave
+    exactly as in {!Campaign.run}: ordered streaming persistence,
+    key-based replay that skips already-journalled cells, and the
+    distributed-worker shard restriction. *)
 
 val to_table : t -> string
 (** Rendered in the shape of Table 1, including the computed

@@ -78,7 +78,7 @@ let journal_header ?fuel ?(bases = 15) ?(variants = 10) ?(seed0 = 50_000)
     ~scale:[ ("bases", string_of_int bases) ]
 
 let run ?jobs ?fuel ?(bases = 15) ?(variants = 10) ?(seed0 = 50_000) ?config_ids
-    ?sink ?resume () : t =
+    ?sink ?resume ?exec_filter () : t =
   let jobs = match jobs with Some j -> j | None -> Pool.recommended_jobs () in
   let config_ids =
     match config_ids with Some l -> l | None -> Config.above_threshold_ids
@@ -138,7 +138,7 @@ let run ?jobs ?fuel ?(bases = 15) ?(variants = 10) ?(seed0 = 50_000) ?config_ids
   let sink =
     Option.map (fun emit i (outcomes, _stats) -> emit (cell_of i outcomes)) sink
   in
-  let lookup =
+  let replayed =
     match resume with
     | None | Some [] -> None
     | Some cells ->
@@ -151,6 +151,23 @@ let run ?jobs ?fuel ?(bases = 15) ?(variants = 10) ?(seed0 = 50_000) ?config_ids
             with
             | Some { Journal.outcomes = [] ; _ } | None -> None
             | Some { Journal.outcomes; _ } -> Some (outcomes, Interp.zero_stats))
+  in
+  (* distributed worker: placeholders for non-replayed cells outside the
+     leased shard; only sink-forwarded cells leave the worker *)
+  let lookup =
+    match exec_filter with
+    | None -> replayed
+    | Some keep ->
+        Some
+          (fun i ->
+            match Option.bind replayed (fun f -> f i) with
+            | Some r -> Some r
+            | None ->
+                if keep i then None
+                else
+                  Some
+                    ( [ Outcome.Crash "skipped: outside shard" ],
+                      Interp.zero_stats ))
   in
   let cell_outcomes =
     (* a cell's value is its variant outcome list; exceptions inside a cell

@@ -59,6 +59,7 @@ val run :
   ?config_ids:int list ->
   ?sink:(Journal.cell -> unit) ->
   ?resume:Journal.cell list ->
+  ?exec_filter:(int -> bool) ->
   unit ->
   t
 (** Defaults: 15 bases (paper: 180), 10 variants/base (paper: 40), the
@@ -67,8 +68,9 @@ val run :
     [jobs]. [fuel] is the per-task soft timeout.
 
     A cell is one (base, configuration, opt level) and its journal record
-    carries the full per-variant outcome list; [sink]/[resume] behave as
-    in {!Campaign.run}. Base generation, the liveness filter and variant
-    derivation are always recomputed on resume (deterministic). *)
+    carries the full per-variant outcome list; [sink]/[resume]/
+    [exec_filter] behave as in {!Campaign.run}. Base generation, the
+    liveness filter and variant derivation are always recomputed on
+    resume (deterministic). *)
 
 val to_table : t -> string

@@ -89,6 +89,12 @@ let cell_of_fields fields =
       | _ -> None)
   | _ -> None
 
+let cell_to_json c = Jsonl.Obj (cell_fields c)
+
+let cell_of_json = function
+  | Jsonl.Obj fields -> cell_of_fields fields
+  | _ -> None
+
 let params_to_json ps = Jsonl.Obj (List.map (fun (k, v) -> (k, Jsonl.Str v)) ps)
 
 let params_of_json = function
@@ -221,6 +227,40 @@ let resume ~path header =
         | None ->
             let tmp = path ^ ".tmp" in
             Ok (open_writer ~path:tmp ~rename_to:(Some path) header, cells))
+
+let append ~path header =
+  if not (Sys.file_exists path) then
+    match create ~path header with
+    | w -> Ok (w, [])
+    | exception Sys_error m -> Error (Io m)
+  else
+    match load ~path with
+    | Error e -> Error e
+    | Ok (found, cells, truncated) -> (
+        match header_mismatch header found with
+        | Some msg -> Error (Mismatch msg)
+        | None -> (
+            try
+              if truncated then begin
+                (* appending after a torn final line would splice records
+                   together; rewrite the good prefix instead *)
+                let w = create ~path header in
+                List.iter
+                  (fun c ->
+                    output_string w.oc (Jsonl.encode_line (cell_fields c));
+                    output_char w.oc '\n')
+                  cells;
+                flush w.oc;
+                Ok (w, cells)
+              end
+              else
+                let oc =
+                  open_out_gen
+                    [ Open_wronly; Open_append; Open_binary ]
+                    0o644 path
+                in
+                Ok ({ oc; rename_to = None; tmp = path }, cells)
+            with Sys_error m -> Error (Io m)))
 
 let write_cell w c =
   Span.with_ ~cat:"persist" "journal.append" @@ fun () ->

@@ -49,6 +49,14 @@ type cell = {
 val key : cell -> string * int * int * string
 (** [(mode, seed, config, opt)] — the resume identity of a cell. *)
 
+val cell_to_json : cell -> Jsonl.t
+(** The cell's canonical record object — the same encoding a journal
+    line carries (minus the line checksum). Shared by the distributed
+    fabric's wire protocol so a cell has exactly one serialised form. *)
+
+val cell_of_json : Jsonl.t -> cell option
+(** Inverse of {!cell_to_json}; [None] on any malformed field. *)
+
 val index_cells : cell list -> (string * int * int * string, cell) Hashtbl.t
 
 type error =
@@ -68,6 +76,15 @@ val resume : path:string -> header -> (writer * cell list, error) result
     and identity parameters must match; a torn final line is discarded)
     and return its cells plus a writer on [path.tmp] carrying the new
     header. A missing file degrades to {!create} with no cells. *)
+
+val append : path:string -> header -> (writer * cell list, error) result
+(** Validate like {!resume}, but return a writer that appends to [path]
+    {e in place} — every {!write_cell} is immediately durable in the
+    file itself, with no commit-time rename. This is the scratch-journal
+    mode of the distributed fabric: cells land in arrival order (not
+    task order), so the file is a recovery record for {!load}, never a
+    byte-comparable artefact. A torn final line is dropped by rewriting
+    the good prefix; a missing file degrades to {!create}. *)
 
 val write_cell : writer -> cell -> unit
 (** Append one record and flush — the crash-safety point. *)

@@ -47,7 +47,21 @@ let sample_events =
         hash = "abcdef";
       };
     Eventlog.Pool_health
-      { submitted = 100; completed = 90; in_flight = 10; stalled_domains = [] };
+      {
+        worker = -1;
+        submitted = 100;
+        completed = 90;
+        in_flight = 10;
+        stalled_domains = [];
+      };
+    Eventlog.Pool_health
+      {
+        worker = 2;
+        submitted = 40;
+        completed = 30;
+        in_flight = 10;
+        stalled_domains = [ 2 ];
+      };
     Eventlog.Stage_timing [ ("exec", 12345); ("gen", 678) ];
     Eventlog.Watchdog
       {

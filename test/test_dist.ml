@@ -1,0 +1,466 @@
+(* The distributed fabric: wire framing robustness (torn, truncated,
+   corrupt and oversized frames), the checksummed protocol codec, the
+   lease tracker's awkward corners (duplicates, out-of-order replies,
+   expiry, worker death), the scratch-journal append mode — and the
+   subsystem's headline property: a coordinator plus loopback workers
+   collect a cell set byte-identical to the single-process run, even
+   when a worker dies mid-lease after streaming garbage-ordered
+   duplicates. *)
+
+let cell_str c = Jsonl.to_string (Journal.cell_to_json c)
+
+let check_cells label expected got =
+  Alcotest.(check (list string))
+    label
+    (List.map cell_str expected)
+    (List.map cell_str got)
+
+let mk_cell ?(mode = "m") ?(opt = "-") ?(config = 1) index =
+  {
+    Journal.index;
+    seed = 1000 + index;
+    mode;
+    config;
+    opt;
+    outcomes = [ Outcome.Success (Printf.sprintf "v%d" index) ];
+    note = "";
+  }
+
+(* --- wire framing --- *)
+
+let drain dec =
+  let rec go acc =
+    match Wire.next dec with
+    | `Frame p -> go (p :: acc)
+    | `Awaiting -> Ok (List.rev acc)
+    | `Corrupt m -> Error m
+  in
+  go []
+
+let test_wire_roundtrip () =
+  let payloads = [ "a"; ""; String.make 5000 'x'; "{\"k\":\"v\"}" ] in
+  (* all frames in one feed *)
+  let dec = Wire.decoder () in
+  Wire.feed_string dec (String.concat "" (List.map Wire.frame payloads));
+  (match drain dec with
+  | Ok got -> Alcotest.(check (list string)) "one feed" payloads got
+  | Error m -> Alcotest.failf "corrupt: %s" m);
+  (* the same bytes fed one byte at a time *)
+  let dec = Wire.decoder () in
+  let got = ref [] in
+  String.iter
+    (fun ch ->
+      Wire.feed_string dec (String.make 1 ch);
+      match drain dec with
+      | Ok ps -> got := !got @ ps
+      | Error m -> Alcotest.failf "corrupt byte-by-byte: %s" m)
+    (String.concat "" (List.map Wire.frame payloads));
+  Alcotest.(check (list string)) "byte-by-byte" payloads !got
+
+let test_wire_torn () =
+  let whole = Wire.frame "hello world" in
+  (* every strict prefix is a clean [`Awaiting], never corruption *)
+  for cut = 0 to String.length whole - 1 do
+    let dec = Wire.decoder () in
+    Wire.feed_string dec (String.sub whole 0 cut);
+    match Wire.next dec with
+    | `Awaiting -> ()
+    | `Frame _ -> Alcotest.failf "prefix of %d bytes produced a frame" cut
+    | `Corrupt m -> Alcotest.failf "prefix of %d bytes corrupt: %s" cut m
+  done
+
+let corrupt_after label bytes =
+  let dec = Wire.decoder () in
+  Wire.feed_string dec bytes;
+  (match Wire.next dec with
+  | `Corrupt _ -> ()
+  | `Frame _ | `Awaiting -> Alcotest.failf "%s not flagged" label);
+  (* corruption is sticky: feeding a good frame does not resynchronise *)
+  Wire.feed_string dec (Wire.frame "good");
+  match Wire.next dec with
+  | `Corrupt _ -> ()
+  | `Frame _ | `Awaiting -> Alcotest.failf "%s corruption not sticky" label
+
+let test_wire_corrupt () =
+  corrupt_after "non-numeric length" "nope\npayload\n";
+  corrupt_after "negative length" "-4\nabcd\n";
+  corrupt_after "oversized length"
+    (Printf.sprintf "%d\n" (Wire.max_frame + 1));
+  corrupt_after "bad terminator" "4\nabcdX";
+  (* a length header longer than max_frame's digits is rejected without
+     waiting for the newline *)
+  corrupt_after "runaway length header" (String.make 32 '9')
+
+(* --- protocol codec --- *)
+
+let small_spec campaign =
+  match
+    Spec.make ~campaign ~n:1 ~config_ids:[ 1; 12 ] ~gen_size:2 ()
+  with
+  | Ok s -> s
+  | Error m -> Alcotest.failf "spec: %s" m
+
+let test_proto_roundtrip () =
+  let msgs =
+    [
+      Proto.Hello { proto = Proto.version; pid = 42; host = "h" };
+      Proto.Welcome { worker_id = 3; spec = small_spec "table4" };
+      Proto.Welcome { worker_id = 0; spec = small_spec "fuzz" };
+      Proto.Sync { cells = [ mk_cell 0; mk_cell 1 ] };
+      Proto.Lease { lease_id = 9; gen = 2; lo = 16; hi = 24 };
+      Proto.Cell { lease_id = 9; cell = mk_cell 17 };
+      Proto.Done { lease_id = 9; executed = 8 };
+      Proto.Beat;
+      Proto.Shutdown;
+    ]
+  in
+  List.iter
+    (fun m ->
+      let s = Proto.encode m in
+      match Proto.decode s with
+      | Error e -> Alcotest.failf "decode failed: %s (%s)" e s
+      | Ok m' ->
+          Alcotest.(check string)
+            "re-encode is stable" s (Proto.encode m'))
+    msgs
+
+let test_proto_checksum () =
+  let s = Proto.encode (Proto.Done { lease_id = 1; executed = 2 }) in
+  (* flip one payload byte: the per-line MD5 must catch it *)
+  let i = String.length s / 2 in
+  let flipped =
+    String.mapi (fun j c -> if j = i then Char.chr (Char.code c lxor 1) else c) s
+  in
+  match Proto.decode flipped with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "flipped byte accepted"
+
+let test_addr_parse () =
+  (match Proto.addr_of_string "unix:/tmp/x.sock" with
+  | Ok (Proto.Unix_sock "/tmp/x.sock") -> ()
+  | _ -> Alcotest.fail "unix addr");
+  (match Proto.addr_of_string "127.0.0.1:9000" with
+  | Ok (Proto.Tcp ("127.0.0.1", 9000)) -> ()
+  | _ -> Alcotest.fail "tcp addr");
+  List.iter
+    (fun s ->
+      match Proto.addr_of_string s with
+      | Ok _ -> Alcotest.failf "accepted %S" s
+      | Error _ -> ())
+    [ "noport"; "host:"; "host:notint"; "host:0"; "host:70000"; "" ]
+
+(* --- lease tracker --- *)
+
+let test_lease_lifecycle () =
+  let t = Lease.create ~chunk:4 ~boundaries:[ (0, 10) ] () in
+  Alcotest.(check int) "total" 10 (Lease.total t);
+  let l1 = Option.get (Lease.next t ~worker:0 ~now:0L) in
+  Alcotest.(check (pair int int)) "first lease" (0, 4) (l1.Lease.lo, l1.Lease.hi);
+  Alcotest.(check int) "no dependencies" 0 (Lease.sync_upto t l1);
+  let l2 = Option.get (Lease.next t ~worker:1 ~now:0L) in
+  Alcotest.(check (pair int int)) "second lease" (4, 8) (l2.Lease.lo, l2.Lease.hi);
+  (* out-of-order arrival within the lease, then duplicates *)
+  List.iter
+    (fun i ->
+      match Lease.record t ~lease_id:l1.Lease.lease_id ~now:1L (mk_cell i) with
+      | `Fresh -> ()
+      | _ -> Alcotest.failf "cell %d not fresh" i)
+    [ 3; 1; 0; 2 ];
+  (match Lease.record t ~lease_id:l1.Lease.lease_id ~now:2L (mk_cell 3) with
+  | `Dup -> ()
+  | _ -> Alcotest.fail "duplicate not folded");
+  (match Lease.record t ~lease_id:l1.Lease.lease_id ~now:2L (mk_cell 99) with
+  | `Out_of_range -> ()
+  | _ -> Alcotest.fail "out-of-range accepted");
+  Lease.finish t ~lease_id:l1.Lease.lease_id;
+  (* a cell from an unknown (already-finished) lease still counts:
+     determinism makes a late duplicate's bytes correct *)
+  (match Lease.record t ~lease_id:l2.Lease.lease_id ~now:3L (mk_cell 4) with
+  | `Fresh -> ()
+  | _ -> Alcotest.fail "late cell refused");
+  Alcotest.(check int) "collected" 5 (Lease.collected t);
+  check_cells "range" [ mk_cell 0; mk_cell 1 ] (Lease.range t ~lo:0 ~hi:2)
+
+let test_lease_expiry () =
+  let t = Lease.create ~chunk:8 ~boundaries:[ (0, 8) ] () in
+  let l = Option.get (Lease.next t ~worker:0 ~now:0L) in
+  ignore (Lease.record t ~lease_id:l.Lease.lease_id ~now:100L (mk_cell 0));
+  (* the streamed cell refreshed the heartbeat, so expiry is measured
+     from it *)
+  Alcotest.(check int) "fresh lease survives" 0
+    (List.length (Lease.expire t ~now:150L ~ttl_ns:100L));
+  (match Lease.expire t ~now:201L ~ttl_ns:100L with
+  | [ (l', w) ] ->
+      Alcotest.(check int) "expired lease" l.Lease.lease_id l'.Lease.lease_id;
+      Alcotest.(check int) "expired worker" 0 w
+  | other -> Alcotest.failf "%d leases expired" (List.length other));
+  (* the uncollected remainder is leasable again; the collected cell is
+     not re-granted *)
+  let l2 = Option.get (Lease.next t ~worker:1 ~now:300L) in
+  Alcotest.(check (pair int int)) "requeued range" (1, 8)
+    (l2.Lease.lo, l2.Lease.hi);
+  (* worker death requeues the same way *)
+  (match Lease.release_worker t ~worker:1 with
+  | [ l' ] -> Alcotest.(check int) "released" l2.Lease.lease_id l'.Lease.lease_id
+  | other -> Alcotest.failf "%d leases released" (List.length other));
+  let l3 = Option.get (Lease.next t ~worker:2 ~now:400L) in
+  Alcotest.(check (pair int int)) "re-requeued range" (1, 8)
+    (l3.Lease.lo, l3.Lease.hi)
+
+let test_lease_generations () =
+  let t = Lease.create ~chunk:2 ~boundaries:[ (0, 4); (4, 8) ] () in
+  Alcotest.(check int) "frontier opens at 0" 0 (Lease.frontier t);
+  let l1 = Option.get (Lease.next t ~worker:0 ~now:0L) in
+  let l2 = Option.get (Lease.next t ~worker:1 ~now:0L) in
+  (* the whole frontier generation is covered by live leases: the next
+     generation must NOT open early *)
+  Alcotest.(check bool) "no cross-generation lease" true
+    (Lease.next t ~worker:2 ~now:0L = None);
+  List.iter
+    (fun i -> ignore (Lease.record t ~lease_id:l1.Lease.lease_id ~now:1L (mk_cell i)))
+    [ 0; 1 ];
+  Lease.finish t ~lease_id:l1.Lease.lease_id;
+  Alcotest.(check bool) "generation still incomplete" true
+    (Lease.next t ~worker:2 ~now:1L = None);
+  List.iter
+    (fun i -> ignore (Lease.record t ~lease_id:l2.Lease.lease_id ~now:2L (mk_cell i)))
+    [ 2; 3 ];
+  Lease.finish t ~lease_id:l2.Lease.lease_id;
+  Alcotest.(check int) "frontier advanced" 1 (Lease.frontier t);
+  let l3 = Option.get (Lease.next t ~worker:2 ~now:3L) in
+  Alcotest.(check (pair int int)) "generation-1 lease" (4, 6)
+    (l3.Lease.lo, l3.Lease.hi);
+  Alcotest.(check int) "generation-1 sync prefix" 4 (Lease.sync_upto t l3)
+
+let test_lease_prefill () =
+  let t = Lease.create ~chunk:4 ~boundaries:[ (0, 6) ] () in
+  Lease.prefill t [ mk_cell 0; mk_cell 1; mk_cell 5; mk_cell 99 ];
+  Alcotest.(check int) "prefilled" 3 (Lease.collected t);
+  let l = Option.get (Lease.next t ~worker:0 ~now:0L) in
+  (* the free run stops at the already-collected cell 5 *)
+  Alcotest.(check (pair int int)) "lease skips known cells" (2, 5)
+    (l.Lease.lo, l.Lease.hi);
+  List.iter
+    (fun i -> ignore (Lease.record t ~lease_id:l.Lease.lease_id ~now:1L (mk_cell i)))
+    [ 2; 3; 4 ];
+  Lease.finish t ~lease_id:l.Lease.lease_id;
+  Alcotest.(check bool) "complete" true (Lease.complete t);
+  check_cells "index order with prefill"
+    (List.map mk_cell [ 0; 1; 2; 3; 4; 5 ])
+    (Lease.cells t)
+
+(* --- scratch journal (append mode) --- *)
+
+let test_journal_append () =
+  let path = Filename.temp_file "dist_scratch" ".jsonl" in
+  Sys.remove path;
+  let header =
+    Journal.make_header ~campaign:"t" ~ident:[ ("a", "1") ] ~scale:[]
+  in
+  (match Journal.append ~path header with
+  | Error e -> Alcotest.failf "fresh append: %s" (Journal.error_to_string e)
+  | Ok (w, cells) ->
+      Alcotest.(check int) "fresh file has no cells" 0 (List.length cells);
+      Journal.write_cell w (mk_cell 1);
+      Journal.write_cell w (mk_cell 0);
+      Journal.commit w);
+  (* reopen: arrival order preserved, appends continue in place *)
+  (match Journal.append ~path header with
+  | Error e -> Alcotest.failf "reopen: %s" (Journal.error_to_string e)
+  | Ok (w, cells) ->
+      check_cells "arrival order" [ mk_cell 1; mk_cell 0 ] cells;
+      Journal.write_cell w (mk_cell 2);
+      Journal.commit w);
+  (* a torn final line is dropped, the good prefix survives *)
+  let oc = open_out_gen [ Open_append ] 0o644 path in
+  output_string oc "{\"torn";
+  close_out oc;
+  (match Journal.append ~path header with
+  | Error e -> Alcotest.failf "torn reopen: %s" (Journal.error_to_string e)
+  | Ok (w, cells) ->
+      check_cells "torn tail dropped"
+        [ mk_cell 1; mk_cell 0; mk_cell 2 ]
+        cells;
+      Journal.commit w);
+  (* identity mismatch still refused *)
+  let other =
+    Journal.make_header ~campaign:"t" ~ident:[ ("a", "2") ] ~scale:[]
+  in
+  (match Journal.append ~path other with
+  | Error (Journal.Mismatch _) -> ()
+  | _ -> Alcotest.fail "identity mismatch accepted");
+  Sys.remove path
+
+(* --- loopback fabric integration --- *)
+
+let with_sock f =
+  let path = Filename.temp_file "dist" ".sock" in
+  Sys.remove path;
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () -> f (Proto.Unix_sock path))
+
+let ground_truth spec =
+  let cells = ref [] in
+  let (_ : Spec.summary) =
+    Spec.run_local ~jobs:1 ~sink:(fun c -> cells := c :: !cells) spec
+  in
+  List.rev !cells
+
+(* run a coordinator over [clients] (each a thunk spawned in its own
+   domain) and return the collected cell set *)
+let fabric ?chunk ~workers ~clients spec =
+  with_sock @@ fun addr ->
+  let doms = List.map (fun th -> Domain.spawn (fun () -> th addr)) clients in
+  let res = Coordinator.serve ~addr ~spec ~workers ?chunk () in
+  List.iter Domain.join doms;
+  match res with
+  | Ok cells -> cells
+  | Error e -> Alcotest.failf "coordinator: %s" e
+
+let worker addr =
+  match Dist_worker.run ~addr ~jobs:1 () with
+  | Ok (_ : int) -> ()
+  | Error e -> Alcotest.failf "worker: %s" e
+
+let test_fabric_table () =
+  let spec = small_spec "table4" in
+  let truth = ground_truth spec in
+  let cells =
+    fabric ~chunk:5 ~workers:2 ~clients:[ worker; worker ] spec
+  in
+  check_cells "table4 grid over 2 workers" truth cells;
+  (* the merge of the collected set replays without executing: its
+     journal stream is the single-process stream *)
+  let merged = ref [] in
+  let (_ : Spec.summary) =
+    Spec.run_local ~jobs:1 ~sink:(fun c -> merged := c :: !merged)
+      ~resume:cells spec
+  in
+  check_cells "merged journal stream" truth (List.rev !merged)
+
+let test_fabric_fuzz () =
+  (* two generations: leases cross a sync barrier, so workers run the
+     frontier only after receiving the complete prefix *)
+  let spec =
+    match
+      Spec.make ~campaign:"fuzz" ~n:4 ~config_ids:[ 1; 12 ] ~gen_size:2 ()
+    with
+    | Ok s -> s
+    | Error m -> Alcotest.failf "spec: %s" m
+  in
+  Alcotest.(check int) "two generations" 2
+    (List.length (Spec.boundaries spec));
+  let truth = ground_truth spec in
+  let cells = fabric ~workers:2 ~clients:[ worker; worker ] spec in
+  check_cells "fuzz generations over 2 workers" truth cells
+
+(* a protocol-conformant client that takes a lease, streams half of it
+   in reverse order with a duplicate, then dies without Done — the
+   torn-worker case the lease tracker must absorb *)
+let half_shard_client truth addr =
+  let sa =
+    match Proto.sockaddr_of addr with
+    | Ok s -> s
+    | Error e -> failwith e
+  in
+  let rec conn tries =
+    let fd = Unix.socket (Unix.domain_of_sockaddr sa) Unix.SOCK_STREAM 0 in
+    match Unix.connect fd sa with
+    | () -> fd
+    | exception Unix.Unix_error _ when tries > 0 ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        Unix.sleepf 0.05;
+        conn (tries - 1)
+  in
+  let fd = conn 100 in
+  let dec = Wire.decoder () in
+  let buf = Bytes.create 4096 in
+  let send msg =
+    let s = Wire.frame (Proto.encode msg) in
+    ignore (Unix.write_substring fd s 0 (String.length s))
+  in
+  let rec recv () =
+    match Wire.next dec with
+    | `Frame p -> (
+        match Proto.decode p with Ok m -> m | Error e -> failwith e)
+    | `Corrupt e -> failwith e
+    | `Awaiting -> (
+        match Unix.read fd buf 0 (Bytes.length buf) with
+        | 0 -> failwith "closed"
+        | n ->
+            Wire.feed dec buf n;
+            recv ())
+  in
+  send (Proto.Hello { proto = Proto.version; pid = 0; host = "half" });
+  let rec until_lease () =
+    match recv () with
+    | Proto.Lease { lease_id; lo; hi; _ } -> (lease_id, lo, hi)
+    | _ -> until_lease ()
+  in
+  let lease_id, lo, hi = until_lease () in
+  let half = lo + ((hi - lo) / 2) in
+  let mine =
+    List.filter
+      (fun c -> c.Journal.index >= lo && c.Journal.index < half)
+      truth
+  in
+  (* reverse order, then one duplicate: arrival order must not matter *)
+  List.iter
+    (fun cell -> send (Proto.Cell { lease_id; cell }))
+    (List.rev mine);
+  (match mine with
+  | cell :: _ -> send (Proto.Cell { lease_id; cell })
+  | [] -> ());
+  (* die mid-lease: no Done, just a dropped connection *)
+  Unix.close fd
+
+let test_fabric_torn_worker () =
+  let spec = small_spec "table4" in
+  let truth = ground_truth spec in
+  let cells =
+    fabric ~chunk:24 ~workers:2
+      ~clients:[ half_shard_client truth; worker ]
+      spec
+  in
+  check_cells "mid-lease death recovered byte-identically" truth cells
+
+let () =
+  Alcotest.run "dist"
+    [
+      ( "wire",
+        [
+          Alcotest.test_case "frame round-trips" `Quick test_wire_roundtrip;
+          Alcotest.test_case "torn frames await" `Quick test_wire_torn;
+          Alcotest.test_case "corruption detected, sticky" `Quick
+            test_wire_corrupt;
+        ] );
+      ( "proto",
+        [
+          Alcotest.test_case "message round-trips" `Quick test_proto_roundtrip;
+          Alcotest.test_case "checksum mismatch rejected" `Quick
+            test_proto_checksum;
+          Alcotest.test_case "address parsing" `Quick test_addr_parse;
+        ] );
+      ( "lease",
+        [
+          Alcotest.test_case "lifecycle, dup, out-of-order" `Quick
+            test_lease_lifecycle;
+          Alcotest.test_case "expiry and worker death requeue" `Quick
+            test_lease_expiry;
+          Alcotest.test_case "generation barriers" `Quick
+            test_lease_generations;
+          Alcotest.test_case "resume prefill" `Quick test_lease_prefill;
+        ] );
+      ( "scratch",
+        [ Alcotest.test_case "append journal" `Quick test_journal_append ] );
+      ( "fabric",
+        [
+          Alcotest.test_case "table grid byte-identical" `Slow
+            test_fabric_table;
+          Alcotest.test_case "fuzz generations byte-identical" `Slow
+            test_fabric_fuzz;
+          Alcotest.test_case "worker death mid-lease" `Slow
+            test_fabric_torn_worker;
+        ] );
+    ]
