@@ -318,13 +318,16 @@ let dist () =
   let sock = Filename.temp_file "bench_dist" ".sock" in
   Sys.remove sock;
   let addr = Proto.Unix_sock sock in
+  (* fleet telemetry rides along: per-worker attribution and the fleet
+     rate come out of the same run that times the fabric *)
+  let fleet = Fleet.create ~total ~now:(Mclock.now_ns ()) () in
   let t0 = Unix.gettimeofday () in
   let doms =
     List.init workers (fun _ ->
         Domain.spawn (fun () -> Dist_worker.run ~addr ~jobs:1 ()))
   in
   let collected =
-    match Coordinator.serve ~addr ~spec ~workers () with
+    match Coordinator.serve ~addr ~spec ~workers ~fleet () with
     | Ok cells -> cells
     | Error e -> failwith ("coordinator: " ^ e)
   in
@@ -341,10 +344,23 @@ let dist () =
   in
   let dt = Unix.gettimeofday () -. t0 in
   let identical = String.equal local merged in
+  Fleet.note_local fleet (total - List.length collected);
+  let snap =
+    Fleet.snapshot fleet ~now:(Mclock.now_ns ())
+      ~collected:(List.length collected) ~in_flight:0
+  in
   Printf.printf
     "%d cells over %d loopback workers in %.2fs (%.1f cells/s)\n" total
     workers dt
     (float total /. dt);
+  Printf.printf "per-worker cells: %s; fleet %d.%d cells/s; lease p50 %d ms\n"
+    (String.concat "/"
+       (List.map
+          (fun (r : Fleet.row) -> string_of_int r.Fleet.cells)
+          snap.Fleet.rows))
+    (snap.Fleet.fleet_milli / 1000)
+    (snap.Fleet.fleet_milli mod 1000 / 100)
+    (match snap.Fleet.rows with r :: _ -> r.Fleet.lease_p50_ms | [] -> 0);
   Printf.printf "merged table byte-identical to single-process: %b\n" identical;
   if not identical then
     prerr_endline "ERROR: distributed merge diverged from single-process run";
@@ -352,12 +368,18 @@ let dist () =
     Printf.sprintf
       "{\"bench\":\"dist_loopback\",\"schema\":1,\"cells\":%d,\"workers\":%d,\
        \"jobs\":1,\"t_s\":%.3f,\"cells_per_s\":%.1f,\"identical\":%b,\
+       \"worker_cells\":[%s],\"fleet_rate_milli\":%d,\
        \"host\":{\"cores\":%d,\"ocaml\":%S,\"os\":%S,\"word_size\":%d,\
        \"commit\":%S}}"
       total workers dt
       (float total /. dt)
-      identical (Hostinfo.cores ()) Hostinfo.ocaml_version Hostinfo.os_type
-      Hostinfo.word_size
+      identical
+      (String.concat ","
+         (List.map
+            (fun (r : Fleet.row) -> string_of_int r.Fleet.cells)
+            snap.Fleet.rows))
+      snap.Fleet.fleet_milli (Hostinfo.cores ()) Hostinfo.ocaml_version
+      Hostinfo.os_type Hostinfo.word_size
       (Hostinfo.git_commit ())
   in
   Printf.printf "BENCH-JSON %s\n" payload;

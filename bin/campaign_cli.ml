@@ -106,6 +106,17 @@ let metrics_arg =
            JSON after the run. The deterministic totals are identical across \
            $(b,-j) values.")
 
+let prom_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "prom" ] ~docv:"FILE"
+        ~doc:
+          "Dump the metrics registry to $(docv) in Prometheus text \
+           exposition format after the run — every counter, plus \
+           cumulative power-of-two histogram buckets — ready for a \
+           textfile collector to scrape.")
+
 let trace_arg =
   Arg.(
     value
@@ -162,6 +173,7 @@ let watchdog_abort_arg =
 (* everything observability-related that rides alongside a campaign *)
 type obs_opts = {
   o_metrics : string option;
+  o_prom : string option;
   o_trace : string option;
   o_progress : bool;
   o_events : string option;
@@ -170,12 +182,14 @@ type obs_opts = {
 }
 
 let telemetry_term =
-  let combine o_metrics o_trace o_progress o_events o_wd_timeout o_wd_abort =
-    { o_metrics; o_trace; o_progress; o_events; o_wd_timeout; o_wd_abort }
+  let combine o_metrics o_prom o_trace o_progress o_events o_wd_timeout
+      o_wd_abort =
+    { o_metrics; o_prom; o_trace; o_progress; o_events; o_wd_timeout;
+      o_wd_abort }
   in
   Term.(
-    const combine $ metrics_arg $ trace_arg $ progress_arg $ events_arg
-    $ watchdog_timeout_arg $ watchdog_abort_arg)
+    const combine $ metrics_arg $ prom_arg $ trace_arg $ progress_arg
+    $ events_arg $ watchdog_timeout_arg $ watchdog_abort_arg)
 
 (* one short class tag per journalled cell, for the progress tallies *)
 let tag_of_cell (c : Journal.cell) =
@@ -204,7 +218,7 @@ let stage_totals spans =
    that produce their own lifecycle events (fuzz). Telemetry never
    touches stdout, the table or the journal; a file that cannot be
    written fails the run only after the campaign itself finished. *)
-let with_telemetry ~telemetry:t ~header ~label ~total k =
+let with_telemetry ~telemetry:t ?fleet_groups ~header ~label ~total k =
   if t.o_trace <> None then begin
     Span.reset ();
     Span.enable ()
@@ -310,6 +324,17 @@ let with_telemetry ~telemetry:t ~header ~label ~total k =
         | None -> 0
         | Some path -> write_json path (Metrics.to_json ())
       in
+      let rc_prom =
+        match t.o_prom with
+        | None -> 0
+        | Some path -> (
+            try
+              let oc = open_out path in
+              output_string oc (Metrics.to_prometheus ());
+              close_out oc;
+              0
+            with Sys_error m -> fail "%s" m)
+      in
       let rc_trace =
         match t.o_trace with
         | None -> 0
@@ -319,14 +344,21 @@ let with_telemetry ~telemetry:t ~header ~label ~total k =
             (match stage_totals spans with
             | [] -> ()
             | stages -> emit_ev (Eventlog.Stage_timing stages));
+            (* worker span buffers shipped over the fabric merge into
+               the same trace, one pid per worker with the coordinator
+               as pid 0 *)
+            let groups =
+              match fleet_groups with None -> [] | Some f -> f ()
+            in
             (try
-               Trace.write ~path spans;
+               (if groups = [] then Trace.write ~path spans
+                else Trace.write_groups ~path (("coordinator", spans) :: groups));
                0
              with Sys_error m -> fail "%s" m)
       in
       emit_ev (Eventlog.Campaign_end { cells = !cells_seen });
       (match ev_writer with Some w -> Eventlog.close w | None -> ());
-      max rc (max rc_metrics rc_trace)
+      max rc (max rc_metrics (max rc_prom rc_trace))
 
 (* run [k sink resumed_cells] under the requested journal plumbing *)
 let with_journal ~header ~journal ~resume k =
@@ -823,9 +855,22 @@ let ttl_arg =
           "Heartbeat expiry: a lease silent for $(docv) seconds is \
            revoked and re-granted (streamed cells count as beats).")
 
+let status_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "status" ] ~docv:"FILE|ADDR"
+        ~doc:
+          "Publish a live fleet status snapshot — one checksummed JSON \
+           line. A plain $(docv) is a file, atomically rewritten about \
+           twice a second; $(b,unix:PATH) or $(b,HOST:PORT) serves one \
+           snapshot per connection (fabric phase only). Read either with \
+           $(b,campaign status). Campaign output is byte-identical with \
+           or without it.")
+
 let coordinate_cmd =
   let run campaign addr workers chunk ttl n seed variants gen_size no_feedback
-      minimize jobs fuel journal resume out telemetry =
+      minimize jobs fuel journal resume out status telemetry =
     let n =
       match n with
       | Some n -> n
@@ -861,9 +906,60 @@ let coordinate_cmd =
               in
               Some (max 1 per)
         in
-        with_telemetry ~telemetry ~header ~label:("dist-" ^ campaign) ~total
-        @@ fun wrap ev ->
         let mon = Coordinator.monitor () in
+        let fleet = Fleet.create ~total ~now:(Mclock.now_ns ()) () in
+        let phase = ref "fabric" in
+        (* (collected, in_flight), fed from the coordinator's probe each
+           tick; read unsynchronised by the watchdog domain — a stale
+           pair only skews a monitoring snapshot *)
+        let counts = ref (0, 0) in
+        let fleet_snapshot () =
+          let collected, in_flight = !counts in
+          Fleet.snapshot fleet ~now:(Mclock.now_ns ()) ~collected ~in_flight
+        in
+        let fleet_line () =
+          Fleet.snapshot_to_line ~campaign ~phase:!phase (fleet_snapshot ())
+        in
+        let status_mode =
+          match status with
+          | None -> `Off
+          | Some s -> (
+              match Proto.addr_of_string s with
+              | Ok a -> `Sock a
+              | Error _ -> `File s)
+        in
+        let status_addr =
+          match status_mode with `Sock a -> Some a | `Off | `File _ -> None
+        in
+        let last_status = ref Int64.min_int in
+        let write_status ?(force = false) () =
+          match status_mode with
+          | `Off | `Sock _ -> ()
+          | `File path ->
+              let now = Mclock.now_ns () in
+              if force || Int64.sub now !last_status >= 500_000_000L then begin
+                last_status := now;
+                (* tmp + rename: a reader never sees a torn snapshot *)
+                let tmp = path ^ ".tmp" in
+                try
+                  let oc = open_out tmp in
+                  output_string oc (fleet_line ());
+                  output_char oc '\n';
+                  close_out oc;
+                  Sys.rename tmp path
+                with Sys_error _ -> ()
+              end
+        in
+        let on_tick (_ : int64) =
+          (match Coordinator.probe mon () with
+          | Some (c, i, _) -> counts := (c, i)
+          | None -> ());
+          write_status ()
+        in
+        with_telemetry ~telemetry
+          ~fleet_groups:(fun () -> Fleet.span_groups fleet)
+          ~header ~label:("dist-" ^ campaign) ~total
+        @@ fun wrap ev ->
         let dist_wd =
           match telemetry.o_wd_timeout with
           | None -> None
@@ -903,7 +999,31 @@ let coordinate_cmd =
                            in_flight = s.Watchdog.in_flight;
                            stalled_domains = s.Watchdog.stalled_domains;
                          }))
-                  s.Watchdog.stalled_domains
+                  s.Watchdog.stalled_domains;
+                (* the per-worker fleet snapshot the watchdog saw, so the
+                   incident names who was slow, not just that the fabric
+                   was *)
+                let snap = fleet_snapshot () in
+                ev
+                  (Eventlog.Fleet_health
+                     {
+                       total = snap.Fleet.total;
+                       collected = snap.Fleet.collected;
+                       in_flight = snap.Fleet.in_flight;
+                       fleet_milli = snap.Fleet.fleet_milli;
+                       workers =
+                         List.map
+                           (fun (r : Fleet.row) ->
+                             {
+                               Eventlog.fw_worker = r.Fleet.worker;
+                               fw_cells = r.Fleet.cells;
+                               fw_rate_milli = r.Fleet.rate_milli;
+                               fw_last_ms = r.Fleet.last_ms;
+                               fw_alive = r.Fleet.alive;
+                               fw_straggler = r.Fleet.straggler;
+                             })
+                           snap.Fleet.rows;
+                     })
               in
               let abort =
                 if telemetry.o_wd_abort then
@@ -956,30 +1076,60 @@ let coordinate_cmd =
                         | w -> (Some w, [])
                         | exception Sys_error m -> raise (Dist_failed m))
                   in
+                  (* resumed/salvaged cells were produced locally (or in a
+                     prior life): they are this process's contribution, so
+                     worker cells + local cells still sum to the grid *)
+                  let prefilled = List.length cells + List.length salvaged in
+                  counts := (prefilled, 0);
+                  Fleet.note_local fleet prefilled;
+                  let fprog =
+                    if telemetry.o_progress then
+                      Some
+                        (Progress.create ~label:("fleet-" ^ campaign)
+                           ~start:prefilled ~total ())
+                    else None
+                  in
                   let on_cell c =
+                    (match fprog with
+                    | Some p -> Progress.step p ~tag:(tag_of_cell c)
+                    | None -> ());
                     match sw with
                     | None -> ()
                     | Some w -> Journal.write_cell w c
                   in
+                  write_status ~force:true ();
                   let collected =
                     match
                       try
                         Coordinator.serve ~addr ~spec ~workers ?chunk
                           ~lease_ttl_ms:(ttl * 1000)
-                          ~resume:(cells @ salvaged) ~monitor:mon ~on_event
-                          ~on_cell ()
+                          ~resume:(cells @ salvaged) ~monitor:mon ~fleet
+                          ~telemetry:(telemetry.o_trace <> None)
+                          ?status_addr ~status_payload:fleet_line ~on_tick
+                          ~on_event ~on_cell ()
                       with Unix.Unix_error (e, fn, _) ->
                         Error (Printf.sprintf "%s: %s" fn (Unix.error_message e))
                     with
                     | Ok collected -> collected
                     | Error e -> raise (Dist_failed e)
                   in
+                  (match fprog with Some p -> Progress.finish p | None -> ());
                   (match sw with Some w -> Journal.commit w | None -> ());
+                  phase := "merge";
+                  counts := (List.length collected, 0);
+                  Fleet.note_local fleet (total - List.length collected);
+                  write_status ~force:true ();
                   (* the deterministic merge IS an ordinary local run that
                      replays every collected cell — and executes whatever
                      the fabric failed to deliver *)
-                  Spec.run_local ~jobs ?sink:(wrap sink) ~events:ev
-                    ~resume:collected spec)
+                  let r =
+                    Spec.run_local ~jobs ?sink:(wrap sink) ~events:ev
+                      ~resume:collected spec
+                  in
+                  phase := "done";
+                  counts := (total, 0);
+                  write_status ~force:true ();
+                  r)
             with Dist_failed m -> Error m
           with
           | Error m -> fail "%s" m
@@ -1034,7 +1184,110 @@ let coordinate_cmd =
           value & flag
           & info [ "minimize" ] ~doc:"Minimize admitted seeds (fuzz).")
       $ jobs_arg $ fuel_arg $ journal_arg $ resume_arg $ out_arg
-      $ telemetry_term)
+      $ status_arg $ telemetry_term)
+
+let status_cmd =
+  let read_file path =
+    try
+      let ic = open_in path in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          match input_line ic with
+          | line -> Ok line
+          | exception End_of_file -> Error "empty status file")
+    with Sys_error m -> Error m
+  in
+  let read_sock addr =
+    match Proto.sockaddr_of addr with
+    | Error e -> Error e
+    | Ok sa -> (
+        let fd = Unix.socket (Unix.domain_of_sockaddr sa) Unix.SOCK_STREAM 0 in
+        Fun.protect
+          ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+          (fun () ->
+            match Unix.connect fd sa with
+            | exception Unix.Unix_error (e, _, _) ->
+                Error (Unix.error_message e)
+            | () ->
+                let b = Buffer.create 4096 in
+                let buf = Bytes.create 4096 in
+                let rec drain () =
+                  match Unix.read fd buf 0 (Bytes.length buf) with
+                  | 0 -> ()
+                  | n ->
+                      Buffer.add_subbytes b buf 0 n;
+                      drain ()
+                  | exception Unix.Unix_error _ -> ()
+                in
+                drain ();
+                (match String.index_opt (Buffer.contents b) '\n' with
+                | Some i -> Ok (String.sub (Buffer.contents b) 0 i)
+                | None ->
+                    if Buffer.length b > 0 then Ok (Buffer.contents b)
+                    else Error "empty status reply")))
+  in
+  let fetch target =
+    (* same address grammar as --status: if it parses as an endpoint it
+       is one; anything else is a snapshot file *)
+    match Proto.addr_of_string target with
+    | Ok a -> read_sock a
+    | Error _ -> read_file target
+  in
+  let run target watch =
+    let once () =
+      match fetch target with
+      | Error m -> Error m
+      | Ok line -> (
+          match Fleet.snapshot_of_line line with
+          | Error m -> Error m
+          | Ok (campaign, phase, snap) ->
+              print_string (Fleet.to_table ~campaign ~phase snap);
+              flush stdout;
+              Ok phase)
+    in
+    if watch <= 0 then
+      match once () with Ok _ -> 0 | Error m -> fail "status: %s" m
+    else
+      (* keep polling through transient failures (coordinator not up
+         yet, snapshot mid-rename) but give up after a run of them *)
+      let rec loop failures =
+        match once () with
+        | Ok "done" -> 0
+        | Ok _ ->
+            Unix.sleepf (float_of_int watch);
+            loop 0
+        | Error m ->
+            if failures >= 5 then fail "status: %s" m
+            else begin
+              Unix.sleepf (float_of_int watch);
+              loop (failures + 1)
+            end
+      in
+      loop 0
+  in
+  Cmd.v
+    (Cmd.info "status"
+       ~doc:
+         "Render a coordinator's live fleet status: per-worker throughput, \
+          lease latency, transport totals and straggler flags, plus the \
+          fleet-wide rate and ETA. Reads the snapshot a $(b,coordinate \
+          --status) run publishes — a file or a status socket address.")
+    Term.(
+      const run
+      $ Arg.(
+          required
+          & pos 0 (some string) None
+          & info [] ~docv:"FILE|ADDR"
+              ~doc:
+                "Status target: the $(b,--status) file, or the status \
+                 socket as $(b,unix:PATH) / $(b,HOST:PORT).")
+      $ Arg.(
+          value & opt int 0
+          & info [ "watch" ] ~docv:"SECS"
+              ~doc:
+                "Redraw every $(docv) seconds until the snapshot reports \
+                 phase $(b,done). Default: render once and exit."))
 
 let worker_cmd =
   let run addr jobs retries journal =
@@ -1092,7 +1345,7 @@ let () =
           (Cmd.info "campaign" ~doc:"Reproduce the paper's experiments")
           [
             table1_cmd; table2_cmd; table3_cmd; table4_cmd; table5_cmd;
-            fuzz_cmd; triage_cmd; report_cmd;
+            fuzz_cmd; triage_cmd; report_cmd; status_cmd;
             figure_cmd "figure1" Exhibit.figure1 "Figure 1 bug exhibits";
             figure_cmd "figure2" Exhibit.figure2 "Figure 2 bug exhibits";
             races_cmd; reduce_cmd; coordinate_cmd; worker_cmd;

@@ -1,4 +1,15 @@
-let schema_version = 1
+let schema_version = 2
+
+(* one worker's view inside a fleet_health event; a flat record rather
+   than Fleet.row so the eventlog schema stays self-contained *)
+type fleet_worker = {
+  fw_worker : int;
+  fw_cells : int;
+  fw_rate_milli : int;
+  fw_last_ms : int;
+  fw_alive : bool;
+  fw_straggler : bool;
+}
 
 type event =
   | Campaign_start of {
@@ -50,13 +61,20 @@ type event =
       stalled_domains : int list;
       idle_ms : int;
     }
+  | Fleet_health of {
+      total : int;
+      collected : int;
+      in_flight : int;
+      fleet_milli : int;
+      workers : fleet_worker list;
+    }
   | Campaign_end of { cells : int }
 
 let is_deterministic = function
   | Campaign_start _ | Cell _ | Generation _ | Coverage_delta _ | Triage_hit _
   | Campaign_end _ ->
       true
-  | Pool_health _ | Stage_timing _ | Watchdog _ -> false
+  | Pool_health _ | Stage_timing _ | Watchdog _ | Fleet_health _ -> false
 
 (* ------------------------------------------------------------------ *)
 (* Encoding                                                            *)
@@ -141,6 +159,28 @@ let fields_of = function
         ("stalled_domains", ints_json stalled_domains);
         ("idle_ms", Jsonl.Int idle_ms);
       ]
+  | Fleet_health { total; collected; in_flight; fleet_milli; workers } ->
+      [
+        ("e", Jsonl.Str "fleet_health");
+        ("total", Jsonl.Int total);
+        ("collected", Jsonl.Int collected);
+        ("in_flight", Jsonl.Int in_flight);
+        ("rate_milli", Jsonl.Int fleet_milli);
+        ( "workers",
+          Jsonl.List
+            (List.map
+               (fun fw ->
+                 Jsonl.Obj
+                   [
+                     ("w", Jsonl.Int fw.fw_worker);
+                     ("cells", Jsonl.Int fw.fw_cells);
+                     ("rate_milli", Jsonl.Int fw.fw_rate_milli);
+                     ("last_ms", Jsonl.Int fw.fw_last_ms);
+                     ("alive", Jsonl.Bool fw.fw_alive);
+                     ("straggler", Jsonl.Bool fw.fw_straggler);
+                   ])
+               workers) );
+      ]
   | Campaign_end { cells } ->
       [ ("e", Jsonl.Str "campaign_end"); ("cells", Jsonl.Int cells) ]
 
@@ -172,8 +212,10 @@ let event_of_fields fields =
   let int name = Option.bind (Jsonl.member name j) Jsonl.get_int in
   let str name = Option.bind (Jsonl.member name j) Jsonl.get_str in
   match int "v" with
-  | Some v when v <> schema_version ->
-      Error (Printf.sprintf "schema version %d, this build reads %d" v schema_version)
+  (* older schemas are a strict subset of this one: every v1 kind
+     decodes unchanged, so accept 1..schema_version *)
+  | Some v when v < 1 || v > schema_version ->
+      Error (Printf.sprintf "schema version %d, this build reads <= %d" v schema_version)
   | None -> Error "missing schema version"
   | Some _ -> (
       let missing = Error "malformed event record" in
@@ -255,6 +297,42 @@ let event_of_fields fields =
           | (Some level, Some completed, Some in_flight),
             (Some stalled_domains, Some idle_ms) ->
               Ok (Watchdog { level; completed; in_flight; stalled_domains; idle_ms })
+          | _ -> missing)
+      | Some "fleet_health" -> (
+          let worker_of = function
+            | Jsonl.Obj _ as wj -> (
+                let wint name = Option.bind (Jsonl.member name wj) Jsonl.get_int in
+                let wbool name =
+                  match Jsonl.member name wj with
+                  | Some (Jsonl.Bool b) -> Some b
+                  | _ -> None
+                in
+                match
+                  ( (wint "w", wint "cells", wint "rate_milli"),
+                    (wint "last_ms", wbool "alive", wbool "straggler") )
+                with
+                | ( (Some fw_worker, Some fw_cells, Some fw_rate_milli),
+                    (Some fw_last_ms, Some fw_alive, Some fw_straggler) ) ->
+                    Some
+                      { fw_worker; fw_cells; fw_rate_milli; fw_last_ms;
+                        fw_alive; fw_straggler }
+                | _ -> None)
+            | _ -> None
+          in
+          let workers =
+            match Jsonl.member "workers" j with
+            | Some (Jsonl.List l) ->
+                let ws = List.filter_map worker_of l in
+                if List.length ws = List.length l then Some ws else None
+            | _ -> None
+          in
+          match
+            (int "total", int "collected", int "in_flight", int "rate_milli",
+             workers)
+          with
+          | Some total, Some collected, Some in_flight, Some fleet_milli,
+            Some workers ->
+              Ok (Fleet_health { total; collected; in_flight; fleet_milli; workers })
           | _ -> missing)
       | Some "campaign_end" -> (
           match int "cells" with

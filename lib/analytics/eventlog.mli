@@ -17,7 +17,19 @@
     the watchdog, and a healthy untraced run never emits them. *)
 
 val schema_version : int
-(** The version stamped into (and required of) every record: 1. *)
+(** The version stamped into every record: 2. The decoder accepts any
+    version in [1..schema_version] — v1 kinds are a strict subset, so
+    old eventlogs keep loading. *)
+
+(** One worker's health as the watchdog saw it, inside {!event.Fleet_health}. *)
+type fleet_worker = {
+  fw_worker : int;
+  fw_cells : int;  (** fresh cells streamed so far *)
+  fw_rate_milli : int;  (** effective throughput, milli-cells/s *)
+  fw_last_ms : int;  (** ms since last sign of life at sample time *)
+  fw_alive : bool;
+  fw_straggler : bool;
+}
 
 type event =
   | Campaign_start of {
@@ -76,6 +88,15 @@ type event =
       stalled_domains : int list;
       idle_ms : int;  (** zero-progress window length at detection *)
     }  (** a stall escalation (nondeterministic) *)
+  | Fleet_health of {
+      total : int;
+      collected : int;
+      in_flight : int;
+      fleet_milli : int;  (** fleet throughput, milli-cells/s *)
+      workers : fleet_worker list;
+    }
+      (** the per-worker fleet snapshot the distributed watchdog saw
+          when it escalated; schema v2 (nondeterministic) *)
   | Campaign_end of { cells : int }
 
 val is_deterministic : event -> bool

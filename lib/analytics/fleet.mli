@@ -1,0 +1,139 @@
+(** Coordinator-side fleet telemetry: fold worker heartbeats, streamed
+    cells and lease lifecycle into a live per-worker/fleet view.
+
+    The distributed fabric's deterministic output (journal, eventlog,
+    tables) flows through the ordered merge and never touches this
+    module; a {!t} only {e observes} the fabric, so arming it cannot
+    change a byte of campaign output. The coordinator feeds it from the
+    serving thread; the status surface and the watchdog read snapshots
+    from other threads — every operation takes an internal mutex.
+
+    Two throughput estimates coexist per worker: the coordinator-side
+    windowed EWMA over {e fresh} streamed cells (survives an
+    old-protocol worker that sends bare beats) and the worker's own
+    self-reported EWMA from its stats beat. {!snapshot} prefers the
+    coordinator-side figure and falls back to the beat's.
+
+    Straggler rule: a live worker holding a lease whose heartbeat went
+    stale (it stopped beating mid-lease), or — once at least two
+    workers report a positive rate — a live worker whose effective
+    rate is below [straggler_pct]% of the fleet median. *)
+
+(** One stats-carrying heartbeat, as shipped inside [Proto.Beat]. *)
+type beat = {
+  completed : int;  (** cells executed by the worker so far *)
+  ewma_milli : int;  (** self-measured throughput, milli-cells/s *)
+  queue_depth : int;  (** local pool tasks in flight *)
+  rss_kb : int;  (** resident set size; 0 when unknown *)
+  stage_us : (string * int) list;
+      (** cumulative per-stage-category microseconds from drained
+          spans; empty unless the coordinator armed telemetry *)
+}
+
+val beat_version : int
+(** Version stamped into the encoded stats object: 1. *)
+
+val beat_to_json : beat -> Jsonl.t
+val beat_of_json : Jsonl.t -> (beat, string) result
+
+val span_to_json : Span.t -> Jsonl.t
+(** Wire form of one span (nanosecond ints fit {!Jsonl.Int}). *)
+
+val span_of_json : Jsonl.t -> Span.t option
+
+type t
+
+val create : ?stale_ms:int -> ?straggler_pct:int -> total:int -> now:int64 -> unit -> t
+(** [total] is the campaign's full cell count; [now] a monotonic
+    timestamp (all clocks are passed in, keeping the fold
+    deterministic under test). [stale_ms] (default 10000) bounds how
+    long a leased worker may go silent before it is a straggler;
+    [straggler_pct] (default 50) is the median-relative rate floor. *)
+
+val on_join : t -> worker:int -> pid:int -> host:string -> now:int64 -> unit
+val on_leave : t -> worker:int -> now:int64 -> unit
+
+val on_beat : t -> worker:int -> now:int64 -> beat option -> unit
+(** A heartbeat arrived; [None] is a bare (old-format) beat — it
+    refreshes liveness but carries no stats. *)
+
+val on_cell : t -> worker:int -> now:int64 -> unit
+(** One fresh cell streamed by [worker] (duplicates excluded), feeding
+    the coordinator-side throughput EWMA and per-worker cell count. *)
+
+val on_lease : t -> worker:int -> lease_id:int -> cells:int -> now:int64 -> unit
+val on_done : t -> worker:int -> lease_id:int -> now:int64 -> unit
+(** Lease closed: grant-to-done latency lands in the worker's rolling
+    latency window and the global ["fleet.lease_ms"] {!Metrics}
+    histogram. *)
+
+val on_metrics : t -> worker:int -> (string * int) list -> unit
+(** A worker's cumulative counter snapshot (shipped on [Done]): deltas
+    against the previous snapshot are folded into the global registry
+    under ["fleet.<name>"], building the fleet-wide metrics view. *)
+
+val add_spans : t -> worker:int -> Span.t list -> unit
+
+val span_groups : t -> (string * Span.t list) list
+(** Shipped span buffers grouped per worker in id order, labelled
+    ["worker N (host, pid P)"] — the {!Trace.write_groups} input. *)
+
+val note_local : t -> int -> unit
+(** Count cells that entered the campaign outside worker attribution:
+    resumed/salvaged prefill and the local merge's own executions. *)
+
+type row = {
+  worker : int;
+  host : string;
+  pid : int;
+  alive : bool;
+  cells : int;  (** fresh cells streamed by this worker *)
+  rate_milli : int;  (** effective throughput, milli-cells/s *)
+  beat_completed : int;  (** worker-reported executed count; -1 unknown *)
+  queue_depth : int;
+  rss_kb : int;
+  leases : int;  (** leases currently held *)
+  lease_p50_ms : int;  (** rolling lease-latency percentiles; 0 empty *)
+  lease_p90_ms : int;
+  last_ms : int;  (** ms since the worker's last sign of life *)
+  frames_in : int;
+  bytes_in : int;
+  frames_out : int;
+  bytes_out : int;
+  straggler : bool;
+}
+
+type snapshot = {
+  total : int;
+  collected : int;
+  in_flight : int;  (** live leases *)
+  elapsed_ms : int;
+  fleet_milli : int;  (** summed live-worker rate, milli-cells/s *)
+  eta_ms : int;  (** -1 when the rate gives no estimate *)
+  local_cells : int;
+  stage_us : (string * int) list;  (** summed over workers' last beats *)
+  stragglers : int list;
+  rows : row list;  (** worker id order *)
+}
+
+val set_wire : t -> worker:int -> frames_in:int -> bytes_in:int -> frames_out:int -> bytes_out:int -> unit
+(** Latest per-connection transport totals (see [Wire] counters). *)
+
+val snapshot : t -> now:int64 -> collected:int -> in_flight:int -> snapshot
+(** [collected]/[in_flight] come from the lease tracker (the fleet
+    only knows per-worker attribution, not the grid's resume state). *)
+
+val status_version : int
+(** Schema version stamped into {!snapshot_to_line}: 1. *)
+
+val snapshot_to_line : campaign:string -> phase:string -> snapshot -> string
+(** One checksummed JSONL object (no trailing newline) — the
+    [--status] file/socket payload. [phase] is ["fabric"], ["merge"]
+    or ["done"]. *)
+
+val snapshot_of_line : string -> (string * string * snapshot, string) result
+(** Parse and checksum-verify a status line back into
+    [(campaign, phase, snapshot)]. *)
+
+val to_table : campaign:string -> phase:string -> snapshot -> string
+(** The operator-facing fleet table rendered from a snapshot. *)

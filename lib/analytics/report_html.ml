@@ -352,10 +352,69 @@ let incidents events =
                     Printf.sprintf ", stale domains [%s]"
                       (String.concat "; "
                          (List.map string_of_int stalled_domains))))
+        | Eventlog.Fleet_health { total; collected; in_flight; fleet_milli;
+                                  workers } ->
+            let stragglers =
+              List.filter (fun fw -> fw.Eventlog.fw_straggler) workers
+            in
+            Some
+              (Printf.sprintf
+                 "<li class=\"bad\">fleet health: %d/%d cells, %d in flight, \
+                  %d.%d cells/s over %d worker%s%s</li>"
+                 collected total in_flight (fleet_milli / 1000)
+                 (fleet_milli mod 1000 / 100)
+                 (List.length workers)
+                 (if List.length workers = 1 then "" else "s")
+                 (if stragglers = [] then ""
+                  else
+                    Printf.sprintf ", stragglers [%s]"
+                      (String.concat "; "
+                         (List.map
+                            (fun fw -> string_of_int fw.Eventlog.fw_worker)
+                            stragglers))))
         | _ -> None)
       events
   in
   if items = [] then "" else Printf.sprintf "<ul>%s</ul>" (String.concat "\n" items)
+
+(* the last fleet_health snapshot is the fleet's final recorded shape;
+   rendered as its own panel so distributed runs get a per-worker view
+   without digging through the incident list *)
+let fleet_panel events =
+  let last =
+    List.fold_left
+      (fun acc e ->
+        match e with
+        | Eventlog.Fleet_health { total; collected; in_flight; fleet_milli;
+                                  workers } ->
+            Some (total, collected, in_flight, fleet_milli, workers)
+        | _ -> acc)
+      None events
+  in
+  match last with
+  | None -> ""
+  | Some (total, collected, in_flight, fleet_milli, workers) ->
+      let row (fw : Eventlog.fleet_worker) =
+        Printf.sprintf
+          "<tr%s><td>%d</td><td>%s</td><td>%d</td><td>%d.%d</td><td>%d</td>\
+           </tr>"
+          (if fw.Eventlog.fw_straggler then " class=\"bad\"" else "")
+          fw.Eventlog.fw_worker
+          (if not fw.Eventlog.fw_alive then "gone"
+           else if fw.Eventlog.fw_straggler then "straggler"
+           else "live")
+          fw.Eventlog.fw_cells
+          (fw.Eventlog.fw_rate_milli / 1000)
+          (fw.Eventlog.fw_rate_milli mod 1000 / 100)
+          fw.Eventlog.fw_last_ms
+      in
+      Printf.sprintf
+        "<p>last watchdog fleet sample: %d/%d cells collected, %d in flight, \
+         %d.%d cells/s fleet throughput.</p>\n\
+         <table><tr><th>worker</th><th>state</th><th>cells</th>\
+         <th>cells/s</th><th>last&nbsp;seen&nbsp;(ms)</th></tr>%s</table>"
+        collected total in_flight (fleet_milli / 1000) (fleet_milli mod 1000 / 100)
+        (String.concat "\n" (List.map row workers))
 
 let lineage_html cells hits =
   if not (List.exists (fun c -> c.Journal.mode = "fuzz") cells) then ""
@@ -469,6 +528,7 @@ let render ~(header : Journal.header) ~cells ?(truncated = false) ?(events = [])
   section b "Interesting-cell heatmap" (heatmap g);
   section b "Campaign curves" (curves (generations events));
   section b "Stage timing" (stage_timing events);
+  section b "Fleet" (fleet_panel events);
   section b "Incidents" (incidents events);
   section b "Bug discovery paths" (lineage_html cells hits);
   Buffer.add_string b "</body></html>\n";

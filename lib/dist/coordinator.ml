@@ -54,13 +54,16 @@ let publish mon tracker =
 type conn = {
   fd : Unix.file_descr;
   dec : Wire.decoder;
+  out : Wire.counters;
   mutable worker : int option;  (** assigned by the Hello handshake *)
   mutable synced : int;  (** cells [0, synced) already delivered *)
   mutable idle : bool;  (** no lease outstanding on this connection *)
 }
 
 let send_msg conn msg =
-  let bytes = Wire.frame (Proto.encode msg) in
+  let payload = Proto.encode msg in
+  Wire.count_out conn.out (String.length payload);
+  let bytes = Wire.frame payload in
   let n = String.length bytes in
   let written = ref 0 in
   while !written < n do
@@ -76,15 +79,19 @@ exception Drop of string
 let default_ttl_ms = 60_000
 
 let serve ~addr ~spec ~workers ?chunk ?(lease_ttl_ms = default_ttl_ms) ?resume
-    ?monitor:mon ?(on_event = fun (_ : event) -> ())
+    ?monitor:mon ?fleet ?(telemetry = false) ?status_addr
+    ?(status_payload = fun () -> "") ?(on_tick = fun (_ : int64) -> ())
+    ?(on_event = fun (_ : event) -> ())
     ?(on_cell = fun (_ : Journal.cell) -> ()) () =
+  (* every fleet notification is a no-op when no aggregator is armed *)
+  let fl f = match fleet with None -> () | Some t -> f t in
   let tracker = Lease.create ?chunk ~boundaries:(Spec.boundaries spec) () in
   Option.iter (Lease.prefill tracker) resume;
   let ttl_ns = Int64.mul (Int64.of_int lease_ttl_ms) 1_000_000L in
   (match Sys.signal Sys.sigpipe Sys.Signal_ignore with
   | _ -> ()
   | exception Invalid_argument _ -> ());
-  let setup () =
+  let setup addr =
     match Proto.sockaddr_of addr with
     | Error e -> Error e
     | Ok sockaddr -> (
@@ -102,9 +109,22 @@ let serve ~addr ~spec ~workers ?chunk ?(lease_ttl_ms = default_ttl_ms) ?resume
           Unix.close fd;
           Error (Printf.sprintf "%s: %s" fn (Unix.error_message err)))
   in
-  match setup () with
+  let setup_both () =
+    match setup addr with
+    | Error e -> Error e
+    | Ok listen_fd -> (
+        match status_addr with
+        | None -> Ok (listen_fd, None)
+        | Some sa -> (
+            match setup sa with
+            | Ok sfd -> Ok (listen_fd, Some sfd)
+            | Error e ->
+                (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+                Error (Printf.sprintf "status socket: %s" e)))
+  in
+  match setup_both () with
   | Error e -> Error e
-  | Ok listen_fd ->
+  | Ok (listen_fd, status_fd) ->
       let conns : (Unix.file_descr, conn) Hashtbl.t = Hashtbl.create 16 in
       let next_worker = ref 0 in
       let joined = ref 0 in
@@ -119,6 +139,7 @@ let serve ~addr ~spec ~workers ?chunk ?(lease_ttl_ms = default_ttl_ms) ?resume
             List.iter
               (fun (_ : Lease.lease) -> ())
               (Lease.release_worker tracker ~worker:w);
+            fl (fun t -> Fleet.on_leave t ~worker:w ~now:(Mclock.now_ns ()));
             on_event (Worker_left (w, reason))
       in
       let try_send conn msg =
@@ -179,6 +200,10 @@ let serve ~addr ~spec ~workers ?chunk ?(lease_ttl_ms = default_ttl_ms) ?resume
                                   })
                         then begin
                           conn.idle <- false;
+                          fl (fun t ->
+                              Fleet.on_lease t ~worker:w
+                                ~lease_id:lease.Lease.lease_id
+                                ~cells:(lease.Lease.hi - lease.Lease.lo) ~now);
                           on_event (Lease_granted (lease, w))
                         end
                         else
@@ -188,7 +213,7 @@ let serve ~addr ~spec ~workers ?chunk ?(lease_ttl_ms = default_ttl_ms) ?resume
             (handshaken ())
       in
       let handle_msg conn now = function
-        | Proto.Hello { proto; _ } ->
+        | Proto.Hello { proto; pid; host } ->
             if proto <> Proto.version then
               raise
                 (Drop
@@ -200,27 +225,62 @@ let serve ~addr ~spec ~workers ?chunk ?(lease_ttl_ms = default_ttl_ms) ?resume
               conn.worker <- Some w;
               conn.idle <- true;
               incr joined;
-              if try_send conn (Proto.Welcome { worker_id = w; spec }) then
-                on_event (Worker_joined w)
+              fl (fun t -> Fleet.on_join t ~worker:w ~pid ~host ~now);
+              if try_send conn (Proto.Welcome { worker_id = w; spec; telemetry })
+              then on_event (Worker_joined w)
             end
         | Proto.Cell { lease_id; cell } -> (
             match Lease.record tracker ~lease_id ~now cell with
             | `Fresh ->
+                (match conn.worker with
+                | Some w -> fl (fun t -> Fleet.on_cell t ~worker:w ~now)
+                | None -> ());
                 on_cell cell;
                 on_event (Progress (Lease.collected tracker, Lease.total tracker))
             | `Dup | `Out_of_range -> ())
-        | Proto.Done { lease_id; _ } ->
+        | Proto.Done { lease_id; spans; metrics; _ } ->
+            (match conn.worker with
+            | Some w ->
+                fl (fun t ->
+                    Fleet.on_done t ~worker:w ~lease_id ~now;
+                    if spans <> [] then Fleet.add_spans t ~worker:w spans;
+                    if metrics <> [] then Fleet.on_metrics t ~worker:w metrics)
+            | None -> ());
             Lease.finish tracker ~lease_id;
             conn.idle <- true
-        | Proto.Beat -> (
+        | Proto.Beat b -> (
             match conn.worker with
-            | Some w -> Lease.beat_worker tracker ~worker:w ~now
+            | Some w ->
+                Lease.beat_worker tracker ~worker:w ~now;
+                fl (fun t -> Fleet.on_beat t ~worker:w ~now b)
             | None -> ())
         | Proto.Welcome _ | Proto.Sync _ | Proto.Lease _ | Proto.Shutdown ->
             raise (Drop "unexpected message from worker")
       in
+      let serve_status () =
+        match status_fd with
+        | None -> ()
+        | Some sfd -> (
+            match Unix.accept sfd with
+            | exception Unix.Unix_error _ -> ()
+            | cfd, _ ->
+                (* one snapshot line per connection, HTTP-free: curl or
+                   `campaign status` reads to EOF *)
+                let line = status_payload () ^ "\n" in
+                let n = String.length line in
+                let written = ref 0 in
+                (try
+                   while !written < n do
+                     written :=
+                       !written
+                       + Unix.write_substring cfd line !written (n - !written)
+                   done
+                 with Unix.Unix_error _ -> ());
+                (try Unix.close cfd with Unix.Unix_error _ -> ()))
+      in
       let handle_readable fd now =
-        if fd = listen_fd then begin
+        if Some fd = status_fd then serve_status ()
+        else if fd = listen_fd then begin
           match Unix.accept listen_fd with
           | exception Unix.Unix_error _ -> ()
           | cfd, _ ->
@@ -228,6 +288,7 @@ let serve ~addr ~spec ~workers ?chunk ?(lease_ttl_ms = default_ttl_ms) ?resume
                 {
                   fd = cfd;
                   dec = Wire.decoder ();
+                  out = Wire.counters ();
                   worker = None;
                   synced = 0;
                   idle = false;
@@ -271,6 +332,14 @@ let serve ~addr ~spec ~workers ?chunk ?(lease_ttl_ms = default_ttl_ms) ?resume
         | Proto.Unix_sock path ->
             (try Unix.unlink path with Unix.Unix_error _ | Sys_error _ -> ())
         | Proto.Tcp _ -> ());
+        (match status_fd with
+        | Some sfd -> (
+            (try Unix.close sfd with Unix.Unix_error _ -> ());
+            match status_addr with
+            | Some (Proto.Unix_sock path) -> (
+                try Unix.unlink path with Unix.Unix_error _ | Sys_error _ -> ())
+            | _ -> ())
+        | None -> ());
         Option.iter (fun m -> with_mon m (fun m -> m.live <- false)) mon
       in
       let rec loop () =
@@ -292,7 +361,9 @@ let serve ~addr ~spec ~workers ?chunk ?(lease_ttl_ms = default_ttl_ms) ?resume
         end
         else begin
           let fds =
-            listen_fd :: Hashtbl.fold (fun fd _ acc -> fd :: acc) conns []
+            (match status_fd with Some sfd -> [ sfd ] | None -> [])
+            @ listen_fd
+              :: Hashtbl.fold (fun fd _ acc -> fd :: acc) conns []
           in
           let readable, _, _ =
             try Unix.select fds [] [] 0.25
@@ -311,6 +382,18 @@ let serve ~addr ~spec ~workers ?chunk ?(lease_ttl_ms = default_ttl_ms) ?resume
             (Lease.expire tracker ~now ~ttl_ns);
           assign now;
           Option.iter (fun m -> publish m tracker) mon;
+          fl (fun t ->
+              List.iter
+                (fun conn ->
+                  match conn.worker with
+                  | None -> ()
+                  | Some w ->
+                      let i = Wire.ingress conn.dec in
+                      Fleet.set_wire t ~worker:w ~frames_in:i.Wire.frames
+                        ~bytes_in:i.Wire.bytes ~frames_out:conn.out.Wire.frames
+                        ~bytes_out:conn.out.Wire.bytes)
+                (handshaken ()));
+          on_tick now;
           loop ()
         end
       in

@@ -46,6 +46,11 @@ val serve :
   ?lease_ttl_ms:int ->
   ?resume:Journal.cell list ->
   ?monitor:monitor ->
+  ?fleet:Fleet.t ->
+  ?telemetry:bool ->
+  ?status_addr:Proto.addr ->
+  ?status_payload:(unit -> string) ->
+  ?on_tick:(int64 -> unit) ->
   ?on_event:(event -> unit) ->
   ?on_cell:(Journal.cell -> unit) ->
   unit ->
@@ -59,4 +64,13 @@ val serve :
     thread; [on_cell] sees each fresh cell in arrival order — the
     scratch-journal hook ({!Journal.append}) that makes a killed
     coordinator resumable without losing collected work. Socket setup
-    errors return [Error]. *)
+    errors return [Error].
+
+    Fleet telemetry, all opt-in and invisible to campaign output:
+    [fleet] receives every join/leave/beat/cell/lease/done (plus
+    per-connection {!Wire} transport totals each tick); [telemetry]
+    asks workers (via [Welcome]) to arm span collection and ship
+    buffers back; [status_addr] opens a second listening socket that
+    answers every connection with one [status_payload ()] line and
+    closes — the live status surface; [on_tick] runs on the serving
+    thread once per select tick (the file-mode status writer). *)

@@ -5,11 +5,11 @@ type progress =
 
 let default_retries = 20
 let retry_pause = 0.5
+let default_beat_ms = 1000
 
 exception Fail of string
 
-let send fd msg =
-  let bytes = Wire.frame (Proto.encode msg) in
+let write_all fd bytes =
   let n = String.length bytes in
   let written = ref 0 in
   try
@@ -69,7 +69,53 @@ let connect ~addr ~retries =
       in
       attempt retries
 
-let run_lease ~fd ~jobs ~spec ~known ~record ~lease_id ~gen ~lo ~hi =
+(* the heartbeat domain: measures its own cell-completion EWMA between
+   naps and ships a stats beat. Sends share the connection mutex with
+   the serving domain; a send failure here is swallowed — the serving
+   domain will hit the same broken socket and report it properly *)
+let beater ~send ~stop ~done_cells ~stage ~beat_ms =
+  Domain.spawn (fun () ->
+      let rate = ref 0 in
+      let prev = ref (Atomic.get done_cells) in
+      let prev_t = ref (Mclock.now_ns ()) in
+      let naps = max 1 (beat_ms / 100) in
+      let rec nap n =
+        if n > 0 && not (Atomic.get stop) then begin
+          Unix.sleepf 0.1;
+          nap (n - 1)
+        end
+      in
+      while not (Atomic.get stop) do
+        nap naps;
+        if not (Atomic.get stop) then begin
+          let now = Mclock.now_ns () in
+          let cur = Atomic.get done_cells in
+          let ms = Int64.to_int (Int64.div (Int64.sub now !prev_t) 1_000_000L) in
+          let inst = if ms <= 0 then 0 else (cur - !prev) * 1_000_000 / ms in
+          rate := (if !rate = 0 then inst else ((!rate * 7) + (inst * 3)) / 10);
+          prev := cur;
+          prev_t := now;
+          let queue_depth =
+            match Pool.current () with
+            | Some p -> (Pool.stats p).Pool.in_flight
+            | None -> 0
+          in
+          let beat =
+            {
+              Fleet.completed = cur;
+              ewma_milli = !rate;
+              queue_depth;
+              rss_kb = Hostinfo.rss_kb ();
+              stage_us = stage ();
+            }
+          in
+          try send (Proto.Beat (Some beat))
+          with Fail _ | Unix.Unix_error _ -> ()
+        end
+      done)
+
+let run_lease ~send ~jobs ~spec ~known ~record ~count ~telemetry ~note_stage
+    ~lease_id ~gen ~lo ~hi =
   let spec = Spec.clamp spec ~gen in
   let executed = ref 0 in
   let sink (c : Journal.cell) =
@@ -78,8 +124,9 @@ let run_lease ~fd ~jobs ~spec ~known ~record ~lease_id ~gen ~lo ~hi =
        leaves this process *)
     if c.Journal.index >= lo && c.Journal.index < hi then begin
       record c;
-      send fd (Proto.Cell { lease_id; cell = c });
-      incr executed
+      send (Proto.Cell { lease_id; cell = c });
+      incr executed;
+      Atomic.incr count
     end
   in
   let (_ : Spec.summary) =
@@ -87,11 +134,17 @@ let run_lease ~fd ~jobs ~spec ~known ~record ~lease_id ~gen ~lo ~hi =
       ~exec_filter:(fun i -> i >= lo && i < hi)
       spec
   in
-  send fd (Proto.Done { lease_id; executed = !executed });
+  (* the pool has joined its domains, so draining here races nothing;
+     buffers travel on Done and the cumulative stage tally feeds the
+     next beats *)
+  let spans = if telemetry then Span.drain () else [] in
+  note_stage spans;
+  let metrics = if telemetry then Metrics.counters () else [] in
+  send (Proto.Done { lease_id; executed = !executed; spans; metrics });
   !executed
 
 let run ~addr ?jobs ?(retries = default_retries) ?journal
-    ?(on_progress = fun _ -> ()) () =
+    ?(beat_ms = default_beat_ms) ?(on_progress = fun _ -> ()) () =
   (match Sys.signal Sys.sigpipe Sys.Signal_ignore with
   | _ -> ()
   | exception Invalid_argument _ -> ());
@@ -102,20 +155,35 @@ let run ~addr ?jobs ?(retries = default_retries) ?journal
       (fun () ->
         let dec = Wire.decoder () in
         let buf = Bytes.create 65536 in
-        send fd
+        let out = Wire.counters () in
+        let sm = Mutex.create () in
+        let send msg =
+          Mutex.lock sm;
+          Fun.protect
+            ~finally:(fun () -> Mutex.unlock sm)
+            (fun () ->
+              let payload = Proto.encode msg in
+              Wire.count_out out (String.length payload);
+              write_all fd (Wire.frame payload))
+        in
+        send
           (Proto.Hello
              {
                proto = Proto.version;
                pid = Unix.getpid ();
                host = Unix.gethostname ();
              });
-        let spec =
+        let spec, telemetry =
           match recv fd dec buf with
-          | Proto.Welcome { worker_id; spec } ->
+          | Proto.Welcome { worker_id; spec; telemetry } ->
               on_progress (Connected worker_id);
-              spec
+              (spec, telemetry)
           | _ -> raise (Fail "expected welcome")
         in
+        if telemetry then begin
+          Span.reset ();
+          Span.enable ()
+        end;
         (* the per-worker journal: every cell this worker ever executed,
            durably appended in arrival order. A restarted worker replays
            it — cells from a killed lease that land in a new lease are
@@ -140,6 +208,31 @@ let run ~addr ?jobs ?(retries = default_retries) ?journal
                 Journal.write_cell w c
               end
         in
+        let done_cells = Atomic.make 0 in
+        let stage_m = Mutex.create () in
+        let stage_tbl : (string, int) Hashtbl.t = Hashtbl.create 8 in
+        let note_stage spans =
+          Mutex.lock stage_m;
+          Fun.protect
+            ~finally:(fun () -> Mutex.unlock stage_m)
+            (fun () ->
+              List.iter
+                (fun (s : Span.t) ->
+                  let us = Int64.to_int (Int64.div s.Span.dur_ns 1000L) in
+                  Hashtbl.replace stage_tbl s.Span.cat
+                    (us
+                    + Option.value ~default:0
+                        (Hashtbl.find_opt stage_tbl s.Span.cat)))
+                spans)
+        in
+        let stage () =
+          Mutex.lock stage_m;
+          Fun.protect
+            ~finally:(fun () -> Mutex.unlock stage_m)
+            (fun () ->
+              List.sort compare
+                (Hashtbl.fold (fun k v acc -> (k, v) :: acc) stage_tbl []))
+        in
         (* synced cells arrive as a growing prefix in index order; kept
            reversed for O(1) extension *)
         let known_rev = ref [] in
@@ -148,26 +241,35 @@ let run ~addr ?jobs ?(retries = default_retries) ?journal
           match recv fd dec buf with
           | Proto.Sync { cells } ->
               List.iter (fun c -> known_rev := c :: !known_rev) cells;
-              send fd Proto.Beat;
+              (* a deliberately bare beat: keeps the old-format decode
+                 path exercised on every fabric run *)
+              send (Proto.Beat None);
               serve ()
           | Proto.Lease { lease_id; gen; lo; hi } ->
               on_progress (Leased { gen; lo; hi });
               let executed =
-                run_lease ~fd ~jobs ~spec
+                run_lease ~send ~jobs ~spec
                   ~known:(mine @ List.rev !known_rev)
-                  ~record ~lease_id ~gen ~lo ~hi
+                  ~record ~count:done_cells ~telemetry ~note_stage ~lease_id
+                  ~gen ~lo ~hi
               in
               total := !total + executed;
               on_progress (Finished { lease_id; executed });
               serve ()
-          | Proto.Beat -> serve ()
+          | Proto.Beat _ -> serve ()
           | Proto.Shutdown ->
               Option.iter Journal.commit jw;
               !total
           | Proto.Hello _ | Proto.Welcome _ | Proto.Cell _ | Proto.Done _ ->
               raise (Fail "unexpected message from coordinator")
         in
-        serve ())
+        let stop = Atomic.make false in
+        let bd = beater ~send ~stop ~done_cells ~stage ~beat_ms in
+        Fun.protect
+          ~finally:(fun () ->
+            Atomic.set stop true;
+            Domain.join bd)
+          serve)
   with
   | total -> Ok total
   | exception Fail msg -> Error msg

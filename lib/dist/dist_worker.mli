@@ -29,6 +29,7 @@ val run :
   ?jobs:int ->
   ?retries:int ->
   ?journal:string ->
+  ?beat_ms:int ->
   ?on_progress:(progress -> unit) ->
   unit ->
   (int, string) result
@@ -41,4 +42,14 @@ val run :
     [journal] names a per-worker scratch journal ({!Journal.append}):
     every executed cell is durably recorded in arrival order, and a
     restarted worker replays it, streaming previously-executed cells
-    that land in a fresh lease instead of re-running them. *)
+    that land in a fresh lease instead of re-running them.
+
+    A heartbeat domain ships a stats-carrying [Beat] roughly every
+    [beat_ms] milliseconds (default 1000): cells completed, a
+    self-measured throughput EWMA, local pool queue depth, RSS, and —
+    when the coordinator's [Welcome] armed telemetry — the cumulative
+    per-stage time from drained spans. With telemetry armed each
+    lease's span buffer and the counter-registry snapshot also travel
+    back on [Done]. None of this touches the scratch journal or the
+    streamed cells, so the merged campaign output is identical with
+    telemetry on or off. *)

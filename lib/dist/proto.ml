@@ -2,12 +2,17 @@ let version = 1
 
 type msg =
   | Hello of { proto : int; pid : int; host : string }
-  | Welcome of { worker_id : int; spec : Spec.t }
+  | Welcome of { worker_id : int; spec : Spec.t; telemetry : bool }
   | Sync of { cells : Journal.cell list }
   | Lease of { lease_id : int; gen : int; lo : int; hi : int }
   | Cell of { lease_id : int; cell : Journal.cell }
-  | Done of { lease_id : int; executed : int }
-  | Beat
+  | Done of {
+      lease_id : int;
+      executed : int;
+      spans : Span.t list;
+      metrics : (string * int) list;
+    }
+  | Beat of Fleet.beat option
   | Shutdown
 
 let fields_of = function
@@ -18,12 +23,12 @@ let fields_of = function
         ("pid", Jsonl.Int pid);
         ("host", Jsonl.Str host);
       ]
-  | Welcome { worker_id; spec } ->
-      [
-        ("m", Jsonl.Str "welcome");
-        ("worker", Jsonl.Int worker_id);
-        ("spec", Spec.to_json spec);
-      ]
+  | Welcome { worker_id; spec; telemetry } ->
+      (* the flag is only on the wire when set: the encoding of a
+         telemetry-less welcome is unchanged from protocol birth *)
+      [ ("m", Jsonl.Str "welcome"); ("worker", Jsonl.Int worker_id) ]
+      @ (if telemetry then [ ("telemetry", Jsonl.Bool true) ] else [])
+      @ [ ("spec", Spec.to_json spec) ]
   | Sync { cells } ->
       [
         ("m", Jsonl.Str "sync");
@@ -43,13 +48,27 @@ let fields_of = function
         ("lease", Jsonl.Int lease_id);
         ("cell", Journal.cell_to_json cell);
       ]
-  | Done { lease_id; executed } ->
+  | Done { lease_id; executed; spans; metrics } ->
+      (* empty payloads are omitted, keeping a plain done's bytes (and
+         an old coordinator's view of it) unchanged *)
       [
         ("m", Jsonl.Str "done");
         ("lease", Jsonl.Int lease_id);
         ("executed", Jsonl.Int executed);
       ]
-  | Beat -> [ ("m", Jsonl.Str "beat") ]
+      @ (match spans with
+        | [] -> []
+        | spans ->
+            [ ("spans", Jsonl.List (List.map Fleet.span_to_json spans)) ])
+      @ (match metrics with
+        | [] -> []
+        | ms ->
+            [
+              ( "metrics",
+                Jsonl.Obj (List.map (fun (k, v) -> (k, Jsonl.Int v)) ms) );
+            ])
+  | Beat None -> [ ("m", Jsonl.Str "beat") ]
+  | Beat (Some b) -> [ ("m", Jsonl.Str "beat"); ("stats", Fleet.beat_to_json b) ]
   | Shutdown -> [ ("m", Jsonl.Str "shutdown") ]
 
 let encode m = Jsonl.encode_line (fields_of m)
@@ -71,7 +90,14 @@ let decode line =
           match (int "worker", Jsonl.member "spec" j) with
           | Some worker_id, Some spec_json -> (
               match Spec.of_json spec_json with
-              | Ok spec -> Ok (Welcome { worker_id; spec })
+              | Ok spec ->
+                  (* absent on old coordinators: telemetry off *)
+                  let telemetry =
+                    match Jsonl.member "telemetry" j with
+                    | Some (Jsonl.Bool b) -> b
+                    | _ -> false
+                  in
+                  Ok (Welcome { worker_id; spec; telemetry })
               | Error e -> Error e)
           | _ -> malformed)
       | Some "sync" -> (
@@ -94,9 +120,42 @@ let decode line =
           | _ -> malformed)
       | Some "done" -> (
           match (int "lease", int "executed") with
-          | Some lease_id, Some executed -> Ok (Done { lease_id; executed })
+          | Some lease_id, Some executed -> (
+              let spans =
+                match Jsonl.member "spans" j with
+                | None -> Some []
+                | Some (Jsonl.List l) ->
+                    let ss = List.filter_map Fleet.span_of_json l in
+                    if List.length ss = List.length l then Some ss else None
+                | Some _ -> None
+              in
+              let metrics =
+                match Jsonl.member "metrics" j with
+                | None -> Some []
+                | Some (Jsonl.Obj fields) ->
+                    let ms =
+                      List.filter_map
+                        (fun (k, v) ->
+                          Option.map (fun n -> (k, n)) (Jsonl.get_int v))
+                        fields
+                    in
+                    if List.length ms = List.length fields then Some ms
+                    else None
+                | Some _ -> None
+              in
+              match (spans, metrics) with
+              | Some spans, Some metrics ->
+                  Ok (Done { lease_id; executed; spans; metrics })
+              | _ -> malformed)
           | _ -> malformed)
-      | Some "beat" -> Ok Beat
+      | Some "beat" -> (
+          (* a bare beat is the original v1 encoding — liveness only *)
+          match Jsonl.member "stats" j with
+          | None -> Ok (Beat None)
+          | Some stats -> (
+              match Fleet.beat_of_json stats with
+              | Ok b -> Ok (Beat (Some b))
+              | Error e -> Error e))
       | Some "shutdown" -> Ok Shutdown
       | Some other -> Error (Printf.sprintf "unknown message kind %S" other)
       | None -> Error "missing message kind")

@@ -18,19 +18,38 @@
 
 type msg =
   | Hello of { proto : int; pid : int; host : string }
-  | Welcome of { worker_id : int; spec : Spec.t }
+  | Welcome of { worker_id : int; spec : Spec.t; telemetry : bool }
+      (** [telemetry] asks the worker to arm span collection and ship
+          buffers back on [Done]; encoded only when set and absent on
+          old coordinators, so either side may predate the flag *)
   | Sync of { cells : Journal.cell list }
       (** already-collected cells the next lease's generation depends
           on, in global index order *)
   | Lease of { lease_id : int; gen : int; lo : int; hi : int }
       (** execute global cells [lo, hi) of generation [gen] *)
   | Cell of { lease_id : int; cell : Journal.cell }
-  | Done of { lease_id : int; executed : int }
-  | Beat
+  | Done of {
+      lease_id : int;
+      executed : int;
+      spans : Span.t list;
+          (** the lease's drained span buffer when telemetry was armed *)
+      metrics : (string * int) list;
+          (** the worker's cumulative counter registry snapshot *)
+    }
+      (** lease closed; both payloads are omitted from the wire when
+          empty, so a plain [Done] round-trips byte-identically with
+          protocol-v1 peers *)
+  | Beat of Fleet.beat option
+      (** worker liveness; [Some] carries the versioned stats object
+        ({!Fleet.beat}), [None] is the bare original form that
+        old-protocol workers send — both decode *)
   | Shutdown
 
 val version : int
-(** Protocol version carried by [Hello]; a mismatch is refused. *)
+(** Protocol version carried by [Hello]; a mismatch is refused. Still
+    1: the telemetry fields ride on optional members with bare
+    fallbacks rather than a version bump, so mixed fleets keep
+    working. *)
 
 val encode : msg -> string
 (** One checksummed JSONL line (no newline, not yet framed). *)

@@ -7,13 +7,36 @@ let frame payload =
   String.concat ""
     [ string_of_int (String.length payload); "\n"; payload; "\n" ]
 
+type counters = { mutable frames : int; mutable bytes : int }
+
+let counters () = { frames = 0; bytes = 0 }
+
+(* transport totals feed the global registry lazily: a process that
+   never touches a socket never grows its metrics output *)
+let metric_in_frames = lazy (Metrics.counter "wire.in.frames")
+let metric_in_bytes = lazy (Metrics.counter "wire.in.bytes")
+let metric_out_frames = lazy (Metrics.counter "wire.out.frames")
+let metric_out_bytes = lazy (Metrics.counter "wire.out.bytes")
+
+let count_out c payload_len =
+  (* header digits + '\n' + payload + '\n', matching what [frame] sends *)
+  let n = String.length (string_of_int payload_len) + 1 + payload_len + 1 in
+  c.frames <- c.frames + 1;
+  c.bytes <- c.bytes + n;
+  Metrics.incr (Lazy.force metric_out_frames);
+  Metrics.add (Lazy.force metric_out_bytes) n
+
 type decoder = {
   buf : Buffer.t;
   mutable off : int;  (** consumed prefix of [buf] *)
   mutable corrupt : string option;
+  ingress : counters;
 }
 
-let decoder () = { buf = Buffer.create 4096; off = 0; corrupt = None }
+let decoder () =
+  { buf = Buffer.create 4096; off = 0; corrupt = None; ingress = counters () }
+
+let ingress d = d.ingress
 
 let compact d =
   (* drop the consumed prefix once it dominates the buffer, keeping
@@ -25,8 +48,17 @@ let compact d =
     d.off <- 0
   end
 
-let feed d b n = Buffer.add_subbytes d.buf b 0 n
-let feed_string d s = Buffer.add_string d.buf s
+let count_in d n =
+  d.ingress.bytes <- d.ingress.bytes + n;
+  Metrics.add (Lazy.force metric_in_bytes) n
+
+let feed d b n =
+  count_in d n;
+  Buffer.add_subbytes d.buf b 0 n
+
+let feed_string d s =
+  count_in d (String.length s);
+  Buffer.add_string d.buf s
 let buffered d = Buffer.length d.buf - d.off
 
 let fail d msg =
@@ -63,6 +95,8 @@ let next d =
                        plen)
                 else begin
                   d.off <- nl + 1 + plen + 1;
+                  d.ingress.frames <- d.ingress.frames + 1;
+                  Metrics.incr (Lazy.force metric_in_frames);
                   `Frame payload
                 end
               end))

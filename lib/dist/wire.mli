@@ -23,6 +23,21 @@ val max_frame : int
 val frame : string -> string
 (** The payload wrapped in its length header and terminator. *)
 
+type counters = { mutable frames : int; mutable bytes : int }
+(** Transport totals for one direction of one connection — the
+    baseline any future frame-compression work must beat. Every count
+    also lands in the global {!Metrics} registry under
+    ["wire.in.*"]/["wire.out.*"] (registered lazily, so a process that
+    never opens a socket never reports them). *)
+
+val counters : unit -> counters
+(** A fresh zeroed pair, for the egress side of a connection. *)
+
+val count_out : counters -> int -> unit
+(** Record one sent frame whose {e payload} is [n] bytes long; the
+    counted byte total includes the length header and terminators,
+    matching what {!frame} puts on the wire. *)
+
 type decoder
 
 val decoder : unit -> decoder
@@ -39,3 +54,6 @@ val next : decoder -> [ `Frame of string | `Awaiting | `Corrupt of string ]
 
 val buffered : decoder -> int
 (** Bytes currently held (diagnostics). *)
+
+val ingress : decoder -> counters
+(** Frames and bytes this decoder has accepted so far. *)

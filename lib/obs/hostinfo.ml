@@ -19,6 +19,36 @@ let git_commit =
   in
   fun () -> Lazy.force memo
 
+(* Resident set size from /proc/self/status ("VmRSS:   12345 kB");
+   0 on platforms without procfs — a fleet beat then simply reports no
+   memory figure rather than failing. *)
+let rss_kb () =
+  match open_in "/proc/self/status" with
+  | exception Sys_error _ -> 0
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          let rec scan () =
+            match input_line ic with
+            | exception End_of_file -> 0
+            | line ->
+                if String.length line > 6 && String.sub line 0 6 = "VmRSS:"
+                then
+                  let rest = String.sub line 6 (String.length line - 6) in
+                  let tokens =
+                    List.filter
+                      (fun s -> s <> "")
+                      (String.split_on_char ' '
+                         (String.concat " " (String.split_on_char '\t' rest)))
+                  in
+                  match tokens with
+                  | kb :: _ -> Option.value ~default:0 (int_of_string_opt kb)
+                  | [] -> 0
+                else scan ()
+          in
+          scan ())
+
 let to_json () =
   Jsonl.Obj
     [

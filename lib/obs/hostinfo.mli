@@ -12,6 +12,10 @@ val git_commit : unit -> string
 (** Short commit hash of the working tree ([git rev-parse --short HEAD],
     memoized); ["unknown"] outside a git checkout. *)
 
+val rss_kb : unit -> int
+(** This process's resident set size in kB, read from
+    [/proc/self/status]; 0 where procfs is unavailable. *)
+
 val to_json : unit -> Jsonl.t
 (** [{"cores":N,"ocaml":"5.1.x","os":"Unix","word_size":64,
     "commit":"abc1234"}]. *)

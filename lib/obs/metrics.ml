@@ -94,6 +94,40 @@ let reset () =
   Hashtbl.iter (fun _ h -> Array.iter (fun b -> Atomic.set b 0) h) histograms_tbl;
   Mutex.unlock reg_m
 
+(* Prometheus metric names admit [a-zA-Z0-9_:]; the registry's dotted
+   paths map dots (and anything else) to underscores *)
+let prom_name name =
+  String.map
+    (fun c ->
+      match c with 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> c | _ -> '_')
+    name
+
+let to_prometheus () =
+  let b = Buffer.create 1024 in
+  List.iter
+    (fun (name, v) ->
+      let n = prom_name name in
+      Buffer.add_string b (Printf.sprintf "# TYPE %s counter\n%s %d\n" n n v))
+    (counters ());
+  List.iter
+    (fun (name, buckets) ->
+      let n = prom_name name in
+      Buffer.add_string b (Printf.sprintf "# TYPE %s histogram\n" n);
+      let cum = ref 0 in
+      List.iter
+        (fun (floor, count) ->
+          cum := !cum + count;
+          (* bucket floor f holds values in [f, 2f) (f = 1 holds v <= 1),
+             so the inclusive upper bound is 2f - 1 *)
+          let le = if floor <= 1 then 1 else (2 * floor) - 1 in
+          Buffer.add_string b
+            (Printf.sprintf "%s_bucket{le=\"%d\"} %d\n" n le !cum))
+        buckets;
+      Buffer.add_string b
+        (Printf.sprintf "%s_bucket{le=\"+Inf\"} %d\n%s_count %d\n" n !cum n !cum))
+    (histograms ());
+  Buffer.contents b
+
 let to_json () =
   let counters =
     Jsonl.Obj (List.map (fun (name, v) -> (name, Jsonl.Int v)) (counters ()))

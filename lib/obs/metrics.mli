@@ -49,6 +49,15 @@ val percentile : histogram -> int -> int option
 val reset : unit -> unit
 (** Zero every counter and histogram (registration survives). *)
 
+val to_prometheus : unit -> string
+(** The whole registry in Prometheus text exposition format: every
+    counter as a [# TYPE name counter] pair, every histogram as
+    cumulative [name_bucket{le="..."}] lines (inclusive upper bounds of
+    the power-of-two buckets) plus [name_count]. Dots and other
+    non-identifier characters in registry names become underscores.
+    Sorted by name like {!to_json}, so equal registries produce equal
+    text. *)
+
 val to_json : unit -> Jsonl.t
 (** [{"version":2,"counters":{...},"histograms":{name:{"buckets":
     {floor:count},"count":N,"p50":P,"p90":P,"p99":P}}}] with every level

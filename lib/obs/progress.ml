@@ -22,13 +22,15 @@ type t = {
   min_interval_ns : int64;
   label : string;
   total : int;
+  start : int;  (** cells already done before the clock started *)
   t0_ns : int64;
   mutable done_ : int;
   mutable last_draw_ns : int64;
   mutable tallies : (string * int) list; (* insertion-ordered *)
 }
 
-let create ?out:(oc = stderr) ?style ?min_interval_ms ~label ~total () =
+let create ?out:(oc = stderr) ?style ?min_interval_ms ?(start = 0) ~label
+    ~total () =
   let style = match style with Some s -> s | None -> detect_style oc in
   let min_interval_ms =
     match min_interval_ms with
@@ -42,8 +44,9 @@ let create ?out:(oc = stderr) ?style ?min_interval_ms ~label ~total () =
     min_interval_ns = Int64.mul (Int64.of_int min_interval_ms) 1_000_000L;
     label;
     total;
+    start;
     t0_ns = Mclock.now_ns ();
-    done_ = 0;
+    done_ = start;
     last_draw_ns = 0L;
     tallies = [];
   }
@@ -56,13 +59,18 @@ let tally t tag =
   in
   t.tallies <- bump t.tallies
 
+(* rate and ETA measure this session's work only: resumed/prefilled
+   cells ([start]) cost no session time and must not inflate either *)
 let eta_string t now =
-  if t.done_ = 0 || t.total <= t.done_ then "0s"
+  if t.done_ <= t.start || t.total <= t.done_ then "0s"
   else
     let elapsed_s =
       Int64.to_float (Int64.sub now t.t0_ns) /. 1e9
     in
-    let remaining = float_of_int (t.total - t.done_) *. elapsed_s /. float_of_int t.done_ in
+    let remaining =
+      float_of_int (t.total - t.done_) *. elapsed_s
+      /. float_of_int (t.done_ - t.start)
+    in
     if remaining >= 3600. then Printf.sprintf "%.1fh" (remaining /. 3600.)
     else if remaining >= 60. then Printf.sprintf "%.1fm" (remaining /. 60.)
     else Printf.sprintf "%.0fs" remaining
@@ -70,7 +78,10 @@ let eta_string t now =
 let draw t now =
   t.last_draw_ns <- now;
   let elapsed_s = Int64.to_float (Int64.sub now t.t0_ns) /. 1e9 in
-  let rate = if elapsed_s > 0. then float_of_int t.done_ /. elapsed_s else 0. in
+  let rate =
+    if elapsed_s > 0. then float_of_int (t.done_ - t.start) /. elapsed_s
+    else 0.
+  in
   let tallies =
     String.concat " "
       (List.map (fun (tag, n) -> Printf.sprintf "%s:%d" tag n) t.tallies)

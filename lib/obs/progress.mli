@@ -26,14 +26,17 @@ val create :
   ?out:out_channel ->
   ?style:style ->
   ?min_interval_ms:int ->
+  ?start:int ->
   label:string ->
   total:int ->
   unit ->
   t
 (** [create ~label ~total ()] starts the clock. [total] is the full
-    cell count (resumed cells included). [style] defaults to
-    {!detect_style} of the channel; [min_interval_ms] limits redraw
-    frequency and defaults to 100 (Ansi) / 1000 (Plain). *)
+    cell count (resumed cells included). [start] (default 0) counts
+    cells already done before this session — resumed or prefilled work
+    shown in done/total but excluded from the rate and ETA. [style]
+    defaults to {!detect_style} of the channel; [min_interval_ms]
+    limits redraw frequency and defaults to 100 (Ansi) / 1000 (Plain). *)
 
 val step : t -> tag:string -> unit
 (** Count one finished cell under class [tag] and maybe redraw. *)

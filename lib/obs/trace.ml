@@ -54,10 +54,87 @@ let to_json spans =
       ("displayTimeUnit", Jsonl.Str "ms");
     ]
 
-let write ~path spans =
+(* Fleet traces: one pid per process group (coordinator, each worker),
+   one tid per recording domain inside it. Each group's timestamps are
+   rebased to its own earliest span — worker clocks are unrelated
+   monotonic epochs, so only within-group time is meaningful. *)
+let to_json_groups groups =
+  let sorted spans =
+    List.sort
+      (fun (a : Span.t) (b : Span.t) ->
+        match Int64.compare a.t0_ns b.t0_ns with
+        | 0 -> compare (a.domain, a.name) (b.domain, b.name)
+        | c -> c)
+      spans
+  in
+  let metas = ref [] and events = ref [] in
+  List.iteri
+    (fun pid (label, spans) ->
+      let spans = sorted spans in
+      let epoch =
+        List.fold_left
+          (fun acc (s : Span.t) ->
+            if Int64.compare s.t0_ns acc < 0 then s.t0_ns else acc)
+          (match spans with [] -> 0L | s :: _ -> s.t0_ns)
+          spans
+      in
+      metas :=
+        Jsonl.Obj
+          [
+            ("name", Jsonl.Str "process_name");
+            ("ph", Jsonl.Str "M");
+            ("pid", Jsonl.Int pid);
+            ("tid", Jsonl.Int 0);
+            ("args", Jsonl.Obj [ ("name", Jsonl.Str label) ]);
+          ]
+        :: !metas;
+      List.iter
+        (fun d ->
+          metas :=
+            Jsonl.Obj
+              [
+                ("name", Jsonl.Str "thread_name");
+                ("ph", Jsonl.Str "M");
+                ("pid", Jsonl.Int pid);
+                ("tid", Jsonl.Int d);
+                ("args",
+                 Jsonl.Obj [ ("name", Jsonl.Str (Printf.sprintf "domain %d" d)) ]);
+              ]
+            :: !metas)
+        (List.sort_uniq compare (List.map (fun (s : Span.t) -> s.domain) spans));
+      List.iter
+        (fun (s : Span.t) ->
+          let args =
+            if s.task >= 0 then [ ("task", Jsonl.Int s.task) ] else []
+          in
+          events :=
+            Jsonl.Obj
+              [
+                ("name", Jsonl.Str s.name);
+                ("cat", Jsonl.Str s.cat);
+                ("ph", Jsonl.Str "X");
+                ("ts", Jsonl.Int (Mclock.ns_to_us (Int64.sub s.t0_ns epoch)));
+                ("dur", Jsonl.Int (max 1 (Mclock.ns_to_us s.dur_ns)));
+                ("pid", Jsonl.Int pid);
+                ("tid", Jsonl.Int s.domain);
+                ("args", Jsonl.Obj args);
+              ]
+            :: !events)
+        spans)
+    groups;
+  Jsonl.Obj
+    [
+      ("traceEvents", Jsonl.List (List.rev !metas @ List.rev !events));
+      ("displayTimeUnit", Jsonl.Str "ms");
+    ]
+
+let output ~path json =
   let oc = open_out path in
   Fun.protect
     ~finally:(fun () -> close_out_noerr oc)
     (fun () ->
-      output_string oc (Jsonl.to_string (to_json spans));
+      output_string oc (Jsonl.to_string json);
       output_char oc '\n')
+
+let write ~path spans = output ~path (to_json spans)
+let write_groups ~path groups = output ~path (to_json_groups groups)

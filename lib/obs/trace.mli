@@ -15,3 +15,15 @@ val to_json : Span.t list -> Jsonl.t
 val write : path:string -> Span.t list -> unit
 (** [to_json] rendered canonically to [path] plus a final newline.
     Raises [Sys_error] on I/O failure. *)
+
+val to_json_groups : (string * Span.t list) list -> Jsonl.t
+(** Merged fleet trace: each [(label, spans)] group becomes one pid
+    (named [label] by a process_name metadata event) and each recording
+    domain within a group one tid. Every group's timestamps are rebased
+    to its own earliest span — a distributed run's worker clocks share
+    no epoch, so only within-group time is meaningful. Group order
+    fixes pid numbering. *)
+
+val write_groups : path:string -> (string * Span.t list) list -> unit
+(** [to_json_groups] rendered canonically to [path] plus a final
+    newline. Raises [Sys_error] on I/O failure. *)

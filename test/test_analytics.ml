@@ -71,6 +71,32 @@ let sample_events =
         stalled_domains = [ 2; 5 ];
         idle_ms = 30000;
       };
+    Eventlog.Fleet_health
+      {
+        total = 160;
+        collected = 80;
+        in_flight = 3;
+        fleet_milli = 12500;
+        workers =
+          [
+            {
+              Eventlog.fw_worker = 0;
+              fw_cells = 41;
+              fw_rate_milli = 6500;
+              fw_last_ms = 120;
+              fw_alive = true;
+              fw_straggler = false;
+            };
+            {
+              Eventlog.fw_worker = 1;
+              fw_cells = 39;
+              fw_rate_milli = 600;
+              fw_last_ms = 11000;
+              fw_alive = true;
+              fw_straggler = true;
+            };
+          ];
+      };
     Eventlog.Campaign_end { cells = 160 };
   ]
 
@@ -95,13 +121,30 @@ let test_decode_rejects_damage () =
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "wrong schema version accepted"
 
+(* the v1 -> v2 schema bump only added event kinds, so a line written
+   by the previous schema must still decode *)
+let test_decode_old_schema_version () =
+  let line =
+    Jsonl.encode_line
+      [
+        ("v", Jsonl.Int 1);
+        ("e", Jsonl.Str "campaign_end");
+        ("cells", Jsonl.Int 5);
+      ]
+  in
+  match Eventlog.decode line with
+  | Ok (Eventlog.Campaign_end { cells }) ->
+      Alcotest.(check int) "v1 payload decodes" 5 cells
+  | Ok _ -> Alcotest.fail "v1 line decoded to the wrong event"
+  | Error m -> Alcotest.failf "v1 line rejected: %s" m
+
 let test_deterministic_split () =
   List.iter
     (fun e ->
       let expected =
         match e with
         | Eventlog.Pool_health _ | Eventlog.Stage_timing _ | Eventlog.Watchdog _
-          ->
+        | Eventlog.Fleet_health _ ->
             false
         | _ -> true
       in
@@ -385,6 +428,138 @@ let test_pool_probe_without_pool () =
   Alcotest.(check bool) "no pool, nothing to watch" true
     (Watchdog.pool_probe () = None)
 
+(* --- fleet aggregator --- *)
+
+(* every clock is passed in, so the fold is a deterministic function of
+   the crafted beat/cell/lease sequence *)
+let at_ms ms = Int64.of_int (ms * 1_000_000)
+
+let test_fleet_coordinator_ewma () =
+  let f = Fleet.create ~total:1000 ~now:(at_ms 0) () in
+  Fleet.on_join f ~worker:0 ~pid:101 ~host:"a" ~now:(at_ms 0);
+  (* a steady 10 cells/s for 10 seconds, one streamed cell every 100 ms *)
+  for i = 0 to 99 do
+    Fleet.on_cell f ~worker:0 ~now:(at_ms (i * 100))
+  done;
+  let snap = Fleet.snapshot f ~now:(at_ms 10_000) ~collected:100 ~in_flight:1 in
+  let row = List.hd snap.Fleet.rows in
+  Alcotest.(check bool) "EWMA converges near 10 cells/s" true
+    (row.Fleet.rate_milli > 7000 && row.Fleet.rate_milli < 13000);
+  Alcotest.(check int) "fleet rate sums the live workers" row.Fleet.rate_milli
+    snap.Fleet.fleet_milli;
+  Alcotest.(check bool) "ETA estimated from the fleet rate" true
+    (snap.Fleet.eta_ms > 0);
+  Alcotest.(check int) "cells attributed to the worker" 100 row.Fleet.cells;
+  Alcotest.(check (list int)) "a lone busy worker is no straggler" []
+    snap.Fleet.stragglers
+
+let test_fleet_slow_rate_straggler () =
+  let f = Fleet.create ~total:10_000 ~now:(at_ms 0) () in
+  List.iter
+    (fun w -> Fleet.on_join f ~worker:w ~pid:(100 + w) ~host:"h" ~now:(at_ms 0))
+    [ 0; 1; 2 ];
+  let beat rate =
+    {
+      Fleet.completed = 50;
+      ewma_milli = rate;
+      queue_depth = 0;
+      rss_kb = 0;
+      stage_us = [];
+    }
+  in
+  (* no streamed cells, so each worker's self-reported EWMA is the
+     effective rate: two healthy workers and one at a tenth of the
+     median *)
+  Fleet.on_beat f ~worker:0 ~now:(at_ms 900) (Some (beat 10_000));
+  Fleet.on_beat f ~worker:1 ~now:(at_ms 950) (Some (beat 9_000));
+  Fleet.on_beat f ~worker:2 ~now:(at_ms 980) (Some (beat 900));
+  let snap = Fleet.snapshot f ~now:(at_ms 1_000) ~collected:150 ~in_flight:3 in
+  Alcotest.(check (list int)) "the slow worker is flagged" [ 2 ]
+    snap.Fleet.stragglers;
+  let row w = List.nth snap.Fleet.rows w in
+  Alcotest.(check bool) "healthy workers are not" true
+    ((not (row 0).Fleet.straggler) && not (row 1).Fleet.straggler);
+  Alcotest.(check int) "beat-reported completion surfaces" 50
+    (row 0).Fleet.beat_completed
+
+let test_fleet_stale_mid_lease () =
+  let f = Fleet.create ~total:1_000 ~now:(at_ms 0) () in
+  Fleet.on_join f ~worker:0 ~pid:7 ~host:"h" ~now:(at_ms 0);
+  Fleet.on_join f ~worker:1 ~pid:8 ~host:"h" ~now:(at_ms 0);
+  Fleet.on_lease f ~worker:0 ~lease_id:1 ~cells:100 ~now:(at_ms 500);
+  Fleet.on_lease f ~worker:1 ~lease_id:2 ~cells:100 ~now:(at_ms 500);
+  (* worker 1 keeps beating (bare beats refresh liveness too); worker 0
+     goes silent holding its lease *)
+  for s = 1 to 14 do
+    Fleet.on_beat f ~worker:1 ~now:(at_ms (s * 1000)) None
+  done;
+  let snap = Fleet.snapshot f ~now:(at_ms 14_000) ~collected:0 ~in_flight:2 in
+  Alcotest.(check (list int)) "the silent leased worker is flagged" [ 0 ]
+    snap.Fleet.stragglers;
+  let r0 = List.hd snap.Fleet.rows in
+  Alcotest.(check int) "it still holds its lease" 1 r0.Fleet.leases;
+  Alcotest.(check bool) "silence measured in ms" true
+    (r0.Fleet.last_ms >= 10_000);
+  (* the worker comes back and both leases complete: flags clear and the
+     grant-to-done latency lands in the rolling window *)
+  Fleet.on_beat f ~worker:0 ~now:(at_ms 14_500) None;
+  Fleet.on_done f ~worker:0 ~lease_id:1 ~now:(at_ms 14_500);
+  Fleet.on_done f ~worker:1 ~lease_id:2 ~now:(at_ms 14_500);
+  let snap = Fleet.snapshot f ~now:(at_ms 15_000) ~collected:200 ~in_flight:0 in
+  Alcotest.(check (list int)) "no stragglers after completion" []
+    snap.Fleet.stragglers;
+  let r0 = List.hd snap.Fleet.rows in
+  Alcotest.(check bool) "lease latency percentiles recorded" true
+    (r0.Fleet.lease_p50_ms >= 13_000
+    && r0.Fleet.lease_p90_ms >= r0.Fleet.lease_p50_ms)
+
+let test_fleet_status_line_roundtrip () =
+  let f = Fleet.create ~total:500 ~now:(at_ms 0) () in
+  Fleet.on_join f ~worker:0 ~pid:11 ~host:"box" ~now:(at_ms 0);
+  Fleet.on_lease f ~worker:0 ~lease_id:1 ~cells:50 ~now:(at_ms 100);
+  for i = 1 to 40 do
+    Fleet.on_cell f ~worker:0 ~now:(at_ms (100 + (i * 50)))
+  done;
+  Fleet.set_wire f ~worker:0 ~frames_in:41 ~bytes_in:5000 ~frames_out:7
+    ~bytes_out:900;
+  Fleet.note_local f 60;
+  let snap = Fleet.snapshot f ~now:(at_ms 2_200) ~collected:100 ~in_flight:1 in
+  let line = Fleet.snapshot_to_line ~campaign:"table1" ~phase:"fabric" snap in
+  (match Fleet.snapshot_of_line line with
+  | Error m -> Alcotest.failf "status line rejected: %s" m
+  | Ok (campaign, phase, snap') ->
+      Alcotest.(check string) "campaign survives" "table1" campaign;
+      Alcotest.(check string) "phase survives" "fabric" phase;
+      Alcotest.(check string) "re-encoding is byte-identical" line
+        (Fleet.snapshot_to_line ~campaign ~phase snap');
+      Alcotest.(check int) "local cells survive" 60 snap'.Fleet.local_cells;
+      let r = List.hd snap'.Fleet.rows in
+      Alcotest.(check int) "wire totals survive" 5000 r.Fleet.bytes_in;
+      let table = Fleet.to_table ~campaign ~phase snap' in
+      Alcotest.(check bool) "table renders the worker host" true
+        (contains table "box"));
+  (* a flipped byte must not checksum *)
+  let damaged =
+    String.mapi
+      (fun i c -> if i = 12 then (if c = 'z' then 'y' else 'z') else c)
+      line
+  in
+  match Fleet.snapshot_of_line damaged with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "damaged status line decoded"
+
+let test_report_fleet_panel () =
+  let header =
+    Fuzz_loop.journal_header ~budget:fuzz_budget ~seed:3
+      ~config_ids:fuzz_configs ()
+  in
+  let html = Report_html.render ~header ~cells:[] ~events:sample_events () in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) (Printf.sprintf "fleet panel contains %S" needle)
+        true (contains html needle))
+    [ "Fleet"; "straggler"; "6.5" ]
+
 let () =
   Alcotest.run "analytics"
     [
@@ -394,6 +569,8 @@ let () =
             test_encode_decode_roundtrip;
           Alcotest.test_case "rejects damage + wrong schema" `Quick
             test_decode_rejects_damage;
+          Alcotest.test_case "tolerates the previous schema" `Quick
+            test_decode_old_schema_version;
           Alcotest.test_case "determinism split" `Quick test_deterministic_split;
           Alcotest.test_case "writer + torn tail" `Quick
             test_writer_and_torn_tail;
@@ -414,7 +591,21 @@ let () =
           Alcotest.test_case "discovery paths" `Slow test_discovery_paths;
         ] );
       ( "report",
-        [ Alcotest.test_case "self-contained html" `Slow test_report_html ] );
+        [
+          Alcotest.test_case "self-contained html" `Slow test_report_html;
+          Alcotest.test_case "fleet panel" `Quick test_report_fleet_panel;
+        ] );
+      ( "fleet",
+        [
+          Alcotest.test_case "coordinator-side EWMA + ETA" `Quick
+            test_fleet_coordinator_ewma;
+          Alcotest.test_case "slow-rate straggler" `Quick
+            test_fleet_slow_rate_straggler;
+          Alcotest.test_case "stops beating mid-lease" `Quick
+            test_fleet_stale_mid_lease;
+          Alcotest.test_case "status line roundtrip" `Quick
+            test_fleet_status_line_roundtrip;
+        ] );
       ( "watchdog",
         [
           Alcotest.test_case "escalates on stall" `Quick

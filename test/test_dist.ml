@@ -104,13 +104,40 @@ let test_proto_roundtrip () =
   let msgs =
     [
       Proto.Hello { proto = Proto.version; pid = 42; host = "h" };
-      Proto.Welcome { worker_id = 3; spec = small_spec "table4" };
-      Proto.Welcome { worker_id = 0; spec = small_spec "fuzz" };
+      Proto.Welcome
+        { worker_id = 3; spec = small_spec "table4"; telemetry = false };
+      Proto.Welcome { worker_id = 0; spec = small_spec "fuzz"; telemetry = true };
       Proto.Sync { cells = [ mk_cell 0; mk_cell 1 ] };
       Proto.Lease { lease_id = 9; gen = 2; lo = 16; hi = 24 };
       Proto.Cell { lease_id = 9; cell = mk_cell 17 };
-      Proto.Done { lease_id = 9; executed = 8 };
-      Proto.Beat;
+      Proto.Done { lease_id = 9; executed = 8; spans = []; metrics = [] };
+      Proto.Done
+        {
+          lease_id = 10;
+          executed = 3;
+          spans =
+            [
+              {
+                Span.cat = "exec";
+                name = "exec:1-";
+                t0_ns = 12345L;
+                dur_ns = 678L;
+                domain = 2;
+                task = 7;
+              };
+            ];
+          metrics = [ ("cells.total", 3); ("interp.steps", 99) ];
+        };
+      Proto.Beat None;
+      Proto.Beat
+        (Some
+           {
+             Fleet.completed = 41;
+             ewma_milli = 2500;
+             queue_depth = 3;
+             rss_kb = 51200;
+             stage_us = [ ("exec", 120000); ("gen", 4000) ];
+           });
       Proto.Shutdown;
     ]
   in
@@ -125,7 +152,10 @@ let test_proto_roundtrip () =
     msgs
 
 let test_proto_checksum () =
-  let s = Proto.encode (Proto.Done { lease_id = 1; executed = 2 }) in
+  let s =
+    Proto.encode
+      (Proto.Done { lease_id = 1; executed = 2; spans = []; metrics = [] })
+  in
   (* flip one payload byte: the per-line MD5 must catch it *)
   let i = String.length s / 2 in
   let flipped =
@@ -134,6 +164,55 @@ let test_proto_checksum () =
   match Proto.decode flipped with
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "flipped byte accepted"
+
+(* messages exactly as a protocol-birth peer emits them: a bare beat,
+   a payload-less done, a flag-less welcome — all must still decode *)
+let test_proto_old_format () =
+  (match Proto.decode (Jsonl.encode_line [ ("m", Jsonl.Str "beat") ]) with
+  | Ok (Proto.Beat None) -> ()
+  | Ok _ -> Alcotest.fail "bare beat decoded with stats"
+  | Error e -> Alcotest.failf "bare beat refused: %s" e);
+  (match
+     Proto.decode
+       (Jsonl.encode_line
+          [
+            ("m", Jsonl.Str "done");
+            ("lease", Jsonl.Int 4);
+            ("executed", Jsonl.Int 7);
+          ])
+   with
+  | Ok (Proto.Done { lease_id = 4; executed = 7; spans = []; metrics = [] }) ->
+      ()
+  | Ok _ -> Alcotest.fail "old done decoded wrong"
+  | Error e -> Alcotest.failf "old done refused: %s" e);
+  (match
+     Proto.decode
+       (Jsonl.encode_line
+          [
+            ("m", Jsonl.Str "welcome");
+            ("worker", Jsonl.Int 2);
+            ("spec", Spec.to_json (small_spec "table4"));
+          ])
+   with
+  | Ok (Proto.Welcome { worker_id = 2; telemetry = false; _ }) -> ()
+  | Ok _ -> Alcotest.fail "old welcome decoded wrong"
+  | Error e -> Alcotest.failf "old welcome refused: %s" e);
+  (* and the payload-less modern encodings are byte-identical to the
+     old ones: an old coordinator can read a new worker's plain done *)
+  Alcotest.(check string)
+    "plain done encodes as v1"
+    (Jsonl.encode_line
+       [
+         ("m", Jsonl.Str "done");
+         ("lease", Jsonl.Int 4);
+         ("executed", Jsonl.Int 7);
+       ])
+    (Proto.encode
+       (Proto.Done { lease_id = 4; executed = 7; spans = []; metrics = [] }));
+  Alcotest.(check string)
+    "bare beat encodes as v1"
+    (Jsonl.encode_line [ ("m", Jsonl.Str "beat") ])
+    (Proto.encode (Proto.Beat None))
 
 let test_addr_parse () =
   (match Proto.addr_of_string "unix:/tmp/x.sock" with
@@ -415,6 +494,50 @@ let half_shard_client truth addr =
   (* die mid-lease: no Done, just a dropped connection *)
   Unix.close fd
 
+(* the fleet aggregator riding a real fabric run: per-worker cell
+   attribution must cover the grid, and the status line must survive a
+   decode/re-encode roundtrip *)
+let test_fabric_fleet () =
+  let spec = small_spec "table4" in
+  let truth = ground_truth spec in
+  with_sock @@ fun addr ->
+  let fleet = Fleet.create ~total:(List.length truth) ~now:(Mclock.now_ns ()) () in
+  let doms = [ Domain.spawn (fun () -> worker addr) ] in
+  let res = Coordinator.serve ~addr ~spec ~workers:1 ~chunk:5 ~fleet () in
+  List.iter Domain.join doms;
+  let cells =
+    match res with
+    | Ok c -> c
+    | Error e -> Alcotest.failf "coordinator: %s" e
+  in
+  check_cells "fleet-observed run still byte-identical" truth cells;
+  let snap =
+    Fleet.snapshot fleet ~now:(Mclock.now_ns ())
+      ~collected:(List.length cells) ~in_flight:0
+  in
+  let worker_cells =
+    List.fold_left (fun a (r : Fleet.row) -> a + r.Fleet.cells) 0 snap.Fleet.rows
+  in
+  Alcotest.(check int) "per-worker cells cover the grid"
+    (List.length truth)
+    (worker_cells + snap.Fleet.local_cells);
+  Alcotest.(check bool) "wire bytes counted" true
+    (List.for_all
+       (fun (r : Fleet.row) -> r.Fleet.bytes_in > 0 && r.Fleet.bytes_out > 0)
+       snap.Fleet.rows);
+  let line = Fleet.snapshot_to_line ~campaign:"table4" ~phase:"done" snap in
+  (match Fleet.snapshot_of_line line with
+  | Ok (c, p, s2) ->
+      Alcotest.(check string) "campaign" "table4" c;
+      Alcotest.(check string) "phase" "done" p;
+      Alcotest.(check string)
+        "snapshot line roundtrips" line
+        (Fleet.snapshot_to_line ~campaign:c ~phase:p s2)
+  | Error e -> Alcotest.failf "status line: %s" e);
+  let table = Fleet.to_table ~campaign:"table4" ~phase:"done" snap in
+  Alcotest.(check bool) "table renders a worker row" true
+    (String.length table > 0)
+
 let test_fabric_torn_worker () =
   let spec = small_spec "table4" in
   let truth = ground_truth spec in
@@ -440,6 +563,8 @@ let () =
           Alcotest.test_case "message round-trips" `Quick test_proto_roundtrip;
           Alcotest.test_case "checksum mismatch rejected" `Quick
             test_proto_checksum;
+          Alcotest.test_case "old-format peer compatibility" `Quick
+            test_proto_old_format;
           Alcotest.test_case "address parsing" `Quick test_addr_parse;
         ] );
       ( "lease",
@@ -462,5 +587,7 @@ let () =
             test_fabric_fuzz;
           Alcotest.test_case "worker death mid-lease" `Slow
             test_fabric_torn_worker;
+          Alcotest.test_case "fleet aggregation over a live run" `Slow
+            test_fabric_fleet;
         ] );
     ]

@@ -151,6 +151,92 @@ let test_histogram_percentiles () =
   | Some Jsonl.Null -> ()
   | _ -> Alcotest.fail "empty histogram should export null percentiles"
 
+let test_prometheus_exposition () =
+  Metrics.reset ();
+  Metrics.add (Metrics.counter "test.prom.total") 7;
+  let h = Metrics.histogram "test.prom.lat" in
+  List.iter (Metrics.observe h) [ 1; 2; 8 ];
+  let text = Metrics.to_prometheus () in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) (Printf.sprintf "exposition contains %S" needle)
+        true (contains text needle))
+    [
+      "# TYPE test_prom_total counter";
+      "test_prom_total 7";
+      "# TYPE test_prom_lat histogram";
+      (* power-of-two buckets as inclusive cumulative upper bounds:
+         floor 1 -> le 1, floor 2 -> le 3, floor 8 -> le 15 *)
+      "test_prom_lat_bucket{le=\"1\"} 1";
+      "test_prom_lat_bucket{le=\"3\"} 2";
+      "test_prom_lat_bucket{le=\"+Inf\"} 3";
+      "test_prom_lat_count 3";
+    ]
+
+(* the merged fleet trace: one pid per process group, per-group epoch
+   rebase (worker monotonic clocks are unrelated), thread per domain *)
+let test_trace_groups_pid_separation () =
+  let sp ~cat ~name ~t0 ~dur ~domain =
+    { Span.cat; name; t0_ns = t0; dur_ns = dur; domain; task = -1 }
+  in
+  let coord =
+    [ sp ~cat:"merge" ~name:"merge" ~t0:5_000_000L ~dur:1_000_000L ~domain:0 ]
+  in
+  let w1 =
+    [
+      sp ~cat:"exec" ~name:"exec:1+" ~t0:9_000_000_000L ~dur:2_000_000L
+        ~domain:1;
+      sp ~cat:"gen" ~name:"generate" ~t0:8_000_000_000L ~dur:1_000_000L
+        ~domain:0;
+    ]
+  in
+  let path = Filename.temp_file "test_obs_groups" ".json" in
+  Trace.write_groups ~path
+    [ ("coordinator", coord); ("worker 1 (host, pid 42)", w1) ];
+  let body = read_file path in
+  Sys.remove path;
+  match Jsonl.of_string (String.trim body) with
+  | Error e -> Alcotest.failf "grouped trace does not parse: %s" e
+  | Ok j ->
+      let events =
+        match Jsonl.member "traceEvents" j with
+        | Some (Jsonl.List l) -> l
+        | _ -> Alcotest.fail "no traceEvents array"
+      in
+      let phase e = Option.bind (Jsonl.member "ph" e) Jsonl.get_str in
+      let pid e = Option.bind (Jsonl.member "pid" e) Jsonl.get_int in
+      let xs = List.filter (fun e -> phase e = Some "X") events in
+      Alcotest.(check (list int)) "distinct pid per group" [ 0; 1 ]
+        (List.sort_uniq compare (List.filter_map pid xs));
+      let labels =
+        List.filter_map
+          (fun e ->
+            if
+              phase e = Some "M"
+              && Option.bind (Jsonl.member "name" e) Jsonl.get_str
+                 = Some "process_name"
+            then
+              Option.bind (Jsonl.member "args" e) (fun a ->
+                  Option.bind (Jsonl.member "name" a) Jsonl.get_str)
+            else None)
+          events
+      in
+      Alcotest.(check (list string)) "groups labelled in order"
+        [ "coordinator"; "worker 1 (host, pid 42)" ]
+        labels;
+      let min_ts p =
+        List.fold_left
+          (fun acc e ->
+            if pid e = Some p then
+              match Option.bind (Jsonl.member "ts" e) Jsonl.get_int with
+              | Some t -> min acc t
+              | None -> acc
+            else acc)
+          max_int xs
+      in
+      Alcotest.(check int) "coordinator epoch rebased to 0" 0 (min_ts 0);
+      Alcotest.(check int) "worker epoch rebased to 0" 0 (min_ts 1)
+
 (* --- progress line --- *)
 
 let test_progress_line () =
@@ -167,6 +253,26 @@ let test_progress_line () =
   Alcotest.(check bool) "shows done/total" true (contains body "3/3");
   Alcotest.(check bool) "tallies classes in arrival order" true
     (contains body "ok:2" && contains body "w:1")
+
+(* resumed/prefilled cells show in done/total but must not inflate the
+   session's rate: only this session's steps feed the tallies *)
+let test_progress_resumed_start () =
+  let path = Filename.temp_file "test_obs_start" ".txt" in
+  let oc = open_out path in
+  let p =
+    Progress.create ~out:oc ~min_interval_ms:0 ~start:2 ~label:"cells"
+      ~total:4 ()
+  in
+  Progress.step p ~tag:"ok";
+  Progress.step p ~tag:"ok";
+  Progress.finish p;
+  close_out oc;
+  let body = read_file path in
+  Sys.remove path;
+  Alcotest.(check bool) "prefill counts toward done/total" true
+    (contains body "4/4");
+  Alcotest.(check bool) "session tallies exclude the prefill" true
+    (contains body "ok:2")
 
 (* a non-tty out channel must degrade to plain newline updates: no
    carriage returns, no escape sequences, parseable by any log viewer *)
@@ -291,7 +397,12 @@ let () =
           Alcotest.test_case "records + survives raise" `Quick
             test_span_records_and_survives_raise;
         ] );
-      ("trace", [ Alcotest.test_case "chrome export" `Quick test_trace_export ]);
+      ( "trace",
+        [
+          Alcotest.test_case "chrome export" `Quick test_trace_export;
+          Alcotest.test_case "grouped fleet export" `Quick
+            test_trace_groups_pid_separation;
+        ] );
       ( "metrics",
         [
           Alcotest.test_case "counters + json" `Quick
@@ -299,10 +410,13 @@ let () =
           Alcotest.test_case "histogram buckets" `Quick test_histogram_bucketing;
           Alcotest.test_case "histogram percentiles" `Quick
             test_histogram_percentiles;
+          Alcotest.test_case "prometheus exposition" `Quick
+            test_prometheus_exposition;
         ] );
       ( "progress",
         [
           Alcotest.test_case "line" `Quick test_progress_line;
+          Alcotest.test_case "resumed start" `Quick test_progress_resumed_start;
           Alcotest.test_case "plain fallback" `Quick test_progress_plain_fallback;
           Alcotest.test_case "ansi style" `Quick test_progress_ansi_style;
         ] );
