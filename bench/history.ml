@@ -79,6 +79,7 @@ let checks_of = function
   | "fuzz_feedback_vs_blind" ->
       Some ([ "budget"; "seed"; "jobs" ], [], Some "coverage")
   | "dist_loopback" -> Some ([ "cells"; "workers" ], [ "cells_per_s" ], None)
+  | "serve_stress" -> Some ([ "clients"; "requests" ], [ "req_per_s" ], None)
   | _ -> None
 
 let threshold = 0.15 (* relative cells/s drop that counts as a regression *)

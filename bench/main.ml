@@ -392,6 +392,160 @@ let dist () =
   History.record payload
 
 (* ------------------------------------------------------------------ *)
+(* Corpus service: client domains hammering one serve daemon           *)
+(* ------------------------------------------------------------------ *)
+
+let serve_bench () =
+  section "Corpus service — concurrent clients hammering one serve daemon";
+  let clients = 4 and requests = 200 in
+  let max_inflight = 4 and max_queue = 4 in
+  let sock = Filename.temp_file "bench_serve" ".sock" in
+  Sys.remove sock;
+  let state = Filename.temp_file "bench_serve" ".journal" in
+  Sys.remove state;
+  let addr = Netaddr.Unix_sock sock in
+  let store =
+    match Svstore.open_ ~path:state with
+    | Ok s -> s
+    | Error m -> failwith ("serve bench: " ^ m)
+  in
+  let stop = Atomic.make false in
+  let server =
+    Domain.spawn (fun () ->
+        Server.run ~addr ~store ~max_inflight ~max_queue ~stop ())
+  in
+  (match Sclient.get ~addr ~retries:40 "/healthz" with
+  | Ok _ -> ()
+  | Error m -> failwith ("serve bench: daemon not up: " ^ m));
+  (* a small corpus so queries have something to chew on *)
+  let kernels =
+    List.init 8 (fun i ->
+        let seed = i + 1 in
+        let tc, _ =
+          Generate.generate ~cfg:(Gen_config.scaled Gen_config.Basic) ~seed ()
+        in
+        let text = Pp.program_to_string tc.Ast.prog in
+        ( {
+            Corpus.hash = Corpus.hash_text text;
+            seed;
+            mode = "basic";
+            cls = "candidate";
+            config = 0;
+            opt = "-";
+          },
+          text ))
+  in
+  List.iter
+    (fun (e, text) ->
+      match Sclient.submit_kernel ~addr e text with
+      | Ok _ -> ()
+      | Error m -> failwith ("serve bench submit: " ^ m))
+    kernels;
+  (* steady-state throughput: each client loops a GET/POST request mix,
+     timing every request round trip *)
+  let t0 = Unix.gettimeofday () in
+  let doms =
+    List.init clients (fun c ->
+        Domain.spawn (fun () ->
+            let lat = ref [] in
+            for i = 0 to requests - 1 do
+              let path =
+                match i mod 4 with
+                | 0 -> "/healthz"
+                | 1 -> "/coverage"
+                | 2 -> "/bugs"
+                | _ -> "/corpus"
+              in
+              let r0 = Mclock.now_ns () in
+              (match
+                 if i mod 8 = 7 then
+                   (* duplicate submit: exercises the idempotent write path *)
+                   let e, text = List.nth kernels (c mod List.length kernels) in
+                   Result.map (fun (_ : bool) -> ()) (Sclient.submit_kernel ~addr e text)
+                 else Result.map (fun (_ : Sclient.resp) -> ()) (Sclient.get ~addr path)
+               with
+              | Ok () -> ()
+              | Error m -> failwith ("serve bench client: " ^ m));
+              let us =
+                Int64.to_int (Int64.div (Int64.sub (Mclock.now_ns ()) r0) 1_000L)
+              in
+              lat := us :: !lat
+            done;
+            !lat))
+  in
+  let latencies = List.concat_map Domain.join doms in
+  let dt = Unix.gettimeofday () -. t0 in
+  let total = clients * requests in
+  let sorted = List.sort compare latencies in
+  let arr = Array.of_list sorted in
+  let pct p =
+    if Array.length arr = 0 then 0
+    else arr.(min (Array.length arr - 1) (p * Array.length arr / 100))
+  in
+  let p50 = pct 50 and p99 = pct 99 in
+  Printf.printf "%d requests over %d clients in %.2fs (%.1f req/s)\n" total
+    clients dt
+    (float total /. dt);
+  Printf.printf "round-trip p50 %d us, p99 %d us\n" p50 p99;
+  (* overload: open more idle connections than the daemon admits + parks;
+     the overflow must come back as immediate 429s, the parked ones as
+     queue-timeout 429s — the daemon refuses rather than stalls *)
+  let burst = max_inflight + max_queue + 8 in
+  let socks =
+    List.filter_map
+      (fun _ -> Result.to_option (Netaddr.connect addr))
+      (List.init burst (fun i -> i))
+  in
+  let shed_seen = ref 0 in
+  List.iter
+    (fun fd ->
+      Unix.setsockopt_float fd Unix.SO_RCVTIMEO 4.0;
+      let buf = Bytes.create 4096 in
+      (match Unix.read fd buf 0 (Bytes.length buf) with
+      | 0 -> ()
+      | n ->
+          let reply = Bytes.sub_string buf 0 n in
+          if String.length reply >= 12 && String.sub reply 9 3 = "429" then
+            incr shed_seen
+      | exception Unix.Unix_error _ -> ());
+      try Unix.close fd with Unix.Unix_error _ -> ())
+    socks;
+  Printf.printf "overload: %d idle connections -> %d shed with 429\n" burst
+    !shed_seen;
+  Atomic.set stop true;
+  let server_stats =
+    match Domain.join server with
+    | Ok s -> s
+    | Error m -> failwith ("serve bench daemon: " ^ m)
+  in
+  Svstore.close store;
+  (try Sys.remove state with Sys_error _ -> ());
+  Printf.printf "daemon: %d requests served, %d shed, %d timeouts\n"
+    server_stats.Server.requests server_stats.Server.shed
+    server_stats.Server.timeouts;
+  let payload =
+    Printf.sprintf
+      "{\"bench\":\"serve_stress\",\"schema\":1,\"clients\":%d,\"requests\":%d,\
+       \"t_s\":%.3f,\"req_per_s\":%.1f,\"p50_us\":%d,\"p99_us\":%d,\
+       \"overload_conns\":%d,\"overload_shed\":%d,\"server_requests\":%d,\
+       \"host\":{\"cores\":%d,\"ocaml\":%S,\"os\":%S,\"word_size\":%d,\
+       \"commit\":%S}}"
+      clients total dt
+      (float total /. dt)
+      p50 p99 burst !shed_seen server_stats.Server.requests (Hostinfo.cores ())
+      Hostinfo.ocaml_version Hostinfo.os_type Hostinfo.word_size
+      (Hostinfo.git_commit ())
+  in
+  Printf.printf "BENCH-JSON %s\n" payload;
+  (try
+     let oc = open_out "BENCH_serve.json" in
+     output_string oc (payload ^ "\n");
+     close_out oc;
+     Printf.printf "serve record written to BENCH_serve.json\n"
+   with Sys_error m -> Printf.eprintf "could not write BENCH_serve.json: %s\n" m);
+  History.record payload
+
+(* ------------------------------------------------------------------ *)
 (* Coverage-guided fuzzing: feedback on vs off at equal budget         *)
 (* ------------------------------------------------------------------ *)
 
@@ -545,6 +699,7 @@ let all_experiments () =
   table5 ();
   scaling ();
   dist ();
+  serve_bench ();
   fuzz ();
   micro ()
 
@@ -588,6 +743,7 @@ let () =
           | "ablate" -> ablate ()
           | "scaling" -> scaling ()
           | "dist" -> dist ()
+          | "serve" -> serve_bench ()
           | "fuzz" -> fuzz ()
           | "compare" -> rc := max !rc (History.compare_latest ())
           | "all" -> all_experiments ()

@@ -1234,7 +1234,7 @@ let status_cmd =
     | Ok a -> read_sock a
     | Error _ -> read_file target
   in
-  let run target watch =
+  let run target watch json =
     let once () =
       match fetch target with
       | Error m -> Error m
@@ -1242,7 +1242,10 @@ let status_cmd =
           match Fleet.snapshot_of_line line with
           | Error m -> Error m
           | Ok (campaign, phase, snap) ->
-              print_string (Fleet.to_table ~campaign ~phase snap);
+              if json then
+                print_endline
+                  (Jsonl.to_string (Fleet.snapshot_to_json ~campaign ~phase snap))
+              else print_string (Fleet.to_table ~campaign ~phase snap);
               flush stdout;
               Ok phase)
     in
@@ -1287,7 +1290,14 @@ let status_cmd =
           & info [ "watch" ] ~docv:"SECS"
               ~doc:
                 "Redraw every $(docv) seconds until the snapshot reports \
-                 phase $(b,done). Default: render once and exit."))
+                 phase $(b,done). Default: render once and exit.")
+      $ Arg.(
+          value & flag
+          & info [ "json" ]
+              ~doc:
+                "Print the snapshot as one canonical JSON object (the \
+                 status-line schema without its checksum field) instead of \
+                 the table, for scripts."))
 
 let worker_cmd =
   let run addr jobs retries journal =
@@ -1338,6 +1348,362 @@ let worker_cmd =
                  cell, and on restart replay it instead of re-executing \
                  cells that land in a fresh lease."))
 
+(* ------------------------------------------------------------------ *)
+(* Corpus as a service: serve daemon, campaign client, corpus fsck     *)
+(* ------------------------------------------------------------------ *)
+
+let serve_cmd =
+  let run listen state max_inflight max_queue read_timeout_ms queue_timeout_ms =
+    match Svstore.open_ ~path:state with
+    | Error m -> fail "serve: %s" m
+    | Ok store -> (
+        let stop = Atomic.make false in
+        let arm signal =
+          try Sys.set_signal signal (Sys.Signal_handle (fun _ -> Atomic.set stop true))
+          with Invalid_argument _ | Sys_error _ -> ()
+        in
+        arm Sys.sigint;
+        arm Sys.sigterm;
+        report "serving on %s (journal %s: %d kernels, %d cells)"
+          (Proto.addr_to_string listen)
+          state
+          (Svstore.kernel_count store)
+          (Svstore.cell_count store);
+        match
+          Server.run ~addr:listen ~store ~max_inflight ~max_queue
+            ~read_timeout_ms ~queue_timeout_ms ~stop ()
+        with
+        | Ok stats ->
+            Svstore.close store;
+            report "served %d requests (%d shed, %d timeouts)"
+              stats.Server.requests stats.Server.shed stats.Server.timeouts;
+            0
+        | Error m ->
+            Svstore.close store;
+            fail "serve: %s" m)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the corpus service: a long-lived daemon owning the \
+          content-addressed kernel corpus, the coverage bitmap and the \
+          distinct-bug store behind a small HTTP/1.1 JSON API (submit \
+          kernels, claim work, report observations, query bugs / coverage \
+          / corpus, Prometheus $(b,/metrics), live HTML $(b,/report)). \
+          Every state change is journalled and flushed before it is \
+          acknowledged, so a daemon killed at any instant restarts from \
+          $(b,--state) to byte-identical query results. Under overload it \
+          sheds with 429 + Retry-After instead of queueing without bound.")
+    Term.(
+      const run
+      $ Arg.(
+          required
+          & opt (some addr_conv) None
+          & info [ "listen" ] ~docv:"ADDR"
+              ~doc:"Address to serve on: $(b,unix:PATH) or $(b,HOST:PORT).")
+      $ Arg.(
+          value
+          & opt string "serve.journal"
+          & info [ "state" ] ~docv:"FILE"
+              ~doc:
+                "The append-only server journal: created if absent, \
+                 replayed if present.")
+      $ Arg.(
+          value & opt int 64
+          & info [ "max-inflight" ]
+              ~doc:"Connections admitted (read and served) concurrently.")
+      $ Arg.(
+          value & opt int 64
+          & info [ "max-queue" ]
+              ~doc:
+                "Connections parked beyond the admitted set before new \
+                 arrivals are shed with 429.")
+      $ Arg.(
+          value & opt int 10_000
+          & info [ "read-timeout-ms" ]
+              ~doc:
+                "Close an admitted connection with no read progress for \
+                 this long (408 if it left a partial request).")
+      $ Arg.(
+          value & opt int 2_000
+          & info [ "queue-timeout-ms" ]
+              ~doc:"Shed a parked connection that waited this long (429)."))
+
+(* the serve client's execution loop shares the campaign's outcome
+   classification: majority vote across the above-threshold configs,
+   exactly like table 4 *)
+let client_execute ~addr ~configs (e : Corpus.entry) text =
+  match Gen_config.mode_of_string e.Corpus.mode with
+  | None -> Error (Printf.sprintf "unknown generation mode %S" e.Corpus.mode)
+  | Some m ->
+      let tc, _ =
+        Generate.generate ~cfg:(Gen_config.scaled m) ~seed:e.Corpus.seed ()
+      in
+      if not (String.equal (Corpus.hash_text (Pp.program_to_string tc.Ast.prog)) e.Corpus.hash)
+      then Error (Printf.sprintf "kernel %s does not regenerate from its seed" e.Corpus.hash)
+      else begin
+        ignore text;
+        let prepared = Driver.prepare tc in
+        let features = Driver.features_of_prepared prepared in
+        let signature = Triage.signature_of_features features in
+        let runs =
+          List.concat_map
+            (fun id ->
+              List.map
+                (fun opt ->
+                  let outcome, stats =
+                    Driver.run_prepared_stats (Config.find id) ~opt prepared
+                  in
+                  (id, opt, outcome, stats))
+                [ false; true ])
+            configs
+        in
+        let majority =
+          Majority.majority_output (List.map (fun (_, _, o, _) -> o) runs)
+        in
+        let results =
+          List.map
+            (fun (id, opt, outcome, stats) ->
+              let divergent = Majority.is_wrong_code ~majority outcome in
+              let cov =
+                Covmap.indices ~features ~config:id ~opt ~divergent ~outcome
+                  ~stats
+              in
+              let opt_s = if opt then "+" else "-" in
+              let cell =
+                {
+                  Journal.index = 0;
+                  seed = e.Corpus.seed;
+                  mode = e.Corpus.mode;
+                  config = id;
+                  opt = opt_s;
+                  outcomes = [ outcome ];
+                  note = "";
+                }
+              in
+              let cls =
+                match Majority.bucket_of ~majority outcome with
+                | Majority.B_wrong -> Some "wrong-code"
+                | Majority.B_bf -> Some "build-failure"
+                | Majority.B_crash -> Some "crash"
+                | Majority.B_ok | Majority.B_timeout -> None
+              in
+              let obs =
+                Option.map
+                  (fun cls ->
+                    {
+                      Triage.o_cls = cls;
+                      o_config = id;
+                      o_opt = opt_s;
+                      o_signature = signature;
+                      o_seed = e.Corpus.seed;
+                      o_mode = e.Corpus.mode;
+                      o_hash = e.Corpus.hash;
+                    })
+                  cls
+              in
+              (cell, obs, cov))
+            runs
+        in
+        let rec ship = function
+          | [] -> Ok (List.length results)
+          | (cell, obs, cov) :: rest -> (
+              match Sclient.report_observation ~addr ~cell ~obs ~cov () with
+              | Error m -> Error m
+              | Ok _ -> ship rest)
+        in
+        ship results
+      end
+
+let client_cmd =
+  let run action addr retries count mode seed_base max_claims configs out =
+    let addr_s = Proto.addr_to_string addr in
+    let get path =
+      match Sclient.get ~addr ~retries path with
+      | Error m -> Error m
+      | Ok r when r.Sclient.status <> 200 ->
+          Error (Printf.sprintf "%s: status %d: %s" path r.Sclient.status r.Sclient.body)
+      | Ok r -> Ok r.Sclient.body
+    in
+    match action with
+    | `Health -> (
+        match get "/healthz" with
+        | Ok body -> emit out (body ^ "\n")
+        | Error m -> fail "client: %s" m)
+    | `Bugs -> (
+        match get "/bugs" with
+        | Ok body -> emit out (body ^ "\n")
+        | Error m -> fail "client: %s" m)
+    | `Coverage -> (
+        match get "/coverage" with
+        | Ok body -> emit out (body ^ "\n")
+        | Error m -> fail "client: %s" m)
+    | `Corpus -> (
+        match get "/corpus" with
+        | Ok body -> emit out (body ^ "\n")
+        | Error m -> fail "client: %s" m)
+    | `Metrics -> (
+        match get "/metrics.json" with
+        | Ok body -> emit out (body ^ "\n")
+        | Error m -> fail "client: %s" m)
+    | `Report -> (
+        match get "/report" with
+        | Ok body -> emit out body
+        | Error m -> fail "client: %s" m)
+    | `Gen -> (
+        match Gen_config.mode_of_string mode with
+        | None -> fail "client: unknown generation mode %S" mode
+        | Some m -> (
+            let rec go i added =
+              if i >= count then Ok added
+              else
+                let seed = seed_base + i in
+                let tc, _ =
+                  Generate.generate ~cfg:(Gen_config.scaled m) ~seed ()
+                in
+                let text = Pp.program_to_string tc.Ast.prog in
+                let e =
+                  {
+                    Corpus.hash = Corpus.hash_text text;
+                    seed;
+                    mode;
+                    cls = "candidate";
+                    config = 0;
+                    opt = "-";
+                  }
+                in
+                match Sclient.submit_kernel ~addr ~retries e text with
+                | Error m -> Error m
+                | Ok fresh -> go (i + 1) (added + if fresh then 1 else 0)
+            in
+            match go 0 0 with
+            | Ok added ->
+                report "submitted %d kernels to %s (%d new)" count addr_s added;
+                0
+            | Error m -> fail "client: %s" m))
+    | `Run -> (
+        let config_ids =
+          match configs with
+          | [] -> Config.above_threshold_ids
+          | ids -> ids
+        in
+        let rec go claimed cells =
+          if max_claims > 0 && claimed >= max_claims then Ok (claimed, cells)
+          else
+            match Sclient.claim ~addr ~retries () with
+            | Error m -> Error m
+            | Ok None -> Ok (claimed, cells)
+            | Ok (Some (e, text)) -> (
+                match client_execute ~addr ~configs:config_ids e text with
+                | Error m -> Error m
+                | Ok n -> go (claimed + 1) (cells + n))
+        in
+        match go 0 0 with
+        | Ok (claimed, cells) ->
+            report "ran %d claimed kernels (%d cells reported) against %s"
+              claimed cells addr_s;
+            0
+        | Error m -> fail "client: %s" m)
+  in
+  let action_conv =
+    Arg.enum
+      [
+        ("health", `Health); ("gen", `Gen); ("run", `Run); ("bugs", `Bugs);
+        ("coverage", `Coverage); ("corpus", `Corpus); ("metrics", `Metrics);
+        ("report", `Report);
+      ]
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:
+         "Talk to a $(b,campaign serve) daemon: $(b,gen) submits freshly \
+          generated kernels, $(b,run) claims submitted kernels and executes \
+          them across the device matrix (reporting every cell, its triage \
+          classification and its coverage points back), and $(b,health) / \
+          $(b,bugs) / $(b,coverage) / $(b,corpus) / $(b,metrics) / \
+          $(b,report) print the daemon's live answers.")
+    Term.(
+      const run
+      $ Arg.(
+          required
+          & pos 0 (some action_conv) None
+          & info [] ~docv:"ACTION"
+              ~doc:
+                "One of $(b,health), $(b,gen), $(b,run), $(b,bugs), \
+                 $(b,coverage), $(b,corpus), $(b,metrics), $(b,report).")
+      $ Arg.(
+          required
+          & opt (some addr_conv) None
+          & info [ "connect" ] ~docv:"ADDR"
+              ~doc:"Daemon address: $(b,unix:PATH) or $(b,HOST:PORT).")
+      $ Arg.(
+          value & opt int 20
+          & info [ "retries" ]
+              ~doc:
+                "Connection attempts while the daemon is not up yet (half \
+                 a second apart).")
+      $ Arg.(
+          value & opt int 10
+          & info [ "count" ] ~doc:"Kernels to generate and submit ($(b,gen)).")
+      $ Arg.(
+          value & opt string "basic"
+          & info [ "mode" ] ~docv:"MODE"
+              ~doc:"Generation mode for $(b,gen) (see $(b,table4)).")
+      $ Arg.(
+          value & opt int 1
+          & info [ "seed-base" ] ~docv:"SEED"
+              ~doc:"First generator seed for $(b,gen); kernel i uses SEED+i.")
+      $ Arg.(
+          value & opt int 0
+          & info [ "max-claims" ]
+              ~doc:
+                "Stop $(b,run) after this many claimed kernels. Default 0: \
+                 run until the daemon has no unclaimed work.")
+      $ Arg.(
+          value
+          & opt (list int) []
+          & info [ "configs" ] ~docv:"IDS"
+              ~doc:
+                "Configuration ids $(b,run) executes against. Default: the \
+                 above-threshold set (as in table 4).")
+      $ out_arg)
+
+let corpus_cmd =
+  let verify_cmd =
+    let run dir =
+      match Corpus.fsck ~dir with
+      | [] -> (
+          match Corpus.index ~dir with
+          | Ok entries ->
+              report "corpus %s: healthy (%d index entries)" dir
+                (List.length entries);
+              0
+          | Error m -> fail "corpus: %s" m)
+      | damage ->
+          List.iter
+            (fun d -> report "damage: %s" (Corpus.damage_to_string d))
+            damage;
+          fail "corpus %s: %d problem%s found" dir (List.length damage)
+            (if List.length damage = 1 then "" else "s")
+    in
+    Cmd.v
+      (Cmd.info "verify"
+         ~doc:
+           "Fsck a content-addressed corpus: re-hash every indexed kernel, \
+            flag index entries whose kernel file is missing, kernel files \
+            the index does not reference, and duplicate index keys. Exits \
+            nonzero when any damage is found.")
+      Term.(
+        const run
+        $ Arg.(
+            required
+            & pos 0 (some string) None
+            & info [] ~docv:"DIR" ~doc:"The corpus directory."))
+  in
+  Cmd.group
+    (Cmd.info "corpus" ~doc:"Inspect and verify a content-addressed corpus")
+    [ verify_cmd ]
+
 let () =
   exit
     (Cmd.eval'
@@ -1349,4 +1715,5 @@ let () =
             figure_cmd "figure1" Exhibit.figure1 "Figure 1 bug exhibits";
             figure_cmd "figure2" Exhibit.figure2 "Figure 2 bug exhibits";
             races_cmd; reduce_cmd; coordinate_cmd; worker_cmd;
+            serve_cmd; client_cmd; corpus_cmd;
           ]))

@@ -507,23 +507,28 @@ let row_of_json j =
         }
   | _ -> None
 
+let snapshot_fields ~campaign ~phase s =
+  [
+    ("v", Jsonl.Int status_version);
+    ("campaign", Jsonl.Str campaign);
+    ("phase", Jsonl.Str phase);
+    ("total", Jsonl.Int s.total);
+    ("collected", Jsonl.Int s.collected);
+    ("in_flight", Jsonl.Int s.in_flight);
+    ("elapsed_ms", Jsonl.Int s.elapsed_ms);
+    ("rate_milli", Jsonl.Int s.fleet_milli);
+    ("eta_ms", Jsonl.Int s.eta_ms);
+    ("local_cells", Jsonl.Int s.local_cells);
+    ("stage_us", stage_json s.stage_us);
+    ("stragglers", Jsonl.List (List.map (fun w -> Jsonl.Int w) s.stragglers));
+    ("workers", Jsonl.List (List.map row_to_json s.rows));
+  ]
+
 let snapshot_to_line ~campaign ~phase s =
-  Jsonl.encode_line
-    [
-      ("v", Jsonl.Int status_version);
-      ("campaign", Jsonl.Str campaign);
-      ("phase", Jsonl.Str phase);
-      ("total", Jsonl.Int s.total);
-      ("collected", Jsonl.Int s.collected);
-      ("in_flight", Jsonl.Int s.in_flight);
-      ("elapsed_ms", Jsonl.Int s.elapsed_ms);
-      ("rate_milli", Jsonl.Int s.fleet_milli);
-      ("eta_ms", Jsonl.Int s.eta_ms);
-      ("local_cells", Jsonl.Int s.local_cells);
-      ("stage_us", stage_json s.stage_us);
-      ("stragglers", Jsonl.List (List.map (fun w -> Jsonl.Int w) s.stragglers));
-      ("workers", Jsonl.List (List.map row_to_json s.rows));
-    ]
+  Jsonl.encode_line (snapshot_fields ~campaign ~phase s)
+
+let snapshot_to_json ~campaign ~phase s =
+  Jsonl.Obj (snapshot_fields ~campaign ~phase s)
 
 let snapshot_of_line line =
   match Jsonl.decode_line line with

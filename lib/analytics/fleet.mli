@@ -131,6 +131,10 @@ val snapshot_to_line : campaign:string -> phase:string -> snapshot -> string
     [--status] file/socket payload. [phase] is ["fabric"], ["merge"]
     or ["done"]. *)
 
+val snapshot_to_json : campaign:string -> phase:string -> snapshot -> Jsonl.t
+(** The same object as {!snapshot_to_line} but as a JSON value without
+    the checksum field — what [campaign status --json] prints. *)
+
 val snapshot_of_line : string -> (string * string * snapshot, string) result
 (** Parse and checksum-verify a status line back into
     [(campaign, phase, snapshot)]. *)

@@ -91,24 +91,7 @@ let serve ~addr ~spec ~workers ?chunk ?(lease_ttl_ms = default_ttl_ms) ?resume
   (match Sys.signal Sys.sigpipe Sys.Signal_ignore with
   | _ -> ()
   | exception Invalid_argument _ -> ());
-  let setup addr =
-    match Proto.sockaddr_of addr with
-    | Error e -> Error e
-    | Ok sockaddr -> (
-        (match addr with
-        | Proto.Unix_sock path when Sys.file_exists path ->
-            (try Unix.unlink path with Unix.Unix_error _ -> ())
-        | _ -> ());
-        let fd = Unix.socket (Unix.domain_of_sockaddr sockaddr) Unix.SOCK_STREAM 0 in
-        try
-          Unix.setsockopt fd Unix.SO_REUSEADDR true;
-          Unix.bind fd sockaddr;
-          Unix.listen fd 16;
-          Ok fd
-        with Unix.Unix_error (err, fn, _) ->
-          Unix.close fd;
-          Error (Printf.sprintf "%s: %s" fn (Unix.error_message err)))
-  in
+  let setup addr = Netaddr.listen addr in
   let setup_both () =
     match setup addr with
     | Error e -> Error e

@@ -40,34 +40,9 @@ let recv fd dec buf =
   go ()
 
 let connect ~addr ~retries =
-  match Proto.sockaddr_of addr with
+  match Netaddr.connect ~retries ~pause:retry_pause addr with
+  | Ok fd -> fd
   | Error e -> raise (Fail e)
-  | Ok sockaddr ->
-      let rec attempt left =
-        let fd =
-          Unix.socket (Unix.domain_of_sockaddr sockaddr) Unix.SOCK_STREAM 0
-        in
-        match Unix.connect fd sockaddr with
-        | () -> fd
-        | exception Unix.Unix_error (err, _, _) ->
-            (try Unix.close fd with Unix.Unix_error _ -> ());
-            let transient =
-              match err with
-              | Unix.ECONNREFUSED | Unix.ENOENT | Unix.ECONNRESET -> true
-              | _ -> false
-            in
-            if transient && left > 0 then begin
-              Unix.sleepf retry_pause;
-              attempt (left - 1)
-            end
-            else
-              raise
-                (Fail
-                   (Printf.sprintf "connect %s: %s"
-                      (Proto.addr_to_string addr)
-                      (Unix.error_message err)))
-      in
-      attempt retries
 
 (* the heartbeat domain: measures its own cell-completion EWMA between
    naps and ships a stats beat. Sends share the connection mutex with

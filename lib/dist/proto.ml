@@ -161,45 +161,13 @@ let decode line =
       | None -> Error "missing message kind")
 
 (* ------------------------------------------------------------------ *)
-(* Addresses                                                           *)
+(* Addresses — shared with [campaign serve], so the grammar and socket
+   bootstrap live in Netaddr; these aliases keep existing call sites
+   (and pattern matches on the constructors) compiling unchanged.       *)
 (* ------------------------------------------------------------------ *)
 
-type addr = Unix_sock of string | Tcp of string * int
+type addr = Netaddr.t = Unix_sock of string | Tcp of string * int
 
-let addr_of_string s =
-  match String.index_opt s ':' with
-  | None -> Error (Printf.sprintf "address %S: expected unix:PATH or HOST:PORT" s)
-  | Some _ when String.length s > 5 && String.sub s 0 5 = "unix:" ->
-      let path = String.sub s 5 (String.length s - 5) in
-      Ok (Unix_sock path)
-  | Some _ -> (
-      (* HOST:PORT, split on the last colon *)
-      match String.rindex_opt s ':' with
-      | None -> assert false
-      | Some i -> (
-          let host = String.sub s 0 i in
-          let port = String.sub s (i + 1) (String.length s - i - 1) in
-          match int_of_string_opt port with
-          | Some p when p > 0 && p < 65536 && host <> "" -> Ok (Tcp (host, p))
-          | _ ->
-              Error
-                (Printf.sprintf "address %S: bad port %S (or empty host)" s
-                   port)))
-
-let addr_to_string = function
-  | Unix_sock p -> "unix:" ^ p
-  | Tcp (h, p) -> Printf.sprintf "%s:%d" h p
-
-let sockaddr_of = function
-  | Unix_sock p -> Ok (Unix.ADDR_UNIX p)
-  | Tcp (host, port) -> (
-      match Unix.inet_addr_of_string host with
-      | ip -> Ok (Unix.ADDR_INET (ip, port))
-      | exception Failure _ -> (
-          match Unix.gethostbyname host with
-          | { Unix.h_addr_list = [||]; _ } ->
-              Error (Printf.sprintf "host %S has no address" host)
-          | { Unix.h_addr_list; _ } ->
-              Ok (Unix.ADDR_INET (h_addr_list.(0), port))
-          | exception Not_found ->
-              Error (Printf.sprintf "host %S not found" host)))
+let addr_of_string = Netaddr.of_string
+let addr_to_string = Netaddr.to_string
+let sockaddr_of = Netaddr.sockaddr_of

@@ -1,4 +1,4 @@
-let max_frame = 16 * 1024 * 1024
+let max_frame = Netaddr.max_payload
 
 (* longest legal length header: decimal digits of max_frame *)
 let max_header = String.length (string_of_int max_frame)

@@ -132,3 +132,37 @@ let to_hex t =
   let buf = Buffer.create (2 * Bytes.length t) in
   Bytes.iter (fun c -> Buffer.add_string buf (Printf.sprintf "%02x" (Char.code c))) t;
   Buffer.contents buf
+
+let of_hex s =
+  let nibble c =
+    match c with
+    | '0' .. '9' -> Some (Char.code c - Char.code '0')
+    | 'a' .. 'f' -> Some (Char.code c - Char.code 'a' + 10)
+    | _ -> None
+  in
+  if String.length s <> size / 4 then None
+  else
+    let t = create () in
+    let ok = ref true in
+    for i = 0 to Bytes.length t - 1 do
+      match (nibble s.[2 * i], nibble s.[(2 * i) + 1]) with
+      | Some hi, Some lo -> Bytes.set t i (Char.chr ((hi lsl 4) lor lo))
+      | _ -> ok := false
+    done;
+    if !ok then Some t else None
+
+let merge dst src =
+  let news = ref 0 in
+  for i = 0 to Bytes.length dst - 1 do
+    let d = Char.code (Bytes.get dst i) and s = Char.code (Bytes.get src i) in
+    let fresh = s land lnot d in
+    if fresh <> 0 then begin
+      let v = ref fresh in
+      while !v <> 0 do
+        news := !news + (!v land 1);
+        v := !v lsr 1
+      done;
+      Bytes.set dst i (Char.chr (d lor s))
+    end
+  done;
+  !news

@@ -72,3 +72,12 @@ val to_hex : t -> string
 (** Canonical lowercase-hex rendering of the bitmap bytes — the
     coverage artifact persisted next to a campaign's corpus; equal
     maps render to equal bytes. *)
+
+val of_hex : string -> t option
+(** Inverse of {!to_hex}; [None] on wrong length or a non-hex byte
+    (uppercase digits are rejected — the rendering is canonical). *)
+
+val merge : t -> t -> int
+(** [merge dst src] ors [src] into [dst]; the number of bits newly set
+    in [dst]. How a serve daemon folds coverage reported by remote
+    clients into its authoritative map. *)

@@ -1,0 +1,104 @@
+type t = Unix_sock of string | Tcp of string * int
+
+(* one shared payload ceiling for every socket surface: dist frames and
+   serve request bodies reject anything larger *)
+let max_payload = 16 * 1024 * 1024
+
+let of_string s =
+  match String.index_opt s ':' with
+  | None -> Error (Printf.sprintf "address %S: expected unix:PATH or HOST:PORT" s)
+  | Some _ when String.length s > 5 && String.sub s 0 5 = "unix:" ->
+      let path = String.sub s 5 (String.length s - 5) in
+      Ok (Unix_sock path)
+  | Some _ -> (
+      (* HOST:PORT, split on the last colon *)
+      match String.rindex_opt s ':' with
+      | None -> assert false
+      | Some i -> (
+          let host = String.sub s 0 i in
+          let port = String.sub s (i + 1) (String.length s - i - 1) in
+          match int_of_string_opt port with
+          | Some p when p > 0 && p < 65536 && host <> "" -> Ok (Tcp (host, p))
+          | _ ->
+              Error
+                (Printf.sprintf "address %S: bad port %S (or empty host)" s
+                   port)))
+
+let to_string = function
+  | Unix_sock p -> "unix:" ^ p
+  | Tcp (h, p) -> Printf.sprintf "%s:%d" h p
+
+let sockaddr_of = function
+  | Unix_sock p -> Ok (Unix.ADDR_UNIX p)
+  | Tcp (host, port) -> (
+      match Unix.inet_addr_of_string host with
+      | ip -> Ok (Unix.ADDR_INET (ip, port))
+      | exception Failure _ -> (
+          match Unix.gethostbyname host with
+          | { Unix.h_addr_list = [||]; _ } ->
+              Error (Printf.sprintf "host %S has no address" host)
+          | { Unix.h_addr_list; _ } ->
+              Ok (Unix.ADDR_INET (h_addr_list.(0), port))
+          | exception Not_found ->
+              Error (Printf.sprintf "host %S not found" host)))
+
+let cleanup = function
+  | Unix_sock path ->
+      (try Unix.unlink path with Unix.Unix_error _ | Sys_error _ -> ())
+  | Tcp _ -> ()
+
+let listen ?(backlog = 16) addr =
+  match sockaddr_of addr with
+  | Error e -> Error e
+  | Ok sockaddr -> (
+      (* a stale unix socket file from a killed process must not block
+         the rebind *)
+      (match addr with
+      | Unix_sock path when Sys.file_exists path -> cleanup addr
+      | _ -> ());
+      let fd = Unix.socket (Unix.domain_of_sockaddr sockaddr) Unix.SOCK_STREAM 0 in
+      try
+        Unix.setsockopt fd Unix.SO_REUSEADDR true;
+        Unix.bind fd sockaddr;
+        Unix.listen fd backlog;
+        Ok fd
+      with Unix.Unix_error (err, fn, _) ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        Error (Printf.sprintf "%s: %s" fn (Unix.error_message err)))
+
+let default_retry_pause = 0.5
+
+let connect ?(retries = 0) ?(pause = default_retry_pause) addr =
+  match sockaddr_of addr with
+  | Error e -> Error e
+  | Ok sockaddr ->
+      let rec attempt left =
+        let fd =
+          Unix.socket (Unix.domain_of_sockaddr sockaddr) Unix.SOCK_STREAM 0
+        in
+        match Unix.connect fd sockaddr with
+        | () -> Ok fd
+        | exception Unix.Unix_error (err, _, _) ->
+            (try Unix.close fd with Unix.Unix_error _ -> ());
+            let transient =
+              match err with
+              | Unix.ECONNREFUSED | Unix.ENOENT | Unix.ECONNRESET -> true
+              | _ -> false
+            in
+            if transient && left > 0 then begin
+              Unix.sleepf pause;
+              attempt (left - 1)
+            end
+            else
+              Error
+                (Printf.sprintf "connect %s: %s" (to_string addr)
+                   (Unix.error_message err))
+      in
+      attempt retries
+
+let write_all fd bytes =
+  let n = String.length bytes in
+  let written = ref 0 in
+  while !written < n do
+    written := !written + Unix.write_substring fd bytes !written (n - !written)
+  done

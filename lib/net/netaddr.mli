@@ -1,0 +1,41 @@
+(** Shared socket bootstrap: endpoint addresses, listeners, clients.
+
+    Both socket surfaces of the system — the distributed fabric
+    ([campaign coordinate] / [worker]) and the corpus service
+    ([campaign serve] / [client]) — speak the same address grammar,
+    [unix:PATH] or [HOST:PORT], and need the same listener setup
+    (stale-socket unlink, [SO_REUSEADDR], bind, listen) and
+    retry-until-up client connect. This module is that bootstrap,
+    factored out so neither side duplicates it. *)
+
+type t = Unix_sock of string | Tcp of string * int
+
+val max_payload : int
+(** 16 MiB: the shared ceiling on a dist wire frame and on a serve
+    HTTP request body. *)
+
+val of_string : string -> (t, string) result
+(** Parse [unix:PATH] or [HOST:PORT] (port split on the last colon). *)
+
+val to_string : t -> string
+
+val sockaddr_of : t -> (Unix.sockaddr, string) result
+(** Resolve to a connectable/bindable address ([Tcp] hosts via
+    [gethostbyname] when not a dotted quad). *)
+
+val listen : ?backlog:int -> t -> (Unix.file_descr, string) result
+(** Bound, listening socket: unlinks a stale unix-socket file, sets
+    [SO_REUSEADDR]. Backlog defaults to 16. *)
+
+val cleanup : t -> unit
+(** Unlink a unix socket path; a no-op for TCP. Never raises. *)
+
+val connect :
+  ?retries:int -> ?pause:float -> t -> (Unix.file_descr, string) result
+(** Connect, retrying transient refusals ([ECONNREFUSED] / [ENOENT] /
+    [ECONNRESET]) up to [retries] times, [pause] seconds apart
+    (defaults: no retries, 0.5 s). *)
+
+val write_all : Unix.file_descr -> string -> unit
+(** Write the whole string, looping over short writes. Raises
+    [Unix.Unix_error] on a dead peer. *)

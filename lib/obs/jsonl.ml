@@ -205,6 +205,8 @@ let of_string s =
 let member name = function Obj fields -> List.assoc_opt name fields | _ -> None
 let get_str = function Str s -> Some s | _ -> None
 let get_int = function Int i -> Some i | _ -> None
+let get_bool = function Bool b -> Some b | _ -> None
+let get_list = function List l -> Some l | _ -> None
 
 (* ------------------------------------------------------------------ *)
 (* Checksummed lines                                                   *)

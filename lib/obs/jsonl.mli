@@ -34,6 +34,8 @@ val member : string -> t -> t option
 
 val get_str : t -> string option
 val get_int : t -> int option
+val get_bool : t -> bool option
+val get_list : t -> t list option
 
 val encode_line : (string * t) list -> string
 (** The object with a checksum field ["h"] appended — no newline. *)

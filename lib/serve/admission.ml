@@ -1,0 +1,77 @@
+type verdict = Admit | Park | Shed
+
+type t = {
+  max_inflight : int;
+  max_queue : int;
+  read_timeout_ms : int;
+  queue_timeout_ms : int;
+  retry_after_s : int;
+  inflight : (int, int64) Hashtbl.t;  (** conn id -> last activity, ns *)
+  mutable parked : (int * int64) list;  (** oldest first: (id, parked at) *)
+}
+
+let create ?(max_inflight = 64) ?(max_queue = 64) ?(read_timeout_ms = 10_000)
+    ?(queue_timeout_ms = 2_000) ?(retry_after_s = 1) () =
+  {
+    max_inflight;
+    max_queue;
+    read_timeout_ms;
+    queue_timeout_ms;
+    retry_after_s;
+    inflight = Hashtbl.create 64;
+    parked = [];
+  }
+
+let retry_after_s t = t.retry_after_s
+let inflight t = Hashtbl.length t.inflight
+let parked t = List.length t.parked
+
+let on_open t ~id ~now =
+  if Hashtbl.length t.inflight < t.max_inflight then begin
+    Hashtbl.replace t.inflight id now;
+    Admit
+  end
+  else if List.length t.parked < t.max_queue then begin
+    t.parked <- t.parked @ [ (id, now) ];
+    Park
+  end
+  else Shed
+
+let on_close t ~id =
+  Hashtbl.remove t.inflight id;
+  t.parked <- List.filter (fun (i, _) -> i <> id) t.parked
+
+let touch t ~id ~now =
+  if Hashtbl.mem t.inflight id then Hashtbl.replace t.inflight id now
+
+let elapsed_ms ~now since =
+  Int64.to_int (Int64.div (Int64.sub now since) 1_000_000L)
+
+let promote t ~now =
+  let rec go acc =
+    match t.parked with
+    | (id, _) :: rest when Hashtbl.length t.inflight < t.max_inflight ->
+        t.parked <- rest;
+        Hashtbl.replace t.inflight id now;
+        go (id :: acc)
+    | _ -> List.rev acc
+  in
+  go []
+
+let expire t ~now =
+  let gone, keep =
+    List.partition
+      (fun (_, since) -> elapsed_ms ~now since > t.queue_timeout_ms)
+      t.parked
+  in
+  t.parked <- keep;
+  List.map fst gone
+
+let stale t ~now =
+  let ids =
+    Hashtbl.fold
+      (fun id since acc ->
+        if elapsed_ms ~now since > t.read_timeout_ms then id :: acc else acc)
+      t.inflight []
+  in
+  List.sort compare ids

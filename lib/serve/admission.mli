@@ -1,0 +1,57 @@
+(** Admission control and backpressure policy for the serve daemon.
+
+    Pure bookkeeping over injected clocks — the server's select loop
+    supplies [now] from {!Mclock} and acts on the returned ids, the
+    tests supply synthetic nanosecond values — so every shed/timeout
+    decision is deterministic and unit-testable without sockets.
+
+    The model: at most [max_inflight] connections are admitted (being
+    read and served); the next [max_queue] arrivals park in a FIFO
+    holding pen, promoted as slots free; beyond that the daemon sheds
+    immediately with [429 + Retry-After]. Parked connections that wait
+    longer than [queue_timeout_ms] are shed the same way; admitted
+    connections that show no read activity for [read_timeout_ms]
+    (slow-loris, or an abandoned keep-alive) are expired by the caller
+    with 408 or a quiet close. *)
+
+type t
+
+type verdict = Admit | Park | Shed
+
+val create :
+  ?max_inflight:int ->
+  ?max_queue:int ->
+  ?read_timeout_ms:int ->
+  ?queue_timeout_ms:int ->
+  ?retry_after_s:int ->
+  unit ->
+  t
+(** Defaults: 64 in flight, 64 parked, 10 s read timeout, 2 s queue
+    timeout, [Retry-After: 1]. *)
+
+val on_open : t -> id:int -> now:int64 -> verdict
+(** Classify a newly accepted connection. [Admit] registers activity
+    [now]; [Park] appends to the pen; [Shed] records nothing — answer
+    429 and close. *)
+
+val on_close : t -> id:int -> unit
+(** Forget a connection wherever it is; freed slots are handed out by
+    the next {!promote}. *)
+
+val touch : t -> id:int -> now:int64 -> unit
+(** Read activity on an admitted connection (resets its timeout). *)
+
+val promote : t -> now:int64 -> int list
+(** Move parked connections into free slots, oldest first; the ids to
+    start reading from. *)
+
+val expire : t -> now:int64 -> int list
+(** Parked connections past [queue_timeout_ms] — shed with 429. *)
+
+val stale : t -> now:int64 -> int list
+(** Admitted connections idle past [read_timeout_ms], ascending id —
+    close (408 if a partial request is buffered). *)
+
+val retry_after_s : t -> int
+val inflight : t -> int
+val parked : t -> int

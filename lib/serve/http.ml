@@ -1,0 +1,160 @@
+type req = {
+  meth : string;
+  path : string;
+  headers : (string * string) list;
+  body : string;
+}
+
+let max_body = Netaddr.max_payload
+
+(* request line + headers; far beyond any legitimate client of this API *)
+let max_head = 64 * 1024
+
+type decoder = {
+  buf : Buffer.t;
+  mutable off : int;  (** consumed prefix of [buf] *)
+  mutable error : (int * string) option;
+}
+
+let decoder () = { buf = Buffer.create 1024; off = 0; error = None }
+
+let compact d =
+  if d.off > 0 && d.off >= Buffer.length d.buf - d.off then begin
+    let rest = Buffer.sub d.buf d.off (Buffer.length d.buf - d.off) in
+    Buffer.clear d.buf;
+    Buffer.add_string d.buf rest;
+    d.off <- 0
+  end
+
+let feed d b n = Buffer.add_subbytes d.buf b 0 n
+let feed_string d s = Buffer.add_string d.buf s
+let buffered d = Buffer.length d.buf - d.off
+
+let fail d code msg =
+  d.error <- Some (code, msg);
+  `Error (code, msg)
+
+(* end of the header block: the first blank line, tolerating either
+   CRLF or bare LF line endings (curl sends CRLF, tests are simpler
+   with LF). Returns (exclusive end of head, start of body). *)
+let head_end s from =
+  let n = String.length s in
+  let rec go i =
+    match String.index_from_opt s i '\n' with
+    | None -> None
+    | Some nl ->
+        if nl + 1 < n && s.[nl + 1] = '\n' then Some (nl, nl + 2)
+        else if nl + 2 < n && s.[nl + 1] = '\r' && s.[nl + 2] = '\n' then
+          Some (nl, nl + 3)
+        else if nl + 1 >= n || (nl + 2 >= n && s.[nl + 1] = '\r') then None
+        else go (nl + 1)
+  in
+  go from
+
+let strip_cr line =
+  let n = String.length line in
+  if n > 0 && line.[n - 1] = '\r' then String.sub line 0 (n - 1) else line
+
+let parse_head d head =
+  match String.split_on_char '\n' head with
+  | [] -> Error (fail d 400 "empty request")
+  | request_line :: header_lines -> (
+      match String.split_on_char ' ' (strip_cr request_line) with
+      | [ meth; path; version ]
+        when String.length version >= 7 && String.sub version 0 7 = "HTTP/1." ->
+          let headers = ref [] in
+          let bad = ref None in
+          List.iter
+            (fun line ->
+              let line = strip_cr line in
+              if line <> "" && !bad = None then
+                match String.index_opt line ':' with
+                | None -> bad := Some line
+                | Some i ->
+                    let name = String.lowercase_ascii (String.sub line 0 i) in
+                    let value =
+                      String.trim
+                        (String.sub line (i + 1) (String.length line - i - 1))
+                    in
+                    headers := (name, value) :: !headers)
+            header_lines;
+          (match !bad with
+          | Some line ->
+              Error (fail d 400 (Printf.sprintf "malformed header %S" line))
+          | None -> Ok (meth, path, List.rev !headers))
+      | _ -> Error (fail d 400 "malformed request line"))
+
+let next d =
+  match d.error with
+  | Some (code, msg) -> `Error (code, msg)
+  | None -> (
+      compact d;
+      let contents = Buffer.contents d.buf in
+      match head_end contents d.off with
+      | None ->
+          if buffered d > max_head then
+            fail d 431 "request head too large"
+          else `Awaiting
+      | Some (he, body_start) -> (
+          let head = String.sub contents d.off (he - d.off) in
+          match parse_head d head with
+          | Error e -> e
+          | Ok (meth, path, headers) -> (
+              match List.assoc_opt "transfer-encoding" headers with
+              | Some _ -> fail d 501 "transfer-encoding unsupported"
+              | None -> (
+                  let clen =
+                    match List.assoc_opt "content-length" headers with
+                    | None -> Ok 0
+                    | Some v -> (
+                        match int_of_string_opt v with
+                        | Some n when n >= 0 -> Ok n
+                        | _ -> Error v)
+                  in
+                  match clen with
+                  | Error v ->
+                      fail d 400 (Printf.sprintf "bad content-length %S" v)
+                  | Ok n when n > max_body ->
+                      fail d 413
+                        (Printf.sprintf "body of %d bytes exceeds %d" n max_body)
+                  | Ok n ->
+                      if String.length contents - body_start < n then `Awaiting
+                      else begin
+                        let body = String.sub contents body_start n in
+                        d.off <- body_start + n;
+                        `Req { meth; path; headers; body }
+                      end))))
+
+(* ------------------------------------------------------------------ *)
+(* Responses                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let status_text = function
+  | 200 -> "OK"
+  | 204 -> "No Content"
+  | 400 -> "Bad Request"
+  | 404 -> "Not Found"
+  | 405 -> "Method Not Allowed"
+  | 408 -> "Request Timeout"
+  | 413 -> "Content Too Large"
+  | 429 -> "Too Many Requests"
+  | 431 -> "Request Header Fields Too Large"
+  | 500 -> "Internal Server Error"
+  | 501 -> "Not Implemented"
+  | c -> Printf.sprintf "Status %d" c
+
+let response ~status ?(headers = []) ?(content_type = "text/plain") ~body () =
+  let b = Buffer.create (256 + String.length body) in
+  Buffer.add_string b
+    (Printf.sprintf "HTTP/1.1 %d %s\r\n" status (status_text status));
+  if body <> "" || status <> 204 then begin
+    Buffer.add_string b (Printf.sprintf "content-type: %s\r\n" content_type);
+    Buffer.add_string b
+      (Printf.sprintf "content-length: %d\r\n" (String.length body))
+  end;
+  List.iter
+    (fun (k, v) -> Buffer.add_string b (Printf.sprintf "%s: %s\r\n" k v))
+    headers;
+  Buffer.add_string b "\r\n";
+  Buffer.add_string b body;
+  Buffer.contents b

@@ -1,0 +1,61 @@
+(** Minimal HTTP/1.1 request codec for the serve daemon.
+
+    The same incremental shape as the dist fabric's {!Wire} decoder:
+    feed raw socket bytes, pull complete requests, and a protocol
+    violation latches a sticky error (the connection is answered once
+    and closed — there is no resynchronising a stream after a framing
+    error). Supports exactly what the daemon's API needs: methods with
+    [Content-Length] bodies (capped at {!Netaddr.max_payload}),
+    pipelined requests, CRLF or bare-LF line endings. No
+    transfer-encoding, no continuations. *)
+
+type req = {
+  meth : string;
+  path : string;
+  headers : (string * string) list;  (** names lowercased, values trimmed *)
+  body : string;
+}
+
+val max_body : int
+(** {!Netaddr.max_payload} — larger declared bodies are refused 413. *)
+
+val max_head : int
+(** Ceiling on request-line + headers; beyond it the decoder latches
+    431. *)
+
+type decoder
+
+val decoder : unit -> decoder
+val feed : decoder -> bytes -> int -> unit
+val feed_string : decoder -> string -> unit
+
+val buffered : decoder -> int
+(** Unconsumed bytes — nonzero between requests means a pipelined or
+    partial request is pending. *)
+
+val next : decoder -> [ `Req of req | `Awaiting | `Error of int * string ]
+(** The next complete request, if buffered. [`Error (status, reason)]
+    is sticky; the status is the HTTP code to answer with before
+    closing (400, 413, 431 or 501). *)
+
+val status_text : int -> string
+
+val head_end : string -> int -> (int * int) option
+(** [head_end s from]: position of the first blank line at or after
+    [from] — [(exclusive end of head, start of body)] — accepting CRLF
+    or bare-LF endings. Shared with the client's response parser. *)
+
+val strip_cr : string -> string
+(** Drop one trailing ['\r'], the CRLF half a [split_on_char '\n']
+    leaves behind. *)
+
+val response :
+  status:int ->
+  ?headers:(string * string) list ->
+  ?content_type:string ->
+  body:string ->
+  unit ->
+  string
+(** Serialise one response. [content-type]/[content-length] are
+    emitted for every response except an empty 204; extra [headers]
+    ride after them. *)

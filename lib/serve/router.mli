@@ -1,0 +1,23 @@
+(** Request dispatch for the serve daemon's API.
+
+    - [POST /kernel] — submit a corpus kernel (entry fields + text);
+      [{"added":bool,"hash":...}], idempotent on content hash.
+    - [POST /claim] — next unclaimed kernel (entry + text), 204 when
+      the corpus is exhausted.
+    - [POST /observation] — report one executed cell with optional
+      triage classification and coverage indices;
+      [{"fresh":bool,"new_bits":int}], idempotent on cell key.
+    - [GET /bugs] — distinct-bug buckets.
+    - [GET /coverage], [GET /coverage/hex] — popcount / full bitmap.
+    - [GET /corpus], [GET /corpus/HASH] — index / kernel text.
+    - [GET /metrics], [GET /metrics.json] — the process metrics
+      registry, Prometheus text or canonical JSON.
+    - [GET /report] — the standard HTML campaign report over live
+      state.
+    - [GET /healthz] — liveness + store counts.
+
+    Pure with respect to the connection: one request in, one
+    serialised response out. *)
+
+val handle : Svstore.t -> Http.req -> string
+(** The full serialised HTTP response for one request. *)

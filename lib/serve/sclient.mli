@@ -1,0 +1,45 @@
+(** Blocking HTTP client for the serve daemon.
+
+    One connection per request ([Connection: close], EOF-delimited
+    response) — deliberately the simplest correct client: campaign
+    clients are long-lived processes making a few requests per kernel,
+    not latency-critical hot loops, and per-request connections mean a
+    killed-and-restarted daemon needs no session recovery on the
+    client side. [?retries] rides on {!Netaddr.connect}'s transient
+    retry, which is how a client waits out a daemon that is still
+    starting. *)
+
+type resp = { status : int; headers : (string * string) list; body : string }
+
+val request :
+  addr:Netaddr.t ->
+  ?retries:int ->
+  meth:string ->
+  path:string ->
+  ?body:string ->
+  ?content_type:string ->
+  unit ->
+  (resp, string) result
+
+val get : addr:Netaddr.t -> ?retries:int -> string -> (resp, string) result
+
+val submit_kernel :
+  addr:Netaddr.t -> ?retries:int -> Corpus.entry -> string -> (bool, string) result
+(** [Ok true] when the kernel was new to the daemon. *)
+
+val claim :
+  addr:Netaddr.t ->
+  ?retries:int ->
+  unit ->
+  ((Corpus.entry * string) option, string) result
+(** [Ok None] when the daemon has no unclaimed work (204). *)
+
+val report_observation :
+  addr:Netaddr.t ->
+  ?retries:int ->
+  cell:Journal.cell ->
+  obs:Triage.observation option ->
+  cov:int list ->
+  unit ->
+  (bool * int, string) result
+(** [(fresh, new coverage bits)] as the daemon recorded them. *)

@@ -1,0 +1,43 @@
+(** The serve daemon's select loop.
+
+    Single-threaded and non-blocking, the same event-loop shape as the
+    dist {!Coordinator}: one [select] tick (50 ms) multiplexes the
+    listener and every connection, each connection owning an
+    incremental {!Http} decoder and a pending-output buffer, so one
+    slow reader can neither stall the loop nor starve its peers.
+    Keep-alive and pipelining are supported; a codec error is answered
+    with its status and the connection closed.
+
+    {!Admission} gates every accept: admitted connections are read and
+    served, parked ones wait unread in a FIFO until a slot frees, and
+    everything beyond the pen is shed immediately with
+    [429 + Retry-After] — under overload the daemon degrades to fast,
+    explicit refusals rather than growing queues. Each tick also
+    promotes parked connections, expires over-age ones (429) and
+    reaps stalled admitted ones (408 when a partial request is
+    buffered — the slow-loris case — or a quiet close for idle
+    keep-alives).
+
+    Counters [serve.requests], [serve.shed], [serve.timeouts] and the
+    [serve.request_us] handling-latency histogram land in the global
+    {!Metrics} registry, so the daemon's own [/metrics] endpoint
+    reports them. *)
+
+type stats = { requests : int; shed : int; timeouts : int }
+
+val run :
+  addr:Netaddr.t ->
+  store:Svstore.t ->
+  ?max_inflight:int ->
+  ?max_queue:int ->
+  ?read_timeout_ms:int ->
+  ?queue_timeout_ms:int ->
+  ?stop:bool Atomic.t ->
+  ?on_tick:(int64 -> unit) ->
+  unit ->
+  (stats, string) result
+(** Serve until [stop] reads true (polled every tick; the flag may be
+    flipped from a signal handler or another domain), then close every
+    connection, unlink a unix-socket path and return the tallies.
+    [on_tick] runs once per loop iteration with the current monotonic
+    time — the watchdog/status hook. *)

@@ -1,0 +1,262 @@
+type t = {
+  path : string;
+  mutable oc : out_channel;
+  kernels : (string, Corpus.entry * string) Hashtbl.t;
+  mutable order : string array;  (** submission order of kernel hashes *)
+  mutable count : int;
+  cell_keys : (string * int * int * string, unit) Hashtbl.t;
+  mutable cells_rev : Journal.cell list;
+  mutable obs_rev : Triage.observation list;
+  cov : Covmap.t;
+  mutable cursor : int;  (** next kernel index to hand out as work *)
+}
+
+let journal_version = 1
+let header_fields = [ ("k", Jsonl.Str "serve"); ("v", Jsonl.Int journal_version) ]
+
+(* ------------------------------------------------------------------ *)
+(* Record codecs (same checksummed-JSONL family as lib/store)          *)
+(* ------------------------------------------------------------------ *)
+
+let kernel_fields e text = Corpus.entry_fields e @ [ ("text", Jsonl.Str text) ]
+
+let obs_fields ~cell ~obs ~cov =
+  [ ("k", Jsonl.Str "obs"); ("cell", Journal.cell_to_json cell) ]
+  @ (match obs with
+    | None -> []
+    | Some o -> [ ("obs", Jsonl.Obj (Triage.observation_fields o)) ])
+  @ [ ("cov", Jsonl.List (List.map (fun i -> Jsonl.Int i) cov)) ]
+
+let claim_fields n = [ ("k", Jsonl.Str "claim"); ("n", Jsonl.Int n) ]
+
+(* ------------------------------------------------------------------ *)
+(* In-memory application (shared by replay and live mutation)          *)
+(* ------------------------------------------------------------------ *)
+
+let push_kernel t e text =
+  Hashtbl.replace t.kernels e.Corpus.hash (e, text);
+  if t.count = Array.length t.order then
+    t.order <-
+      Array.append t.order (Array.make (max 16 (Array.length t.order)) "");
+  t.order.(t.count) <- e.Corpus.hash;
+  t.count <- t.count + 1
+
+let apply_obs t cell obs cov =
+  Hashtbl.replace t.cell_keys (Journal.key cell) ();
+  t.cells_rev <- cell :: t.cells_rev;
+  (match obs with None -> () | Some o -> t.obs_rev <- o :: t.obs_rev);
+  Covmap.add_all t.cov cov
+
+let apply fields t =
+  let j = Jsonl.Obj fields in
+  let str name = Option.bind (Jsonl.member name j) Jsonl.get_str in
+  match str "k" with
+  | Some "kernel" -> (
+      match (Corpus.entry_of_fields fields, str "text") with
+      | Some e, Some text ->
+          if Hashtbl.mem t.kernels e.Corpus.hash then Error "duplicate kernel"
+          else begin
+            push_kernel t e text;
+            Ok ()
+          end
+      | _ -> Error "malformed kernel record")
+  | Some "obs" -> (
+      let cell = Option.bind (Jsonl.member "cell" j) Journal.cell_of_json in
+      let obs =
+        match Jsonl.member "obs" j with
+        | None -> Some None
+        | Some o -> Option.map Option.some (Triage.observation_of_json o)
+      in
+      let cov =
+        match Option.bind (Jsonl.member "cov" j) Jsonl.get_list with
+        | None -> None
+        | Some l ->
+            let is = List.filter_map Jsonl.get_int l in
+            if List.length is = List.length l then Some is else None
+      in
+      match (cell, obs, cov) with
+      | Some cell, Some obs, Some cov ->
+          if Hashtbl.mem t.cell_keys (Journal.key cell) then
+            Error "duplicate observation"
+          else begin
+            ignore (apply_obs t cell obs cov);
+            Ok ()
+          end
+      | _ -> Error "malformed obs record")
+  | Some "claim" -> (
+      match Option.bind (Jsonl.member "n" j) Jsonl.get_int with
+      | Some n when n >= 0 ->
+          (* last-wins cursor: claims interleave freely with the other
+             record kinds, so replay just keeps the latest position *)
+          t.cursor <- n;
+          Ok ()
+      | _ -> Error "malformed claim record")
+  | Some other -> Error (Printf.sprintf "unknown record kind %S" other)
+  | None -> Error "record without kind"
+
+(* ------------------------------------------------------------------ *)
+(* Open / replay                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let append_line oc fields =
+  output_string oc (Jsonl.encode_line fields);
+  output_char oc '\n';
+  flush oc
+
+let fresh path =
+  let oc = open_out_gen [ Open_wronly; Open_creat; Open_trunc ] 0o644 path in
+  append_line oc header_fields;
+  oc
+
+let empty path oc =
+  {
+    path;
+    oc;
+    kernels = Hashtbl.create 64;
+    order = Array.make 16 "";
+    count = 0;
+    cell_keys = Hashtbl.create 64;
+    cells_rev = [];
+    obs_rev = [];
+    cov = Covmap.create ();
+    cursor = 0;
+  }
+
+let open_ ~path =
+  if not (Sys.file_exists path) then
+    match fresh path with
+    | oc -> Ok (empty path oc)
+    | exception Sys_error m -> Error m
+  else
+    match read_file path with
+    | exception Sys_error m -> Error m
+    | contents -> (
+        let lines =
+          List.filter (fun l -> l <> "") (String.split_on_char '\n' contents)
+        in
+        match lines with
+        | [] -> (
+            match fresh path with
+            | oc -> Ok (empty path oc)
+            | exception Sys_error m -> Error m)
+        | first :: rest -> (
+            match Jsonl.decode_line first with
+            | Error e -> Error (Printf.sprintf "serve journal header: %s" e)
+            | Ok fields when fields <> header_fields ->
+                Error "serve journal header: wrong kind or version"
+            | Ok _ -> (
+                let t = empty path stdout in
+                let n = List.length rest in
+                (* like Journal.load: damage is tolerated only as one
+                   torn final line; anything earlier is corruption *)
+                let rec replay i clean = function
+                  | [] -> Ok (clean, false)
+                  | line :: more -> (
+                      let torn msg =
+                        if i = n - 1 then Ok (clean, true)
+                        else
+                          Error
+                            (Printf.sprintf "serve journal record %d: %s"
+                               (i + 1) msg)
+                      in
+                      match Jsonl.decode_line line with
+                      | Error e -> torn e
+                      | Ok fields -> (
+                          match apply fields t with
+                          | Error e -> torn e
+                          | Ok () -> replay (i + 1) (line :: clean) more))
+                in
+                match replay 0 [] rest with
+                | Error e -> Error e
+                | Ok (clean_rev, torn) -> (
+                    (* a torn tail is rewritten away before reopening
+                       for append, so the file is always a clean prefix *)
+                    (if torn then
+                       let tmp = path ^ ".tmp" in
+                       let oc =
+                         open_out_gen
+                           [ Open_wronly; Open_creat; Open_trunc ]
+                           0o644 tmp
+                       in
+                       output_string oc (Jsonl.encode_line header_fields);
+                       output_char oc '\n';
+                       List.iter
+                         (fun l ->
+                           output_string oc l;
+                           output_char oc '\n')
+                         (List.rev clean_rev);
+                       close_out oc;
+                       Sys.rename tmp path);
+                    match
+                      open_out_gen [ Open_wronly; Open_append ] 0o644 path
+                    with
+                    | oc ->
+                        t.oc <- oc;
+                        Ok t
+                    | exception Sys_error m -> Error m))))
+
+let close t = close_out_noerr t.oc
+
+(* ------------------------------------------------------------------ *)
+(* Mutations: journal first, then apply — a record on disk is the      *)
+(* commit point, so a kill at any instant replays to this state        *)
+(* ------------------------------------------------------------------ *)
+
+let submit_kernel t e text =
+  if not (String.equal (Corpus.hash_text text) e.Corpus.hash) then
+    Error "kernel text does not hash to its declared address"
+  else if Hashtbl.mem t.kernels e.Corpus.hash then Ok false
+  else begin
+    append_line t.oc (kernel_fields e text);
+    push_kernel t e text;
+    Ok true
+  end
+
+let report_observation t ~cell ~obs ~cov =
+  if List.exists (fun i -> i < 0 || i >= Covmap.size) cov then
+    Error "coverage index out of range"
+  else if Hashtbl.mem t.cell_keys (Journal.key cell) then Ok (false, 0)
+  else begin
+    append_line t.oc (obs_fields ~cell ~obs ~cov);
+    Ok (true, apply_obs t cell obs cov)
+  end
+
+let claim t =
+  if t.cursor >= t.count then None
+  else begin
+    let hash = t.order.(t.cursor) in
+    append_line t.oc (claim_fields (t.cursor + 1));
+    t.cursor <- t.cursor + 1;
+    Hashtbl.find_opt t.kernels hash
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Queries                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let buckets t = Triage.of_observations (List.rev t.obs_rev)
+let coverage_count t = Covmap.count t.cov
+let coverage_hex t = Covmap.to_hex t.cov
+
+let corpus t =
+  List.init t.count (fun i -> fst (Hashtbl.find t.kernels t.order.(i)))
+
+let kernel t hash = Option.map snd (Hashtbl.find_opt t.kernels hash)
+let cells t = List.rev t.cells_rev
+let kernel_count t = t.count
+let cell_count t = List.length t.cells_rev
+let cursor t = t.cursor
+
+let header t =
+  Journal.make_header ~campaign:"serve" ~ident:[]
+    ~scale:
+      [
+        ("kernels", string_of_int t.count);
+        ("cells", string_of_int (cell_count t));
+      ]

@@ -147,3 +147,74 @@ let verify ~dir e =
       else
         Error
           (Printf.sprintf "content hash %s does not match address %s" h e.hash)
+
+(* ------------------------------------------------------------------ *)
+(* Fsck                                                                *)
+(* ------------------------------------------------------------------ *)
+
+type damage =
+  | Hash_mismatch of { hash : string; actual : string }
+  | Missing_kernel of string
+  | Orphan_kernel of string
+  | Duplicate_entry of { hash : string; cls : string; config : int; opt : string }
+  | Index_unreadable of string
+
+let damage_to_string = function
+  | Hash_mismatch { hash; actual } ->
+      Printf.sprintf "%s.cl: content hashes to %s, not its address" hash actual
+  | Missing_kernel hash ->
+      Printf.sprintf "%s.cl: indexed but missing on disk" hash
+  | Orphan_kernel file ->
+      Printf.sprintf "%s: kernel file not referenced by the index" file
+  | Duplicate_entry { hash; cls; config; opt } ->
+      Printf.sprintf "index: duplicate entry (%s, %s, %d, %s)"
+        (String.sub hash 0 (min 12 (String.length hash)))
+        cls config opt
+  | Index_unreadable msg -> Printf.sprintf "index unreadable: %s" msg
+
+let fsck ~dir =
+  if not (Sys.file_exists dir) then [ Index_unreadable "corpus directory missing" ]
+  else
+    match index ~dir with
+    | Error m -> [ Index_unreadable m ]
+    | Ok entries ->
+        let damage = ref [] in
+        let push d = damage := d :: !damage in
+        (* index drift: the same dedup key journalled twice means
+           add_all's invariant was violated (hand edits, merge damage) *)
+        let seen = Hashtbl.create 64 in
+        List.iter
+          (fun e ->
+            if Hashtbl.mem seen (dedup_key e) then
+              push
+                (Duplicate_entry
+                   { hash = e.hash; cls = e.cls; config = e.config; opt = e.opt })
+            else Hashtbl.replace seen (dedup_key e) ())
+          entries;
+        (* content addresses: every indexed kernel present and honest,
+           each distinct hash checked once *)
+        let checked = Hashtbl.create 64 in
+        List.iter
+          (fun e ->
+            if not (Hashtbl.mem checked e.hash) then begin
+              Hashtbl.replace checked e.hash ();
+              match read_file (kernel_path ~dir ~hash:e.hash) with
+              | exception Sys_error _ -> push (Missing_kernel e.hash)
+              | text ->
+                  let actual = hash_text text in
+                  if not (String.equal actual e.hash) then
+                    push (Hash_mismatch { hash = e.hash; actual })
+            end)
+          entries;
+        (* orphans: kernel files the index does not know about *)
+        (match Sys.readdir dir with
+        | exception Sys_error m -> push (Index_unreadable m)
+        | files ->
+            let files = Array.to_list files in
+            List.iter
+              (fun f ->
+                if Filename.check_suffix f ".cl" then
+                  let hash = Filename.chop_suffix f ".cl" in
+                  if not (Hashtbl.mem checked hash) then push (Orphan_kernel f))
+              (List.sort compare files));
+        List.rev !damage

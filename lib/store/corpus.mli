@@ -21,6 +21,14 @@ type entry = {
 val hash_text : string -> string
 (** MD5 hex of the kernel text — the content address. *)
 
+val entry_fields : entry -> (string * Jsonl.t) list
+(** The entry's canonical JSON fields (kind tag ["kernel"] first) —
+    one corpus index line minus the checksum, also the serve API's
+    kernel encoding. *)
+
+val entry_of_fields : (string * Jsonl.t) list -> entry option
+(** Inverse of {!entry_fields}; ignores unknown fields. *)
+
 val kernel_path : dir:string -> hash:string -> string
 
 val add_all : dir:string -> (entry * string) list -> (int, string) result
@@ -52,3 +60,21 @@ val load_all : dir:string -> ((entry * string) list, string) result
 
 val verify : dir:string -> entry -> (unit, string) result
 (** Re-hash the stored kernel text and compare with the content address. *)
+
+(** One inconsistency found by {!fsck}. *)
+type damage =
+  | Hash_mismatch of { hash : string; actual : string }
+      (** stored text no longer hashes to its address *)
+  | Missing_kernel of string  (** indexed hash with no [.cl] file *)
+  | Orphan_kernel of string  (** [.cl] file no index entry references *)
+  | Duplicate_entry of { hash : string; cls : string; config : int; opt : string }
+      (** the same dedup key indexed twice *)
+  | Index_unreadable of string
+
+val damage_to_string : damage -> string
+
+val fsck : dir:string -> damage list
+(** Full corpus consistency check — duplicate index keys, then content
+    addresses (each distinct hash re-hashed once), then orphan kernel
+    files in directory-sorted order. Empty list means healthy; a healthy
+    check is read-only and touches each kernel file once. *)

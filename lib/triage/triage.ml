@@ -49,6 +49,55 @@ type observation = {
   o_hash : string;
 }
 
+(* the wire/journal encoding of an observation, used by the serve
+   daemon's journal and its /observation endpoint *)
+let observation_fields (o : observation) =
+  [
+    ("cls", Jsonl.Str o.o_cls);
+    ("config", Jsonl.Int o.o_config);
+    ("opt", Jsonl.Str o.o_opt);
+    ("sig", Jsonl.Str o.o_signature);
+    ("seed", Jsonl.Int o.o_seed);
+    ("mode", Jsonl.Str o.o_mode);
+    ("hash", Jsonl.Str o.o_hash);
+  ]
+
+let observation_of_json j =
+  let int name = Option.bind (Jsonl.member name j) Jsonl.get_int in
+  let str name = Option.bind (Jsonl.member name j) Jsonl.get_str in
+  match
+    ( str "cls",
+      int "config",
+      str "opt",
+      str "sig",
+      int "seed",
+      str "mode",
+      str "hash" )
+  with
+  | ( Some o_cls,
+      Some o_config,
+      Some o_opt,
+      Some o_signature,
+      Some o_seed,
+      Some o_mode,
+      Some o_hash ) ->
+      Some { o_cls; o_config; o_opt; o_signature; o_seed; o_mode; o_hash }
+  | _ -> None
+
+let bucket_to_json (b : bucket) =
+  Jsonl.Obj
+    [
+      ("cls", Jsonl.Str b.cls);
+      ("config", Jsonl.Int b.config);
+      ("opt", Jsonl.Str b.opt);
+      ("sig", Jsonl.Str b.signature);
+      ("cells", Jsonl.Int b.cells);
+      ("kernels", Jsonl.Int b.kernels);
+      ("exemplar_seed", Jsonl.Int b.exemplar_seed);
+      ("exemplar_mode", Jsonl.Str b.exemplar_mode);
+      ("exemplar_hash", Jsonl.Str b.exemplar_hash);
+    ]
+
 (* the dedup core shared by the journal path and the fuzzing campaign:
    accumulate buckets in observation order so exemplars are the first
    witnesses encountered, then sort by key *)

@@ -53,6 +53,16 @@ type observation = {
     from their seeds; the fuzzing campaign builds them directly from the
     kernels it holds in memory (its mutants have no generator seed). *)
 
+val observation_fields : observation -> (string * Jsonl.t) list
+(** Canonical JSON fields of one observation — the encoding the serve
+    daemon journals and accepts over its [/observation] endpoint. *)
+
+val observation_of_json : Jsonl.t -> observation option
+(** Inverse of {!observation_fields} applied to an object value. *)
+
+val bucket_to_json : bucket -> Jsonl.t
+(** One bucket as a JSON object — the serve daemon's [/bugs] rows. *)
+
 val of_observations : observation list -> bucket list
 (** The dedup core: bucket observations by
     [(class, config, opt, signature)], counting cells and distinct

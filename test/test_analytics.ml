@@ -548,6 +548,25 @@ let test_fleet_status_line_roundtrip () =
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "damaged status line decoded"
 
+(* `campaign status --json` prints this object: it must carry exactly
+   the fields of the checksummed status line, minus the checksum *)
+let test_fleet_snapshot_json () =
+  let f = Fleet.create ~total:100 ~now:(at_ms 0) () in
+  Fleet.on_join f ~worker:0 ~pid:42 ~host:"box" ~now:(at_ms 0);
+  Fleet.note_local f 7;
+  let snap = Fleet.snapshot f ~now:(at_ms 500) ~collected:10 ~in_flight:0 in
+  match Fleet.snapshot_to_json ~campaign:"t" ~phase:"serve" snap with
+  | Jsonl.Obj fields ->
+      Alcotest.(check string) "same fields as the status line"
+        (Fleet.snapshot_to_line ~campaign:"t" ~phase:"serve" snap)
+        (Jsonl.encode_line fields);
+      let j = Jsonl.Obj fields in
+      Alcotest.(check (option string)) "campaign field" (Some "t")
+        (Option.bind (Jsonl.member "campaign" j) Jsonl.get_str);
+      Alcotest.(check (option string)) "phase field" (Some "serve")
+        (Option.bind (Jsonl.member "phase" j) Jsonl.get_str)
+  | _ -> Alcotest.fail "snapshot_to_json is not an object"
+
 let test_report_fleet_panel () =
   let header =
     Fuzz_loop.journal_header ~budget:fuzz_budget ~seed:3
@@ -605,6 +624,8 @@ let () =
             test_fleet_stale_mid_lease;
           Alcotest.test_case "status line roundtrip" `Quick
             test_fleet_status_line_roundtrip;
+          Alcotest.test_case "status --json mirrors the line" `Quick
+            test_fleet_snapshot_json;
         ] );
       ( "watchdog",
         [

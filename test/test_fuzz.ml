@@ -67,6 +67,27 @@ let test_covmap_bitmap () =
   Alcotest.(check bool) "hex digests differ" false
     (String.equal (Covmap.to_hex m) (Covmap.to_hex c))
 
+let test_covmap_hex_merge () =
+  let m = Covmap.create () in
+  ignore (Covmap.add_all m [ 0; 7; 4095; 65535 ]);
+  (match Covmap.of_hex (Covmap.to_hex m) with
+  | None -> Alcotest.fail "own hex digest rejected"
+  | Some m' ->
+      Alcotest.(check string) "hex round-trip byte-identical" (Covmap.to_hex m)
+        (Covmap.to_hex m');
+      Alcotest.(check int) "population survives" (Covmap.count m)
+        (Covmap.count m'));
+  Alcotest.(check bool) "wrong length rejected" true (Covmap.of_hex "ab" = None);
+  Alcotest.(check bool) "non-hex rejected" true
+    (Covmap.of_hex (String.make (String.length (Covmap.to_hex m)) 'z') = None);
+  let a = Covmap.create () and b = Covmap.create () in
+  ignore (Covmap.add_all a [ 1; 2; 3 ]);
+  ignore (Covmap.add_all b [ 3; 4; 65535 ]);
+  Alcotest.(check int) "merge counts only fresh bits" 2 (Covmap.merge a b);
+  Alcotest.(check int) "union population" 5 (Covmap.count a);
+  Alcotest.(check int) "re-merge is a no-op" 0 (Covmap.merge a b);
+  Alcotest.(check int) "source untouched" 3 (Covmap.count b)
+
 (* --- the loop's determinism contracts --------------------------------- *)
 
 (* everything the loop promises to keep byte-identical: the rendered
@@ -222,6 +243,8 @@ let () =
         [
           Alcotest.test_case "signature determinism" `Quick test_covmap_deterministic;
           Alcotest.test_case "bitmap ops" `Quick test_covmap_bitmap;
+          Alcotest.test_case "hex round-trip + merge" `Quick
+            test_covmap_hex_merge;
         ] );
       ( "loop",
         [

@@ -294,6 +294,63 @@ let campaign_header () =
   Campaign.journal_header ~per_mode:2 ~config_ids:[ 1; 12; 19 ]
     ~modes:[ Gen_config.Basic ] ()
 
+let test_corpus_fsck () =
+  let dir = Filename.temp_file "store_fsck" "" in
+  Sys.remove dir;
+  let mk i =
+    let text = Printf.sprintf "__kernel void entry() { /* %d */ }\n" i in
+    ( {
+        Corpus.hash = Corpus.hash_text text;
+        seed = i;
+        mode = "basic";
+        cls = "crash";
+        config = i;
+        opt = "-";
+      },
+      text )
+  in
+  let pairs = List.map mk [ 1; 2; 3 ] in
+  (match Corpus.add_all ~dir pairs with
+  | Error m -> Alcotest.fail m
+  | Ok _ -> ());
+  Alcotest.(check int) "healthy archive is clean" 0
+    (List.length (Corpus.fsck ~dir));
+  (* every damage class at once: tampered text, deleted kernel, stray
+     file, re-indexed dedup key *)
+  let e1, _ = List.nth pairs 0 and e2, _ = List.nth pairs 1 in
+  let oc = open_out (Filename.concat dir (e1.Corpus.hash ^ ".cl")) in
+  output_string oc "tampered\n";
+  close_out oc;
+  Sys.remove (Filename.concat dir (e2.Corpus.hash ^ ".cl"));
+  let oc = open_out (Filename.concat dir (String.make 32 '0' ^ ".cl")) in
+  output_string oc "orphan\n";
+  close_out oc;
+  let index_path = Filename.concat dir "index.jsonl" in
+  let ic = open_in index_path in
+  let first_line = input_line ic in
+  close_in ic;
+  let oc = open_out_gen [ Open_append ] 0o644 index_path in
+  output_string oc (first_line ^ "\n");
+  close_out oc;
+  let damage = Corpus.fsck ~dir in
+  let count p = List.length (List.filter p damage) in
+  Alcotest.(check int) "hash mismatch found" 1
+    (count (function Corpus.Hash_mismatch _ -> true | _ -> false));
+  Alcotest.(check int) "missing kernel found" 1
+    (count (function Corpus.Missing_kernel _ -> true | _ -> false));
+  Alcotest.(check int) "orphan found" 1
+    (count (function Corpus.Orphan_kernel _ -> true | _ -> false));
+  Alcotest.(check int) "duplicate index entry found" 1
+    (count (function Corpus.Duplicate_entry _ -> true | _ -> false));
+  Alcotest.(check int) "nothing else reported" 4 (List.length damage);
+  List.iter
+    (fun d ->
+      Alcotest.(check bool) "damage renders" true
+        (String.length (Corpus.damage_to_string d) > 0))
+    damage;
+  Alcotest.(check int) "unreadable dir is one finding" 1
+    (List.length (Corpus.fsck ~dir:(Filename.concat dir "no-such-subdir")))
+
 let test_resume_determinism () =
   (* reference: one uninterrupted journalled run *)
   let ref_path = temp ".jsonl" in
@@ -365,6 +422,8 @@ let () =
         [
           Alcotest.test_case "add/index/verify/dedup" `Quick test_corpus;
           Alcotest.test_case "fold/load_all one-pass" `Quick test_corpus_fold;
+          Alcotest.test_case "fsck finds every damage class" `Quick
+            test_corpus_fsck;
         ] );
       ( "resume",
         [ Alcotest.test_case "byte-identical from any prefix" `Slow test_resume_determinism ] );
