@@ -21,6 +21,18 @@
 
 let jobs = ref (Pool.recommended_jobs ())
 let scale = ref None (* -n override of per-experiment sample sizes *)
+let stamp = ref "" (* -stamp: caller-provided timestamp for the records *)
+
+(* every BENCH_*.json payload carries the same host block, so records
+   from different experiments and revisions stay comparable *)
+let host_block () =
+  Printf.sprintf
+    "\"host\":{\"cores\":%d,\"ocaml\":%S,\"os\":%S,\"word_size\":%d,\
+     \"commit\":%S,\"stamp\":%S}"
+    (Hostinfo.cores ()) Hostinfo.ocaml_version Hostinfo.os_type
+    Hostinfo.word_size
+    (Hostinfo.git_commit ())
+    !stamp
 
 let size default = match !scale with Some n -> n | None -> default
 
@@ -274,15 +286,11 @@ let scaling () =
        \"kernels_per_mode\":%d,\
        \"cells\":%d,\"jobs\":%d,\"t_j1_s\":%.3f,\"t_jN_s\":%.3f,\
        \"cells_per_s_j1\":%.1f,\"cells_per_s_jN\":%.1f,\"speedup\":%.2f,\
-       \"identical\":%b,\"stages_j1\":%s,\"stages_jN\":%s,\
-       \"host\":{\"cores\":%d,\"ocaml\":%S,\"os\":%S,\"word_size\":%d,\
-       \"commit\":%S}}"
+       \"identical\":%b,\"stages_j1\":%s,\"stages_jN\":%s,%s}"
       per_mode cells n_jobs t_seq t_par
       (float cells /. t_seq)
       (float cells /. t_par)
-      (t_seq /. t_par) identical stages_seq stages_par (Hostinfo.cores ())
-      Hostinfo.ocaml_version Hostinfo.os_type Hostinfo.word_size
-      (Hostinfo.git_commit ())
+      (t_seq /. t_par) identical stages_seq stages_par (host_block ())
   in
   Printf.printf "BENCH-JSON %s\n" payload;
   (* persist the measurement next to the sources so successive revisions
@@ -368,9 +376,7 @@ let dist () =
     Printf.sprintf
       "{\"bench\":\"dist_loopback\",\"schema\":1,\"cells\":%d,\"workers\":%d,\
        \"jobs\":1,\"t_s\":%.3f,\"cells_per_s\":%.1f,\"identical\":%b,\
-       \"worker_cells\":[%s],\"fleet_rate_milli\":%d,\
-       \"host\":{\"cores\":%d,\"ocaml\":%S,\"os\":%S,\"word_size\":%d,\
-       \"commit\":%S}}"
+       \"worker_cells\":[%s],\"fleet_rate_milli\":%d,%s}"
       total workers dt
       (float total /. dt)
       identical
@@ -378,9 +384,7 @@ let dist () =
          (List.map
             (fun (r : Fleet.row) -> string_of_int r.Fleet.cells)
             snap.Fleet.rows))
-      snap.Fleet.fleet_milli (Hostinfo.cores ()) Hostinfo.ocaml_version
-      Hostinfo.os_type Hostinfo.word_size
-      (Hostinfo.git_commit ())
+      snap.Fleet.fleet_milli (host_block ())
   in
   Printf.printf "BENCH-JSON %s\n" payload;
   (try
@@ -527,14 +531,10 @@ let serve_bench () =
     Printf.sprintf
       "{\"bench\":\"serve_stress\",\"schema\":1,\"clients\":%d,\"requests\":%d,\
        \"t_s\":%.3f,\"req_per_s\":%.1f,\"p50_us\":%d,\"p99_us\":%d,\
-       \"overload_conns\":%d,\"overload_shed\":%d,\"server_requests\":%d,\
-       \"host\":{\"cores\":%d,\"ocaml\":%S,\"os\":%S,\"word_size\":%d,\
-       \"commit\":%S}}"
+       \"overload_conns\":%d,\"overload_shed\":%d,\"server_requests\":%d,%s}"
       clients total dt
       (float total /. dt)
-      p50 p99 burst !shed_seen server_stats.Server.requests (Hostinfo.cores ())
-      Hostinfo.ocaml_version Hostinfo.os_type Hostinfo.word_size
-      (Hostinfo.git_commit ())
+      p50 p99 burst !shed_seen server_stats.Server.requests (host_block ())
   in
   Printf.printf "BENCH-JSON %s\n" payload;
   (try
@@ -591,15 +591,11 @@ let fuzz () =
   let payload =
     Printf.sprintf
       "{\"bench\":\"fuzz_feedback_vs_blind\",\"schema\":1,\"budget\":%d,\
-       \"seed\":%d,\"jobs\":%d,\"feedback\":%s,\"no_feedback\":%s,\
-       \"host\":{\"cores\":%d,\"ocaml\":%S,\"os\":%S,\"word_size\":%d,\
-       \"commit\":%S}}"
+       \"seed\":%d,\"jobs\":%d,\"feedback\":%s,\"no_feedback\":%s,%s}"
       budget seed n_jobs
       (policy "feedback" fb t_fb)
       (policy "no-feedback" blind t_blind)
-      (Hostinfo.cores ()) Hostinfo.ocaml_version Hostinfo.os_type
-      Hostinfo.word_size
-      (Hostinfo.git_commit ())
+      (host_block ())
   in
   Printf.printf "BENCH-JSON %s\n" payload;
   (try
@@ -723,6 +719,9 @@ let () =
         | _ ->
             Printf.eprintf "-n expects a positive integer, got %s\n" v;
             exit 2)
+    | "-stamp" :: v :: rest ->
+        stamp := v;
+        parse acc rest
     | name :: rest -> parse (name :: acc) rest
   in
   let rc = ref 0 in

@@ -128,6 +128,20 @@ let trace_arg =
            and write a Chrome trace-event JSON to $(docv) — load it in \
            ui.perfetto.dev or chrome://tracing; one pid per domain.")
 
+let profile_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "profile" ] ~docv:"FILE"
+        ~doc:
+          "Arm the interpreter cost profiler: count one tick per AST-node \
+           visit, keyed by construct kind and static location, and write the \
+           per-cell profile to $(docv) as checksummed JSONL (plus a \
+           $(docv).folded collapsed-stack aggregate for flamegraph.pl / \
+           speedscope). Counts fold over the ordered merged cell stream, so \
+           the file is byte-identical across $(b,-j) values; render it with \
+           $(b,campaign profile) $(docv).")
+
 let progress_arg =
   Arg.(
     value & flag
@@ -175,6 +189,7 @@ type obs_opts = {
   o_metrics : string option;
   o_prom : string option;
   o_trace : string option;
+  o_profile : string option;
   o_progress : bool;
   o_events : string option;
   o_wd_timeout : int option;  (* seconds *)
@@ -182,14 +197,14 @@ type obs_opts = {
 }
 
 let telemetry_term =
-  let combine o_metrics o_prom o_trace o_progress o_events o_wd_timeout
-      o_wd_abort =
-    { o_metrics; o_prom; o_trace; o_progress; o_events; o_wd_timeout;
-      o_wd_abort }
+  let combine o_metrics o_prom o_trace o_profile o_progress o_events
+      o_wd_timeout o_wd_abort =
+    { o_metrics; o_prom; o_trace; o_profile; o_progress; o_events;
+      o_wd_timeout; o_wd_abort }
   in
   Term.(
-    const combine $ metrics_arg $ prom_arg $ trace_arg $ progress_arg
-    $ events_arg $ watchdog_timeout_arg $ watchdog_abort_arg)
+    const combine $ metrics_arg $ prom_arg $ trace_arg $ profile_arg
+    $ progress_arg $ events_arg $ watchdog_timeout_arg $ watchdog_abort_arg)
 
 (* one short class tag per journalled cell, for the progress tallies *)
 let tag_of_cell (c : Journal.cell) =
@@ -222,6 +237,10 @@ let with_telemetry ~telemetry:t ?fleet_groups ~header ~label ~total k =
   if t.o_trace <> None then begin
     Span.reset ();
     Span.enable ()
+  end;
+  if t.o_profile <> None then begin
+    Costprof.reset ();
+    Costprof.enable ()
   end;
   match
     try Ok (Option.map (fun path -> Eventlog.create ~path) t.o_events)
@@ -356,9 +375,22 @@ let with_telemetry ~telemetry:t ?fleet_groups ~header ~label ~total k =
                0
              with Sys_error m -> fail "%s" m)
       in
+      let rc_profile =
+        match t.o_profile with
+        | None -> 0
+        | Some path -> (
+            Costprof.disable ();
+            let cells = Costprof.snapshot () in
+            Costprof.reset ();
+            try
+              Costprof.write ~path cells;
+              Costprof.write_folded ~path:(path ^ ".folded") cells;
+              0
+            with Sys_error m -> fail "%s" m)
+      in
       emit_ev (Eventlog.Campaign_end { cells = !cells_seen });
       (match ev_writer with Some w -> Eventlog.close w | None -> ());
-      max rc (max rc_metrics (max rc_prom rc_trace))
+      max rc (max rc_metrics (max rc_prom (max rc_trace rc_profile)))
 
 (* run [k sink resumed_cells] under the requested journal plumbing *)
 let with_journal ~header ~journal ~resume k =
@@ -716,6 +748,33 @@ let report_cmd =
               ~doc:
                 "Eventlog written by the campaign's $(b,--events): enables \
                  the coverage/bug curves, stage-timing and incident sections.")
+      $ out_arg)
+
+let profile_cmd =
+  let run path out =
+    match Costprof.load ~path with
+    | Error m -> fail "%s: %s" path m
+    | Ok (cells, truncated) ->
+        if truncated then
+          warn
+            "profile ended in a torn line (interrupted run); reporting the \
+             clean prefix";
+        emit out (Costprof.report cells)
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Render an interpreter cost profile written by a campaign's \
+          $(b,--profile) $(i,FILE): constructs ranked by share of execute \
+          ticks, with per-kernel cell and attribution totals. The \
+          $(i,FILE).folded sibling is already in collapsed-stack format for \
+          flamegraph.pl or speedscope.")
+    Term.(
+      const run
+      $ Arg.(
+          required
+          & pos 0 (some string) None
+          & info [] ~docv:"PROFILE" ~doc:"profile file to render")
       $ out_arg)
 
 let figure_cmd name exhibits doc =
@@ -1353,7 +1412,8 @@ let worker_cmd =
 (* ------------------------------------------------------------------ *)
 
 let serve_cmd =
-  let run listen state max_inflight max_queue read_timeout_ms queue_timeout_ms =
+  let run listen state max_inflight max_queue read_timeout_ms queue_timeout_ms
+      trace =
     match Svstore.open_ ~path:state with
     | Error m -> fail "serve: %s" m
     | Ok store -> (
@@ -1364,6 +1424,24 @@ let serve_cmd =
         in
         arm Sys.sigint;
         arm Sys.sigterm;
+        (* metrics time series: one snapshot per second of daemon life,
+           served at /metrics/history and charted in /report *)
+        let history = Svhistory.create () in
+        if trace <> None then begin
+          Span.reset ();
+          Span.enable ()
+        end;
+        let write_trace () =
+          match trace with
+          | None -> 0
+          | Some path -> (
+              Span.disable ();
+              let spans = Span.drain () in
+              try
+                Trace.write_groups ~path [ ("serve", spans) ];
+                0
+              with Sys_error m -> fail "%s" m)
+        in
         report "serving on %s (journal %s: %d kernels, %d cells)"
           (Proto.addr_to_string listen)
           state
@@ -1371,15 +1449,17 @@ let serve_cmd =
           (Svstore.cell_count store);
         match
           Server.run ~addr:listen ~store ~max_inflight ~max_queue
-            ~read_timeout_ms ~queue_timeout_ms ~stop ()
+            ~read_timeout_ms ~queue_timeout_ms ~stop ~history ()
         with
         | Ok stats ->
             Svstore.close store;
+            let rc_trace = write_trace () in
             report "served %d requests (%d shed, %d timeouts)"
               stats.Server.requests stats.Server.shed stats.Server.timeouts;
-            0
+            rc_trace
         | Error m ->
             Svstore.close store;
+            ignore (write_trace ());
             fail "serve: %s" m)
   in
   Cmd.v
@@ -1427,7 +1507,16 @@ let serve_cmd =
       $ Arg.(
           value & opt int 2_000
           & info [ "queue-timeout-ms" ]
-              ~doc:"Shed a parked connection that waited this long (429)."))
+              ~doc:"Shed a parked connection that waited this long (429).")
+      $ Arg.(
+          value
+          & opt (some string) None
+          & info [ "trace" ] ~docv:"FILE"
+              ~doc:
+                "Write a Chrome/Perfetto trace of per-request handling \
+                 spans on shutdown. Observation submissions carry their \
+                 cell's causal flow id, so this trace stitches into a \
+                 worker/coordinator trace merged over the same campaign."))
 
 (* the serve client's execution loop shares the campaign's outcome
    classification: majority vote across the above-threshold configs,
@@ -1711,7 +1800,7 @@ let () =
           (Cmd.info "campaign" ~doc:"Reproduce the paper's experiments")
           [
             table1_cmd; table2_cmd; table3_cmd; table4_cmd; table5_cmd;
-            fuzz_cmd; triage_cmd; report_cmd; status_cmd;
+            fuzz_cmd; triage_cmd; report_cmd; profile_cmd; status_cmd;
             figure_cmd "figure1" Exhibit.figure1 "Figure 1 bug exhibits";
             figure_cmd "figure2" Exhibit.figure2 "Figure 2 bug exhibits";
             races_cmd; reduce_cmd; coordinate_cmd; worker_cmd;

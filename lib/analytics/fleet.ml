@@ -58,14 +58,17 @@ let beat_of_json j =
 
 let span_to_json (s : Span.t) =
   Jsonl.Obj
-    [
-      ("c", Jsonl.Str s.Span.cat);
-      ("n", Jsonl.Str s.Span.name);
-      ("t0", Jsonl.Int (Int64.to_int s.Span.t0_ns));
-      ("d", Jsonl.Int (Int64.to_int s.Span.dur_ns));
-      ("dm", Jsonl.Int s.Span.domain);
-      ("tk", Jsonl.Int s.Span.task);
-    ]
+    ([
+       ("c", Jsonl.Str s.Span.cat);
+       ("n", Jsonl.Str s.Span.name);
+       ("t0", Jsonl.Int (Int64.to_int s.Span.t0_ns));
+       ("d", Jsonl.Int (Int64.to_int s.Span.dur_ns));
+       ("dm", Jsonl.Int s.Span.domain);
+       ("tk", Jsonl.Int s.Span.task);
+     ]
+    (* flow fields only when set, so unlinked spans keep v1 bytes *)
+    @ (if s.Span.flow >= 0 then [ ("f", Jsonl.Int s.Span.flow) ] else [])
+    @ if s.Span.flow_n > 0 then [ ("fn", Jsonl.Int s.Span.flow_n) ] else [])
 
 let span_of_json j =
   let int name = Option.bind (Jsonl.member name j) Jsonl.get_int in
@@ -80,6 +83,8 @@ let span_of_json j =
           dur_ns = Int64.of_int d;
           domain;
           task;
+          flow = Option.value ~default:(-1) (int "f");
+          flow_n = Option.value ~default:0 (int "fn");
         }
   | _ -> None
 

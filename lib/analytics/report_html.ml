@@ -500,8 +500,57 @@ ol.path { margin: .3em 0 .3em 1em; }
 code { background: #f6f8fa; padding: 0 .25em; border-radius: 3px; }
 |css}
 
+type history_sample = {
+  ts_ms : int;
+  requests : int;
+  shed : int;
+  p50_us : int;
+  p99_us : int;
+}
+
+(* serve-daemon time series: throughput from the per-interval request
+   delta, latency from the sampled p50/p99 *)
+let history_panel (samples : history_sample list) =
+  match samples with
+  | [] | [ _ ] -> ""
+  | samples ->
+      let t_s s = float_of_int s.ts_ms /. 1000. in
+      let rec deltas prev = function
+        | [] -> []
+        | s :: tl ->
+            let dt = float_of_int (s.ts_ms - prev.ts_ms) /. 1000. in
+            let dr = float_of_int (s.requests - prev.requests) in
+            (t_s s, if dt > 0. then dr /. dt else 0.) :: deltas s tl
+      in
+      let throughput =
+        match samples with [] -> [] | first :: rest -> deltas first rest
+      in
+      let latency p =
+        List.filter_map
+          (fun s ->
+            let v = p s in
+            if v < 0 then None else Some (t_s s, float_of_int v))
+          samples
+      in
+      let shed_total = (List.nth samples (List.length samples - 1)).shed in
+      String.concat "\n"
+        (List.filter
+           (fun s -> s <> "")
+           [
+             svg_chart ~y_label:"requests per second over time (s)" throughput;
+             svg_chart ~y_label:"request latency p50 (us) over time (s)"
+               (latency (fun s -> s.p50_us));
+             svg_chart ~y_label:"request latency p99 (us) over time (s)"
+               (latency (fun s -> s.p99_us));
+             (if shed_total > 0 then
+                Printf.sprintf "<p>%d connection%s shed in total.</p>"
+                  shed_total
+                  (if shed_total = 1 then "" else "s")
+              else "");
+           ])
+
 let render ~(header : Journal.header) ~cells ?(truncated = false) ?(events = [])
-    () =
+    ?(history = []) () =
   let b = Buffer.create 8192 in
   let g = grid cells in
   let hits =
@@ -529,6 +578,7 @@ let render ~(header : Journal.header) ~cells ?(truncated = false) ?(events = [])
   section b "Campaign curves" (curves (generations events));
   section b "Stage timing" (stage_timing events);
   section b "Fleet" (fleet_panel events);
+  section b "Serve throughput and latency" (history_panel history);
   section b "Incidents" (incidents events);
   section b "Bug discovery paths" (lineage_html cells hits);
   Buffer.add_string b "</body></html>\n";

@@ -109,6 +109,12 @@ let serve ~addr ~spec ~workers ?chunk ?(lease_ttl_ms = default_ttl_ms) ?resume
   | Error e -> Error e
   | Ok (listen_fd, status_fd) ->
       let conns : (Unix.file_descr, conn) Hashtbl.t = Hashtbl.create 16 in
+      (* outstanding lease grants: lease_id -> (grant time, lo, hi). Fed
+         only when telemetry is armed; the lease span is emitted
+         retroactively once its Done arrives, originating one causal
+         flow per cell index in [lo, hi) so the merged trace links the
+         grant to the worker's exec spans. *)
+      let grants : (int, int64 * int * int) Hashtbl.t = Hashtbl.create 16 in
       let next_worker = ref 0 in
       let joined = ref 0 in
       let started = ref false in
@@ -183,6 +189,9 @@ let serve ~addr ~spec ~workers ?chunk ?(lease_ttl_ms = default_ttl_ms) ?resume
                                   })
                         then begin
                           conn.idle <- false;
+                          if telemetry then
+                            Hashtbl.replace grants lease.Lease.lease_id
+                              (now, lease.Lease.lo, lease.Lease.hi);
                           fl (fun t ->
                               Fleet.on_lease t ~worker:w
                                 ~lease_id:lease.Lease.lease_id
@@ -228,6 +237,14 @@ let serve ~addr ~spec ~workers ?chunk ?(lease_ttl_ms = default_ttl_ms) ?resume
                     Fleet.on_done t ~worker:w ~lease_id ~now;
                     if spans <> [] then Fleet.add_spans t ~worker:w spans;
                     if metrics <> [] then Fleet.on_metrics t ~worker:w metrics)
+            | None -> ());
+            (match Hashtbl.find_opt grants lease_id with
+            | Some (t0_ns, lo, hi) ->
+                Hashtbl.remove grants lease_id;
+                Span.emit ~cat:"lease"
+                  ~name:(Printf.sprintf "lease %d [%d,%d)" lease_id lo hi)
+                  ~t0_ns ~dur_ns:(Int64.sub now t0_ns) ~flow:lo
+                  ~flow_n:(hi - lo) ()
             | None -> ());
             Lease.finish tracker ~lease_id;
             conn.idle <- true

@@ -81,7 +81,7 @@ let stats_of_note note =
   let int k = Option.bind (Hashtbl.find_opt tbl k) int_of_string_opt in
   match (int "s", int "b", int "a", int "r") with
   | Some steps, Some barriers, Some atomics, Some race_checks ->
-      Some { Interp.steps; barriers; atomics; race_checks }
+      Some { Interp.steps; barriers; atomics; race_checks; prof = [] }
   | _ -> None
 
 let cls_of_bucket = function

@@ -94,10 +94,13 @@ let run ?jobs ?fuel ?(per_mode = 60) ?(seed0 = 10_000) ?config_ids ?modes ?sink
               (fun c -> [ (seed, prep, c, false); (seed, prep, c, true) ])
               configs)
           kernels
+        (* each task carries its global cell index — the journal index and
+           the causal flow id stitching exec spans to coordinator leases *)
+        |> List.mapi (fun i (seed, prep, c, opt) -> (seed, prep, c, opt, !base + i))
       in
       let tasks_arr = Array.of_list tasks in
       let cell_of i o =
-        let seed, _, c, opt = tasks_arr.(i) in
+        let seed, _, c, opt, _ = tasks_arr.(i) in
         {
           Journal.index = !base + i;
           seed;
@@ -112,7 +115,7 @@ let run ?jobs ?fuel ?(per_mode = 60) ?(seed0 = 10_000) ?config_ids ?modes ?sink
       let replayed =
         Option.map
           (fun tbl i ->
-            let seed, _, c, opt = tasks_arr.(i) in
+            let seed, _, c, opt, _ = tasks_arr.(i) in
             match
               Hashtbl.find_opt tbl (mode_name, seed, c.Config.id, opt_str opt)
             with
@@ -141,7 +144,8 @@ let run ?jobs ?fuel ?(per_mode = 60) ?(seed0 = 10_000) ?config_ids ?modes ?sink
       in
       let outcomes =
         Par.run_resumable pool ?sink ?lookup
-          ~f:(fun (_, prep, c, opt) -> Driver.run_prepared_stats ?fuel c ~opt prep)
+          ~f:(fun (_, prep, c, opt, flow) ->
+            Driver.run_prepared_stats ?fuel ~flow c ~opt prep)
           ~on_error:(fun e -> (Par.crash_of_exn e, Interp.zero_stats))
           tasks
         (* metrics fold over the merged list, in task order: replayed

@@ -49,6 +49,7 @@ let record_cell (st : Interp.stats) outcomes =
   Metrics.add m_atomics st.Interp.atomics;
   Metrics.add m_race_checks st.Interp.race_checks;
   Metrics.observe h_steps st.Interp.steps;
+  List.iter Costprof.record st.Interp.prof;
   List.iter (fun o -> Metrics.incr (outcome_counter o)) outcomes
 
 let bucket_counter =

@@ -62,7 +62,11 @@ let tally t tag =
 (* rate and ETA measure this session's work only: resumed/prefilled
    cells ([start]) cost no session time and must not inflate either *)
 let eta_string t now =
-  if t.done_ <= t.start || t.total <= t.done_ then "0s"
+  if t.total <= t.done_ then "0s"
+  else if t.done_ <= t.start then
+    (* no session work measured yet (all prefill, or nothing done):
+       the rate is zero and any extrapolation would be garbage *)
+    "--:--"
   else
     let elapsed_s =
       Int64.to_float (Int64.sub now t.t0_ns) /. 1e9

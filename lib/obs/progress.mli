@@ -41,6 +41,13 @@ val create :
 val step : t -> tag:string -> unit
 (** Count one finished cell under class [tag] and maybe redraw. *)
 
+val eta_string : t -> int64 -> string
+(** The displayed ETA at monotonic time [now]: ["0s"] when nothing
+    remains, ["--:--"] when work remains but no session cell has
+    finished yet (zero measured rate — prefill-only or just started),
+    otherwise an extrapolation like ["42s"] / ["3.5m"] / ["1.2h"].
+    Exposed for tests. *)
+
 val finish : t -> unit
 (** Final redraw (Plain mode skips it when the last {!step} already
     printed the final state) and flush, leaving the line intact. *)

@@ -5,6 +5,8 @@ type t = {
   dur_ns : int64;
   domain : int;
   task : int;
+  flow : int;
+  flow_n : int;
 }
 
 let on = Atomic.make false
@@ -33,20 +35,47 @@ let buffer () = Domain.DLS.get buffer_key
 let set_task i = (buffer ()).task <- i
 let clear_task () = (buffer ()).task <- -1
 
-let record ~cat ~name ~t0_ns =
+let record ?(flow = -1) ?(flow_n = 0) ~cat ~name ~t0_ns () =
   let b = buffer () in
   let dur_ns = Int64.sub (Mclock.now_ns ()) t0_ns in
   let dur_ns = if Int64.compare dur_ns 0L < 0 then 0L else dur_ns in
   let span =
-    { cat; name; t0_ns; dur_ns; domain = (Domain.self () :> int); task = b.task }
+    {
+      cat;
+      name;
+      t0_ns;
+      dur_ns;
+      domain = (Domain.self () :> int);
+      task = b.task;
+      flow;
+      flow_n;
+    }
   in
   b.spans <- span :: b.spans
 
-let with_ ~cat name f =
+let with_ ~cat ?flow ?flow_n name f =
   if not (Atomic.get on) then f ()
   else begin
     let t0_ns = Mclock.now_ns () in
-    Fun.protect ~finally:(fun () -> record ~cat ~name ~t0_ns) f
+    Fun.protect ~finally:(fun () -> record ?flow ?flow_n ~cat ~name ~t0_ns ()) f
+  end
+
+let emit ~cat ~name ~t0_ns ~dur_ns ?(flow = -1) ?(flow_n = 0) () =
+  if Atomic.get on then begin
+    let b = buffer () in
+    let span =
+      {
+        cat;
+        name;
+        t0_ns;
+        dur_ns = (if Int64.compare dur_ns 0L < 0 then 0L else dur_ns);
+        domain = (Domain.self () :> int);
+        task = b.task;
+        flow;
+        flow_n;
+      }
+    in
+    b.spans <- span :: b.spans
   end
 
 let drain () =

@@ -24,6 +24,13 @@ type t = {
   dur_ns : int64;  (** duration; >= 0 *)
   domain : int;  (** recording domain id — one trace pid per domain *)
   task : int;  (** pool task index in flight, or -1 outside the pool *)
+  flow : int;
+      (** causal flow id (global cell index), or -1 when unlinked.
+          With [flow_n = 0] the span {e participates} in flow [flow];
+          with [flow_n > 0] it {e originates} flows [flow ..
+          flow + flow_n - 1] (a coordinator lease covering a cell
+          range). *)
+  flow_n : int;  (** number of flows originated here; 0 = participant *)
 }
 
 val enable : unit -> unit
@@ -32,11 +39,25 @@ val disable : unit -> unit
 val enabled : unit -> bool
 (** Whether {!with_} currently records. *)
 
-val with_ : cat:string -> string -> (unit -> 'a) -> 'a
+val with_ :
+  cat:string -> ?flow:int -> ?flow_n:int -> string -> (unit -> 'a) -> 'a
 (** [with_ ~cat name f] runs [f ()], recording a span on the current
     domain when collection is enabled. The span is recorded even when
     [f] raises (the exception is re-raised), so crashing cells still
     show up in the trace. *)
+
+val emit :
+  cat:string ->
+  name:string ->
+  t0_ns:int64 ->
+  dur_ns:int64 ->
+  ?flow:int ->
+  ?flow_n:int ->
+  unit ->
+  unit
+(** Record a span with explicit timing — for retroactive spans whose
+    interval was measured elsewhere (a coordinator lease is only
+    emitted once its Done arrives). No-op when collection is off. *)
 
 val set_task : int -> unit
 (** Tag subsequent spans on this domain with a pool task index. *)

@@ -1,12 +1,84 @@
+let sorted spans =
+  List.sort
+    (fun (a : Span.t) (b : Span.t) ->
+      match Int64.compare a.t0_ns b.t0_ns with
+      | 0 -> compare (a.domain, a.name) (b.domain, b.name)
+      | c -> c)
+    spans
+
+(* ------------------------------------------------------------------ *)
+(* Flow events                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Chrome/Perfetto flow events (ph "s"/"t"/"f" sharing an id) link
+   slices across processes: the coordinator's lease span originates one
+   flow per cell in its range (flow_n > 0), worker exec spans and serve
+   submissions participate in the single flow of their cell. A flow
+   event binds to the slice with the same pid/tid whose interval covers
+   its ts, so every event reuses its slice's start timestamp. *)
+type flow_reg = {
+  tbl : (int, (int * bool * int * int * int) list) Hashtbl.t;
+      (* flow id -> (seq, is_source, pid, tid, ts_us), newest first *)
+  mutable seq : int;
+}
+
+let flow_reg () = { tbl = Hashtbl.create 64; seq = 0 }
+
+let flow_note reg ~pid ~tid ~ts (s : Span.t) =
+  if s.Span.flow >= 0 then begin
+    let seq = reg.seq in
+    reg.seq <- seq + 1;
+    let src = s.Span.flow_n > 0 in
+    let n = max 1 s.Span.flow_n in
+    for k = 0 to n - 1 do
+      let id = s.Span.flow + k in
+      let cur = Option.value ~default:[] (Hashtbl.find_opt reg.tbl id) in
+      Hashtbl.replace reg.tbl id ((seq, src, pid, tid, ts) :: cur)
+    done
+  end
+
+let flow_events reg =
+  let ids = List.sort compare (Hashtbl.fold (fun k _ a -> k :: a) reg.tbl []) in
+  List.concat_map
+    (fun id ->
+      let ps = List.rev (Hashtbl.find reg.tbl id) in
+      (* the originating span leads regardless of arrival order; ties and
+         participants keep registration order (group order, then time) *)
+      let ps =
+        List.stable_sort
+          (fun (_, s1, _, _, _) (_, s2, _, _, _) -> compare s2 s1)
+          ps
+      in
+      match ps with
+      | [] | [ _ ] -> [] (* a flow needs two ends *)
+      | first :: rest ->
+          let ev ph extra (_, _, pid, tid, ts) =
+            Jsonl.Obj
+              ([
+                 ("name", Jsonl.Str "cell");
+                 ("cat", Jsonl.Str "flow");
+                 ("ph", Jsonl.Str ph);
+                 ("id", Jsonl.Int id);
+                 ("ts", Jsonl.Int ts);
+                 ("pid", Jsonl.Int pid);
+                 ("tid", Jsonl.Int tid);
+               ]
+              @ extra)
+          in
+          let rec steps = function
+            | [] -> []
+            | [ last ] -> [ ev "f" [ ("bp", Jsonl.Str "e") ] last ]
+            | p :: tl -> ev "t" [] p :: steps tl
+          in
+          ev "s" [] first :: steps rest)
+    ids
+
+(* ------------------------------------------------------------------ *)
+(* Single-process trace                                                *)
+(* ------------------------------------------------------------------ *)
+
 let to_json spans =
-  let spans =
-    List.sort
-      (fun (a : Span.t) (b : Span.t) ->
-        match Int64.compare a.t0_ns b.t0_ns with
-        | 0 -> compare (a.domain, a.name) (b.domain, b.name)
-        | c -> c)
-      spans
-  in
+  let spans = sorted spans in
   let epoch =
     List.fold_left
       (fun acc (s : Span.t) -> if Int64.compare s.t0_ns acc < 0 then s.t0_ns else acc)
@@ -29,18 +101,21 @@ let to_json spans =
           ])
       domains
   in
+  let reg = flow_reg () in
   let events =
     List.map
       (fun (s : Span.t) ->
         let args =
           if s.task >= 0 then [ ("task", Jsonl.Int s.task) ] else []
         in
+        let ts = Mclock.ns_to_us (Int64.sub s.t0_ns epoch) in
+        flow_note reg ~pid:s.domain ~tid:1 ~ts s;
         Jsonl.Obj
           [
             ("name", Jsonl.Str s.name);
             ("cat", Jsonl.Str s.cat);
             ("ph", Jsonl.Str "X");
-            ("ts", Jsonl.Int (Mclock.ns_to_us (Int64.sub s.t0_ns epoch)));
+            ("ts", Jsonl.Int ts);
             ("dur", Jsonl.Int (max 1 (Mclock.ns_to_us s.dur_ns)));
             ("pid", Jsonl.Int s.domain);
             ("tid", Jsonl.Int 1);
@@ -50,7 +125,7 @@ let to_json spans =
   in
   Jsonl.Obj
     [
-      ("traceEvents", Jsonl.List (meta @ events));
+      ("traceEvents", Jsonl.List (meta @ events @ flow_events reg));
       ("displayTimeUnit", Jsonl.Str "ms");
     ]
 
@@ -59,15 +134,8 @@ let to_json spans =
    rebased to its own earliest span — worker clocks are unrelated
    monotonic epochs, so only within-group time is meaningful. *)
 let to_json_groups groups =
-  let sorted spans =
-    List.sort
-      (fun (a : Span.t) (b : Span.t) ->
-        match Int64.compare a.t0_ns b.t0_ns with
-        | 0 -> compare (a.domain, a.name) (b.domain, b.name)
-        | c -> c)
-      spans
-  in
   let metas = ref [] and events = ref [] in
+  let reg = flow_reg () in
   List.iteri
     (fun pid (label, spans) ->
       let spans = sorted spans in
@@ -107,13 +175,15 @@ let to_json_groups groups =
           let args =
             if s.task >= 0 then [ ("task", Jsonl.Int s.task) ] else []
           in
+          let ts = Mclock.ns_to_us (Int64.sub s.t0_ns epoch) in
+          flow_note reg ~pid ~tid:s.domain ~ts s;
           events :=
             Jsonl.Obj
               [
                 ("name", Jsonl.Str s.name);
                 ("cat", Jsonl.Str s.cat);
                 ("ph", Jsonl.Str "X");
-                ("ts", Jsonl.Int (Mclock.ns_to_us (Int64.sub s.t0_ns epoch)));
+                ("ts", Jsonl.Int ts);
                 ("dur", Jsonl.Int (max 1 (Mclock.ns_to_us s.dur_ns)));
                 ("pid", Jsonl.Int pid);
                 ("tid", Jsonl.Int s.domain);
@@ -124,7 +194,8 @@ let to_json_groups groups =
     groups;
   Jsonl.Obj
     [
-      ("traceEvents", Jsonl.List (List.rev !metas @ List.rev !events));
+      ("traceEvents",
+       Jsonl.List (List.rev !metas @ List.rev !events @ flow_events reg));
       ("displayTimeUnit", Jsonl.Str "ms");
     ]
 

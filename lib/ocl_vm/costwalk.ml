@@ -1,0 +1,200 @@
+open Ast
+
+(* Node identity is physical: the interpreter executes the very program
+   value [build] walked, so (==) lookups hit. Structural hashing keeps
+   physically distinct but equal nodes in the same bucket, where (==)
+   disambiguates. *)
+module Etbl = Hashtbl.Make (struct
+  type t = expr
+
+  let equal = ( == )
+  let hash = Hashtbl.hash
+end)
+
+module Stbl = Hashtbl.Make (struct
+  type t = stmt
+
+  let equal = ( == )
+  let hash = Hashtbl.hash
+end)
+
+type t = {
+  kinds : string array;
+  paths : string array;
+  counts : int array;
+  expr_ids : int Etbl.t;
+  stmt_ids : int Stbl.t;
+  synth : (string, int ref) Hashtbl.t;  (* runtime-synthesised nodes *)
+  mutable total : int;
+}
+
+let expr_kind = function
+  | Const _ -> "const"
+  | Var _ -> "var"
+  | Thread_id _ -> "thread_id"
+  | Unop _ -> "unop"
+  | Binop _ -> "binop"
+  | Safe_binop _ -> "safe_binop"
+  | Safe_neg _ -> "safe_neg"
+  | Builtin _ -> "builtin"
+  | Call _ -> "call"
+  | Cast _ -> "cast"
+  | Cond _ -> "cond"
+  | Field _ -> "field"
+  | Arrow _ -> "arrow"
+  | Index _ -> "index"
+  | Deref _ -> "deref"
+  | Addr_of _ -> "addr_of"
+  | Vec_lit _ -> "vec_lit"
+  | Swizzle _ -> "swizzle"
+  | Atomic _ -> "atomic"
+
+let stmt_kind = function
+  | Decl _ -> "decl"
+  | Assign _ -> "assign"
+  | Expr _ -> "expr_stmt"
+  | If _ -> "if"
+  | For _ -> "for"
+  | While _ -> "while"
+  | Break -> "break"
+  | Continue -> "continue"
+  | Return _ -> "return"
+  | Barrier _ -> "barrier"
+  | Block _ -> "block"
+  | Emi _ -> "emi"
+
+let build (p : program) =
+  let expr_ids = Etbl.create 512 in
+  let stmt_ids = Stbl.create 256 in
+  let nodes = ref [] in
+  let next = ref 0 in
+  let reg kind path =
+    let id = !next in
+    incr next;
+    nodes := (kind, path) :: !nodes;
+    id
+  in
+  let rec walk_expr path e =
+    if not (Etbl.mem expr_ids e) then begin
+      let kind = expr_kind e in
+      let pth = path ^ ";" ^ kind in
+      Etbl.add expr_ids e (reg kind pth);
+      match e with
+      | Const _ | Var _ | Thread_id _ -> ()
+      | Unop (_, a) | Safe_neg a | Cast (_, a) | Deref a | Addr_of a
+      | Field (a, _) | Arrow (a, _) | Swizzle (a, _) ->
+          walk_expr pth a
+      | Binop (_, a, b) | Safe_binop (_, a, b) | Index (a, b) ->
+          walk_expr pth a;
+          walk_expr pth b
+      | Cond (a, b, c) ->
+          walk_expr pth a;
+          walk_expr pth b;
+          walk_expr pth c
+      | Builtin (_, args) | Call (_, args) | Vec_lit (_, _, args) ->
+          List.iter (walk_expr pth) args
+      | Atomic (_, ptr, args) ->
+          walk_expr pth ptr;
+          List.iter (walk_expr pth) args
+    end
+  in
+  let rec walk_init path = function
+    | I_expr e -> walk_expr path e
+    | I_list is -> List.iter (walk_init path) is
+  in
+  let rec walk_stmt path s =
+    if not (Stbl.mem stmt_ids s) then begin
+      let kind = stmt_kind s in
+      let pth = path ^ ";" ^ kind in
+      Stbl.add stmt_ids s (reg kind pth);
+      match s with
+      | Decl { dinit = Some i; _ } -> walk_init pth i
+      | Decl { dinit = None; _ } | Break | Continue | Return None | Barrier _
+        ->
+          ()
+      | Assign (l, _, r) ->
+          walk_expr pth l;
+          walk_expr pth r
+      | Expr e | Return (Some e) -> walk_expr pth e
+      | If (c, b1, b2) ->
+          walk_expr pth c;
+          List.iter (walk_stmt pth) b1;
+          List.iter (walk_stmt pth) b2
+      | For { f_init; f_cond; f_update; f_body } ->
+          Option.iter (walk_stmt pth) f_init;
+          Option.iter (walk_expr pth) f_cond;
+          Option.iter (walk_stmt pth) f_update;
+          List.iter (walk_stmt pth) f_body
+      | While (c, b) ->
+          walk_expr pth c;
+          List.iter (walk_stmt pth) b
+      | Block b -> List.iter (walk_stmt pth) b
+      | Emi { emi_body; _ } -> List.iter (walk_stmt pth) emi_body
+    end
+  in
+  List.iter
+    (fun (f : func) -> List.iter (walk_stmt ("fn:" ^ f.fname)) f.body)
+    p.funcs;
+  List.iter (walk_stmt ("kernel:" ^ p.kernel.fname)) p.kernel.body;
+  let n = !next in
+  let kinds = Array.make n "" and paths = Array.make n "" in
+  List.iteri
+    (fun i (kind, path) ->
+      let id = n - 1 - i in
+      kinds.(id) <- kind;
+      paths.(id) <- path)
+    !nodes;
+  {
+    kinds;
+    paths;
+    counts = Array.make n 0;
+    expr_ids;
+    stmt_ids;
+    synth = Hashtbl.create 4;
+    total = 0;
+  }
+
+let bump t id =
+  t.counts.(id) <- t.counts.(id) + 1;
+  t.total <- t.total + 1
+
+let synthetic t kind =
+  (match Hashtbl.find_opt t.synth kind with
+  | Some r -> incr r
+  | None -> Hashtbl.add t.synth kind (ref 1));
+  t.total <- t.total + 1
+
+let tick_expr t e =
+  match Etbl.find_opt t.expr_ids e with
+  | Some id -> bump t id
+  | None -> synthetic t (expr_kind e)
+
+let tick_stmt t s =
+  match Stbl.find_opt t.stmt_ids s with
+  | Some id -> bump t id
+  | None -> synthetic t (stmt_kind s)
+
+let ticks t = t.total
+
+let constructs t =
+  let named = ref [] in
+  for id = Array.length t.counts - 1 downto 0 do
+    if t.counts.(id) > 0 then
+      named :=
+        {
+          Costprof.kind = t.kinds.(id);
+          loc = id;
+          path = t.paths.(id);
+          n = t.counts.(id);
+        }
+        :: !named
+  done;
+  let synth =
+    Hashtbl.fold
+      (fun kind r acc ->
+        { Costprof.kind; loc = -1; path = "<synthetic>;" ^ kind; n = !r } :: acc)
+      t.synth []
+  in
+  List.sort
+    (fun (a : Costprof.construct) b -> compare (a.loc, a.kind) (b.loc, b.kind))
+    (synth @ !named)

@@ -1,0 +1,29 @@
+(** Static AST-construct table for the interpreter cost profiler.
+
+    [build] walks a program once in deterministic preorder (functions
+    in declaration order, the kernel last) and assigns every statement
+    and expression node a static id, a constructor-family name and a
+    ';'-separated path of enclosing frames. [tick_stmt]/[tick_expr]
+    then cost one array increment per interpreter visit, looked up by
+    physical node identity — the interpreter executes the exact program
+    value the table was built from, so lookups are O(1) hashtable hits.
+
+    Expressions the interpreter synthesises at runtime (the EMI guard
+    reads) miss the table and fall back to one per-kind synthetic slot
+    (loc -1), so every tick is attributed and totals still sum to 100%.
+    Nullary constructors ([Break], [Continue]) are immediates and
+    physically equal across the program; their visits collapse into one
+    slot each — deterministic, and harmless for ranking purposes. *)
+
+type t
+
+val build : Ast.program -> t
+
+val tick_stmt : t -> Ast.stmt -> unit
+val tick_expr : t -> Ast.expr -> unit
+
+val ticks : t -> int
+(** Total ticks recorded so far; equals the sum of construct counts. *)
+
+val constructs : t -> Costprof.construct list
+(** Non-zero construct counts, sorted by (loc, kind). *)

@@ -20,9 +20,16 @@ let default_config =
     profile = Profile.reference;
   }
 
-type stats = { steps : int; barriers : int; atomics : int; race_checks : int }
+type stats = {
+  steps : int;
+  barriers : int;
+  atomics : int;
+  race_checks : int;
+  prof : Costprof.cell list;
+}
 
-let zero_stats = { steps = 0; barriers = 0; atomics = 0; race_checks = 0 }
+let zero_stats =
+  { steps = 0; barriers = 0; atomics = 0; race_checks = 0; prof = [] }
 
 let add_stats a b =
   {
@@ -30,6 +37,7 @@ let add_stats a b =
     barriers = a.barriers + b.barriers;
     atomics = a.atomics + b.atomics;
     race_checks = a.race_checks + b.race_checks;
+    prof = a.prof @ b.prof;
   }
 
 type run_result = { outcome : Outcome.t; races : Race.race list; stats : stats }
@@ -59,6 +67,7 @@ type launch = {
   buffers : (string * R.cell) list;
   race : Race.t;
   tally : tally;
+  costs : Costwalk.t option;  (* cost-profiler tick table, None when off *)
 }
 
 type group_state = {
@@ -272,6 +281,14 @@ let lift_builtin b (args : R.value list) : R.value =
 (* ------------------------------------------------------------------ *)
 
 let rec eval ts (env : env) (e : expr) : R.value =
+  (match ts.l.costs with
+  | None -> ()
+  | Some cw -> (
+      (* lvalue-shaped reads delegate to eval_lvalue on the same node,
+         which ticks it there — skip here to avoid double counting *)
+      match e with
+      | Field _ | Arrow _ | Index _ | Deref _ -> ()
+      | _ -> Costwalk.tick_expr cw e));
   match e with
   | Const c -> R.V_scalar (Scalar.make c.cty c.value)
   | Var v -> read_lv ts (lvalue_of_var ts env v)
@@ -382,6 +399,9 @@ and lvalue_of_var ts env v : R.lvalue =
 
 (* returns (lvalue, reached-through-a-pointer) *)
 and eval_lvalue ts env (e : expr) : R.lvalue * bool =
+  (match ts.l.costs with
+  | None -> ()
+  | Some cw -> Costwalk.tick_expr cw e);
   match e with
   | Var v -> (lvalue_of_var ts env v, false)
   | Field (a, f) ->
@@ -597,6 +617,9 @@ and exec_block ts env stmts : flow =
 
 and exec_stmt ts env (s : stmt) : [ `Env of env | `Flow of flow ] =
   spend ts 1;
+  (match ts.l.costs with
+  | None -> ()
+  | Some cw -> Costwalk.tick_stmt cw s);
   match s with
   | Decl d ->
       let cell =
@@ -940,7 +963,7 @@ let output_of_buffers bufs =
               (Array.to_list (Array.map Scalar.to_string vals))))
        bufs)
 
-let run ?(config = default_config) (tc : testcase) : run_result =
+let run ?(config = default_config) ?costs (tc : testcase) : run_result =
   let race = Race.create () in
   let tally = { t_steps = 0; t_barriers = 0; t_atomics = 0; t_race_checks = 0 } in
   let stats () =
@@ -949,6 +972,7 @@ let run ?(config = default_config) (tc : testcase) : run_result =
       barriers = tally.t_barriers;
       atomics = tally.t_atomics;
       race_checks = tally.t_race_checks;
+      prof = [];
     }
   in
   match
@@ -975,6 +999,7 @@ let run ?(config = default_config) (tc : testcase) : run_result =
         buffers = buffers @ const_cells;
         race;
         tally;
+        costs;
       }
     in
     List.iter (fun g -> run_group l g) (Ndrange.groups nd);

@@ -35,6 +35,9 @@ type stats = {
   barriers : int;  (** barrier arrivals, counted per thread *)
   atomics : int;  (** atomic operations executed *)
   race_checks : int;  (** local/global accesses fed to the race detector *)
+  prof : Costprof.cell list;
+      (** cost-profile cells attached by the driver when [--profile] is
+          armed; always [[]] straight out of {!run} *)
 }
 (** Work performed by one launch. Groups and threads execute serially
     on the calling domain with a deterministic schedule, so for a fixed
@@ -50,7 +53,10 @@ type run_result = {
   stats : stats;  (** work done, valid on every outcome including crashes *)
 }
 
-val run : ?config:config -> Ast.testcase -> run_result
+val run : ?config:config -> ?costs:Costwalk.t -> Ast.testcase -> run_result
+(** [?costs] arms the cost profiler: every AST-node visit ticks the
+    table (built from the exact program value being run). [None] costs
+    one option match per visit — no atomic loads on the hot path. *)
 
 val run_outcome : ?config:config -> Ast.testcase -> Outcome.t
 (** Just the outcome. *)

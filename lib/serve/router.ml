@@ -75,7 +75,26 @@ let handle_post store (r : Http.req) =
           | _ -> err 400 "observation needs a cell (obs and cov optional)"))
   | _ -> err 404 "no such endpoint"
 
-let handle_get store (r : Http.req) =
+(* Bounded label set for per-route metrics: every corpus item collapses
+   to one label, unknown paths to "other", so request counters cannot
+   grow without bound under adversarial paths. *)
+let route_label path =
+  match path with
+  | "/kernel" -> "kernel"
+  | "/claim" -> "claim"
+  | "/observation" -> "observation"
+  | "/healthz" -> "healthz"
+  | "/bugs" -> "bugs"
+  | "/coverage" -> "coverage"
+  | "/coverage/hex" -> "coverage_hex"
+  | "/corpus" -> "corpus"
+  | "/metrics" -> "metrics"
+  | "/metrics.json" -> "metrics_json"
+  | "/metrics/history" -> "metrics_history"
+  | "/report" -> "report"
+  | p -> if corpus_item p <> None then "corpus_item" else "other"
+
+let handle_get ?history store (r : Http.req) =
   match r.path with
   | "/healthz" ->
       ok_json
@@ -117,10 +136,29 @@ let handle_get store (r : Http.req) =
   | "/metrics" ->
       Http.response ~status:200 ~body:(Metrics.to_prometheus ()) ()
   | "/metrics.json" -> ok_json (Metrics.to_json ())
+  | "/metrics/history" -> (
+      match history with
+      | Some h -> ok_json (Svhistory.to_json h)
+      | None -> err 404 "history not armed")
   | "/report" ->
+      let history =
+        match history with
+        | None -> []
+        | Some h ->
+            List.map
+              (fun (s : Svhistory.sample) ->
+                {
+                  Report_html.ts_ms = s.Svhistory.t_ms;
+                  requests = s.Svhistory.requests;
+                  shed = s.Svhistory.shed;
+                  p50_us = s.Svhistory.p50_us;
+                  p99_us = s.Svhistory.p99_us;
+                })
+              (Svhistory.samples h)
+      in
       let html =
         Report_html.render ~header:(Svstore.header store)
-          ~cells:(Svstore.cells store) ()
+          ~cells:(Svstore.cells store) ~history ()
       in
       Http.response ~status:200 ~content_type:"text/html" ~body:html ()
   | path -> (
@@ -133,13 +171,13 @@ let handle_get store (r : Http.req) =
 
 let query_endpoint = function
   | "/healthz" | "/bugs" | "/coverage" | "/coverage/hex" | "/corpus"
-  | "/metrics" | "/metrics.json" | "/report" ->
+  | "/metrics" | "/metrics.json" | "/metrics/history" | "/report" ->
       true
   | path -> corpus_item path <> None
 
-let handle store (r : Http.req) =
+let handle ?history store (r : Http.req) =
   match r.meth with
-  | "GET" -> handle_get store r
+  | "GET" -> handle_get ?history store r
   | "POST" -> (
       match r.path with
       | "/kernel" | "/claim" | "/observation" -> handle_post store r

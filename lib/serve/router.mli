@@ -12,12 +12,19 @@
     - [GET /corpus], [GET /corpus/HASH] — index / kernel text.
     - [GET /metrics], [GET /metrics.json] — the process metrics
       registry, Prometheus text or canonical JSON.
+    - [GET /metrics/history] — the periodic metrics snapshot ring
+      (404 unless the server armed one).
     - [GET /report] — the standard HTML campaign report over live
-      state.
+      state, with throughput/latency panels when history is armed.
     - [GET /healthz] — liveness + store counts.
 
     Pure with respect to the connection: one request in, one
     serialised response out. *)
 
-val handle : Svstore.t -> Http.req -> string
+val handle : ?history:Svhistory.t -> Svstore.t -> Http.req -> string
 (** The full serialised HTTP response for one request. *)
+
+val route_label : string -> string
+(** Bounded metric label for a request path: named endpoints map to
+    themselves ("kernel", "claim", "observation", ...), any
+    [/corpus/HASH] to "corpus_item", everything else to "other". *)

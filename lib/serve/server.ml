@@ -15,8 +15,24 @@ let metric_shed = lazy (Metrics.counter "serve.shed")
 let metric_timeouts = lazy (Metrics.counter "serve.timeouts")
 let metric_latency = lazy (Metrics.histogram "serve.request_us")
 
+(* per-route accounting: registration is get-or-create under a mutex,
+   and the route label set is bounded by Router.route_label *)
+let route_requests label = Metrics.counter ("serve.requests." ^ label)
+let route_latency label = Metrics.histogram ("serve.request_us." ^ label)
+
+(* the flow id of an observation submission is its cell's global index —
+   the same id the worker exec span and the coordinator lease carry.
+   Parsed only when tracing is armed; any malformed body stays unlinked *)
+let observation_flow (r : Http.req) =
+  match Jsonl.of_string r.Http.body with
+  | Error _ -> None
+  | Ok j ->
+      Option.map
+        (fun c -> c.Journal.index)
+        (Option.bind (Jsonl.member "cell" j) Journal.cell_of_json)
+
 let run ~addr ~store ?max_inflight ?max_queue ?read_timeout_ms
-    ?queue_timeout_ms ?(stop = Atomic.make false)
+    ?queue_timeout_ms ?(stop = Atomic.make false) ?history
     ?(on_tick = fun (_ : int64) -> ()) () =
   (match Sys.signal Sys.sigpipe Sys.Signal_ignore with
   | _ -> ()
@@ -77,12 +93,26 @@ let run ~addr ~store ?max_inflight ?max_queue ?read_timeout_ms
               conn.close_after <- true
           | `Req r ->
               let t0 = Mclock.now_ns () in
-              let resp = Router.handle store r in
+              let label = Router.route_label r.Http.path in
+              let resp = Router.handle ?history store r in
               incr requests;
               Metrics.incr (Lazy.force metric_requests);
-              Metrics.observe (Lazy.force metric_latency)
-                (Int64.to_int
-                   (Int64.div (Int64.sub (Mclock.now_ns ()) t0) 1_000L));
+              Metrics.incr (route_requests label);
+              let us =
+                Int64.to_int
+                  (Int64.div (Int64.sub (Mclock.now_ns ()) t0) 1_000L)
+              in
+              Metrics.observe (Lazy.force metric_latency) us;
+              Metrics.observe (route_latency label) us;
+              if Span.enabled () then begin
+                let flow =
+                  if String.equal label "observation" then observation_flow r
+                  else None
+                in
+                Span.emit ~cat:"serve" ~name:("req:" ^ label) ~t0_ns:t0
+                  ~dur_ns:(Int64.sub (Mclock.now_ns ()) t0)
+                  ?flow ()
+              end;
               enqueue conn resp;
               (match List.assoc_opt "connection" r.Http.headers with
               | Some v when String.lowercase_ascii v = "close" ->
@@ -104,9 +134,12 @@ let run ~addr ~store ?max_inflight ?max_queue ?read_timeout_ms
             ()
         | exception Unix.Unix_error (_, _, _) -> close conn
       in
-      let shed_conn conn status body =
+      (* no route is known at shed time (the request was never read), so
+         shed counters are labelled by admission stage instead *)
+      let shed_conn conn ~stage status body =
         incr shed;
         Metrics.incr (Lazy.force metric_shed);
+        Metrics.incr (Metrics.counter ("serve.shed." ^ stage));
         enqueue conn (Http.response ~status ~headers:retry_headers ~body ());
         conn.close_after <- true;
         conn.reading <- false;
@@ -134,7 +167,8 @@ let run ~addr ~store ?max_inflight ?max_queue ?read_timeout_ms
               (match Admission.on_open adm ~id ~now:(Mclock.now_ns ()) with
               | Admission.Admit -> conn.reading <- true
               | Admission.Park -> ()
-              | Admission.Shed -> shed_conn conn 429 "server saturated");
+              | Admission.Shed ->
+                  shed_conn conn ~stage:"accept" 429 "server saturated");
               go ()
           | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _)
             ->
@@ -143,8 +177,37 @@ let run ~addr ~store ?max_inflight ?max_queue ?read_timeout_ms
         in
         go ()
       in
+      let start_ns = Mclock.now_ns () in
+      (* seeded one interval back so the first tick snapshots immediately
+         (min_int would overflow the subtraction below) *)
+      let last_sample = ref (Int64.sub start_ns 1_000_000_000L) in
+      let sample_history now =
+        match history with
+        | None -> ()
+        | Some h ->
+            (* one snapshot per second of daemon life, bounded by the ring *)
+            if Int64.compare (Int64.sub now !last_sample) 1_000_000_000L >= 0
+            then begin
+              last_sample := now;
+              let pct p =
+                Option.value ~default:(-1)
+                  (Metrics.percentile (Lazy.force metric_latency) p)
+              in
+              Svhistory.push h
+                {
+                  Svhistory.t_ms =
+                    Int64.to_int (Int64.div (Int64.sub now start_ns) 1_000_000L);
+                  requests = !requests;
+                  shed = !shed;
+                  timeouts = !timeouts;
+                  p50_us = pct 50;
+                  p99_us = pct 99;
+                }
+            end
+      in
       let tick () =
         let now = Mclock.now_ns () in
+        sample_history now;
         List.iter
           (fun id ->
             match Hashtbl.find_opt conns id with
@@ -154,7 +217,7 @@ let run ~addr ~store ?max_inflight ?max_queue ?read_timeout_ms
         List.iter
           (fun id ->
             match Hashtbl.find_opt conns id with
-            | Some conn -> shed_conn conn 429 "queued too long"
+            | Some conn -> shed_conn conn ~stage:"queue" 429 "queued too long"
             | None -> ())
           (Admission.expire adm ~now);
         List.iter

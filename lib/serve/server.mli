@@ -21,7 +21,11 @@
     Counters [serve.requests], [serve.shed], [serve.timeouts] and the
     [serve.request_us] handling-latency histogram land in the global
     {!Metrics} registry, so the daemon's own [/metrics] endpoint
-    reports them. *)
+    reports them. Per-route variants ride along: each request also
+    bumps [serve.requests.LABEL] and observes
+    [serve.request_us.LABEL] for its {!Router.route_label}, and sheds
+    are split by admission stage ([serve.shed.accept] /
+    [serve.shed.queue] — no route exists before the request is read). *)
 
 type stats = { requests : int; shed : int; timeouts : int }
 
@@ -33,6 +37,7 @@ val run :
   ?read_timeout_ms:int ->
   ?queue_timeout_ms:int ->
   ?stop:bool Atomic.t ->
+  ?history:Svhistory.t ->
   ?on_tick:(int64 -> unit) ->
   unit ->
   (stats, string) result
@@ -40,4 +45,6 @@ val run :
     flipped from a signal handler or another domain), then close every
     connection, unlink a unix-socket path and return the tallies.
     [on_tick] runs once per loop iteration with the current monotonic
-    time — the watchdog/status hook. *)
+    time — the watchdog/status hook. [history] arms the metrics
+    time-series ring: one snapshot per second of daemon life, served
+    at [GET /metrics/history] and rendered into [/report]. *)

@@ -1,0 +1,52 @@
+type sample = {
+  t_ms : int;
+  requests : int;
+  shed : int;
+  timeouts : int;
+  p50_us : int;
+  p99_us : int;
+}
+
+type t = {
+  capacity : int;
+  ring : sample option array;
+  mutable next : int;  (* total pushes; next slot = next mod capacity *)
+}
+
+let create ?(capacity = 512) () =
+  let capacity = max 1 capacity in
+  { capacity; ring = Array.make capacity None; next = 0 }
+
+let push t s =
+  t.ring.(t.next mod t.capacity) <- Some s;
+  t.next <- t.next + 1
+
+let samples t =
+  let n = min t.next t.capacity in
+  let first = t.next - n in
+  List.init n (fun i ->
+      match t.ring.((first + i) mod t.capacity) with
+      | Some s -> s
+      | None -> assert false)
+
+let to_json t =
+  let ss = samples t in
+  Jsonl.Obj
+    [
+      ("count", Jsonl.Int (List.length ss));
+      ("capacity", Jsonl.Int t.capacity);
+      ( "samples",
+        Jsonl.List
+          (List.map
+             (fun s ->
+               Jsonl.Obj
+                 [
+                   ("t_ms", Jsonl.Int s.t_ms);
+                   ("requests", Jsonl.Int s.requests);
+                   ("shed", Jsonl.Int s.shed);
+                   ("timeouts", Jsonl.Int s.timeouts);
+                   ("p50_us", Jsonl.Int s.p50_us);
+                   ("p99_us", Jsonl.Int s.p99_us);
+                 ])
+             ss) );
+    ]

@@ -56,6 +56,7 @@ let std_pipeline ~rotate_zero_bug =
 type prepared = {
   tc : Ast.testcase;
   feats : Features.t Memo.t;
+  khash : string Memo.t; (* content hash of the printed source program *)
   plain : Ast.program Memo.t; (* no passes *)
   rotate_only : Ast.program Memo.t; (* Fig. 2(b) front-end folder at -O0 *)
   optimized : Ast.program Memo.t;
@@ -66,6 +67,9 @@ let prepare (tc : Ast.testcase) =
   {
     tc;
     feats = Memo.make (fun () -> Features.of_testcase tc);
+    khash =
+      Memo.make (fun () ->
+          Digest.to_hex (Digest.string (Pp.program_to_string tc.Ast.prog)));
     plain = Memo.of_val tc.Ast.prog;
     rotate_only =
       Memo.make (fun () ->
@@ -162,14 +166,14 @@ let compiled_program (c : Config.t) ~opt (tc : Ast.testcase) =
   apply_wrong_code c ~opt (Memo.force p.feats) (compiled c ~opt p)
 
 (* span name is only materialised when tracing is on *)
-let exec_span (c : Config.t) ~opt f =
+let exec_span ?flow (c : Config.t) ~opt f =
   if Span.enabled () then
-    Span.with_ ~cat:"exec"
+    Span.with_ ~cat:"exec" ?flow
       (Printf.sprintf "exec:%d%c" c.Config.id (if opt then '+' else '-'))
       f
   else f ()
 
-let run_prepared_stats ?noise ?fuel (c : Config.t) ~opt (p : prepared) :
+let run_prepared_stats ?noise ?fuel ?flow (c : Config.t) ~opt (p : prepared) :
     Outcome.t * Interp.stats =
   let feats = Memo.force p.feats in
   match front_end ?noise c ~opt feats with
@@ -180,16 +184,40 @@ let run_prepared_stats ?noise ?fuel (c : Config.t) ~opt (p : prepared) :
       | None ->
           let prog = apply_wrong_code ?noise c ~opt feats (compiled c ~opt p) in
           let profile = assemble_profile ?noise c ~opt feats in
+          (* build the tick table on the exact post-pass, post-mutation
+             program value the interpreter will execute, so physical-
+             identity lookups hit *)
+          let costs =
+            if Costprof.enabled () then Some (Costwalk.build prog) else None
+          in
           let r =
-            exec_span c ~opt (fun () ->
-                Interp.run
+            exec_span ?flow c ~opt (fun () ->
+                Interp.run ?costs
                   ~config:(interp_config ?fuel c profile)
                   { p.tc with Ast.prog })
           in
+          let stats =
+            match costs with
+            | None -> r.Interp.stats
+            | Some cw ->
+                {
+                  r.Interp.stats with
+                  Interp.prof =
+                    [
+                      {
+                        Costprof.khash = Memo.force p.khash;
+                        config = c.Config.id;
+                        opt = (if opt then "+" else "-");
+                        ticks = Costwalk.ticks cw;
+                        constructs = Costwalk.constructs cw;
+                      };
+                    ];
+                }
+          in
           (* a real device does not diagnose UB: it just misbehaves *)
           (match r.Interp.outcome with
-          | Outcome.Ub m -> (Outcome.Crash ("undefined behaviour: " ^ m), r.Interp.stats)
-          | o -> (o, r.Interp.stats)))
+          | Outcome.Ub m -> (Outcome.Crash ("undefined behaviour: " ^ m), stats)
+          | o -> (o, stats)))
 
 let run_prepared ?noise ?fuel (c : Config.t) ~opt (p : prepared) : Outcome.t =
   fst (run_prepared_stats ?noise ?fuel c ~opt p)

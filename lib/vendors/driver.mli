@@ -39,11 +39,26 @@ val run_prepared :
     [Outcome.Timeout]; the execution pool never kills a task. *)
 
 val run_prepared_stats :
-  ?noise:bool -> ?fuel:int -> Config.t -> opt:bool -> prepared -> Outcome.t * Interp.stats
+  ?noise:bool ->
+  ?fuel:int ->
+  ?flow:int ->
+  Config.t ->
+  opt:bool ->
+  prepared ->
+  Outcome.t * Interp.stats
 (** [run_prepared] plus the interpreter's work tally for the launch —
     zero when a front-end or pre-execution fault short-circuits the run.
     Deterministic in (configuration, opt level, test case), so campaign
-    metric totals built from it are [-j]-invariant. *)
+    metric totals built from it are [-j]-invariant.
+
+    [flow] tags the exec span with a causal flow id (the campaign's
+    global cell index) so merged traces can stitch coordinator leases,
+    worker executions and serve submissions of the same cell together.
+
+    When {!Costprof.enabled}, the stats carry exactly one cost cell
+    (kernel content hash × (config, opt) × per-construct tick counts);
+    the interpreter's tick table is built on the post-pass,
+    post-mutation program actually executed. *)
 
 val run : ?noise:bool -> Config.t -> opt:bool -> Ast.testcase -> Outcome.t
 (** [prepare] + [run_prepared]. *)

@@ -124,6 +124,8 @@ let test_proto_roundtrip () =
                 dur_ns = 678L;
                 domain = 2;
                 task = 7;
+                flow = 17;
+                flow_n = 0;
               };
             ];
           metrics = [ ("cells.total", 3); ("interp.steps", 99) ];

@@ -19,7 +19,15 @@ let test_covmap_deterministic () =
     Generate.generate ~cfg:(Gen_config.scaled Gen_config.All) ~seed:3 ()
   in
   let features = Features.of_testcase tc in
-  let stats = { Interp.steps = 1234; barriers = 8; atomics = 0; race_checks = 17 } in
+  let stats =
+    {
+      Interp.steps = 1234;
+      barriers = 8;
+      atomics = 0;
+      race_checks = 17;
+      prof = [];
+    }
+  in
   let idx () =
     Covmap.indices ~features ~config:12 ~opt:true ~divergent:false
       ~outcome:(Outcome.Success "out: 1") ~stats

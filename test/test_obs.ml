@@ -177,7 +177,7 @@ let test_prometheus_exposition () =
    rebase (worker monotonic clocks are unrelated), thread per domain *)
 let test_trace_groups_pid_separation () =
   let sp ~cat ~name ~t0 ~dur ~domain =
-    { Span.cat; name; t0_ns = t0; dur_ns = dur; domain; task = -1 }
+    { Span.cat; name; t0_ns = t0; dur_ns = dur; domain; task = -1; flow = -1; flow_n = 0 }
   in
   let coord =
     [ sp ~cat:"merge" ~name:"merge" ~t0:5_000_000L ~dur:1_000_000L ~domain:0 ]
@@ -236,6 +236,165 @@ let test_trace_groups_pid_separation () =
       in
       Alcotest.(check int) "coordinator epoch rebased to 0" 0 (min_ts 0);
       Alcotest.(check int) "worker epoch rebased to 0" 0 (min_ts 1)
+
+(* the causal-flow machinery: a lease span originating a window of flow
+   ids must be stitched to the worker exec spans participating in them *)
+let test_trace_flow_events () =
+  let sp ~cat ~name ~t0 ~dur ~flow ~flow_n =
+    {
+      Span.cat;
+      name;
+      t0_ns = t0;
+      dur_ns = dur;
+      domain = 0;
+      task = -1;
+      flow;
+      flow_n;
+    }
+  in
+  let coord =
+    [
+      sp ~cat:"lease" ~name:"lease 0 [9,11)" ~t0:1_000_000L ~dur:9_000_000L
+        ~flow:9 ~flow_n:2;
+    ]
+  in
+  let w1 =
+    [
+      sp ~cat:"exec" ~name:"exec:9" ~t0:2_000_000L ~dur:1_000_000L ~flow:9
+        ~flow_n:0;
+      sp ~cat:"exec" ~name:"exec:10" ~t0:4_000_000L ~dur:1_000_000L ~flow:10
+        ~flow_n:0;
+      (* untagged span: must not join any flow *)
+      sp ~cat:"gen" ~name:"generate" ~t0:3_000_000L ~dur:500_000L ~flow:(-1)
+        ~flow_n:0;
+    ]
+  in
+  let path = Filename.temp_file "test_obs_flow" ".json" in
+  Trace.write_groups ~path [ ("coordinator", coord); ("worker 1", w1) ];
+  let body = read_file path in
+  Sys.remove path;
+  match Jsonl.of_string (String.trim body) with
+  | Error e -> Alcotest.failf "flow trace does not parse: %s" e
+  | Ok j ->
+      let events =
+        match Jsonl.member "traceEvents" j with
+        | Some (Jsonl.List l) -> l
+        | _ -> Alcotest.fail "no traceEvents array"
+      in
+      let phase e = Option.bind (Jsonl.member "ph" e) Jsonl.get_str in
+      let id e = Option.bind (Jsonl.member "id" e) Jsonl.get_int in
+      let flows =
+        List.filter
+          (fun e -> match phase e with Some ("s" | "t" | "f") -> true | _ -> false)
+          events
+      in
+      (* two flows, each source -> participant: one "s" + one "f" apiece *)
+      Alcotest.(check int) "four flow events" 4 (List.length flows);
+      let ids ph =
+        List.sort compare
+          (List.filter_map
+             (fun e -> if phase e = Some ph then id e else None)
+             flows)
+      in
+      Alcotest.(check (list int)) "flow starts per id" [ 9; 10 ] (ids "s");
+      Alcotest.(check (list int)) "flow finishes per id" [ 9; 10 ] (ids "f");
+      List.iter
+        (fun e ->
+          (match Option.bind (Jsonl.member "cat" e) Jsonl.get_str with
+          | Some "flow" -> ()
+          | _ -> Alcotest.fail "flow event lacks cat \"flow\"");
+          if phase e = Some "f" then
+            match Option.bind (Jsonl.member "bp" e) Jsonl.get_str with
+            | Some "e" -> ()
+            | _ -> Alcotest.fail "finish step lacks bp:\"e\" (enclosing bind)")
+        flows
+
+(* --- cost profiler --- *)
+
+let cp ~khash ~config ~opt ~ticks constructs =
+  {
+    Costprof.khash;
+    config;
+    opt;
+    ticks;
+    constructs =
+      List.map
+        (fun (kind, loc, path, n) -> { Costprof.kind; loc; path; n })
+        constructs;
+  }
+
+let test_costprof_accumulates_and_roundtrips () =
+  Costprof.reset ();
+  Alcotest.(check int) "fresh accumulator is empty" 0
+    (List.length (Costprof.snapshot ()));
+  (* same (khash, config, opt) key: cells merge, per-construct counts sum *)
+  Costprof.record
+    (cp ~khash:"aa" ~config:1 ~opt:"+" ~ticks:5
+       [ ("binop", 3, "kernel:k;for", 5) ]);
+  Costprof.record
+    (cp ~khash:"aa" ~config:1 ~opt:"+" ~ticks:2
+       [ ("binop", 3, "kernel:k;for", 2) ]);
+  Costprof.record
+    (cp ~khash:"aa" ~config:1 ~opt:"-" ~ticks:1
+       [ ("if", 0, "kernel:k", 1) ]);
+  let cells = Costprof.snapshot () in
+  Costprof.reset ();
+  Alcotest.(check int) "one cell per (khash, config, opt)" 2
+    (List.length cells);
+  let merged = List.find (fun c -> String.equal c.Costprof.opt "+") cells in
+  Alcotest.(check int) "ticks summed across records" 7 merged.Costprof.ticks;
+  (match merged.Costprof.constructs with
+  | [ k ] -> Alcotest.(check int) "construct counts summed" 7 k.Costprof.n
+  | l -> Alcotest.failf "expected one merged construct, got %d" (List.length l));
+  let path = Filename.temp_file "test_obs_prof" ".jsonl" in
+  Costprof.write ~path cells;
+  (match Costprof.load ~path with
+  | Error e -> Alcotest.failf "clean profile fails to load: %s" e
+  | Ok (cells', torn) ->
+      Alcotest.(check bool) "clean file is not torn" false torn;
+      Alcotest.(check int) "roundtrip preserves cells" (List.length cells)
+        (List.length cells');
+      List.iter2
+        (fun a b ->
+          Alcotest.(check string) "khash" a.Costprof.khash b.Costprof.khash;
+          Alcotest.(check int) "ticks" a.Costprof.ticks b.Costprof.ticks)
+        cells cells');
+  (* the report attributes every tick to a named construct *)
+  let rep = Costprof.report cells in
+  Alcotest.(check bool) "report names the hot construct" true
+    (contains rep "binop");
+  Alcotest.(check bool) "report shows full attribution" true
+    (contains rep "100.0%");
+  Sys.remove path
+
+let test_costprof_torn_tail_recovery () =
+  Costprof.reset ();
+  Costprof.record
+    (cp ~khash:"bb" ~config:2 ~opt:"+" ~ticks:3 [ ("for", 1, "kernel:k", 3) ]);
+  let cells = Costprof.snapshot () in
+  Costprof.reset ();
+  let path = Filename.temp_file "test_obs_torn" ".jsonl" in
+  Costprof.write ~path cells;
+  (* a torn final line (the crash-mid-write case) is recoverable *)
+  let oc = open_out_gen [ Open_append ] 0o644 path in
+  output_string oc "{\"h\":\"dead";
+  close_out oc;
+  (match Costprof.load ~path with
+  | Error e -> Alcotest.failf "torn tail should recover, got: %s" e
+  | Ok (cells', torn) ->
+      Alcotest.(check bool) "torn flag raised" true torn;
+      Alcotest.(check int) "clean prefix intact" (List.length cells)
+        (List.length cells'));
+  (* corruption anywhere but the final line is an error, not silently
+     skipped: append a valid-looking second garbage line after the torn
+     one so the damage is no longer tail-only *)
+  let oc = open_out_gen [ Open_append ] 0o644 path in
+  output_string oc "\n{\"h\":\"beef\"}\n";
+  close_out oc;
+  (match Costprof.load ~path with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "mid-file corruption must not load");
+  Sys.remove path
 
 (* --- progress line --- *)
 
@@ -387,6 +546,80 @@ let test_telemetry_does_not_change_bytes () =
   Alcotest.(check int) "no spans while disabled" 0 s_off;
   Alcotest.(check bool) "spans recorded while enabled" true (s_on > 0)
 
+let run_with_profile enabled jobs =
+  Metrics.reset ();
+  Costprof.reset ();
+  if enabled then Costprof.enable ();
+  let table =
+    Campaign.to_table (Campaign.run ~jobs ~per_mode ~modes ~config_ids ())
+  in
+  Costprof.disable ();
+  let cells = Costprof.snapshot () in
+  Costprof.reset ();
+  (table, cells)
+
+let profile_bytes cells =
+  let path = Filename.temp_file "test_obs_profbytes" ".jsonl" in
+  Costprof.write ~path cells;
+  let body = read_file path in
+  Sys.remove path;
+  body
+
+let test_costprof_leaves_bytes_alone () =
+  let t_off, c_off = run_with_profile false 2 in
+  let t_on, c_on = run_with_profile true 2 in
+  Alcotest.(check string) "table bytes identical with profiling on" t_off t_on;
+  Alcotest.(check int) "no cells recorded while disabled" 0
+    (List.length c_off);
+  Alcotest.(check bool) "cells recorded while enabled" true (c_on <> [])
+
+let test_costprof_j_invariant () =
+  let _, c1 = run_with_profile true 1 in
+  let _, c4 = run_with_profile true 4 in
+  Alcotest.(check string) "profile bytes identical across -j"
+    (profile_bytes c1) (profile_bytes c4);
+  (* the acceptance bar: the profile attributes the interpreter's work
+     to named constructs — here the attribution is exact by design *)
+  List.iter
+    (fun (c : Costprof.cell) ->
+      let sum =
+        List.fold_left
+          (fun acc (k : Costprof.construct) -> acc + k.Costprof.n)
+          0 c.Costprof.constructs
+      in
+      Alcotest.(check int)
+        (Printf.sprintf "cell %s c%d%s fully attributed" c.Costprof.khash
+           c.Costprof.config c.Costprof.opt)
+        c.Costprof.ticks sum)
+    c1
+
+(* --- ETA display --- *)
+
+let test_progress_eta_string () =
+  let path = Filename.temp_file "test_obs_eta" ".txt" in
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () ->
+      close_out_noerr oc;
+      Sys.remove path)
+  @@ fun () ->
+  let p =
+    Progress.create ~out:oc ~style:Progress.Plain ~start:2 ~label:"x"
+      ~total:4 ()
+  in
+  let now = Mclock.now_ns () in
+  (* work remains but only prefill is done: rate is zero, no guess *)
+  Alcotest.(check string) "prefill-only shows --:--" "--:--"
+    (Progress.eta_string p now);
+  Progress.step p ~tag:"ok";
+  (* evaluate the ETA as if 10s had elapsed: 1 session cell done, 1 to
+     go, so the extrapolation lands in seconds, not "--:--" *)
+  let eta = Progress.eta_string p (Int64.add now 10_000_000_000L) in
+  Alcotest.(check bool) "measured rate extrapolates" true
+    (not (String.equal eta "--:--") && not (String.equal eta "0s"));
+  Progress.step p ~tag:"ok";
+  Alcotest.(check string) "nothing remaining shows 0s" "0s"
+    (Progress.eta_string p (Mclock.now_ns ()))
+
 let () =
   Alcotest.run "obs"
     [
@@ -402,6 +635,15 @@ let () =
           Alcotest.test_case "chrome export" `Quick test_trace_export;
           Alcotest.test_case "grouped fleet export" `Quick
             test_trace_groups_pid_separation;
+          Alcotest.test_case "causal flow events" `Quick
+            test_trace_flow_events;
+        ] );
+      ( "costprof",
+        [
+          Alcotest.test_case "accumulate + roundtrip" `Quick
+            test_costprof_accumulates_and_roundtrips;
+          Alcotest.test_case "torn tail recovery" `Quick
+            test_costprof_torn_tail_recovery;
         ] );
       ( "metrics",
         [
@@ -419,6 +661,7 @@ let () =
           Alcotest.test_case "resumed start" `Quick test_progress_resumed_start;
           Alcotest.test_case "plain fallback" `Quick test_progress_plain_fallback;
           Alcotest.test_case "ansi style" `Quick test_progress_ansi_style;
+          Alcotest.test_case "eta string" `Quick test_progress_eta_string;
         ] );
       ("host", [ Alcotest.test_case "info" `Quick test_hostinfo ]);
       ( "determinism",
@@ -426,5 +669,9 @@ let () =
           Alcotest.test_case "metrics -j invariant" `Slow test_metrics_j_invariant;
           Alcotest.test_case "telemetry leaves bytes alone" `Slow
             test_telemetry_does_not_change_bytes;
+          Alcotest.test_case "profiler leaves bytes alone" `Slow
+            test_costprof_leaves_bytes_alone;
+          Alcotest.test_case "profile -j invariant" `Slow
+            test_costprof_j_invariant;
         ] );
     ]

@@ -379,7 +379,7 @@ let temp_addr () =
   Netaddr.Unix_sock sock
 
 let start_daemon ?(max_inflight = 16) ?(max_queue = 16) ?(queue_timeout_ms = 200)
-    ~path addr =
+    ?history ~path addr =
   match Svstore.open_ ~path with
   | Error m -> Alcotest.fail m
   | Ok store ->
@@ -387,7 +387,7 @@ let start_daemon ?(max_inflight = 16) ?(max_queue = 16) ?(queue_timeout_ms = 200
       let d =
         Domain.spawn (fun () ->
             Server.run ~addr ~store ~max_inflight ~max_queue ~queue_timeout_ms
-              ~stop ())
+              ~stop ?history ())
       in
       (match Sclient.get ~addr ~retries:40 "/healthz" with
       | Ok _ -> ()
@@ -521,6 +521,52 @@ let test_server_overload_sheds () =
   stop_daemon daemon;
   Sys.remove path
 
+(* the metrics time series and per-route request accounting: a daemon
+   armed with a history ring serves its own snapshots at
+   /metrics/history, and every handled request lands under its route
+   label in /metrics.json *)
+let test_server_metrics_history () =
+  let addr = temp_addr () in
+  let path = Filename.temp_file "test_serve" ".journal" in
+  Sys.remove path;
+  Metrics.reset ();
+  let daemon = start_daemon ~history:(Svhistory.create ()) ~path addr in
+  List.iter (fun _ -> ignore (fetch addr "/healthz")) [ 1; 2; 3 ];
+  let status, body = fetch addr "/metrics/history" in
+  Alcotest.(check int) "history 200" 200 status;
+  (match Jsonl.of_string body with
+  | Error e -> Alcotest.failf "history is not JSON: %s" e
+  | Ok j -> (
+      (match Option.bind (Jsonl.member "count" j) Jsonl.get_int with
+      | Some n -> Alcotest.(check bool) "at least one snapshot" true (n >= 1)
+      | None -> Alcotest.fail "history lacks a count");
+      match Jsonl.member "samples" j with
+      | Some (Jsonl.List (s :: _)) ->
+          List.iter
+            (fun k ->
+              if Jsonl.member k s = None then
+                Alcotest.failf "sample lacks %S" k)
+            [ "t_ms"; "requests"; "shed"; "timeouts"; "p50_us"; "p99_us" ]
+      | _ -> Alcotest.fail "history lacks samples"));
+  let status, body = fetch addr "/metrics.json" in
+  Alcotest.(check int) "metrics.json 200" 200 status;
+  Alcotest.(check bool) "requests counted under their route label" true
+    (contains body "serve.requests.healthz");
+  Alcotest.(check bool) "latency histogram per route" true
+    (contains body "serve.request_us.healthz");
+  (* the Prometheus exposition carries the same per-route counters *)
+  let status, prom = fetch addr "/metrics" in
+  Alcotest.(check int) "prometheus 200" 200 status;
+  Alcotest.(check bool) "per-route counter in exposition" true
+    (contains prom "serve_requests_healthz");
+  (* an unarmed daemon answers 404, not an empty series *)
+  stop_daemon daemon;
+  let daemon2 = start_daemon ~path addr in
+  let status, _ = fetch addr "/metrics/history" in
+  Alcotest.(check int) "history 404 when not armed" 404 status;
+  stop_daemon daemon2;
+  Sys.remove path
+
 let () =
   Alcotest.run "serve"
     [
@@ -563,5 +609,7 @@ let () =
             test_server_restart_identical;
           Alcotest.test_case "overload sheds 429" `Slow
             test_server_overload_sheds;
+          Alcotest.test_case "metrics history + per-route accounting" `Slow
+            test_server_metrics_history;
         ] );
     ]
